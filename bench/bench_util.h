@@ -1,0 +1,120 @@
+#ifndef FACTORML_BENCH_BENCH_UTIL_H_
+#define FACTORML_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <filesystem>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "core/factorml.h"
+
+namespace factorml::bench {
+
+/// Scratch directory for generated relations and materialized tables;
+/// removed on destruction.
+class BenchDir {
+ public:
+  BenchDir() {
+    std::random_device rd;
+    path_ = std::filesystem::temp_directory_path() /
+            ("factorml_bench_" + std::to_string(rd()));
+    std::filesystem::create_directories(path_);
+  }
+  ~BenchDir() {
+    std::error_code ec;
+    std::filesystem::remove_all(path_, ec);
+  }
+  std::string str() const { return path_.string(); }
+
+ private:
+  std::filesystem::path path_;
+};
+
+/// Reports for one M/S/F comparison (one row of a paper figure/table).
+struct Trio {
+  core::TrainReport m, s, f;
+};
+
+inline void Die(const Status& st) {
+  std::fprintf(stderr, "bench failed: %s\n", st.ToString().c_str());
+  std::exit(1);
+}
+
+/// Runs all three GMM strategies on the same relations. `pool` is cleared
+/// between runs so every algorithm starts cold.
+inline Trio RunGmmAll(const join::NormalizedRelations& rel,
+                      const gmm::GmmOptions& options,
+                      storage::BufferPool* pool) {
+  Trio t;
+  pool->Clear();
+  auto m = core::TrainGmm(rel, options, core::Algorithm::kMaterialized, pool,
+                          &t.m);
+  if (!m.ok()) Die(m.status());
+  pool->Clear();
+  auto s = core::TrainGmm(rel, options, core::Algorithm::kStreaming, pool,
+                          &t.s);
+  if (!s.ok()) Die(s.status());
+  pool->Clear();
+  auto f = core::TrainGmm(rel, options, core::Algorithm::kFactorized, pool,
+                          &t.f);
+  if (!f.ok()) Die(f.status());
+  // Exactness self-check: the whole point of the factorization.
+  const double diff = gmm::GmmParams::MaxAbsDiff(m.value(), f.value());
+  if (diff > 1e-4) {
+    std::fprintf(stderr, "WARNING: M/F parameter drift %.3g\n", diff);
+  }
+  return t;
+}
+
+inline Trio RunNnAll(const join::NormalizedRelations& rel,
+                     const nn::NnOptions& options,
+                     storage::BufferPool* pool) {
+  Trio t;
+  pool->Clear();
+  auto m = core::TrainNn(rel, options, core::Algorithm::kMaterialized, pool,
+                         &t.m);
+  if (!m.ok()) Die(m.status());
+  pool->Clear();
+  auto s = core::TrainNn(rel, options, core::Algorithm::kStreaming, pool,
+                         &t.s);
+  if (!s.ok()) Die(s.status());
+  pool->Clear();
+  auto f = core::TrainNn(rel, options, core::Algorithm::kFactorized, pool,
+                         &t.f);
+  if (!f.ok()) Die(f.status());
+  const double diff = nn::Mlp::MaxAbsDiffParams(m.value(), f.value());
+  if (diff > 1e-4) {
+    std::fprintf(stderr, "WARNING: M/F parameter drift %.3g\n", diff);
+  }
+  return t;
+}
+
+inline void PrintTrioHeader(const char* sweep_col) {
+  std::printf("%-14s %10s %10s %10s %8s %8s %10s %12s\n", sweep_col,
+              "M(s)", "S(s)", "F(s)", "S/F", "M/F", "mult S/F",
+              "pages M/F");
+}
+
+inline void PrintTrioRow(const std::string& sweep_val, const Trio& t) {
+  const double sf = t.f.wall_seconds > 0 ? t.s.wall_seconds / t.f.wall_seconds
+                                         : 0.0;
+  const double mf = t.f.wall_seconds > 0 ? t.m.wall_seconds / t.f.wall_seconds
+                                         : 0.0;
+  const double mult_ratio =
+      t.f.ops.mults > 0 ? static_cast<double>(t.s.ops.mults) /
+                              static_cast<double>(t.f.ops.mults)
+                        : 0.0;
+  const double page_ratio =
+      t.f.io.pages_read > 0
+          ? static_cast<double>(t.m.io.pages_read + t.m.io.pages_written) /
+                static_cast<double>(t.f.io.pages_read)
+          : 0.0;
+  std::printf("%-14s %10.3f %10.3f %10.3f %8.2f %8.2f %10.2f %12.2f\n",
+              sweep_val.c_str(), t.m.wall_seconds, t.s.wall_seconds,
+              t.f.wall_seconds, sf, mf, mult_ratio, page_ratio);
+}
+
+}  // namespace factorml::bench
+
+#endif  // FACTORML_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,98 @@
+// Reproduces Figure 3 of the paper: GMM training time over a binary
+// PK/FK join, comparing M-GMM / S-GMM / F-GMM while varying
+//   (a) the tuple ratio rr = nS / nR   (--part=rr)
+//   (b) the attribute-table width dR   (--part=dr)
+//   (c) the number of components K     (--part=k)
+// Defaults are scaled down from the paper's nS = 10^6 / nR = 1000 so the
+// full sweep runs in minutes; pass --scale_rows to change. The shape of
+// the comparison (who wins and how the gap grows) is scale-invariant.
+
+#include <cstdio>
+#include <string>
+
+#include "bench_util.h"
+#include "common/flags.h"
+#include "core/factorml.h"
+
+namespace factorml::bench {
+namespace {
+
+join::NormalizedRelations Generate(const std::string& dir, int64_t n_s,
+                                   int64_t n_r, size_t d_s, size_t d_r,
+                                   storage::BufferPool* pool) {
+  data::SyntheticSpec spec;
+  spec.dir = dir;
+  spec.name = "fig3_" + std::to_string(n_s) + "_" + std::to_string(d_r);
+  spec.s_rows = n_s;
+  spec.s_feats = d_s;
+  spec.attrs = {data::AttributeSpec{n_r, d_r}};
+  spec.seed = 42;
+  auto rel = data::GenerateSynthetic(spec, pool);
+  if (!rel.ok()) Die(rel.status());
+  return std::move(rel).value();
+}
+
+int Main(int argc, char** argv) {
+  ArgParser args(argc, argv);
+  const std::string part = args.GetString("part", "all");
+  const int64_t n_r = args.GetInt("nr", 200);
+  const size_t d_s = static_cast<size_t>(args.GetInt("ds", 5));
+  const int iters = static_cast<int>(args.GetInt("iters", 2));
+  const double row_scale = args.GetDouble("scale_rows", 1.0);
+
+  BenchDir dir;
+  storage::BufferPool pool(4096);
+  gmm::GmmOptions opt;
+  opt.max_iters = iters;
+  opt.temp_dir = dir.str();
+
+  std::printf("== Figure 3: GMM over a binary join (nR=%lld, dS=%zu, "
+              "iters=%d) ==\n",
+              static_cast<long long>(n_r), d_s, iters);
+
+  if (part == "rr" || part == "all") {
+    for (const size_t d_r : {size_t{5}, size_t{15}}) {
+      std::printf("\n-- Fig 3(a): varying rr (dR=%zu, K=5) --\n", d_r);
+      PrintTrioHeader("rr");
+      for (const int64_t rr : args.GetIntList("rr", {20, 50, 100, 200})) {
+        const int64_t n_s =
+            static_cast<int64_t>(rr * n_r * row_scale);
+        auto rel = Generate(dir.str(), n_s, n_r, d_s, d_r, &pool);
+        opt.num_components = 5;
+        PrintTrioRow(std::to_string(rr), RunGmmAll(rel, opt, &pool));
+      }
+    }
+  }
+
+  if (part == "dr" || part == "all") {
+    for (const int64_t rr : {int64_t{50}, int64_t{200}}) {
+      std::printf("\n-- Fig 3(b): varying dR (rr=%lld, K=5) --\n",
+                  static_cast<long long>(rr));
+      PrintTrioHeader("dR");
+      for (const int64_t d_r : args.GetIntList("dr", {5, 10, 15, 25, 40})) {
+        const int64_t n_s = static_cast<int64_t>(rr * n_r * row_scale);
+        auto rel = Generate(dir.str(), n_s, n_r, d_s,
+                            static_cast<size_t>(d_r), &pool);
+        opt.num_components = 5;
+        PrintTrioRow(std::to_string(d_r), RunGmmAll(rel, opt, &pool));
+      }
+    }
+  }
+
+  if (part == "k" || part == "all") {
+    std::printf("\n-- Fig 3(c): varying K (rr=100, dR=15) --\n");
+    PrintTrioHeader("K");
+    const int64_t n_s = static_cast<int64_t>(100 * n_r * row_scale);
+    auto rel = Generate(dir.str(), n_s, n_r, d_s, 15, &pool);
+    for (const int64_t k : args.GetIntList("k", {2, 4, 6, 8})) {
+      opt.num_components = static_cast<size_t>(k);
+      PrintTrioRow(std::to_string(k), RunGmmAll(rel, opt, &pool));
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace factorml::bench
+
+int main(int argc, char** argv) { return factorml::bench::Main(argc, argv); }

@@ -1,0 +1,149 @@
+// google-benchmark microbenchmarks for the substrate kernels: dense
+// linear algebra, Cholesky, storage scans and the streamed join. These
+// are the building blocks whose relative costs determine where the
+// M/S/F trade-offs land on a given machine.
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "bench_util.h"
+#include "common/rng.h"
+#include "core/factorml.h"
+#include "join/join_cursor.h"
+#include "la/cholesky.h"
+#include "la/ops.h"
+
+namespace factorml {
+namespace {
+
+la::Matrix RandomMatrix(size_t rows, size_t cols, uint64_t seed) {
+  Rng rng(seed);
+  la::Matrix m(rows, cols);
+  for (size_t i = 0; i < m.size(); ++i) m.data()[i] = rng.NextGaussian();
+  return m;
+}
+
+void BM_GemmNT(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  la::Matrix x = RandomMatrix(256, n, 1);
+  la::Matrix w = RandomMatrix(64, n, 2);
+  la::Matrix c;
+  for (auto _ : state) {
+    la::GemmNT(x, w, &c, false);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 256 * 64 * n);
+}
+BENCHMARK(BM_GemmNT)->Arg(8)->Arg(32)->Arg(128);
+
+void BM_QuadForm(benchmark::State& state) {
+  const size_t d = static_cast<size_t>(state.range(0));
+  la::Matrix a = RandomMatrix(d, d, 3);
+  la::Matrix x = RandomMatrix(1, d, 4);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(la::QuadForm(a, x.Row(0).data(), d));
+  }
+}
+BENCHMARK(BM_QuadForm)->Arg(8)->Arg(32)->Arg(128);
+
+void BM_BlockQuadFormSplit(benchmark::State& state) {
+  // The factorized E-step's cost shape: UL + UR + LL on a dS/dR split,
+  // with the LR block assumed cached.
+  const size_t d = static_cast<size_t>(state.range(0));
+  const size_t ds = d / 4;
+  const size_t dr = d - ds;
+  la::Matrix a = RandomMatrix(d, d, 5);
+  la::Matrix x = RandomMatrix(1, d, 6);
+  const double* xs = x.Row(0).data();
+  const double* xr = xs + ds;
+  for (auto _ : state) {
+    double q = la::Bilinear(a, 0, 0, xs, ds, xs, ds);
+    q += la::Bilinear(a, 0, ds, xs, ds, xr, dr);
+    q += la::Bilinear(a, ds, 0, xr, dr, xs, ds);
+    benchmark::DoNotOptimize(q);
+  }
+}
+BENCHMARK(BM_BlockQuadFormSplit)->Arg(8)->Arg(32)->Arg(128);
+
+void BM_Cholesky(benchmark::State& state) {
+  const size_t d = static_cast<size_t>(state.range(0));
+  la::Matrix b = RandomMatrix(d, d, 7);
+  la::Matrix a(d, d);
+  for (size_t i = 0; i < d; ++i) {
+    for (size_t j = 0; j < d; ++j) {
+      double s = 0.0;
+      for (size_t p = 0; p < d; ++p) s += b(i, p) * b(j, p);
+      a(i, j) = s;
+    }
+    a(i, i) += d;
+  }
+  la::Cholesky chol;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(chol.Factor(a).ok());
+  }
+}
+BENCHMARK(BM_Cholesky)->Arg(8)->Arg(32)->Arg(128);
+
+class StorageFixture : public benchmark::Fixture {
+ public:
+  void SetUp(const benchmark::State&) override {
+    if (rel) return;
+    dir = std::make_unique<bench::BenchDir>();
+    pool = std::make_unique<storage::BufferPool>(4096);
+    data::SyntheticSpec spec;
+    spec.dir = dir->str();
+    spec.s_rows = 50000;
+    spec.s_feats = 5;
+    spec.attrs = {data::AttributeSpec{500, 10}};
+    spec.seed = 9;
+    auto r = data::GenerateSynthetic(spec, pool.get());
+    if (!r.ok()) bench::Die(r.status());
+    rel = std::make_unique<join::NormalizedRelations>(std::move(r).value());
+  }
+
+  static std::unique_ptr<bench::BenchDir> dir;
+  static std::unique_ptr<storage::BufferPool> pool;
+  static std::unique_ptr<join::NormalizedRelations> rel;
+};
+std::unique_ptr<bench::BenchDir> StorageFixture::dir;
+std::unique_ptr<storage::BufferPool> StorageFixture::pool;
+std::unique_ptr<join::NormalizedRelations> StorageFixture::rel;
+
+BENCHMARK_F(StorageFixture, BM_TableScan)(benchmark::State& state) {
+  storage::RowBatch batch;
+  for (auto _ : state) {
+    storage::TableScanner scanner(&rel->s, pool.get(), 4096);
+    int64_t rows = 0;
+    while (scanner.Next(&batch)) rows += batch.num_rows;
+    benchmark::DoNotOptimize(rows);
+  }
+  state.SetItemsProcessed(state.iterations() * rel->s.num_rows());
+}
+
+BENCHMARK_F(StorageFixture, BM_JoinCursorStream)(benchmark::State& state) {
+  join::JoinBatch batch;
+  for (auto _ : state) {
+    join::JoinCursor cursor(rel.get(), pool.get(), 4096);
+    int64_t rows = 0;
+    while (cursor.Next(&batch)) rows += batch.s_rows.num_rows;
+    benchmark::DoNotOptimize(rows);
+  }
+  state.SetItemsProcessed(state.iterations() * rel->s.num_rows());
+}
+
+BENCHMARK_F(StorageFixture, BM_MaterializeJoin)(benchmark::State& state) {
+  int i = 0;
+  for (auto _ : state) {
+    auto t = join::MaterializeJoin(
+        *rel, pool.get(), dir->str() + "/bm_t" + std::to_string(i++ % 4) +
+                              ".fml");
+    if (!t.ok()) bench::Die(t.status());
+    benchmark::DoNotOptimize(t.value().num_rows());
+  }
+}
+
+}  // namespace
+}  // namespace factorml
+
+BENCHMARK_MAIN();

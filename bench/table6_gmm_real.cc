@@ -1,0 +1,74 @@
+// Reproduces Table VI of the paper: GMM training time (M / S / F) on the
+// real-dataset shapes — Expedia1/2, Walmart, Movies (not sparse), the
+// augmented Expedia3-5, and Movies-3way. The offline substitution for the
+// Hamlet-Plus data regenerates each dataset with the published
+// cardinalities and feature splits (see DESIGN.md); cardinalities are
+// scaled by --scale (default 0.02) so the whole table runs in minutes.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/flags.h"
+#include "core/factorml.h"
+
+namespace factorml::bench {
+namespace {
+
+int Main(int argc, char** argv) {
+  ArgParser args(argc, argv);
+  const double scale = args.GetDouble("scale", 0.02);
+  const int iters = static_cast<int>(args.GetInt("iters", 2));
+  const size_t k = static_cast<size_t>(args.GetInt("k", 5));
+
+  // Optional simulated device latency per physical page transfer: the
+  // paper's PostgreSQL tables live on disk; --io_delay_us restores a
+  // disk-like M/S/F I/O gap on machines where the OS cache hides it.
+  const auto delay =
+      static_cast<uint64_t>(args.GetInt("io_delay_us", 0));
+  storage::SetSimulatedIoLatencyMicros(delay, delay);
+
+  BenchDir dir;
+  storage::BufferPool pool(static_cast<size_t>(args.GetInt("pool_pages", 2048)));
+  gmm::GmmOptions opt;
+  opt.num_components = k;
+  opt.max_iters = iters;
+  opt.temp_dir = dir.str();
+
+  // Table VI rows (GMM uses the Not Sparse representations).
+  struct Row {
+    const char* name;
+    double scale_override;  // <= 0: use the global scale
+  };
+  const std::vector<Row> rows = {
+      {"Expedia1", -1.0}, {"Expedia2", -1.0}, {"Walmart", -1.0},
+      {"Movies", -1.0},   {"Expedia3", -1.0},
+      // Expedia4/5 have dR = 78 / 218: quadratic EM cost, so scale harder.
+      {"Expedia4", 0.008}, {"Expedia5", 0.003}, {"Movies-3way", -1.0},
+  };
+
+  std::printf("== Table VI: GMM on real-dataset shapes (scale=%.3f, K=%zu, "
+              "iters=%d) ==\n",
+              scale, k, iters);
+  PrintTrioHeader("dataset");
+  for (const auto& row : rows) {
+    auto shape_or = data::FindRealShape(row.name);
+    if (!shape_or.ok()) Die(shape_or.status());
+    const double s = row.scale_override > 0 ? row.scale_override : scale;
+    auto rel_or = data::GenerateRealShape(shape_or.value(), dir.str(), &pool,
+                                          s, /*seed=*/42);
+    if (!rel_or.ok()) Die(rel_or.status());
+    PrintTrioRow(row.name, RunGmmAll(rel_or.value(), opt, &pool));
+  }
+  std::printf(
+      "\npaper reference (absolute seconds, authors' testbed): F-GMM is\n"
+      "2.2x-3.4x faster than M/S on the binary datasets and 4.4x on\n"
+      "Movies-3way; compare the S/F and M/F columns above for shape.\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace factorml::bench
+
+int main(int argc, char** argv) { return factorml::bench::Main(argc, argv); }

@@ -1,0 +1,63 @@
+// Reproduces Table VII of the paper: NN training time (M / S / F) on the
+// sparse (one-hot) real-dataset shapes — Walmart(Sparse), Movies(Sparse)
+// and Movies-3way. Cardinalities are scaled by --scale (default 0.02).
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/flags.h"
+#include "core/factorml.h"
+
+namespace factorml::bench {
+namespace {
+
+int Main(int argc, char** argv) {
+  ArgParser args(argc, argv);
+  const double scale = args.GetDouble("scale", 0.02);
+  const int epochs = static_cast<int>(args.GetInt("epochs", 2));
+  const size_t nh = static_cast<size_t>(args.GetInt("nh", 50));
+
+  // Optional simulated device latency per physical page transfer: the
+  // paper's PostgreSQL tables live on disk; --io_delay_us restores a
+  // disk-like M/S/F I/O gap on machines where the OS cache hides it.
+  const auto delay =
+      static_cast<uint64_t>(args.GetInt("io_delay_us", 0));
+  storage::SetSimulatedIoLatencyMicros(delay, delay);
+
+  BenchDir dir;
+  storage::BufferPool pool(static_cast<size_t>(args.GetInt("pool_pages", 2048)));
+  nn::NnOptions opt;
+  opt.hidden = {nh};
+  opt.epochs = epochs;
+  opt.temp_dir = dir.str();
+
+  const std::vector<const char*> rows = {"Walmart-Sparse", "Movies-Sparse",
+                                         "Movies-3way"};
+
+  std::printf("== Table VII: NN on real-dataset shapes (scale=%.3f, nh=%zu, "
+              "epochs=%d, sigmoid) ==\n",
+              scale, nh, epochs);
+  PrintTrioHeader("dataset");
+  for (const char* name : rows) {
+    auto shape_or = data::FindRealShape(name);
+    if (!shape_or.ok()) Die(shape_or.status());
+    auto rel_or = data::GenerateRealShape(shape_or.value(), dir.str(), &pool,
+                                          scale, /*seed=*/42,
+                                          /*with_target=*/true);
+    if (!rel_or.ok()) Die(rel_or.status());
+    PrintTrioRow(name, RunNnAll(rel_or.value(), opt, &pool));
+  }
+  std::printf(
+      "\npaper reference: F-NN is 8.1x (Walmart Sparse), 4.5x (Movies\n"
+      "Sparse) and 3.4x (Movies-3way) faster than M-NN on the authors'\n"
+      "Python/PostgreSQL stack; our C++ substrate shifts absolute\n"
+      "constants but the F column must win throughout.\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace factorml::bench
+
+int main(int argc, char** argv) { return factorml::bench::Main(argc, argv); }

@@ -1,0 +1,79 @@
+// Fraud scoring over normalized banking data — another scenario from the
+// paper's introduction: Transactions(SID, Y=fraud score, amount/velocity
+// features, FK_merchant) joins Merchants(RID, one-hot category/region
+// profile). Merchant profiles are high-dimensional sparse one-hot blocks
+// (the paper's "Sparse" representation) and repeat across every
+// transaction at that merchant, so the factorized first layer pays off
+// heavily.
+//
+// Build & run:  ./build/examples/fraud_scoring_nn [--txns=N]
+
+#include <cstdio>
+#include <filesystem>
+
+#include "common/flags.h"
+#include "core/factorml.h"
+
+namespace fml = factorml;
+
+int main(int argc, char** argv) {
+  fml::ArgParser args(argc, argv);
+  const int64_t txns = args.GetInt("txns", 40000);
+  const int64_t merchants = args.GetInt("merchants", 250);
+
+  const std::string dir = "fraud_data";
+  std::filesystem::create_directories(dir);
+  fml::storage::BufferPool pool(2048);
+
+  fml::data::SyntheticSpec spec;
+  spec.dir = dir;
+  spec.name = "fraud";
+  spec.s_rows = txns;
+  spec.s_feats = 8;              // transaction behaviour features
+  spec.attrs = {fml::data::AttributeSpec{merchants, 64}};  // one-hot profile
+  spec.with_target = true;
+  spec.one_hot = true;
+  spec.seed = 31;
+  auto rel_or = fml::data::GenerateSynthetic(spec, &pool);
+  if (!rel_or.ok()) {
+    std::fprintf(stderr, "%s\n", rel_or.status().ToString().c_str());
+    return 1;
+  }
+  auto& rel = rel_or.value();
+  std::printf("Transactions: %lld x %zu; Merchants: %lld x %zu one-hot "
+              "columns; ~%lld txns per merchant\n\n",
+              static_cast<long long>(rel.s.num_rows()), rel.ds(),
+              static_cast<long long>(rel.attrs[0].num_rows()), rel.dr(0),
+              static_cast<long long>(txns / merchants));
+
+  fml::nn::NnOptions opt;
+  opt.hidden = {48};
+  opt.activation = fml::nn::Activation::kRelu;
+  opt.epochs = 4;
+  opt.learning_rate = 0.02;
+  opt.temp_dir = dir;
+
+  fml::core::TrainReport rs, rf;
+  auto s = fml::core::TrainNn(rel, opt, fml::core::Algorithm::kStreaming,
+                              &pool, &rs);
+  pool.Clear();
+  auto f = fml::core::TrainNn(rel, opt, fml::core::Algorithm::kFactorized,
+                              &pool, &rf);
+  if (!s.ok() || !f.ok()) {
+    std::fprintf(stderr, "training failed\n");
+    return 1;
+  }
+
+  std::printf("%s\n%s\n\n", rs.ToString().c_str(), rf.ToString().c_str());
+  std::printf("F-NN vs S-NN: %.2fx wall clock, %.2fx fewer multiplies "
+              "(merchant profile width %zu vs %zu transaction features)\n",
+              rs.wall_seconds / rf.wall_seconds,
+              static_cast<double>(rs.ops.mults) /
+                  static_cast<double>(rf.ops.mults),
+              rel.dr(0), rel.ds());
+  std::printf("model agreement: %.2e\n",
+              fml::nn::Mlp::MaxAbsDiffParams(*s, *f));
+
+  std::filesystem::remove_all(dir);
+  return 0;
+}

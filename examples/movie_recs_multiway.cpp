@@ -1,0 +1,81 @@
+// Rating prediction over a multi-way join — the paper's Movies-3way
+// workload: Ratings(SID, Y=rating, FK_user, FK_movie) joins Users(RID1,
+// demographics) and Movies(RID2, genre/metadata). A rating-prediction
+// network needs features from both attribute tables, so conventional
+// pipelines denormalize into a table with nS x (1 + dU + dM) values;
+// F-NN trains directly on the three base relations.
+//
+// Build & run:  ./build/examples/movie_recs_multiway [--ratings=N]
+
+#include <cstdio>
+#include <filesystem>
+
+#include "common/flags.h"
+#include "core/factorml.h"
+
+namespace fml = factorml;
+
+int main(int argc, char** argv) {
+  fml::ArgParser args(argc, argv);
+  const int64_t ratings = args.GetInt("ratings", 50000);
+
+  const std::string dir = "movie_data";
+  std::filesystem::create_directories(dir);
+  fml::storage::BufferPool pool(2048);
+
+  // Shapes follow the MovieLens-1M proportions used by the paper,
+  // scaled: ~6k users with 4 demographic features, ~3.7k movies with 21
+  // genre/metadata features, 1 contextual feature on the rating itself.
+  fml::data::SyntheticSpec spec;
+  spec.dir = dir;
+  spec.name = "movies3";
+  spec.s_rows = ratings;
+  spec.s_feats = 1;
+  spec.attrs = {fml::data::AttributeSpec{ratings / 166, 4},    // users
+                fml::data::AttributeSpec{ratings / 270, 21}};  // movies
+  spec.with_target = true;
+  spec.seed = 99;
+  auto rel_or = fml::data::GenerateSynthetic(spec, &pool);
+  if (!rel_or.ok()) {
+    std::fprintf(stderr, "%s\n", rel_or.status().ToString().c_str());
+    return 1;
+  }
+  auto& rel = rel_or.value();
+  std::printf("Ratings: %lld; Users: %lld x %zu; Movies: %lld x %zu "
+              "(joined width d=%zu)\n\n",
+              static_cast<long long>(rel.s.num_rows()),
+              static_cast<long long>(rel.attrs[0].num_rows()), rel.dr(0),
+              static_cast<long long>(rel.attrs[1].num_rows()), rel.dr(1),
+              rel.total_dims());
+
+  fml::nn::NnOptions opt;
+  opt.hidden = {40};
+  opt.epochs = 5;
+  opt.learning_rate = 0.05;
+  opt.shuffle = true;  // SGD with per-epoch permutation of user keys
+  opt.temp_dir = dir;
+
+  fml::core::TrainReport rm, rf;
+  auto m = fml::core::TrainNn(rel, opt, fml::core::Algorithm::kMaterialized,
+                              &pool, &rm);
+  pool.Clear();
+  auto f = fml::core::TrainNn(rel, opt, fml::core::Algorithm::kFactorized,
+                              &pool, &rf);
+  if (!m.ok() || !f.ok()) {
+    std::fprintf(stderr, "training failed\n");
+    return 1;
+  }
+
+  std::printf("%s\n%s\n\n", rm.ToString().c_str(), rf.ToString().c_str());
+  std::printf("F-NN speedup over M-NN: %.2fx (and it avoided writing the "
+              "%llu-page denormalized table)\n",
+              rm.wall_seconds / rf.wall_seconds,
+              static_cast<unsigned long long>(rm.io.pages_written));
+  std::printf("model agreement: max parameter diff %.2e; final half-MSE "
+              "M=%.5f F=%.5f\n",
+              fml::nn::Mlp::MaxAbsDiffParams(*m, *f), rm.final_objective,
+              rf.final_objective);
+
+  std::filesystem::remove_all(dir);
+  return 0;
+}

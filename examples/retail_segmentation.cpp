@@ -1,0 +1,88 @@
+// Retail customer segmentation — the paper's introductory scenario:
+// Orders(OrderID, ..., ItemID, Amount, Time) joins Items(ItemID, Price,
+// Size, ..., Category) on a foreign key, and an analyst wants a soft
+// segmentation (GMM) of order behaviour that includes item attributes.
+// Normalization means each item's attributes repeat across the hundreds of
+// orders that bought it — exactly the redundancy F-GMM exploits.
+//
+// This example builds the two relations, trains the segmentation with all
+// three strategies, verifies they agree, and prints the learned segments.
+//
+// Build & run:  ./build/examples/retail_segmentation [--orders=N]
+
+#include <cstdio>
+#include <filesystem>
+
+#include "common/flags.h"
+#include "core/factorml.h"
+
+namespace fml = factorml;
+
+int main(int argc, char** argv) {
+  fml::ArgParser args(argc, argv);
+  const int64_t num_orders = args.GetInt("orders", 60000);
+  const int64_t num_items = args.GetInt("items", 300);
+
+  const std::string dir = "retail_data";
+  std::filesystem::create_directories(dir);
+  fml::storage::BufferPool pool(2048);
+
+  // Orders carry 3 behavioural features (amount, hour-of-day, basket
+  // size); Items carry 6 attributes (price, size, 4 category indicators).
+  fml::data::SyntheticSpec spec;
+  spec.dir = dir;
+  spec.name = "retail";
+  spec.s_rows = num_orders;
+  spec.s_feats = 3;
+  spec.attrs = {fml::data::AttributeSpec{num_items, 6}};
+  spec.clusters = 4;  // ground-truth segments in the generated data
+  spec.seed = 2024;
+  auto rel_or = fml::data::GenerateSynthetic(spec, &pool);
+  if (!rel_or.ok()) {
+    std::fprintf(stderr, "%s\n", rel_or.status().ToString().c_str());
+    return 1;
+  }
+  auto& rel = rel_or.value();
+  std::printf("Orders: %lld rows x %zu features; Items: %lld rows x %zu "
+              "features (each item sold ~%lld times)\n\n",
+              static_cast<long long>(rel.s.num_rows()), rel.ds(),
+              static_cast<long long>(rel.attrs[0].num_rows()), rel.dr(0),
+              static_cast<long long>(num_orders / num_items));
+
+  fml::gmm::GmmOptions opt;
+  opt.num_components = 4;
+  opt.max_iters = 6;
+  opt.temp_dir = dir;
+
+  fml::core::TrainReport rm, rs, rf;
+  auto m = fml::core::TrainGmm(rel, opt, fml::core::Algorithm::kMaterialized,
+                               &pool, &rm);
+  pool.Clear();
+  auto s = fml::core::TrainGmm(rel, opt, fml::core::Algorithm::kStreaming,
+                               &pool, &rs);
+  pool.Clear();
+  auto f = fml::core::TrainGmm(rel, opt, fml::core::Algorithm::kFactorized,
+                               &pool, &rf);
+  if (!m.ok() || !s.ok() || !f.ok()) {
+    std::fprintf(stderr, "training failed\n");
+    return 1;
+  }
+
+  std::printf("%s\n%s\n%s\n\n", rm.ToString().c_str(), rs.ToString().c_str(),
+              rf.ToString().c_str());
+  std::printf("speedup of F-GMM: %.2fx over M-GMM, %.2fx over S-GMM\n",
+              rm.wall_seconds / rf.wall_seconds,
+              rs.wall_seconds / rf.wall_seconds);
+  std::printf("segmentation agreement (max parameter diff M vs F): %.2e\n\n",
+              fml::gmm::GmmParams::MaxAbsDiff(*m, *f));
+
+  std::printf("learned segments (mixing weight, mean of order-amount "
+              "feature, mean of item-price feature):\n");
+  for (size_t c = 0; c < f->num_components(); ++c) {
+    std::printf("  segment %zu: pi=%.3f  order.amount=%.2f  item.price=%.2f\n",
+                c, f->pi[c], f->mu(c, 0), f->mu(c, rel.ds()));
+  }
+
+  std::filesystem::remove_all(dir);
+  return 0;
+}

@@ -1,0 +1,65 @@
+#include "common/flags.h"
+
+#include <cstdlib>
+#include <sstream>
+
+namespace factorml {
+
+ArgParser::ArgParser(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) continue;
+    arg = arg.substr(2);
+    const size_t eq = arg.find('=');
+    if (eq == std::string::npos) {
+      kv_[arg] = "true";  // bare flag, e.g. --verbose
+    } else {
+      kv_[arg.substr(0, eq)] = arg.substr(eq + 1);
+    }
+  }
+}
+
+bool ArgParser::Has(const std::string& key) const {
+  return kv_.count(key) > 0;
+}
+
+int64_t ArgParser::GetInt(const std::string& key, int64_t default_value) const {
+  auto it = kv_.find(key);
+  if (it == kv_.end()) return default_value;
+  return std::strtoll(it->second.c_str(), nullptr, 10);
+}
+
+double ArgParser::GetDouble(const std::string& key,
+                            double default_value) const {
+  auto it = kv_.find(key);
+  if (it == kv_.end()) return default_value;
+  return std::strtod(it->second.c_str(), nullptr);
+}
+
+bool ArgParser::GetBool(const std::string& key, bool default_value) const {
+  auto it = kv_.find(key);
+  if (it == kv_.end()) return default_value;
+  return it->second == "true" || it->second == "1" || it->second == "yes";
+}
+
+std::string ArgParser::GetString(const std::string& key,
+                                 const std::string& default_value) const {
+  auto it = kv_.find(key);
+  if (it == kv_.end()) return default_value;
+  return it->second;
+}
+
+std::vector<int64_t> ArgParser::GetIntList(
+    const std::string& key, const std::vector<int64_t>& default_value) const {
+  auto it = kv_.find(key);
+  if (it == kv_.end()) return default_value;
+  std::vector<int64_t> out;
+  std::stringstream ss(it->second);
+  std::string item;
+  while (std::getline(ss, item, ',')) {
+    if (!item.empty()) out.push_back(std::strtoll(item.c_str(), nullptr, 10));
+  }
+  return out;
+}
+
+}  // namespace factorml

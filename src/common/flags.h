@@ -1,0 +1,35 @@
+#ifndef FACTORML_COMMON_FLAGS_H_
+#define FACTORML_COMMON_FLAGS_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace factorml {
+
+/// Minimal `--key=value` command-line parser for the benchmark and example
+/// binaries. Unknown flags are kept and can be listed; positional arguments
+/// are ignored. Not a general-purpose flags library.
+class ArgParser {
+ public:
+  ArgParser(int argc, char** argv);
+
+  bool Has(const std::string& key) const;
+
+  int64_t GetInt(const std::string& key, int64_t default_value) const;
+  double GetDouble(const std::string& key, double default_value) const;
+  bool GetBool(const std::string& key, bool default_value) const;
+  std::string GetString(const std::string& key,
+                        const std::string& default_value) const;
+
+  /// Comma-separated list of integers, e.g. `--rr=50,100,500`.
+  std::vector<int64_t> GetIntList(
+      const std::string& key, const std::vector<int64_t>& default_value) const;
+
+ private:
+  std::map<std::string, std::string> kv_;
+};
+
+}  // namespace factorml
+
+#endif  // FACTORML_COMMON_FLAGS_H_

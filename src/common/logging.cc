@@ -1,0 +1,45 @@
+#include "common/logging.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace factorml {
+namespace internal_logging {
+
+namespace {
+LogSeverity g_min_severity = LogSeverity::kInfo;
+
+const char* SeverityName(LogSeverity s) {
+  switch (s) {
+    case LogSeverity::kInfo:
+      return "INFO";
+    case LogSeverity::kWarning:
+      return "WARN";
+    case LogSeverity::kError:
+      return "ERROR";
+    case LogSeverity::kFatal:
+      return "FATAL";
+  }
+  return "?";
+}
+}  // namespace
+
+void SetMinLogSeverity(LogSeverity severity) { g_min_severity = severity; }
+LogSeverity MinLogSeverity() { return g_min_severity; }
+
+LogMessage::LogMessage(LogSeverity severity, const char* file, int line)
+    : severity_(severity), file_(file), line_(line) {}
+
+LogMessage::~LogMessage() {
+  if (severity_ >= g_min_severity || severity_ == LogSeverity::kFatal) {
+    std::fprintf(stderr, "[%s %s:%d] %s\n", SeverityName(severity_), file_,
+                 line_, stream_.str().c_str());
+    std::fflush(stderr);
+  }
+  if (severity_ == LogSeverity::kFatal) {
+    std::abort();
+  }
+}
+
+}  // namespace internal_logging
+}  // namespace factorml

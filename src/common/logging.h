@@ -1,0 +1,74 @@
+#ifndef FACTORML_COMMON_LOGGING_H_
+#define FACTORML_COMMON_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace factorml {
+namespace internal_logging {
+
+enum class LogSeverity { kInfo = 0, kWarning = 1, kError = 2, kFatal = 3 };
+
+/// Stream-style log sink; emits on destruction. FATAL severity aborts the
+/// process after emitting, so CHECK failures cannot be ignored.
+class LogMessage {
+ public:
+  LogMessage(LogSeverity severity, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  template <typename T>
+  LogMessage& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogSeverity severity_;
+  const char* file_;
+  int line_;
+  std::ostringstream stream_;
+};
+
+/// Minimum severity that is actually printed (default: kInfo).
+void SetMinLogSeverity(LogSeverity severity);
+LogSeverity MinLogSeverity();
+
+}  // namespace internal_logging
+}  // namespace factorml
+
+#define FML_LOG_INTERNAL(severity)                                    \
+  ::factorml::internal_logging::LogMessage(                           \
+      ::factorml::internal_logging::LogSeverity::severity, __FILE__,  \
+      __LINE__)
+
+#define FML_LOG(severity) FML_LOG_INTERNAL(k##severity)
+
+/// CHECK aborts with a message when the condition is false. Used for
+/// programming errors (contract violations), never for data-dependent
+/// failures — those return Status.
+#define FML_CHECK(cond)                                  \
+  if (!(cond))                                           \
+  FML_LOG(Fatal) << "Check failed: " #cond " "
+
+#define FML_CHECK_OP(op, a, b)                                         \
+  if (!((a)op(b)))                                                     \
+  FML_LOG(Fatal) << "Check failed: " #a " " #op " " #b " (" << (a)     \
+                 << " vs " << (b) << ") "
+
+#define FML_CHECK_EQ(a, b) FML_CHECK_OP(==, a, b)
+#define FML_CHECK_NE(a, b) FML_CHECK_OP(!=, a, b)
+#define FML_CHECK_LT(a, b) FML_CHECK_OP(<, a, b)
+#define FML_CHECK_LE(a, b) FML_CHECK_OP(<=, a, b)
+#define FML_CHECK_GT(a, b) FML_CHECK_OP(>, a, b)
+#define FML_CHECK_GE(a, b) FML_CHECK_OP(>=, a, b)
+
+#ifdef NDEBUG
+#define FML_DCHECK(cond) FML_CHECK(true || (cond))
+#else
+#define FML_DCHECK(cond) FML_CHECK(cond)
+#endif
+
+#endif  // FACTORML_COMMON_LOGGING_H_

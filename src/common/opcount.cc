@@ -1,0 +1,21 @@
+#include "common/opcount.h"
+
+#include <sstream>
+
+namespace factorml {
+
+namespace {
+OpCounters g_ops;
+}  // namespace
+
+OpCounters& GlobalOps() { return g_ops; }
+void ResetGlobalOps() { g_ops = OpCounters{}; }
+
+std::string OpCounters::ToString() const {
+  std::ostringstream os;
+  os << "mults=" << mults << " adds=" << adds << " subs=" << subs
+     << " exps=" << exps;
+  return os.str();
+}
+
+}  // namespace factorml

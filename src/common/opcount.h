@@ -1,0 +1,40 @@
+#ifndef FACTORML_COMMON_OPCOUNT_H_
+#define FACTORML_COMMON_OPCOUNT_H_
+
+#include <cstdint>
+#include <string>
+
+namespace factorml {
+
+/// Coarse-grained floating-point operation counters. Kernels in `la/` and
+/// the trainers add per-call totals (e.g. a d×d gemv adds d*d mults), so
+/// the overhead is negligible while the counts validate the paper's
+/// analytical cost model (Sec. V-B, VI-A2).
+struct OpCounters {
+  uint64_t mults = 0;
+  uint64_t adds = 0;
+  uint64_t subs = 0;
+  uint64_t exps = 0;  // transcendental calls (exp/log/tanh)
+
+  uint64_t Total() const { return mults + adds + subs + exps; }
+
+  OpCounters operator-(const OpCounters& o) const {
+    return {mults - o.mults, adds - o.adds, subs - o.subs, exps - o.exps};
+  }
+
+  std::string ToString() const;
+};
+
+/// Global (single-threaded) op accounting. Trainers snapshot before/after a
+/// run; `delta = after - before`.
+OpCounters& GlobalOps();
+void ResetGlobalOps();
+
+inline void CountMults(uint64_t n) { GlobalOps().mults += n; }
+inline void CountAdds(uint64_t n) { GlobalOps().adds += n; }
+inline void CountSubs(uint64_t n) { GlobalOps().subs += n; }
+inline void CountExps(uint64_t n) { GlobalOps().exps += n; }
+
+}  // namespace factorml
+
+#endif  // FACTORML_COMMON_OPCOUNT_H_

@@ -1,0 +1,54 @@
+#ifndef FACTORML_COMMON_RNG_H_
+#define FACTORML_COMMON_RNG_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace factorml {
+
+/// Deterministic, seedable pseudo-random generator (xoshiro256** with a
+/// splitmix64-seeded state). All data generation and model initialization
+/// in the library goes through this class so experiments are reproducible.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed);
+
+  /// Uniform 64-bit value.
+  uint64_t NextU64();
+
+  /// Uniform in [0, n).
+  uint64_t NextBelow(uint64_t n);
+
+  /// Uniform double in [0, 1).
+  double NextDouble();
+
+  /// Uniform double in [lo, hi).
+  double NextUniform(double lo, double hi);
+
+  /// Standard normal via Box-Muller (one value cached).
+  double NextGaussian();
+
+  /// Normal with the given mean / standard deviation.
+  double NextGaussian(double mean, double stddev);
+
+  /// In-place Fisher-Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>* v) {
+    if (v->empty()) return;
+    for (size_t i = v->size() - 1; i > 0; --i) {
+      size_t j = static_cast<size_t>(NextBelow(i + 1));
+      std::swap((*v)[i], (*v)[j]);
+    }
+  }
+
+ private:
+  uint64_t s_[4];
+  bool has_cached_gaussian_ = false;
+  double cached_gaussian_ = 0.0;
+};
+
+}  // namespace factorml
+
+#endif  // FACTORML_COMMON_RNG_H_

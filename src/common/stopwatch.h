@@ -1,0 +1,29 @@
+#ifndef FACTORML_COMMON_STOPWATCH_H_
+#define FACTORML_COMMON_STOPWATCH_H_
+
+#include <chrono>
+
+namespace factorml {
+
+/// Wall-clock stopwatch used by the benchmark harness and TrainReport.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  void Restart() { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction or the last Restart().
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace factorml
+
+#endif  // FACTORML_COMMON_STOPWATCH_H_

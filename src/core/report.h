@@ -1,0 +1,72 @@
+#ifndef FACTORML_CORE_REPORT_H_
+#define FACTORML_CORE_REPORT_H_
+
+#include <sstream>
+#include <string>
+#include <utility>
+
+#include "common/opcount.h"
+#include "common/stopwatch.h"
+#include "storage/io_stats.h"
+
+namespace factorml::core {
+
+/// Measured cost of one training run: wall time, physical page I/O and
+/// floating-point operation counts. Every trainer fills one of these; the
+/// benchmark harness prints them side by side for M/S/F, which is exactly
+/// the comparison in the paper's figures and tables.
+struct TrainReport {
+  std::string algorithm;
+  double wall_seconds = 0.0;
+  double materialize_seconds = 0.0;  // M-* only: join + write of T
+  int iterations = 0;                // EM iterations or NN epochs run
+  double final_objective = 0.0;      // log-likelihood (GMM) or MSE (NN)
+  storage::IoStats io;               // delta over the run
+  OpCounters ops;                    // delta over the run
+
+  std::string ToString() const {
+    std::ostringstream os;
+    os << algorithm << ": " << wall_seconds << "s";
+    if (materialize_seconds > 0.0) {
+      os << " (materialize " << materialize_seconds << "s)";
+    }
+    os << " iters=" << iterations << " objective=" << final_objective
+       << " | " << io.ToString() << " | " << ops.ToString();
+    return os.str();
+  }
+};
+
+/// RAII measurement of a training run: snapshots wall clock, I/O and op
+/// counters at construction; Finish() stores the deltas in the report.
+/// A null report disables measurement (the trainer still runs).
+class ReportScope {
+ public:
+  ReportScope(TrainReport* report, std::string algorithm)
+      : report_(report),
+        io_before_(storage::GlobalIo()),
+        ops_before_(GlobalOps()) {
+    if (report_ != nullptr) {
+      *report_ = TrainReport{};
+      report_->algorithm = std::move(algorithm);
+    }
+  }
+
+  void Finish(int iterations, double objective) {
+    if (report_ == nullptr) return;
+    report_->wall_seconds = watch_.ElapsedSeconds();
+    report_->iterations = iterations;
+    report_->final_objective = objective;
+    report_->io = storage::GlobalIo() - io_before_;
+    report_->ops = GlobalOps() - ops_before_;
+  }
+
+ private:
+  TrainReport* report_;
+  Stopwatch watch_;
+  storage::IoStats io_before_;
+  OpCounters ops_before_;
+};
+
+}  // namespace factorml::core
+
+#endif  // FACTORML_CORE_REPORT_H_

@@ -1,0 +1,124 @@
+#include "core/statistics.h"
+
+#include <cmath>
+
+#include "common/opcount.h"
+#include "join/assemble.h"
+#include "join/attribute_view.h"
+#include "join/join_cursor.h"
+#include "storage/table.h"
+
+namespace factorml::core {
+
+namespace {
+
+FeatureStats FinishMoments(const std::vector<double>& sum,
+                           const std::vector<double>& sum_sq, double n) {
+  FeatureStats stats;
+  const size_t d = sum.size();
+  stats.mean.resize(d);
+  stats.stddev.resize(d);
+  for (size_t j = 0; j < d; ++j) {
+    stats.mean[j] = sum[j] / n;
+    const double var = sum_sq[j] / n - stats.mean[j] * stats.mean[j];
+    stats.stddev[j] = std::sqrt(var > 0.0 ? var : 0.0);
+  }
+  CountMults(3 * d);
+  CountSubs(d);
+  return stats;
+}
+
+}  // namespace
+
+Result<FeatureStats> ComputeJoinedFeatureStats(
+    const join::NormalizedRelations& rel, storage::BufferPool* pool) {
+  FML_RETURN_IF_ERROR(rel.Validate());
+  const size_t q = rel.num_joins();
+  const size_t ds = rel.ds();
+  const size_t d = rel.total_dims();
+  const size_t y_off = rel.has_target ? 1 : 0;
+  const double n = static_cast<double>(rel.s.num_rows());
+
+  std::vector<double> sum(d, 0.0);
+  std::vector<double> sum_sq(d, 0.0);
+
+  // Pass 1: one scan of S accumulates the S-column moments and the per-rid
+  // match counts of every attribute table.
+  std::vector<std::vector<double>> counts(q);
+  for (size_t i = 0; i < q; ++i) {
+    counts[i].assign(static_cast<size_t>(rel.attrs[i].num_rows()), 0.0);
+  }
+  storage::TableScanner scanner(&rel.s, pool, 4096);
+  storage::RowBatch batch;
+  while (scanner.Next(&batch)) {
+    for (size_t r = 0; r < batch.num_rows; ++r) {
+      const double* xs = batch.feats.Row(r).data() + y_off;
+      for (size_t j = 0; j < ds; ++j) {
+        sum[j] += xs[j];
+        sum_sq[j] += xs[j] * xs[j];
+      }
+      CountMults(ds);
+      CountAdds(2 * ds);
+      const int64_t* keys = batch.KeysOf(r);
+      for (size_t i = 0; i < q; ++i) {
+        counts[i][static_cast<size_t>(keys[rel.FkKeyIndex(i)])] += 1.0;
+      }
+      CountAdds(q);
+    }
+  }
+  FML_RETURN_IF_ERROR(scanner.status());
+
+  // Pass 2: one scan of each attribute table; each tuple contributes its
+  // features weighted by its match count — the factorized aggregate.
+  for (size_t i = 0; i < q; ++i) {
+    join::AttributeTableView view;
+    FML_RETURN_IF_ERROR(view.Load(rel.attrs[i], pool));
+    const size_t off = rel.FeatureOffset(i + 1);
+    const size_t dri = rel.dr(i);
+    for (int64_t rid = 0; rid < view.num_rows(); ++rid) {
+      const double c = counts[i][static_cast<size_t>(rid)];
+      if (c == 0.0) continue;
+      const auto xr = view.FeaturesOf(rid);
+      for (size_t j = 0; j < dri; ++j) {
+        sum[off + j] += c * xr[j];
+        sum_sq[off + j] += c * xr[j] * xr[j];
+      }
+      CountMults(3 * dri);
+      CountAdds(2 * dri);
+    }
+  }
+  return FinishMoments(sum, sum_sq, n);
+}
+
+Result<FeatureStats> ComputeJoinedFeatureStatsDirect(
+    const join::NormalizedRelations& rel, storage::BufferPool* pool) {
+  FML_RETURN_IF_ERROR(rel.Validate());
+  FML_CHECK_GT(rel.fk1_index.num_rids(), 0) << "BuildIndex() not called";
+  const size_t d = rel.total_dims();
+  const double n = static_cast<double>(rel.s.num_rows());
+
+  std::vector<join::AttributeTableView> views(rel.num_joins());
+  for (size_t i = 0; i < rel.num_joins(); ++i) {
+    FML_RETURN_IF_ERROR(views[i].Load(rel.attrs[i], pool));
+  }
+  std::vector<double> sum(d, 0.0);
+  std::vector<double> sum_sq(d, 0.0);
+  std::vector<double> x(d);
+  join::JoinCursor cursor(&rel, pool, 4096);
+  join::JoinBatch batch;
+  while (cursor.Next(&batch)) {
+    for (size_t r = 0; r < batch.s_rows.num_rows; ++r) {
+      join::AssembleJoinedRow(rel, batch.s_rows, r, views, x.data());
+      for (size_t j = 0; j < d; ++j) {
+        sum[j] += x[j];
+        sum_sq[j] += x[j] * x[j];
+      }
+      CountMults(d);
+      CountAdds(2 * d);
+    }
+  }
+  FML_RETURN_IF_ERROR(cursor.status());
+  return FinishMoments(sum, sum_sq, n);
+}
+
+}  // namespace factorml::core

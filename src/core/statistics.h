@@ -1,0 +1,44 @@
+#ifndef FACTORML_CORE_STATISTICS_H_
+#define FACTORML_CORE_STATISTICS_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "join/normalized_relations.h"
+#include "storage/buffer_pool.h"
+
+namespace factorml::core {
+
+/// Per-column mean and standard deviation of the joined feature vector
+/// [XS | XR1 | ... | XRq] (length d). This is what input standardization
+/// ("batch normalization applied before data enters the network", which
+/// the paper notes is compatible with its factorization, Sec. VI-A) needs.
+struct FeatureStats {
+  std::vector<double> mean;
+  std::vector<double> stddev;
+
+  size_t dims() const { return mean.size(); }
+};
+
+/// Computes the joined-table feature statistics *without performing the
+/// join*: S-column moments come from one scan of S; for attribute columns
+/// the moments over the join result are exactly the attribute-table
+/// moments weighted by each tuple's foreign-key match count —
+///   E[x_j] = (1/N) sum_rid count(rid) * x_rid_j,
+/// a factorized aggregate in the spirit of the paper's decompositions.
+/// One scan of S (for the per-rid counts of the non-clustered tables) and
+/// one scan of each attribute table suffice: nS + sum nRi rows touched
+/// instead of nS * (1 + q).
+Result<FeatureStats> ComputeJoinedFeatureStats(
+    const join::NormalizedRelations& rel, storage::BufferPool* pool);
+
+/// Reference implementation that assembles every joined tuple (the way a
+/// conventional pipeline would, over the S-algorithm's streamed join) and
+/// accumulates moments directly. Used by tests to validate the factorized
+/// version and by the ablation bench to quantify its savings.
+Result<FeatureStats> ComputeJoinedFeatureStatsDirect(
+    const join::NormalizedRelations& rel, storage::BufferPool* pool);
+
+}  // namespace factorml::core
+
+#endif  // FACTORML_CORE_STATISTICS_H_

@@ -1,0 +1,47 @@
+#include "core/trainer.h"
+
+namespace factorml::core {
+
+const char* AlgorithmName(Algorithm a) {
+  switch (a) {
+    case Algorithm::kMaterialized:
+      return "materialized";
+    case Algorithm::kStreaming:
+      return "streaming";
+    case Algorithm::kFactorized:
+      return "factorized";
+  }
+  return "?";
+}
+
+Result<gmm::GmmParams> TrainGmm(const join::NormalizedRelations& rel,
+                                const gmm::GmmOptions& options,
+                                Algorithm algorithm,
+                                storage::BufferPool* pool,
+                                TrainReport* report) {
+  switch (algorithm) {
+    case Algorithm::kMaterialized:
+      return gmm::TrainGmmMaterialized(rel, options, pool, report);
+    case Algorithm::kStreaming:
+      return gmm::TrainGmmStreaming(rel, options, pool, report);
+    case Algorithm::kFactorized:
+      return gmm::TrainGmmFactorized(rel, options, pool, report);
+  }
+  return Status::InvalidArgument("unknown algorithm");
+}
+
+Result<nn::Mlp> TrainNn(const join::NormalizedRelations& rel,
+                        const nn::NnOptions& options, Algorithm algorithm,
+                        storage::BufferPool* pool, TrainReport* report) {
+  switch (algorithm) {
+    case Algorithm::kMaterialized:
+      return nn::TrainNnMaterialized(rel, options, pool, report);
+    case Algorithm::kStreaming:
+      return nn::TrainNnStreaming(rel, options, pool, report);
+    case Algorithm::kFactorized:
+      return nn::TrainNnFactorized(rel, options, pool, report);
+  }
+  return Status::InvalidArgument("unknown algorithm");
+}
+
+}  // namespace factorml::core

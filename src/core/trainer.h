@@ -1,0 +1,42 @@
+#ifndef FACTORML_CORE_TRAINER_H_
+#define FACTORML_CORE_TRAINER_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "core/report.h"
+#include "gmm/trainers.h"
+#include "join/normalized_relations.h"
+#include "nn/trainers.h"
+#include "storage/buffer_pool.h"
+
+namespace factorml::core {
+
+/// The three execution strategies the paper compares for each model family
+/// (M-*, S-*, F-*).
+enum class Algorithm {
+  kMaterialized,  // join -> write T -> train over T
+  kStreaming,     // recompute the join on the fly every pass
+  kFactorized,    // push the training computation through the join
+};
+
+const char* AlgorithmName(Algorithm a);
+
+/// Trains a GMM over the normalized relations with the chosen strategy.
+/// All strategies return the same parameters (up to floating-point
+/// reordering); they differ in cost, which is captured in `report`.
+Result<gmm::GmmParams> TrainGmm(const join::NormalizedRelations& rel,
+                                const gmm::GmmOptions& options,
+                                Algorithm algorithm,
+                                storage::BufferPool* pool,
+                                TrainReport* report);
+
+/// Trains a neural network over the normalized relations with the chosen
+/// strategy; the relations must carry a target column.
+Result<nn::Mlp> TrainNn(const join::NormalizedRelations& rel,
+                        const nn::NnOptions& options, Algorithm algorithm,
+                        storage::BufferPool* pool, TrainReport* report);
+
+}  // namespace factorml::core
+
+#endif  // FACTORML_CORE_TRAINER_H_

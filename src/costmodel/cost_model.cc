@@ -1,0 +1,102 @@
+#include "costmodel/cost_model.h"
+
+#include "common/logging.h"
+
+namespace factorml::costmodel {
+
+namespace {
+uint64_t CeilDiv(uint64_t a, uint64_t b) {
+  FML_CHECK_GT(b, 0u);
+  return (a + b - 1) / b;
+}
+}  // namespace
+
+uint64_t MGmmIoPages(uint64_t r_pages, uint64_t s_pages, uint64_t t_pages,
+                     uint64_t block_pages, int iters) {
+  const uint64_t join_cost = r_pages + CeilDiv(r_pages, block_pages) * s_pages;
+  return join_cost + t_pages +
+         3ULL * static_cast<uint64_t>(iters) * t_pages;
+}
+
+uint64_t SGmmIoPages(uint64_t r_pages, uint64_t s_pages, uint64_t block_pages,
+                     int iters) {
+  const uint64_t join_cost = r_pages + CeilDiv(r_pages, block_pages) * s_pages;
+  return 3ULL * static_cast<uint64_t>(iters) * join_cost;
+}
+
+double SGmmCrossoverBlockPages(uint64_t r_pages, uint64_t s_pages,
+                               uint64_t t_pages, int iters) {
+  const double it = static_cast<double>(iters);
+  const double num = (3.0 * it - 1.0) * static_cast<double>(r_pages) *
+                     static_cast<double>(s_pages);
+  const double den = (3.0 * it + 1.0) * static_cast<double>(t_pages) -
+                     (3.0 * it - 1.0) * static_cast<double>(r_pages);
+  if (den <= 0.0) return -1.0;
+  return num / den;
+}
+
+uint64_t GmmSigmaOpsUnfactorized(int64_t n_s, int64_t d_s, int64_t d_r) {
+  const uint64_t d = static_cast<uint64_t>(d_s + d_r);
+  const uint64_t n = static_cast<uint64_t>(n_s);
+  return n * d /*subs*/ + n * d * d /*mults*/;
+}
+
+uint64_t GmmSigmaOpsFactorized(int64_t n_s, int64_t n_r, int64_t d_s,
+                               int64_t d_r) {
+  const uint64_t ns = static_cast<uint64_t>(n_s);
+  const uint64_t nr = static_cast<uint64_t>(n_r);
+  const uint64_t ds = static_cast<uint64_t>(d_s);
+  const uint64_t dr = static_cast<uint64_t>(d_r);
+  const uint64_t subs = ns * ds + nr * dr;
+  const uint64_t mults = ns * (ds * ds + 2 * ds * dr) + nr * dr * dr;
+  return subs + mults;
+}
+
+double GmmSigmaSavingRate(int64_t n_s, int64_t n_r, int64_t d_s, int64_t d_r,
+                          double tau_s, double tau_m) {
+  FML_CHECK_GT(n_r, 0);
+  FML_CHECK_GT(d_r, 0);
+  const double ratio = static_cast<double>(n_s) / static_cast<double>(n_r);
+  const double d = static_cast<double>(d_s + d_r);
+  const double num =
+      (ratio - 1.0) * (tau_s + static_cast<double>(d_r) * tau_m);
+  const double den = ratio *
+                     (static_cast<double>(d_s) / static_cast<double>(d_r) +
+                      1.0) *
+                     (tau_s + d * tau_m);
+  return num / den;
+}
+
+uint64_t NnFirstLayerOpsUnfactorized(int64_t n_s, int64_t d, int64_t n_h) {
+  return static_cast<uint64_t>(n_s) * static_cast<uint64_t>(n_h) *
+         static_cast<uint64_t>(d);
+}
+
+uint64_t NnFirstLayerOpsFactorized(int64_t n_s, int64_t n_r, int64_t d_s,
+                                   int64_t d_r, int64_t n_h) {
+  return static_cast<uint64_t>(n_s) * static_cast<uint64_t>(n_h) *
+             static_cast<uint64_t>(d_s) +
+         static_cast<uint64_t>(n_r) * static_cast<uint64_t>(n_h) *
+             static_cast<uint64_t>(d_r);
+}
+
+uint64_t NnSecondLayerOpsNoReuse(int64_t n_s, int64_t n_h, int64_t n_l) {
+  // nh multiplications + nh additions per unit per tuple.
+  return 2ULL * static_cast<uint64_t>(n_s) * static_cast<uint64_t>(n_h) *
+         static_cast<uint64_t>(n_l);
+}
+
+uint64_t NnSecondLayerOpsWithReuse(int64_t n_s, int64_t n_r, int64_t n_h,
+                                   int64_t n_l) {
+  // Per tuple: nh products + nh additions (summing w2*f(T1)) plus the T3
+  // addition; per R tuple: nh products + nh additions per unit for T3.
+  const uint64_t per_tuple =
+      (2ULL * static_cast<uint64_t>(n_h) + 1ULL) *
+      static_cast<uint64_t>(n_l) * static_cast<uint64_t>(n_s);
+  const uint64_t per_r = 2ULL * static_cast<uint64_t>(n_h) *
+                         static_cast<uint64_t>(n_l) *
+                         static_cast<uint64_t>(n_r);
+  return per_tuple + per_r;
+}
+
+}  // namespace factorml::costmodel

@@ -1,0 +1,79 @@
+#ifndef FACTORML_COSTMODEL_COST_MODEL_H_
+#define FACTORML_COSTMODEL_COST_MODEL_H_
+
+#include <cstdint>
+
+namespace factorml::costmodel {
+
+/// Analytical cost formulas from the paper, kept in one place so the tests
+/// can validate them against the instrumented counters and the ablation
+/// benches can plot them. Page counts |S|, |R|, |T| follow Sec. V-A;
+/// operation counts follow Sec. V-B and VI-A2.
+
+// ---------------------------------------------------------------------
+// I/O model, Sec. V-A (block nested loops join, `block_pages` buffer).
+
+/// Pages transferred by M-GMM: compute the BNL join (|R| reads plus one
+/// scan of S per R block), write T, then read T three times per iteration.
+uint64_t MGmmIoPages(uint64_t r_pages, uint64_t s_pages, uint64_t t_pages,
+                     uint64_t block_pages, int iters);
+
+/// Pages transferred by S-GMM (and F-GMM, which has identical I/O): the
+/// BNL join is re-executed three times per iteration, nothing is written.
+uint64_t SGmmIoPages(uint64_t r_pages, uint64_t s_pages, uint64_t block_pages,
+                     int iters);
+
+/// The BlockSize threshold above which S-GMM incurs less I/O than M-GMM:
+///   BlockSize > (3*iter-1)|R||S| / ((3*iter+1)|T| - (3*iter-1)|R|).
+/// Returns a negative value when the denominator is non-positive (S-GMM
+/// never wins for this shape).
+double SGmmCrossoverBlockPages(uint64_t r_pages, uint64_t s_pages,
+                               uint64_t t_pages, int iters);
+
+// ---------------------------------------------------------------------
+// Computation model for the covariance update (Eq. 14 example, Sec. V-B).
+// Counts are per Gaussian component per EM pass; the paper's tau_s / tau_m
+// are the costs of one subtraction / multiplication.
+
+/// Unfactorized: every joined tuple costs d subtractions and d^2 products.
+uint64_t GmmSigmaOpsUnfactorized(int64_t n_s, int64_t d_s, int64_t d_r);
+
+/// Factorized with PD_R and LR reused per R tuple:
+/// nS*dS + nR*dR subtractions, nS*(dS^2 + 2*dS*dR) + nR*dR^2 products.
+uint64_t GmmSigmaOpsFactorized(int64_t n_s, int64_t n_r, int64_t d_s,
+                               int64_t d_r);
+
+/// The paper's saving rate Delta-tau / tau for the covariance update:
+///   ((nS/nR - 1)(tau_s + dR*tau_m)) /
+///   ((nS/nR)(dS/dR + 1)(tau_s + d*tau_m)).
+double GmmSigmaSavingRate(int64_t n_s, int64_t n_r, int64_t d_s, int64_t d_r,
+                          double tau_s = 1.0, double tau_m = 1.0);
+
+// ---------------------------------------------------------------------
+// NN first layer, Sec. VI-A1 (multiplications per forward pass).
+
+/// Unfactorized: every fact tuple pays nh * d products.
+uint64_t NnFirstLayerOpsUnfactorized(int64_t n_s, int64_t d, int64_t n_h);
+
+/// Factorized: nh * dS per fact tuple plus nh * dR once per R tuple.
+uint64_t NnFirstLayerOpsFactorized(int64_t n_s, int64_t n_r, int64_t d_s,
+                                   int64_t d_r, int64_t n_h);
+
+// ---------------------------------------------------------------------
+// NN second layer, Sec. VI-A2: operations to compute the pre-activations
+// of all nl second-layer units for all tuples.
+
+/// Without cross-layer reuse: nh multiplications and nh additions per unit
+/// per tuple.
+uint64_t NnSecondLayerOpsNoReuse(int64_t n_s, int64_t n_h, int64_t n_l);
+
+/// With the additive-activation reuse of Eq. 27: the per-tuple cost stays
+/// nh products (w2 * f(T1)) plus the T3 addition, and every R tuple
+/// additionally pays nh products and nh additions per unit to build T3 —
+/// i.e. strictly more total operations, the paper's negative result.
+uint64_t NnSecondLayerOpsWithReuse(int64_t n_s, int64_t n_r, int64_t n_h,
+                                   int64_t n_l);
+
+}  // namespace factorml::costmodel
+
+#endif  // FACTORML_COSTMODEL_COST_MODEL_H_

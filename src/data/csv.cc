@@ -1,0 +1,141 @@
+#include "data/csv.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+namespace factorml::data {
+
+namespace {
+
+/// Splits one CSV line on the delimiter. Quoting is not supported: the
+/// Hamlet exports and our own exports are plain numeric CSVs.
+void SplitLine(const std::string& line, char delim,
+               std::vector<std::string>* out) {
+  out->clear();
+  std::string field;
+  std::stringstream ss(line);
+  while (std::getline(ss, field, delim)) {
+    out->push_back(field);
+  }
+  // A trailing delimiter denotes one final empty field.
+  if (!line.empty() && line.back() == delim) out->push_back("");
+}
+
+bool ParseInt(const std::string& s, int64_t* v) {
+  if (s.empty()) return false;
+  char* end = nullptr;
+  *v = std::strtoll(s.c_str(), &end, 10);
+  return end != nullptr && *end == '\0';
+}
+
+bool ParseDouble(const std::string& s, double* v) {
+  if (s.empty()) return false;
+  char* end = nullptr;
+  *v = std::strtod(s.c_str(), &end);
+  return end != nullptr && *end == '\0';
+}
+
+}  // namespace
+
+Result<storage::Table> ImportCsv(const std::string& csv_path,
+                                 const std::string& table_path,
+                                 const CsvImportOptions& options) {
+  std::ifstream in(csv_path);
+  if (!in.is_open()) {
+    return Status::IoError("cannot open CSV: " + csv_path);
+  }
+  std::string line;
+  std::vector<std::string> fields;
+
+  if (options.has_header) {
+    if (!std::getline(in, line)) {
+      return Status::InvalidArgument("CSV has no header row: " + csv_path);
+    }
+  }
+  // Peek the first data row to derive the schema.
+  std::streampos data_start = in.tellg();
+  if (!std::getline(in, line)) {
+    return Status::InvalidArgument("CSV has no data rows: " + csv_path);
+  }
+  SplitLine(line, options.delimiter, &fields);
+  if (fields.size() <= options.num_keys) {
+    return Status::InvalidArgument(
+        "CSV has no feature columns after " +
+        std::to_string(options.num_keys) + " key columns: " + csv_path);
+  }
+  const size_t num_feats = fields.size() - options.num_keys;
+  in.seekg(data_start);
+
+  storage::Schema schema{options.num_keys, num_feats};
+  FML_ASSIGN_OR_RETURN(storage::Table table,
+                       storage::Table::Create(table_path, schema));
+
+  std::vector<int64_t> keys(options.num_keys);
+  std::vector<double> feats(num_feats);
+  size_t line_no = options.has_header ? 1 : 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    SplitLine(line, options.delimiter, &fields);
+    bool ok = fields.size() == options.num_keys + num_feats;
+    for (size_t j = 0; ok && j < options.num_keys; ++j) {
+      ok = ParseInt(fields[j], &keys[j]);
+    }
+    for (size_t j = 0; ok && j < num_feats; ++j) {
+      ok = ParseDouble(fields[options.num_keys + j], &feats[j]);
+    }
+    if (!ok) {
+      if (options.skip_bad_rows) continue;
+      return Status::InvalidArgument("bad CSV row at line " +
+                                     std::to_string(line_no) + " in " +
+                                     csv_path);
+    }
+    FML_RETURN_IF_ERROR(table.Append(keys.data(), feats.data()));
+  }
+  FML_RETURN_IF_ERROR(table.Finish());
+  return table;
+}
+
+Status ExportCsv(const storage::Table& table, storage::BufferPool* pool,
+                 const std::string& csv_path, char delimiter) {
+  std::ofstream out(csv_path);
+  if (!out.is_open()) {
+    return Status::IoError("cannot create CSV: " + csv_path);
+  }
+  // Header: k0..k{nk-1}, f0..f{nf-1}.
+  const auto& schema = table.schema();
+  for (size_t j = 0; j < schema.num_keys; ++j) {
+    out << (j > 0 ? std::string(1, delimiter) : "") << "k" << j;
+  }
+  for (size_t j = 0; j < schema.num_feats; ++j) {
+    out << delimiter << "f" << j;
+  }
+  out << "\n";
+
+  storage::TableScanner scanner(&table, pool, 4096);
+  storage::RowBatch batch;
+  char buf[64];
+  while (scanner.Next(&batch)) {
+    for (size_t r = 0; r < batch.num_rows; ++r) {
+      const int64_t* keys = batch.KeysOf(r);
+      for (size_t j = 0; j < schema.num_keys; ++j) {
+        if (j > 0) out << delimiter;
+        out << keys[j];
+      }
+      for (size_t j = 0; j < schema.num_feats; ++j) {
+        std::snprintf(buf, sizeof(buf), "%.17g", batch.feats(r, j));
+        out << delimiter << buf;
+      }
+      out << "\n";
+    }
+  }
+  FML_RETURN_IF_ERROR(scanner.status());
+  if (!out.good()) {
+    return Status::IoError("write failed: " + csv_path);
+  }
+  return Status::OK();
+}
+
+}  // namespace factorml::data

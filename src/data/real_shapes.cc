@@ -1,0 +1,60 @@
+#include "data/real_shapes.h"
+
+#include <algorithm>
+
+namespace factorml::data {
+
+const std::vector<RealShape>& AllRealShapes() {
+  // Cardinalities and dimensions exactly as published in Tables IV and V of
+  // the paper. The sparse variants are the one-hot encodings used for NN.
+  static const std::vector<RealShape>* kShapes = new std::vector<RealShape>{
+      {"Expedia1", 942142, 7, 11938, 8, false, false, 0, 0},
+      {"Expedia2", 942142, 7, 37021, 14, false, false, 0, 0},
+      {"Walmart", 421570, 3, 2340, 9, false, false, 0, 0},
+      {"Movies", 1000209, 1, 3706, 21, false, false, 0, 0},
+      {"Walmart-Sparse", 421570, 126, 2340, 175, true, false, 0, 0},
+      {"Movies-Sparse", 1000209, 1, 3706, 21, true, false, 0, 0},
+      {"Expedia3", 634133, 7, 2899, 29, false, false, 0, 0},
+      {"Expedia4", 634133, 7, 2899, 78, false, false, 0, 0},
+      {"Expedia5", 634133, 7, 2899, 218, false, false, 0, 0},
+      // Movies-3way: S_ratings joins R1_users and R2_movies (Sec. VII-A).
+      {"Movies-3way", 1000209, 1, 6040, 4, false, true, 3706, 21},
+  };
+  return *kShapes;
+}
+
+Result<RealShape> FindRealShape(const std::string& name) {
+  for (const auto& s : AllRealShapes()) {
+    if (s.name == name) return s;
+  }
+  return Status::NotFound("unknown real-dataset shape: " + name);
+}
+
+Result<join::NormalizedRelations> GenerateRealShape(
+    const RealShape& shape, const std::string& dir,
+    storage::BufferPool* pool, double scale, uint64_t seed,
+    bool with_target) {
+  if (scale <= 0.0 || scale > 1.0) {
+    return Status::InvalidArgument("scale must be in (0, 1]");
+  }
+  auto scaled = [scale](int64_t n) {
+    return std::max<int64_t>(1, static_cast<int64_t>(n * scale));
+  };
+  SyntheticSpec spec;
+  spec.dir = dir;
+  spec.name = shape.name;
+  // Keep the file prefix filesystem-friendly.
+  std::replace(spec.name.begin(), spec.name.end(), '/', '_');
+  spec.s_rows = scaled(shape.n_s);
+  spec.s_feats = shape.d_s;
+  spec.attrs.push_back(AttributeSpec{scaled(shape.n_r), shape.d_r});
+  if (shape.three_way) {
+    spec.attrs.push_back(AttributeSpec{scaled(shape.n_r2), shape.d_r2});
+  }
+  spec.with_target = with_target;
+  spec.one_hot = shape.sparse;
+  spec.seed = seed;
+  return GenerateSynthetic(spec, pool);
+}
+
+}  // namespace factorml::data

@@ -1,0 +1,51 @@
+#ifndef FACTORML_DATA_REAL_SHAPES_H_
+#define FACTORML_DATA_REAL_SHAPES_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "data/synthetic.h"
+#include "join/normalized_relations.h"
+#include "storage/buffer_pool.h"
+
+namespace factorml::data {
+
+/// Published shape of one Hamlet-Plus dataset (paper Tables IV and V).
+/// We do not have the raw Hamlet data offline, so we regenerate datasets
+/// with identical cardinalities, feature splits and sparsity; the
+/// M/S/F-algorithm runtimes depend only on these shape parameters (see
+/// DESIGN.md substitution table).
+struct RealShape {
+  std::string name;
+  int64_t n_s = 0;   // nS
+  size_t d_s = 0;    // dS
+  int64_t n_r = 0;   // nR  (second attribute table for the 3-way variants)
+  size_t d_r = 0;    // dR
+  bool sparse = false;
+  bool three_way = false;
+  int64_t n_r2 = 0;
+  size_t d_r2 = 0;
+};
+
+/// All dataset shapes from Tables IV (real) and V (augmented), plus the
+/// Movies-3way configuration of Tables VI/VII.
+const std::vector<RealShape>& AllRealShapes();
+
+/// Looks up a shape by dataset name ("Expedia1", "Walmart-Sparse",
+/// "Movies-3way", ...).
+Result<RealShape> FindRealShape(const std::string& name);
+
+/// Materializes a dataset with this shape under `dir`. `scale` in (0, 1]
+/// shrinks nS and nR proportionally (feature counts are never scaled) so
+/// that the full Table VI/VII sweep fits a laptop-scale budget; scale=1
+/// reproduces the published cardinalities.
+Result<join::NormalizedRelations> GenerateRealShape(
+    const RealShape& shape, const std::string& dir,
+    storage::BufferPool* pool, double scale = 1.0, uint64_t seed = 42,
+    bool with_target = false);
+
+}  // namespace factorml::data
+
+#endif  // FACTORML_DATA_REAL_SHAPES_H_

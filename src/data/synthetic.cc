@@ -1,0 +1,191 @@
+#include "data/synthetic.h"
+
+#include <cmath>
+#include <vector>
+
+#include "common/rng.h"
+#include "la/matrix.h"
+
+namespace factorml::data {
+
+namespace {
+
+using join::NormalizedRelations;
+using la::Matrix;
+using storage::Schema;
+using storage::Table;
+
+/// Mixture-of-Gaussians feature sampler for one relation: `clusters`
+/// centers in [-5, 5]^dims with unit within-cluster spread.
+class FeatureSampler {
+ public:
+  FeatureSampler(int clusters, size_t dims, double noise, Rng* rng)
+      : dims_(dims), noise_(noise), rng_(rng), centers_(clusters, dims) {
+    for (int c = 0; c < clusters; ++c) {
+      for (size_t j = 0; j < dims; ++j) {
+        centers_(c, j) = rng->NextUniform(-5.0, 5.0);
+      }
+    }
+  }
+
+  void Sample(double* out) {
+    const size_t c = static_cast<size_t>(rng_->NextBelow(centers_.rows()));
+    for (size_t j = 0; j < dims_; ++j) {
+      out[j] = centers_(c, j) + rng_->NextGaussian() +
+               noise_ * rng_->NextGaussian();
+    }
+  }
+
+ private:
+  size_t dims_;
+  double noise_;
+  Rng* rng_;
+  Matrix centers_;
+};
+
+/// One-hot sampler: dims are split into categorical blocks of up to 8
+/// columns; each row activates exactly one column per block (the paper's
+/// "Sparse" one-hot representation).
+class OneHotSampler {
+ public:
+  OneHotSampler(size_t dims, Rng* rng) : dims_(dims), rng_(rng) {
+    size_t off = 0;
+    while (off < dims) {
+      const size_t width = std::min<size_t>(8, dims - off);
+      blocks_.push_back({off, width});
+      off += width;
+    }
+  }
+
+  void Sample(double* out) {
+    for (size_t j = 0; j < dims_; ++j) out[j] = 0.0;
+    for (const auto& b : blocks_) {
+      out[b.first + rng_->NextBelow(b.second)] = 1.0;
+    }
+  }
+
+ private:
+  size_t dims_;
+  Rng* rng_;
+  std::vector<std::pair<size_t, size_t>> blocks_;
+};
+
+}  // namespace
+
+Result<NormalizedRelations> GenerateSynthetic(const SyntheticSpec& spec,
+                                              storage::BufferPool* pool) {
+  if (spec.attrs.empty() || spec.s_rows <= 0 || spec.s_feats == 0) {
+    return Status::InvalidArgument("incomplete synthetic spec");
+  }
+  for (const auto& a : spec.attrs) {
+    if (a.rows <= 0 || a.feats == 0) {
+      return Status::InvalidArgument("empty attribute table in spec");
+    }
+  }
+  Rng rng(spec.seed);
+
+  // --- Attribute tables; kept resident so S's target can depend on them.
+  const size_t q = spec.attrs.size();
+  std::vector<Table> attr_tables;
+  std::vector<Matrix> attr_feats;
+  attr_tables.reserve(q);
+  for (size_t i = 0; i < q; ++i) {
+    const auto& aspec = spec.attrs[i];
+    const std::string path =
+        spec.dir + "/" + spec.name + "_r" + std::to_string(i + 1) + ".fml";
+    FML_ASSIGN_OR_RETURN(Table t, Table::Create(path, Schema{1, aspec.feats}));
+    Matrix feats(static_cast<size_t>(aspec.rows), aspec.feats);
+    FeatureSampler dense(spec.clusters, aspec.feats, spec.noise, &rng);
+    OneHotSampler sparse(aspec.feats, &rng);
+    for (int64_t rid = 0; rid < aspec.rows; ++rid) {
+      double* row = feats.Row(static_cast<size_t>(rid)).data();
+      if (spec.one_hot) {
+        sparse.Sample(row);
+      } else {
+        dense.Sample(row);
+      }
+      FML_RETURN_IF_ERROR(t.Append(&rid, row));
+    }
+    FML_RETURN_IF_ERROR(t.Finish());
+    attr_tables.push_back(std::move(t));
+    attr_feats.push_back(std::move(feats));
+  }
+
+  // --- Per-FK1-rid fact-tuple counts: floor/ceil of nS/nR1, with the
+  // remainder assigned to a random subset so the ratio is exact.
+  const int64_t n_r1 = spec.attrs[0].rows;
+  const int64_t base = spec.s_rows / n_r1;
+  const int64_t remainder = spec.s_rows % n_r1;
+  std::vector<int64_t> counts(static_cast<size_t>(n_r1), base);
+  {
+    std::vector<int64_t> rids(static_cast<size_t>(n_r1));
+    for (int64_t i = 0; i < n_r1; ++i) rids[static_cast<size_t>(i)] = i;
+    rng.Shuffle(&rids);
+    for (int64_t i = 0; i < remainder; ++i) {
+      counts[static_cast<size_t>(rids[static_cast<size_t>(i)])]++;
+    }
+  }
+
+  // --- Fact table S(SID, [Y,] XS, FK1..FKq), clustered by FK1.
+  const size_t s_feat_cols = spec.s_feats + (spec.with_target ? 1 : 0);
+  const std::string s_path = spec.dir + "/" + spec.name + "_s.fml";
+  FML_ASSIGN_OR_RETURN(Table s,
+                       Table::Create(s_path, Schema{1 + q, s_feat_cols}));
+
+  FeatureSampler s_dense(spec.clusters, spec.s_feats, spec.noise, &rng);
+  OneHotSampler s_sparse(spec.s_feats, &rng);
+
+  // Random projection weights for the nonlinear target
+  //   y = sin(wS . xS) + sum_i tanh(wRi . xRi) + noise.
+  std::vector<double> w_s(spec.s_feats);
+  for (auto& w : w_s) w = rng.NextGaussian() / std::sqrt(double(spec.s_feats));
+  std::vector<std::vector<double>> w_r(q);
+  for (size_t i = 0; i < q; ++i) {
+    w_r[i].resize(spec.attrs[i].feats);
+    for (auto& w : w_r[i]) {
+      w = rng.NextGaussian() / std::sqrt(double(spec.attrs[i].feats));
+    }
+  }
+
+  std::vector<int64_t> keys(1 + q);
+  std::vector<double> feat_row(s_feat_cols);
+  int64_t sid = 0;
+  for (int64_t rid1 = 0; rid1 < n_r1; ++rid1) {
+    for (int64_t c = 0; c < counts[static_cast<size_t>(rid1)]; ++c) {
+      keys[0] = sid++;
+      keys[1] = rid1;
+      for (size_t i = 1; i < q; ++i) {
+        keys[1 + i] =
+            static_cast<int64_t>(rng.NextBelow(spec.attrs[i].rows));
+      }
+      double* xs = feat_row.data() + (spec.with_target ? 1 : 0);
+      if (spec.one_hot) {
+        s_sparse.Sample(xs);
+      } else {
+        s_dense.Sample(xs);
+      }
+      if (spec.with_target) {
+        double dot_s = 0.0;
+        for (size_t j = 0; j < spec.s_feats; ++j) dot_s += w_s[j] * xs[j];
+        double y = std::sin(dot_s);
+        for (size_t i = 0; i < q; ++i) {
+          const auto xr = attr_feats[i].Row(static_cast<size_t>(keys[1 + i]));
+          double dot_r = 0.0;
+          for (size_t j = 0; j < xr.size(); ++j) dot_r += w_r[i][j] * xr[j];
+          y += std::tanh(dot_r);
+        }
+        feat_row[0] = y + spec.noise * rng.NextGaussian();
+      }
+      FML_RETURN_IF_ERROR(s.Append(keys.data(), feat_row.data()));
+    }
+  }
+  FML_RETURN_IF_ERROR(s.Finish());
+
+  NormalizedRelations rel(std::move(s), std::move(attr_tables),
+                          spec.with_target);
+  FML_RETURN_IF_ERROR(rel.Validate());
+  FML_RETURN_IF_ERROR(rel.BuildIndex(pool));
+  return rel;
+}
+
+}  // namespace factorml::data

@@ -1,0 +1,72 @@
+#include "gmm/em_util.h"
+
+#include <cmath>
+#include <set>
+
+#include "common/opcount.h"
+#include "common/rng.h"
+#include "join/assemble.h"
+#include "join/attribute_view.h"
+#include "storage/table.h"
+
+namespace factorml::gmm::internal {
+
+Result<la::Matrix> InitSeedRows(const join::NormalizedRelations& rel,
+                                storage::BufferPool* pool,
+                                const GmmOptions& options) {
+  const size_t k = options.num_components;
+  const int64_t n = rel.s.num_rows();
+  if (static_cast<int64_t>(k) > n) {
+    return Status::InvalidArgument("more components than data points");
+  }
+  std::vector<join::AttributeTableView> views(rel.num_joins());
+  for (size_t i = 0; i < rel.num_joins(); ++i) {
+    FML_RETURN_IF_ERROR(views[i].Load(rel.attrs[i], pool));
+  }
+
+  std::vector<int64_t> rows(k);
+  switch (options.init) {
+    case GmmInit::kSpreadRows:
+      for (size_t c = 0; c < k; ++c) {
+        rows[c] = static_cast<int64_t>(c) * n / static_cast<int64_t>(k);
+      }
+      break;
+    case GmmInit::kRandomRows: {
+      // K distinct rows; rejection is cheap because K << N.
+      Rng rng(options.seed);
+      std::set<int64_t> chosen;
+      while (chosen.size() < k) {
+        chosen.insert(
+            static_cast<int64_t>(rng.NextBelow(static_cast<uint64_t>(n))));
+      }
+      rows.assign(chosen.begin(), chosen.end());
+      break;
+    }
+  }
+
+  la::Matrix seeds(k, rel.total_dims());
+  storage::RowBatch batch;
+  for (size_t c = 0; c < k; ++c) {
+    FML_RETURN_IF_ERROR(rel.s.ReadRows(pool, rows[c], 1, &batch));
+    join::AssembleJoinedRow(rel, batch, 0, views, seeds.Row(c).data());
+  }
+  return seeds;
+}
+
+double PosteriorFromLogps(const double* logp, size_t k, double* gamma_row) {
+  const double lse = LogSumExp(logp, k);
+  for (size_t c = 0; c < k; ++c) {
+    gamma_row[c] = std::exp(logp[c] - lse);
+  }
+  CountExps(k);
+  CountSubs(k);
+  return lse;
+}
+
+bool Converged(double prev_ll, double ll, double tol) {
+  if (tol <= 0.0) return false;
+  if (!std::isfinite(prev_ll)) return false;
+  return std::fabs(ll - prev_ll) < tol * std::fabs(ll);
+}
+
+}  // namespace factorml::gmm::internal

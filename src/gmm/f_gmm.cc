@@ -1,0 +1,339 @@
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "common/opcount.h"
+#include "gmm/em_util.h"
+#include "gmm/trainers.h"
+#include "join/attribute_view.h"
+#include "join/join_cursor.h"
+#include "la/ops.h"
+
+namespace factorml::gmm {
+
+namespace {
+
+using internal::Responsibilities;
+using join::AttributeTableView;
+using la::Matrix;
+
+inline void CenterInto(const double* x, const double* mu, size_t d,
+                       double* diff) {
+  for (size_t j = 0; j < d; ++j) diff[j] = x[j] - mu[j];
+  CountSubs(d);
+}
+
+/// Per-pass factorized state for one attribute table and one component:
+/// the centered rows PD_Ri = x_Ri - mu[slice i] for every rid (Eq. 20),
+/// computed once per R tuple per pass and reused for all matching S rows.
+struct CenteredCache {
+  // pd[c] is nRi x dRi.
+  std::vector<Matrix> pd;
+  // diag[c][rid] = PD^T * I_ii * PD, the reusable diagonal quadratic block
+  // of the E-step (the LR term of Eq. 12 / i==j terms of Eq. 19).
+  std::vector<std::vector<double>> diag;
+};
+
+/// Rebuilds the centered caches against the current means. `with_diag`
+/// additionally caches the diagonal quadratic form (E-step only).
+void BuildCenteredCaches(const std::vector<AttributeTableView>& views,
+                         const GmmParams& params,
+                         const std::vector<size_t>& attr_offset,
+                         const GmmDensity* density, bool with_diag,
+                         std::vector<CenteredCache>* caches) {
+  const size_t k = params.num_components();
+  caches->resize(views.size());
+  for (size_t i = 0; i < views.size(); ++i) {
+    const Matrix& feats = views[i].feats();
+    const size_t n_ri = feats.rows();
+    const size_t d_ri = feats.cols();
+    auto& cache = (*caches)[i];
+    cache.pd.assign(k, Matrix());
+    cache.diag.assign(k, {});
+    for (size_t c = 0; c < k; ++c) {
+      Matrix& pd = cache.pd[c];
+      pd.Resize(n_ri, d_ri);
+      const double* mu_slice = params.mu.Row(c).data() + attr_offset[i];
+      for (size_t rid = 0; rid < n_ri; ++rid) {
+        CenterInto(feats.Row(rid).data(), mu_slice, d_ri, pd.Row(rid).data());
+      }
+      if (with_diag) {
+        auto& diag = cache.diag[c];
+        diag.resize(n_ri);
+        for (size_t rid = 0; rid < n_ri; ++rid) {
+          diag[rid] =
+              la::Bilinear(density->precision[c], attr_offset[i],
+                           attr_offset[i], pd.Row(rid).data(), d_ri,
+                           pd.Row(rid).data(), d_ri);
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+
+Result<GmmParams> TrainGmmFactorized(const join::NormalizedRelations& rel,
+                                     const GmmOptions& options,
+                                     storage::BufferPool* pool,
+                                     core::TrainReport* report) {
+  FML_RETURN_IF_ERROR(rel.Validate());
+  FML_CHECK_GT(rel.fk1_index.num_rids(), 0) << "BuildIndex() not called";
+  internal::ReportScope scope(report, "F-GMM");
+
+  const size_t k = options.num_components;
+  const size_t q = rel.num_joins();
+  const size_t ds = rel.ds();
+  const size_t d = rel.total_dims();
+  const size_t y_off = rel.has_target ? 1 : 0;
+  const int64_t n = rel.s.num_rows();
+
+  // Joined-vector offset of each attribute table's feature slice.
+  std::vector<size_t> attr_offset(q);
+  for (size_t i = 0; i < q; ++i) attr_offset[i] = rel.FeatureOffset(i + 1);
+
+  FML_ASSIGN_OR_RETURN(Matrix seeds, internal::InitSeedRows(rel, pool, options));
+  GmmParams params = GmmParams::Init(seeds, options.init_spread);
+
+  Responsibilities resp;
+  resp.Reset(static_cast<size_t>(n), k);
+
+  std::vector<double> logp(k);
+  std::vector<double> pds(ds);  // centered S slice of the current tuple
+  std::vector<Matrix> sigma_sum(k);
+  std::vector<double> mu_sum_s;                          // k * ds
+  std::vector<std::vector<std::vector<double>>> gsum(q);  // [i][c][rid]
+  std::vector<CenteredCache> caches;
+  std::vector<AttributeTableView> views(q);
+
+  double loglik = -std::numeric_limits<double>::infinity();
+  int iter = 0;
+  join::JoinBatch batch;
+  for (; iter < options.max_iters; ++iter) {
+    FML_ASSIGN_OR_RETURN(GmmDensity density, GmmDensity::From(params));
+
+    // =========================== E-step ===========================
+    for (size_t i = 0; i < q; ++i) {
+      FML_RETURN_IF_ERROR(views[i].Load(rel.attrs[i], pool));
+    }
+    // Once per R tuple: centered slices and diagonal quadratic blocks.
+    BuildCenteredCaches(views, params, attr_offset, &density,
+                        /*with_diag=*/true, &caches);
+
+    double ll = 0.0;
+    std::fill(resp.n_k.begin(), resp.n_k.end(), 0.0);
+    join::JoinCursor e_cursor(&rel, pool, options.batch_rows);
+    while (e_cursor.Next(&batch)) {
+      for (size_t r = 0; r < batch.s_rows.num_rows; ++r) {
+        const double* xs = batch.s_rows.feats.Row(r).data() + y_off;
+        const int64_t* keys = batch.s_rows.KeysOf(r);
+        for (size_t c = 0; c < k; ++c) {
+          CenterInto(xs, params.mu.Row(c).data(), ds, pds.data());
+          // Block decomposition of (x - mu)^T I (x - mu), Eq. 19: the
+          // S-diagonal block plus, per attribute table, the two cross
+          // blocks (UR + LL, Eqs. 10-11) and the cached diagonal block
+          // (LR, Eq. 12); multi-way adds the attr-attr cross blocks.
+          double quad =
+              la::Bilinear(density.precision[c], 0, 0, pds.data(), ds,
+                           pds.data(), ds);
+          for (size_t i = 0; i < q; ++i) {
+            const int64_t rid = keys[rel.FkKeyIndex(i)];
+            const double* pdr = caches[i].pd[c].Row(rid).data();
+            const size_t dri = rel.dr(i);
+            const double ur = la::Bilinear(density.precision[c], 0,
+                                           attr_offset[i], pds.data(), ds,
+                                           pdr, dri);
+            if (options.exploit_symmetry) {
+              // LL = UR because the precision matrix is symmetric.
+              quad += 2.0 * ur;
+              CountMults(1);
+            } else {
+              quad += ur + la::Bilinear(density.precision[c],
+                                        attr_offset[i], 0, pdr, dri,
+                                        pds.data(), ds);
+            }
+            quad += caches[i].diag[c][rid];
+            CountAdds(3);
+            for (size_t j = i + 1; j < q; ++j) {
+              const int64_t rid_j = keys[rel.FkKeyIndex(j)];
+              const double* pdj = caches[j].pd[c].Row(rid_j).data();
+              const size_t drj = rel.dr(j);
+              const double cross = la::Bilinear(density.precision[c],
+                                                attr_offset[i],
+                                                attr_offset[j], pdr, dri,
+                                                pdj, drj);
+              if (options.exploit_symmetry) {
+                quad += 2.0 * cross;
+                CountMults(1);
+              } else {
+                quad += cross + la::Bilinear(density.precision[c],
+                                             attr_offset[j],
+                                             attr_offset[i], pdj, drj, pdr,
+                                             dri);
+              }
+              CountAdds(2);
+            }
+          }
+          logp[c] = density.log_coeff[c] - 0.5 * quad;
+        }
+        double* gamma =
+            resp.Row(batch.s_rows.start_row + static_cast<int64_t>(r));
+        ll += internal::PosteriorFromLogps(logp.data(), k, gamma);
+        for (size_t c = 0; c < k; ++c) resp.n_k[c] += gamma[c];
+      }
+    }
+    FML_RETURN_IF_ERROR(e_cursor.status());
+
+    // ====================== M-step: means (Eq. 22) ======================
+    for (size_t i = 0; i < q; ++i) {
+      FML_RETURN_IF_ERROR(views[i].Load(rel.attrs[i], pool));
+      gsum[i].assign(k, std::vector<double>(views[i].feats().rows(), 0.0));
+    }
+    mu_sum_s.assign(k * ds, 0.0);
+    join::JoinCursor mu_cursor(&rel, pool, options.batch_rows);
+    while (mu_cursor.Next(&batch)) {
+      for (size_t r = 0; r < batch.s_rows.num_rows; ++r) {
+        const double* xs = batch.s_rows.feats.Row(r).data() + y_off;
+        const int64_t* keys = batch.s_rows.KeysOf(r);
+        const double* gamma =
+            resp.Row(batch.s_rows.start_row + static_cast<int64_t>(r));
+        for (size_t c = 0; c < k; ++c) {
+          // S slice accumulates per fact tuple; the R slices only
+          // accumulate responsibility mass per rid — the factorization of
+          // Eq. 13/22 that replaces nS * dR multiplies by nS adds.
+          la::Axpy(gamma[c], xs, mu_sum_s.data() + c * ds, ds);
+          for (size_t i = 0; i < q; ++i) {
+            gsum[i][c][keys[rel.FkKeyIndex(i)]] += gamma[c];
+          }
+          CountAdds(q);
+        }
+      }
+    }
+    FML_RETURN_IF_ERROR(mu_cursor.status());
+    for (size_t c = 0; c < k; ++c) {
+      const double inv_nk = 1.0 / std::max(resp.n_k[c], 1e-300);
+      double* mu_row = params.mu.Row(c).data();
+      for (size_t j = 0; j < ds; ++j) mu_row[j] = mu_sum_s[c * ds + j] * inv_nk;
+      CountMults(ds);
+      for (size_t i = 0; i < q; ++i) {
+        const Matrix& feats = views[i].feats();
+        const size_t dri = feats.cols();
+        double* slice = mu_row + attr_offset[i];
+        std::fill(slice, slice + dri, 0.0);
+        for (size_t rid = 0; rid < feats.rows(); ++rid) {
+          la::Axpy(gsum[i][c][rid], feats.Row(rid).data(), slice, dri);
+        }
+        for (size_t j = 0; j < dri; ++j) slice[j] *= inv_nk;
+        CountMults(dri);
+      }
+    }
+
+    // ================= M-step: covariances (Eqs. 23-24) =================
+    for (size_t i = 0; i < q; ++i) {
+      FML_RETURN_IF_ERROR(views[i].Load(rel.attrs[i], pool));
+    }
+    // Centered caches against the *updated* means; no diagonal quad cache
+    // is needed here.
+    BuildCenteredCaches(views, params, attr_offset, nullptr,
+                        /*with_diag=*/false, &caches);
+    for (size_t c = 0; c < k; ++c) sigma_sum[c].Resize(d, d);
+
+    join::JoinCursor sg_cursor(&rel, pool, options.batch_rows);
+    while (sg_cursor.Next(&batch)) {
+      for (size_t r = 0; r < batch.s_rows.num_rows; ++r) {
+        const double* xs = batch.s_rows.feats.Row(r).data() + y_off;
+        const int64_t* keys = batch.s_rows.KeysOf(r);
+        const double* gamma =
+            resp.Row(batch.s_rows.start_row + static_cast<int64_t>(r));
+        for (size_t c = 0; c < k; ++c) {
+          CenterInto(xs, params.mu.Row(c).data(), ds, pds.data());
+          Matrix& acc = sigma_sum[c];
+          // Off-diagonal blocks must be accumulated per fact tuple; the
+          // attribute-diagonal blocks (LR of Eq. 18 / M_ii of Eq. 24) are
+          // deferred: only the responsibility mass per rid is accumulated
+          // here and one outer product per R tuple is added afterwards.
+          la::AddOuter(gamma[c], pds.data(), ds, pds.data(), ds, &acc, 0, 0);
+          for (size_t i = 0; i < q; ++i) {
+            const int64_t rid = keys[rel.FkKeyIndex(i)];
+            const double* pdr = caches[i].pd[c].Row(rid).data();
+            const size_t dri = rel.dr(i);
+            la::AddOuter(gamma[c], pds.data(), ds, pdr, dri, &acc, 0,
+                         attr_offset[i]);
+            if (!options.exploit_symmetry) {
+              la::AddOuter(gamma[c], pdr, dri, pds.data(), ds, &acc,
+                           attr_offset[i], 0);
+            }
+            for (size_t j = i + 1; j < q; ++j) {
+              const int64_t rid_j = keys[rel.FkKeyIndex(j)];
+              const double* pdj = caches[j].pd[c].Row(rid_j).data();
+              const size_t drj = rel.dr(j);
+              la::AddOuter(gamma[c], pdr, dri, pdj, drj, &acc,
+                           attr_offset[i], attr_offset[j]);
+              if (!options.exploit_symmetry) {
+                la::AddOuter(gamma[c], pdj, drj, pdr, dri, &acc,
+                             attr_offset[j], attr_offset[i]);
+              }
+            }
+          }
+        }
+      }
+    }
+    FML_RETURN_IF_ERROR(sg_cursor.status());
+    // Mirror the cross blocks that were accumulated single-sided: the
+    // covariance accumulator is symmetric, so LL = UR^T exactly (one
+    // O(d^2) copy per component per pass instead of per fact tuple).
+    if (options.exploit_symmetry) {
+      for (size_t c = 0; c < k; ++c) {
+        Matrix& acc = sigma_sum[c];
+        for (size_t i = 0; i < q; ++i) {
+          const size_t dri = rel.dr(i);
+          for (size_t a = 0; a < ds; ++a) {
+            for (size_t b2 = 0; b2 < dri; ++b2) {
+              acc(attr_offset[i] + b2, a) = acc(a, attr_offset[i] + b2);
+            }
+          }
+          for (size_t j = i + 1; j < q; ++j) {
+            const size_t drj = rel.dr(j);
+            for (size_t a = 0; a < dri; ++a) {
+              for (size_t b2 = 0; b2 < drj; ++b2) {
+                acc(attr_offset[j] + b2, attr_offset[i] + a) =
+                    acc(attr_offset[i] + a, attr_offset[j] + b2);
+              }
+            }
+          }
+        }
+      }
+    }
+
+    // Deferred diagonal blocks: one outer product per R tuple, scaled by
+    // the responsibility mass of its matching fact tuples (gsum reuses the
+    // responsibilities accumulated in the mean pass — same gamma).
+    for (size_t c = 0; c < k; ++c) {
+      for (size_t i = 0; i < q; ++i) {
+        const size_t dri = rel.dr(i);
+        const size_t n_ri = caches[i].pd[c].rows();
+        for (size_t rid = 0; rid < n_ri; ++rid) {
+          const double* pdr = caches[i].pd[c].Row(rid).data();
+          la::AddOuter(gsum[i][c][rid], pdr, dri, pdr, dri, &sigma_sum[c],
+                       attr_offset[i], attr_offset[i]);
+        }
+      }
+      sigma_sum[c].Scale(1.0 / std::max(resp.n_k[c], 1e-300));
+      for (size_t j = 0; j < d; ++j) sigma_sum[c](j, j) += options.cov_reg;
+      params.sigma[c] = sigma_sum[c];
+      params.pi[c] = resp.n_k[c] / static_cast<double>(n);
+    }
+
+    if (internal::Converged(loglik, ll, options.tol)) {
+      loglik = ll;
+      ++iter;
+      break;
+    }
+    loglik = ll;
+  }
+
+  scope.Finish(iter, loglik);
+  return params;
+}
+
+}  // namespace factorml::gmm

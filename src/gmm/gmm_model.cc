@@ -1,0 +1,69 @@
+#include "gmm/gmm_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/opcount.h"
+
+namespace factorml::gmm {
+
+GmmParams GmmParams::Init(const la::Matrix& seed_rows, double spread) {
+  const size_t k = seed_rows.rows();
+  const size_t d = seed_rows.cols();
+  FML_CHECK_GT(k, 0u);
+  FML_CHECK_GT(d, 0u);
+  GmmParams p;
+  p.pi.assign(k, 1.0 / static_cast<double>(k));
+  p.mu = seed_rows;
+  p.sigma.reserve(k);
+  for (size_t c = 0; c < k; ++c) {
+    la::Matrix s = la::Matrix::Identity(d);
+    s.Scale(spread);
+    p.sigma.push_back(std::move(s));
+  }
+  return p;
+}
+
+double GmmParams::MaxAbsDiff(const GmmParams& a, const GmmParams& b) {
+  FML_CHECK_EQ(a.num_components(), b.num_components());
+  FML_CHECK_EQ(a.dims(), b.dims());
+  double m = 0.0;
+  for (size_t k = 0; k < a.pi.size(); ++k) {
+    m = std::max(m, std::fabs(a.pi[k] - b.pi[k]));
+    m = std::max(m, la::Matrix::MaxAbsDiff(a.sigma[k], b.sigma[k]));
+  }
+  m = std::max(m, la::Matrix::MaxAbsDiff(a.mu, b.mu));
+  return m;
+}
+
+Result<GmmDensity> GmmDensity::From(const GmmParams& params) {
+  const size_t k = params.num_components();
+  const size_t d = params.dims();
+  const double log_two_pi = 1.8378770664093454835606594728112;
+  GmmDensity out;
+  out.precision.reserve(k);
+  out.log_coeff.reserve(k);
+  la::Cholesky chol;
+  for (size_t c = 0; c < k; ++c) {
+    FML_RETURN_IF_ERROR(chol.FactorWithJitter(params.sigma[c]));
+    out.precision.push_back(chol.Inverse());
+    const double log_det = chol.LogDet();
+    const double pi_c = std::max(params.pi[c], 1e-300);
+    out.log_coeff.push_back(std::log(pi_c) -
+                            0.5 * (static_cast<double>(d) * log_two_pi +
+                                   log_det));
+  }
+  return out;
+}
+
+double LogSumExp(const double* v, size_t n) {
+  double m = v[0];
+  for (size_t i = 1; i < n; ++i) m = std::max(m, v[i]);
+  double s = 0.0;
+  for (size_t i = 0; i < n; ++i) s += std::exp(v[i] - m);
+  CountExps(n + 1);
+  CountAdds(n);
+  return m + std::log(s);
+}
+
+}  // namespace factorml::gmm

@@ -1,0 +1,50 @@
+#ifndef FACTORML_GMM_GMM_MODEL_H_
+#define FACTORML_GMM_GMM_MODEL_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "la/cholesky.h"
+#include "la/matrix.h"
+
+namespace factorml::gmm {
+
+/// Parameters of a K-component full-covariance Gaussian mixture over
+/// d-dimensional data: mixing weights pi_k, means mu_k, covariances
+/// Sigma_k (Sec. III-A of the paper; no independence assumptions).
+struct GmmParams {
+  std::vector<double> pi;          // K
+  la::Matrix mu;                   // K x d
+  std::vector<la::Matrix> sigma;   // K matrices, each d x d
+
+  size_t num_components() const { return pi.size(); }
+  size_t dims() const { return mu.cols(); }
+
+  /// Deterministic initialization shared by all trainers so the exactness
+  /// of the factorization can be asserted parameter-by-parameter: means are
+  /// the given seed rows, covariances are `spread * I`, weights uniform.
+  static GmmParams Init(const la::Matrix& seed_rows, double spread = 5.0);
+
+  /// Max absolute difference over all parameters of two models of equal
+  /// shape (used by tests and the exactness self-checks).
+  static double MaxAbsDiff(const GmmParams& a, const GmmParams& b);
+};
+
+/// Per-iteration derived quantities for density evaluation: precision
+/// matrices Sigma_k^{-1} (the paper's I_k) and the constant part of the
+/// log-density log(pi_k) - 0.5 (d log 2pi + log|Sigma_k|).
+struct GmmDensity {
+  std::vector<la::Matrix> precision;  // K of d x d
+  std::vector<double> log_coeff;      // K
+
+  /// Builds from parameters; covariances are ridged if needed to stay SPD.
+  static Result<GmmDensity> From(const GmmParams& params);
+};
+
+/// log(sum_i exp(v_i)) computed stably; `v` holds the per-component
+/// unnormalized log posteriors of one data point.
+double LogSumExp(const double* v, size_t n);
+
+}  // namespace factorml::gmm
+
+#endif  // FACTORML_GMM_GMM_MODEL_H_

@@ -1,0 +1,113 @@
+#include "gmm/inference.h"
+
+#include <cmath>
+#include <vector>
+
+#include "common/opcount.h"
+#include "common/rng.h"
+#include "la/cholesky.h"
+#include "la/ops.h"
+
+namespace factorml::gmm {
+
+namespace {
+
+void ComponentLogps(const GmmDensity& density, const la::Matrix& mu,
+                    const double* x, std::vector<double>* logp) {
+  const size_t k = density.precision.size();
+  const size_t d = mu.cols();
+  logp->resize(k);
+  std::vector<double> diff(d);
+  for (size_t c = 0; c < k; ++c) {
+    const double* mu_c = mu.Row(c).data();
+    for (size_t j = 0; j < d; ++j) diff[j] = x[j] - mu_c[j];
+    CountSubs(d);
+    (*logp)[c] = density.log_coeff[c] -
+                 0.5 * la::QuadForm(density.precision[c], diff.data(), d);
+  }
+}
+
+}  // namespace
+
+double MixtureLogDensity(const GmmDensity& density, const la::Matrix& mu,
+                         const double* x) {
+  std::vector<double> logp;
+  ComponentLogps(density, mu, x, &logp);
+  return LogSumExp(logp.data(), logp.size());
+}
+
+double PosteriorResponsibilities(const GmmDensity& density,
+                                 const la::Matrix& mu, const double* x,
+                                 double* gamma) {
+  std::vector<double> logp;
+  ComponentLogps(density, mu, x, &logp);
+  const double lse = LogSumExp(logp.data(), logp.size());
+  for (size_t c = 0; c < logp.size(); ++c) {
+    gamma[c] = std::exp(logp[c] - lse);
+  }
+  CountExps(logp.size());
+  return lse;
+}
+
+size_t MostLikelyComponent(const GmmDensity& density, const la::Matrix& mu,
+                           const double* x) {
+  std::vector<double> logp;
+  ComponentLogps(density, mu, x, &logp);
+  size_t best = 0;
+  for (size_t c = 1; c < logp.size(); ++c) {
+    if (logp[c] > logp[best]) best = c;
+  }
+  return best;
+}
+
+Result<la::Matrix> SampleFromMixture(const GmmParams& params, size_t n,
+                                     uint64_t seed) {
+  const size_t k = params.num_components();
+  const size_t d = params.dims();
+  if (k == 0 || d == 0) {
+    return Status::InvalidArgument("empty mixture");
+  }
+  // Pre-factor every covariance.
+  std::vector<la::Cholesky> chol(k);
+  for (size_t c = 0; c < k; ++c) {
+    FML_RETURN_IF_ERROR(chol[c].FactorWithJitter(params.sigma[c]));
+  }
+  Rng rng(seed);
+  la::Matrix out(n, d);
+  std::vector<double> z(d);
+  std::vector<double> y(d);
+  for (size_t i = 0; i < n; ++i) {
+    // Component by inverse CDF over the mixing weights.
+    const double u = rng.NextDouble();
+    double acc = 0.0;
+    size_t c = k - 1;
+    for (size_t j = 0; j < k; ++j) {
+      acc += params.pi[j];
+      if (u < acc) {
+        c = j;
+        break;
+      }
+    }
+    for (size_t j = 0; j < d; ++j) z[j] = rng.NextGaussian();
+    chol[c].MultiplyLower(z.data(), y.data());
+    const double* mu_c = params.mu.Row(c).data();
+    double* row = out.Row(i).data();
+    for (size_t j = 0; j < d; ++j) row[j] = mu_c[j] + y[j];
+    CountAdds(d);
+  }
+  return out;
+}
+
+Result<double> MeanLogDensity(const GmmParams& params, const la::Matrix& x) {
+  if (x.rows() == 0 || x.cols() != params.dims()) {
+    return Status::InvalidArgument("shape mismatch in MeanLogDensity");
+  }
+  FML_ASSIGN_OR_RETURN(GmmDensity density, GmmDensity::From(params));
+  double total = 0.0;
+  for (size_t i = 0; i < x.rows(); ++i) {
+    total += MixtureLogDensity(density, params.mu, x.Row(i).data());
+  }
+  return total / static_cast<double>(x.rows());
+}
+
+}  // namespace factorml::gmm

@@ -1,0 +1,44 @@
+#ifndef FACTORML_GMM_INFERENCE_H_
+#define FACTORML_GMM_INFERENCE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "gmm/gmm_model.h"
+#include "la/matrix.h"
+
+namespace factorml::gmm {
+
+/// Inference utilities over a trained mixture: density evaluation, soft
+/// and hard cluster assignment, and sampling. These are what a downstream
+/// application (segmentation, anomaly scoring, data synthesis) calls after
+/// training with any of the M/S/F algorithms.
+
+/// log p(x) = log sum_k pi_k N(x | mu_k, Sigma_k) for one point x
+/// (length d). `density` must be built from the same params.
+double MixtureLogDensity(const GmmDensity& density, const la::Matrix& mu,
+                         const double* x);
+
+/// Posterior responsibilities gamma_k = p(z = k | x) for one point
+/// (written to `gamma`, length K). Returns log p(x).
+double PosteriorResponsibilities(const GmmDensity& density,
+                                 const la::Matrix& mu, const double* x,
+                                 double* gamma);
+
+/// Index of the most probable component for x (hard assignment).
+size_t MostLikelyComponent(const GmmDensity& density, const la::Matrix& mu,
+                           const double* x);
+
+/// Draws n iid samples from the mixture: component by the mixing weights,
+/// point by mu_k + L_k z with L_k the Cholesky factor of Sigma_k.
+Result<la::Matrix> SampleFromMixture(const GmmParams& params, size_t n,
+                                     uint64_t seed);
+
+/// Mean log-density of a set of points (rows of x) under the mixture —
+/// the held-out likelihood metric used to compare model quality.
+Result<double> MeanLogDensity(const GmmParams& params, const la::Matrix& x);
+
+}  // namespace factorml::gmm
+
+#endif  // FACTORML_GMM_INFERENCE_H_

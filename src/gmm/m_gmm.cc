@@ -1,0 +1,144 @@
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "common/opcount.h"
+#include "common/stopwatch.h"
+#include "gmm/em_util.h"
+#include "gmm/trainers.h"
+#include "join/materialize.h"
+#include "la/ops.h"
+#include "storage/table.h"
+
+namespace factorml::gmm {
+
+namespace {
+
+using internal::Responsibilities;
+using la::Matrix;
+
+/// Subtracts mu (length d) from x into diff, counting the d subtractions
+/// the paper's cost model charges per tuple (Sec. V-B).
+inline void CenterInto(const double* x, const double* mu, size_t d,
+                       double* diff) {
+  for (size_t j = 0; j < d; ++j) diff[j] = x[j] - mu[j];
+  CountSubs(d);
+}
+
+}  // namespace
+
+Result<GmmParams> TrainGmmMaterialized(const join::NormalizedRelations& rel,
+                                       const GmmOptions& options,
+                                       storage::BufferPool* pool,
+                                       core::TrainReport* report) {
+  FML_RETURN_IF_ERROR(rel.Validate());
+  internal::ReportScope scope(report, "M-GMM");
+
+  // Line 1 of Algorithm 1: compute the join and materialize T on disk.
+  Stopwatch mat_watch;
+  FML_ASSIGN_OR_RETURN(
+      storage::Table t,
+      join::MaterializeJoin(rel, pool, options.temp_dir + "/m_gmm_T.fml"));
+  if (report != nullptr) {
+    report->materialize_seconds = mat_watch.ElapsedSeconds();
+  }
+
+  const size_t k = options.num_components;
+  const size_t d = rel.total_dims();
+  const size_t y_off = rel.has_target ? 1 : 0;
+  const int64_t n = t.num_rows();
+
+  FML_ASSIGN_OR_RETURN(Matrix seeds, internal::InitSeedRows(rel, pool, options));
+  GmmParams params = GmmParams::Init(seeds, options.init_spread);
+
+  Responsibilities resp;
+  resp.Reset(static_cast<size_t>(n), k);
+
+  std::vector<double> logp(k);
+  std::vector<double> diff(d);
+  std::vector<Matrix> sigma_sum(k);
+  std::vector<double> mu_sum;  // k * d
+
+  double loglik = -std::numeric_limits<double>::infinity();
+  int iter = 0;
+  storage::RowBatch batch;
+  for (; iter < options.max_iters; ++iter) {
+    FML_ASSIGN_OR_RETURN(GmmDensity density, GmmDensity::From(params));
+
+    // ---- E-step: one full read of T (Lines 4-8).
+    double ll = 0.0;
+    std::fill(resp.n_k.begin(), resp.n_k.end(), 0.0);
+    storage::TableScanner e_scan(&t, pool, options.batch_rows);
+    while (e_scan.Next(&batch)) {
+      for (size_t r = 0; r < batch.num_rows; ++r) {
+        const double* x = batch.feats.Row(r).data() + y_off;
+        for (size_t c = 0; c < k; ++c) {
+          CenterInto(x, params.mu.Row(c).data(), d, diff.data());
+          const double q = la::QuadForm(density.precision[c], diff.data(), d);
+          logp[c] = density.log_coeff[c] - 0.5 * q;
+        }
+        double* gamma = resp.Row(batch.start_row + static_cast<int64_t>(r));
+        ll += internal::PosteriorFromLogps(logp.data(), k, gamma);
+        for (size_t c = 0; c < k; ++c) resp.n_k[c] += gamma[c];
+      }
+    }
+    FML_RETURN_IF_ERROR(e_scan.status());
+
+    // ---- M-step, mean update: second read of T (Lines 10-15).
+    mu_sum.assign(k * d, 0.0);
+    storage::TableScanner mu_scan(&t, pool, options.batch_rows);
+    while (mu_scan.Next(&batch)) {
+      for (size_t r = 0; r < batch.num_rows; ++r) {
+        const double* x = batch.feats.Row(r).data() + y_off;
+        const double* gamma =
+            resp.Row(batch.start_row + static_cast<int64_t>(r));
+        for (size_t c = 0; c < k; ++c) {
+          la::Axpy(gamma[c], x, mu_sum.data() + c * d, d);
+        }
+      }
+    }
+    FML_RETURN_IF_ERROR(mu_scan.status());
+    for (size_t c = 0; c < k; ++c) {
+      const double inv_nk = 1.0 / std::max(resp.n_k[c], 1e-300);
+      for (size_t j = 0; j < d; ++j) {
+        params.mu(c, j) = mu_sum[c * d + j] * inv_nk;
+      }
+      CountMults(d);
+    }
+
+    // ---- M-step, covariance update: third read of T (Lines 16-21).
+    for (size_t c = 0; c < k; ++c) sigma_sum[c].Resize(d, d);
+    storage::TableScanner sg_scan(&t, pool, options.batch_rows);
+    while (sg_scan.Next(&batch)) {
+      for (size_t r = 0; r < batch.num_rows; ++r) {
+        const double* x = batch.feats.Row(r).data() + y_off;
+        const double* gamma =
+            resp.Row(batch.start_row + static_cast<int64_t>(r));
+        for (size_t c = 0; c < k; ++c) {
+          CenterInto(x, params.mu.Row(c).data(), d, diff.data());
+          la::AddOuter(gamma[c], diff.data(), d, diff.data(), d,
+                       &sigma_sum[c], 0, 0);
+        }
+      }
+    }
+    FML_RETURN_IF_ERROR(sg_scan.status());
+    for (size_t c = 0; c < k; ++c) {
+      sigma_sum[c].Scale(1.0 / std::max(resp.n_k[c], 1e-300));
+      for (size_t j = 0; j < d; ++j) sigma_sum[c](j, j) += options.cov_reg;
+      params.sigma[c] = sigma_sum[c];
+      params.pi[c] = resp.n_k[c] / static_cast<double>(n);
+    }
+
+    if (internal::Converged(loglik, ll, options.tol)) {
+      loglik = ll;
+      ++iter;
+      break;
+    }
+    loglik = ll;
+  }
+
+  scope.Finish(iter, loglik);
+  return params;
+}
+
+}  // namespace factorml::gmm

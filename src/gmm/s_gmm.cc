@@ -1,0 +1,147 @@
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "common/opcount.h"
+#include "gmm/em_util.h"
+#include "gmm/trainers.h"
+#include "join/assemble.h"
+#include "join/attribute_view.h"
+#include "join/join_cursor.h"
+#include "la/ops.h"
+
+namespace factorml::gmm {
+
+namespace {
+
+using internal::Responsibilities;
+using la::Matrix;
+
+inline void CenterInto(const double* x, const double* mu, size_t d,
+                       double* diff) {
+  for (size_t j = 0; j < d; ++j) diff[j] = x[j] - mu[j];
+  CountSubs(d);
+}
+
+}  // namespace
+
+Result<GmmParams> TrainGmmStreaming(const join::NormalizedRelations& rel,
+                                    const GmmOptions& options,
+                                    storage::BufferPool* pool,
+                                    core::TrainReport* report) {
+  FML_RETURN_IF_ERROR(rel.Validate());
+  FML_CHECK_GT(rel.fk1_index.num_rids(), 0) << "BuildIndex() not called";
+  internal::ReportScope scope(report, "S-GMM");
+
+  const size_t k = options.num_components;
+  const size_t d = rel.total_dims();
+  const int64_t n = rel.s.num_rows();
+
+  FML_ASSIGN_OR_RETURN(Matrix seeds, internal::InitSeedRows(rel, pool, options));
+  GmmParams params = GmmParams::Init(seeds, options.init_spread);
+
+  Responsibilities resp;
+  resp.Reset(static_cast<size_t>(n), k);
+
+  std::vector<double> logp(k);
+  std::vector<double> x(d);  // the on-the-fly assembled joined tuple
+  std::vector<double> diff(d);
+  std::vector<Matrix> sigma_sum(k);
+  std::vector<double> mu_sum;
+
+  double loglik = -std::numeric_limits<double>::infinity();
+  int iter = 0;
+  join::JoinBatch batch;
+  for (; iter < options.max_iters; ++iter) {
+    FML_ASSIGN_OR_RETURN(GmmDensity density, GmmDensity::From(params));
+
+    // Each pass re-executes the join: attribute tables are reloaded (build
+    // side) and S is streamed (probe side) — Fig. 1(b) of the paper.
+    // ---- E-step pass.
+    std::vector<join::AttributeTableView> views(rel.num_joins());
+    for (size_t i = 0; i < rel.num_joins(); ++i) {
+      FML_RETURN_IF_ERROR(views[i].Load(rel.attrs[i], pool));
+    }
+    double ll = 0.0;
+    std::fill(resp.n_k.begin(), resp.n_k.end(), 0.0);
+    join::JoinCursor e_cursor(&rel, pool, options.batch_rows);
+    while (e_cursor.Next(&batch)) {
+      for (size_t r = 0; r < batch.s_rows.num_rows; ++r) {
+        join::AssembleJoinedRow(rel, batch.s_rows, r, views, x.data());
+        for (size_t c = 0; c < k; ++c) {
+          CenterInto(x.data(), params.mu.Row(c).data(), d, diff.data());
+          const double q = la::QuadForm(density.precision[c], diff.data(), d);
+          logp[c] = density.log_coeff[c] - 0.5 * q;
+        }
+        double* gamma =
+            resp.Row(batch.s_rows.start_row + static_cast<int64_t>(r));
+        ll += internal::PosteriorFromLogps(logp.data(), k, gamma);
+        for (size_t c = 0; c < k; ++c) resp.n_k[c] += gamma[c];
+      }
+    }
+    FML_RETURN_IF_ERROR(e_cursor.status());
+
+    // ---- M-step mean pass (join recomputed).
+    for (size_t i = 0; i < rel.num_joins(); ++i) {
+      FML_RETURN_IF_ERROR(views[i].Load(rel.attrs[i], pool));
+    }
+    mu_sum.assign(k * d, 0.0);
+    join::JoinCursor mu_cursor(&rel, pool, options.batch_rows);
+    while (mu_cursor.Next(&batch)) {
+      for (size_t r = 0; r < batch.s_rows.num_rows; ++r) {
+        join::AssembleJoinedRow(rel, batch.s_rows, r, views, x.data());
+        const double* gamma =
+            resp.Row(batch.s_rows.start_row + static_cast<int64_t>(r));
+        for (size_t c = 0; c < k; ++c) {
+          la::Axpy(gamma[c], x.data(), mu_sum.data() + c * d, d);
+        }
+      }
+    }
+    FML_RETURN_IF_ERROR(mu_cursor.status());
+    for (size_t c = 0; c < k; ++c) {
+      const double inv_nk = 1.0 / std::max(resp.n_k[c], 1e-300);
+      for (size_t j = 0; j < d; ++j) {
+        params.mu(c, j) = mu_sum[c * d + j] * inv_nk;
+      }
+      CountMults(d);
+    }
+
+    // ---- M-step covariance pass (join recomputed, new means).
+    for (size_t i = 0; i < rel.num_joins(); ++i) {
+      FML_RETURN_IF_ERROR(views[i].Load(rel.attrs[i], pool));
+    }
+    for (size_t c = 0; c < k; ++c) sigma_sum[c].Resize(d, d);
+    join::JoinCursor sg_cursor(&rel, pool, options.batch_rows);
+    while (sg_cursor.Next(&batch)) {
+      for (size_t r = 0; r < batch.s_rows.num_rows; ++r) {
+        join::AssembleJoinedRow(rel, batch.s_rows, r, views, x.data());
+        const double* gamma =
+            resp.Row(batch.s_rows.start_row + static_cast<int64_t>(r));
+        for (size_t c = 0; c < k; ++c) {
+          CenterInto(x.data(), params.mu.Row(c).data(), d, diff.data());
+          la::AddOuter(gamma[c], diff.data(), d, diff.data(), d,
+                       &sigma_sum[c], 0, 0);
+        }
+      }
+    }
+    FML_RETURN_IF_ERROR(sg_cursor.status());
+    for (size_t c = 0; c < k; ++c) {
+      sigma_sum[c].Scale(1.0 / std::max(resp.n_k[c], 1e-300));
+      for (size_t j = 0; j < d; ++j) sigma_sum[c](j, j) += options.cov_reg;
+      params.sigma[c] = sigma_sum[c];
+      params.pi[c] = resp.n_k[c] / static_cast<double>(n);
+    }
+
+    if (internal::Converged(loglik, ll, options.tol)) {
+      loglik = ll;
+      ++iter;
+      break;
+    }
+    loglik = ll;
+  }
+
+  scope.Finish(iter, loglik);
+  return params;
+}
+
+}  // namespace factorml::gmm

@@ -1,0 +1,37 @@
+#ifndef FACTORML_JOIN_ASSEMBLE_H_
+#define FACTORML_JOIN_ASSEMBLE_H_
+
+#include <cstring>
+#include <vector>
+
+#include "join/attribute_view.h"
+#include "join/normalized_relations.h"
+#include "storage/table.h"
+
+namespace factorml::join {
+
+/// Copies the joined feature vector [XS | XR1 | ... | XRq] of row `r` of a
+/// streamed S batch into `out` (length rel.total_dims()), skipping the
+/// target column when present. This is the "join on the fly" concatenation
+/// performed by the S-algorithms for every tuple — pure data movement, no
+/// floating-point work, but repeated for every fact tuple, which is the
+/// redundancy the F-algorithms avoid.
+inline void AssembleJoinedRow(const NormalizedRelations& rel,
+                              const storage::RowBatch& s_rows, size_t r,
+                              const std::vector<AttributeTableView>& views,
+                              double* out) {
+  const size_t y_off = rel.has_target ? 1 : 0;
+  const size_t ds = rel.ds();
+  std::memcpy(out, s_rows.feats.Row(r).data() + y_off, sizeof(double) * ds);
+  size_t off = ds;
+  const int64_t* keys = s_rows.KeysOf(r);
+  for (size_t i = 0; i < views.size(); ++i) {
+    const auto xr = views[i].FeaturesOf(keys[rel.FkKeyIndex(i)]);
+    std::memcpy(out + off, xr.data(), sizeof(double) * xr.size());
+    off += xr.size();
+  }
+}
+
+}  // namespace factorml::join
+
+#endif  // FACTORML_JOIN_ASSEMBLE_H_

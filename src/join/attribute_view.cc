@@ -1,0 +1,39 @@
+#include "join/attribute_view.h"
+
+#include <cstring>
+
+namespace factorml::join {
+
+Status AttributeTableView::Load(const storage::Table& table,
+                                storage::BufferPool* pool) {
+  if (table.schema().num_keys != 1) {
+    return Status::InvalidArgument(
+        "attribute table must have exactly one key column (RID)");
+  }
+  const int64_t n = table.num_rows();
+  feats_.Resize(static_cast<size_t>(n), table.schema().num_feats);
+
+  storage::TableScanner scanner(&table, pool, 4096);
+  storage::RowBatch batch;
+  int64_t expected_rid = 0;
+  while (scanner.Next(&batch)) {
+    for (size_t r = 0; r < batch.num_rows; ++r) {
+      const int64_t rid = batch.KeysOf(r)[0];
+      if (rid != expected_rid) {
+        return Status::FailedPrecondition(
+            "attribute table RIDs are not dense-sequential");
+      }
+      std::memcpy(feats_.Row(static_cast<size_t>(rid)).data(),
+                  batch.feats.Row(r).data(),
+                  sizeof(double) * feats_.cols());
+      ++expected_rid;
+    }
+  }
+  FML_RETURN_IF_ERROR(scanner.status());
+  if (expected_rid != n) {
+    return Status::Internal("attribute table row count mismatch");
+  }
+  return Status::OK();
+}
+
+}  // namespace factorml::join

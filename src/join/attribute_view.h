@@ -1,0 +1,41 @@
+#ifndef FACTORML_JOIN_ATTRIBUTE_VIEW_H_
+#define FACTORML_JOIN_ATTRIBUTE_VIEW_H_
+
+#include <span>
+
+#include "common/status.h"
+#include "la/matrix.h"
+#include "storage/buffer_pool.h"
+#include "storage/table.h"
+
+namespace factorml::join {
+
+/// Memory-resident copy of an attribute table R(RID, XR). Attribute tables
+/// are the small side of the paper's PK/FK joins (nR << nS); each training
+/// pass loads them once through the buffer pool (counted I/O) and then
+/// probes by RID at memory speed. Row position equals RID: the loader
+/// verifies RIDs are the dense sequence 0..nR-1.
+class AttributeTableView {
+ public:
+  AttributeTableView() = default;
+
+  /// Loads the full table; fails if RIDs are not dense-sequential.
+  Status Load(const storage::Table& table, storage::BufferPool* pool);
+
+  int64_t num_rows() const { return static_cast<int64_t>(feats_.rows()); }
+  size_t num_feats() const { return feats_.cols(); }
+
+  /// Feature vector of the tuple with the given rid.
+  std::span<const double> FeaturesOf(int64_t rid) const {
+    return feats_.Row(static_cast<size_t>(rid));
+  }
+
+  const la::Matrix& feats() const { return feats_; }
+
+ private:
+  la::Matrix feats_;
+};
+
+}  // namespace factorml::join
+
+#endif  // FACTORML_JOIN_ATTRIBUTE_VIEW_H_

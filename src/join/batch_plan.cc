@@ -1,0 +1,46 @@
+#include "join/batch_plan.h"
+
+#include "common/rng.h"
+
+namespace factorml::join {
+
+std::vector<BatchRanges> PlanGroupBatches(
+    const FkIndex& index, size_t target_rows,
+    const std::vector<int64_t>* rid_order) {
+  FML_CHECK_GT(target_rows, 0u);
+  const int64_t num_rids = index.num_rids();
+  std::vector<BatchRanges> plan;
+  int64_t pos = 0;
+  while (pos < num_rids) {
+    BatchRanges batch;
+    while (pos < num_rids &&
+           batch.total_rows < static_cast<int64_t>(target_rows)) {
+      const int64_t rid =
+          rid_order == nullptr ? pos : (*rid_order)[static_cast<size_t>(pos)];
+      const int64_t count = index.CountOf(rid);
+      if (count > 0) {
+        const int64_t start = index.StartOf(rid);
+        if (!batch.ranges.empty() &&
+            batch.ranges.back().start + batch.ranges.back().count == start) {
+          batch.ranges.back().count += count;
+        } else {
+          batch.ranges.push_back(RowRange{start, count});
+        }
+        batch.total_rows += count;
+      }
+      ++pos;
+    }
+    if (batch.total_rows > 0) plan.push_back(std::move(batch));
+  }
+  return plan;
+}
+
+std::vector<int64_t> PermutedRids(int64_t num_rids, uint64_t seed, int epoch) {
+  std::vector<int64_t> order(static_cast<size_t>(num_rids));
+  for (int64_t i = 0; i < num_rids; ++i) order[static_cast<size_t>(i)] = i;
+  Rng rng(seed * 0x9e3779b97f4a7c15ULL + static_cast<uint64_t>(epoch) + 1);
+  rng.Shuffle(&order);
+  return order;
+}
+
+}  // namespace factorml::join

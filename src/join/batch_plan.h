@@ -1,0 +1,44 @@
+#ifndef FACTORML_JOIN_BATCH_PLAN_H_
+#define FACTORML_JOIN_BATCH_PLAN_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "join/fk_index.h"
+
+namespace factorml::join {
+
+/// A contiguous run of fact-table rows.
+struct RowRange {
+  int64_t start = 0;
+  int64_t count = 0;
+};
+
+/// One mini-batch worth of S rows, expressed as row ranges of the
+/// (FK1-clustered) fact table. Ranges of adjacent rid groups are merged,
+/// so in natural rid order every batch is a single range.
+struct BatchRanges {
+  std::vector<RowRange> ranges;
+  int64_t total_rows = 0;
+};
+
+/// Splits the fact table into mini-batches of whole FK1-rid groups,
+/// accumulating groups until `target_rows` is reached (a single oversized
+/// group may exceed it). `rid_order`, when non-null, gives the visit order
+/// (the paper's per-epoch permutation of R's keys for SGD; Sec. VI).
+///
+/// This plan is shared by all three NN trainers: the materialized trainer
+/// reads table T by these row ranges (T preserves S's row order) while the
+/// streaming/factorized trainers consume the identical batches from
+/// JoinCursor — guaranteeing all algorithms perform the same gradient
+/// updates, which is what makes their outputs comparable exactly.
+std::vector<BatchRanges> PlanGroupBatches(const FkIndex& index,
+                                          size_t target_rows,
+                                          const std::vector<int64_t>* rid_order);
+
+/// Deterministic per-epoch rid permutation shared by the trainers.
+std::vector<int64_t> PermutedRids(int64_t num_rids, uint64_t seed, int epoch);
+
+}  // namespace factorml::join
+
+#endif  // FACTORML_JOIN_BATCH_PLAN_H_

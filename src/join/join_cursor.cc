@@ -1,0 +1,103 @@
+#include "join/join_cursor.h"
+
+#include <cstring>
+
+namespace factorml::join {
+
+JoinCursor::JoinCursor(const NormalizedRelations* rel,
+                       storage::BufferPool* pool, size_t target_batch_rows)
+    : rel_(rel), pool_(pool), target_batch_rows_(target_batch_rows) {
+  FML_CHECK_GT(target_batch_rows_, 0u);
+  FML_CHECK_GT(rel_->fk1_index.num_rids(), 0)
+      << "JoinCursor requires a built fk1_index";
+}
+
+void JoinCursor::SetRidOrder(std::vector<int64_t> order) {
+  if (!order.empty()) {
+    FML_CHECK_EQ(order.size(),
+                 static_cast<size_t>(rel_->fk1_index.num_rids()));
+  }
+  order_ = std::move(order);
+  next_pos_ = 0;
+}
+
+void JoinCursor::Reset() {
+  next_pos_ = 0;
+  status_ = Status::OK();
+}
+
+bool JoinCursor::Next(JoinBatch* out) {
+  if (!status_.ok()) return false;
+  const FkIndex& idx = rel_->fk1_index;
+  const int64_t num_rids = idx.num_rids();
+  if (next_pos_ >= num_rids) return false;
+
+  // Collect whole rid groups until the batch target is reached.
+  out->groups.clear();
+  size_t total = 0;
+  while (next_pos_ < num_rids && total < target_batch_rows_) {
+    const int64_t rid =
+        order_.empty() ? next_pos_ : order_[static_cast<size_t>(next_pos_)];
+    const size_t count = static_cast<size_t>(idx.CountOf(rid));
+    out->groups.push_back(JoinGroup{rid, total, count});
+    total += count;
+    ++next_pos_;
+  }
+
+  // Fast path: groups form one contiguous S row range (always true in
+  // natural order because S is clustered by FK1).
+  bool contiguous = true;
+  for (size_t g = 0; g + 1 < out->groups.size(); ++g) {
+    const auto& a = out->groups[g];
+    const auto& b = out->groups[g + 1];
+    if (a.count > 0 && b.count > 0 &&
+        idx.StartOf(a.rid) + static_cast<int64_t>(a.count) !=
+            idx.StartOf(b.rid)) {
+      contiguous = false;
+      break;
+    }
+  }
+
+  if (total == 0) {
+    // All collected rids had no matching S tuples; emit an empty batch so
+    // callers see a consistent stream (they typically skip it).
+    out->s_rows.num_rows = 0;
+    out->s_rows.num_keys = rel_->s.schema().num_keys;
+    out->s_rows.keys.clear();
+    out->s_rows.feats.Resize(0, rel_->s.schema().num_feats);
+    return true;
+  }
+
+  if (contiguous) {
+    int64_t first_start = -1;
+    for (const auto& g : out->groups) {
+      if (g.count > 0) {
+        first_start = idx.StartOf(g.rid);
+        break;
+      }
+    }
+    status_ = rel_->s.ReadRows(pool_, first_start, total, &out->s_rows);
+    return status_.ok();
+  }
+
+  // Permuted order: assemble the batch group by group.
+  const auto& schema = rel_->s.schema();
+  out->s_rows.num_rows = total;
+  out->s_rows.num_keys = schema.num_keys;
+  out->s_rows.start_row = -1;
+  out->s_rows.keys.resize(total * schema.num_keys);
+  out->s_rows.feats.Resize(total, schema.num_feats);
+  for (const auto& g : out->groups) {
+    if (g.count == 0) continue;
+    status_ = rel_->s.ReadRows(pool_, idx.StartOf(g.rid), g.count, &scratch_);
+    if (!status_.ok()) return false;
+    std::memcpy(out->s_rows.keys.data() + g.offset * schema.num_keys,
+                scratch_.keys.data(),
+                sizeof(int64_t) * g.count * schema.num_keys);
+    std::memcpy(out->s_rows.feats.Row(g.offset).data(), scratch_.feats.data(),
+                sizeof(double) * g.count * schema.num_feats);
+  }
+  return true;
+}
+
+}  // namespace factorml::join

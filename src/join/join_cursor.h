@@ -1,0 +1,66 @@
+#ifndef FACTORML_JOIN_JOIN_CURSOR_H_
+#define FACTORML_JOIN_JOIN_CURSOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "join/normalized_relations.h"
+#include "storage/buffer_pool.h"
+#include "storage/table.h"
+
+namespace factorml::join {
+
+/// One RID1 group inside a JoinBatch: the S rows at [offset, offset+count)
+/// of the batch all join with attribute tuple `rid` of R1.
+struct JoinGroup {
+  int64_t rid = 0;
+  size_t offset = 0;
+  size_t count = 0;
+};
+
+/// A unit of streamed join input. `s_rows.feats` holds [Y?, XS]; the FK
+/// values of every row are in `s_rows.keys`; `groups` partitions the rows
+/// by their R1 rid so factorized trainers can reuse per-R1-tuple work.
+struct JoinBatch {
+  storage::RowBatch s_rows;
+  std::vector<JoinGroup> groups;
+};
+
+/// Streams the PK/FK join without materializing it: iterates over R1 rids
+/// (in natural or caller-permuted order, the paper's per-epoch key
+/// permutation for SGD) and reads each rid's run of matching S rows through
+/// the buffer pool. This is the access pattern of S-GMM/F-GMM/S-NN/F-NN
+/// (Fig. 1(b), 1(c), Fig. 2).
+class JoinCursor {
+ public:
+  /// Batches target at least `target_batch_rows` S rows (whole rid groups;
+  /// a single huge group may exceed the target).
+  JoinCursor(const NormalizedRelations* rel, storage::BufferPool* pool,
+             size_t target_batch_rows);
+
+  /// Sets the R1 rid visit order for subsequent passes. Must be a
+  /// permutation of 0..nR1-1; an empty vector restores natural order.
+  void SetRidOrder(std::vector<int64_t> order);
+
+  /// Restarts at the first rid of the current order.
+  void Reset();
+
+  /// Fills the next batch; returns false at end of pass or error.
+  bool Next(JoinBatch* out);
+
+  const Status& status() const { return status_; }
+
+ private:
+  const NormalizedRelations* rel_;
+  storage::BufferPool* pool_;
+  size_t target_batch_rows_;
+  std::vector<int64_t> order_;  // empty = natural
+  int64_t next_pos_ = 0;        // position within the rid order
+  Status status_;
+  storage::RowBatch scratch_;
+};
+
+}  // namespace factorml::join
+
+#endif  // FACTORML_JOIN_JOIN_CURSOR_H_

@@ -1,0 +1,58 @@
+#include "join/materialize.h"
+
+#include <cstring>
+#include <vector>
+
+#include "join/attribute_view.h"
+
+namespace factorml::join {
+
+Result<storage::Table> MaterializeJoin(const NormalizedRelations& rel,
+                                       storage::BufferPool* pool,
+                                       const std::string& out_path) {
+  FML_RETURN_IF_ERROR(rel.Validate());
+
+  // Attribute tables are the build side of the hash join: load them
+  // resident (their pages are read once, through the pool).
+  std::vector<AttributeTableView> views(rel.num_joins());
+  for (size_t i = 0; i < rel.num_joins(); ++i) {
+    FML_RETURN_IF_ERROR(views[i].Load(rel.attrs[i], pool));
+  }
+
+  const size_t s_feats = rel.s.schema().num_feats;  // [Y?] + XS
+  size_t t_feats = s_feats;
+  for (const auto& v : views) t_feats += v.num_feats();
+
+  storage::Schema t_schema{/*num_keys=*/1, /*num_feats=*/t_feats};
+  FML_ASSIGN_OR_RETURN(storage::Table t,
+                       storage::Table::Create(out_path, t_schema));
+
+  std::vector<double> row(t_feats);
+  storage::TableScanner scanner(&rel.s, pool, 4096);
+  storage::RowBatch batch;
+  while (scanner.Next(&batch)) {
+    for (size_t r = 0; r < batch.num_rows; ++r) {
+      const int64_t* keys = batch.KeysOf(r);
+      std::memcpy(row.data(), batch.feats.Row(r).data(),
+                  sizeof(double) * s_feats);
+      size_t off = s_feats;
+      for (size_t i = 0; i < views.size(); ++i) {
+        const int64_t rid = keys[rel.FkKeyIndex(i)];
+        if (rid < 0 || rid >= views[i].num_rows()) {
+          return Status::FailedPrecondition("dangling foreign key in join");
+        }
+        const auto feats = views[i].FeaturesOf(rid);
+        std::memcpy(row.data() + off, feats.data(),
+                    sizeof(double) * feats.size());
+        off += feats.size();
+      }
+      const int64_t sid = keys[0];
+      FML_RETURN_IF_ERROR(t.Append(&sid, row.data()));
+    }
+  }
+  FML_RETURN_IF_ERROR(scanner.status());
+  FML_RETURN_IF_ERROR(t.Finish());
+  return t;
+}
+
+}  // namespace factorml::join

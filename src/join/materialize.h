@@ -1,0 +1,25 @@
+#ifndef FACTORML_JOIN_MATERIALIZE_H_
+#define FACTORML_JOIN_MATERIALIZE_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "join/normalized_relations.h"
+#include "storage/buffer_pool.h"
+#include "storage/table.h"
+
+namespace factorml::join {
+
+/// Computes the projected equi-join
+///   T(SID, [Y,] [XS XR1 ... XRq]) <- pi(R1 |><| ... |><| Rq |><| S)
+/// and writes it to `out_path` as a table with one key column (SID) and
+/// `[Y?] + d` feature columns. This is Line 1 of Algorithm 1 (M-GMM) and
+/// the starting point of M-NN; the write I/O it generates — |T| pages — is
+/// precisely the materialization cost the F-algorithms avoid.
+Result<storage::Table> MaterializeJoin(const NormalizedRelations& rel,
+                                       storage::BufferPool* pool,
+                                       const std::string& out_path);
+
+}  // namespace factorml::join
+
+#endif  // FACTORML_JOIN_MATERIALIZE_H_

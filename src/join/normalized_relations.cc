@@ -1,0 +1,31 @@
+#include "join/normalized_relations.h"
+
+namespace factorml::join {
+
+Status NormalizedRelations::Validate() const {
+  if (attrs.empty()) {
+    return Status::InvalidArgument("no attribute tables");
+  }
+  if (s.schema().num_keys != 1 + attrs.size()) {
+    return Status::InvalidArgument(
+        "fact table must have 1 + q key columns (SID, FK1..FKq)");
+  }
+  if (s.schema().num_feats < (has_target ? 2u : 1u)) {
+    return Status::InvalidArgument("fact table has no features");
+  }
+  for (const auto& a : attrs) {
+    if (a.schema().num_keys != 1) {
+      return Status::InvalidArgument(
+          "attribute tables must have exactly one key column");
+    }
+    if (a.schema().num_feats == 0) {
+      return Status::InvalidArgument("attribute table has no features");
+    }
+    if (a.num_rows() == 0) {
+      return Status::InvalidArgument("attribute table is empty");
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace factorml::join

@@ -1,0 +1,79 @@
+#ifndef FACTORML_JOIN_NORMALIZED_RELATIONS_H_
+#define FACTORML_JOIN_NORMALIZED_RELATIONS_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "join/fk_index.h"
+#include "storage/buffer_pool.h"
+#include "storage/table.h"
+
+namespace factorml::join {
+
+/// A normalized schema instance in the paper's setting:
+///
+///   S (SID, [Y,] XS, FK1, ..., FKq)   — the fact table,
+///   Ri(RIDi, XRi), i = 1..q           — attribute tables.
+///
+/// Physical conventions:
+///  * S key columns are [SID, FK1, ..., FKq] (so num_keys = 1 + q);
+///  * when `has_target` is set, S feature column 0 is the learning target Y
+///    and columns 1..dS are XS; otherwise all feature columns are XS;
+///  * S is clustered by FK1 and `fk1_index` maps each RID1 to its run of
+///    matching S rows (the binary-join case of the paper is q = 1).
+///
+/// The joined feature vector (table T of the paper) is the concatenation
+/// [XS | XR1 | ... | XRq] with Y carried separately.
+struct NormalizedRelations {
+  storage::Table s;
+  std::vector<storage::Table> attrs;
+  bool has_target = false;
+  FkIndex fk1_index;
+
+  NormalizedRelations(storage::Table s_table,
+                      std::vector<storage::Table> attr_tables, bool target)
+      : s(std::move(s_table)),
+        attrs(std::move(attr_tables)),
+        has_target(target) {}
+
+  NormalizedRelations(NormalizedRelations&&) = default;
+  NormalizedRelations& operator=(NormalizedRelations&&) = default;
+
+  size_t num_joins() const { return attrs.size(); }
+
+  /// Feature dimensions per the paper's notation.
+  size_t ds() const { return s.schema().num_feats - (has_target ? 1 : 0); }
+  size_t dr(size_t i) const { return attrs[i].schema().num_feats; }
+  size_t total_dims() const {
+    size_t d = ds();
+    for (const auto& a : attrs) d += a.schema().num_feats;
+    return d;
+  }
+
+  /// Key column of S that carries FKi (SID is key column 0).
+  size_t FkKeyIndex(size_t i) const { return 1 + i; }
+
+  /// Offset of relation i's features inside the joined vector; relation 0
+  /// is S itself.
+  size_t FeatureOffset(size_t table_idx) const {
+    size_t off = ds();
+    for (size_t i = 0; i + 1 < table_idx; ++i) off += dr(i);
+    return table_idx == 0 ? 0 : off;
+  }
+
+  /// Builds `fk1_index`; requires S clustered by FK1.
+  Status BuildIndex(storage::BufferPool* pool) {
+    if (attrs.empty()) {
+      return Status::InvalidArgument("at least one attribute table required");
+    }
+    return fk1_index.Build(s, pool, FkKeyIndex(0), attrs[0].num_rows());
+  }
+
+  /// Sanity checks on schema shape (key counts, non-empty features).
+  Status Validate() const;
+};
+
+}  // namespace factorml::join
+
+#endif  // FACTORML_JOIN_NORMALIZED_RELATIONS_H_

@@ -1,0 +1,114 @@
+#include "la/cholesky.h"
+
+#include <cmath>
+#include <vector>
+
+#include "common/opcount.h"
+
+namespace factorml::la {
+
+Status Cholesky::Factor(const Matrix& a) {
+  if (a.rows() != a.cols()) {
+    return Status::InvalidArgument("Cholesky: matrix is not square");
+  }
+  const size_t n = a.rows();
+  l_.Resize(n, n);
+  factored_ = false;
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j <= i; ++j) {
+      double s = a(i, j);
+      for (size_t p = 0; p < j; ++p) s -= l_(i, p) * l_(j, p);
+      if (i == j) {
+        if (s <= 0.0 || !std::isfinite(s)) {
+          return Status::FailedPrecondition(
+              "Cholesky: matrix is not positive definite");
+        }
+        l_(i, i) = std::sqrt(s);
+      } else {
+        l_(i, j) = s / l_(j, j);
+      }
+    }
+  }
+  CountMults(n * n * n / 6 + n * n);
+  CountAdds(n * n * n / 6);
+  factored_ = true;
+  return Status::OK();
+}
+
+Status Cholesky::FactorWithJitter(const Matrix& a, double initial_jitter,
+                                  int max_tries) {
+  Status st = Factor(a);
+  double jitter = initial_jitter;
+  for (int attempt = 0; !st.ok() && attempt < max_tries; ++attempt) {
+    Matrix ridged = a;
+    for (size_t i = 0; i < a.rows(); ++i) ridged(i, i) += jitter;
+    st = Factor(ridged);
+    jitter *= 10.0;
+  }
+  return st;
+}
+
+double Cholesky::LogDet() const {
+  FML_CHECK(factored_);
+  double s = 0.0;
+  for (size_t i = 0; i < l_.rows(); ++i) s += std::log(l_(i, i));
+  CountExps(l_.rows());
+  return 2.0 * s;
+}
+
+void Cholesky::Solve(const double* b, double* x) const {
+  FML_CHECK(factored_);
+  const size_t n = l_.rows();
+  // Forward substitution: L y = b.
+  std::vector<double> y(n);
+  for (size_t i = 0; i < n; ++i) {
+    double s = b[i];
+    for (size_t j = 0; j < i; ++j) s -= l_(i, j) * y[j];
+    y[i] = s / l_(i, i);
+  }
+  // Backward substitution: L^T x = y.
+  for (size_t ii = n; ii-- > 0;) {
+    double s = y[ii];
+    for (size_t j = ii + 1; j < n; ++j) s -= l_(j, ii) * x[j];
+    x[ii] = s / l_(ii, ii);
+  }
+  CountMults(n * n + 2 * n);
+  CountAdds(n * n);
+}
+
+Matrix Cholesky::Inverse() const {
+  FML_CHECK(factored_);
+  const size_t n = l_.rows();
+  Matrix inv(n, n);
+  std::vector<double> e(n, 0.0);
+  std::vector<double> col(n, 0.0);
+  for (size_t j = 0; j < n; ++j) {
+    e[j] = 1.0;
+    Solve(e.data(), col.data());
+    for (size_t i = 0; i < n; ++i) inv(i, j) = col[i];
+    e[j] = 0.0;
+  }
+  // Symmetrize to wash out round-off (A^{-1} of SPD is symmetric).
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = i + 1; j < n; ++j) {
+      const double v = 0.5 * (inv(i, j) + inv(j, i));
+      inv(i, j) = v;
+      inv(j, i) = v;
+    }
+  }
+  return inv;
+}
+
+void Cholesky::MultiplyLower(const double* z, double* y) const {
+  FML_CHECK(factored_);
+  const size_t n = l_.rows();
+  for (size_t i = 0; i < n; ++i) {
+    double s = 0.0;
+    for (size_t j = 0; j <= i; ++j) s += l_(i, j) * z[j];
+    y[i] = s;
+  }
+  CountMults(n * n / 2);
+  CountAdds(n * n / 2);
+}
+
+}  // namespace factorml::la

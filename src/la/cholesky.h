@@ -1,0 +1,52 @@
+#ifndef FACTORML_LA_CHOLESKY_H_
+#define FACTORML_LA_CHOLESKY_H_
+
+#include "common/status.h"
+#include "la/matrix.h"
+
+namespace factorml::la {
+
+/// Cholesky factorization A = L * L^T of a symmetric positive-definite
+/// matrix. Used by the GMM trainers to invert covariance matrices and to
+/// compute log-determinants for the Gaussian density (Eq. 1), and by the
+/// data generator to sample from full-covariance Gaussians.
+class Cholesky {
+ public:
+  Cholesky() = default;
+
+  /// Factors the SPD matrix `a`. Fails with FailedPrecondition when a
+  /// non-positive pivot is found.
+  Status Factor(const Matrix& a);
+
+  /// Factors `a + jitter*I`, growing `jitter` geometrically from
+  /// `initial_jitter` up to `max_tries` times. Covariance estimates from a
+  /// degenerate responsibility assignment can be slightly indefinite; the
+  /// ridge keeps EM running (standard GMM practice).
+  Status FactorWithJitter(const Matrix& a, double initial_jitter = 1e-9,
+                          int max_tries = 8);
+
+  bool factored() const { return factored_; }
+  size_t order() const { return l_.rows(); }
+  const Matrix& lower() const { return l_; }
+
+  /// log(det(A)) = 2 * sum_i log(L_ii). Requires a prior successful Factor.
+  double LogDet() const;
+
+  /// Solves A x = b (length-n arrays). Requires a prior successful Factor.
+  void Solve(const double* b, double* x) const;
+
+  /// Returns A^{-1} (the precision matrix when A is a covariance).
+  Matrix Inverse() const;
+
+  /// Samples y = mu + L*z where z is iid standard normal; used by the
+  /// synthetic generator. `z` is length-n scratch input, `y` output.
+  void MultiplyLower(const double* z, double* y) const;
+
+ private:
+  Matrix l_;
+  bool factored_ = false;
+};
+
+}  // namespace factorml::la
+
+#endif  // FACTORML_LA_CHOLESKY_H_

@@ -1,0 +1,58 @@
+#include "la/matrix.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+namespace factorml::la {
+
+void Matrix::Scale(double alpha) {
+  for (double& v : data_) v *= alpha;
+}
+
+void Matrix::Add(const Matrix& other) {
+  FML_CHECK_EQ(rows_, other.rows_);
+  FML_CHECK_EQ(cols_, other.cols_);
+  for (size_t i = 0; i < data_.size(); ++i) data_[i] += other.data_[i];
+}
+
+Matrix Matrix::Transposed() const {
+  Matrix t(cols_, rows_);
+  for (size_t i = 0; i < rows_; ++i) {
+    for (size_t j = 0; j < cols_; ++j) {
+      t(j, i) = (*this)(i, j);
+    }
+  }
+  return t;
+}
+
+Matrix Matrix::Identity(size_t n) {
+  Matrix m(n, n);
+  for (size_t i = 0; i < n; ++i) m(i, i) = 1.0;
+  return m;
+}
+
+double Matrix::MaxAbsDiff(const Matrix& a, const Matrix& b) {
+  FML_CHECK_EQ(a.rows(), b.rows());
+  FML_CHECK_EQ(a.cols(), b.cols());
+  double m = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    m = std::max(m, std::fabs(a.data()[i] - b.data()[i]));
+  }
+  return m;
+}
+
+std::string Matrix::ToString() const {
+  std::ostringstream os;
+  os << rows_ << "x" << cols_ << " [";
+  for (size_t i = 0; i < rows_; ++i) {
+    os << "\n  ";
+    for (size_t j = 0; j < cols_; ++j) {
+      os << (*this)(i, j) << (j + 1 < cols_ ? ", " : "");
+    }
+  }
+  os << "\n]";
+  return os.str();
+}
+
+}  // namespace factorml::la

@@ -1,0 +1,92 @@
+#ifndef FACTORML_LA_MATRIX_H_
+#define FACTORML_LA_MATRIX_H_
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/logging.h"
+
+namespace factorml::la {
+
+/// Dense row-major matrix of doubles. All model math (EM statistics, NN
+/// weights/activations) is built on this type; there is no external BLAS.
+class Matrix {
+ public:
+  /// Empty 0x0 matrix.
+  Matrix() : rows_(0), cols_(0) {}
+
+  /// Zero-initialized rows x cols matrix.
+  Matrix(size_t rows, size_t cols)
+      : rows_(rows), cols_(cols), data_(rows * cols, 0.0) {}
+
+  Matrix(const Matrix&) = default;
+  Matrix& operator=(const Matrix&) = default;
+  Matrix(Matrix&&) = default;
+  Matrix& operator=(Matrix&&) = default;
+
+  size_t rows() const { return rows_; }
+  size_t cols() const { return cols_; }
+  size_t size() const { return data_.size(); }
+  bool empty() const { return data_.empty(); }
+
+  double& operator()(size_t i, size_t j) {
+    FML_DCHECK(i < rows_ && j < cols_);
+    return data_[i * cols_ + j];
+  }
+  double operator()(size_t i, size_t j) const {
+    FML_DCHECK(i < rows_ && j < cols_);
+    return data_[i * cols_ + j];
+  }
+
+  double* data() { return data_.data(); }
+  const double* data() const { return data_.data(); }
+
+  /// Mutable view of row i.
+  std::span<double> Row(size_t i) {
+    FML_DCHECK(i < rows_);
+    return {data_.data() + i * cols_, cols_};
+  }
+  std::span<const double> Row(size_t i) const {
+    FML_DCHECK(i < rows_);
+    return {data_.data() + i * cols_, cols_};
+  }
+
+  /// Resets shape and zero-fills.
+  void Resize(size_t rows, size_t cols) {
+    rows_ = rows;
+    cols_ = cols;
+    data_.assign(rows * cols, 0.0);
+  }
+
+  void Fill(double v) { data_.assign(data_.size(), v); }
+  void SetZero() { Fill(0.0); }
+
+  /// Element-wise in-place scale.
+  void Scale(double alpha);
+
+  /// Element-wise in-place add of another matrix of identical shape.
+  void Add(const Matrix& other);
+
+  /// Returns the transpose as a new matrix.
+  Matrix Transposed() const;
+
+  /// Identity matrix of order n.
+  static Matrix Identity(size_t n);
+
+  /// Max |a_ij - b_ij| over all entries; matrices must have equal shape.
+  static double MaxAbsDiff(const Matrix& a, const Matrix& b);
+
+  /// Multi-line debug representation (small matrices only).
+  std::string ToString() const;
+
+ private:
+  size_t rows_;
+  size_t cols_;
+  std::vector<double> data_;
+};
+
+}  // namespace factorml::la
+
+#endif  // FACTORML_LA_MATRIX_H_

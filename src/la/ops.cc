@@ -1,0 +1,189 @@
+#include "la/ops.h"
+
+#include "common/opcount.h"
+
+namespace factorml::la {
+
+double Dot(const double* a, const double* b, size_t n) {
+  double s = 0.0;
+  for (size_t i = 0; i < n; ++i) s += a[i] * b[i];
+  CountMults(n);
+  CountAdds(n);
+  return s;
+}
+
+void Axpy(double alpha, const double* x, double* y, size_t n) {
+  for (size_t i = 0; i < n; ++i) y[i] += alpha * x[i];
+  CountMults(n);
+  CountAdds(n);
+}
+
+void Gemv(const Matrix& a, const double* x, double* y) {
+  const size_t m = a.rows();
+  const size_t n = a.cols();
+  for (size_t i = 0; i < m; ++i) {
+    const double* row = a.data() + i * n;
+    double s = 0.0;
+    for (size_t j = 0; j < n; ++j) s += row[j] * x[j];
+    y[i] = s;
+  }
+  CountMults(m * n);
+  CountAdds(m * n);
+}
+
+double Bilinear(const Matrix& a, size_t r0, size_t c0, const double* u,
+                size_t nu, const double* v, size_t nv) {
+  FML_DCHECK(r0 + nu <= a.rows() && c0 + nv <= a.cols());
+  const size_t lda = a.cols();
+  double total = 0.0;
+  for (size_t i = 0; i < nu; ++i) {
+    const double* row = a.data() + (r0 + i) * lda + c0;
+    double s = 0.0;
+    for (size_t j = 0; j < nv; ++j) s += row[j] * v[j];
+    total += u[i] * s;
+  }
+  CountMults(nu * nv + nu);
+  CountAdds(nu * nv + nu);
+  return total;
+}
+
+double QuadForm(const Matrix& a, const double* x, size_t n) {
+  FML_DCHECK(a.rows() == n && a.cols() == n);
+  return Bilinear(a, 0, 0, x, n, x, n);
+}
+
+void GemmNT(const Matrix& x, const Matrix& w, Matrix* c, bool accumulate) {
+  FML_CHECK_EQ(x.cols(), w.cols());
+  const size_t m = x.rows();
+  const size_t n = w.rows();
+  const size_t k = x.cols();
+  if (!accumulate) c->Resize(m, n);
+  FML_CHECK_EQ(c->rows(), m);
+  FML_CHECK_EQ(c->cols(), n);
+  for (size_t i = 0; i < m; ++i) {
+    const double* xi = x.data() + i * k;
+    double* ci = c->data() + i * n;
+    for (size_t j = 0; j < n; ++j) {
+      const double* wj = w.data() + j * k;
+      double s = 0.0;
+      for (size_t p = 0; p < k; ++p) s += xi[p] * wj[p];
+      ci[j] += s;
+    }
+  }
+  CountMults(m * n * k);
+  CountAdds(m * n * k);
+}
+
+void GemmNN(const Matrix& a, const Matrix& b, Matrix* c, bool accumulate) {
+  FML_CHECK_EQ(a.cols(), b.rows());
+  const size_t m = a.rows();
+  const size_t k = a.cols();
+  const size_t n = b.cols();
+  if (!accumulate) c->Resize(m, n);
+  FML_CHECK_EQ(c->rows(), m);
+  FML_CHECK_EQ(c->cols(), n);
+  for (size_t i = 0; i < m; ++i) {
+    const double* ai = a.data() + i * k;
+    double* ci = c->data() + i * n;
+    for (size_t p = 0; p < k; ++p) {
+      const double aip = ai[p];
+      if (aip == 0.0) continue;
+      const double* bp = b.data() + p * n;
+      for (size_t j = 0; j < n; ++j) ci[j] += aip * bp[j];
+    }
+  }
+  CountMults(m * n * k);
+  CountAdds(m * n * k);
+}
+
+void GemmNTSlice(const Matrix& x, const Matrix& w, size_t wcol0, Matrix* c,
+                 bool accumulate) {
+  const size_t m = x.rows();
+  const size_t n = w.rows();
+  const size_t k = x.cols();
+  FML_CHECK_LE(wcol0 + k, w.cols());
+  const size_t ldw = w.cols();
+  if (!accumulate) c->Resize(m, n);
+  FML_CHECK_EQ(c->rows(), m);
+  FML_CHECK_EQ(c->cols(), n);
+  for (size_t i = 0; i < m; ++i) {
+    const double* xi = x.data() + i * k;
+    double* ci = c->data() + i * n;
+    for (size_t j = 0; j < n; ++j) {
+      const double* wj = w.data() + j * ldw + wcol0;
+      double s = 0.0;
+      for (size_t p = 0; p < k; ++p) s += xi[p] * wj[p];
+      ci[j] += s;
+    }
+  }
+  CountMults(m * n * k);
+  CountAdds(m * n * k);
+}
+
+void GemmTN(const Matrix& d, const Matrix& x, Matrix* g, bool accumulate) {
+  FML_CHECK_EQ(d.rows(), x.rows());
+  const size_t m = d.rows();
+  const size_t n = d.cols();
+  const size_t k = x.cols();
+  if (!accumulate) g->Resize(n, k);
+  FML_CHECK_EQ(g->rows(), n);
+  FML_CHECK_EQ(g->cols(), k);
+  for (size_t r = 0; r < m; ++r) {
+    const double* dr = d.data() + r * n;
+    const double* xr = x.data() + r * k;
+    for (size_t i = 0; i < n; ++i) {
+      const double di = dr[i];
+      if (di == 0.0) continue;
+      double* gi = g->data() + i * k;
+      for (size_t j = 0; j < k; ++j) gi[j] += di * xr[j];
+    }
+  }
+  CountMults(m * n * k);
+  CountAdds(m * n * k);
+}
+
+void GemmTNSlice(const Matrix& d, const Matrix& x, Matrix* g, size_t gcol0) {
+  FML_CHECK_EQ(d.rows(), x.rows());
+  const size_t m = d.rows();
+  const size_t n = d.cols();
+  const size_t k = x.cols();
+  FML_CHECK_EQ(g->rows(), n);
+  FML_CHECK_LE(gcol0 + k, g->cols());
+  const size_t ldg = g->cols();
+  for (size_t r = 0; r < m; ++r) {
+    const double* dr = d.data() + r * n;
+    const double* xr = x.data() + r * k;
+    for (size_t i = 0; i < n; ++i) {
+      const double di = dr[i];
+      double* gi = g->data() + i * ldg + gcol0;
+      for (size_t j = 0; j < k; ++j) gi[j] += di * xr[j];
+    }
+  }
+  CountMults(m * n * k);
+  CountAdds(m * n * k);
+}
+
+void AddOuter(double alpha, const double* u, size_t nu, const double* v,
+              size_t nv, Matrix* a, size_t r0, size_t c0) {
+  FML_DCHECK(r0 + nu <= a->rows() && c0 + nv <= a->cols());
+  const size_t lda = a->cols();
+  for (size_t i = 0; i < nu; ++i) {
+    const double ui = alpha * u[i];
+    double* row = a->data() + (r0 + i) * lda + c0;
+    for (size_t j = 0; j < nv; ++j) row[j] += ui * v[j];
+  }
+  CountMults(nu * nv + nu);
+  CountAdds(nu * nv);
+}
+
+void AddRowVector(const double* b, Matrix* x) {
+  const size_t m = x->rows();
+  const size_t n = x->cols();
+  for (size_t i = 0; i < m; ++i) {
+    double* row = x->data() + i * n;
+    for (size_t j = 0; j < n; ++j) row[j] += b[j];
+  }
+  CountAdds(m * n);
+}
+
+}  // namespace factorml::la

@@ -1,0 +1,79 @@
+#include "nn/activation.h"
+
+#include <cmath>
+
+#include "common/opcount.h"
+
+namespace factorml::nn {
+
+const char* ActivationName(Activation a) {
+  switch (a) {
+    case Activation::kSigmoid:
+      return "sigmoid";
+    case Activation::kTanh:
+      return "tanh";
+    case Activation::kRelu:
+      return "relu";
+    case Activation::kIdentity:
+      return "identity";
+  }
+  return "?";
+}
+
+bool IsAdditive(Activation a) { return a == Activation::kIdentity; }
+
+void ApplyActivation(Activation act, const la::Matrix& a, la::Matrix* h) {
+  if (h->rows() != a.rows() || h->cols() != a.cols()) {
+    h->Resize(a.rows(), a.cols());
+  }
+  const size_t n = a.size();
+  const double* src = a.data();
+  double* dst = h->data();
+  switch (act) {
+    case Activation::kSigmoid:
+      for (size_t i = 0; i < n; ++i) dst[i] = 1.0 / (1.0 + std::exp(-src[i]));
+      CountExps(n);
+      break;
+    case Activation::kTanh:
+      for (size_t i = 0; i < n; ++i) dst[i] = std::tanh(src[i]);
+      CountExps(n);
+      break;
+    case Activation::kRelu:
+      for (size_t i = 0; i < n; ++i) dst[i] = src[i] > 0.0 ? src[i] : 0.0;
+      break;
+    case Activation::kIdentity:
+      for (size_t i = 0; i < n; ++i) dst[i] = src[i];
+      break;
+  }
+}
+
+void ActivationGrad(Activation act, const la::Matrix& a, const la::Matrix& h,
+                    la::Matrix* g) {
+  if (g->rows() != a.rows() || g->cols() != a.cols()) {
+    g->Resize(a.rows(), a.cols());
+  }
+  const size_t n = a.size();
+  const double* pre = a.data();
+  const double* out = h.data();
+  double* dst = g->data();
+  switch (act) {
+    case Activation::kSigmoid:
+      for (size_t i = 0; i < n; ++i) dst[i] = out[i] * (1.0 - out[i]);
+      CountMults(n);
+      CountSubs(n);
+      break;
+    case Activation::kTanh:
+      for (size_t i = 0; i < n; ++i) dst[i] = 1.0 - out[i] * out[i];
+      CountMults(n);
+      CountSubs(n);
+      break;
+    case Activation::kRelu:
+      for (size_t i = 0; i < n; ++i) dst[i] = pre[i] > 0.0 ? 1.0 : 0.0;
+      break;
+    case Activation::kIdentity:
+      for (size_t i = 0; i < n; ++i) dst[i] = 1.0;
+      break;
+  }
+}
+
+}  // namespace factorml::nn

@@ -1,0 +1,38 @@
+#ifndef FACTORML_NN_ACTIVATION_H_
+#define FACTORML_NN_ACTIVATION_H_
+
+#include <string>
+
+#include "la/matrix.h"
+
+namespace factorml::nn {
+
+/// Activation functions studied by the paper (Sec. VI-A2). Sigmoid and
+/// tanh are not additive, so exact computation sharing is limited to the
+/// first layer; identity is additive (the Cauchy functional form), which
+/// is what makes the second-layer-reuse ablation expressible; ReLU is
+/// additive only when both partial sums share a sign.
+enum class Activation {
+  kSigmoid,
+  kTanh,
+  kRelu,
+  kIdentity,
+};
+
+const char* ActivationName(Activation a);
+
+/// True for activations satisfying f(x + y) = f(x) + f(y) everywhere —
+/// the requirement for exact cross-layer computation sharing.
+bool IsAdditive(Activation a);
+
+/// h = f(a), element-wise over the batch.
+void ApplyActivation(Activation act, const la::Matrix& a, la::Matrix* h);
+
+/// g = f'(a) element-wise, expressed through the already-computed h where
+/// cheaper (sigmoid: h(1-h); tanh: 1-h^2).
+void ActivationGrad(Activation act, const la::Matrix& a, const la::Matrix& h,
+                    la::Matrix* g);
+
+}  // namespace factorml::nn
+
+#endif  // FACTORML_NN_ACTIVATION_H_

@@ -1,0 +1,85 @@
+#ifndef FACTORML_NN_BACKPROP_H_
+#define FACTORML_NN_BACKPROP_H_
+
+#include <memory>
+#include <vector>
+
+#include "common/rng.h"
+#include "la/matrix.h"
+#include "nn/mlp.h"
+
+namespace factorml::nn::internal {
+
+/// Shared BP machinery for the three NN trainers. The trainers differ only
+/// in how the first-layer pre-activation A1 = W1 * x + b1 is produced (full
+/// joined tuples for M-NN/S-NN; factorized partial inner products for
+/// F-NN) and in how the W1 gradient [PG_S | PG_R] is accumulated; all
+/// layers above the first are mathematically identical across algorithms
+/// (the paper shows reuse beyond the first layer is not profitable,
+/// Sec. VI-A2), so they live here.
+class BackpropEngine {
+ public:
+  BackpropEngine(Mlp* mlp, double learning_rate);
+
+  /// Enables inverted dropout on the hidden activations (the paper notes
+  /// Dropout applied after a layer's activation is compatible with the
+  /// factorization, Sec. VI-A). Masks are drawn from a deterministic
+  /// stream seeded here; trainers that process identical batch sequences
+  /// with the same seed therefore apply identical masks, preserving the
+  /// M == S == F exactness property under dropout.
+  void EnableDropout(double rate, uint64_t seed);
+
+  /// Configures classical-momentum SGD with optional L2 weight decay:
+  ///   v <- momentum * v - lr * (grad + weight_decay * w);  w <- w + v.
+  /// Defaults (0, 0) reduce to plain SGD. Deterministic, so the M/S/F
+  /// exactness property is unaffected.
+  void ConfigureSgd(double momentum, double weight_decay);
+
+  /// Applies the configured update rule to the first-layer weights using
+  /// the caller-assembled gradient (the [PG_S | PG_R] split for F-NN).
+  void UpdateW0(const la::Matrix& grad0);
+
+  /// One mini-batch update given the first-layer pre-activation `a1`
+  /// (batch x nh, bias already added) and targets `y` (length batch):
+  /// runs the forward pass through the remaining layers, backpropagates,
+  /// updates every parameter except w[0] (including b[0]), and writes
+  /// delta1 = dE/dA1 (already scaled by 1/batch) for the caller to form
+  /// the w[0] gradient. Returns the batch's sum of squared errors
+  /// (computed before the update).
+  double Step(const la::Matrix& a1, const double* y, la::Matrix* delta1);
+
+  double learning_rate() const { return lr_; }
+
+ private:
+  void UpdateLayer(size_t l, const la::Matrix& delta,
+                   const la::Matrix& input);
+
+  void MaybeDropout(size_t layer);
+  void ApplyUpdate(la::Matrix* w, const la::Matrix& grad,
+                   la::Matrix* velocity);
+  void UpdateBias(size_t l, const la::Matrix& delta);
+
+  Mlp* mlp_;
+  double lr_;
+  double momentum_ = 0.0;
+  double weight_decay_ = 0.0;
+  std::vector<la::Matrix> vel_w_;               // per-layer weight velocity
+  std::vector<std::vector<double>> vel_b_;      // per-layer bias velocity
+  double dropout_rate_ = 0.0;
+  std::unique_ptr<Rng> dropout_rng_;
+  std::vector<la::Matrix> a_;      // pre-activations per layer
+  std::vector<la::Matrix> h_;      // activations per layer
+  std::vector<la::Matrix> delta_;  // error terms per layer
+  std::vector<la::Matrix> mask_;   // dropout masks (0 or 1/(1-p))
+  std::vector<la::Matrix> raw_h_;  // pre-dropout activations (for f')
+  la::Matrix grad_;
+  la::Matrix fprime_;
+};
+
+/// w -= lr * grad and the matching op count (one multiply-subtract per
+/// parameter); shared with the trainers' w[0] update.
+void ApplyGradient(la::Matrix* w, const la::Matrix& grad, double lr);
+
+}  // namespace factorml::nn::internal
+
+#endif  // FACTORML_NN_BACKPROP_H_

@@ -1,0 +1,181 @@
+#include <cstring>
+#include <vector>
+
+#include "common/opcount.h"
+#include "join/attribute_view.h"
+#include "join/batch_plan.h"
+#include "join/join_cursor.h"
+#include "la/ops.h"
+#include "nn/backprop.h"
+#include "nn/trainers.h"
+
+namespace factorml::nn {
+
+namespace {
+
+/// Per-attribute-table cache of first-layer partial inner products:
+/// row rid holds W1[:, slice_i] * x_ri (plus the layer bias for table 0,
+/// matching the paper's T2 = sum w x_R + b). An entry is valid for weight
+/// version `stamp[rid]`; since mini-batch SGD changes W1 every update,
+/// entries are recomputed lazily on first use per version — "computed when
+/// one tuple in R appears for the first time and reused for the remaining
+/// matching tuples" (Sec. VI-A2).
+struct PartialCache {
+  la::Matrix c;                  // nRi x nh
+  std::vector<uint64_t> stamp;   // nRi, last weight version computed
+};
+
+}  // namespace
+
+Result<Mlp> TrainNnFactorized(const join::NormalizedRelations& rel,
+                              const NnOptions& options,
+                              storage::BufferPool* pool,
+                              core::TrainReport* report) {
+  FML_RETURN_IF_ERROR(rel.Validate());
+  if (!rel.has_target) {
+    return Status::InvalidArgument("NN training requires a target column");
+  }
+  if (options.hidden.empty()) {
+    return Status::InvalidArgument("at least one hidden layer required");
+  }
+  FML_CHECK_GT(rel.fk1_index.num_rids(), 0) << "BuildIndex() not called";
+  core::ReportScope scope(report, "F-NN");
+
+  const size_t q = rel.num_joins();
+  const size_t ds = rel.ds();
+  const size_t d = rel.total_dims();
+  const size_t nh = options.hidden[0];
+  const int64_t n = rel.s.num_rows();
+
+  std::vector<size_t> attr_offset(q);
+  for (size_t i = 0; i < q; ++i) attr_offset[i] = rel.FeatureOffset(i + 1);
+
+  Mlp mlp = Mlp::Init(d, options.hidden, options.activation, options.seed);
+  internal::BackpropEngine engine(&mlp, options.learning_rate);
+  if (options.hidden_dropout > 0.0) {
+    engine.EnableDropout(options.hidden_dropout, options.seed ^ 0xD40);
+  }
+  engine.ConfigureSgd(options.momentum, options.weight_decay);
+
+  std::vector<join::AttributeTableView> views(q);
+  std::vector<PartialCache> caches(q);
+  uint64_t version = 1;  // bumped after every weight update
+
+  la::Matrix xs;       // batch x dS (S features only — never widened to d)
+  la::Matrix a1;       // batch x nh
+  la::Matrix delta1;   // batch x nh
+  la::Matrix grad0(mlp.w[0].rows(), mlp.w[0].cols());
+  std::vector<double> y;
+  std::vector<double> dsum(nh);  // grouped-backward scratch
+  join::JoinBatch batch;
+
+  double epoch_sse = 0.0;
+  for (int epoch = 0; epoch < options.epochs; ++epoch) {
+    for (size_t i = 0; i < q; ++i) {
+      FML_RETURN_IF_ERROR(views[i].Load(rel.attrs[i], pool));
+      if (caches[i].stamp.empty()) {
+        caches[i].c.Resize(views[i].feats().rows(), nh);
+        caches[i].stamp.assign(views[i].feats().rows(), 0);
+      }
+    }
+    join::JoinCursor cursor(&rel, pool, options.batch_rows);
+    if (options.shuffle) {
+      cursor.SetRidOrder(join::PermutedRids(rel.fk1_index.num_rids(),
+                                            options.seed, epoch));
+    }
+
+    epoch_sse = 0.0;
+    while (cursor.Next(&batch)) {
+      const size_t b = batch.s_rows.num_rows;
+      if (b == 0) continue;
+      xs.Resize(b, ds);
+      y.resize(b);
+      for (size_t r = 0; r < b; ++r) {
+        y[r] = batch.s_rows.feats(r, 0);
+        std::memcpy(xs.Row(r).data(), batch.s_rows.feats.Row(r).data() + 1,
+                    sizeof(double) * ds);
+      }
+
+      // ---- Factorized forward, first layer (Sec. VI-A1 / Eq. 31):
+      // A1 = XS * W_S^T  +  sum_i cache_i(rid_i), where each cache entry
+      // is computed once per attribute tuple per weight version.
+      la::GemmNTSlice(xs, mlp.w[0], 0, &a1, /*accumulate=*/false);
+      for (size_t r = 0; r < b; ++r) {
+        const int64_t* keys = batch.s_rows.KeysOf(r);
+        double* a1_row = a1.Row(r).data();
+        for (size_t i = 0; i < q; ++i) {
+          const int64_t rid = keys[rel.FkKeyIndex(i)];
+          PartialCache& cache = caches[i];
+          if (cache.stamp[static_cast<size_t>(rid)] != version) {
+            const auto xr = views[i].FeaturesOf(rid);
+            const size_t dri = xr.size();
+            double* c_row = cache.c.Row(static_cast<size_t>(rid)).data();
+            const size_t ldw = mlp.w[0].cols();
+            const double* w_base = mlp.w[0].data() + attr_offset[i];
+            for (size_t u = 0; u < nh; ++u) {
+              double s = 0.0;
+              const double* w_row = w_base + u * ldw;
+              for (size_t j = 0; j < dri; ++j) s += w_row[j] * xr[j];
+              // The paper's T2 carries the bias with the first partial sum.
+              c_row[u] = (i == 0) ? s + mlp.b[0][u] : s;
+            }
+            CountMults(nh * dri);
+            CountAdds(nh * dri + (i == 0 ? nh : 0));
+            cache.stamp[static_cast<size_t>(rid)] = version;
+          }
+          const double* c_row = cache.c.Row(static_cast<size_t>(rid)).data();
+          for (size_t u = 0; u < nh; ++u) a1_row[u] += c_row[u];
+        }
+      }
+      CountAdds(b * nh * q);
+
+      epoch_sse += engine.Step(a1, y.data(), &delta1);
+
+      // ---- Factorized backward (Sec. VI-A3 / Eq. 32): the W1 gradient
+      // [PG_S | PG_R1 | ... ] is formed from the base relations directly;
+      // identical arithmetic, but x_Ri is never expanded to N rows on disk.
+      grad0.SetZero();
+      la::GemmTNSlice(delta1, xs, &grad0, 0);
+      if (options.grouped_backward && q >= 1) {
+        // Extension: per R1 group, sum the deltas first, then one outer
+        // product per R1 tuple (nh*(b + |rids|*dR1) ops instead of
+        // nh*b*dR1). Tables beyond the first keep the per-row path.
+        for (const auto& g : batch.groups) {
+          if (g.count == 0) continue;
+          std::fill(dsum.begin(), dsum.end(), 0.0);
+          for (size_t r = g.offset; r < g.offset + g.count; ++r) {
+            la::Axpy(1.0, delta1.Row(r).data(), dsum.data(), nh);
+          }
+          const auto xr = views[0].FeaturesOf(g.rid);
+          la::AddOuter(1.0, dsum.data(), nh, xr.data(), xr.size(), &grad0,
+                       0, attr_offset[0]);
+        }
+        for (size_t r = 0; r < b; ++r) {
+          const int64_t* keys = batch.s_rows.KeysOf(r);
+          for (size_t i = 1; i < q; ++i) {
+            const auto xr = views[i].FeaturesOf(keys[rel.FkKeyIndex(i)]);
+            la::AddOuter(1.0, delta1.Row(r).data(), nh, xr.data(),
+                         xr.size(), &grad0, 0, attr_offset[i]);
+          }
+        }
+      } else {
+        for (size_t r = 0; r < b; ++r) {
+          const int64_t* keys = batch.s_rows.KeysOf(r);
+          for (size_t i = 0; i < q; ++i) {
+            const auto xr = views[i].FeaturesOf(keys[rel.FkKeyIndex(i)]);
+            la::AddOuter(1.0, delta1.Row(r).data(), nh, xr.data(),
+                         xr.size(), &grad0, 0, attr_offset[i]);
+          }
+        }
+      }
+      engine.UpdateW0(grad0);
+      ++version;  // engine updated b0 and layers >= 1; W1 updated above
+    }
+    FML_RETURN_IF_ERROR(cursor.status());
+  }
+
+  scope.Finish(options.epochs, epoch_sse / (2.0 * static_cast<double>(n)));
+  return mlp;
+}
+
+}  // namespace factorml::nn

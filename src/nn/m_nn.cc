@@ -1,0 +1,98 @@
+#include <cstring>
+#include <vector>
+
+#include "common/opcount.h"
+#include "common/stopwatch.h"
+#include "join/batch_plan.h"
+#include "join/materialize.h"
+#include "la/ops.h"
+#include "nn/backprop.h"
+#include "nn/trainers.h"
+#include "storage/table.h"
+
+namespace factorml::nn {
+
+Result<Mlp> TrainNnMaterialized(const join::NormalizedRelations& rel,
+                                const NnOptions& options,
+                                storage::BufferPool* pool,
+                                core::TrainReport* report) {
+  FML_RETURN_IF_ERROR(rel.Validate());
+  if (!rel.has_target) {
+    return Status::InvalidArgument("NN training requires a target column");
+  }
+  if (options.hidden.empty()) {
+    return Status::InvalidArgument("at least one hidden layer required");
+  }
+  core::ReportScope scope(report, "M-NN");
+
+  // Join + materialize T on disk, then train from T alone.
+  Stopwatch mat_watch;
+  FML_ASSIGN_OR_RETURN(
+      storage::Table t,
+      join::MaterializeJoin(rel, pool, options.temp_dir + "/m_nn_T.fml"));
+  if (report != nullptr) {
+    report->materialize_seconds = mat_watch.ElapsedSeconds();
+  }
+
+  const size_t d = rel.total_dims();
+  const int64_t n = t.num_rows();
+  Mlp mlp = Mlp::Init(d, options.hidden, options.activation, options.seed);
+  internal::BackpropEngine engine(&mlp, options.learning_rate);
+  if (options.hidden_dropout > 0.0) {
+    engine.EnableDropout(options.hidden_dropout, options.seed ^ 0xD40);
+  }
+  engine.ConfigureSgd(options.momentum, options.weight_decay);
+
+  la::Matrix x;        // batch x d
+  la::Matrix a1;       // batch x nh
+  la::Matrix delta1;   // batch x nh
+  la::Matrix grad0(mlp.w[0].rows(), mlp.w[0].cols());
+  std::vector<double> y;
+  storage::RowBatch rows;
+
+  double epoch_sse = 0.0;
+  for (int epoch = 0; epoch < options.epochs; ++epoch) {
+    std::vector<int64_t> order;
+    if (options.shuffle) {
+      order = join::PermutedRids(rel.fk1_index.num_rids(), options.seed,
+                                 epoch);
+    }
+    const auto plan = join::PlanGroupBatches(
+        rel.fk1_index, options.batch_rows,
+        options.shuffle ? &order : nullptr);
+
+    epoch_sse = 0.0;
+    for (const auto& batch : plan) {
+      const size_t b = static_cast<size_t>(batch.total_rows);
+      x.Resize(b, d);
+      y.resize(b);
+      size_t filled = 0;
+      for (const auto& range : batch.ranges) {
+        FML_RETURN_IF_ERROR(t.ReadRows(pool, range.start,
+                                       static_cast<size_t>(range.count),
+                                       &rows));
+        for (size_t r = 0; r < rows.num_rows; ++r) {
+          // T feature column 0 is Y; the remaining d columns are features.
+          y[filled] = rows.feats(r, 0);
+          std::memcpy(x.Row(filled).data(), rows.feats.Row(r).data() + 1,
+                      sizeof(double) * d);
+          ++filled;
+        }
+      }
+      FML_CHECK_EQ(filled, b);
+
+      la::GemmNT(x, mlp.w[0], &a1, /*accumulate=*/false);
+      la::AddRowVector(mlp.b[0].data(), &a1);
+      epoch_sse += engine.Step(a1, y.data(), &delta1);
+
+      la::GemmTN(delta1, x, &grad0, /*accumulate=*/false);
+      engine.UpdateW0(grad0);
+    }
+  }
+
+  scope.Finish(options.epochs,
+               epoch_sse / (2.0 * static_cast<double>(n)));
+  return mlp;
+}
+
+}  // namespace factorml::nn

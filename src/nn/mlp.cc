@@ -1,0 +1,75 @@
+#include "nn/mlp.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/rng.h"
+#include "la/ops.h"
+
+namespace factorml::nn {
+
+Mlp Mlp::Init(size_t input_dims, const std::vector<size_t>& hidden,
+              Activation activation, uint64_t seed) {
+  FML_CHECK_GT(input_dims, 0u);
+  FML_CHECK(!hidden.empty());
+  Mlp mlp;
+  mlp.activation = activation;
+  Rng rng(seed);
+  size_t in = input_dims;
+  std::vector<size_t> outs = hidden;
+  outs.push_back(1);  // linear output unit
+  for (size_t out : outs) {
+    la::Matrix wl(out, in);
+    const double scale = 1.0 / std::sqrt(static_cast<double>(in));
+    for (size_t i = 0; i < out; ++i) {
+      for (size_t j = 0; j < in; ++j) {
+        wl(i, j) = scale * rng.NextGaussian();
+      }
+    }
+    mlp.w.push_back(std::move(wl));
+    mlp.b.emplace_back(out, 0.0);
+    in = out;
+  }
+  return mlp;
+}
+
+void Mlp::Forward(const la::Matrix& x, la::Matrix* out) const {
+  la::Matrix a;
+  la::Matrix h = x;
+  for (size_t l = 0; l < w.size(); ++l) {
+    la::GemmNT(h, w[l], &a, /*accumulate=*/false);
+    la::AddRowVector(b[l].data(), &a);
+    if (l + 1 < w.size()) {
+      ApplyActivation(activation, a, &h);
+    } else {
+      h = a;  // linear output
+    }
+  }
+  *out = std::move(h);
+}
+
+double Mlp::HalfMse(const la::Matrix& x, const std::vector<double>& y) const {
+  FML_CHECK_EQ(x.rows(), y.size());
+  la::Matrix out;
+  Forward(x, &out);
+  double sse = 0.0;
+  for (size_t r = 0; r < y.size(); ++r) {
+    const double e = out(r, 0) - y[r];
+    sse += e * e;
+  }
+  return sse / (2.0 * static_cast<double>(std::max<size_t>(1, y.size())));
+}
+
+double Mlp::MaxAbsDiffParams(const Mlp& a, const Mlp& b) {
+  FML_CHECK_EQ(a.w.size(), b.w.size());
+  double m = 0.0;
+  for (size_t l = 0; l < a.w.size(); ++l) {
+    m = std::max(m, la::Matrix::MaxAbsDiff(a.w[l], b.w[l]));
+    for (size_t i = 0; i < a.b[l].size(); ++i) {
+      m = std::max(m, std::fabs(a.b[l][i] - b.b[l][i]));
+    }
+  }
+  return m;
+}
+
+}  // namespace factorml::nn

@@ -1,0 +1,50 @@
+#ifndef FACTORML_NN_MLP_H_
+#define FACTORML_NN_MLP_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "la/matrix.h"
+#include "nn/activation.h"
+
+namespace factorml::nn {
+
+/// Feed-forward regression network: `hidden.size()` hidden layers with a
+/// shared activation, plus one linear output unit trained against the
+/// target Y with mean squared error (the paper's Sec. III-B / VI setting).
+///
+/// Layer l has weights w[l] of shape (units_out x units_in) and bias b[l];
+/// layer 0 consumes the d-dimensional joined feature vector, whose column
+/// layout is [XS | XR1 | ... | XRq] — the F-NN trainer slices w[0] by that
+/// layout.
+class Mlp {
+ public:
+  Mlp() = default;
+
+  /// Deterministic initialization (Gaussian weights scaled by
+  /// 1/sqrt(fan_in)); all trainers start from the identical network so the
+  /// factorization's exactness is testable parameter-by-parameter.
+  static Mlp Init(size_t input_dims, const std::vector<size_t>& hidden,
+                  Activation activation, uint64_t seed);
+
+  size_t num_weight_layers() const { return w.size(); }
+  size_t input_dims() const { return w.empty() ? 0 : w[0].cols(); }
+  size_t first_hidden_units() const { return w.empty() ? 0 : w[0].rows(); }
+
+  /// Batched inference: out is (batch x 1).
+  void Forward(const la::Matrix& x, la::Matrix* out) const;
+
+  /// Mean squared error 1/(2N) sum (o - y)^2 over a batch.
+  double HalfMse(const la::Matrix& x, const std::vector<double>& y) const;
+
+  /// Max absolute parameter difference between two equal-shape networks.
+  static double MaxAbsDiffParams(const Mlp& a, const Mlp& b);
+
+  Activation activation = Activation::kSigmoid;
+  std::vector<la::Matrix> w;
+  std::vector<std::vector<double>> b;
+};
+
+}  // namespace factorml::nn
+
+#endif  // FACTORML_NN_MLP_H_

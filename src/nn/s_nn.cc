@@ -1,0 +1,82 @@
+#include <vector>
+
+#include "join/assemble.h"
+#include "join/attribute_view.h"
+#include "join/batch_plan.h"
+#include "join/join_cursor.h"
+#include "la/ops.h"
+#include "nn/backprop.h"
+#include "nn/trainers.h"
+
+namespace factorml::nn {
+
+Result<Mlp> TrainNnStreaming(const join::NormalizedRelations& rel,
+                             const NnOptions& options,
+                             storage::BufferPool* pool,
+                             core::TrainReport* report) {
+  FML_RETURN_IF_ERROR(rel.Validate());
+  if (!rel.has_target) {
+    return Status::InvalidArgument("NN training requires a target column");
+  }
+  if (options.hidden.empty()) {
+    return Status::InvalidArgument("at least one hidden layer required");
+  }
+  FML_CHECK_GT(rel.fk1_index.num_rids(), 0) << "BuildIndex() not called";
+  core::ReportScope scope(report, "S-NN");
+
+  const size_t d = rel.total_dims();
+  const int64_t n = rel.s.num_rows();
+  Mlp mlp = Mlp::Init(d, options.hidden, options.activation, options.seed);
+  internal::BackpropEngine engine(&mlp, options.learning_rate);
+  if (options.hidden_dropout > 0.0) {
+    engine.EnableDropout(options.hidden_dropout, options.seed ^ 0xD40);
+  }
+  engine.ConfigureSgd(options.momentum, options.weight_decay);
+
+  la::Matrix x;
+  la::Matrix a1;
+  la::Matrix delta1;
+  la::Matrix grad0(mlp.w[0].rows(), mlp.w[0].cols());
+  std::vector<double> y;
+  std::vector<join::AttributeTableView> views(rel.num_joins());
+  join::JoinBatch batch;
+
+  double epoch_sse = 0.0;
+  for (int epoch = 0; epoch < options.epochs; ++epoch) {
+    // The join is recomputed every epoch: reload the build side, stream S.
+    for (size_t i = 0; i < rel.num_joins(); ++i) {
+      FML_RETURN_IF_ERROR(views[i].Load(rel.attrs[i], pool));
+    }
+    join::JoinCursor cursor(&rel, pool, options.batch_rows);
+    if (options.shuffle) {
+      cursor.SetRidOrder(join::PermutedRids(rel.fk1_index.num_rids(),
+                                            options.seed, epoch));
+    }
+
+    epoch_sse = 0.0;
+    while (cursor.Next(&batch)) {
+      const size_t b = batch.s_rows.num_rows;
+      if (b == 0) continue;
+      x.Resize(b, d);
+      y.resize(b);
+      for (size_t r = 0; r < b; ++r) {
+        // Feature column 0 of S is the target.
+        y[r] = batch.s_rows.feats(r, 0);
+        join::AssembleJoinedRow(rel, batch.s_rows, r, views, x.Row(r).data());
+      }
+
+      la::GemmNT(x, mlp.w[0], &a1, /*accumulate=*/false);
+      la::AddRowVector(mlp.b[0].data(), &a1);
+      epoch_sse += engine.Step(a1, y.data(), &delta1);
+
+      la::GemmTN(delta1, x, &grad0, /*accumulate=*/false);
+      engine.UpdateW0(grad0);
+    }
+    FML_RETURN_IF_ERROR(cursor.status());
+  }
+
+  scope.Finish(options.epochs, epoch_sse / (2.0 * static_cast<double>(n)));
+  return mlp;
+}
+
+}  // namespace factorml::nn

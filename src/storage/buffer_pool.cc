@@ -1,0 +1,41 @@
+#include "storage/buffer_pool.h"
+
+#include "storage/io_stats.h"
+
+namespace factorml::storage {
+
+BufferPool::BufferPool(size_t capacity_pages)
+    : capacity_(capacity_pages == 0 ? 1 : capacity_pages) {}
+
+Result<const char*> BufferPool::GetPage(PagedFile* file, uint64_t page_no) {
+  const Key key{file->id(), page_no};
+  auto it = map_.find(key);
+  if (it != map_.end()) {
+    GlobalIo().pool_hits++;
+    // Move to front of the LRU list.
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return static_cast<const char*>(it->second->data.get());
+  }
+  GlobalIo().pool_misses++;
+  std::unique_ptr<char[]> buf;
+  if (map_.size() >= capacity_) {
+    // Reuse the least recently used frame.
+    Frame victim = std::move(lru_.back());
+    map_.erase(victim.key);
+    lru_.pop_back();
+    buf = std::move(victim.data);
+  } else {
+    buf = std::make_unique<char[]>(kPageSize);
+  }
+  FML_RETURN_IF_ERROR(file->ReadPage(page_no, buf.get()));
+  lru_.push_front(Frame{key, std::move(buf)});
+  map_[key] = lru_.begin();
+  return static_cast<const char*>(lru_.front().data.get());
+}
+
+void BufferPool::Clear() {
+  lru_.clear();
+  map_.clear();
+}
+
+}  // namespace factorml::storage

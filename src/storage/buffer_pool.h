@@ -1,0 +1,66 @@
+#ifndef FACTORML_STORAGE_BUFFER_POOL_H_
+#define FACTORML_STORAGE_BUFFER_POOL_H_
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/paged_file.h"
+
+namespace factorml::storage {
+
+/// LRU page cache shared by all scans. A repeated pass over a relation that
+/// fits in the pool costs no physical reads — which is exactly the regime
+/// where the paper's attribute tables (nR pages) live, while the wide fact
+/// and materialized tables do not fit and are re-read every pass.
+class BufferPool {
+ public:
+  /// `capacity_pages` frames of kPageSize bytes each.
+  explicit BufferPool(size_t capacity_pages);
+
+  BufferPool(const BufferPool&) = delete;
+  BufferPool& operator=(const BufferPool&) = delete;
+
+  /// Returns a pointer to the cached frame for (file, page_no), reading it
+  /// from disk on a miss. The pointer stays valid until the frame is
+  /// evicted, i.e. until at least `capacity_pages - 1` further distinct
+  /// pages are touched; callers must copy out what they need before issuing
+  /// unbounded further reads.
+  Result<const char*> GetPage(PagedFile* file, uint64_t page_no);
+
+  /// Drops every cached frame (e.g. between timed runs).
+  void Clear();
+
+  size_t capacity_pages() const { return capacity_; }
+  size_t cached_pages() const { return map_.size(); }
+
+ private:
+  struct Key {
+    uint64_t file_id;
+    uint64_t page_no;
+    bool operator==(const Key& o) const {
+      return file_id == o.file_id && page_no == o.page_no;
+    }
+  };
+  struct KeyHash {
+    size_t operator()(const Key& k) const {
+      return std::hash<uint64_t>()(k.file_id * 0x9e3779b97f4a7c15ULL ^
+                                   k.page_no);
+    }
+  };
+  struct Frame {
+    Key key;
+    std::unique_ptr<char[]> data;
+  };
+
+  size_t capacity_;
+  std::list<Frame> lru_;  // front = most recently used
+  std::unordered_map<Key, std::list<Frame>::iterator, KeyHash> map_;
+};
+
+}  // namespace factorml::storage
+
+#endif  // FACTORML_STORAGE_BUFFER_POOL_H_

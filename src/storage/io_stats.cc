@@ -1,0 +1,35 @@
+#include "storage/io_stats.h"
+
+#include <sstream>
+
+#include "storage/paged_file.h"
+
+namespace factorml::storage {
+
+namespace {
+IoStats g_io;
+uint64_t g_read_latency_us = 0;
+uint64_t g_write_latency_us = 0;
+}  // namespace
+
+IoStats& GlobalIo() { return g_io; }
+void ResetGlobalIo() { g_io = IoStats{}; }
+
+void SetSimulatedIoLatencyMicros(uint64_t read_us, uint64_t write_us) {
+  g_read_latency_us = read_us;
+  g_write_latency_us = write_us;
+}
+uint64_t SimulatedReadLatencyMicros() { return g_read_latency_us; }
+uint64_t SimulatedWriteLatencyMicros() { return g_write_latency_us; }
+
+uint64_t IoStats::bytes_read() const { return pages_read * kPageSize; }
+uint64_t IoStats::bytes_written() const { return pages_written * kPageSize; }
+
+std::string IoStats::ToString() const {
+  std::ostringstream os;
+  os << "pages_read=" << pages_read << " pages_written=" << pages_written
+     << " pool_hits=" << pool_hits << " pool_misses=" << pool_misses;
+  return os.str();
+}
+
+}  // namespace factorml::storage

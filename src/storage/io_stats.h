@@ -1,0 +1,44 @@
+#ifndef FACTORML_STORAGE_IO_STATS_H_
+#define FACTORML_STORAGE_IO_STATS_H_
+
+#include <cstdint>
+#include <string>
+
+namespace factorml::storage {
+
+/// Process-wide page I/O accounting. The paper's cost analysis (Sec. V-A)
+/// is expressed in pages read/written per algorithm; trainers snapshot this
+/// before/after a run and report the delta. Buffer-pool hits are tracked
+/// separately so the physical-read counts stay meaningful.
+struct IoStats {
+  uint64_t pages_read = 0;
+  uint64_t pages_written = 0;
+  uint64_t pool_hits = 0;
+  uint64_t pool_misses = 0;
+
+  uint64_t bytes_read() const;
+  uint64_t bytes_written() const;
+
+  IoStats operator-(const IoStats& o) const {
+    return {pages_read - o.pages_read, pages_written - o.pages_written,
+            pool_hits - o.pool_hits, pool_misses - o.pool_misses};
+  }
+
+  std::string ToString() const;
+};
+
+/// Global accounting instance (the library is single-threaded by design).
+IoStats& GlobalIo();
+void ResetGlobalIo();
+
+/// Optional simulated device latency added to every physical page transfer
+/// (0 by default). The paper's setting is a disk-backed RDBMS; on a machine
+/// where the OS cache absorbs all reads, this knob restores the relative
+/// I/O costs of the M/S/F algorithms without requiring a real slow disk.
+void SetSimulatedIoLatencyMicros(uint64_t read_us, uint64_t write_us);
+uint64_t SimulatedReadLatencyMicros();
+uint64_t SimulatedWriteLatencyMicros();
+
+}  // namespace factorml::storage
+
+#endif  // FACTORML_STORAGE_IO_STATS_H_

@@ -1,0 +1,113 @@
+#include "storage/paged_file.h"
+
+#include <sys/stat.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+
+#include "storage/io_stats.h"
+
+namespace factorml::storage {
+
+namespace {
+std::atomic<uint64_t> g_next_file_id{1};
+
+void SimulateLatency(uint64_t micros) {
+  if (micros == 0) return;
+  std::this_thread::sleep_for(std::chrono::microseconds(micros));
+}
+}  // namespace
+
+PagedFile::PagedFile(std::FILE* f, std::string path, uint64_t num_pages,
+                     bool writable)
+    : f_(f),
+      path_(std::move(path)),
+      num_pages_(num_pages),
+      writable_(writable),
+      id_(g_next_file_id.fetch_add(1)) {}
+
+PagedFile::~PagedFile() {
+  if (f_ != nullptr) std::fclose(f_);
+}
+
+Result<std::unique_ptr<PagedFile>> PagedFile::Create(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "w+b");
+  if (f == nullptr) {
+    return Status::IoError("cannot create file: " + path);
+  }
+  return std::unique_ptr<PagedFile>(new PagedFile(f, path, 0, true));
+}
+
+Result<std::unique_ptr<PagedFile>> PagedFile::Open(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    return Status::IoError("cannot open file: " + path);
+  }
+  struct stat st;
+  if (stat(path.c_str(), &st) != 0) {
+    std::fclose(f);
+    return Status::IoError("cannot stat file: " + path);
+  }
+  const uint64_t pages = static_cast<uint64_t>(st.st_size) / kPageSize;
+  return std::unique_ptr<PagedFile>(new PagedFile(f, path, pages, false));
+}
+
+Status PagedFile::ReadPage(uint64_t page_no, char* buf) {
+  if (page_no >= num_pages_) {
+    return Status::OutOfRange("page " + std::to_string(page_no) +
+                              " out of range in " + path_);
+  }
+  if (std::fseek(f_, static_cast<long>(page_no * kPageSize), SEEK_SET) != 0) {
+    return Status::IoError("seek failed in " + path_);
+  }
+  if (std::fread(buf, 1, kPageSize, f_) != kPageSize) {
+    return Status::IoError("short read in " + path_);
+  }
+  GlobalIo().pages_read++;
+  SimulateLatency(SimulatedReadLatencyMicros());
+  return Status::OK();
+}
+
+Result<uint64_t> PagedFile::AppendPage(const char* buf) {
+  if (!writable_) {
+    return Status::FailedPrecondition("file opened read-only: " + path_);
+  }
+  if (std::fseek(f_, static_cast<long>(num_pages_ * kPageSize), SEEK_SET) !=
+      0) {
+    return Status::IoError("seek failed in " + path_);
+  }
+  if (std::fwrite(buf, 1, kPageSize, f_) != kPageSize) {
+    return Status::IoError("short write in " + path_);
+  }
+  GlobalIo().pages_written++;
+  SimulateLatency(SimulatedWriteLatencyMicros());
+  return num_pages_++;
+}
+
+Status PagedFile::WritePage(uint64_t page_no, const char* buf) {
+  if (!writable_) {
+    return Status::FailedPrecondition("file opened read-only: " + path_);
+  }
+  if (page_no >= num_pages_) {
+    return Status::OutOfRange("page out of range: " + path_);
+  }
+  if (std::fseek(f_, static_cast<long>(page_no * kPageSize), SEEK_SET) != 0) {
+    return Status::IoError("seek failed in " + path_);
+  }
+  if (std::fwrite(buf, 1, kPageSize, f_) != kPageSize) {
+    return Status::IoError("short write in " + path_);
+  }
+  GlobalIo().pages_written++;
+  SimulateLatency(SimulatedWriteLatencyMicros());
+  return Status::OK();
+}
+
+Status PagedFile::Flush() {
+  if (f_ != nullptr && std::fflush(f_) != 0) {
+    return Status::IoError("flush failed: " + path_);
+  }
+  return Status::OK();
+}
+
+}  // namespace factorml::storage

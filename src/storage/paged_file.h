@@ -1,0 +1,62 @@
+#ifndef FACTORML_STORAGE_PAGED_FILE_H_
+#define FACTORML_STORAGE_PAGED_FILE_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+#include <string>
+
+#include "common/status.h"
+
+namespace factorml::storage {
+
+/// Fixed page size of the storage engine (8 KiB, the PostgreSQL default —
+/// the paper stored its relations in PostgreSQL).
+inline constexpr size_t kPageSize = 8192;
+
+/// A file addressed in fixed-size pages. Every physical page transfer is
+/// counted in GlobalIo(); higher layers (BufferPool, Table) never touch the
+/// byte offsets directly.
+class PagedFile {
+ public:
+  /// Creates (truncates) a new file for writing + reading.
+  static Result<std::unique_ptr<PagedFile>> Create(const std::string& path);
+
+  /// Opens an existing file read-only.
+  static Result<std::unique_ptr<PagedFile>> Open(const std::string& path);
+
+  ~PagedFile();
+
+  PagedFile(const PagedFile&) = delete;
+  PagedFile& operator=(const PagedFile&) = delete;
+
+  /// Stable identifier unique across the process lifetime; the BufferPool
+  /// keys cached frames by (file_id, page_no) so ids are never reused.
+  uint64_t id() const { return id_; }
+  const std::string& path() const { return path_; }
+  uint64_t num_pages() const { return num_pages_; }
+
+  /// Reads page `page_no` into `buf` (kPageSize bytes).
+  Status ReadPage(uint64_t page_no, char* buf);
+
+  /// Appends a page at the end of the file; returns its page number.
+  Result<uint64_t> AppendPage(const char* buf);
+
+  /// Overwrites an existing page (used for the header page on Finish).
+  Status WritePage(uint64_t page_no, const char* buf);
+
+  Status Flush();
+
+ private:
+  PagedFile(std::FILE* f, std::string path, uint64_t num_pages, bool writable);
+
+  std::FILE* f_;
+  std::string path_;
+  uint64_t num_pages_;
+  bool writable_;
+  uint64_t id_;
+};
+
+}  // namespace factorml::storage
+
+#endif  // FACTORML_STORAGE_PAGED_FILE_H_

@@ -1,0 +1,176 @@
+#include "storage/table.h"
+
+#include <cstring>
+
+namespace factorml::storage {
+
+namespace {
+
+constexpr uint64_t kMagic = 0x464d4c5442763031ULL;  // "FMLTBv01"
+
+struct FileHeader {
+  uint64_t magic;
+  uint64_t num_keys;
+  uint64_t num_feats;
+  int64_t num_rows;
+};
+
+// Data page layout: uint64 row count, then packed rows.
+uint64_t PageRowCount(const char* page) {
+  uint64_t n;
+  std::memcpy(&n, page, sizeof(n));
+  return n;
+}
+
+}  // namespace
+
+Table::Table(std::unique_ptr<PagedFile> file, Schema schema, int64_t num_rows,
+             bool writable)
+    : file_(std::move(file)),
+      schema_(schema),
+      num_rows_(num_rows),
+      writable_(writable) {
+  if (writable_) tail_page_.assign(kPageSize, 0);
+}
+
+Result<Table> Table::Create(const std::string& path, const Schema& schema) {
+  if (schema.RowBytes() == 0 || schema.RowBytes() > kPageSize - 8) {
+    return Status::InvalidArgument("row too large for a page: " + path);
+  }
+  FML_ASSIGN_OR_RETURN(auto file, PagedFile::Create(path));
+  // Reserve the header page; contents are finalized in Finish().
+  std::vector<char> header(kPageSize, 0);
+  FML_ASSIGN_OR_RETURN(uint64_t page_no, file->AppendPage(header.data()));
+  (void)page_no;
+  return Table(std::move(file), schema, 0, /*writable=*/true);
+}
+
+Result<Table> Table::Open(const std::string& path) {
+  FML_ASSIGN_OR_RETURN(auto file, PagedFile::Open(path));
+  std::vector<char> header(kPageSize);
+  FML_RETURN_IF_ERROR(file->ReadPage(0, header.data()));
+  FileHeader h;
+  std::memcpy(&h, header.data(), sizeof(h));
+  if (h.magic != kMagic) {
+    return Status::InvalidArgument("not a factorml table: " + path);
+  }
+  Schema schema{static_cast<size_t>(h.num_keys),
+                static_cast<size_t>(h.num_feats)};
+  Table t(std::move(file), schema, h.num_rows, /*writable=*/false);
+  t.finished_ = true;
+  return t;
+}
+
+uint64_t Table::num_data_pages() const {
+  const uint64_t total = file_->num_pages();
+  return total > 0 ? total - 1 : 0;
+}
+
+Status Table::Append(const int64_t* keys, const double* feats) {
+  if (!writable_ || finished_) {
+    return Status::FailedPrecondition("table not writable: " + path());
+  }
+  const size_t row_bytes = schema_.RowBytes();
+  char* dst = tail_page_.data() + 8 + tail_rows_ * row_bytes;
+  std::memcpy(dst, keys, 8 * schema_.num_keys);
+  std::memcpy(dst + 8 * schema_.num_keys, feats, 8 * schema_.num_feats);
+  ++tail_rows_;
+  ++num_rows_;
+  if (tail_rows_ == schema_.RowsPerPage()) {
+    FML_RETURN_IF_ERROR(FlushTailPage());
+  }
+  return Status::OK();
+}
+
+Status Table::FlushTailPage() {
+  const uint64_t n = tail_rows_;
+  std::memcpy(tail_page_.data(), &n, sizeof(n));
+  FML_ASSIGN_OR_RETURN(uint64_t page_no, file_->AppendPage(tail_page_.data()));
+  (void)page_no;
+  std::memset(tail_page_.data(), 0, kPageSize);
+  tail_rows_ = 0;
+  return Status::OK();
+}
+
+Status Table::Finish() {
+  if (finished_) return Status::OK();
+  if (!writable_) {
+    return Status::FailedPrecondition("table not writable: " + path());
+  }
+  if (tail_rows_ > 0) {
+    FML_RETURN_IF_ERROR(FlushTailPage());
+  }
+  std::vector<char> header(kPageSize, 0);
+  FileHeader h{kMagic, schema_.num_keys, schema_.num_feats, num_rows_};
+  std::memcpy(header.data(), &h, sizeof(h));
+  FML_RETURN_IF_ERROR(file_->WritePage(0, header.data()));
+  FML_RETURN_IF_ERROR(file_->Flush());
+  finished_ = true;
+  return Status::OK();
+}
+
+Status Table::ReadRows(BufferPool* pool, int64_t start_row, size_t count,
+                       RowBatch* out) const {
+  if (start_row < 0 || start_row + static_cast<int64_t>(count) > num_rows_) {
+    return Status::OutOfRange("row range out of bounds in " + path());
+  }
+  const size_t rpp = schema_.RowsPerPage();
+  const size_t row_bytes = schema_.RowBytes();
+
+  out->num_rows = count;
+  out->num_keys = schema_.num_keys;
+  out->start_row = start_row;
+  out->keys.resize(count * schema_.num_keys);
+  if (out->feats.rows() != count || out->feats.cols() != schema_.num_feats) {
+    out->feats.Resize(count, schema_.num_feats);
+  }
+
+  size_t filled = 0;
+  while (filled < count) {
+    const int64_t row = start_row + static_cast<int64_t>(filled);
+    const uint64_t page_no = 1 + static_cast<uint64_t>(row) / rpp;
+    const size_t offset_in_page = static_cast<size_t>(row) % rpp;
+    FML_ASSIGN_OR_RETURN(const char* page, pool->GetPage(file_.get(), page_no));
+    const uint64_t rows_in_page = PageRowCount(page);
+    if (offset_in_page >= rows_in_page) {
+      return Status::Internal("corrupt page in " + path());
+    }
+    const size_t take =
+        std::min(count - filled, static_cast<size_t>(rows_in_page) -
+                                     offset_in_page);
+    const char* src = page + 8 + offset_in_page * row_bytes;
+    for (size_t r = 0; r < take; ++r) {
+      std::memcpy(out->keys.data() + (filled + r) * schema_.num_keys, src,
+                  8 * schema_.num_keys);
+      std::memcpy(out->feats.Row(filled + r).data(),
+                  src + 8 * schema_.num_keys, 8 * schema_.num_feats);
+      src += row_bytes;
+    }
+    filled += take;
+  }
+  return Status::OK();
+}
+
+TableScanner::TableScanner(const Table* table, BufferPool* pool,
+                           size_t batch_rows)
+    : table_(table), pool_(pool), batch_rows_(batch_rows) {
+  FML_CHECK_GT(batch_rows_, 0u);
+}
+
+bool TableScanner::Next(RowBatch* out) {
+  if (!status_.ok()) return false;
+  if (next_row_ >= table_->num_rows()) return false;
+  const size_t count = static_cast<size_t>(
+      std::min<int64_t>(batch_rows_, table_->num_rows() - next_row_));
+  status_ = table_->ReadRows(pool_, next_row_, count, out);
+  if (!status_.ok()) return false;
+  next_row_ += static_cast<int64_t>(count);
+  return true;
+}
+
+void TableScanner::Reset() {
+  next_row_ = 0;
+  status_ = Status::OK();
+}
+
+}  // namespace factorml::storage

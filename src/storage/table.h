@@ -1,0 +1,124 @@
+#ifndef FACTORML_STORAGE_TABLE_H_
+#define FACTORML_STORAGE_TABLE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "la/matrix.h"
+#include "storage/buffer_pool.h"
+#include "storage/paged_file.h"
+
+namespace factorml::storage {
+
+/// Fixed-width row layout: `num_keys` int64 columns (ids / foreign keys)
+/// followed by `num_feats` double feature columns. All relations in the
+/// paper's setting (S, R1..Rq, and the materialized join T) fit this shape;
+/// the learning target Y, when present, is feature column 0 of S and T by
+/// the convention established in core/dataset.h.
+struct Schema {
+  size_t num_keys = 0;
+  size_t num_feats = 0;
+
+  size_t RowBytes() const { return 8 * (num_keys + num_feats); }
+  /// Rows that fit one data page after the 8-byte page header.
+  size_t RowsPerPage() const { return (kPageSize - 8) / RowBytes(); }
+
+  bool operator==(const Schema& o) const {
+    return num_keys == o.num_keys && num_feats == o.num_feats;
+  }
+};
+
+/// A batch of decoded rows produced by TableScanner. Keys are flattened
+/// row-major (`num_keys` per row); features form a dense matrix.
+struct RowBatch {
+  size_t num_rows = 0;
+  size_t num_keys = 0;
+  int64_t start_row = 0;           // global row id of row 0 in this batch
+  std::vector<int64_t> keys;       // num_rows * num_keys
+  la::Matrix feats;                // num_rows x num_feats
+
+  const int64_t* KeysOf(size_t row) const {
+    return keys.data() + row * num_keys;
+  }
+};
+
+/// A heap-file relation: header page 0 (magic, schema, row count) followed
+/// by data pages of packed fixed-width rows. Tables are write-once: build
+/// with Append + Finish, then scan through a BufferPool.
+class Table {
+ public:
+  /// Creates a new table file at `path` (truncating any existing file).
+  static Result<Table> Create(const std::string& path, const Schema& schema);
+
+  /// Opens an existing table, reading schema and row count from the header.
+  static Result<Table> Open(const std::string& path);
+
+  Table(Table&&) = default;
+  Table& operator=(Table&&) = default;
+  Table(const Table&) = delete;
+  Table& operator=(const Table&) = delete;
+
+  const Schema& schema() const { return schema_; }
+  const std::string& path() const { return file_->path(); }
+  int64_t num_rows() const { return num_rows_; }
+  /// Data pages only (excludes the header page) — this is the |S|, |R|, |T|
+  /// of the paper's I/O cost formulas.
+  uint64_t num_data_pages() const;
+
+  PagedFile* file() const { return file_.get(); }
+
+  /// Appends one row (buffered; pages are written when full).
+  Status Append(const int64_t* keys, const double* feats);
+
+  /// Flushes the tail page and persists the header. Must be called once
+  /// after the last Append before the table is scanned.
+  Status Finish();
+
+  /// Reads `count` rows starting at `start_row` into `out` via the pool.
+  Status ReadRows(BufferPool* pool, int64_t start_row, size_t count,
+                  RowBatch* out) const;
+
+ private:
+  Table(std::unique_ptr<PagedFile> file, Schema schema, int64_t num_rows,
+        bool writable);
+
+  Status FlushTailPage();
+
+  std::unique_ptr<PagedFile> file_;
+  Schema schema_;
+  int64_t num_rows_;
+  bool writable_;
+  bool finished_ = false;
+  std::vector<char> tail_page_;
+  size_t tail_rows_ = 0;
+};
+
+/// Sequential batched reader over a table's rows.
+class TableScanner {
+ public:
+  /// Batches of up to `batch_rows` rows; the last batch may be short.
+  TableScanner(const Table* table, BufferPool* pool, size_t batch_rows);
+
+  /// Fills `out` with the next batch. Returns false at end-of-table or on
+  /// error (check status()).
+  bool Next(RowBatch* out);
+
+  /// Restarts the scan from row 0 (a new training pass).
+  void Reset();
+
+  const Status& status() const { return status_; }
+
+ private:
+  const Table* table_;
+  BufferPool* pool_;
+  size_t batch_rows_;
+  int64_t next_row_ = 0;
+  Status status_;
+};
+
+}  // namespace factorml::storage
+
+#endif  // FACTORML_STORAGE_TABLE_H_

@@ -1,0 +1,229 @@
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include "common/flags.h"
+#include "common/opcount.h"
+#include "common/rng.h"
+#include "common/status.h"
+#include "common/stopwatch.h"
+#include "gtest/gtest.h"
+
+namespace factorml {
+namespace {
+
+// ---------------------------------------------------------------- Status
+
+TEST(StatusTest, DefaultIsOk) {
+  Status st;
+  EXPECT_TRUE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kOk);
+  EXPECT_EQ(st.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status st = Status::InvalidArgument("bad dims");
+  EXPECT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(st.message(), "bad dims");
+  EXPECT_EQ(st.ToString(), "InvalidArgument: bad dims");
+}
+
+TEST(StatusTest, AllConstructorsProduceMatchingCodes) {
+  EXPECT_EQ(Status::IoError("x").code(), StatusCode::kIoError);
+  EXPECT_EQ(Status::NotFound("x").code(), StatusCode::kNotFound);
+  EXPECT_EQ(Status::AlreadyExists("x").code(), StatusCode::kAlreadyExists);
+  EXPECT_EQ(Status::FailedPrecondition("x").code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(Status::OutOfRange("x").code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(Status::Internal("x").code(), StatusCode::kInternal);
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 42);
+  EXPECT_EQ(*r, 42);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r(Status::NotFound("nope"));
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+}
+
+TEST(ResultTest, MoveOutValue) {
+  Result<std::vector<int>> r(std::vector<int>{1, 2, 3});
+  std::vector<int> v = std::move(r).value();
+  EXPECT_EQ(v.size(), 3u);
+}
+
+Status FailingHelper() { return Status::IoError("disk gone"); }
+
+Status UsesReturnIfError() {
+  FML_RETURN_IF_ERROR(FailingHelper());
+  return Status::OK();
+}
+
+TEST(ResultTest, ReturnIfErrorPropagates) {
+  EXPECT_EQ(UsesReturnIfError().code(), StatusCode::kIoError);
+}
+
+Result<int> GivesSeven() { return 7; }
+
+Status UsesAssignOrReturn(int* out) {
+  FML_ASSIGN_OR_RETURN(int v, GivesSeven());
+  *out = v;
+  return Status::OK();
+}
+
+TEST(ResultTest, AssignOrReturnAssigns) {
+  int out = 0;
+  EXPECT_TRUE(UsesAssignOrReturn(&out).ok());
+  EXPECT_EQ(out, 7);
+}
+
+// ------------------------------------------------------------------ Rng
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.NextU64(), b.NextU64());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.NextU64() == b.NextU64()) ++same;
+  }
+  EXPECT_LT(same, 5);
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double v = rng.NextDouble();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(RngTest, NextBelowRespectsBound) {
+  Rng rng(9);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const uint64_t v = rng.NextBelow(10);
+    EXPECT_LT(v, 10u);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 10u);  // all buckets hit over 1000 draws
+}
+
+TEST(RngTest, GaussianMomentsRoughlyStandard) {
+  Rng rng(11);
+  const int n = 200000;
+  double sum = 0.0, sq = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double v = rng.NextGaussian();
+    sum += v;
+    sq += v * v;
+  }
+  const double mean = sum / n;
+  const double var = sq / n - mean * mean;
+  EXPECT_NEAR(mean, 0.0, 0.02);
+  EXPECT_NEAR(var, 1.0, 0.03);
+}
+
+TEST(RngTest, GaussianWithParams) {
+  Rng rng(13);
+  const int n = 100000;
+  double sum = 0.0;
+  for (int i = 0; i < n; ++i) sum += rng.NextGaussian(3.0, 0.5);
+  EXPECT_NEAR(sum / n, 3.0, 0.02);
+}
+
+TEST(RngTest, ShuffleIsPermutation) {
+  Rng rng(17);
+  std::vector<int> v(100);
+  for (int i = 0; i < 100; ++i) v[i] = i;
+  rng.Shuffle(&v);
+  std::set<int> s(v.begin(), v.end());
+  EXPECT_EQ(s.size(), 100u);
+  // Practically never identity.
+  bool identity = true;
+  for (int i = 0; i < 100; ++i) identity = identity && v[i] == i;
+  EXPECT_FALSE(identity);
+}
+
+// ----------------------------------------------------------------- Flags
+
+TEST(FlagsTest, ParsesTypedValues) {
+  const char* argv[] = {"prog", "--n=42",    "--rate=0.5", "--name=abc",
+                        "--on", "--off=false", "positional"};
+  ArgParser args(7, const_cast<char**>(argv));
+  EXPECT_EQ(args.GetInt("n", 0), 42);
+  EXPECT_DOUBLE_EQ(args.GetDouble("rate", 0.0), 0.5);
+  EXPECT_EQ(args.GetString("name", ""), "abc");
+  EXPECT_TRUE(args.GetBool("on", false));
+  EXPECT_FALSE(args.GetBool("off", true));
+  EXPECT_FALSE(args.Has("positional"));
+}
+
+TEST(FlagsTest, DefaultsWhenMissing) {
+  const char* argv[] = {"prog"};
+  ArgParser args(1, const_cast<char**>(argv));
+  EXPECT_EQ(args.GetInt("n", 5), 5);
+  EXPECT_EQ(args.GetString("s", "dflt"), "dflt");
+}
+
+TEST(FlagsTest, IntListParsing) {
+  const char* argv[] = {"prog", "--rr=50,100,500"};
+  ArgParser args(2, const_cast<char**>(argv));
+  const auto v = args.GetIntList("rr", {});
+  ASSERT_EQ(v.size(), 3u);
+  EXPECT_EQ(v[0], 50);
+  EXPECT_EQ(v[2], 500);
+  const auto dflt = args.GetIntList("other", {1, 2});
+  EXPECT_EQ(dflt.size(), 2u);
+}
+
+// -------------------------------------------------------------- OpCount
+
+TEST(OpCountTest, CountersAccumulateAndDiff) {
+  ResetGlobalOps();
+  CountMults(10);
+  CountAdds(5);
+  const OpCounters snap = GlobalOps();
+  CountMults(7);
+  CountSubs(2);
+  const OpCounters delta = GlobalOps() - snap;
+  EXPECT_EQ(delta.mults, 7u);
+  EXPECT_EQ(delta.subs, 2u);
+  EXPECT_EQ(delta.adds, 0u);
+  EXPECT_EQ(GlobalOps().mults, 17u);
+}
+
+TEST(OpCountTest, TotalAndToString) {
+  OpCounters c{1, 2, 3, 4};
+  EXPECT_EQ(c.Total(), 10u);
+  EXPECT_NE(c.ToString().find("mults=1"), std::string::npos);
+}
+
+// ------------------------------------------------------------- Stopwatch
+
+TEST(StopwatchTest, MeasuresNonNegativeMonotonicTime) {
+  Stopwatch w;
+  const double t1 = w.ElapsedSeconds();
+  volatile double sink = 0.0;
+  for (int i = 0; i < 100000; ++i) sink = sink + std::sqrt(double(i));
+  const double t2 = w.ElapsedSeconds();
+  EXPECT_GE(t1, 0.0);
+  EXPECT_GE(t2, t1);
+  w.Restart();
+  EXPECT_LE(w.ElapsedSeconds(), t2 + 1.0);
+}
+
+}  // namespace
+}  // namespace factorml

@@ -1,0 +1,104 @@
+#include <string>
+
+#include "core/factorml.h"
+#include "gtest/gtest.h"
+#include "test_util.h"
+
+namespace factorml::core {
+namespace {
+
+using factorml::testing::TempDir;
+using storage::BufferPool;
+
+data::SyntheticSpec Spec(const std::string& dir, bool target) {
+  data::SyntheticSpec spec;
+  spec.dir = dir;
+  spec.s_rows = 400;
+  spec.s_feats = 2;
+  spec.attrs = {data::AttributeSpec{20, 3}};
+  spec.with_target = target;
+  spec.seed = 44;
+  return spec;
+}
+
+TEST(CoreTest, AlgorithmNames) {
+  EXPECT_STREQ(AlgorithmName(Algorithm::kMaterialized), "materialized");
+  EXPECT_STREQ(AlgorithmName(Algorithm::kStreaming), "streaming");
+  EXPECT_STREQ(AlgorithmName(Algorithm::kFactorized), "factorized");
+}
+
+TEST(CoreTest, TrainGmmDispatchesAllStrategies) {
+  TempDir dir;
+  BufferPool pool(512);
+  auto rel = std::move(data::GenerateSynthetic(Spec(dir.str(), false),
+                                               &pool))
+                 .value();
+  gmm::GmmOptions opt;
+  opt.num_components = 2;
+  opt.max_iters = 2;
+  opt.temp_dir = dir.str();
+
+  TrainReport rm, rs, rf;
+  auto m =
+      std::move(TrainGmm(rel, opt, Algorithm::kMaterialized, &pool, &rm))
+          .value();
+  auto s =
+      std::move(TrainGmm(rel, opt, Algorithm::kStreaming, &pool, &rs))
+          .value();
+  auto f =
+      std::move(TrainGmm(rel, opt, Algorithm::kFactorized, &pool, &rf))
+          .value();
+  EXPECT_EQ(rm.algorithm, "M-GMM");
+  EXPECT_EQ(rs.algorithm, "S-GMM");
+  EXPECT_EQ(rf.algorithm, "F-GMM");
+  EXPECT_LT(gmm::GmmParams::MaxAbsDiff(m, s), 1e-8);
+  EXPECT_LT(gmm::GmmParams::MaxAbsDiff(m, f), 1e-6);
+}
+
+TEST(CoreTest, TrainNnDispatchesAllStrategies) {
+  TempDir dir;
+  BufferPool pool(512);
+  auto rel = std::move(data::GenerateSynthetic(Spec(dir.str(), true),
+                                               &pool))
+                 .value();
+  nn::NnOptions opt;
+  opt.hidden = {4};
+  opt.epochs = 2;
+  opt.temp_dir = dir.str();
+
+  TrainReport rm, rf;
+  auto m = std::move(TrainNn(rel, opt, Algorithm::kMaterialized, &pool, &rm))
+               .value();
+  auto f = std::move(TrainNn(rel, opt, Algorithm::kFactorized, &pool, &rf))
+               .value();
+  EXPECT_EQ(rm.algorithm, "M-NN");
+  EXPECT_EQ(rf.algorithm, "F-NN");
+  EXPECT_LT(nn::Mlp::MaxAbsDiffParams(m, f), 1e-6);
+}
+
+TEST(CoreTest, ReportToStringMentionsAlgorithmAndCosts) {
+  TrainReport r;
+  r.algorithm = "F-GMM";
+  r.wall_seconds = 1.5;
+  r.iterations = 10;
+  const std::string s = r.ToString();
+  EXPECT_NE(s.find("F-GMM"), std::string::npos);
+  EXPECT_NE(s.find("iters=10"), std::string::npos);
+  EXPECT_NE(s.find("pages_read"), std::string::npos);
+}
+
+TEST(CoreTest, NullReportIsAccepted) {
+  TempDir dir;
+  BufferPool pool(512);
+  auto rel = std::move(data::GenerateSynthetic(Spec(dir.str(), false),
+                                               &pool))
+                 .value();
+  gmm::GmmOptions opt;
+  opt.num_components = 2;
+  opt.max_iters = 1;
+  opt.temp_dir = dir.str();
+  EXPECT_TRUE(TrainGmm(rel, opt, Algorithm::kFactorized, &pool, nullptr).ok());
+}
+
+}  // namespace
+}  // namespace factorml::core

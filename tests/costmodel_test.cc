@@ -1,0 +1,150 @@
+#include <cmath>
+#include <tuple>
+
+#include "costmodel/cost_model.h"
+#include "gtest/gtest.h"
+
+namespace factorml::costmodel {
+namespace {
+
+// ----------------------------------------------------------- I/O model
+
+TEST(IoModelTest, MGmmPageFormula) {
+  // |R|=10, |S|=100, |T|=150, block=5, iter=2:
+  // join = 10 + ceil(10/5)*100 = 210; + |T| 150 + 3*2*150 = 900.
+  EXPECT_EQ(MGmmIoPages(10, 100, 150, 5, 2), 210u + 150u + 900u);
+}
+
+TEST(IoModelTest, SGmmPageFormula) {
+  // 3*2*(10 + 2*100) = 1260.
+  EXPECT_EQ(SGmmIoPages(10, 100, 5, 2), 1260u);
+}
+
+TEST(IoModelTest, LargeBlockFavorsStreaming) {
+  // With a block big enough to hold all of R, the join costs |R| + |S| per
+  // pass and S-GMM avoids writing + re-reading the wide T.
+  const uint64_t r = 10, s = 1000, t = 4000;
+  const int iters = 10;
+  EXPECT_LT(SGmmIoPages(r, s, /*block=*/r, iters),
+            MGmmIoPages(r, s, t, /*block=*/r, iters));
+}
+
+TEST(IoModelTest, TinyBlockFavorsMaterialization) {
+  // With block=1, the join re-scans S once per R page; repeating that 3x
+  // per iteration dwarfs reading T.
+  const uint64_t r = 100, s = 1000, t = 1100;
+  const int iters = 10;
+  EXPECT_GT(SGmmIoPages(r, s, /*block=*/1, iters),
+            MGmmIoPages(r, s, t, /*block=*/1, iters));
+}
+
+TEST(IoModelTest, CrossoverMatchesDirectComparison) {
+  const uint64_t r = 50, s = 2000, t = 6000;
+  const int iters = 5;
+  const double threshold = SGmmCrossoverBlockPages(r, s, t, iters);
+  ASSERT_GT(threshold, 0.0);
+  // Well above the threshold S-GMM must win; well below, M-GMM must win.
+  const uint64_t above = static_cast<uint64_t>(threshold * 2.0) + 2;
+  EXPECT_LT(SGmmIoPages(r, s, above, iters), MGmmIoPages(r, s, t, above, iters));
+  if (threshold > 4.0) {
+    const uint64_t below = static_cast<uint64_t>(threshold / 2.0);
+    EXPECT_GT(SGmmIoPages(r, s, below, iters),
+              MGmmIoPages(r, s, t, below, iters));
+  }
+}
+
+TEST(IoModelTest, CrossoverNegativeWhenStreamingNeverWins) {
+  // Tiny T relative to R: the denominator goes non-positive.
+  EXPECT_LT(SGmmCrossoverBlockPages(1000, 10, 100, 10), 0.0);
+}
+
+// ------------------------------------------------------- Compute model
+
+TEST(ComputeModelTest, SigmaOpsFormulas) {
+  // nS=100, nR=10, dS=2, dR=3, d=5.
+  // Unfactorized: 100*5 subs + 100*25 mults = 3000.
+  EXPECT_EQ(GmmSigmaOpsUnfactorized(100, 2, 3), 3000u);
+  // Factorized: subs 100*2+10*3 = 230; mults 100*(4+12) + 10*9 = 1690.
+  EXPECT_EQ(GmmSigmaOpsFactorized(100, 10, 2, 3), 230u + 1690u);
+}
+
+TEST(ComputeModelTest, FactorizedNeverWorseThanUnfactorizedWhenRedundant) {
+  for (int64_t rr : {2, 10, 100, 1000}) {
+    for (int64_t dr : {1, 5, 20}) {
+      const int64_t n_r = 100;
+      const int64_t n_s = n_r * rr;
+      EXPECT_LE(GmmSigmaOpsFactorized(n_s, n_r, 5, dr),
+                GmmSigmaOpsUnfactorized(n_s, 5, dr))
+          << "rr=" << rr << " dr=" << dr;
+    }
+  }
+}
+
+TEST(ComputeModelTest, SavingRateIncreasesWithTupleRatio) {
+  const double r10 = GmmSigmaSavingRate(10 * 100, 100, 5, 15);
+  const double r100 = GmmSigmaSavingRate(100 * 100, 100, 5, 15);
+  const double r1000 = GmmSigmaSavingRate(1000 * 100, 100, 5, 15);
+  EXPECT_LT(r10, r100);
+  EXPECT_LT(r100, r1000);
+  EXPECT_GT(r10, 0.0);
+  EXPECT_LT(r1000, 1.0);
+}
+
+TEST(ComputeModelTest, SavingRateIncreasesWithDr) {
+  // Paper Sec. V-B: with dS fixed, larger dR gives more savings.
+  const double d5 = GmmSigmaSavingRate(100000, 1000, 5, 5);
+  const double d15 = GmmSigmaSavingRate(100000, 1000, 5, 15);
+  const double d50 = GmmSigmaSavingRate(100000, 1000, 5, 50);
+  EXPECT_LT(d5, d15);
+  EXPECT_LT(d15, d50);
+}
+
+TEST(ComputeModelTest, SavingRateMatchesOpCountRatio) {
+  // Delta-tau / tau computed from the closed form must equal the ratio of
+  // the explicit op-count formulas (with tau_s = tau_m = 1).
+  const int64_t n_s = 50000, n_r = 500, d_s = 5, d_r = 15;
+  const double tau =
+      static_cast<double>(GmmSigmaOpsUnfactorized(n_s, d_s, d_r));
+  const double tau_f =
+      static_cast<double>(GmmSigmaOpsFactorized(n_s, n_r, d_s, d_r));
+  const double expected = (tau - tau_f) / tau;
+  EXPECT_NEAR(GmmSigmaSavingRate(n_s, n_r, d_s, d_r), expected, 1e-12);
+}
+
+// -------------------------------------------------------- NN formulas
+
+TEST(NnModelTest, FirstLayerFactorizedWinsWithRedundancy) {
+  const int64_t n_s = 100000, n_r = 1000, d_s = 5, d_r = 15, n_h = 50;
+  const uint64_t unfact =
+      NnFirstLayerOpsUnfactorized(n_s, d_s + d_r, n_h);
+  const uint64_t fact =
+      NnFirstLayerOpsFactorized(n_s, n_r, d_s, d_r, n_h);
+  EXPECT_LT(fact, unfact);
+  // For these parameters the multiply saving is roughly d / dS = 4x.
+  EXPECT_GT(static_cast<double>(unfact) / static_cast<double>(fact), 3.0);
+}
+
+TEST(NnModelTest, FirstLayerNoWinWithoutRedundancy) {
+  // nS == nR (every R tuple matches once): factorized does the same work.
+  const int64_t n = 1000;
+  EXPECT_EQ(NnFirstLayerOpsFactorized(n, n, 5, 15, 50),
+            NnFirstLayerOpsUnfactorized(n, 20, 50));
+}
+
+TEST(NnModelTest, SecondLayerReuseAlwaysCostsMore) {
+  // The paper's negative result (Sec. VI-A2): even for additive
+  // activations, attempting reuse at the second layer increases the total
+  // operation count for every shape.
+  for (int64_t n_s : {1000, 100000}) {
+    for (int64_t n_r : {10, 1000}) {
+      for (int64_t n_h : {10, 200}) {
+        EXPECT_GT(NnSecondLayerOpsWithReuse(n_s, n_r, n_h, 30),
+                  NnSecondLayerOpsNoReuse(n_s, n_h, 30))
+            << n_s << " " << n_r << " " << n_h;
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace factorml::costmodel

@@ -1,0 +1,145 @@
+#include <fstream>
+#include <string>
+
+#include "data/csv.h"
+#include "data/synthetic.h"
+#include "gtest/gtest.h"
+#include "storage/buffer_pool.h"
+#include "test_util.h"
+
+namespace factorml::data {
+namespace {
+
+using factorml::testing::TempDir;
+using storage::BufferPool;
+
+void WriteFile(const std::string& path, const std::string& content) {
+  std::ofstream out(path);
+  out << content;
+}
+
+TEST(CsvTest, ImportBasic) {
+  TempDir dir;
+  WriteFile(dir.str() + "/in.csv",
+            "id,fk,a,b\n"
+            "0,10,1.5,-2\n"
+            "1,11,2.5,0.25\n"
+            "2,12,3.5,1e3\n");
+  CsvImportOptions opt;
+  opt.num_keys = 2;
+  auto t = std::move(ImportCsv(dir.str() + "/in.csv", dir.str() + "/t.fml",
+                               opt))
+               .value();
+  EXPECT_EQ(t.num_rows(), 3);
+  EXPECT_EQ(t.schema().num_keys, 2u);
+  EXPECT_EQ(t.schema().num_feats, 2u);
+  BufferPool pool(16);
+  storage::RowBatch batch;
+  FML_ASSERT_OK(t.ReadRows(&pool, 0, 3, &batch));
+  EXPECT_EQ(batch.KeysOf(1)[1], 11);
+  EXPECT_DOUBLE_EQ(batch.feats(2, 1), 1000.0);
+}
+
+TEST(CsvTest, ImportWithoutHeader) {
+  TempDir dir;
+  WriteFile(dir.str() + "/in.csv", "0,1.0\n1,2.0\n");
+  CsvImportOptions opt;
+  opt.num_keys = 1;
+  opt.has_header = false;
+  auto t = std::move(ImportCsv(dir.str() + "/in.csv", dir.str() + "/t.fml",
+                               opt))
+               .value();
+  EXPECT_EQ(t.num_rows(), 2);
+}
+
+TEST(CsvTest, BadRowFailsByDefault) {
+  TempDir dir;
+  WriteFile(dir.str() + "/in.csv", "id,a\n0,1.0\nnot_an_int,2.0\n");
+  CsvImportOptions opt;
+  auto r = ImportCsv(dir.str() + "/in.csv", dir.str() + "/t.fml", opt);
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(CsvTest, BadRowSkippedWhenRequested) {
+  TempDir dir;
+  WriteFile(dir.str() + "/in.csv",
+            "id,a\n0,1.0\nbad,2.0\n1,3.0\n2\n3,4.0\n");
+  CsvImportOptions opt;
+  opt.skip_bad_rows = true;
+  auto t = std::move(ImportCsv(dir.str() + "/in.csv", dir.str() + "/t.fml",
+                               opt))
+               .value();
+  EXPECT_EQ(t.num_rows(), 3);  // rows 0, 1, 3
+}
+
+TEST(CsvTest, MissingFileAndEmptyFileFail) {
+  TempDir dir;
+  CsvImportOptions opt;
+  EXPECT_EQ(ImportCsv(dir.str() + "/nope.csv", dir.str() + "/t.fml", opt)
+                .status()
+                .code(),
+            StatusCode::kIoError);
+  WriteFile(dir.str() + "/empty.csv", "id,a\n");
+  EXPECT_EQ(ImportCsv(dir.str() + "/empty.csv", dir.str() + "/t.fml", opt)
+                .status()
+                .code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(CsvTest, NoFeatureColumnsRejected) {
+  TempDir dir;
+  WriteFile(dir.str() + "/in.csv", "id\n0\n1\n");
+  CsvImportOptions opt;
+  EXPECT_FALSE(
+      ImportCsv(dir.str() + "/in.csv", dir.str() + "/t.fml", opt).ok());
+}
+
+TEST(CsvTest, RoundTripPreservesValues) {
+  TempDir dir;
+  BufferPool pool(256);
+  // Generate a table, export it, re-import it, compare.
+  SyntheticSpec spec;
+  spec.dir = dir.str();
+  spec.s_rows = 200;
+  spec.s_feats = 3;
+  spec.attrs = {AttributeSpec{10, 2}};
+  spec.seed = 5;
+  auto rel = std::move(GenerateSynthetic(spec, &pool)).value();
+
+  FML_ASSERT_OK(ExportCsv(rel.s, &pool, dir.str() + "/s.csv"));
+  CsvImportOptions opt;
+  opt.num_keys = rel.s.schema().num_keys;
+  auto t2 = std::move(ImportCsv(dir.str() + "/s.csv",
+                                dir.str() + "/s_round.fml", opt))
+                .value();
+  ASSERT_EQ(t2.num_rows(), rel.s.num_rows());
+  ASSERT_TRUE(t2.schema() == rel.s.schema());
+  storage::RowBatch a, b;
+  FML_ASSERT_OK(rel.s.ReadRows(&pool, 0, 200, &a));
+  FML_ASSERT_OK(t2.ReadRows(&pool, 0, 200, &b));
+  for (size_t r = 0; r < 200; ++r) {
+    for (size_t j = 0; j < a.num_keys; ++j) {
+      EXPECT_EQ(a.KeysOf(r)[j], b.KeysOf(r)[j]);
+    }
+    for (size_t j = 0; j < rel.s.schema().num_feats; ++j) {
+      // %.17g round-trips doubles exactly.
+      EXPECT_DOUBLE_EQ(a.feats(r, j), b.feats(r, j));
+    }
+  }
+}
+
+TEST(CsvTest, CustomDelimiter) {
+  TempDir dir;
+  WriteFile(dir.str() + "/in.tsv", "id;a;b\n0;1.0;2.0\n");
+  CsvImportOptions opt;
+  opt.delimiter = ';';
+  auto t = std::move(ImportCsv(dir.str() + "/in.tsv", dir.str() + "/t.fml",
+                               opt))
+               .value();
+  EXPECT_EQ(t.num_rows(), 1);
+  EXPECT_EQ(t.schema().num_feats, 2u);
+}
+
+}  // namespace
+}  // namespace factorml::data

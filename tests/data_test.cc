@@ -1,0 +1,211 @@
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include "data/real_shapes.h"
+#include "data/synthetic.h"
+#include "gtest/gtest.h"
+#include "join/attribute_view.h"
+#include "storage/buffer_pool.h"
+#include "test_util.h"
+
+namespace factorml::data {
+namespace {
+
+using factorml::testing::TempDir;
+using storage::BufferPool;
+
+SyntheticSpec BaseSpec(const std::string& dir) {
+  SyntheticSpec spec;
+  spec.dir = dir;
+  spec.s_rows = 500;
+  spec.s_feats = 3;
+  spec.attrs = {AttributeSpec{50, 4}};
+  spec.seed = 7;
+  return spec;
+}
+
+TEST(SyntheticTest, ShapesMatchSpec) {
+  TempDir dir;
+  BufferPool pool(256);
+  auto rel = std::move(GenerateSynthetic(BaseSpec(dir.str()), &pool)).value();
+  EXPECT_EQ(rel.s.num_rows(), 500);
+  EXPECT_EQ(rel.attrs[0].num_rows(), 50);
+  EXPECT_EQ(rel.ds(), 3u);
+  EXPECT_EQ(rel.dr(0), 4u);
+  EXPECT_EQ(rel.total_dims(), 7u);
+  EXPECT_FALSE(rel.has_target);
+  FML_EXPECT_OK(rel.Validate());
+}
+
+TEST(SyntheticTest, ExactTupleRatioPerRid) {
+  TempDir dir;
+  BufferPool pool(256);
+  auto spec = BaseSpec(dir.str());
+  spec.s_rows = 500;             // 500 / 50 = exactly 10 per rid
+  auto rel = std::move(GenerateSynthetic(spec, &pool)).value();
+  for (int64_t rid = 0; rid < 50; ++rid) {
+    EXPECT_EQ(rel.fk1_index.CountOf(rid), 10) << "rid " << rid;
+  }
+}
+
+TEST(SyntheticTest, RemainderSpreadKeepsCountsBalanced) {
+  TempDir dir;
+  BufferPool pool(256);
+  auto spec = BaseSpec(dir.str());
+  spec.s_rows = 507;  // 10 or 11 per rid
+  auto rel = std::move(GenerateSynthetic(spec, &pool)).value();
+  int64_t total = 0;
+  for (int64_t rid = 0; rid < 50; ++rid) {
+    const int64_t c = rel.fk1_index.CountOf(rid);
+    EXPECT_GE(c, 10);
+    EXPECT_LE(c, 11);
+    total += c;
+  }
+  EXPECT_EQ(total, 507);
+}
+
+TEST(SyntheticTest, DeterministicForSeed) {
+  TempDir dir;
+  BufferPool pool(256);
+  auto spec = BaseSpec(dir.str());
+  spec.name = "a";
+  auto rel1 = std::move(GenerateSynthetic(spec, &pool)).value();
+  spec.name = "b";
+  auto rel2 = std::move(GenerateSynthetic(spec, &pool)).value();
+  storage::RowBatch b1, b2;
+  FML_ASSERT_OK(rel1.s.ReadRows(&pool, 0, 100, &b1));
+  FML_ASSERT_OK(rel2.s.ReadRows(&pool, 0, 100, &b2));
+  for (size_t r = 0; r < 100; ++r) {
+    for (size_t j = 0; j < rel1.s.schema().num_feats; ++j) {
+      EXPECT_DOUBLE_EQ(b1.feats(r, j), b2.feats(r, j));
+    }
+  }
+}
+
+TEST(SyntheticTest, TargetPresentAndFinite) {
+  TempDir dir;
+  BufferPool pool(256);
+  auto spec = BaseSpec(dir.str());
+  spec.with_target = true;
+  auto rel = std::move(GenerateSynthetic(spec, &pool)).value();
+  EXPECT_TRUE(rel.has_target);
+  EXPECT_EQ(rel.ds(), 3u);  // target not counted as a feature
+  EXPECT_EQ(rel.s.schema().num_feats, 4u);
+  storage::RowBatch batch;
+  FML_ASSERT_OK(rel.s.ReadRows(&pool, 0, 500, &batch));
+  double variance_probe = 0.0;
+  for (size_t r = 0; r < 500; ++r) {
+    EXPECT_TRUE(std::isfinite(batch.feats(r, 0)));
+    variance_probe += std::fabs(batch.feats(r, 0));
+  }
+  EXPECT_GT(variance_probe, 0.0);  // target is not identically zero
+}
+
+TEST(SyntheticTest, OneHotRowsAreSparseBinary) {
+  TempDir dir;
+  BufferPool pool(256);
+  auto spec = BaseSpec(dir.str());
+  spec.one_hot = true;
+  spec.s_feats = 12;             // blocks of 8 + 4
+  spec.attrs = {AttributeSpec{20, 10}};
+  auto rel = std::move(GenerateSynthetic(spec, &pool)).value();
+  storage::RowBatch batch;
+  FML_ASSERT_OK(rel.s.ReadRows(&pool, 0, 200, &batch));
+  for (size_t r = 0; r < 200; ++r) {
+    int ones = 0;
+    for (size_t j = 0; j < 12; ++j) {
+      const double v = batch.feats(r, j);
+      EXPECT_TRUE(v == 0.0 || v == 1.0);
+      if (v == 1.0) ++ones;
+    }
+    EXPECT_EQ(ones, 2);  // one active column per block, two blocks
+  }
+}
+
+TEST(SyntheticTest, MultiwayForeignKeysInRange) {
+  TempDir dir;
+  BufferPool pool(256);
+  auto spec = BaseSpec(dir.str());
+  spec.attrs = {AttributeSpec{10, 2}, AttributeSpec{7, 3}};
+  auto rel = std::move(GenerateSynthetic(spec, &pool)).value();
+  EXPECT_EQ(rel.num_joins(), 2u);
+  EXPECT_EQ(rel.total_dims(), 3u + 2u + 3u);
+  storage::RowBatch batch;
+  FML_ASSERT_OK(rel.s.ReadRows(&pool, 0, 500, &batch));
+  std::set<int64_t> fk2_seen;
+  for (size_t r = 0; r < 500; ++r) {
+    const int64_t fk2 = batch.KeysOf(r)[2];
+    EXPECT_GE(fk2, 0);
+    EXPECT_LT(fk2, 7);
+    fk2_seen.insert(fk2);
+  }
+  EXPECT_EQ(fk2_seen.size(), 7u);  // 500 uniform draws hit all 7 rids
+}
+
+TEST(SyntheticTest, RejectsEmptySpec) {
+  BufferPool pool(16);
+  SyntheticSpec spec;
+  EXPECT_FALSE(GenerateSynthetic(spec, &pool).ok());
+}
+
+// ------------------------------------------------------------ RealShapes
+
+TEST(RealShapesTest, AllPublishedShapesPresent) {
+  const auto& shapes = AllRealShapes();
+  EXPECT_EQ(shapes.size(), 10u);
+  auto ex1 = std::move(FindRealShape("Expedia1")).value();
+  EXPECT_EQ(ex1.n_s, 942142);
+  EXPECT_EQ(ex1.d_s, 7u);
+  EXPECT_EQ(ex1.n_r, 11938);
+  EXPECT_EQ(ex1.d_r, 8u);
+  auto wal = std::move(FindRealShape("Walmart-Sparse")).value();
+  EXPECT_TRUE(wal.sparse);
+  EXPECT_EQ(wal.d_s, 126u);
+  EXPECT_EQ(wal.d_r, 175u);
+  auto m3 = std::move(FindRealShape("Movies-3way")).value();
+  EXPECT_TRUE(m3.three_way);
+  EXPECT_EQ(m3.n_r2, 3706);
+}
+
+TEST(RealShapesTest, UnknownNameIsNotFound) {
+  EXPECT_EQ(FindRealShape("Nope").status().code(), StatusCode::kNotFound);
+}
+
+TEST(RealShapesTest, ScaledGenerationShrinksCardinalitiesOnly) {
+  TempDir dir;
+  BufferPool pool(256);
+  auto shape = std::move(FindRealShape("Walmart")).value();
+  auto rel = std::move(GenerateRealShape(shape, dir.str(), &pool,
+                                         /*scale=*/0.01, /*seed=*/1))
+                 .value();
+  EXPECT_EQ(rel.s.num_rows(), 4215);
+  EXPECT_EQ(rel.attrs[0].num_rows(), 23);
+  EXPECT_EQ(rel.ds(), 3u);   // dims never scaled
+  EXPECT_EQ(rel.dr(0), 9u);
+}
+
+TEST(RealShapesTest, ThreeWayShapeBuildsTwoAttributeTables) {
+  TempDir dir;
+  BufferPool pool(256);
+  auto shape = std::move(FindRealShape("Movies-3way")).value();
+  auto rel = std::move(GenerateRealShape(shape, dir.str(), &pool,
+                                         /*scale=*/0.005, /*seed=*/1,
+                                         /*with_target=*/true))
+                 .value();
+  EXPECT_EQ(rel.num_joins(), 2u);
+  EXPECT_TRUE(rel.has_target);
+  EXPECT_EQ(rel.dr(0), 4u);
+  EXPECT_EQ(rel.dr(1), 21u);
+}
+
+TEST(RealShapesTest, InvalidScaleRejected) {
+  TempDir dir;
+  BufferPool pool(16);
+  auto shape = std::move(FindRealShape("Movies")).value();
+  EXPECT_FALSE(GenerateRealShape(shape, dir.str(), &pool, 0.0, 1).ok());
+  EXPECT_FALSE(GenerateRealShape(shape, dir.str(), &pool, 1.5, 1).ok());
+}
+
+}  // namespace
+}  // namespace factorml::data

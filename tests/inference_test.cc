@@ -1,0 +1,108 @@
+#include <cmath>
+#include <vector>
+
+#include "gmm/gmm_model.h"
+#include "gmm/inference.h"
+#include "gtest/gtest.h"
+#include "la/matrix.h"
+#include "test_util.h"
+
+namespace factorml::gmm {
+namespace {
+
+/// A well-separated 2-component, 2-d mixture for hand-checkable results.
+GmmParams TwoComponentMixture() {
+  la::Matrix seeds(2, 2);
+  seeds(0, 0) = -5.0;
+  seeds(0, 1) = -5.0;
+  seeds(1, 0) = 5.0;
+  seeds(1, 1) = 5.0;
+  GmmParams p = GmmParams::Init(seeds, 1.0);  // Sigma = I
+  p.pi = {0.3, 0.7};
+  return p;
+}
+
+TEST(InferenceTest, LogDensityMatchesClosedForm) {
+  GmmParams p = TwoComponentMixture();
+  auto density = std::move(GmmDensity::From(p)).value();
+  // At x = (5,5): component 1 dominates; N(x|mu1, I) = 1/(2 pi).
+  const double x[] = {5.0, 5.0};
+  const double expected_near =
+      std::log(0.7 / (2.0 * M_PI));  // component 0 is ~e^-100, negligible
+  EXPECT_NEAR(MixtureLogDensity(density, p.mu, x), expected_near, 1e-6);
+}
+
+TEST(InferenceTest, PosteriorSumsToOneAndPicksNearComponent) {
+  GmmParams p = TwoComponentMixture();
+  auto density = std::move(GmmDensity::From(p)).value();
+  const double x[] = {4.5, 5.5};
+  double gamma[2];
+  PosteriorResponsibilities(density, p.mu, x, gamma);
+  EXPECT_NEAR(gamma[0] + gamma[1], 1.0, 1e-12);
+  EXPECT_GT(gamma[1], 0.999);
+  EXPECT_EQ(MostLikelyComponent(density, p.mu, x), 1u);
+  const double y[] = {-5.0, -4.0};
+  EXPECT_EQ(MostLikelyComponent(density, p.mu, y), 0u);
+}
+
+TEST(InferenceTest, MidpointPosteriorFollowsMixingWeights) {
+  GmmParams p = TwoComponentMixture();
+  auto density = std::move(GmmDensity::From(p)).value();
+  // The midpoint is equidistant, so the posterior ratio equals pi1/pi0.
+  const double x[] = {0.0, 0.0};
+  double gamma[2];
+  PosteriorResponsibilities(density, p.mu, x, gamma);
+  EXPECT_NEAR(gamma[1] / gamma[0], 0.7 / 0.3, 1e-9);
+}
+
+TEST(InferenceTest, SamplesMatchMixtureMoments) {
+  GmmParams p = TwoComponentMixture();
+  auto samples = std::move(SampleFromMixture(p, 60000, /*seed=*/5)).value();
+  ASSERT_EQ(samples.rows(), 60000u);
+  ASSERT_EQ(samples.cols(), 2u);
+  // E[x] = 0.3*(-5) + 0.7*5 = 2 in both dims.
+  double sum0 = 0.0, sum1 = 0.0;
+  for (size_t i = 0; i < samples.rows(); ++i) {
+    sum0 += samples(i, 0);
+    sum1 += samples(i, 1);
+  }
+  EXPECT_NEAR(sum0 / 60000.0, 2.0, 0.1);
+  EXPECT_NEAR(sum1 / 60000.0, 2.0, 0.1);
+  // Roughly 70% of points land near (5,5).
+  int near_pos = 0;
+  for (size_t i = 0; i < samples.rows(); ++i) {
+    if (samples(i, 0) > 0.0) ++near_pos;
+  }
+  EXPECT_NEAR(static_cast<double>(near_pos) / 60000.0, 0.7, 0.02);
+}
+
+TEST(InferenceTest, SamplingDeterministicPerSeed) {
+  GmmParams p = TwoComponentMixture();
+  auto a = std::move(SampleFromMixture(p, 100, 9)).value();
+  auto b = std::move(SampleFromMixture(p, 100, 9)).value();
+  EXPECT_DOUBLE_EQ(la::Matrix::MaxAbsDiff(a, b), 0.0);
+}
+
+TEST(InferenceTest, MeanLogDensityHigherForInDistributionData) {
+  GmmParams p = TwoComponentMixture();
+  auto in_dist = std::move(SampleFromMixture(p, 2000, 11)).value();
+  la::Matrix far(2000, 2);
+  for (size_t i = 0; i < far.rows(); ++i) {
+    far(i, 0) = 50.0;
+    far(i, 1) = -50.0;
+  }
+  const double ll_in = std::move(MeanLogDensity(p, in_dist)).value();
+  const double ll_far = std::move(MeanLogDensity(p, far)).value();
+  EXPECT_GT(ll_in, ll_far + 100.0);
+}
+
+TEST(InferenceTest, MeanLogDensityRejectsShapeMismatch) {
+  GmmParams p = TwoComponentMixture();
+  la::Matrix wrong(3, 5);
+  EXPECT_FALSE(MeanLogDensity(p, wrong).ok());
+  la::Matrix empty(0, 2);
+  EXPECT_FALSE(MeanLogDensity(p, empty).ok());
+}
+
+}  // namespace
+}  // namespace factorml::gmm

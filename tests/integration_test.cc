@@ -1,0 +1,190 @@
+// End-to-end checks on realistically shaped (but heavily scaled down)
+// datasets: the full pipeline — generate relations on disk, build the FK
+// index, train with all three strategies — and the paper's qualitative
+// claims about where the factorized algorithms win.
+
+#include <cmath>
+
+#include "core/factorml.h"
+#include "gtest/gtest.h"
+#include "test_util.h"
+
+namespace factorml {
+namespace {
+
+using core::Algorithm;
+using core::TrainReport;
+using factorml::testing::TempDir;
+using storage::BufferPool;
+
+TEST(IntegrationTest, WalmartShapeGmmEndToEnd) {
+  TempDir dir;
+  BufferPool pool(2048);
+  auto shape = std::move(data::FindRealShape("Walmart")).value();
+  auto rel = std::move(data::GenerateRealShape(shape, dir.str(), &pool,
+                                               /*scale=*/0.01, /*seed=*/3))
+                 .value();
+  gmm::GmmOptions opt;
+  opt.num_components = 3;
+  opt.max_iters = 2;
+  opt.temp_dir = dir.str();
+
+  TrainReport rm, rs, rf;
+  auto m = std::move(core::TrainGmm(rel, opt, Algorithm::kMaterialized,
+                                    &pool, &rm))
+               .value();
+  auto s = std::move(core::TrainGmm(rel, opt, Algorithm::kStreaming, &pool,
+                                    &rs))
+               .value();
+  auto f = std::move(core::TrainGmm(rel, opt, Algorithm::kFactorized, &pool,
+                                    &rf))
+               .value();
+
+  // Exactness at realistic shape.
+  EXPECT_LT(gmm::GmmParams::MaxAbsDiff(m, s), 1e-7);
+  EXPECT_LT(gmm::GmmParams::MaxAbsDiff(m, f), 1e-5);
+  // Factorized must save multiplications (Walmart: rr ~ 180, dR = 9 > dS).
+  EXPECT_LT(rf.ops.mults, rs.ops.mults);
+  // Materialization writes T; the others never write.
+  EXPECT_GT(rm.io.pages_written, 0u);
+  EXPECT_EQ(rs.io.pages_written, 0u);
+  EXPECT_EQ(rf.io.pages_written, 0u);
+}
+
+TEST(IntegrationTest, MoviesSparseShapeNnEndToEnd) {
+  TempDir dir;
+  BufferPool pool(2048);
+  auto shape = std::move(data::FindRealShape("Movies-Sparse")).value();
+  auto rel = std::move(data::GenerateRealShape(shape, dir.str(), &pool,
+                                               /*scale=*/0.002, /*seed=*/3,
+                                               /*with_target=*/true))
+                 .value();
+  nn::NnOptions opt;
+  opt.hidden = {10};
+  opt.epochs = 2;
+  opt.temp_dir = dir.str();
+
+  TrainReport rs, rf;
+  auto s = std::move(core::TrainNn(rel, opt, Algorithm::kStreaming, &pool,
+                                   &rs))
+               .value();
+  auto f = std::move(core::TrainNn(rel, opt, Algorithm::kFactorized, &pool,
+                                   &rf))
+               .value();
+  EXPECT_LT(nn::Mlp::MaxAbsDiffParams(s, f), 1e-5);
+  // Movies: dS = 1, dR = 21 — nearly all first-layer *forward* work is
+  // reusable. The backward W1 gradient has no compute reuse (Sec. VI-A3),
+  // so the total-op ratio is bounded by the forward share; require a
+  // clearly material saving rather than the paper's wall-clock 4.5x
+  // (which also includes I/O).
+  EXPECT_LT(rf.ops.mults, rs.ops.mults);
+  EXPECT_GT(static_cast<double>(rs.ops.mults),
+            1.3 * static_cast<double>(rf.ops.mults));
+}
+
+TEST(IntegrationTest, Movies3wayMultiJoinEndToEnd) {
+  TempDir dir;
+  BufferPool pool(2048);
+  auto shape = std::move(data::FindRealShape("Movies-3way")).value();
+  auto rel = std::move(data::GenerateRealShape(shape, dir.str(), &pool,
+                                               /*scale=*/0.002, /*seed=*/5,
+                                               /*with_target=*/true))
+                 .value();
+  ASSERT_EQ(rel.num_joins(), 2u);
+
+  gmm::GmmOptions gopt;
+  gopt.num_components = 2;
+  gopt.max_iters = 2;
+  gopt.temp_dir = dir.str();
+  TrainReport gs, gf;
+  auto sg = std::move(core::TrainGmm(rel, gopt, Algorithm::kStreaming,
+                                     &pool, &gs))
+                .value();
+  auto fg = std::move(core::TrainGmm(rel, gopt, Algorithm::kFactorized,
+                                     &pool, &gf))
+                .value();
+  EXPECT_LT(gmm::GmmParams::MaxAbsDiff(sg, fg), 1e-5);
+  EXPECT_LT(gf.ops.mults, gs.ops.mults);
+
+  nn::NnOptions nopt;
+  nopt.hidden = {8};
+  nopt.epochs = 2;
+  nopt.temp_dir = dir.str();
+  TrainReport ns, nf;
+  auto sn = std::move(core::TrainNn(rel, nopt, Algorithm::kStreaming, &pool,
+                                    &ns))
+                .value();
+  auto fn = std::move(core::TrainNn(rel, nopt, Algorithm::kFactorized,
+                                    &pool, &nf))
+                .value();
+  EXPECT_LT(nn::Mlp::MaxAbsDiffParams(sn, fn), 1e-5);
+  EXPECT_LT(nf.ops.mults, ns.ops.mults);
+}
+
+TEST(IntegrationTest, MeasuredSavingsTrackCostModel) {
+  // The measured multiply counts of the streaming vs factorized GMM
+  // covariance pass should track the paper's analytical saving rate
+  // (Sec. V-B) within a loose tolerance — the model ignores the E-step
+  // and mean pass, so we only check directional agreement and magnitude.
+  TempDir dir;
+  BufferPool pool(2048);
+  data::SyntheticSpec spec;
+  spec.dir = dir.str();
+  spec.s_rows = 20000;
+  spec.s_feats = 5;
+  spec.attrs = {data::AttributeSpec{200, 15}};
+  spec.seed = 8;
+  auto rel = std::move(data::GenerateSynthetic(spec, &pool)).value();
+
+  gmm::GmmOptions opt;
+  opt.num_components = 2;
+  opt.max_iters = 2;
+  opt.temp_dir = dir.str();
+  TrainReport rs, rf;
+  ASSERT_TRUE(core::TrainGmm(rel, opt, Algorithm::kStreaming, &pool, &rs)
+                  .ok());
+  ASSERT_TRUE(core::TrainGmm(rel, opt, Algorithm::kFactorized, &pool, &rf)
+                  .ok());
+  const double measured_saving =
+      1.0 - static_cast<double>(rf.ops.mults) /
+                static_cast<double>(rs.ops.mults);
+  const double model_saving =
+      costmodel::GmmSigmaSavingRate(20000, 200, 5, 15);
+  EXPECT_GT(measured_saving, 0.2);
+  EXPECT_LT(std::fabs(measured_saving - model_saving), 0.35)
+      << "measured=" << measured_saving << " model=" << model_saving;
+}
+
+TEST(IntegrationTest, FactorizedGainGrowsWithTupleRatio) {
+  // Fig. 3(a) in miniature: the multiply-saving ratio of F-GMM over S-GMM
+  // must increase monotonically with rr.
+  TempDir dir;
+  BufferPool pool(2048);
+  double prev_ratio = 1.0;
+  for (const int64_t rr : {5, 50, 500}) {
+    data::SyntheticSpec spec;
+    spec.dir = dir.str();
+    spec.name = "rr" + std::to_string(rr);
+    spec.s_rows = 100 * rr;
+    spec.s_feats = 5;
+    spec.attrs = {data::AttributeSpec{100, 15}};
+    spec.seed = 9;
+    auto rel = std::move(data::GenerateSynthetic(spec, &pool)).value();
+    gmm::GmmOptions opt;
+    opt.num_components = 2;
+    opt.max_iters = 1;
+    opt.temp_dir = dir.str();
+    TrainReport rs, rf;
+    ASSERT_TRUE(core::TrainGmm(rel, opt, Algorithm::kStreaming, &pool, &rs)
+                    .ok());
+    ASSERT_TRUE(core::TrainGmm(rel, opt, Algorithm::kFactorized, &pool, &rf)
+                    .ok());
+    const double ratio = static_cast<double>(rs.ops.mults) /
+                         static_cast<double>(rf.ops.mults);
+    EXPECT_GT(ratio, prev_ratio) << "rr=" << rr;
+    prev_ratio = ratio;
+  }
+}
+
+}  // namespace
+}  // namespace factorml

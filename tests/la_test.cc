@@ -1,0 +1,455 @@
+#include <cmath>
+#include <tuple>
+#include <vector>
+
+#include "common/rng.h"
+#include "gtest/gtest.h"
+#include "la/cholesky.h"
+#include "la/matrix.h"
+#include "la/ops.h"
+#include "test_util.h"
+
+namespace factorml::la {
+namespace {
+
+Matrix RandomMatrix(size_t rows, size_t cols, Rng* rng) {
+  Matrix m(rows, cols);
+  for (size_t i = 0; i < rows; ++i) {
+    for (size_t j = 0; j < cols; ++j) m(i, j) = rng->NextGaussian();
+  }
+  return m;
+}
+
+/// Random symmetric positive-definite matrix A = B B^T + n*I.
+Matrix RandomSpd(size_t n, Rng* rng) {
+  Matrix b = RandomMatrix(n, n, rng);
+  Matrix a(n, n);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < n; ++j) {
+      double s = 0.0;
+      for (size_t p = 0; p < n; ++p) s += b(i, p) * b(j, p);
+      a(i, j) = s;
+    }
+    a(i, i) += static_cast<double>(n);
+  }
+  return a;
+}
+
+// ---------------------------------------------------------------- Matrix
+
+TEST(MatrixTest, ConstructionAndIndexing) {
+  Matrix m(2, 3);
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  EXPECT_EQ(m.size(), 6u);
+  m(1, 2) = 5.0;
+  EXPECT_DOUBLE_EQ(m(1, 2), 5.0);
+  EXPECT_DOUBLE_EQ(m(0, 0), 0.0);
+}
+
+TEST(MatrixTest, RowSpanAliasesStorage) {
+  Matrix m(3, 4);
+  auto row = m.Row(1);
+  row[2] = 7.0;
+  EXPECT_DOUBLE_EQ(m(1, 2), 7.0);
+  EXPECT_EQ(row.size(), 4u);
+}
+
+TEST(MatrixTest, ScaleAddFill) {
+  Matrix a(2, 2);
+  a.Fill(2.0);
+  a.Scale(3.0);
+  EXPECT_DOUBLE_EQ(a(1, 1), 6.0);
+  Matrix b(2, 2);
+  b.Fill(1.0);
+  a.Add(b);
+  EXPECT_DOUBLE_EQ(a(0, 0), 7.0);
+  a.SetZero();
+  EXPECT_DOUBLE_EQ(a(0, 1), 0.0);
+}
+
+TEST(MatrixTest, TransposedAndIdentity) {
+  Matrix m(2, 3);
+  m(0, 1) = 4.0;
+  m(1, 2) = -1.0;
+  Matrix t = m.Transposed();
+  EXPECT_EQ(t.rows(), 3u);
+  EXPECT_DOUBLE_EQ(t(1, 0), 4.0);
+  EXPECT_DOUBLE_EQ(t(2, 1), -1.0);
+  Matrix id = Matrix::Identity(3);
+  EXPECT_DOUBLE_EQ(id(2, 2), 1.0);
+  EXPECT_DOUBLE_EQ(id(0, 2), 0.0);
+}
+
+TEST(MatrixTest, MaxAbsDiff) {
+  Matrix a(2, 2), b(2, 2);
+  a(0, 1) = 1.0;
+  b(0, 1) = 1.5;
+  EXPECT_DOUBLE_EQ(Matrix::MaxAbsDiff(a, b), 0.5);
+  EXPECT_DOUBLE_EQ(Matrix::MaxAbsDiff(a, a), 0.0);
+}
+
+TEST(MatrixTest, ResizeZeroFills) {
+  Matrix m(1, 1);
+  m(0, 0) = 9.0;
+  m.Resize(2, 2);
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_DOUBLE_EQ(m(0, 0), 0.0);
+}
+
+// ------------------------------------------------------------------ Ops
+
+TEST(OpsTest, DotAndAxpy) {
+  const double a[] = {1.0, 2.0, 3.0};
+  const double b[] = {4.0, 5.0, 6.0};
+  EXPECT_DOUBLE_EQ(Dot(a, b, 3), 32.0);
+  double y[] = {1.0, 1.0, 1.0};
+  Axpy(2.0, a, y, 3);
+  EXPECT_DOUBLE_EQ(y[0], 3.0);
+  EXPECT_DOUBLE_EQ(y[2], 7.0);
+}
+
+TEST(OpsTest, GemvMatchesManual) {
+  Matrix a(2, 3);
+  a(0, 0) = 1;
+  a(0, 1) = 2;
+  a(0, 2) = 3;
+  a(1, 0) = 4;
+  a(1, 1) = 5;
+  a(1, 2) = 6;
+  const double x[] = {1.0, 0.0, -1.0};
+  double y[2];
+  Gemv(a, x, y);
+  EXPECT_DOUBLE_EQ(y[0], -2.0);
+  EXPECT_DOUBLE_EQ(y[1], -2.0);
+}
+
+TEST(OpsTest, BilinearSubBlock) {
+  // A 4x4 with a known 2x2 block at (1,2).
+  Matrix a(4, 4);
+  a(1, 2) = 1.0;
+  a(1, 3) = 2.0;
+  a(2, 2) = 3.0;
+  a(2, 3) = 4.0;
+  const double u[] = {1.0, 1.0};
+  const double v[] = {1.0, -1.0};
+  // u^T [[1,2],[3,4]] v = (1+3)*1 + (2+4)*(-1) = -2.
+  EXPECT_DOUBLE_EQ(Bilinear(a, 1, 2, u, 2, v, 2), -2.0);
+}
+
+TEST(OpsTest, QuadFormEqualsFullBilinear) {
+  Rng rng(3);
+  Matrix a = RandomSpd(5, &rng);
+  std::vector<double> x(5);
+  for (auto& v : x) v = rng.NextGaussian();
+  double manual = 0.0;
+  for (size_t i = 0; i < 5; ++i) {
+    for (size_t j = 0; j < 5; ++j) manual += x[i] * a(i, j) * x[j];
+  }
+  EXPECT_NEAR(QuadForm(a, x.data(), 5), manual, 1e-10);
+}
+
+TEST(OpsTest, GemmNTMatchesNaive) {
+  Rng rng(4);
+  Matrix x = RandomMatrix(3, 5, &rng);
+  Matrix w = RandomMatrix(4, 5, &rng);
+  Matrix c;
+  GemmNT(x, w, &c, false);
+  ASSERT_EQ(c.rows(), 3u);
+  ASSERT_EQ(c.cols(), 4u);
+  for (size_t i = 0; i < 3; ++i) {
+    for (size_t j = 0; j < 4; ++j) {
+      double s = 0.0;
+      for (size_t p = 0; p < 5; ++p) s += x(i, p) * w(j, p);
+      EXPECT_NEAR(c(i, j), s, 1e-12);
+    }
+  }
+}
+
+TEST(OpsTest, GemmNTAccumulates) {
+  Rng rng(5);
+  Matrix x = RandomMatrix(2, 3, &rng);
+  Matrix w = RandomMatrix(2, 3, &rng);
+  Matrix c(2, 2);
+  c.Fill(1.0);
+  GemmNT(x, w, &c, true);
+  Matrix fresh;
+  GemmNT(x, w, &fresh, false);
+  EXPECT_NEAR(c(1, 1), fresh(1, 1) + 1.0, 1e-12);
+}
+
+TEST(OpsTest, GemmNNMatchesNaive) {
+  Rng rng(6);
+  Matrix a = RandomMatrix(3, 4, &rng);
+  Matrix b = RandomMatrix(4, 2, &rng);
+  Matrix c;
+  GemmNN(a, b, &c, false);
+  for (size_t i = 0; i < 3; ++i) {
+    for (size_t j = 0; j < 2; ++j) {
+      double s = 0.0;
+      for (size_t p = 0; p < 4; ++p) s += a(i, p) * b(p, j);
+      EXPECT_NEAR(c(i, j), s, 1e-12);
+    }
+  }
+}
+
+TEST(OpsTest, GemmNTSliceUsesColumnWindow) {
+  Rng rng(7);
+  Matrix x = RandomMatrix(3, 2, &rng);   // k=2
+  Matrix w = RandomMatrix(4, 6, &rng);   // slice cols [3,5)
+  Matrix c;
+  GemmNTSlice(x, w, 3, &c, false);
+  for (size_t i = 0; i < 3; ++i) {
+    for (size_t j = 0; j < 4; ++j) {
+      double s = 0.0;
+      for (size_t p = 0; p < 2; ++p) s += x(i, p) * w(j, 3 + p);
+      EXPECT_NEAR(c(i, j), s, 1e-12);
+    }
+  }
+}
+
+TEST(OpsTest, GemmTNMatchesNaive) {
+  Rng rng(8);
+  Matrix d = RandomMatrix(5, 3, &rng);
+  Matrix x = RandomMatrix(5, 2, &rng);
+  Matrix g;
+  GemmTN(d, x, &g, false);
+  for (size_t i = 0; i < 3; ++i) {
+    for (size_t j = 0; j < 2; ++j) {
+      double s = 0.0;
+      for (size_t r = 0; r < 5; ++r) s += d(r, i) * x(r, j);
+      EXPECT_NEAR(g(i, j), s, 1e-12);
+    }
+  }
+}
+
+TEST(OpsTest, GemmTNSliceWritesColumnWindow) {
+  Rng rng(9);
+  Matrix d = RandomMatrix(4, 3, &rng);
+  Matrix x = RandomMatrix(4, 2, &rng);
+  Matrix g(3, 6);
+  g.Fill(0.5);
+  GemmTNSlice(d, x, &g, 4);
+  Matrix ref;
+  GemmTN(d, x, &ref, false);
+  for (size_t i = 0; i < 3; ++i) {
+    EXPECT_NEAR(g(i, 4), 0.5 + ref(i, 0), 1e-12);
+    EXPECT_NEAR(g(i, 5), 0.5 + ref(i, 1), 1e-12);
+    EXPECT_DOUBLE_EQ(g(i, 0), 0.5);  // untouched columns
+  }
+}
+
+TEST(OpsTest, AddOuterIntoBlock) {
+  Matrix a(4, 4);
+  const double u[] = {1.0, 2.0};
+  const double v[] = {3.0, 4.0};
+  AddOuter(2.0, u, 2, v, 2, &a, 1, 2);
+  EXPECT_DOUBLE_EQ(a(1, 2), 6.0);
+  EXPECT_DOUBLE_EQ(a(1, 3), 8.0);
+  EXPECT_DOUBLE_EQ(a(2, 2), 12.0);
+  EXPECT_DOUBLE_EQ(a(2, 3), 16.0);
+  EXPECT_DOUBLE_EQ(a(0, 0), 0.0);
+}
+
+TEST(OpsTest, AddRowVector) {
+  Matrix x(2, 3);
+  const double b[] = {1.0, 2.0, 3.0};
+  AddRowVector(b, &x);
+  AddRowVector(b, &x);
+  EXPECT_DOUBLE_EQ(x(0, 0), 2.0);
+  EXPECT_DOUBLE_EQ(x(1, 2), 6.0);
+}
+
+// ------------------------------------------------------------- Cholesky
+
+class CholeskySizeTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(CholeskySizeTest, FactorReconstructsMatrix) {
+  Rng rng(100 + GetParam());
+  const size_t n = GetParam();
+  Matrix a = RandomSpd(n, &rng);
+  Cholesky chol;
+  FML_ASSERT_OK(chol.Factor(a));
+  const Matrix& l = chol.lower();
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < n; ++j) {
+      double s = 0.0;
+      for (size_t p = 0; p < n; ++p) s += l(i, p) * l(j, p);
+      EXPECT_NEAR(s, a(i, j), 1e-8) << "at " << i << "," << j;
+    }
+  }
+}
+
+TEST_P(CholeskySizeTest, SolveSatisfiesSystem) {
+  Rng rng(200 + GetParam());
+  const size_t n = GetParam();
+  Matrix a = RandomSpd(n, &rng);
+  std::vector<double> b(n), x(n), ax(n);
+  for (auto& v : b) v = rng.NextGaussian();
+  Cholesky chol;
+  FML_ASSERT_OK(chol.Factor(a));
+  chol.Solve(b.data(), x.data());
+  Gemv(a, x.data(), ax.data());
+  for (size_t i = 0; i < n; ++i) EXPECT_NEAR(ax[i], b[i], 1e-7);
+}
+
+TEST_P(CholeskySizeTest, InverseTimesMatrixIsIdentity) {
+  Rng rng(300 + GetParam());
+  const size_t n = GetParam();
+  Matrix a = RandomSpd(n, &rng);
+  Cholesky chol;
+  FML_ASSERT_OK(chol.Factor(a));
+  Matrix inv = chol.Inverse();
+  Matrix prod;
+  GemmNN(a, inv, &prod, false);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < n; ++j) {
+      EXPECT_NEAR(prod(i, j), i == j ? 1.0 : 0.0, 1e-7);
+    }
+  }
+}
+
+TEST_P(CholeskySizeTest, LogDetMatchesDiagonalProduct) {
+  Rng rng(400 + GetParam());
+  const size_t n = GetParam();
+  Matrix a = RandomSpd(n, &rng);
+  Cholesky chol;
+  FML_ASSERT_OK(chol.Factor(a));
+  double ld = 0.0;
+  for (size_t i = 0; i < n; ++i) ld += 2.0 * std::log(chol.lower()(i, i));
+  EXPECT_NEAR(chol.LogDet(), ld, 1e-10);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, CholeskySizeTest,
+                         ::testing::Values(1, 2, 3, 5, 8, 16, 32));
+
+TEST(CholeskyTest, RejectsNonSquare) {
+  Cholesky chol;
+  EXPECT_EQ(chol.Factor(Matrix(2, 3)).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(CholeskyTest, RejectsIndefinite) {
+  Matrix a(2, 2);
+  a(0, 0) = 1.0;
+  a(1, 1) = -1.0;
+  Cholesky chol;
+  EXPECT_EQ(chol.Factor(a).code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(CholeskyTest, JitterRecoversNearSingular) {
+  // Rank-deficient PSD matrix: outer product of one vector.
+  Matrix a(3, 3);
+  const double v[] = {1.0, 2.0, 3.0};
+  AddOuter(1.0, v, 3, v, 3, &a, 0, 0);
+  Cholesky chol;
+  EXPECT_FALSE(chol.Factor(a).ok());
+  FML_EXPECT_OK(chol.FactorWithJitter(a));
+  EXPECT_TRUE(chol.factored());
+}
+
+TEST(CholeskyTest, MultiplyLowerSamplesCovariance) {
+  Rng rng(55);
+  Matrix a = RandomSpd(3, &rng);
+  Cholesky chol;
+  FML_ASSERT_OK(chol.Factor(a));
+  // y = L z with z = e0 gives the first column of L.
+  const double z[] = {1.0, 0.0, 0.0};
+  double y[3];
+  chol.MultiplyLower(z, y);
+  EXPECT_NEAR(y[0], chol.lower()(0, 0), 1e-12);
+  EXPECT_NEAR(y[1], chol.lower()(1, 0), 1e-12);
+  EXPECT_NEAR(y[2], chol.lower()(2, 0), 1e-12);
+}
+
+// Property: the factorized quadratic-form decomposition used by F-GMM is
+// exact — sum of block bilinears equals the full quadratic form.
+class BlockDecompositionTest
+    : public ::testing::TestWithParam<std::tuple<size_t, size_t>> {};
+
+TEST_P(BlockDecompositionTest, BlocksSumToFullQuadForm) {
+  const size_t ds = std::get<0>(GetParam());
+  const size_t dr = std::get<1>(GetParam());
+  const size_t d = ds + dr;
+  Rng rng(1000 + ds * 13 + dr);
+  Matrix a = RandomSpd(d, &rng);
+  std::vector<double> x(d);
+  for (auto& v : x) v = rng.NextGaussian();
+  const double full = QuadForm(a, x.data(), d);
+  const double* xs = x.data();
+  const double* xr = x.data() + ds;
+  // Eq. 9-12: UL + UR + LL + LR.
+  const double ul = Bilinear(a, 0, 0, xs, ds, xs, ds);
+  const double ur = Bilinear(a, 0, ds, xs, ds, xr, dr);
+  const double ll = Bilinear(a, ds, 0, xr, dr, xs, ds);
+  const double lr = Bilinear(a, ds, ds, xr, dr, xr, dr);
+  EXPECT_NEAR(ul + ur + ll + lr, full, 1e-9 * (1.0 + std::fabs(full)));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Splits, BlockDecompositionTest,
+    ::testing::Combine(::testing::Values(1, 3, 5, 8),
+                       ::testing::Values(1, 2, 7, 15)));
+
+// Property sweep: the gemm variants must agree with each other under
+// transposition for arbitrary shapes (C = A*B  <=>  C = A*(B^T)^T etc.).
+class GemmConsistencyTest
+    : public ::testing::TestWithParam<std::tuple<size_t, size_t, size_t>> {};
+
+TEST_P(GemmConsistencyTest, VariantsAgree) {
+  const auto [m, k, n] = GetParam();
+  Rng rng(m * 131 + k * 17 + n);
+  Matrix a = RandomMatrix(m, k, &rng);
+  Matrix b = RandomMatrix(k, n, &rng);
+
+  Matrix c_nn;
+  GemmNN(a, b, &c_nn, false);
+
+  // GemmNT with B transposed gives the same product.
+  Matrix bt = b.Transposed();
+  Matrix c_nt;
+  GemmNT(a, bt, &c_nt, false);
+  EXPECT_LT(Matrix::MaxAbsDiff(c_nn, c_nt), 1e-10);
+
+  // GemmTN with A transposed gives the same product.
+  Matrix at = a.Transposed();
+  Matrix c_tn;
+  GemmTN(at, b, &c_tn, false);
+  EXPECT_LT(Matrix::MaxAbsDiff(c_nn, c_tn), 1e-10);
+
+  // Slice kernels with a zero offset reduce to the full kernels.
+  Matrix c_slice;
+  GemmNTSlice(a, bt, 0, &c_slice, false);
+  EXPECT_LT(Matrix::MaxAbsDiff(c_nn, c_slice), 1e-10);
+  Matrix g(a.rows(), b.cols());
+  GemmTNSlice(at, b, &g, 0);
+  EXPECT_LT(Matrix::MaxAbsDiff(c_nn, g), 1e-10);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, GemmConsistencyTest,
+    ::testing::Combine(::testing::Values(1, 3, 17),
+                       ::testing::Values(1, 8, 31),
+                       ::testing::Values(1, 5, 16)));
+
+// Property: outer-product accumulation distributes over scaling, the
+// identity F-GMM's deferred diagonal blocks rely on:
+//   sum_i g_i * (v v^T) == (sum_i g_i) * (v v^T).
+TEST(OpsTest, ScaledOuterAccumulationIsLinear) {
+  Rng rng(77);
+  const size_t d = 6;
+  std::vector<double> v(d);
+  for (auto& x : v) x = rng.NextGaussian();
+  Matrix per_row(d, d), grouped(d, d);
+  double gsum = 0.0;
+  for (int i = 0; i < 25; ++i) {
+    const double g = rng.NextDouble();
+    AddOuter(g, v.data(), d, v.data(), d, &per_row, 0, 0);
+    gsum += g;
+  }
+  AddOuter(gsum, v.data(), d, v.data(), d, &grouped, 0, 0);
+  EXPECT_LT(Matrix::MaxAbsDiff(per_row, grouped), 1e-10);
+}
+
+}  // namespace
+}  // namespace factorml::la

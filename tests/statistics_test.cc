@@ -1,0 +1,143 @@
+#include <cmath>
+
+#include "common/opcount.h"
+#include "core/statistics.h"
+#include "data/synthetic.h"
+#include "gtest/gtest.h"
+#include "storage/buffer_pool.h"
+#include "test_util.h"
+
+namespace factorml::core {
+namespace {
+
+using factorml::testing::TempDir;
+using storage::BufferPool;
+
+data::SyntheticSpec Spec(const std::string& dir, size_t q = 1) {
+  data::SyntheticSpec spec;
+  spec.dir = dir;
+  spec.s_rows = 2000;
+  spec.s_feats = 3;
+  spec.attrs = {data::AttributeSpec{40, 5}};
+  if (q == 2) spec.attrs.push_back(data::AttributeSpec{25, 4});
+  spec.seed = 77;
+  return spec;
+}
+
+TEST(StatisticsTest, FactorizedMatchesDirectBinary) {
+  TempDir dir;
+  BufferPool pool(512);
+  auto rel = std::move(data::GenerateSynthetic(Spec(dir.str()), &pool))
+                 .value();
+  auto fact = std::move(ComputeJoinedFeatureStats(rel, &pool)).value();
+  auto direct =
+      std::move(ComputeJoinedFeatureStatsDirect(rel, &pool)).value();
+  ASSERT_EQ(fact.dims(), rel.total_dims());
+  ASSERT_EQ(direct.dims(), rel.total_dims());
+  for (size_t j = 0; j < fact.dims(); ++j) {
+    EXPECT_NEAR(fact.mean[j], direct.mean[j], 1e-9) << "col " << j;
+    EXPECT_NEAR(fact.stddev[j], direct.stddev[j], 1e-9) << "col " << j;
+  }
+}
+
+TEST(StatisticsTest, FactorizedMatchesDirectMultiway) {
+  TempDir dir;
+  BufferPool pool(512);
+  auto rel = std::move(data::GenerateSynthetic(Spec(dir.str(), 2), &pool))
+                 .value();
+  auto fact = std::move(ComputeJoinedFeatureStats(rel, &pool)).value();
+  auto direct =
+      std::move(ComputeJoinedFeatureStatsDirect(rel, &pool)).value();
+  for (size_t j = 0; j < fact.dims(); ++j) {
+    EXPECT_NEAR(fact.mean[j], direct.mean[j], 1e-9);
+    EXPECT_NEAR(fact.stddev[j], direct.stddev[j], 1e-9);
+  }
+}
+
+TEST(StatisticsTest, TargetColumnExcluded) {
+  TempDir dir;
+  BufferPool pool(512);
+  auto spec = Spec(dir.str());
+  spec.with_target = true;
+  auto rel = std::move(data::GenerateSynthetic(spec, &pool)).value();
+  auto stats = std::move(ComputeJoinedFeatureStats(rel, &pool)).value();
+  // Stats cover the d = dS + dR joined features, not Y.
+  EXPECT_EQ(stats.dims(), rel.total_dims());
+}
+
+TEST(StatisticsTest, FactorizedTouchesFewerValues) {
+  // The factorized computation's op count must be far below the direct
+  // one when the tuple ratio is large (the same asymmetry the trainers
+  // exploit).
+  TempDir dir;
+  BufferPool pool(512);
+  auto spec = Spec(dir.str());
+  spec.s_rows = 20000;  // rr = 500
+  spec.attrs = {data::AttributeSpec{40, 20}};
+  auto rel = std::move(data::GenerateSynthetic(spec, &pool)).value();
+
+  ResetGlobalOps();
+  auto fact = ComputeJoinedFeatureStats(rel, &pool);
+  ASSERT_TRUE(fact.ok());
+  const uint64_t fact_ops = GlobalOps().Total();
+  ResetGlobalOps();
+  auto direct = ComputeJoinedFeatureStatsDirect(rel, &pool);
+  ASSERT_TRUE(direct.ok());
+  const uint64_t direct_ops = GlobalOps().Total();
+  EXPECT_LT(fact_ops * 2, direct_ops);
+}
+
+TEST(StatisticsTest, HandlesUnmatchedAttributeTuples) {
+  // Attribute tuples with no matching fact tuple must contribute nothing.
+  TempDir dir;
+  BufferPool pool(512);
+  auto spec = Spec(dir.str());
+  spec.s_rows = 20;  // fewer fact rows than attribute rows
+  spec.attrs = {data::AttributeSpec{40, 5}};
+  auto rel = std::move(data::GenerateSynthetic(spec, &pool)).value();
+  auto fact = std::move(ComputeJoinedFeatureStats(rel, &pool)).value();
+  auto direct =
+      std::move(ComputeJoinedFeatureStatsDirect(rel, &pool)).value();
+  for (size_t j = 0; j < fact.dims(); ++j) {
+    EXPECT_NEAR(fact.mean[j], direct.mean[j], 1e-9);
+  }
+}
+
+TEST(StatisticsTest, ConstantColumnHasZeroStddev) {
+  // Build a tiny dataset by hand where an attribute feature is constant.
+  TempDir dir;
+  BufferPool pool(64);
+  auto r = std::move(storage::Table::Create(dir.str() + "/r.fml",
+                                            storage::Schema{1, 1}))
+               .value();
+  for (int64_t rid = 0; rid < 4; ++rid) {
+    const double f = 3.25;  // constant
+    FML_CHECK_OK(r.Append(&rid, &f));
+  }
+  FML_CHECK_OK(r.Finish());
+  auto s = std::move(storage::Table::Create(dir.str() + "/s.fml",
+                                            storage::Schema{2, 1}))
+               .value();
+  int64_t sid = 0;
+  for (int64_t rid = 0; rid < 4; ++rid) {
+    for (int c = 0; c < 3; ++c) {
+      const int64_t keys[] = {sid, rid};
+      const double f = static_cast<double>(sid++);
+      FML_CHECK_OK(s.Append(keys, &f));
+    }
+  }
+  FML_CHECK_OK(s.Finish());
+  std::vector<storage::Table> attrs;
+  attrs.push_back(std::move(r));
+  join::NormalizedRelations rel(std::move(s), std::move(attrs), false);
+  FML_CHECK_OK(rel.BuildIndex(&pool));
+
+  auto stats = std::move(ComputeJoinedFeatureStats(rel, &pool)).value();
+  EXPECT_NEAR(stats.mean[1], 3.25, 1e-12);
+  EXPECT_NEAR(stats.stddev[1], 0.0, 1e-9);
+  // S column: mean of 0..11 = 5.5.
+  EXPECT_NEAR(stats.mean[0], 5.5, 1e-12);
+}
+
+}  // namespace
+}  // namespace factorml::core

@@ -1,0 +1,333 @@
+#include <cstring>
+#include <chrono>
+#include <string>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "storage/buffer_pool.h"
+#include "storage/io_stats.h"
+#include "storage/paged_file.h"
+#include "storage/table.h"
+#include "test_util.h"
+
+namespace factorml::storage {
+namespace {
+
+using factorml::testing::TempDir;
+
+// -------------------------------------------------------------- PagedFile
+
+TEST(PagedFileTest, AppendAndReadBack) {
+  TempDir dir;
+  auto file_or = PagedFile::Create(dir.str() + "/f.pg");
+  ASSERT_TRUE(file_or.ok());
+  auto file = std::move(file_or).value();
+
+  std::vector<char> page(kPageSize, 'a');
+  auto p0 = file->AppendPage(page.data());
+  ASSERT_TRUE(p0.ok());
+  EXPECT_EQ(p0.value(), 0u);
+  page.assign(kPageSize, 'b');
+  auto p1 = file->AppendPage(page.data());
+  ASSERT_TRUE(p1.ok());
+  EXPECT_EQ(p1.value(), 1u);
+  EXPECT_EQ(file->num_pages(), 2u);
+
+  std::vector<char> buf(kPageSize);
+  FML_ASSERT_OK(file->ReadPage(0, buf.data()));
+  EXPECT_EQ(buf[10], 'a');
+  FML_ASSERT_OK(file->ReadPage(1, buf.data()));
+  EXPECT_EQ(buf[10], 'b');
+}
+
+TEST(PagedFileTest, ReadPastEndFails) {
+  TempDir dir;
+  auto file = std::move(PagedFile::Create(dir.str() + "/f.pg")).value();
+  std::vector<char> buf(kPageSize);
+  EXPECT_EQ(file->ReadPage(0, buf.data()).code(), StatusCode::kOutOfRange);
+}
+
+TEST(PagedFileTest, OpenMissingFileFails) {
+  auto r = PagedFile::Open("/nonexistent/path/zzz.pg");
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kIoError);
+}
+
+TEST(PagedFileTest, ReadOnlyRejectsWrites) {
+  TempDir dir;
+  const std::string path = dir.str() + "/f.pg";
+  {
+    auto file = std::move(PagedFile::Create(path)).value();
+    std::vector<char> page(kPageSize, 'x');
+    ASSERT_TRUE(file->AppendPage(page.data()).ok());
+    FML_ASSERT_OK(file->Flush());
+  }
+  auto ro = std::move(PagedFile::Open(path)).value();
+  std::vector<char> page(kPageSize, 'y');
+  EXPECT_EQ(ro->AppendPage(page.data()).status().code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(ro->WritePage(0, page.data()).code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(PagedFileTest, IoStatsCountTransfers) {
+  TempDir dir;
+  auto file = std::move(PagedFile::Create(dir.str() + "/f.pg")).value();
+  const IoStats before = GlobalIo();
+  std::vector<char> page(kPageSize, 'z');
+  ASSERT_TRUE(file->AppendPage(page.data()).ok());
+  ASSERT_TRUE(file->AppendPage(page.data()).ok());
+  FML_ASSERT_OK(file->ReadPage(0, page.data()));
+  const IoStats delta = GlobalIo() - before;
+  EXPECT_EQ(delta.pages_written, 2u);
+  EXPECT_EQ(delta.pages_read, 1u);
+  EXPECT_EQ(delta.bytes_written(), 2 * kPageSize);
+}
+
+TEST(PagedFileTest, UniqueIdsAcrossFiles) {
+  TempDir dir;
+  auto a = std::move(PagedFile::Create(dir.str() + "/a.pg")).value();
+  auto b = std::move(PagedFile::Create(dir.str() + "/b.pg")).value();
+  EXPECT_NE(a->id(), b->id());
+}
+
+// ------------------------------------------------------------ BufferPool
+
+TEST(BufferPoolTest, CachesRepeatedReads) {
+  TempDir dir;
+  auto file = std::move(PagedFile::Create(dir.str() + "/f.pg")).value();
+  std::vector<char> page(kPageSize, 'q');
+  ASSERT_TRUE(file->AppendPage(page.data()).ok());
+
+  BufferPool pool(4);
+  const IoStats before = GlobalIo();
+  auto r1 = pool.GetPage(file.get(), 0);
+  ASSERT_TRUE(r1.ok());
+  auto r2 = pool.GetPage(file.get(), 0);
+  ASSERT_TRUE(r2.ok());
+  EXPECT_EQ(r1.value(), r2.value());  // same frame
+  const IoStats delta = GlobalIo() - before;
+  EXPECT_EQ(delta.pages_read, 1u);
+  EXPECT_EQ(delta.pool_hits, 1u);
+  EXPECT_EQ(delta.pool_misses, 1u);
+}
+
+TEST(BufferPoolTest, EvictsLeastRecentlyUsed) {
+  TempDir dir;
+  auto file = std::move(PagedFile::Create(dir.str() + "/f.pg")).value();
+  std::vector<char> page(kPageSize);
+  for (int i = 0; i < 4; ++i) {
+    page.assign(kPageSize, static_cast<char>('a' + i));
+    ASSERT_TRUE(file->AppendPage(page.data()).ok());
+  }
+  BufferPool pool(2);
+  ASSERT_TRUE(pool.GetPage(file.get(), 0).ok());
+  ASSERT_TRUE(pool.GetPage(file.get(), 1).ok());
+  // Touch page 0 so page 1 becomes the LRU victim.
+  ASSERT_TRUE(pool.GetPage(file.get(), 0).ok());
+  ASSERT_TRUE(pool.GetPage(file.get(), 2).ok());  // evicts 1
+  const IoStats before = GlobalIo();
+  ASSERT_TRUE(pool.GetPage(file.get(), 0).ok());  // still cached
+  EXPECT_EQ((GlobalIo() - before).pages_read, 0u);
+  const IoStats before2 = GlobalIo();
+  ASSERT_TRUE(pool.GetPage(file.get(), 1).ok());  // was evicted
+  EXPECT_EQ((GlobalIo() - before2).pages_read, 1u);
+}
+
+TEST(BufferPoolTest, ClearDropsFrames) {
+  TempDir dir;
+  auto file = std::move(PagedFile::Create(dir.str() + "/f.pg")).value();
+  std::vector<char> page(kPageSize, 'm');
+  ASSERT_TRUE(file->AppendPage(page.data()).ok());
+  BufferPool pool(2);
+  ASSERT_TRUE(pool.GetPage(file.get(), 0).ok());
+  EXPECT_EQ(pool.cached_pages(), 1u);
+  pool.Clear();
+  EXPECT_EQ(pool.cached_pages(), 0u);
+  const IoStats before = GlobalIo();
+  ASSERT_TRUE(pool.GetPage(file.get(), 0).ok());
+  EXPECT_EQ((GlobalIo() - before).pages_read, 1u);
+}
+
+TEST(PagedFileTest, SimulatedLatencySlowsTransfers) {
+  TempDir dir;
+  auto file = std::move(PagedFile::Create(dir.str() + "/f.pg")).value();
+  std::vector<char> page(kPageSize, 'l');
+  ASSERT_TRUE(file->AppendPage(page.data()).ok());
+
+  SetSimulatedIoLatencyMicros(2000, 0);  // 2ms per read
+  EXPECT_EQ(SimulatedReadLatencyMicros(), 2000u);
+  const auto start = std::chrono::steady_clock::now();
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(file->ReadPage(0, page.data()).ok());
+  }
+  const double ms = std::chrono::duration<double, std::milli>(
+                        std::chrono::steady_clock::now() - start)
+                        .count();
+  SetSimulatedIoLatencyMicros(0, 0);
+  EXPECT_GE(ms, 9.0);  // 5 reads x 2ms, minus scheduler slack
+}
+
+// ----------------------------------------------------------------- Table
+
+TEST(TableTest, SchemaGeometry) {
+  Schema s{2, 3};
+  EXPECT_EQ(s.RowBytes(), 40u);
+  EXPECT_EQ(s.RowsPerPage(), (kPageSize - 8) / 40);
+}
+
+TEST(TableTest, AppendFinishOpenScan) {
+  TempDir dir;
+  const std::string path = dir.str() + "/t.fml";
+  const Schema schema{1, 2};
+  const int64_t n = 1000;
+  {
+    auto t = std::move(Table::Create(path, schema)).value();
+    for (int64_t i = 0; i < n; ++i) {
+      const double feats[] = {static_cast<double>(i) * 0.5,
+                              static_cast<double>(-i)};
+      FML_ASSERT_OK(t.Append(&i, feats));
+    }
+    FML_ASSERT_OK(t.Finish());
+    EXPECT_EQ(t.num_rows(), n);
+  }
+  auto t = std::move(Table::Open(path)).value();
+  EXPECT_EQ(t.num_rows(), n);
+  EXPECT_EQ(t.schema().num_keys, 1u);
+  EXPECT_EQ(t.schema().num_feats, 2u);
+
+  BufferPool pool(64);
+  TableScanner scanner(&t, &pool, 128);
+  RowBatch batch;
+  int64_t seen = 0;
+  while (scanner.Next(&batch)) {
+    for (size_t r = 0; r < batch.num_rows; ++r) {
+      const int64_t row = batch.start_row + static_cast<int64_t>(r);
+      EXPECT_EQ(batch.KeysOf(r)[0], row);
+      EXPECT_DOUBLE_EQ(batch.feats(r, 0), row * 0.5);
+      EXPECT_DOUBLE_EQ(batch.feats(r, 1), -static_cast<double>(row));
+      ++seen;
+    }
+  }
+  FML_EXPECT_OK(scanner.status());
+  EXPECT_EQ(seen, n);
+}
+
+TEST(TableTest, ReadRowsRandomAccessAcrossPageBoundaries) {
+  TempDir dir;
+  const Schema schema{1, 1};
+  auto t = std::move(Table::Create(dir.str() + "/t.fml", schema)).value();
+  const int64_t n = 3000;  // several pages
+  for (int64_t i = 0; i < n; ++i) {
+    const double f = static_cast<double>(i * i % 997);
+    FML_ASSERT_OK(t.Append(&i, &f));
+  }
+  FML_ASSERT_OK(t.Finish());
+
+  BufferPool pool(64);
+  RowBatch batch;
+  // A range that straddles page boundaries.
+  const size_t rpp = schema.RowsPerPage();
+  const int64_t start = static_cast<int64_t>(rpp) - 3;
+  FML_ASSERT_OK(t.ReadRows(&pool, start, rpp + 7, &batch));
+  EXPECT_EQ(batch.num_rows, rpp + 7);
+  for (size_t r = 0; r < batch.num_rows; ++r) {
+    const int64_t row = start + static_cast<int64_t>(r);
+    EXPECT_EQ(batch.KeysOf(r)[0], row);
+    EXPECT_DOUBLE_EQ(batch.feats(r, 0), static_cast<double>(row * row % 997));
+  }
+}
+
+TEST(TableTest, ReadRowsOutOfBoundsFails) {
+  TempDir dir;
+  auto t = std::move(Table::Create(dir.str() + "/t.fml", Schema{1, 1}))
+               .value();
+  const int64_t k = 0;
+  const double f = 0.0;
+  FML_ASSERT_OK(t.Append(&k, &f));
+  FML_ASSERT_OK(t.Finish());
+  BufferPool pool(4);
+  RowBatch batch;
+  EXPECT_EQ(t.ReadRows(&pool, 0, 2, &batch).code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(t.ReadRows(&pool, -1, 1, &batch).code(), StatusCode::kOutOfRange);
+}
+
+TEST(TableTest, AppendAfterFinishFails) {
+  TempDir dir;
+  auto t = std::move(Table::Create(dir.str() + "/t.fml", Schema{1, 1}))
+               .value();
+  const int64_t k = 0;
+  const double f = 1.0;
+  FML_ASSERT_OK(t.Append(&k, &f));
+  FML_ASSERT_OK(t.Finish());
+  EXPECT_EQ(t.Append(&k, &f).code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(TableTest, OpenRejectsNonTableFile) {
+  TempDir dir;
+  const std::string path = dir.str() + "/junk.pg";
+  {
+    auto f = std::move(PagedFile::Create(path)).value();
+    std::vector<char> page(kPageSize, 7);
+    ASSERT_TRUE(f->AppendPage(page.data()).ok());
+    FML_ASSERT_OK(f->Flush());
+  }
+  auto r = Table::Open(path);
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(TableTest, RowTooLargeRejected) {
+  TempDir dir;
+  auto r = Table::Create(dir.str() + "/t.fml", Schema{1, 2000});
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(TableTest, EmptyTableScansNothing) {
+  TempDir dir;
+  auto t = std::move(Table::Create(dir.str() + "/t.fml", Schema{1, 1}))
+               .value();
+  FML_ASSERT_OK(t.Finish());
+  BufferPool pool(4);
+  TableScanner scanner(&t, &pool, 16);
+  RowBatch batch;
+  EXPECT_FALSE(scanner.Next(&batch));
+  FML_EXPECT_OK(scanner.status());
+}
+
+TEST(TableTest, ScannerResetRestartsScan) {
+  TempDir dir;
+  auto t = std::move(Table::Create(dir.str() + "/t.fml", Schema{1, 1}))
+               .value();
+  for (int64_t i = 0; i < 10; ++i) {
+    const double f = static_cast<double>(i);
+    FML_ASSERT_OK(t.Append(&i, &f));
+  }
+  FML_ASSERT_OK(t.Finish());
+  BufferPool pool(4);
+  TableScanner scanner(&t, &pool, 4);
+  RowBatch batch;
+  int count1 = 0;
+  while (scanner.Next(&batch)) count1 += static_cast<int>(batch.num_rows);
+  scanner.Reset();
+  int count2 = 0;
+  while (scanner.Next(&batch)) count2 += static_cast<int>(batch.num_rows);
+  EXPECT_EQ(count1, 10);
+  EXPECT_EQ(count2, 10);
+}
+
+TEST(TableTest, NumDataPagesExcludesHeader) {
+  TempDir dir;
+  const Schema schema{1, 1};
+  auto t = std::move(Table::Create(dir.str() + "/t.fml", schema)).value();
+  const int64_t n = static_cast<int64_t>(schema.RowsPerPage()) * 2 + 1;
+  for (int64_t i = 0; i < n; ++i) {
+    const double f = 0.0;
+    FML_ASSERT_OK(t.Append(&i, &f));
+  }
+  FML_ASSERT_OK(t.Finish());
+  EXPECT_EQ(t.num_data_pages(), 3u);
+}
+
+}  // namespace
+}  // namespace factorml::storage

@@ -1,0 +1,62 @@
+#ifndef FACTORML_TESTS_TEST_UTIL_H_
+#define FACTORML_TESTS_TEST_UTIL_H_
+
+#include <filesystem>
+#include <random>
+#include <string>
+
+#include "common/logging.h"
+#include "common/status.h"
+#include "gtest/gtest.h"
+
+namespace factorml::testing {
+
+/// Creates a unique temporary directory for a test and removes it (and all
+/// table files inside) on destruction.
+class TempDir {
+ public:
+  TempDir() {
+    std::random_device rd;
+    const auto base = std::filesystem::temp_directory_path();
+    path_ = base / ("factorml_test_" + std::to_string(rd()) + "_" +
+                    std::to_string(rd()));
+    std::filesystem::create_directories(path_);
+  }
+  ~TempDir() {
+    std::error_code ec;
+    std::filesystem::remove_all(path_, ec);
+  }
+
+  TempDir(const TempDir&) = delete;
+  TempDir& operator=(const TempDir&) = delete;
+
+  std::string str() const { return path_.string(); }
+
+ private:
+  std::filesystem::path path_;
+};
+
+/// EXPECT that a factorml::Status is OK, printing the message otherwise.
+#define FML_EXPECT_OK(expr)                                 \
+  do {                                                      \
+    const ::factorml::Status _st = (expr);                  \
+    EXPECT_TRUE(_st.ok()) << _st.ToString();                \
+  } while (false)
+
+#define FML_ASSERT_OK(expr)                                 \
+  do {                                                      \
+    const ::factorml::Status _st = (expr);                  \
+    ASSERT_TRUE(_st.ok()) << _st.ToString();                \
+  } while (false)
+
+/// Aborting variant, usable in constructors and helpers that cannot use
+/// ASSERT (which returns from the enclosing function).
+#define FML_CHECK_OK(expr)                                  \
+  do {                                                      \
+    const ::factorml::Status _st = (expr);                  \
+    FML_CHECK(_st.ok()) << _st.ToString();                  \
+  } while (false)
+
+}  // namespace factorml::testing
+
+#endif  // FACTORML_TESTS_TEST_UTIL_H_

@@ -1,0 +1,275 @@
+// factorml_cli — command-line delivery of the factorized trainers (the
+// paper's closing question of how to deliver factorization to end users:
+// here, as a standalone tool over the library).
+//
+// Subcommands:
+//   generate   --dir=D [--ns=N --nr=N1[,N2..] --ds=D --dr=D1[,D2..]]
+//              [--target] [--one_hot] [--seed=S]
+//              Creates s.fml / r1.fml ... under --dir (or --shape=<name>
+//              for a published real-dataset shape, with --scale).
+//   import     --s_csv=F --r_csv=F1[,F2..] --dir=D [--target]
+//              Imports normalized relations from CSV files (S keys first:
+//              SID, FK1..FKq; attribute keys: RID).
+//   stats      --dir=D [--target]
+//              Prints joined-table feature statistics computed without
+//              joining (factorized aggregates).
+//   train-gmm  --dir=D [--algo=f|s|m|all] [--k=5 --iters=10] [--target]
+//   train-nn   --dir=D [--algo=f|s|m|all] [--nh=50 --epochs=10
+//              --lr=0.05 --batch=1024 --act=sigmoid|tanh|relu|identity
+//              --dropout=0 --momentum=0 --shuffle]
+//   export     --dir=D --out=F.csv [--table=s|r1|r2...]
+//
+// Every train run prints a TrainReport (wall time, page I/O, flops).
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/flags.h"
+#include "core/factorml.h"
+#include "data/csv.h"
+
+namespace factorml {
+namespace {
+
+int Fail(const std::string& msg) {
+  std::fprintf(stderr, "factorml_cli: %s\n", msg.c_str());
+  return 1;
+}
+
+int FailStatus(const Status& st) { return Fail(st.ToString()); }
+
+/// Loads relations previously written by `generate` or `import`:
+/// <dir>/s.fml plus <dir>/r1.fml, r2.fml, ... (as many as exist).
+Result<join::NormalizedRelations> LoadRelations(const std::string& dir,
+                                                bool has_target,
+                                                storage::BufferPool* pool) {
+  FML_ASSIGN_OR_RETURN(storage::Table s, storage::Table::Open(dir + "/s.fml"));
+  std::vector<storage::Table> attrs;
+  for (int i = 1;; ++i) {
+    auto t = storage::Table::Open(dir + "/r" + std::to_string(i) + ".fml");
+    if (!t.ok()) break;
+    attrs.push_back(std::move(t).value());
+  }
+  if (attrs.empty()) {
+    return Status::NotFound("no attribute tables (r1.fml, ...) in " + dir);
+  }
+  join::NormalizedRelations rel(std::move(s), std::move(attrs), has_target);
+  FML_RETURN_IF_ERROR(rel.Validate());
+  FML_RETURN_IF_ERROR(rel.BuildIndex(pool));
+  return rel;
+}
+
+std::vector<core::Algorithm> ParseAlgos(const std::string& spec) {
+  if (spec == "m") return {core::Algorithm::kMaterialized};
+  if (spec == "s") return {core::Algorithm::kStreaming};
+  if (spec == "f") return {core::Algorithm::kFactorized};
+  return {core::Algorithm::kMaterialized, core::Algorithm::kStreaming,
+          core::Algorithm::kFactorized};
+}
+
+int CmdGenerate(const ArgParser& args) {
+  const std::string dir = args.GetString("dir", "");
+  if (dir.empty()) return Fail("generate requires --dir");
+  storage::BufferPool pool(1024);
+
+  const std::string shape_name = args.GetString("shape", "");
+  if (!shape_name.empty()) {
+    auto shape = data::FindRealShape(shape_name);
+    if (!shape.ok()) return FailStatus(shape.status());
+    auto rel = data::GenerateRealShape(
+        shape.value(), dir, &pool, args.GetDouble("scale", 1.0),
+        static_cast<uint64_t>(args.GetInt("seed", 42)),
+        args.GetBool("target", false));
+    if (!rel.ok()) return FailStatus(rel.status());
+    std::printf("generated shape %s under %s (nS=%lld)\n",
+                shape_name.c_str(), dir.c_str(),
+                static_cast<long long>(rel->s.num_rows()));
+    return 0;
+  }
+
+  data::SyntheticSpec spec;
+  spec.dir = dir;
+  spec.name = "cli";
+  spec.s_rows = args.GetInt("ns", 100000);
+  spec.s_feats = static_cast<size_t>(args.GetInt("ds", 5));
+  const auto nr = args.GetIntList("nr", {1000});
+  const auto dr = args.GetIntList("dr", {15});
+  if (nr.size() != dr.size()) {
+    return Fail("--nr and --dr must have the same number of entries");
+  }
+  for (size_t i = 0; i < nr.size(); ++i) {
+    spec.attrs.push_back(
+        data::AttributeSpec{nr[i], static_cast<size_t>(dr[i])});
+  }
+  spec.with_target = args.GetBool("target", false);
+  spec.one_hot = args.GetBool("one_hot", false);
+  spec.seed = static_cast<uint64_t>(args.GetInt("seed", 42));
+  auto rel = data::GenerateSynthetic(spec, &pool);
+  if (!rel.ok()) return FailStatus(rel.status());
+  // Rename to the canonical s.fml / rI.fml layout expected by LoadRelations.
+  std::rename((dir + "/cli_s.fml").c_str(), (dir + "/s.fml").c_str());
+  for (size_t i = 1; i <= nr.size(); ++i) {
+    std::rename((dir + "/cli_r" + std::to_string(i) + ".fml").c_str(),
+                (dir + "/r" + std::to_string(i) + ".fml").c_str());
+  }
+  std::printf("generated %lld fact rows, %zu attribute table(s) under %s\n",
+              static_cast<long long>(spec.s_rows), spec.attrs.size(),
+              dir.c_str());
+  return 0;
+}
+
+int CmdImport(const ArgParser& args) {
+  const std::string dir = args.GetString("dir", "");
+  const std::string s_csv = args.GetString("s_csv", "");
+  const std::string r_csvs = args.GetString("r_csv", "");
+  if (dir.empty() || s_csv.empty() || r_csvs.empty()) {
+    return Fail("import requires --dir, --s_csv and --r_csv");
+  }
+  std::vector<std::string> r_list;
+  std::string cur;
+  for (const char c : r_csvs + ",") {
+    if (c == ',') {
+      if (!cur.empty()) r_list.push_back(cur);
+      cur.clear();
+    } else {
+      cur += c;
+    }
+  }
+  data::CsvImportOptions s_opt;
+  s_opt.num_keys = 1 + r_list.size();  // SID + one FK per attribute table
+  s_opt.skip_bad_rows = args.GetBool("skip_bad_rows", false);
+  auto s = data::ImportCsv(s_csv, dir + "/s.fml", s_opt);
+  if (!s.ok()) return FailStatus(s.status());
+  data::CsvImportOptions r_opt;
+  r_opt.num_keys = 1;
+  r_opt.skip_bad_rows = s_opt.skip_bad_rows;
+  for (size_t i = 0; i < r_list.size(); ++i) {
+    auto r = data::ImportCsv(r_list[i],
+                             dir + "/r" + std::to_string(i + 1) + ".fml",
+                             r_opt);
+    if (!r.ok()) return FailStatus(r.status());
+  }
+  std::printf("imported %lld fact rows and %zu attribute table(s)\n",
+              static_cast<long long>(s->num_rows()), r_list.size());
+  return 0;
+}
+
+int CmdStats(const ArgParser& args) {
+  const std::string dir = args.GetString("dir", "");
+  if (dir.empty()) return Fail("stats requires --dir");
+  storage::BufferPool pool(4096);
+  auto rel = LoadRelations(dir, args.GetBool("target", false), &pool);
+  if (!rel.ok()) return FailStatus(rel.status());
+  auto stats = core::ComputeJoinedFeatureStats(rel.value(), &pool);
+  if (!stats.ok()) return FailStatus(stats.status());
+  std::printf("joined feature statistics (d=%zu), computed factorized:\n",
+              stats->dims());
+  std::printf("%6s %14s %14s\n", "col", "mean", "stddev");
+  for (size_t j = 0; j < stats->dims(); ++j) {
+    std::printf("%6zu %14.6f %14.6f\n", j, stats->mean[j],
+                stats->stddev[j]);
+  }
+  return 0;
+}
+
+int CmdTrainGmm(const ArgParser& args) {
+  const std::string dir = args.GetString("dir", "");
+  if (dir.empty()) return Fail("train-gmm requires --dir");
+  storage::BufferPool pool(
+      static_cast<size_t>(args.GetInt("pool_pages", 8192)));
+  auto rel = LoadRelations(dir, args.GetBool("target", false), &pool);
+  if (!rel.ok()) return FailStatus(rel.status());
+
+  gmm::GmmOptions opt;
+  opt.num_components = static_cast<size_t>(args.GetInt("k", 5));
+  opt.max_iters = static_cast<int>(args.GetInt("iters", 10));
+  opt.tol = args.GetDouble("tol", 0.0);
+  opt.temp_dir = dir;
+  for (const auto algo : ParseAlgos(args.GetString("algo", "all"))) {
+    pool.Clear();
+    core::TrainReport report;
+    auto params = core::TrainGmm(rel.value(), opt, algo, &pool, &report);
+    if (!params.ok()) return FailStatus(params.status());
+    std::printf("%s\n", report.ToString().c_str());
+  }
+  return 0;
+}
+
+int CmdTrainNn(const ArgParser& args) {
+  const std::string dir = args.GetString("dir", "");
+  if (dir.empty()) return Fail("train-nn requires --dir");
+  storage::BufferPool pool(
+      static_cast<size_t>(args.GetInt("pool_pages", 8192)));
+  auto rel = LoadRelations(dir, /*has_target=*/true, &pool);
+  if (!rel.ok()) return FailStatus(rel.status());
+
+  nn::NnOptions opt;
+  opt.hidden = {static_cast<size_t>(args.GetInt("nh", 50))};
+  opt.epochs = static_cast<int>(args.GetInt("epochs", 10));
+  opt.learning_rate = args.GetDouble("lr", 0.05);
+  opt.batch_rows = static_cast<size_t>(args.GetInt("batch", 1024));
+  opt.shuffle = args.GetBool("shuffle", false);
+  opt.hidden_dropout = args.GetDouble("dropout", 0.0);
+  opt.momentum = args.GetDouble("momentum", 0.0);
+  opt.weight_decay = args.GetDouble("weight_decay", 0.0);
+  opt.temp_dir = dir;
+  const std::string act = args.GetString("act", "sigmoid");
+  if (act == "tanh") opt.activation = nn::Activation::kTanh;
+  else if (act == "relu") opt.activation = nn::Activation::kRelu;
+  else if (act == "identity") opt.activation = nn::Activation::kIdentity;
+  else if (act != "sigmoid") return Fail("unknown --act: " + act);
+
+  for (const auto algo : ParseAlgos(args.GetString("algo", "all"))) {
+    pool.Clear();
+    core::TrainReport report;
+    auto mlp = core::TrainNn(rel.value(), opt, algo, &pool, &report);
+    if (!mlp.ok()) return FailStatus(mlp.status());
+    std::printf("%s\n", report.ToString().c_str());
+  }
+  return 0;
+}
+
+int CmdExport(const ArgParser& args) {
+  const std::string dir = args.GetString("dir", "");
+  const std::string out = args.GetString("out", "");
+  if (dir.empty() || out.empty()) return Fail("export requires --dir, --out");
+  const std::string which = args.GetString("table", "s");
+  const std::string path = dir + "/" + which + ".fml";
+  auto t = storage::Table::Open(path);
+  if (!t.ok()) return FailStatus(t.status());
+  storage::BufferPool pool(1024);
+  const Status st = data::ExportCsv(t.value(), &pool, out);
+  if (!st.ok()) return FailStatus(st);
+  std::printf("exported %lld rows to %s\n",
+              static_cast<long long>(t->num_rows()), out.c_str());
+  return 0;
+}
+
+int Main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr,
+                 "usage: factorml_cli "
+                 "<generate|import|stats|train-gmm|train-nn|export> "
+                 "[--flags]\n");
+    return 1;
+  }
+  const std::string cmd = argv[1];
+  ArgParser args(argc, argv);
+  if (args.Has("io_delay_us")) {
+    const auto us = static_cast<uint64_t>(args.GetInt("io_delay_us", 0));
+    storage::SetSimulatedIoLatencyMicros(us, us);
+  }
+  if (cmd == "generate") return CmdGenerate(args);
+  if (cmd == "import") return CmdImport(args);
+  if (cmd == "stats") return CmdStats(args);
+  if (cmd == "train-gmm") return CmdTrainGmm(args);
+  if (cmd == "train-nn") return CmdTrainNn(args);
+  if (cmd == "export") return CmdExport(args);
+  return Fail("unknown command: " + cmd);
+}
+
+}  // namespace
+}  // namespace factorml
+
+int main(int argc, char** argv) { return factorml::Main(argc, argv); }
