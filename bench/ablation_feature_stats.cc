@@ -19,6 +19,7 @@ namespace {
 
 int Main(int argc, char** argv) {
   ArgParser args(argc, argv);
+  ApplyCommonBenchFlags(args);
   const int64_t n_r = args.GetInt("nr", 500);
   const int64_t d_s = args.GetInt("ds", 5);
   const int64_t d_r = args.GetInt("dr", 20);

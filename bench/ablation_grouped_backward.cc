@@ -16,6 +16,7 @@ namespace {
 
 int Main(int argc, char** argv) {
   ArgParser args(argc, argv);
+  ApplyCommonBenchFlags(args);
   const int64_t n_r = args.GetInt("nr", 200);
   const int epochs = static_cast<int>(args.GetInt("epochs", 2));
 

@@ -15,6 +15,7 @@ namespace {
 
 int Main(int argc, char** argv) {
   ArgParser args(argc, argv);
+  ApplyCommonBenchFlags(args);
   const int iters = static_cast<int>(args.GetInt("iters", 10));
 
   // A representative shape: wide R relative to S's own columns, so T is

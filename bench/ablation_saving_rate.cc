@@ -21,6 +21,7 @@ namespace {
 
 int Main(int argc, char** argv) {
   ArgParser args(argc, argv);
+  ApplyCommonBenchFlags(args);
   const int64_t n_r = args.GetInt("nr", 200);
   const int64_t d_s = args.GetInt("ds", 5);
 

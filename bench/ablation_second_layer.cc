@@ -79,6 +79,7 @@ double SimulateWithReuse(const la::Matrix& t1, const la::Matrix& t2_per_rid,
 
 int Main(int argc, char** argv) {
   ArgParser args(argc, argv);
+  ApplyCommonBenchFlags(args);
   const int64_t n_s = args.GetInt("ns", 200000);
   const int64_t n_r = args.GetInt("nr", 200);
   const int64_t n_l = args.GetInt("nl", 20);

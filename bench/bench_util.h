@@ -7,9 +7,23 @@
 #include <string>
 #include <vector>
 
+#include "common/flags.h"
 #include "core/factorml.h"
+#include "exec/thread_pool.h"
 
 namespace factorml::bench {
+
+/// Applies the flags every bench binary shares: `--threads` (worker count
+/// for the exec/ parallel runtime; default 1 = the exact serial
+/// reproduction) and `--io_delay_us` (simulated device latency per page
+/// transfer). Call first thing in main().
+inline void ApplyCommonBenchFlags(const ArgParser& args) {
+  exec::SetDefaultThreads(args.GetThreads(1));
+  if (args.Has("io_delay_us")) {
+    const auto us = static_cast<uint64_t>(args.GetInt("io_delay_us", 0));
+    storage::SetSimulatedIoLatencyMicros(us, us);
+  }
+}
 
 /// Scratch directory for generated relations and materialized tables;
 /// removed on destruction.

@@ -34,6 +34,7 @@ join::NormalizedRelations Generate(const std::string& dir, int64_t n_s,
 
 int Main(int argc, char** argv) {
   ArgParser args(argc, argv);
+  ApplyCommonBenchFlags(args);
   const std::string part = args.GetString("part", "all");
   const int64_t n_r = args.GetInt("nr", 200);
   const size_t d_s = static_cast<size_t>(args.GetInt("ds", 5));

@@ -32,6 +32,7 @@ join::NormalizedRelations Generate(const std::string& dir, int64_t n_s,
 
 int Main(int argc, char** argv) {
   ArgParser args(argc, argv);
+  ApplyCommonBenchFlags(args);
   const std::string part = args.GetString("part", "all");
   const int64_t n_r1 = args.GetInt("nr1", 200);
   const int64_t n_r2 = args.GetInt("nr2", 200);

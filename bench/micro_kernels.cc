@@ -143,6 +143,82 @@ BENCHMARK_F(StorageFixture, BM_MaterializeJoin)(benchmark::State& state) {
   }
 }
 
+// ---------------------------------------------------------------------
+// Thread scaling of the factorized trainers over the fig3 binary-join
+// workload (nS = rr * nR, dS = 5, dR = 15). One row per thread count —
+// the exec/ runtime's speedup report; --threads=1 is the serial baseline.
+
+class Fig3ScalingFixture : public benchmark::Fixture {
+ public:
+  void SetUp(const benchmark::State&) override {
+    if (rel) return;
+    dir = std::make_unique<bench::BenchDir>();
+    pool = std::make_unique<storage::BufferPool>(4096);
+    data::SyntheticSpec spec;
+    spec.dir = dir->str();
+    spec.name = "fig3_scaling";
+    spec.s_rows = 40000;
+    spec.s_feats = 5;
+    spec.attrs = {data::AttributeSpec{200, 15}};
+    spec.with_target = true;  // shared by the GMM and NN scaling runs
+    spec.seed = 11;
+    auto r = data::GenerateSynthetic(spec, pool.get());
+    if (!r.ok()) bench::Die(r.status());
+    rel = std::make_unique<join::NormalizedRelations>(std::move(r).value());
+  }
+
+  static std::unique_ptr<bench::BenchDir> dir;
+  static std::unique_ptr<storage::BufferPool> pool;
+  static std::unique_ptr<join::NormalizedRelations> rel;
+};
+std::unique_ptr<bench::BenchDir> Fig3ScalingFixture::dir;
+std::unique_ptr<storage::BufferPool> Fig3ScalingFixture::pool;
+std::unique_ptr<join::NormalizedRelations> Fig3ScalingFixture::rel;
+
+BENCHMARK_DEFINE_F(Fig3ScalingFixture, BM_FGmmThreads)
+(benchmark::State& state) {
+  gmm::GmmOptions opt;
+  opt.num_components = 5;
+  opt.max_iters = 2;
+  opt.temp_dir = dir->str();
+  opt.threads = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    pool->Clear();
+    auto p = gmm::TrainGmmFactorized(*rel, opt, pool.get(), nullptr);
+    if (!p.ok()) bench::Die(p.status());
+    benchmark::DoNotOptimize(p.value().pi.data());
+  }
+  state.SetItemsProcessed(state.iterations() * rel->s.num_rows());
+}
+BENCHMARK_REGISTER_F(Fig3ScalingFixture, BM_FGmmThreads)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+
+BENCHMARK_DEFINE_F(Fig3ScalingFixture, BM_FNnThreads)
+(benchmark::State& state) {
+  nn::NnOptions opt;
+  opt.hidden = {50};
+  opt.epochs = 2;
+  opt.temp_dir = dir->str();
+  opt.threads = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    pool->Clear();
+    auto m = nn::TrainNnFactorized(*rel, opt, pool.get(), nullptr);
+    if (!m.ok()) bench::Die(m.status());
+    benchmark::DoNotOptimize(m.value().w[0].data());
+  }
+  state.SetItemsProcessed(state.iterations() * rel->s.num_rows());
+}
+BENCHMARK_REGISTER_F(Fig3ScalingFixture, BM_FNnThreads)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+
 }  // namespace
 }  // namespace factorml
 

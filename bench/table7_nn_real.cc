@@ -15,16 +15,10 @@ namespace {
 
 int Main(int argc, char** argv) {
   ArgParser args(argc, argv);
+  ApplyCommonBenchFlags(args);
   const double scale = args.GetDouble("scale", 0.02);
   const int epochs = static_cast<int>(args.GetInt("epochs", 2));
   const size_t nh = static_cast<size_t>(args.GetInt("nh", 50));
-
-  // Optional simulated device latency per physical page transfer: the
-  // paper's PostgreSQL tables live on disk; --io_delay_us restores a
-  // disk-like M/S/F I/O gap on machines where the OS cache hides it.
-  const auto delay =
-      static_cast<uint64_t>(args.GetInt("io_delay_us", 0));
-  storage::SetSimulatedIoLatencyMicros(delay, delay);
 
   BenchDir dir;
   storage::BufferPool pool(static_cast<size_t>(args.GetInt("pool_pages", 2048)));

@@ -62,4 +62,9 @@ std::vector<int64_t> ArgParser::GetIntList(
   return out;
 }
 
+int ArgParser::GetThreads(int default_value) const {
+  const auto threads = static_cast<int>(GetInt("threads", default_value));
+  return threads < 1 ? 1 : threads;
+}
+
 }  // namespace factorml

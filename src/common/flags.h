@@ -26,6 +26,10 @@ class ArgParser {
   std::vector<int64_t> GetIntList(
       const std::string& key, const std::vector<int64_t>& default_value) const;
 
+  /// The shared `--threads` flag: worker count for the exec/ parallel
+  /// runtime, clamped to >= 1. Default 1 — the exact serial reproduction.
+  int GetThreads(int default_value = 1) const;
+
  private:
   std::map<std::string, std::string> kv_;
 };

@@ -5,7 +5,7 @@
 namespace factorml {
 
 namespace {
-OpCounters g_ops;
+thread_local OpCounters g_ops;
 }  // namespace
 
 OpCounters& GlobalOps() { return g_ops; }

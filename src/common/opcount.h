@@ -22,11 +22,27 @@ struct OpCounters {
     return {mults - o.mults, adds - o.adds, subs - o.subs, exps - o.exps};
   }
 
+  OpCounters& operator+=(const OpCounters& o) {
+    mults += o.mults;
+    adds += o.adds;
+    subs += o.subs;
+    exps += o.exps;
+    return *this;
+  }
+
+  /// Adds this counter's totals into `dst` — the explicit merge step by
+  /// which the exec runtime folds per-worker counts back into the
+  /// dispatching thread after a parallel region.
+  void MergeInto(OpCounters* dst) const { *dst += *this; }
+
   std::string ToString() const;
 };
 
-/// Global (single-threaded) op accounting. Trainers snapshot before/after a
-/// run; `delta = after - before`.
+/// Per-thread op accounting. Kernels always charge the calling thread's
+/// counters (no contention); the exec runtime merges each worker's delta
+/// into the dispatching thread in worker order, so snapshot deltas taken on
+/// the dispatching thread (ReportScope) see the whole parallel run.
+/// Single-threaded callers observe the exact pre-existing semantics.
 OpCounters& GlobalOps();
 void ResetGlobalOps();
 

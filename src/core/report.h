@@ -4,12 +4,21 @@
 #include <sstream>
 #include <string>
 #include <utility>
+#include <vector>
 
 #include "common/opcount.h"
 #include "common/stopwatch.h"
 #include "storage/io_stats.h"
 
 namespace factorml::core {
+
+/// Wall time accumulated by one (possibly parallel) phase of a training
+/// run — e.g. the GMM E-step across all iterations, or the NN first-layer
+/// forward across all mini-batches.
+struct PhaseTiming {
+  std::string name;
+  double seconds = 0.0;
+};
 
 /// Measured cost of one training run: wall time, physical page I/O and
 /// floating-point operation counts. Every trainer fills one of these; the
@@ -21,8 +30,22 @@ struct TrainReport {
   double materialize_seconds = 0.0;  // M-* only: join + write of T
   int iterations = 0;                // EM iterations or NN epochs run
   double final_objective = 0.0;      // log-likelihood (GMM) or MSE (NN)
+  int threads = 1;                   // exec/ workers used by the run
   storage::IoStats io;               // delta over the run
   OpCounters ops;                    // delta over the run
+  std::vector<PhaseTiming> phases;   // per-phase parallel wall timings
+
+  /// Accumulates wall time under `name` (phases repeat across EM
+  /// iterations / epochs; one entry per distinct name).
+  void AddPhaseSeconds(const std::string& name, double seconds) {
+    for (auto& p : phases) {
+      if (p.name == name) {
+        p.seconds += seconds;
+        return;
+      }
+    }
+    phases.push_back(PhaseTiming{name, seconds});
+  }
 
   std::string ToString() const {
     std::ostringstream os;
@@ -30,10 +53,37 @@ struct TrainReport {
     if (materialize_seconds > 0.0) {
       os << " (materialize " << materialize_seconds << "s)";
     }
-    os << " iters=" << iterations << " objective=" << final_objective
-       << " | " << io.ToString() << " | " << ops.ToString();
+    os << " iters=" << iterations << " objective=" << final_objective;
+    if (threads > 1) os << " threads=" << threads;
+    os << " | " << io.ToString() << " | " << ops.ToString();
+    if (!phases.empty()) {
+      os << " |";
+      for (const auto& p : phases) {
+        os << " " << p.name << "=" << p.seconds << "s";
+      }
+    }
     return os.str();
   }
+};
+
+/// RAII accumulation of one phase's wall time into a report (null-safe):
+/// construct at phase entry, destroy at exit; repeated phases sum.
+class PhaseScope {
+ public:
+  PhaseScope(TrainReport* report, const char* name)
+      : report_(report), name_(name) {}
+  ~PhaseScope() {
+    if (report_ != nullptr) {
+      report_->AddPhaseSeconds(name_, watch_.ElapsedSeconds());
+    }
+  }
+  PhaseScope(const PhaseScope&) = delete;
+  PhaseScope& operator=(const PhaseScope&) = delete;
+
+ private:
+  TrainReport* report_;
+  const char* name_;
+  Stopwatch watch_;
 };
 
 /// RAII measurement of a training run: snapshots wall clock, I/O and op

@@ -99,4 +99,20 @@ uint64_t NnSecondLayerOpsWithReuse(int64_t n_s, int64_t n_r, int64_t n_h,
   return per_tuple + per_r;
 }
 
+double AmdahlSpeedup(int threads, double parallel_fraction) {
+  if (threads < 1) threads = 1;
+  double f = parallel_fraction;
+  if (f < 0.0) f = 0.0;
+  if (f > 1.0) f = 1.0;
+  return 1.0 / ((1.0 - f) + f / static_cast<double>(threads));
+}
+
+double ParallelCpuSeconds(uint64_t total_ops, double ops_per_second,
+                          int threads, double parallel_fraction) {
+  if (ops_per_second <= 0.0) return 0.0;
+  const double serial_seconds =
+      static_cast<double>(total_ops) / ops_per_second;
+  return serial_seconds / AmdahlSpeedup(threads, parallel_fraction);
+}
+
 }  // namespace factorml::costmodel

@@ -74,6 +74,25 @@ uint64_t NnSecondLayerOpsNoReuse(int64_t n_s, int64_t n_h, int64_t n_l);
 uint64_t NnSecondLayerOpsWithReuse(int64_t n_s, int64_t n_r, int64_t n_h,
                                    int64_t n_l);
 
+// ---------------------------------------------------------------------
+// Parallel CPU term (the exec/ morsel-driven runtime): the scan passes
+// partition over workers while per-pass setup (cache builds, merges,
+// parameter updates) stays serial, so the wall-clock model is Amdahl's
+// law over the operation counts above.
+
+/// Speedup bound for a run whose fraction `parallel_fraction` (in [0, 1])
+/// of work parallelizes perfectly over `threads` workers:
+///   1 / ((1 - f) + f / threads).
+double AmdahlSpeedup(int threads, double parallel_fraction);
+
+/// Wall-clock seconds to execute `total_ops` floating-point operations at
+/// `ops_per_second` per worker when `parallel_fraction` of them
+/// parallelizes: serial_seconds / AmdahlSpeedup. Combine with the I/O page
+/// counts above (times the device's per-page latency) for an end-to-end
+/// estimate of a parallel training run.
+double ParallelCpuSeconds(uint64_t total_ops, double ops_per_second,
+                          int threads, double parallel_fraction);
+
 }  // namespace factorml::costmodel
 
 #endif  // FACTORML_COSTMODEL_COST_MODEL_H_

@@ -1,0 +1,77 @@
+#ifndef FACTORML_EXEC_PARALLEL_FOR_H_
+#define FACTORML_EXEC_PARALLEL_FOR_H_
+
+#include <cstdint>
+#include <functional>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "exec/thread_pool.h"
+
+namespace factorml::exec {
+
+/// A contiguous half-open range of work items — fact-table rows, rid
+/// positions of a join order, columns of a gradient matrix. The morsel
+/// unit of the parallel runtime: each worker owns one range per region.
+struct Range {
+  int64_t begin = 0;
+  int64_t end = 0;
+
+  int64_t size() const { return end - begin; }
+  bool empty() const { return end <= begin; }
+};
+
+/// Splits [0, total) into at most `parts` non-empty contiguous ranges of
+/// near-equal size. When align > 1, interior boundaries are rounded up to
+/// multiples of `align` — pass storage::Schema::RowsPerPage() so no two
+/// workers touch the same storage page (each page is read by exactly one
+/// worker, keeping parallel physical-read counts equal to serial ones).
+std::vector<Range> PartitionRows(int64_t total, int parts, int64_t align = 1);
+
+/// Splits positions [0, n) into at most `parts` contiguous ranges whose
+/// weight sums are near-equal. Positions are atomic — a position is never
+/// split across ranges — so with weights = FK1-run lengths (FkIndex
+/// CountOf), every range is a whole set of runs and the factorized
+/// per-R-tuple reuse is preserved within each worker.
+std::vector<Range> PartitionWeighted(const int64_t* weights, int64_t n,
+                                     int parts);
+
+/// Runs body(ranges[w], w) with one worker per range (worker 0 is the
+/// calling thread). Blocks until all complete; per-worker op/I/O counter
+/// deltas are merged into the caller in worker order (see ThreadPool::Run).
+void ParallelRanges(const std::vector<Range>& ranges,
+                    const std::function<void(Range, int)>& body);
+
+/// Morsel-driven parallel-for over [0, total): partitions with
+/// PartitionRows(total, threads, align) and dispatches ParallelRanges.
+/// threads <= 1 runs body(Range{0, total}, 0) inline — bit-for-bit the
+/// serial path.
+void ParallelFor(int threads, int64_t total, int64_t align,
+                 const std::function<void(Range, int)>& body);
+
+/// Parallel reduction with deterministic merge order: body fills one
+/// scratch accumulator per worker (in parallel), then merge consumes the
+/// accumulators serially in worker order on the calling thread. For a
+/// fixed partition the merged result is reproducible run-to-run, and a
+/// single-range partition is exactly the serial computation.
+template <typename T, typename Body, typename Merge>
+void ParallelReduce(const std::vector<Range>& ranges,
+                    Body body /* void(Range, int worker, T* acc) */,
+                    Merge merge /* void(T&& acc, int worker) */) {
+  std::vector<T> scratch(ranges.size());
+  ParallelRanges(ranges,
+                 [&](Range r, int w) { body(r, w, &scratch[static_cast<size_t>(w)]); });
+  for (size_t w = 0; w < ranges.size(); ++w) {
+    merge(std::move(scratch[w]), static_cast<int>(w));
+  }
+}
+
+/// First non-OK status in worker order (OK when all workers succeeded).
+/// The standard error plumbing for Status-returning work inside a region:
+/// each worker writes its slot, the caller propagates the first failure.
+Status FirstError(const std::vector<Status>& statuses);
+
+}  // namespace factorml::exec
+
+#endif  // FACTORML_EXEC_PARALLEL_FOR_H_

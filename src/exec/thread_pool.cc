@@ -1,0 +1,141 @@
+#include "exec/thread_pool.h"
+
+#include <atomic>
+
+#include "common/opcount.h"
+#include "storage/io_stats.h"
+
+namespace factorml::exec {
+
+namespace {
+
+thread_local bool tls_in_worker = false;
+
+std::atomic<int> g_default_threads{1};
+
+/// Per-worker completion record: counter deltas measured on the pool
+/// thread, handed back to the dispatching thread for the ordered merge.
+struct WorkerDelta {
+  OpCounters ops;
+  storage::IoStats io;
+};
+
+}  // namespace
+
+ThreadPool& ThreadPool::Instance() {
+  // Leaked on purpose: worker threads may outlive static destruction order
+  // otherwise; the OS reclaims everything at process exit.
+  static ThreadPool* pool = new ThreadPool();
+  return *pool;
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (auto& t : threads_) t.join();
+}
+
+void ThreadPool::EnsureThreads(int count) {
+  std::lock_guard<std::mutex> lock(mu_);
+  while (static_cast<int>(threads_.size()) < count) {
+    threads_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+void ThreadPool::WorkerLoop() {
+  tls_in_worker = true;
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (stop_ && queue_.empty()) return;
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+void ThreadPool::Run(int num_workers, const std::function<void(int)>& fn) {
+  if (num_workers <= 1 || tls_in_worker) {
+    // Serial path (and the no-nesting rule): run every worker index inline,
+    // in order — identical arithmetic and counter stream to a 1-thread run.
+    const int n = num_workers < 1 ? 1 : num_workers;
+    for (int w = 0; w < n; ++w) fn(w);
+    return;
+  }
+
+  EnsureThreads(num_workers - 1);
+
+  std::vector<WorkerDelta> deltas(static_cast<size_t>(num_workers));
+  std::mutex done_mu;
+  std::condition_variable done_cv;
+  int remaining = num_workers - 1;
+
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (int w = 1; w < num_workers; ++w) {
+      queue_.emplace_back([&, w] {
+        const OpCounters ops_before = GlobalOps();
+        const storage::IoStats io_before = storage::GlobalIo();
+        fn(w);
+        deltas[static_cast<size_t>(w)].ops = GlobalOps() - ops_before;
+        deltas[static_cast<size_t>(w)].io =
+            storage::GlobalIo() - io_before;
+        {
+          // Notify under the lock: the dispatcher may destroy done_cv as
+          // soon as it observes remaining == 0, so the signal must not
+          // outlive the critical section.
+          std::lock_guard<std::mutex> done_lock(done_mu);
+          --remaining;
+          done_cv.notify_one();
+        }
+      });
+    }
+  }
+  cv_.notify_all();
+
+  // The dispatching thread is worker 0; its counters accrue in place.
+  fn(0);
+
+  {
+    std::unique_lock<std::mutex> done_lock(done_mu);
+    done_cv.wait(done_lock, [&] { return remaining == 0; });
+  }
+
+  // Deterministic merge in worker order.
+  for (int w = 1; w < num_workers; ++w) {
+    deltas[static_cast<size_t>(w)].ops.MergeInto(&GlobalOps());
+    deltas[static_cast<size_t>(w)].io.MergeInto(&storage::GlobalIo());
+  }
+}
+
+namespace {
+// Oversubscription beyond the core count is allowed (the exactness tests
+// rely on it), but a typo'd --threads must not exhaust OS threads.
+constexpr int kMaxWorkers = 256;
+
+int ClampWorkers(int threads) {
+  if (threads < 1) return 1;
+  return threads > kMaxWorkers ? kMaxWorkers : threads;
+}
+}  // namespace
+
+int EffectiveThreads(int requested) {
+  if (requested >= 1) return ClampWorkers(requested);
+  return DefaultThreads();
+}
+
+void SetDefaultThreads(int threads) {
+  g_default_threads.store(ClampWorkers(threads), std::memory_order_relaxed);
+}
+
+int DefaultThreads() {
+  return g_default_threads.load(std::memory_order_relaxed);
+}
+
+}  // namespace factorml::exec

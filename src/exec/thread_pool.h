@@ -1,0 +1,64 @@
+#ifndef FACTORML_EXEC_THREAD_POOL_H_
+#define FACTORML_EXEC_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace factorml::exec {
+
+/// Process-wide pool of persistent worker threads behind the morsel-driven
+/// ParallelFor / ParallelReduce API (parallel_for.h). Threads are spawned
+/// lazily on first use and kept for the process lifetime, so repeated
+/// parallel regions (one per EM pass / mini-batch) pay no thread start-up
+/// cost.
+class ThreadPool {
+ public:
+  static ThreadPool& Instance();
+
+  /// Runs fn(worker) for every worker in [0, num_workers). Worker 0
+  /// executes on the calling thread; workers 1..n-1 on pool threads.
+  /// Blocks until every worker returns. After completion the op / I/O
+  /// counters accumulated by each pool thread are merged into the calling
+  /// thread's thread-local counters in worker order, so snapshot deltas
+  /// taken on the calling thread (core::ReportScope) cover the whole
+  /// region deterministically.
+  ///
+  /// num_workers <= 1 — or a call from inside a pool worker (regions do
+  /// not nest) — executes fn(0..n-1) inline on the calling thread, which
+  /// is bit-for-bit the serial path.
+  void Run(int num_workers, const std::function<void(int)>& fn);
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+ private:
+  ThreadPool() = default;
+  ~ThreadPool();
+
+  void EnsureThreads(int count);
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> queue_;
+  std::vector<std::thread> threads_;
+  bool stop_ = false;
+};
+
+/// Worker count a parallel region should use: `requested` when >= 1,
+/// otherwise the process-wide default. Always >= 1.
+int EffectiveThreads(int requested);
+
+/// Process-wide default worker count, initially 1 so library behavior is
+/// unchanged unless a caller opts in (the --threads flag of the CLI and
+/// bench binaries lands here). Values < 1 are clamped to 1.
+void SetDefaultThreads(int threads);
+int DefaultThreads();
+
+}  // namespace factorml::exec
+
+#endif  // FACTORML_EXEC_THREAD_POOL_H_

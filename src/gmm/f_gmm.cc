@@ -3,6 +3,8 @@
 #include <vector>
 
 #include "common/opcount.h"
+#include "exec/parallel_for.h"
+#include "exec/worker_pools.h"
 #include "gmm/em_util.h"
 #include "gmm/trainers.h"
 #include "join/attribute_view.h"
@@ -81,6 +83,9 @@ Result<GmmParams> TrainGmmFactorized(const join::NormalizedRelations& rel,
   FML_CHECK_GT(rel.fk1_index.num_rids(), 0) << "BuildIndex() not called";
   internal::ReportScope scope(report, "F-GMM");
 
+  const int threads = exec::EffectiveThreads(options.threads);
+  if (report != nullptr) report->threads = threads;
+
   const size_t k = options.num_components;
   const size_t q = rel.num_joins();
   const size_t ds = rel.ds();
@@ -98,8 +103,15 @@ Result<GmmParams> TrainGmmFactorized(const join::NormalizedRelations& rel,
   Responsibilities resp;
   resp.Reset(static_cast<size_t>(n), k);
 
-  std::vector<double> logp(k);
-  std::vector<double> pds(ds);  // centered S slice of the current tuple
+  // Morsels: whole FK1 runs per worker, preserving the factorized
+  // per-R1-tuple reuse inside each morsel; the centered caches are built
+  // once by the dispatching thread and read shared by all workers.
+  const std::vector<exec::Range> ranges =
+      join::PartitionFk1Runs(rel.fk1_index, threads);
+  const int nw = ranges.empty() ? 1 : static_cast<int>(ranges.size());
+  exec::WorkerPools pools(pool, nw);
+  std::vector<Status> worker_status(static_cast<size_t>(nw));
+
   std::vector<Matrix> sigma_sum(k);
   std::vector<double> mu_sum_s;                          // k * ds
   std::vector<std::vector<std::vector<double>>> gsum(q);  // [i][c][rid]
@@ -108,7 +120,6 @@ Result<GmmParams> TrainGmmFactorized(const join::NormalizedRelations& rel,
 
   double loglik = -std::numeric_limits<double>::infinity();
   int iter = 0;
-  join::JoinBatch batch;
   for (; iter < options.max_iters; ++iter) {
     FML_ASSIGN_OR_RETURN(GmmDensity density, GmmDensity::From(params));
 
@@ -120,69 +131,90 @@ Result<GmmParams> TrainGmmFactorized(const join::NormalizedRelations& rel,
     BuildCenteredCaches(views, params, attr_offset, &density,
                         /*with_diag=*/true, &caches);
 
+    struct EAcc {
+      double ll = 0.0;
+      std::vector<double> n_k;
+    };
     double ll = 0.0;
     std::fill(resp.n_k.begin(), resp.n_k.end(), 0.0);
-    join::JoinCursor e_cursor(&rel, pool, options.batch_rows);
-    while (e_cursor.Next(&batch)) {
-      for (size_t r = 0; r < batch.s_rows.num_rows; ++r) {
-        const double* xs = batch.s_rows.feats.Row(r).data() + y_off;
-        const int64_t* keys = batch.s_rows.KeysOf(r);
-        for (size_t c = 0; c < k; ++c) {
-          CenterInto(xs, params.mu.Row(c).data(), ds, pds.data());
-          // Block decomposition of (x - mu)^T I (x - mu), Eq. 19: the
-          // S-diagonal block plus, per attribute table, the two cross
-          // blocks (UR + LL, Eqs. 10-11) and the cached diagonal block
-          // (LR, Eq. 12); multi-way adds the attr-attr cross blocks.
-          double quad =
-              la::Bilinear(density.precision[c], 0, 0, pds.data(), ds,
-                           pds.data(), ds);
-          for (size_t i = 0; i < q; ++i) {
-            const int64_t rid = keys[rel.FkKeyIndex(i)];
-            const double* pdr = caches[i].pd[c].Row(rid).data();
-            const size_t dri = rel.dr(i);
-            const double ur = la::Bilinear(density.precision[c], 0,
-                                           attr_offset[i], pds.data(), ds,
-                                           pdr, dri);
-            if (options.exploit_symmetry) {
-              // LL = UR because the precision matrix is symmetric.
-              quad += 2.0 * ur;
-              CountMults(1);
-            } else {
-              quad += ur + la::Bilinear(density.precision[c],
-                                        attr_offset[i], 0, pdr, dri,
-                                        pds.data(), ds);
-            }
-            quad += caches[i].diag[c][rid];
-            CountAdds(3);
-            for (size_t j = i + 1; j < q; ++j) {
-              const int64_t rid_j = keys[rel.FkKeyIndex(j)];
-              const double* pdj = caches[j].pd[c].Row(rid_j).data();
-              const size_t drj = rel.dr(j);
-              const double cross = la::Bilinear(density.precision[c],
-                                                attr_offset[i],
-                                                attr_offset[j], pdr, dri,
-                                                pdj, drj);
-              if (options.exploit_symmetry) {
-                quad += 2.0 * cross;
-                CountMults(1);
-              } else {
-                quad += cross + la::Bilinear(density.precision[c],
-                                             attr_offset[j],
-                                             attr_offset[i], pdj, drj, pdr,
-                                             dri);
+    {
+      core::PhaseScope phase(report, "e_step");
+      exec::ParallelReduce<EAcc>(
+          ranges,
+          [&](exec::Range range, int w, EAcc* acc) {
+            acc->n_k.assign(k, 0.0);
+            std::vector<double> logp(k);
+            std::vector<double> pds(ds);  // centered S slice, per worker
+            join::JoinBatch batch;
+            join::JoinCursor e_cursor(&rel, pools.Get(w), options.batch_rows);
+            e_cursor.SetPositionRange(range.begin, range.end);
+            while (e_cursor.Next(&batch)) {
+              for (size_t r = 0; r < batch.s_rows.num_rows; ++r) {
+                const double* xs = batch.s_rows.feats.Row(r).data() + y_off;
+                const int64_t* keys = batch.s_rows.KeysOf(r);
+                for (size_t c = 0; c < k; ++c) {
+                  CenterInto(xs, params.mu.Row(c).data(), ds, pds.data());
+                  // Block decomposition of (x - mu)^T I (x - mu), Eq. 19:
+                  // the S-diagonal block plus, per attribute table, the two
+                  // cross blocks (UR + LL, Eqs. 10-11) and the cached
+                  // diagonal block (LR, Eq. 12); multi-way adds the
+                  // attr-attr cross blocks.
+                  double quad =
+                      la::Bilinear(density.precision[c], 0, 0, pds.data(),
+                                   ds, pds.data(), ds);
+                  for (size_t i = 0; i < q; ++i) {
+                    const int64_t rid = keys[rel.FkKeyIndex(i)];
+                    const double* pdr = caches[i].pd[c].Row(rid).data();
+                    const size_t dri = rel.dr(i);
+                    const double ur = la::Bilinear(density.precision[c], 0,
+                                                   attr_offset[i],
+                                                   pds.data(), ds, pdr, dri);
+                    if (options.exploit_symmetry) {
+                      // LL = UR because the precision matrix is symmetric.
+                      quad += 2.0 * ur;
+                      CountMults(1);
+                    } else {
+                      quad += ur + la::Bilinear(density.precision[c],
+                                                attr_offset[i], 0, pdr, dri,
+                                                pds.data(), ds);
+                    }
+                    quad += caches[i].diag[c][rid];
+                    CountAdds(3);
+                    for (size_t j = i + 1; j < q; ++j) {
+                      const int64_t rid_j = keys[rel.FkKeyIndex(j)];
+                      const double* pdj = caches[j].pd[c].Row(rid_j).data();
+                      const size_t drj = rel.dr(j);
+                      const double cross = la::Bilinear(
+                          density.precision[c], attr_offset[i],
+                          attr_offset[j], pdr, dri, pdj, drj);
+                      if (options.exploit_symmetry) {
+                        quad += 2.0 * cross;
+                        CountMults(1);
+                      } else {
+                        quad += cross + la::Bilinear(density.precision[c],
+                                                     attr_offset[j],
+                                                     attr_offset[i], pdj,
+                                                     drj, pdr, dri);
+                      }
+                      CountAdds(2);
+                    }
+                  }
+                  logp[c] = density.log_coeff[c] - 0.5 * quad;
+                }
+                double* gamma = resp.Row(batch.s_rows.start_row +
+                                         static_cast<int64_t>(r));
+                acc->ll += internal::PosteriorFromLogps(logp.data(), k, gamma);
+                for (size_t c = 0; c < k; ++c) acc->n_k[c] += gamma[c];
               }
-              CountAdds(2);
             }
-          }
-          logp[c] = density.log_coeff[c] - 0.5 * quad;
-        }
-        double* gamma =
-            resp.Row(batch.s_rows.start_row + static_cast<int64_t>(r));
-        ll += internal::PosteriorFromLogps(logp.data(), k, gamma);
-        for (size_t c = 0; c < k; ++c) resp.n_k[c] += gamma[c];
-      }
+            worker_status[static_cast<size_t>(w)] = e_cursor.status();
+          },
+          [&](EAcc&& acc, int) {
+            ll += acc.ll;
+            for (size_t c = 0; c < k; ++c) resp.n_k[c] += acc.n_k[c];
+          });
     }
-    FML_RETURN_IF_ERROR(e_cursor.status());
+    FML_RETURN_IF_ERROR(exec::FirstError(worker_status));
 
     // ====================== M-step: means (Eq. 22) ======================
     for (size_t i = 0; i < q; ++i) {
@@ -190,26 +222,60 @@ Result<GmmParams> TrainGmmFactorized(const join::NormalizedRelations& rel,
       gsum[i].assign(k, std::vector<double>(views[i].feats().rows(), 0.0));
     }
     mu_sum_s.assign(k * ds, 0.0);
-    join::JoinCursor mu_cursor(&rel, pool, options.batch_rows);
-    while (mu_cursor.Next(&batch)) {
-      for (size_t r = 0; r < batch.s_rows.num_rows; ++r) {
-        const double* xs = batch.s_rows.feats.Row(r).data() + y_off;
-        const int64_t* keys = batch.s_rows.KeysOf(r);
-        const double* gamma =
-            resp.Row(batch.s_rows.start_row + static_cast<int64_t>(r));
-        for (size_t c = 0; c < k; ++c) {
-          // S slice accumulates per fact tuple; the R slices only
-          // accumulate responsibility mass per rid — the factorization of
-          // Eq. 13/22 that replaces nS * dR multiplies by nS adds.
-          la::Axpy(gamma[c], xs, mu_sum_s.data() + c * ds, ds);
-          for (size_t i = 0; i < q; ++i) {
-            gsum[i][c][keys[rel.FkKeyIndex(i)]] += gamma[c];
-          }
-          CountAdds(q);
-        }
-      }
+    struct MuAcc {
+      std::vector<double> mu_sum_s;                          // k * ds
+      std::vector<std::vector<std::vector<double>>> gsum;    // [i][c][rid]
+    };
+    {
+      core::PhaseScope phase(report, "m_step_mean");
+      exec::ParallelReduce<MuAcc>(
+          ranges,
+          [&](exec::Range range, int w, MuAcc* acc) {
+            acc->mu_sum_s.assign(k * ds, 0.0);
+            acc->gsum.resize(q);
+            for (size_t i = 0; i < q; ++i) {
+              acc->gsum[i].assign(
+                  k, std::vector<double>(views[i].feats().rows(), 0.0));
+            }
+            join::JoinBatch batch;
+            join::JoinCursor mu_cursor(&rel, pools.Get(w),
+                                       options.batch_rows);
+            mu_cursor.SetPositionRange(range.begin, range.end);
+            while (mu_cursor.Next(&batch)) {
+              for (size_t r = 0; r < batch.s_rows.num_rows; ++r) {
+                const double* xs = batch.s_rows.feats.Row(r).data() + y_off;
+                const int64_t* keys = batch.s_rows.KeysOf(r);
+                const double* gamma = resp.Row(batch.s_rows.start_row +
+                                               static_cast<int64_t>(r));
+                for (size_t c = 0; c < k; ++c) {
+                  // S slice accumulates per fact tuple; the R slices only
+                  // accumulate responsibility mass per rid — the
+                  // factorization of Eq. 13/22 that replaces nS * dR
+                  // multiplies by nS adds.
+                  la::Axpy(gamma[c], xs, acc->mu_sum_s.data() + c * ds, ds);
+                  for (size_t i = 0; i < q; ++i) {
+                    acc->gsum[i][c][keys[rel.FkKeyIndex(i)]] += gamma[c];
+                  }
+                  CountAdds(q);
+                }
+              }
+            }
+            worker_status[static_cast<size_t>(w)] = mu_cursor.status();
+          },
+          [&](MuAcc&& acc, int) {
+            for (size_t j = 0; j < k * ds; ++j) mu_sum_s[j] += acc.mu_sum_s[j];
+            for (size_t i = 0; i < q; ++i) {
+              for (size_t c = 0; c < k; ++c) {
+                auto& dst = gsum[i][c];
+                const auto& src = acc.gsum[i][c];
+                for (size_t rid = 0; rid < dst.size(); ++rid) {
+                  dst[rid] += src[rid];
+                }
+              }
+            }
+          });
     }
-    FML_RETURN_IF_ERROR(mu_cursor.status());
+    FML_RETURN_IF_ERROR(exec::FirstError(worker_status));
     for (size_t c = 0; c < k; ++c) {
       const double inv_nk = 1.0 / std::max(resp.n_k[c], 1e-300);
       double* mu_row = params.mu.Row(c).data();
@@ -238,47 +304,66 @@ Result<GmmParams> TrainGmmFactorized(const join::NormalizedRelations& rel,
                         /*with_diag=*/false, &caches);
     for (size_t c = 0; c < k; ++c) sigma_sum[c].Resize(d, d);
 
-    join::JoinCursor sg_cursor(&rel, pool, options.batch_rows);
-    while (sg_cursor.Next(&batch)) {
-      for (size_t r = 0; r < batch.s_rows.num_rows; ++r) {
-        const double* xs = batch.s_rows.feats.Row(r).data() + y_off;
-        const int64_t* keys = batch.s_rows.KeysOf(r);
-        const double* gamma =
-            resp.Row(batch.s_rows.start_row + static_cast<int64_t>(r));
-        for (size_t c = 0; c < k; ++c) {
-          CenterInto(xs, params.mu.Row(c).data(), ds, pds.data());
-          Matrix& acc = sigma_sum[c];
-          // Off-diagonal blocks must be accumulated per fact tuple; the
-          // attribute-diagonal blocks (LR of Eq. 18 / M_ii of Eq. 24) are
-          // deferred: only the responsibility mass per rid is accumulated
-          // here and one outer product per R tuple is added afterwards.
-          la::AddOuter(gamma[c], pds.data(), ds, pds.data(), ds, &acc, 0, 0);
-          for (size_t i = 0; i < q; ++i) {
-            const int64_t rid = keys[rel.FkKeyIndex(i)];
-            const double* pdr = caches[i].pd[c].Row(rid).data();
-            const size_t dri = rel.dr(i);
-            la::AddOuter(gamma[c], pds.data(), ds, pdr, dri, &acc, 0,
-                         attr_offset[i]);
-            if (!options.exploit_symmetry) {
-              la::AddOuter(gamma[c], pdr, dri, pds.data(), ds, &acc,
-                           attr_offset[i], 0);
-            }
-            for (size_t j = i + 1; j < q; ++j) {
-              const int64_t rid_j = keys[rel.FkKeyIndex(j)];
-              const double* pdj = caches[j].pd[c].Row(rid_j).data();
-              const size_t drj = rel.dr(j);
-              la::AddOuter(gamma[c], pdr, dri, pdj, drj, &acc,
-                           attr_offset[i], attr_offset[j]);
-              if (!options.exploit_symmetry) {
-                la::AddOuter(gamma[c], pdj, drj, pdr, dri, &acc,
-                             attr_offset[j], attr_offset[i]);
+    {
+      core::PhaseScope phase(report, "m_step_cov");
+      exec::ParallelReduce<std::vector<Matrix>>(
+          ranges,
+          [&](exec::Range range, int w, std::vector<Matrix>* acc) {
+            acc->assign(k, Matrix());
+            for (size_t c = 0; c < k; ++c) (*acc)[c].Resize(d, d);
+            std::vector<double> pds(ds);
+            join::JoinBatch batch;
+            join::JoinCursor sg_cursor(&rel, pools.Get(w),
+                                       options.batch_rows);
+            sg_cursor.SetPositionRange(range.begin, range.end);
+            while (sg_cursor.Next(&batch)) {
+              for (size_t r = 0; r < batch.s_rows.num_rows; ++r) {
+                const double* xs = batch.s_rows.feats.Row(r).data() + y_off;
+                const int64_t* keys = batch.s_rows.KeysOf(r);
+                const double* gamma = resp.Row(batch.s_rows.start_row +
+                                               static_cast<int64_t>(r));
+                for (size_t c = 0; c < k; ++c) {
+                  CenterInto(xs, params.mu.Row(c).data(), ds, pds.data());
+                  Matrix& sg = (*acc)[c];
+                  // Off-diagonal blocks must be accumulated per fact tuple;
+                  // the attribute-diagonal blocks (LR of Eq. 18 / M_ii of
+                  // Eq. 24) are deferred: only the responsibility mass per
+                  // rid is accumulated here and one outer product per R
+                  // tuple is added afterwards.
+                  la::AddOuter(gamma[c], pds.data(), ds, pds.data(), ds, &sg,
+                               0, 0);
+                  for (size_t i = 0; i < q; ++i) {
+                    const int64_t rid = keys[rel.FkKeyIndex(i)];
+                    const double* pdr = caches[i].pd[c].Row(rid).data();
+                    const size_t dri = rel.dr(i);
+                    la::AddOuter(gamma[c], pds.data(), ds, pdr, dri, &sg, 0,
+                                 attr_offset[i]);
+                    if (!options.exploit_symmetry) {
+                      la::AddOuter(gamma[c], pdr, dri, pds.data(), ds, &sg,
+                                   attr_offset[i], 0);
+                    }
+                    for (size_t j = i + 1; j < q; ++j) {
+                      const int64_t rid_j = keys[rel.FkKeyIndex(j)];
+                      const double* pdj = caches[j].pd[c].Row(rid_j).data();
+                      const size_t drj = rel.dr(j);
+                      la::AddOuter(gamma[c], pdr, dri, pdj, drj, &sg,
+                                   attr_offset[i], attr_offset[j]);
+                      if (!options.exploit_symmetry) {
+                        la::AddOuter(gamma[c], pdj, drj, pdr, dri, &sg,
+                                     attr_offset[j], attr_offset[i]);
+                      }
+                    }
+                  }
+                }
               }
             }
-          }
-        }
-      }
+            worker_status[static_cast<size_t>(w)] = sg_cursor.status();
+          },
+          [&](std::vector<Matrix>&& acc, int) {
+            for (size_t c = 0; c < k; ++c) sigma_sum[c].Add(acc[c]);
+          });
     }
-    FML_RETURN_IF_ERROR(sg_cursor.status());
+    FML_RETURN_IF_ERROR(exec::FirstError(worker_status));
     // Mirror the cross blocks that were accumulated single-sided: the
     // covariance accumulator is symmetric, so LL = UR^T exactly (one
     // O(d^2) copy per component per pass instead of per fact tuple).

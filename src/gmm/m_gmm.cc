@@ -4,6 +4,8 @@
 
 #include "common/opcount.h"
 #include "common/stopwatch.h"
+#include "exec/parallel_for.h"
+#include "exec/worker_pools.h"
 #include "gmm/em_util.h"
 #include "gmm/trainers.h"
 #include "join/materialize.h"
@@ -34,11 +36,15 @@ Result<GmmParams> TrainGmmMaterialized(const join::NormalizedRelations& rel,
   FML_RETURN_IF_ERROR(rel.Validate());
   internal::ReportScope scope(report, "M-GMM");
 
+  const int threads = exec::EffectiveThreads(options.threads);
+  if (report != nullptr) report->threads = threads;
+
   // Line 1 of Algorithm 1: compute the join and materialize T on disk.
   Stopwatch mat_watch;
   FML_ASSIGN_OR_RETURN(
       storage::Table t,
-      join::MaterializeJoin(rel, pool, options.temp_dir + "/m_gmm_T.fml"));
+      join::MaterializeJoin(rel, pool, options.temp_dir + "/m_gmm_T.fml",
+                            threads));
   if (report != nullptr) {
     report->materialize_seconds = mat_watch.ElapsedSeconds();
   }
@@ -54,50 +60,93 @@ Result<GmmParams> TrainGmmMaterialized(const join::NormalizedRelations& rel,
   Responsibilities resp;
   resp.Reset(static_cast<size_t>(n), k);
 
-  std::vector<double> logp(k);
-  std::vector<double> diff(d);
+  // Morsels: page-aligned contiguous row ranges of T, one per worker, so
+  // no two workers read the same data page. Per-worker accumulators are
+  // merged in worker order; one range (threads=1) is the exact serial path.
+  const std::vector<exec::Range> ranges = exec::PartitionRows(
+      n, threads, static_cast<int64_t>(t.schema().RowsPerPage()));
+  const int nw = ranges.empty() ? 1 : static_cast<int>(ranges.size());
+  exec::WorkerPools pools(pool, nw);
+  std::vector<Status> worker_status(static_cast<size_t>(nw));
+
   std::vector<Matrix> sigma_sum(k);
   std::vector<double> mu_sum;  // k * d
 
   double loglik = -std::numeric_limits<double>::infinity();
   int iter = 0;
-  storage::RowBatch batch;
   for (; iter < options.max_iters; ++iter) {
     FML_ASSIGN_OR_RETURN(GmmDensity density, GmmDensity::From(params));
 
-    // ---- E-step: one full read of T (Lines 4-8).
+    // ---- E-step: one full read of T (Lines 4-8), row-parallel.
+    struct EAcc {
+      double ll = 0.0;
+      std::vector<double> n_k;
+    };
     double ll = 0.0;
     std::fill(resp.n_k.begin(), resp.n_k.end(), 0.0);
-    storage::TableScanner e_scan(&t, pool, options.batch_rows);
-    while (e_scan.Next(&batch)) {
-      for (size_t r = 0; r < batch.num_rows; ++r) {
-        const double* x = batch.feats.Row(r).data() + y_off;
-        for (size_t c = 0; c < k; ++c) {
-          CenterInto(x, params.mu.Row(c).data(), d, diff.data());
-          const double q = la::QuadForm(density.precision[c], diff.data(), d);
-          logp[c] = density.log_coeff[c] - 0.5 * q;
-        }
-        double* gamma = resp.Row(batch.start_row + static_cast<int64_t>(r));
-        ll += internal::PosteriorFromLogps(logp.data(), k, gamma);
-        for (size_t c = 0; c < k; ++c) resp.n_k[c] += gamma[c];
-      }
+    {
+      core::PhaseScope phase(report, "e_step");
+      exec::ParallelReduce<EAcc>(
+          ranges,
+          [&](exec::Range range, int w, EAcc* acc) {
+            acc->n_k.assign(k, 0.0);
+            std::vector<double> logp(k);
+            std::vector<double> diff(d);
+            storage::RowBatch batch;
+            storage::TableScanner scan(&t, pools.Get(w), options.batch_rows);
+            scan.SetRowRange(range.begin, range.end);
+            while (scan.Next(&batch)) {
+              for (size_t r = 0; r < batch.num_rows; ++r) {
+                const double* x = batch.feats.Row(r).data() + y_off;
+                for (size_t c = 0; c < k; ++c) {
+                  CenterInto(x, params.mu.Row(c).data(), d, diff.data());
+                  const double q =
+                      la::QuadForm(density.precision[c], diff.data(), d);
+                  logp[c] = density.log_coeff[c] - 0.5 * q;
+                }
+                double* gamma =
+                    resp.Row(batch.start_row + static_cast<int64_t>(r));
+                acc->ll += internal::PosteriorFromLogps(logp.data(), k, gamma);
+                for (size_t c = 0; c < k; ++c) acc->n_k[c] += gamma[c];
+              }
+            }
+            worker_status[static_cast<size_t>(w)] = scan.status();
+          },
+          [&](EAcc&& acc, int) {
+            ll += acc.ll;
+            for (size_t c = 0; c < k; ++c) resp.n_k[c] += acc.n_k[c];
+          });
     }
-    FML_RETURN_IF_ERROR(e_scan.status());
+    FML_RETURN_IF_ERROR(exec::FirstError(worker_status));
 
     // ---- M-step, mean update: second read of T (Lines 10-15).
     mu_sum.assign(k * d, 0.0);
-    storage::TableScanner mu_scan(&t, pool, options.batch_rows);
-    while (mu_scan.Next(&batch)) {
-      for (size_t r = 0; r < batch.num_rows; ++r) {
-        const double* x = batch.feats.Row(r).data() + y_off;
-        const double* gamma =
-            resp.Row(batch.start_row + static_cast<int64_t>(r));
-        for (size_t c = 0; c < k; ++c) {
-          la::Axpy(gamma[c], x, mu_sum.data() + c * d, d);
-        }
-      }
+    {
+      core::PhaseScope phase(report, "m_step_mean");
+      exec::ParallelReduce<std::vector<double>>(
+          ranges,
+          [&](exec::Range range, int w, std::vector<double>* acc) {
+            acc->assign(k * d, 0.0);
+            storage::RowBatch batch;
+            storage::TableScanner scan(&t, pools.Get(w), options.batch_rows);
+            scan.SetRowRange(range.begin, range.end);
+            while (scan.Next(&batch)) {
+              for (size_t r = 0; r < batch.num_rows; ++r) {
+                const double* x = batch.feats.Row(r).data() + y_off;
+                const double* gamma =
+                    resp.Row(batch.start_row + static_cast<int64_t>(r));
+                for (size_t c = 0; c < k; ++c) {
+                  la::Axpy(gamma[c], x, acc->data() + c * d, d);
+                }
+              }
+            }
+            worker_status[static_cast<size_t>(w)] = scan.status();
+          },
+          [&](std::vector<double>&& acc, int) {
+            for (size_t j = 0; j < k * d; ++j) mu_sum[j] += acc[j];
+          });
     }
-    FML_RETURN_IF_ERROR(mu_scan.status());
+    FML_RETURN_IF_ERROR(exec::FirstError(worker_status));
     for (size_t c = 0; c < k; ++c) {
       const double inv_nk = 1.0 / std::max(resp.n_k[c], 1e-300);
       for (size_t j = 0; j < d; ++j) {
@@ -108,20 +157,36 @@ Result<GmmParams> TrainGmmMaterialized(const join::NormalizedRelations& rel,
 
     // ---- M-step, covariance update: third read of T (Lines 16-21).
     for (size_t c = 0; c < k; ++c) sigma_sum[c].Resize(d, d);
-    storage::TableScanner sg_scan(&t, pool, options.batch_rows);
-    while (sg_scan.Next(&batch)) {
-      for (size_t r = 0; r < batch.num_rows; ++r) {
-        const double* x = batch.feats.Row(r).data() + y_off;
-        const double* gamma =
-            resp.Row(batch.start_row + static_cast<int64_t>(r));
-        for (size_t c = 0; c < k; ++c) {
-          CenterInto(x, params.mu.Row(c).data(), d, diff.data());
-          la::AddOuter(gamma[c], diff.data(), d, diff.data(), d,
-                       &sigma_sum[c], 0, 0);
-        }
-      }
+    {
+      core::PhaseScope phase(report, "m_step_cov");
+      exec::ParallelReduce<std::vector<Matrix>>(
+          ranges,
+          [&](exec::Range range, int w, std::vector<Matrix>* acc) {
+            acc->assign(k, Matrix());
+            for (size_t c = 0; c < k; ++c) (*acc)[c].Resize(d, d);
+            std::vector<double> diff(d);
+            storage::RowBatch batch;
+            storage::TableScanner scan(&t, pools.Get(w), options.batch_rows);
+            scan.SetRowRange(range.begin, range.end);
+            while (scan.Next(&batch)) {
+              for (size_t r = 0; r < batch.num_rows; ++r) {
+                const double* x = batch.feats.Row(r).data() + y_off;
+                const double* gamma =
+                    resp.Row(batch.start_row + static_cast<int64_t>(r));
+                for (size_t c = 0; c < k; ++c) {
+                  CenterInto(x, params.mu.Row(c).data(), d, diff.data());
+                  la::AddOuter(gamma[c], diff.data(), d, diff.data(), d,
+                               &(*acc)[c], 0, 0);
+                }
+              }
+            }
+            worker_status[static_cast<size_t>(w)] = scan.status();
+          },
+          [&](std::vector<Matrix>&& acc, int) {
+            for (size_t c = 0; c < k; ++c) sigma_sum[c].Add(acc[c]);
+          });
     }
-    FML_RETURN_IF_ERROR(sg_scan.status());
+    FML_RETURN_IF_ERROR(exec::FirstError(worker_status));
     for (size_t c = 0; c < k; ++c) {
       sigma_sum[c].Scale(1.0 / std::max(resp.n_k[c], 1e-300));
       for (size_t j = 0; j < d; ++j) sigma_sum[c](j, j) += options.cov_reg;

@@ -3,6 +3,8 @@
 #include <vector>
 
 #include "common/opcount.h"
+#include "exec/parallel_for.h"
+#include "exec/worker_pools.h"
 #include "gmm/em_util.h"
 #include "gmm/trainers.h"
 #include "join/assemble.h"
@@ -33,6 +35,9 @@ Result<GmmParams> TrainGmmStreaming(const join::NormalizedRelations& rel,
   FML_CHECK_GT(rel.fk1_index.num_rids(), 0) << "BuildIndex() not called";
   internal::ReportScope scope(report, "S-GMM");
 
+  const int threads = exec::EffectiveThreads(options.threads);
+  if (report != nullptr) report->threads = threads;
+
   const size_t k = options.num_components;
   const size_t d = rel.total_dims();
   const int64_t n = rel.s.num_rows();
@@ -43,61 +48,105 @@ Result<GmmParams> TrainGmmStreaming(const join::NormalizedRelations& rel,
   Responsibilities resp;
   resp.Reset(static_cast<size_t>(n), k);
 
-  std::vector<double> logp(k);
-  std::vector<double> x(d);  // the on-the-fly assembled joined tuple
-  std::vector<double> diff(d);
+  // Morsels: whole FK1 runs per worker, so each worker's scan stays a
+  // sequential range read of S (Fig. 1(b)).
+  const std::vector<exec::Range> ranges =
+      join::PartitionFk1Runs(rel.fk1_index, threads);
+  const int nw = ranges.empty() ? 1 : static_cast<int>(ranges.size());
+  exec::WorkerPools pools(pool, nw);
+  std::vector<Status> worker_status(static_cast<size_t>(nw));
+
   std::vector<Matrix> sigma_sum(k);
   std::vector<double> mu_sum;
 
   double loglik = -std::numeric_limits<double>::infinity();
   int iter = 0;
-  join::JoinBatch batch;
   for (; iter < options.max_iters; ++iter) {
     FML_ASSIGN_OR_RETURN(GmmDensity density, GmmDensity::From(params));
 
     // Each pass re-executes the join: attribute tables are reloaded (build
-    // side) and S is streamed (probe side) — Fig. 1(b) of the paper.
+    // side) and S is streamed (probe side) — Fig. 1(b) of the paper. The
+    // views are shared read-only by all workers.
     // ---- E-step pass.
     std::vector<join::AttributeTableView> views(rel.num_joins());
     for (size_t i = 0; i < rel.num_joins(); ++i) {
       FML_RETURN_IF_ERROR(views[i].Load(rel.attrs[i], pool));
     }
+    struct EAcc {
+      double ll = 0.0;
+      std::vector<double> n_k;
+    };
     double ll = 0.0;
     std::fill(resp.n_k.begin(), resp.n_k.end(), 0.0);
-    join::JoinCursor e_cursor(&rel, pool, options.batch_rows);
-    while (e_cursor.Next(&batch)) {
-      for (size_t r = 0; r < batch.s_rows.num_rows; ++r) {
-        join::AssembleJoinedRow(rel, batch.s_rows, r, views, x.data());
-        for (size_t c = 0; c < k; ++c) {
-          CenterInto(x.data(), params.mu.Row(c).data(), d, diff.data());
-          const double q = la::QuadForm(density.precision[c], diff.data(), d);
-          logp[c] = density.log_coeff[c] - 0.5 * q;
-        }
-        double* gamma =
-            resp.Row(batch.s_rows.start_row + static_cast<int64_t>(r));
-        ll += internal::PosteriorFromLogps(logp.data(), k, gamma);
-        for (size_t c = 0; c < k; ++c) resp.n_k[c] += gamma[c];
-      }
+    {
+      core::PhaseScope phase(report, "e_step");
+      exec::ParallelReduce<EAcc>(
+          ranges,
+          [&](exec::Range range, int w, EAcc* acc) {
+            acc->n_k.assign(k, 0.0);
+            std::vector<double> logp(k);
+            std::vector<double> x(d);
+            std::vector<double> diff(d);
+            join::JoinBatch batch;
+            join::JoinCursor cursor(&rel, pools.Get(w), options.batch_rows);
+            cursor.SetPositionRange(range.begin, range.end);
+            while (cursor.Next(&batch)) {
+              for (size_t r = 0; r < batch.s_rows.num_rows; ++r) {
+                join::AssembleJoinedRow(rel, batch.s_rows, r, views, x.data());
+                for (size_t c = 0; c < k; ++c) {
+                  CenterInto(x.data(), params.mu.Row(c).data(), d,
+                             diff.data());
+                  const double q =
+                      la::QuadForm(density.precision[c], diff.data(), d);
+                  logp[c] = density.log_coeff[c] - 0.5 * q;
+                }
+                double* gamma = resp.Row(batch.s_rows.start_row +
+                                         static_cast<int64_t>(r));
+                acc->ll += internal::PosteriorFromLogps(logp.data(), k, gamma);
+                for (size_t c = 0; c < k; ++c) acc->n_k[c] += gamma[c];
+              }
+            }
+            worker_status[static_cast<size_t>(w)] = cursor.status();
+          },
+          [&](EAcc&& acc, int) {
+            ll += acc.ll;
+            for (size_t c = 0; c < k; ++c) resp.n_k[c] += acc.n_k[c];
+          });
     }
-    FML_RETURN_IF_ERROR(e_cursor.status());
+    FML_RETURN_IF_ERROR(exec::FirstError(worker_status));
 
     // ---- M-step mean pass (join recomputed).
     for (size_t i = 0; i < rel.num_joins(); ++i) {
       FML_RETURN_IF_ERROR(views[i].Load(rel.attrs[i], pool));
     }
     mu_sum.assign(k * d, 0.0);
-    join::JoinCursor mu_cursor(&rel, pool, options.batch_rows);
-    while (mu_cursor.Next(&batch)) {
-      for (size_t r = 0; r < batch.s_rows.num_rows; ++r) {
-        join::AssembleJoinedRow(rel, batch.s_rows, r, views, x.data());
-        const double* gamma =
-            resp.Row(batch.s_rows.start_row + static_cast<int64_t>(r));
-        for (size_t c = 0; c < k; ++c) {
-          la::Axpy(gamma[c], x.data(), mu_sum.data() + c * d, d);
-        }
-      }
+    {
+      core::PhaseScope phase(report, "m_step_mean");
+      exec::ParallelReduce<std::vector<double>>(
+          ranges,
+          [&](exec::Range range, int w, std::vector<double>* acc) {
+            acc->assign(k * d, 0.0);
+            std::vector<double> x(d);
+            join::JoinBatch batch;
+            join::JoinCursor cursor(&rel, pools.Get(w), options.batch_rows);
+            cursor.SetPositionRange(range.begin, range.end);
+            while (cursor.Next(&batch)) {
+              for (size_t r = 0; r < batch.s_rows.num_rows; ++r) {
+                join::AssembleJoinedRow(rel, batch.s_rows, r, views, x.data());
+                const double* gamma = resp.Row(batch.s_rows.start_row +
+                                               static_cast<int64_t>(r));
+                for (size_t c = 0; c < k; ++c) {
+                  la::Axpy(gamma[c], x.data(), acc->data() + c * d, d);
+                }
+              }
+            }
+            worker_status[static_cast<size_t>(w)] = cursor.status();
+          },
+          [&](std::vector<double>&& acc, int) {
+            for (size_t j = 0; j < k * d; ++j) mu_sum[j] += acc[j];
+          });
     }
-    FML_RETURN_IF_ERROR(mu_cursor.status());
+    FML_RETURN_IF_ERROR(exec::FirstError(worker_status));
     for (size_t c = 0; c < k; ++c) {
       const double inv_nk = 1.0 / std::max(resp.n_k[c], 1e-300);
       for (size_t j = 0; j < d; ++j) {
@@ -111,20 +160,38 @@ Result<GmmParams> TrainGmmStreaming(const join::NormalizedRelations& rel,
       FML_RETURN_IF_ERROR(views[i].Load(rel.attrs[i], pool));
     }
     for (size_t c = 0; c < k; ++c) sigma_sum[c].Resize(d, d);
-    join::JoinCursor sg_cursor(&rel, pool, options.batch_rows);
-    while (sg_cursor.Next(&batch)) {
-      for (size_t r = 0; r < batch.s_rows.num_rows; ++r) {
-        join::AssembleJoinedRow(rel, batch.s_rows, r, views, x.data());
-        const double* gamma =
-            resp.Row(batch.s_rows.start_row + static_cast<int64_t>(r));
-        for (size_t c = 0; c < k; ++c) {
-          CenterInto(x.data(), params.mu.Row(c).data(), d, diff.data());
-          la::AddOuter(gamma[c], diff.data(), d, diff.data(), d,
-                       &sigma_sum[c], 0, 0);
-        }
-      }
+    {
+      core::PhaseScope phase(report, "m_step_cov");
+      exec::ParallelReduce<std::vector<Matrix>>(
+          ranges,
+          [&](exec::Range range, int w, std::vector<Matrix>* acc) {
+            acc->assign(k, Matrix());
+            for (size_t c = 0; c < k; ++c) (*acc)[c].Resize(d, d);
+            std::vector<double> x(d);
+            std::vector<double> diff(d);
+            join::JoinBatch batch;
+            join::JoinCursor cursor(&rel, pools.Get(w), options.batch_rows);
+            cursor.SetPositionRange(range.begin, range.end);
+            while (cursor.Next(&batch)) {
+              for (size_t r = 0; r < batch.s_rows.num_rows; ++r) {
+                join::AssembleJoinedRow(rel, batch.s_rows, r, views, x.data());
+                const double* gamma = resp.Row(batch.s_rows.start_row +
+                                               static_cast<int64_t>(r));
+                for (size_t c = 0; c < k; ++c) {
+                  CenterInto(x.data(), params.mu.Row(c).data(), d,
+                             diff.data());
+                  la::AddOuter(gamma[c], diff.data(), d, diff.data(), d,
+                               &(*acc)[c], 0, 0);
+                }
+              }
+            }
+            worker_status[static_cast<size_t>(w)] = cursor.status();
+          },
+          [&](std::vector<Matrix>&& acc, int) {
+            for (size_t c = 0; c < k; ++c) sigma_sum[c].Add(acc[c]);
+          });
     }
-    FML_RETURN_IF_ERROR(sg_cursor.status());
+    FML_RETURN_IF_ERROR(exec::FirstError(worker_status));
     for (size_t c = 0; c < k; ++c) {
       sigma_sum[c].Scale(1.0 / std::max(resp.n_k[c], 1e-300));
       for (size_t j = 0; j < d; ++j) sigma_sum[c](j, j) += options.cov_reg;

@@ -44,6 +44,13 @@ struct GmmOptions {
   /// covariance update — which is exact and cuts the per-tuple cross work
   /// in half. Clear it to reproduce the paper's op counts verbatim.
   bool exploit_symmetry = true;
+  /// Worker threads for the exec/ morsel-driven runtime (all three
+  /// algorithms): E-step, mean and covariance passes partition the scan
+  /// over page-aligned row ranges (M) or whole FK1-rid runs (S/F), with
+  /// per-worker accumulators merged deterministically in worker order.
+  /// 0 = use exec::DefaultThreads() (the --threads flag); 1 = the exact
+  /// bit-for-bit serial path of the paper reproduction.
+  int threads = 0;
 };
 
 /// Algorithm M-GMM (paper Algorithm 1): joins S with R1..Rq, materializes

@@ -39,4 +39,13 @@ Status FkIndex::Build(const storage::Table& s, storage::BufferPool* pool,
   return scanner.status();
 }
 
+std::vector<exec::Range> PartitionFk1Runs(const FkIndex& index, int parts) {
+  const int64_t num_rids = index.num_rids();
+  std::vector<int64_t> run_lengths(static_cast<size_t>(num_rids));
+  for (int64_t rid = 0; rid < num_rids; ++rid) {
+    run_lengths[static_cast<size_t>(rid)] = index.CountOf(rid);
+  }
+  return exec::PartitionWeighted(run_lengths.data(), num_rids, parts);
+}
+
 }  // namespace factorml::join

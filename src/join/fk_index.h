@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "exec/parallel_for.h"
 #include "storage/buffer_pool.h"
 #include "storage/table.h"
 
@@ -42,6 +43,13 @@ class FkIndex {
   size_t fk_key_idx_ = 0;
   int64_t total_rows_ = 0;
 };
+
+/// Morsels for the parallel trainers: splits the rid positions
+/// [0, num_rids) into at most `parts` contiguous ranges whose matching
+/// S-row counts are near-equal, never splitting an FK1 run — each range is
+/// a whole set of runs, so factorized per-R1-tuple reuse survives inside
+/// every worker. One range (parts = 1) is the exact serial scan.
+std::vector<exec::Range> PartitionFk1Runs(const FkIndex& index, int parts);
 
 }  // namespace factorml::join
 

@@ -21,21 +21,31 @@ void JoinCursor::SetRidOrder(std::vector<int64_t> order) {
   next_pos_ = 0;
 }
 
+void JoinCursor::SetPositionRange(int64_t begin, int64_t end) {
+  const int64_t num_rids = rel_->fk1_index.num_rids();
+  FML_CHECK_GE(begin, 0);
+  FML_CHECK_LE(end, num_rids);
+  FML_CHECK_LE(begin, end);
+  begin_pos_ = begin;
+  end_pos_ = end;
+  next_pos_ = begin;
+}
+
 void JoinCursor::Reset() {
-  next_pos_ = 0;
+  next_pos_ = begin_pos_;
   status_ = Status::OK();
 }
 
 bool JoinCursor::Next(JoinBatch* out) {
   if (!status_.ok()) return false;
   const FkIndex& idx = rel_->fk1_index;
-  const int64_t num_rids = idx.num_rids();
-  if (next_pos_ >= num_rids) return false;
+  const int64_t end_pos = end_pos_ < 0 ? idx.num_rids() : end_pos_;
+  if (next_pos_ >= end_pos) return false;
 
   // Collect whole rid groups until the batch target is reached.
   out->groups.clear();
   size_t total = 0;
-  while (next_pos_ < num_rids && total < target_batch_rows_) {
+  while (next_pos_ < end_pos && total < target_batch_rows_) {
     const int64_t rid =
         order_.empty() ? next_pos_ : order_[static_cast<size_t>(next_pos_)];
     const size_t count = static_cast<size_t>(idx.CountOf(rid));

@@ -43,7 +43,13 @@ class JoinCursor {
   /// permutation of 0..nR1-1; an empty vector restores natural order.
   void SetRidOrder(std::vector<int64_t> order);
 
-  /// Restarts at the first rid of the current order.
+  /// Restricts the cursor to positions [begin, end) of the current rid
+  /// order (the morsel of one parallel worker: whole FK1-rid runs, so the
+  /// factorized per-R-tuple reuse is preserved within the subrange). The
+  /// full cursor is [0, num_rids). Also repositions to `begin`.
+  void SetPositionRange(int64_t begin, int64_t end);
+
+  /// Restarts at the first rid of the current order (and position range).
   void Reset();
 
   /// Fills the next batch; returns false at end of pass or error.
@@ -56,6 +62,8 @@ class JoinCursor {
   storage::BufferPool* pool_;
   size_t target_batch_rows_;
   std::vector<int64_t> order_;  // empty = natural
+  int64_t begin_pos_ = 0;       // first position of this cursor's subrange
+  int64_t end_pos_ = -1;        // one past the last position; -1 = all
   int64_t next_pos_ = 0;        // position within the rid order
   Status status_;
   storage::RowBatch scratch_;

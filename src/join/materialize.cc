@@ -3,13 +3,16 @@
 #include <cstring>
 #include <vector>
 
+#include "exec/parallel_for.h"
 #include "join/attribute_view.h"
+#include "la/matrix.h"
 
 namespace factorml::join {
 
 Result<storage::Table> MaterializeJoin(const NormalizedRelations& rel,
                                        storage::BufferPool* pool,
-                                       const std::string& out_path) {
+                                       const std::string& out_path,
+                                       int threads) {
   FML_RETURN_IF_ERROR(rel.Validate());
 
   // Attribute tables are the build side of the hash join: load them
@@ -27,27 +30,48 @@ Result<storage::Table> MaterializeJoin(const NormalizedRelations& rel,
   FML_ASSIGN_OR_RETURN(storage::Table t,
                        storage::Table::Create(out_path, t_schema));
 
-  std::vector<double> row(t_feats);
+  const int nw = exec::EffectiveThreads(threads);
+
+  // Join-scan pipeline: the S batch is read serially through the pool,
+  // rows are assembled (probe + concatenate) in parallel over row morsels,
+  // and the page appends stay serial — the write path of the heap file is
+  // inherently ordered. Pure data movement, so op counts are unaffected.
+  la::Matrix rows_buf;
+  std::vector<Status> worker_status(static_cast<size_t>(nw));
   storage::TableScanner scanner(&rel.s, pool, 4096);
   storage::RowBatch batch;
   while (scanner.Next(&batch)) {
-    for (size_t r = 0; r < batch.num_rows; ++r) {
-      const int64_t* keys = batch.KeysOf(r);
-      std::memcpy(row.data(), batch.feats.Row(r).data(),
-                  sizeof(double) * s_feats);
-      size_t off = s_feats;
-      for (size_t i = 0; i < views.size(); ++i) {
-        const int64_t rid = keys[rel.FkKeyIndex(i)];
-        if (rid < 0 || rid >= views[i].num_rows()) {
-          return Status::FailedPrecondition("dangling foreign key in join");
-        }
-        const auto feats = views[i].FeaturesOf(rid);
-        std::memcpy(row.data() + off, feats.data(),
-                    sizeof(double) * feats.size());
-        off += feats.size();
-      }
-      const int64_t sid = keys[0];
-      FML_RETURN_IF_ERROR(t.Append(&sid, row.data()));
+    const size_t b = batch.num_rows;
+    if (b == 0) continue;
+    rows_buf.Resize(b, t_feats);
+    std::fill(worker_status.begin(), worker_status.end(), Status::OK());
+    exec::ParallelFor(
+        nw, static_cast<int64_t>(b), /*align=*/1,
+        [&](exec::Range range, int w) {
+          for (int64_t r = range.begin; r < range.end; ++r) {
+            const int64_t* keys = batch.KeysOf(static_cast<size_t>(r));
+            double* row = rows_buf.Row(static_cast<size_t>(r)).data();
+            std::memcpy(row, batch.feats.Row(static_cast<size_t>(r)).data(),
+                        sizeof(double) * s_feats);
+            size_t off = s_feats;
+            for (size_t i = 0; i < views.size(); ++i) {
+              const int64_t rid = keys[rel.FkKeyIndex(i)];
+              if (rid < 0 || rid >= views[i].num_rows()) {
+                worker_status[static_cast<size_t>(w)] =
+                    Status::FailedPrecondition("dangling foreign key in join");
+                return;
+              }
+              const auto feats = views[i].FeaturesOf(rid);
+              std::memcpy(row + off, feats.data(),
+                          sizeof(double) * feats.size());
+              off += feats.size();
+            }
+          }
+        });
+    FML_RETURN_IF_ERROR(exec::FirstError(worker_status));
+    for (size_t r = 0; r < b; ++r) {
+      const int64_t sid = batch.KeysOf(r)[0];
+      FML_RETURN_IF_ERROR(t.Append(&sid, rows_buf.Row(r).data()));
     }
   }
   FML_RETURN_IF_ERROR(scanner.status());

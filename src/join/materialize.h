@@ -16,9 +16,14 @@ namespace factorml::join {
 /// `[Y?] + d` feature columns. This is Line 1 of Algorithm 1 (M-GMM) and
 /// the starting point of M-NN; the write I/O it generates — |T| pages — is
 /// precisely the materialization cost the F-algorithms avoid.
+///
+/// `threads` > 1 assembles the joined rows of each scanned batch in
+/// parallel (exec/ runtime); the scan and the page appends stay serial, so
+/// the output file and I/O counts are identical for any thread count.
 Result<storage::Table> MaterializeJoin(const NormalizedRelations& rel,
                                        storage::BufferPool* pool,
-                                       const std::string& out_path);
+                                       const std::string& out_path,
+                                       int threads = 1);
 
 }  // namespace factorml::join
 

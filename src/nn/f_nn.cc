@@ -1,7 +1,9 @@
+#include <algorithm>
 #include <cstring>
 #include <vector>
 
 #include "common/opcount.h"
+#include "exec/parallel_for.h"
 #include "join/attribute_view.h"
 #include "join/batch_plan.h"
 #include "join/join_cursor.h"
@@ -17,9 +19,11 @@ namespace {
 /// row rid holds W1[:, slice_i] * x_ri (plus the layer bias for table 0,
 /// matching the paper's T2 = sum w x_R + b). An entry is valid for weight
 /// version `stamp[rid]`; since mini-batch SGD changes W1 every update,
-/// entries are recomputed lazily on first use per version — "computed when
-/// one tuple in R appears for the first time and reused for the remaining
-/// matching tuples" (Sec. VI-A2).
+/// entries are recomputed on first use per version — "computed when one
+/// tuple in R appears for the first time and reused for the remaining
+/// matching tuples" (Sec. VI-A2). The stale entries of a batch are
+/// collected up front and refilled in parallel (disjoint rows), then read
+/// shared by the row-parallel forward.
 struct PartialCache {
   la::Matrix c;                  // nRi x nh
   std::vector<uint64_t> stamp;   // nRi, last weight version computed
@@ -41,6 +45,9 @@ Result<Mlp> TrainNnFactorized(const join::NormalizedRelations& rel,
   FML_CHECK_GT(rel.fk1_index.num_rids(), 0) << "BuildIndex() not called";
   core::ReportScope scope(report, "F-NN");
 
+  const int threads = exec::EffectiveThreads(options.threads);
+  if (report != nullptr) report->threads = threads;
+
   const size_t q = rel.num_joins();
   const size_t ds = rel.ds();
   const size_t d = rel.total_dims();
@@ -59,6 +66,7 @@ Result<Mlp> TrainNnFactorized(const join::NormalizedRelations& rel,
 
   std::vector<join::AttributeTableView> views(q);
   std::vector<PartialCache> caches(q);
+  std::vector<std::vector<int64_t>> stale(q);  // rids to refill per batch
   uint64_t version = 1;  // bumped after every weight update
 
   la::Matrix xs;       // batch x dS (S features only — never widened to d)
@@ -66,7 +74,7 @@ Result<Mlp> TrainNnFactorized(const join::NormalizedRelations& rel,
   la::Matrix delta1;   // batch x nh
   la::Matrix grad0(mlp.w[0].rows(), mlp.w[0].cols());
   std::vector<double> y;
-  std::vector<double> dsum(nh);  // grouped-backward scratch
+  std::vector<double> dsums;  // grouped-backward scratch, n_groups x nh
   join::JoinBatch batch;
 
   double epoch_sse = 0.0;
@@ -90,83 +98,193 @@ Result<Mlp> TrainNnFactorized(const join::NormalizedRelations& rel,
       if (b == 0) continue;
       xs.Resize(b, ds);
       y.resize(b);
-      for (size_t r = 0; r < b; ++r) {
-        y[r] = batch.s_rows.feats(r, 0);
-        std::memcpy(xs.Row(r).data(), batch.s_rows.feats.Row(r).data() + 1,
-                    sizeof(double) * ds);
+      exec::ParallelFor(
+          threads, static_cast<int64_t>(b), /*align=*/1,
+          [&](exec::Range rg, int) {
+            for (int64_t r = rg.begin; r < rg.end; ++r) {
+              y[static_cast<size_t>(r)] =
+                  batch.s_rows.feats(static_cast<size_t>(r), 0);
+              std::memcpy(xs.Row(static_cast<size_t>(r)).data(),
+                          batch.s_rows.feats.Row(static_cast<size_t>(r))
+                                  .data() +
+                              1,
+                          sizeof(double) * ds);
+            }
+          });
+
+      // ---- Refresh the partial caches for this weight version: collect
+      // the stale rids the batch touches (table 0 straight from the rid
+      // groups; further tables by scanning the FK columns), then fill the
+      // collected rows in parallel — rows are disjoint, and the identical
+      // arithmetic runs whether filled here or lazily, so results and op
+      // totals match the serial path exactly.
+      {
+        core::PhaseScope phase(report, "partial_cache");
+        for (size_t i = 0; i < q; ++i) stale[i].clear();
+        for (const auto& g : batch.groups) {
+          if (g.count == 0) continue;
+          const auto rid = static_cast<size_t>(g.rid);
+          if (caches[0].stamp[rid] != version) {
+            caches[0].stamp[rid] = version;
+            stale[0].push_back(g.rid);
+          }
+        }
+        for (size_t r = 0; q > 1 && r < b; ++r) {
+          const int64_t* keys = batch.s_rows.KeysOf(r);
+          for (size_t i = 1; i < q; ++i) {
+            const auto rid =
+                static_cast<size_t>(keys[rel.FkKeyIndex(i)]);
+            if (caches[i].stamp[rid] != version) {
+              caches[i].stamp[rid] = version;
+              stale[i].push_back(static_cast<int64_t>(rid));
+            }
+          }
+        }
+        for (size_t i = 0; i < q; ++i) {
+          PartialCache& cache = caches[i];
+          const std::vector<int64_t>& todo = stale[i];
+          if (todo.empty()) continue;
+          exec::ParallelFor(
+              threads, static_cast<int64_t>(todo.size()), /*align=*/1,
+              [&](exec::Range rg, int) {
+                for (int64_t s = rg.begin; s < rg.end; ++s) {
+                  const auto rid =
+                      static_cast<size_t>(todo[static_cast<size_t>(s)]);
+                  const auto xr = views[i].FeaturesOf(
+                      static_cast<int64_t>(rid));
+                  const size_t dri = xr.size();
+                  double* c_row = cache.c.Row(rid).data();
+                  const size_t ldw = mlp.w[0].cols();
+                  const double* w_base = mlp.w[0].data() + attr_offset[i];
+                  for (size_t u = 0; u < nh; ++u) {
+                    double sum = 0.0;
+                    const double* w_row = w_base + u * ldw;
+                    for (size_t j = 0; j < dri; ++j) sum += w_row[j] * xr[j];
+                    // The paper's T2 carries the bias with the first
+                    // partial sum.
+                    c_row[u] = (i == 0) ? sum + mlp.b[0][u] : sum;
+                  }
+                  CountMults(nh * dri);
+                  CountAdds(nh * dri + (i == 0 ? nh : 0));
+                }
+              });
+        }
       }
 
       // ---- Factorized forward, first layer (Sec. VI-A1 / Eq. 31):
-      // A1 = XS * W_S^T  +  sum_i cache_i(rid_i), where each cache entry
-      // is computed once per attribute tuple per weight version.
-      la::GemmNTSlice(xs, mlp.w[0], 0, &a1, /*accumulate=*/false);
-      for (size_t r = 0; r < b; ++r) {
-        const int64_t* keys = batch.s_rows.KeysOf(r);
-        double* a1_row = a1.Row(r).data();
-        for (size_t i = 0; i < q; ++i) {
-          const int64_t rid = keys[rel.FkKeyIndex(i)];
-          PartialCache& cache = caches[i];
-          if (cache.stamp[static_cast<size_t>(rid)] != version) {
-            const auto xr = views[i].FeaturesOf(rid);
-            const size_t dri = xr.size();
-            double* c_row = cache.c.Row(static_cast<size_t>(rid)).data();
-            const size_t ldw = mlp.w[0].cols();
-            const double* w_base = mlp.w[0].data() + attr_offset[i];
-            for (size_t u = 0; u < nh; ++u) {
-              double s = 0.0;
-              const double* w_row = w_base + u * ldw;
-              for (size_t j = 0; j < dri; ++j) s += w_row[j] * xr[j];
-              // The paper's T2 carries the bias with the first partial sum.
-              c_row[u] = (i == 0) ? s + mlp.b[0][u] : s;
-            }
-            CountMults(nh * dri);
-            CountAdds(nh * dri + (i == 0 ? nh : 0));
-            cache.stamp[static_cast<size_t>(rid)] = version;
-          }
-          const double* c_row = cache.c.Row(static_cast<size_t>(rid)).data();
-          for (size_t u = 0; u < nh; ++u) a1_row[u] += c_row[u];
-        }
+      // A1 = XS * W_S^T  +  sum_i cache_i(rid_i), row-parallel over the
+      // batch (each a1 row reads only its own xs row and cached partials).
+      a1.Resize(b, nh);
+      {
+        core::PhaseScope phase(report, "first_layer_fwd");
+        exec::ParallelFor(
+            threads, static_cast<int64_t>(b), /*align=*/1,
+            [&](exec::Range rg, int) {
+              la::GemmNTSliceRows(xs, mlp.w[0], 0, &a1,
+                                  static_cast<size_t>(rg.begin),
+                                  static_cast<size_t>(rg.end),
+                                  /*accumulate=*/false);
+              for (int64_t r = rg.begin; r < rg.end; ++r) {
+                const int64_t* keys =
+                    batch.s_rows.KeysOf(static_cast<size_t>(r));
+                double* a1_row = a1.Row(static_cast<size_t>(r)).data();
+                for (size_t i = 0; i < q; ++i) {
+                  const int64_t rid = keys[rel.FkKeyIndex(i)];
+                  const double* c_row =
+                      caches[i].c.Row(static_cast<size_t>(rid)).data();
+                  for (size_t u = 0; u < nh; ++u) a1_row[u] += c_row[u];
+                }
+              }
+              CountAdds(static_cast<uint64_t>(rg.size()) * nh * q);
+            });
       }
-      CountAdds(b * nh * q);
 
-      epoch_sse += engine.Step(a1, y.data(), &delta1);
+      {
+        core::PhaseScope phase(report, "upper_layers");
+        epoch_sse += engine.Step(a1, y.data(), &delta1);
+      }
 
       // ---- Factorized backward (Sec. VI-A3 / Eq. 32): the W1 gradient
       // [PG_S | PG_R1 | ... ] is formed from the base relations directly;
-      // identical arithmetic, but x_Ri is never expanded to N rows on disk.
-      grad0.SetZero();
-      la::GemmTNSlice(delta1, xs, &grad0, 0);
+      // identical arithmetic, but x_Ri is never expanded to N rows on
+      // disk. Parallelized over column morsels of grad0: every worker owns
+      // a disjoint column range and accumulates it in the serial row
+      // order, so the gradient is bit-identical for any thread count.
       if (options.grouped_backward && q >= 1) {
         // Extension: per R1 group, sum the deltas first, then one outer
         // product per R1 tuple (nh*(b + |rids|*dR1) ops instead of
-        // nh*b*dR1). Tables beyond the first keep the per-row path.
-        for (const auto& g : batch.groups) {
-          if (g.count == 0) continue;
-          std::fill(dsum.begin(), dsum.end(), 0.0);
-          for (size_t r = g.offset; r < g.offset + g.count; ++r) {
-            la::Axpy(1.0, delta1.Row(r).data(), dsum.data(), nh);
-          }
-          const auto xr = views[0].FeaturesOf(g.rid);
-          la::AddOuter(1.0, dsum.data(), nh, xr.data(), xr.size(), &grad0,
-                       0, attr_offset[0]);
-        }
-        for (size_t r = 0; r < b; ++r) {
-          const int64_t* keys = batch.s_rows.KeysOf(r);
-          for (size_t i = 1; i < q; ++i) {
-            const auto xr = views[i].FeaturesOf(keys[rel.FkKeyIndex(i)]);
-            la::AddOuter(1.0, delta1.Row(r).data(), nh, xr.data(),
-                         xr.size(), &grad0, 0, attr_offset[i]);
+        // nh*b*dR1). Computed once, read by every column worker.
+        dsums.assign(batch.groups.size() * nh, 0.0);
+        for (size_t g = 0; g < batch.groups.size(); ++g) {
+          const auto& grp = batch.groups[g];
+          if (grp.count == 0) continue;
+          double* dsum = dsums.data() + g * nh;
+          for (size_t r = grp.offset; r < grp.offset + grp.count; ++r) {
+            la::Axpy(1.0, delta1.Row(r).data(), dsum, nh);
           }
         }
-      } else {
-        for (size_t r = 0; r < b; ++r) {
-          const int64_t* keys = batch.s_rows.KeysOf(r);
-          for (size_t i = 0; i < q; ++i) {
-            const auto xr = views[i].FeaturesOf(keys[rel.FkKeyIndex(i)]);
-            la::AddOuter(1.0, delta1.Row(r).data(), nh, xr.data(),
-                         xr.size(), &grad0, 0, attr_offset[i]);
-          }
-        }
+      }
+      grad0.SetZero();
+      {
+        core::PhaseScope phase(report, "w1_grad");
+        exec::ParallelFor(
+            threads, static_cast<int64_t>(d), /*align=*/1,
+            [&](exec::Range rg, int) {
+              const auto cb = static_cast<size_t>(rg.begin);
+              const auto ce = static_cast<size_t>(rg.end);
+              // PG_S: columns of the S slice [0, ds) within this morsel.
+              if (cb < ds) {
+                la::GemmTNSliceCols(delta1, xs, &grad0, 0, cb,
+                                    std::min(ds, ce));
+              }
+              // PG_Ri: the slice of each attribute block inside the
+              // morsel. The overlap is loop-invariant over the batch
+              // rows, so clip once per table; tables (and whole row
+              // sweeps) with no overlap cost this worker nothing.
+              std::vector<size_t> lo(q);
+              std::vector<size_t> len(q, 0);
+              bool any_overlap = false;
+              for (size_t i = 0; i < q; ++i) {
+                const size_t block_lo = attr_offset[i];
+                const size_t block_hi = block_lo + rel.dr(i);
+                const size_t s = std::max(block_lo, cb);
+                const size_t e = std::min(block_hi, ce);
+                if (s < e) {
+                  lo[i] = s - block_lo;
+                  len[i] = e - s;
+                  any_overlap = true;
+                }
+              }
+              if (!any_overlap) return;
+              const size_t row_first_table =
+                  options.grouped_backward ? 1 : 0;
+              if (options.grouped_backward && len[0] > 0) {
+                for (size_t g = 0; g < batch.groups.size(); ++g) {
+                  const auto& grp = batch.groups[g];
+                  if (grp.count == 0) continue;
+                  const auto xr = views[0].FeaturesOf(grp.rid);
+                  la::AddOuter(1.0, dsums.data() + g * nh, nh,
+                               xr.data() + lo[0], len[0], &grad0, 0,
+                               attr_offset[0] + lo[0]);
+                }
+              }
+              bool any_row_table = false;
+              for (size_t i = row_first_table; i < q; ++i) {
+                if (len[i] > 0) any_row_table = true;
+              }
+              if (!any_row_table) return;
+              for (size_t r = 0; r < b; ++r) {
+                const int64_t* keys = batch.s_rows.KeysOf(r);
+                for (size_t i = row_first_table; i < q; ++i) {
+                  if (len[i] == 0) continue;
+                  const auto xr =
+                      views[i].FeaturesOf(keys[rel.FkKeyIndex(i)]);
+                  la::AddOuter(1.0, delta1.Row(r).data(), nh,
+                               xr.data() + lo[i], len[i], &grad0, 0,
+                               attr_offset[i] + lo[i]);
+                }
+              }
+            });
       }
       engine.UpdateW0(grad0);
       ++version;  // engine updated b0 and layers >= 1; W1 updated above

@@ -3,6 +3,7 @@
 
 #include "common/opcount.h"
 #include "common/stopwatch.h"
+#include "exec/parallel_for.h"
 #include "join/batch_plan.h"
 #include "join/materialize.h"
 #include "la/ops.h"
@@ -25,16 +26,21 @@ Result<Mlp> TrainNnMaterialized(const join::NormalizedRelations& rel,
   }
   core::ReportScope scope(report, "M-NN");
 
+  const int threads = exec::EffectiveThreads(options.threads);
+  if (report != nullptr) report->threads = threads;
+
   // Join + materialize T on disk, then train from T alone.
   Stopwatch mat_watch;
   FML_ASSIGN_OR_RETURN(
       storage::Table t,
-      join::MaterializeJoin(rel, pool, options.temp_dir + "/m_nn_T.fml"));
+      join::MaterializeJoin(rel, pool, options.temp_dir + "/m_nn_T.fml",
+                            threads));
   if (report != nullptr) {
     report->materialize_seconds = mat_watch.ElapsedSeconds();
   }
 
   const size_t d = rel.total_dims();
+  const size_t nh = options.hidden[0];
   const int64_t n = t.num_rows();
   Mlp mlp = Mlp::Init(d, options.hidden, options.activation, options.seed);
   internal::BackpropEngine engine(&mlp, options.learning_rate);
@@ -81,11 +87,43 @@ Result<Mlp> TrainNnMaterialized(const join::NormalizedRelations& rel,
       }
       FML_CHECK_EQ(filled, b);
 
-      la::GemmNT(x, mlp.w[0], &a1, /*accumulate=*/false);
-      la::AddRowVector(mlp.b[0].data(), &a1);
-      epoch_sse += engine.Step(a1, y.data(), &delta1);
+      // First-layer forward over row morsels: each a1 row depends only on
+      // its own input row, so any partition is bit-identical to serial.
+      a1.Resize(b, nh);
+      {
+        core::PhaseScope phase(report, "first_layer_fwd");
+        exec::ParallelFor(threads, static_cast<int64_t>(b), /*align=*/1,
+                          [&](exec::Range rg, int) {
+                            la::GemmNTSliceRows(
+                                x, mlp.w[0], 0, &a1,
+                                static_cast<size_t>(rg.begin),
+                                static_cast<size_t>(rg.end),
+                                /*accumulate=*/false);
+                            la::AddRowVectorRows(
+                                mlp.b[0].data(), &a1,
+                                static_cast<size_t>(rg.begin),
+                                static_cast<size_t>(rg.end));
+                          });
+      }
+      {
+        core::PhaseScope phase(report, "upper_layers");
+        epoch_sse += engine.Step(a1, y.data(), &delta1);
+      }
 
-      la::GemmTN(delta1, x, &grad0, /*accumulate=*/false);
+      // W1 gradient over column morsels: the per-element accumulation
+      // order over the batch rows is unchanged, so this too is
+      // bit-identical for any thread count.
+      grad0.SetZero();
+      {
+        core::PhaseScope phase(report, "w1_grad");
+        exec::ParallelFor(threads, static_cast<int64_t>(d), /*align=*/1,
+                          [&](exec::Range rg, int) {
+                            la::GemmTNSliceCols(
+                                delta1, x, &grad0, 0,
+                                static_cast<size_t>(rg.begin),
+                                static_cast<size_t>(rg.end));
+                          });
+      }
       engine.UpdateW0(grad0);
     }
   }

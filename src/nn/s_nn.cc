@@ -1,5 +1,7 @@
 #include <vector>
 
+#include "exec/parallel_for.h"
+#include "exec/worker_pools.h"
 #include "join/assemble.h"
 #include "join/attribute_view.h"
 #include "join/batch_plan.h"
@@ -24,7 +26,11 @@ Result<Mlp> TrainNnStreaming(const join::NormalizedRelations& rel,
   FML_CHECK_GT(rel.fk1_index.num_rids(), 0) << "BuildIndex() not called";
   core::ReportScope scope(report, "S-NN");
 
+  const int threads = exec::EffectiveThreads(options.threads);
+  if (report != nullptr) report->threads = threads;
+
   const size_t d = rel.total_dims();
+  const size_t nh = options.hidden[0];
   const int64_t n = rel.s.num_rows();
   Mlp mlp = Mlp::Init(d, options.hidden, options.activation, options.seed);
   internal::BackpropEngine engine(&mlp, options.learning_rate);
@@ -59,17 +65,56 @@ Result<Mlp> TrainNnStreaming(const join::NormalizedRelations& rel,
       if (b == 0) continue;
       x.Resize(b, d);
       y.resize(b);
-      for (size_t r = 0; r < b; ++r) {
-        // Feature column 0 of S is the target.
-        y[r] = batch.s_rows.feats(r, 0);
-        join::AssembleJoinedRow(rel, batch.s_rows, r, views, x.Row(r).data());
+      {
+        // On-the-fly join: assemble the full joined tuples, row-parallel
+        // (pure data movement against shared read-only views).
+        core::PhaseScope phase(report, "assemble");
+        exec::ParallelFor(
+            threads, static_cast<int64_t>(b), /*align=*/1,
+            [&](exec::Range rg, int) {
+              for (int64_t r = rg.begin; r < rg.end; ++r) {
+                // Feature column 0 of S is the target.
+                y[static_cast<size_t>(r)] =
+                    batch.s_rows.feats(static_cast<size_t>(r), 0);
+                join::AssembleJoinedRow(rel, batch.s_rows,
+                                        static_cast<size_t>(r), views,
+                                        x.Row(static_cast<size_t>(r)).data());
+              }
+            });
       }
 
-      la::GemmNT(x, mlp.w[0], &a1, /*accumulate=*/false);
-      la::AddRowVector(mlp.b[0].data(), &a1);
-      epoch_sse += engine.Step(a1, y.data(), &delta1);
+      a1.Resize(b, nh);
+      {
+        core::PhaseScope phase(report, "first_layer_fwd");
+        exec::ParallelFor(threads, static_cast<int64_t>(b), /*align=*/1,
+                          [&](exec::Range rg, int) {
+                            la::GemmNTSliceRows(
+                                x, mlp.w[0], 0, &a1,
+                                static_cast<size_t>(rg.begin),
+                                static_cast<size_t>(rg.end),
+                                /*accumulate=*/false);
+                            la::AddRowVectorRows(
+                                mlp.b[0].data(), &a1,
+                                static_cast<size_t>(rg.begin),
+                                static_cast<size_t>(rg.end));
+                          });
+      }
+      {
+        core::PhaseScope phase(report, "upper_layers");
+        epoch_sse += engine.Step(a1, y.data(), &delta1);
+      }
 
-      la::GemmTN(delta1, x, &grad0, /*accumulate=*/false);
+      grad0.SetZero();
+      {
+        core::PhaseScope phase(report, "w1_grad");
+        exec::ParallelFor(threads, static_cast<int64_t>(d), /*align=*/1,
+                          [&](exec::Range rg, int) {
+                            la::GemmTNSliceCols(
+                                delta1, x, &grad0, 0,
+                                static_cast<size_t>(rg.begin),
+                                static_cast<size_t>(rg.end));
+                          });
+      }
       engine.UpdateW0(grad0);
     }
     FML_RETURN_IF_ERROR(cursor.status());

@@ -44,6 +44,14 @@ struct NnOptions {
   /// (Sec. VI-A3); this flag demonstrates there is some after all — see
   /// bench/ablation_grouped_backward.
   bool grouped_backward = false;
+  /// Worker threads for the exec/ morsel-driven runtime (all three
+  /// algorithms). The sequence of mini-batch updates is unchanged;
+  /// within each batch the first-layer forward partitions over rows and
+  /// the W1 gradient over columns (both bit-identical decompositions),
+  /// so outputs match the serial run up to the per-worker merge of
+  /// attribute-gradient partials. 0 = use exec::DefaultThreads() (the
+  /// --threads flag); 1 = the exact bit-for-bit serial path.
+  int threads = 0;
 };
 
 /// Algorithm M-NN: materializes T, then standard BP over T's rows.

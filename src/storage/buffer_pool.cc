@@ -8,6 +8,10 @@ BufferPool::BufferPool(size_t capacity_pages)
     : capacity_(capacity_pages == 0 ? 1 : capacity_pages) {}
 
 Result<const char*> BufferPool::GetPage(PagedFile* file, uint64_t page_no) {
+  // The latch is held across the miss's disk read as well: releasing it
+  // there would let two threads read the same page twice and double-insert.
+  // Parallel scan paths avoid this serialization with per-worker pools.
+  std::lock_guard<std::mutex> lock(mu_);
   const Key key{file->id(), page_no};
   auto it = map_.find(key);
   if (it != map_.end()) {
@@ -34,6 +38,7 @@ Result<const char*> BufferPool::GetPage(PagedFile* file, uint64_t page_no) {
 }
 
 void BufferPool::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
   lru_.clear();
   map_.clear();
 }

@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <list>
 #include <memory>
+#include <mutex>
 #include <unordered_map>
 #include <vector>
 
@@ -29,13 +30,22 @@ class BufferPool {
   /// evicted, i.e. until at least `capacity_pages - 1` further distinct
   /// pages are touched; callers must copy out what they need before issuing
   /// unbounded further reads.
+  ///
+  /// Concurrency: the map and LRU list are latched, so GetPage may be
+  /// called from multiple threads. The eviction contract above then spans
+  /// all callers together — concurrent scanners must either share a pool
+  /// sized for their combined working set or use per-worker pools
+  /// (exec::WorkerPools), which is what the parallel trainers do.
   Result<const char*> GetPage(PagedFile* file, uint64_t page_no);
 
   /// Drops every cached frame (e.g. between timed runs).
   void Clear();
 
   size_t capacity_pages() const { return capacity_; }
-  size_t cached_pages() const { return map_.size(); }
+  size_t cached_pages() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return map_.size();
+  }
 
  private:
   struct Key {
@@ -57,7 +67,8 @@ class BufferPool {
   };
 
   size_t capacity_;
-  std::list<Frame> lru_;  // front = most recently used
+  mutable std::mutex mu_;  // latches lru_ and map_
+  std::list<Frame> lru_;   // front = most recently used
   std::unordered_map<Key, std::list<Frame>::iterator, KeyHash> map_;
 };
 

@@ -1,5 +1,6 @@
 #include "storage/io_stats.h"
 
+#include <atomic>
 #include <sstream>
 
 #include "storage/paged_file.h"
@@ -7,20 +8,26 @@
 namespace factorml::storage {
 
 namespace {
-IoStats g_io;
-uint64_t g_read_latency_us = 0;
-uint64_t g_write_latency_us = 0;
+thread_local IoStats g_io;
+// The latency knobs are process-wide (set once, read by every worker
+// thread doing I/O), hence atomic rather than thread-local.
+std::atomic<uint64_t> g_read_latency_us{0};
+std::atomic<uint64_t> g_write_latency_us{0};
 }  // namespace
 
 IoStats& GlobalIo() { return g_io; }
 void ResetGlobalIo() { g_io = IoStats{}; }
 
 void SetSimulatedIoLatencyMicros(uint64_t read_us, uint64_t write_us) {
-  g_read_latency_us = read_us;
-  g_write_latency_us = write_us;
+  g_read_latency_us.store(read_us, std::memory_order_relaxed);
+  g_write_latency_us.store(write_us, std::memory_order_relaxed);
 }
-uint64_t SimulatedReadLatencyMicros() { return g_read_latency_us; }
-uint64_t SimulatedWriteLatencyMicros() { return g_write_latency_us; }
+uint64_t SimulatedReadLatencyMicros() {
+  return g_read_latency_us.load(std::memory_order_relaxed);
+}
+uint64_t SimulatedWriteLatencyMicros() {
+  return g_write_latency_us.load(std::memory_order_relaxed);
+}
 
 uint64_t IoStats::bytes_read() const { return pages_read * kPageSize; }
 uint64_t IoStats::bytes_written() const { return pages_written * kPageSize; }

@@ -24,10 +24,27 @@ struct IoStats {
             pool_hits - o.pool_hits, pool_misses - o.pool_misses};
   }
 
+  IoStats& operator+=(const IoStats& o) {
+    pages_read += o.pages_read;
+    pages_written += o.pages_written;
+    pool_hits += o.pool_hits;
+    pool_misses += o.pool_misses;
+    return *this;
+  }
+
+  /// Adds this counter's totals into `dst` — the explicit merge step by
+  /// which the exec runtime folds per-worker I/O back into the dispatching
+  /// thread after a parallel region.
+  void MergeInto(IoStats* dst) const { *dst += *this; }
+
   std::string ToString() const;
 };
 
-/// Global accounting instance (the library is single-threaded by design).
+/// Per-thread accounting instance. The storage layer always charges the
+/// calling thread (no contention); the exec runtime merges worker deltas
+/// into the dispatching thread in worker order, so snapshot deltas taken on
+/// the dispatching thread (ReportScope) cover the whole parallel run.
+/// Single-threaded callers observe the exact pre-existing semantics.
 IoStats& GlobalIo();
 void ResetGlobalIo();
 

@@ -54,49 +54,64 @@ Result<std::unique_ptr<PagedFile>> PagedFile::Open(const std::string& path) {
 }
 
 Status PagedFile::ReadPage(uint64_t page_no, char* buf) {
-  if (page_no >= num_pages_) {
-    return Status::OutOfRange("page " + std::to_string(page_no) +
-                              " out of range in " + path_);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (page_no >= num_pages_) {
+      return Status::OutOfRange("page " + std::to_string(page_no) +
+                                " out of range in " + path_);
+    }
+    if (std::fseek(f_, static_cast<long>(page_no * kPageSize), SEEK_SET) !=
+        0) {
+      return Status::IoError("seek failed in " + path_);
+    }
+    if (std::fread(buf, 1, kPageSize, f_) != kPageSize) {
+      return Status::IoError("short read in " + path_);
+    }
   }
-  if (std::fseek(f_, static_cast<long>(page_no * kPageSize), SEEK_SET) != 0) {
-    return Status::IoError("seek failed in " + path_);
-  }
-  if (std::fread(buf, 1, kPageSize, f_) != kPageSize) {
-    return Status::IoError("short read in " + path_);
-  }
+  // Counted on the calling thread; the simulated device latency is taken
+  // outside the latch so concurrent readers overlap like on a real device.
   GlobalIo().pages_read++;
   SimulateLatency(SimulatedReadLatencyMicros());
   return Status::OK();
 }
 
 Result<uint64_t> PagedFile::AppendPage(const char* buf) {
-  if (!writable_) {
-    return Status::FailedPrecondition("file opened read-only: " + path_);
-  }
-  if (std::fseek(f_, static_cast<long>(num_pages_ * kPageSize), SEEK_SET) !=
-      0) {
-    return Status::IoError("seek failed in " + path_);
-  }
-  if (std::fwrite(buf, 1, kPageSize, f_) != kPageSize) {
-    return Status::IoError("short write in " + path_);
+  uint64_t page_no = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!writable_) {
+      return Status::FailedPrecondition("file opened read-only: " + path_);
+    }
+    if (std::fseek(f_, static_cast<long>(num_pages_ * kPageSize), SEEK_SET) !=
+        0) {
+      return Status::IoError("seek failed in " + path_);
+    }
+    if (std::fwrite(buf, 1, kPageSize, f_) != kPageSize) {
+      return Status::IoError("short write in " + path_);
+    }
+    page_no = num_pages_++;
   }
   GlobalIo().pages_written++;
   SimulateLatency(SimulatedWriteLatencyMicros());
-  return num_pages_++;
+  return page_no;
 }
 
 Status PagedFile::WritePage(uint64_t page_no, const char* buf) {
-  if (!writable_) {
-    return Status::FailedPrecondition("file opened read-only: " + path_);
-  }
-  if (page_no >= num_pages_) {
-    return Status::OutOfRange("page out of range: " + path_);
-  }
-  if (std::fseek(f_, static_cast<long>(page_no * kPageSize), SEEK_SET) != 0) {
-    return Status::IoError("seek failed in " + path_);
-  }
-  if (std::fwrite(buf, 1, kPageSize, f_) != kPageSize) {
-    return Status::IoError("short write in " + path_);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!writable_) {
+      return Status::FailedPrecondition("file opened read-only: " + path_);
+    }
+    if (page_no >= num_pages_) {
+      return Status::OutOfRange("page out of range: " + path_);
+    }
+    if (std::fseek(f_, static_cast<long>(page_no * kPageSize), SEEK_SET) !=
+        0) {
+      return Status::IoError("seek failed in " + path_);
+    }
+    if (std::fwrite(buf, 1, kPageSize, f_) != kPageSize) {
+      return Status::IoError("short write in " + path_);
+    }
   }
   GlobalIo().pages_written++;
   SimulateLatency(SimulatedWriteLatencyMicros());

@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <cstdio>
 #include <memory>
+#include <mutex>
 #include <string>
 
 #include "common/status.h"
@@ -36,7 +37,9 @@ class PagedFile {
   const std::string& path() const { return path_; }
   uint64_t num_pages() const { return num_pages_; }
 
-  /// Reads page `page_no` into `buf` (kPageSize bytes).
+  /// Reads page `page_no` into `buf` (kPageSize bytes). Safe to call from
+  /// multiple threads: the seek+read pair on the shared stream is latched,
+  /// so per-worker buffer pools may miss on the same file concurrently.
   Status ReadPage(uint64_t page_no, char* buf);
 
   /// Appends a page at the end of the file; returns its page number.
@@ -55,6 +58,7 @@ class PagedFile {
   uint64_t num_pages_;
   bool writable_;
   uint64_t id_;
+  std::mutex mu_;  // serializes the seek + transfer pair on f_
 };
 
 }  // namespace factorml::storage

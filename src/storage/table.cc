@@ -159,17 +159,27 @@ TableScanner::TableScanner(const Table* table, BufferPool* pool,
 
 bool TableScanner::Next(RowBatch* out) {
   if (!status_.ok()) return false;
-  if (next_row_ >= table_->num_rows()) return false;
+  const int64_t end = end_row_ < 0 ? table_->num_rows() : end_row_;
+  if (next_row_ >= end) return false;
   const size_t count = static_cast<size_t>(
-      std::min<int64_t>(batch_rows_, table_->num_rows() - next_row_));
+      std::min<int64_t>(batch_rows_, end - next_row_));
   status_ = table_->ReadRows(pool_, next_row_, count, out);
   if (!status_.ok()) return false;
   next_row_ += static_cast<int64_t>(count);
   return true;
 }
 
+void TableScanner::SetRowRange(int64_t begin, int64_t end) {
+  FML_CHECK_GE(begin, 0);
+  FML_CHECK_LE(end, table_->num_rows());
+  FML_CHECK_LE(begin, end);
+  begin_row_ = begin;
+  end_row_ = end;
+  next_row_ = begin;
+}
+
 void TableScanner::Reset() {
-  next_row_ = 0;
+  next_row_ = begin_row_;
   status_ = Status::OK();
 }
 

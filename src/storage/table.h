@@ -106,7 +106,13 @@ class TableScanner {
   /// error (check status()).
   bool Next(RowBatch* out);
 
-  /// Restarts the scan from row 0 (a new training pass).
+  /// Restricts the scan to rows [begin, end) — the morsel of one parallel
+  /// worker. Batch boundaries fall at begin + i * batch_rows, so a
+  /// full-range scanner chunks exactly like an unrestricted one. Also
+  /// repositions to `begin`.
+  void SetRowRange(int64_t begin, int64_t end);
+
+  /// Restarts the scan from the first row of the range (a new pass).
   void Reset();
 
   const Status& status() const { return status_; }
@@ -115,6 +121,8 @@ class TableScanner {
   const Table* table_;
   BufferPool* pool_;
   size_t batch_rows_;
+  int64_t begin_row_ = 0;
+  int64_t end_row_ = -1;  // -1 = num_rows()
   int64_t next_row_ = 0;
   Status status_;
 };

@@ -1,0 +1,274 @@
+#include <atomic>
+#include <cstring>
+#include <numeric>
+#include <string>
+#include <vector>
+
+#include "common/opcount.h"
+#include "data/synthetic.h"
+#include "exec/parallel_for.h"
+#include "exec/thread_pool.h"
+#include "exec/worker_pools.h"
+#include "gtest/gtest.h"
+#include "storage/buffer_pool.h"
+#include "storage/io_stats.h"
+#include "storage/table.h"
+#include "test_util.h"
+
+namespace factorml::exec {
+namespace {
+
+using factorml::testing::TempDir;
+
+// ------------------------------------------------------------ ThreadPool
+
+TEST(ThreadPoolTest, RunsEveryWorkerExactlyOnce) {
+  std::vector<std::atomic<int>> hits(8);
+  for (auto& h : hits) h = 0;
+  ThreadPool::Instance().Run(8, [&](int w) { hits[w]++; });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPoolTest, SingleWorkerRunsInline) {
+  // Worker 0 must execute on the calling thread (the serial path).
+  const auto caller = std::this_thread::get_id();
+  std::thread::id seen;
+  ThreadPool::Instance().Run(1, [&](int) { seen = std::this_thread::get_id(); });
+  EXPECT_EQ(seen, caller);
+}
+
+TEST(ThreadPoolTest, MergesWorkerOpCountersIntoCaller) {
+  const OpCounters before = GlobalOps();
+  ThreadPool::Instance().Run(4, [&](int w) {
+    CountMults(static_cast<uint64_t>(w) + 1);  // 1 + 2 + 3 + 4 = 10
+  });
+  const OpCounters delta = GlobalOps() - before;
+  EXPECT_EQ(delta.mults, 10u);
+}
+
+TEST(ThreadPoolTest, RepeatedRegionsKeepMerging) {
+  const OpCounters before = GlobalOps();
+  for (int round = 0; round < 3; ++round) {
+    ThreadPool::Instance().Run(3, [&](int) { CountAdds(5); });
+  }
+  EXPECT_EQ((GlobalOps() - before).adds, 45u);
+}
+
+TEST(ThreadPoolTest, DefaultThreadsRoundTrip) {
+  const int saved = DefaultThreads();
+  SetDefaultThreads(7);
+  EXPECT_EQ(DefaultThreads(), 7);
+  EXPECT_EQ(EffectiveThreads(0), 7);
+  EXPECT_EQ(EffectiveThreads(3), 3);
+  SetDefaultThreads(0);  // clamped
+  EXPECT_EQ(DefaultThreads(), 1);
+  SetDefaultThreads(saved);
+}
+
+// ---------------------------------------------------------- Partitioning
+
+TEST(PartitionTest, RowsCoverTotalWithoutOverlap) {
+  for (const int64_t total : {1L, 7L, 100L, 4096L}) {
+    for (const int parts : {1, 2, 3, 8, 200}) {
+      const auto ranges = PartitionRows(total, parts);
+      ASSERT_FALSE(ranges.empty());
+      EXPECT_LE(static_cast<int>(ranges.size()), parts);
+      int64_t expect_begin = 0;
+      for (const auto& r : ranges) {
+        EXPECT_EQ(r.begin, expect_begin);
+        EXPECT_GT(r.end, r.begin);
+        expect_begin = r.end;
+      }
+      EXPECT_EQ(expect_begin, total);
+    }
+  }
+}
+
+TEST(PartitionTest, RowsRespectAlignment) {
+  // Interior boundaries on multiples of the page row count: no two
+  // ranges share a storage page.
+  const auto ranges = PartitionRows(1000, 4, /*align=*/64);
+  int64_t expect_begin = 0;
+  for (size_t i = 0; i < ranges.size(); ++i) {
+    EXPECT_EQ(ranges[i].begin, expect_begin);
+    if (i + 1 < ranges.size()) {
+      EXPECT_EQ(ranges[i].end % 64, 0);
+    }
+    expect_begin = ranges[i].end;
+  }
+  EXPECT_EQ(expect_begin, 1000);
+}
+
+TEST(PartitionTest, EmptyTotalYieldsNoRanges) {
+  EXPECT_TRUE(PartitionRows(0, 4).empty());
+  EXPECT_TRUE(PartitionWeighted(nullptr, 0, 4).empty());
+}
+
+TEST(PartitionTest, WeightedNeverSplitsAPositionAndBalances) {
+  // One heavy run at the front (the skew of a clustered FK1 column).
+  std::vector<int64_t> weights = {1000, 1, 1, 1, 1, 1, 1, 1};
+  const auto ranges =
+      PartitionWeighted(weights.data(), static_cast<int64_t>(weights.size()), 4);
+  ASSERT_FALSE(ranges.empty());
+  int64_t expect_begin = 0;
+  for (const auto& r : ranges) {
+    EXPECT_EQ(r.begin, expect_begin);
+    EXPECT_GT(r.end, r.begin);
+    expect_begin = r.end;
+  }
+  EXPECT_EQ(expect_begin, static_cast<int64_t>(weights.size()));
+  // The heavy position must sit alone in the first range.
+  EXPECT_EQ(ranges[0].end, 1);
+}
+
+TEST(PartitionTest, WeightedBalancesUniformWeights) {
+  std::vector<int64_t> weights(100, 5);
+  const auto ranges = PartitionWeighted(weights.data(), 100, 4);
+  ASSERT_EQ(ranges.size(), 4u);
+  for (const auto& r : ranges) {
+    EXPECT_GE(r.size(), 20);
+    EXPECT_LE(r.size(), 30);
+  }
+}
+
+// -------------------------------------------------------- ParallelReduce
+
+TEST(ParallelReduceTest, MergesInWorkerOrder) {
+  const auto ranges = PartitionRows(8, 8);
+  ASSERT_EQ(ranges.size(), 8u);
+  std::string merged;
+  ParallelReduce<std::string>(
+      ranges,
+      [](Range r, int, std::string* acc) {
+        *acc = std::to_string(r.begin);
+      },
+      [&](std::string&& acc, int) { merged += acc; });
+  EXPECT_EQ(merged, "01234567");
+}
+
+TEST(ParallelReduceTest, SumMatchesSerial) {
+  std::vector<double> values(10000);
+  std::iota(values.begin(), values.end(), 1.0);
+  const double serial = std::accumulate(values.begin(), values.end(), 0.0);
+
+  double parallel = 0.0;
+  ParallelReduce<double>(
+      PartitionRows(static_cast<int64_t>(values.size()), 4),
+      [&](Range r, int, double* acc) {
+        *acc = 0.0;
+        for (int64_t i = r.begin; i < r.end; ++i) {
+          *acc += values[static_cast<size_t>(i)];
+        }
+      },
+      [&](double&& acc, int) { parallel += acc; });
+  EXPECT_DOUBLE_EQ(parallel, serial);
+}
+
+TEST(StatusPlumbingTest, FirstErrorPicksWorkerOrder) {
+  std::vector<Status> statuses(3);
+  EXPECT_TRUE(FirstError(statuses).ok());
+  statuses[2] = Status::Internal("late");
+  statuses[1] = Status::IoError("early");
+  EXPECT_EQ(FirstError(statuses).code(), StatusCode::kIoError);
+}
+
+// ----------------------------------------- Concurrent BufferPool access
+
+TEST(BufferPoolConcurrencyTest, ParallelGetPageStress) {
+  TempDir dir;
+  storage::BufferPool setup_pool(64);
+  // A table spanning a few dozen pages with recognizable row contents.
+  storage::Schema schema{1, 8};
+  auto table =
+      std::move(storage::Table::Create(dir.str() + "/stress.fml", schema))
+          .value();
+  const int64_t rows = 20000;
+  std::vector<double> feats(8);
+  for (int64_t i = 0; i < rows; ++i) {
+    for (size_t j = 0; j < 8; ++j) feats[j] = static_cast<double>(i * 8) + j;
+    FML_CHECK_OK(table.Append(&i, feats.data()));
+  }
+  FML_CHECK_OK(table.Finish());
+  auto reopened = std::move(storage::Table::Open(table.path())).value();
+
+  // Capacity covers the whole file, so frames are never evicted and the
+  // returned pointers stay valid for the duration (the documented
+  // contract for concurrent sharing).
+  storage::BufferPool shared(reopened.num_data_pages() + 8);
+  const storage::IoStats io_before = storage::GlobalIo();
+  constexpr int kWorkers = 8;
+  std::vector<int64_t> errors(kWorkers, 0);
+  ThreadPool::Instance().Run(kWorkers, [&](int w) {
+    storage::RowBatch batch;
+    // Every worker scans the whole table with a different batch size and
+    // hence a different GetPage interleaving.
+    storage::TableScanner scan(&reopened, &shared,
+                               257 + static_cast<size_t>(w) * 131);
+    int64_t seen = 0;
+    while (scan.Next(&batch)) {
+      for (size_t r = 0; r < batch.num_rows; ++r) {
+        const int64_t row = batch.start_row + static_cast<int64_t>(r);
+        if (batch.KeysOf(r)[0] != row ||
+            batch.feats(r, 3) != static_cast<double>(row * 8) + 3) {
+          errors[static_cast<size_t>(w)]++;
+        }
+      }
+      seen += static_cast<int64_t>(batch.num_rows);
+    }
+    if (!scan.status().ok() || seen != rows) {
+      errors[static_cast<size_t>(w)]++;
+    }
+  });
+  for (int w = 0; w < kWorkers; ++w) {
+    EXPECT_EQ(errors[static_cast<size_t>(w)], 0) << "worker " << w;
+  }
+  // Every page was physically read exactly once across all workers: the
+  // latch is held across the miss's disk read, so two concurrent misses
+  // on the same page can never both reach the file. Worker I/O deltas are
+  // merged into this thread by Run, so the snapshot delta sees them all.
+  EXPECT_EQ(shared.cached_pages(), reopened.num_data_pages());
+  EXPECT_EQ((storage::GlobalIo() - io_before).pages_read,
+            reopened.num_data_pages());
+  EXPECT_EQ((storage::GlobalIo() - io_before).pool_misses,
+            reopened.num_data_pages());
+}
+
+TEST(WorkerPoolsTest, WorkerZeroSharesCallerPool) {
+  storage::BufferPool shared(32);
+  WorkerPools pools(&shared, 4);
+  EXPECT_EQ(pools.Get(0), &shared);
+  EXPECT_NE(pools.Get(1), &shared);
+  EXPECT_NE(pools.Get(1), pools.Get(2));
+  EXPECT_EQ(pools.Get(1)->capacity_pages(), shared.capacity_pages());
+}
+
+// Thread-local counters: a worker's I/O lands on its own thread first and
+// reaches the caller only through the region's ordered merge.
+TEST(ThreadLocalCountersTest, IoMergedAfterRegion) {
+  TempDir dir;
+  storage::Schema schema{1, 2};
+  auto table =
+      std::move(storage::Table::Create(dir.str() + "/io.fml", schema)).value();
+  std::vector<double> feats = {1.0, 2.0};
+  for (int64_t i = 0; i < 2000; ++i) FML_CHECK_OK(table.Append(&i, feats.data()));
+  FML_CHECK_OK(table.Finish());
+  auto reopened = std::move(storage::Table::Open(table.path())).value();
+
+  const storage::IoStats before = storage::GlobalIo();
+  storage::BufferPool shared(256);
+  WorkerPools pools(&shared, 4);
+  ThreadPool::Instance().Run(4, [&](int w) {
+    storage::RowBatch batch;
+    storage::TableScanner scan(&reopened, pools.Get(w), 512);
+    while (scan.Next(&batch)) {
+    }
+    FML_CHECK(scan.status().ok());
+  });
+  const storage::IoStats delta = storage::GlobalIo() - before;
+  // All four workers read every data page through their own pool; the
+  // caller's snapshot delta must see all of it.
+  EXPECT_EQ(delta.pages_read, 4 * reopened.num_data_pages());
+}
+
+}  // namespace
+}  // namespace factorml::exec

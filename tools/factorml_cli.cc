@@ -20,6 +20,9 @@
 //   export     --dir=D --out=F.csv [--table=s|r1|r2...]
 //
 // Every train run prints a TrainReport (wall time, page I/O, flops).
+// `--threads=N` (any subcommand, default 1) runs the trainers on the
+// exec/ morsel-driven parallel runtime; --threads=1 is bit-identical to
+// the serial reproduction.
 
 #include <cstdio>
 #include <string>
@@ -28,6 +31,7 @@
 #include "common/flags.h"
 #include "core/factorml.h"
 #include "data/csv.h"
+#include "exec/thread_pool.h"
 
 namespace factorml {
 namespace {
@@ -260,6 +264,7 @@ int Main(int argc, char** argv) {
     const auto us = static_cast<uint64_t>(args.GetInt("io_delay_us", 0));
     storage::SetSimulatedIoLatencyMicros(us, us);
   }
+  exec::SetDefaultThreads(args.GetThreads(1));
   if (cmd == "generate") return CmdGenerate(args);
   if (cmd == "import") return CmdImport(args);
   if (cmd == "stats") return CmdStats(args);
