@@ -1,9 +1,12 @@
 #ifndef FACTORML_BENCH_BENCH_UTIL_H_
 #define FACTORML_BENCH_BENCH_UTIL_H_
 
+#include <cmath>
 #include <cstdio>
 #include <filesystem>
+#include <iomanip>
 #include <random>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -55,54 +58,127 @@ inline void Die(const Status& st) {
   std::exit(1);
 }
 
-/// Runs all three GMM strategies on the same relations. `pool` is cleared
-/// between runs so every algorithm starts cold.
-inline Trio RunGmmAll(const join::NormalizedRelations& rel,
-                      const gmm::GmmOptions& options,
-                      storage::BufferPool* pool) {
+/// Runs one model family under all three strategies on the same relations
+/// (`pool` cleared between runs so every algorithm starts cold) and
+/// self-checks M/F parameter drift — the exactness property the
+/// factorization promises. `train` is a core::Train* entry point;
+/// `max_abs_diff` compares the M and F models.
+template <typename Options, typename TrainFn, typename DiffFn>
+inline Trio RunAllStrategies(const join::NormalizedRelations& rel,
+                             const Options& options,
+                             storage::BufferPool* pool, TrainFn train,
+                             DiffFn max_abs_diff) {
   Trio t;
   pool->Clear();
-  auto m = core::TrainGmm(rel, options, core::Algorithm::kMaterialized, pool,
-                          &t.m);
+  auto m = train(rel, options, core::Algorithm::kMaterialized, pool, &t.m);
   if (!m.ok()) Die(m.status());
   pool->Clear();
-  auto s = core::TrainGmm(rel, options, core::Algorithm::kStreaming, pool,
-                          &t.s);
+  auto s = train(rel, options, core::Algorithm::kStreaming, pool, &t.s);
   if (!s.ok()) Die(s.status());
   pool->Clear();
-  auto f = core::TrainGmm(rel, options, core::Algorithm::kFactorized, pool,
-                          &t.f);
+  auto f = train(rel, options, core::Algorithm::kFactorized, pool, &t.f);
   if (!f.ok()) Die(f.status());
-  // Exactness self-check: the whole point of the factorization.
-  const double diff = gmm::GmmParams::MaxAbsDiff(m.value(), f.value());
+  const double diff = max_abs_diff(m.value(), f.value());
   if (diff > 1e-4) {
     std::fprintf(stderr, "WARNING: M/F parameter drift %.3g\n", diff);
   }
   return t;
 }
 
+inline Trio RunGmmAll(const join::NormalizedRelations& rel,
+                      const gmm::GmmOptions& options,
+                      storage::BufferPool* pool) {
+  return RunAllStrategies(
+      rel, options, pool,
+      [](const join::NormalizedRelations& r, const gmm::GmmOptions& o,
+         core::Algorithm a, storage::BufferPool* p, core::TrainReport* rep) {
+        return core::TrainGmm(r, o, a, p, rep);
+      },
+      &gmm::GmmParams::MaxAbsDiff);
+}
+
 inline Trio RunNnAll(const join::NormalizedRelations& rel,
                      const nn::NnOptions& options,
                      storage::BufferPool* pool) {
-  Trio t;
-  pool->Clear();
-  auto m = core::TrainNn(rel, options, core::Algorithm::kMaterialized, pool,
-                         &t.m);
-  if (!m.ok()) Die(m.status());
-  pool->Clear();
-  auto s = core::TrainNn(rel, options, core::Algorithm::kStreaming, pool,
-                         &t.s);
-  if (!s.ok()) Die(s.status());
-  pool->Clear();
-  auto f = core::TrainNn(rel, options, core::Algorithm::kFactorized, pool,
-                         &t.f);
-  if (!f.ok()) Die(f.status());
-  const double diff = nn::Mlp::MaxAbsDiffParams(m.value(), f.value());
-  if (diff > 1e-4) {
-    std::fprintf(stderr, "WARNING: M/F parameter drift %.3g\n", diff);
-  }
-  return t;
+  return RunAllStrategies(
+      rel, options, pool,
+      [](const join::NormalizedRelations& r, const nn::NnOptions& o,
+         core::Algorithm a, storage::BufferPool* p, core::TrainReport* rep) {
+        return core::TrainNn(r, o, a, p, rep);
+      },
+      &nn::Mlp::MaxAbsDiffParams);
 }
+
+/// Machine-readable run recorder behind the shared `--json=PATH` flag:
+/// every recorded TrainReport becomes one JSON object, written as an array
+/// on destruction. Lets CI and scripts track perf trajectories as
+/// BENCH_*.json without parsing the human tables.
+class JsonReport {
+ public:
+  JsonReport(const char* bench_name, const ArgParser& args)
+      : bench_(bench_name), path_(args.GetString("json", "")) {}
+  ~JsonReport() { Write(); }
+  JsonReport(const JsonReport&) = delete;
+  JsonReport& operator=(const JsonReport&) = delete;
+
+  bool enabled() const { return !path_.empty(); }
+
+  /// Records one TrainReport under a sweep section and value. The file is
+  /// rewritten after every row, so rows recorded before a Die()/exit on a
+  /// later sweep run survive.
+  void Add(const std::string& section, const std::string& value,
+           const core::TrainReport& r) {
+    if (!enabled()) return;
+    std::ostringstream row;
+    row << "  {\"bench\": \"" << bench_ << "\", \"section\": \"" << section
+        << "\", \"value\": \"" << value << "\", \"algorithm\": \""
+        << r.algorithm << "\", \"wall_seconds\": " << r.wall_seconds
+        << ", \"materialize_seconds\": " << r.materialize_seconds
+        << ", \"threads\": " << r.threads
+        << ", \"iterations\": " << r.iterations << ", \"objective\": ";
+    // JSON has no inf/nan literals; a diverged run records null.
+    if (std::isfinite(r.final_objective)) {
+      row << std::setprecision(17) << r.final_objective;
+    } else {
+      row << "null";
+    }
+    row << ", \"mults\": " << r.ops.mults << ", \"adds\": " << r.ops.adds
+        << ", \"subs\": " << r.ops.subs << ", \"exps\": " << r.ops.exps
+        << ", \"pages_read\": " << r.io.pages_read
+        << ", \"pages_written\": " << r.io.pages_written << "}";
+    rows_.push_back(row.str());
+    Write();
+  }
+
+  /// Records all three strategies of one sweep row.
+  void Add(const std::string& section, const std::string& value,
+           const Trio& t) {
+    Add(section, value, t.m);
+    Add(section, value, t.s);
+    Add(section, value, t.f);
+  }
+
+  void Write() {
+    if (!enabled()) return;
+    std::FILE* f = std::fopen(path_.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot write --json=%s\n", path_.c_str());
+      return;
+    }
+    std::fprintf(f, "[\n");
+    for (size_t i = 0; i < rows_.size(); ++i) {
+      std::fprintf(f, "%s%s\n", rows_[i].c_str(),
+                   i + 1 < rows_.size() ? "," : "");
+    }
+    std::fprintf(f, "]\n");
+    std::fclose(f);
+  }
+
+ private:
+  std::string bench_;
+  std::string path_;
+  std::vector<std::string> rows_;
+};
 
 inline void PrintTrioHeader(const char* sweep_col) {
   std::printf("%-14s %10s %10s %10s %8s %8s %10s %12s\n", sweep_col,
@@ -127,6 +203,13 @@ inline void PrintTrioRow(const std::string& sweep_val, const Trio& t) {
   std::printf("%-14s %10.3f %10.3f %10.3f %8.2f %8.2f %10.2f %12.2f\n",
               sweep_val.c_str(), t.m.wall_seconds, t.s.wall_seconds,
               t.f.wall_seconds, sf, mf, mult_ratio, page_ratio);
+}
+
+/// Prints one sweep row and records it under `--json` in one call.
+inline void EmitTrioRow(JsonReport* json, const std::string& section,
+                        const std::string& value, const Trio& t) {
+  PrintTrioRow(value, t);
+  if (json != nullptr) json->Add(section, value, t);
 }
 
 }  // namespace factorml::bench

@@ -35,6 +35,7 @@ join::NormalizedRelations Generate(const std::string& dir, int64_t n_s,
 int Main(int argc, char** argv) {
   ArgParser args(argc, argv);
   ApplyCommonBenchFlags(args);
+  JsonReport json("fig3_gmm_binary", args);
   const std::string part = args.GetString("part", "all");
   const int64_t n_r = args.GetInt("nr", 200);
   const size_t d_s = static_cast<size_t>(args.GetInt("ds", 5));
@@ -60,7 +61,8 @@ int Main(int argc, char** argv) {
             static_cast<int64_t>(rr * n_r * row_scale);
         auto rel = Generate(dir.str(), n_s, n_r, d_s, d_r, &pool);
         opt.num_components = 5;
-        PrintTrioRow(std::to_string(rr), RunGmmAll(rel, opt, &pool));
+        EmitTrioRow(&json, "fig3a_rr_dr" + std::to_string(d_r),
+                    std::to_string(rr), RunGmmAll(rel, opt, &pool));
       }
     }
   }
@@ -75,7 +77,8 @@ int Main(int argc, char** argv) {
         auto rel = Generate(dir.str(), n_s, n_r, d_s,
                             static_cast<size_t>(d_r), &pool);
         opt.num_components = 5;
-        PrintTrioRow(std::to_string(d_r), RunGmmAll(rel, opt, &pool));
+        EmitTrioRow(&json, "fig3b_dr_rr" + std::to_string(rr),
+                    std::to_string(d_r), RunGmmAll(rel, opt, &pool));
       }
     }
   }
@@ -87,7 +90,8 @@ int Main(int argc, char** argv) {
     auto rel = Generate(dir.str(), n_s, n_r, d_s, 15, &pool);
     for (const int64_t k : args.GetIntList("k", {2, 4, 6, 8})) {
       opt.num_components = static_cast<size_t>(k);
-      PrintTrioRow(std::to_string(k), RunGmmAll(rel, opt, &pool));
+      EmitTrioRow(&json, "fig3c_k", std::to_string(k),
+                  RunGmmAll(rel, opt, &pool));
     }
   }
   return 0;

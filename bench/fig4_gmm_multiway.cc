@@ -33,6 +33,7 @@ join::NormalizedRelations Generate(const std::string& dir, int64_t n_s,
 int Main(int argc, char** argv) {
   ArgParser args(argc, argv);
   ApplyCommonBenchFlags(args);
+  JsonReport json("fig4_gmm_multiway", args);
   const std::string part = args.GetString("part", "all");
   const int64_t n_r1 = args.GetInt("nr1", 200);
   const int64_t n_r2 = args.GetInt("nr2", 200);
@@ -57,7 +58,8 @@ int Main(int argc, char** argv) {
       auto rel =
           Generate(dir.str(), rr * n_r1, n_r1, 10, n_r2, d_r2, &pool);
       opt.num_components = 5;
-      PrintTrioRow(std::to_string(rr), RunGmmAll(rel, opt, &pool));
+      EmitTrioRow(&json, "fig4a_rr", std::to_string(rr),
+                  RunGmmAll(rel, opt, &pool));
     }
   }
 
@@ -68,7 +70,8 @@ int Main(int argc, char** argv) {
       auto rel = Generate(dir.str(), 100 * n_r1, n_r1,
                           static_cast<size_t>(d_r1), n_r2, d_r2, &pool);
       opt.num_components = 5;
-      PrintTrioRow(std::to_string(d_r1), RunGmmAll(rel, opt, &pool));
+      EmitTrioRow(&json, "fig4b_dr1", std::to_string(d_r1),
+                  RunGmmAll(rel, opt, &pool));
     }
   }
 
@@ -78,7 +81,8 @@ int Main(int argc, char** argv) {
     auto rel = Generate(dir.str(), 100 * n_r1, n_r1, 10, n_r2, d_r2, &pool);
     for (const int64_t k : args.GetIntList("k", {2, 4, 6, 8})) {
       opt.num_components = static_cast<size_t>(k);
-      PrintTrioRow(std::to_string(k), RunGmmAll(rel, opt, &pool));
+      EmitTrioRow(&json, "fig4c_k", std::to_string(k),
+                  RunGmmAll(rel, opt, &pool));
     }
   }
   return 0;

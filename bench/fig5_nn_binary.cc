@@ -35,6 +35,7 @@ join::NormalizedRelations Generate(const std::string& dir, int64_t n_s,
 int Main(int argc, char** argv) {
   ArgParser args(argc, argv);
   ApplyCommonBenchFlags(args);
+  JsonReport json("fig5_nn_binary", args);
   const std::string part = args.GetString("part", "all");
   const int64_t n_r = args.GetInt("nr", 200);
   const size_t d_s = static_cast<size_t>(args.GetInt("ds", 5));
@@ -57,7 +58,8 @@ int Main(int argc, char** argv) {
       for (const int64_t rr : args.GetIntList("rr", {20, 50, 100, 200})) {
         auto rel = Generate(dir.str(), rr * n_r, n_r, d_s, d_r, &pool);
         opt.hidden = {50};
-        PrintTrioRow(std::to_string(rr), RunNnAll(rel, opt, &pool));
+        EmitTrioRow(&json, "fig5a_rr", std::to_string(rr),
+                    RunNnAll(rel, opt, &pool));
       }
     }
   }
@@ -71,7 +73,8 @@ int Main(int argc, char** argv) {
         auto rel = Generate(dir.str(), rr * n_r, n_r, d_s,
                             static_cast<size_t>(d_r), &pool);
         opt.hidden = {50};
-        PrintTrioRow(std::to_string(d_r), RunNnAll(rel, opt, &pool));
+        EmitTrioRow(&json, "fig5b_dr", std::to_string(d_r),
+                    RunNnAll(rel, opt, &pool));
       }
     }
   }
@@ -82,7 +85,8 @@ int Main(int argc, char** argv) {
     auto rel = Generate(dir.str(), 100 * n_r, n_r, d_s, 15, &pool);
     for (const int64_t nh : args.GetIntList("nh", {10, 25, 50, 100})) {
       opt.hidden = {static_cast<size_t>(nh)};
-      PrintTrioRow(std::to_string(nh), RunNnAll(rel, opt, &pool));
+      EmitTrioRow(&json, "fig5c_nh", std::to_string(nh),
+                  RunNnAll(rel, opt, &pool));
     }
   }
   return 0;

@@ -32,6 +32,7 @@ join::NormalizedRelations Generate(const std::string& dir, int64_t n_s,
 int Main(int argc, char** argv) {
   ArgParser args(argc, argv);
   ApplyCommonBenchFlags(args);
+  JsonReport json("fig6_nn_multiway", args);
   const std::string part = args.GetString("part", "all");
   const int64_t n_r1 = args.GetInt("nr1", 200);
   const int64_t n_r2 = args.GetInt("nr2", 200);
@@ -56,7 +57,8 @@ int Main(int argc, char** argv) {
       auto rel =
           Generate(dir.str(), rr * n_r1, n_r1, 10, n_r2, d_r2, &pool);
       opt.hidden = {50};
-      PrintTrioRow(std::to_string(rr), RunNnAll(rel, opt, &pool));
+      EmitTrioRow(&json, "fig6a_rr", std::to_string(rr),
+                  RunNnAll(rel, opt, &pool));
     }
   }
 
@@ -67,7 +69,8 @@ int Main(int argc, char** argv) {
       auto rel = Generate(dir.str(), 100 * n_r1, n_r1,
                           static_cast<size_t>(d_r1), n_r2, d_r2, &pool);
       opt.hidden = {50};
-      PrintTrioRow(std::to_string(d_r1), RunNnAll(rel, opt, &pool));
+      EmitTrioRow(&json, "fig6b_dr1", std::to_string(d_r1),
+                  RunNnAll(rel, opt, &pool));
     }
   }
 
@@ -77,7 +80,8 @@ int Main(int argc, char** argv) {
     auto rel = Generate(dir.str(), 100 * n_r1, n_r1, 10, n_r2, d_r2, &pool);
     for (const int64_t nh : args.GetIntList("nh", {10, 25, 50, 100})) {
       opt.hidden = {static_cast<size_t>(nh)};
-      PrintTrioRow(std::to_string(nh), RunNnAll(rel, opt, &pool));
+      EmitTrioRow(&json, "fig6c_nh", std::to_string(nh),
+                  RunNnAll(rel, opt, &pool));
     }
   }
   return 0;

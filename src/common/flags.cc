@@ -1,5 +1,8 @@
 #include "common/flags.h"
 
+#include <cerrno>
+#include <climits>
+#include <cstdio>
 #include <cstdlib>
 #include <sstream>
 
@@ -63,8 +66,20 @@ std::vector<int64_t> ArgParser::GetIntList(
 }
 
 int ArgParser::GetThreads(int default_value) const {
-  const auto threads = static_cast<int>(GetInt("threads", default_value));
-  return threads < 1 ? 1 : threads;
+  auto it = kv_.find("threads");
+  if (it == kv_.end()) return default_value < 1 ? 1 : default_value;
+  errno = 0;
+  char* end = nullptr;
+  const long long threads = std::strtoll(it->second.c_str(), &end, 10);
+  if (errno == ERANGE || end == it->second.c_str() || *end != '\0' ||
+      threads < 1 || threads > INT_MAX) {
+    std::fprintf(stderr,
+                 "invalid --threads=%s (must be an integer >= 1; 1 = the "
+                 "exact serial reproduction)\n",
+                 it->second.c_str());
+    std::exit(2);
+  }
+  return static_cast<int>(threads);
 }
 
 }  // namespace factorml

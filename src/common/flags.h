@@ -27,7 +27,9 @@ class ArgParser {
       const std::string& key, const std::vector<int64_t>& default_value) const;
 
   /// The shared `--threads` flag: worker count for the exec/ parallel
-  /// runtime, clamped to >= 1. Default 1 — the exact serial reproduction.
+  /// runtime. Default 1 — the exact serial reproduction. Values < 1 are
+  /// rejected with an error and exit(2); this is the single validation
+  /// point for every binary (CLI, benches, examples).
   int GetThreads(int default_value = 1) const;
 
  private:

@@ -1,0 +1,29 @@
+#include "core/algorithm.h"
+
+namespace factorml::core {
+
+const char* AlgorithmName(Algorithm a) {
+  switch (a) {
+    case Algorithm::kMaterialized:
+      return "materialized";
+    case Algorithm::kStreaming:
+      return "streaming";
+    case Algorithm::kFactorized:
+      return "factorized";
+  }
+  return "?";
+}
+
+char AlgorithmPrefix(Algorithm a) {
+  switch (a) {
+    case Algorithm::kMaterialized:
+      return 'M';
+    case Algorithm::kStreaming:
+      return 'S';
+    case Algorithm::kFactorized:
+      return 'F';
+  }
+  return '?';
+}
+
+}  // namespace factorml::core

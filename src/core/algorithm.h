@@ -1,0 +1,22 @@
+#ifndef FACTORML_CORE_ALGORITHM_H_
+#define FACTORML_CORE_ALGORITHM_H_
+
+namespace factorml::core {
+
+/// The three execution strategies the paper compares for each model family
+/// (M-*, S-*, F-*). Orthogonal to the model being trained: any ModelProgram
+/// (core/pipeline) runs under any of these via the matching AccessStrategy.
+enum class Algorithm {
+  kMaterialized,  // join -> write T -> train over T
+  kStreaming,     // recompute the join on the fly every pass
+  kFactorized,    // push the training computation through the join
+};
+
+const char* AlgorithmName(Algorithm a);
+
+/// The report-tag letter of a strategy ("M-GMM", "F-LINREG", ...).
+char AlgorithmPrefix(Algorithm a);
+
+}  // namespace factorml::core
+
+#endif  // FACTORML_CORE_ALGORITHM_H_

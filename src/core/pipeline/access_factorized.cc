@@ -1,0 +1,68 @@
+// The F strategy: push the model through the join. Rows are delivered in
+// normalized form — the S slice plus foreign keys, grouped by R1 rid —
+// and the model reaches attribute features through the resident views,
+// reusing per-attribute-tuple work across all matching fact tuples
+// (Fig. 1(c) / Fig. 2 of the paper). Morsels are whole FK1 runs so the
+// per-R-tuple reuse is preserved within each worker.
+
+#include "core/pipeline/access_internal.h"
+#include "join/join_cursor.h"
+
+namespace factorml::core::pipeline::internal {
+
+namespace {
+
+class FactorizedStrategy final : public JoinStreamStrategyBase {
+ public:
+  using JoinStreamStrategyBase::JoinStreamStrategyBase;
+
+  Algorithm algorithm() const override { return Algorithm::kFactorized; }
+
+  Status RunPass(const PipelineContext& ctx, ModelProgram* model,
+                 int pass) override {
+    std::vector<Status> worker_status(static_cast<size_t>(nw_));
+    exec::ParallelRanges(ranges_, [&](exec::Range range, int w) {
+      join::JoinBatch batch;
+      join::JoinCursor cursor(ctx.rel, pools_->Get(w), batch_rows_);
+      cursor.SetPositionRange(range.begin, range.end);
+      while (cursor.Next(&batch)) {
+        if (batch.s_rows.num_rows == 0) continue;
+        FactorizedBlock block{&batch.s_rows, &batch.groups};
+        model->AccumulateFactorized(pass, w, block);
+      }
+      worker_status[static_cast<size_t>(w)] = cursor.status();
+    });
+    FML_RETURN_IF_ERROR(exec::FirstError(worker_status));
+    for (int w = 0; w < nw_; ++w) model->MergeWorker(pass, w);
+    return Status::OK();
+  }
+
+  Status RunEpoch(PipelineContext* ctx, ModelProgram* model,
+                  int epoch) override {
+    FML_RETURN_IF_ERROR(LoadViews());
+    ctx->views = &views_;
+    join::JoinCursor cursor(ctx->rel, pool_, batch_rows_);
+    auto order = model->EpochRidOrder(*ctx, epoch);
+    if (!order.empty()) cursor.SetRidOrder(std::move(order));
+    FML_RETURN_IF_ERROR(model->BeginEpoch(*ctx, epoch));
+
+    join::JoinBatch batch;
+    while (cursor.Next(&batch)) {
+      if (batch.s_rows.num_rows == 0) continue;
+      FactorizedBlock block{&batch.s_rows, &batch.groups};
+      FML_RETURN_IF_ERROR(model->OnFactorizedBatch(*ctx, block));
+    }
+    return cursor.status();
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<AccessStrategy> MakeFactorized(
+    const join::NormalizedRelations* rel, storage::BufferPool* pool,
+    const StrategyOptions& options, bool full_pass) {
+  return std::make_unique<FactorizedStrategy>(rel, pool, options,
+                                              full_pass);
+}
+
+}  // namespace factorml::core::pipeline::internal

@@ -1,0 +1,97 @@
+#ifndef FACTORML_CORE_PIPELINE_ACCESS_INTERNAL_H_
+#define FACTORML_CORE_PIPELINE_ACCESS_INTERNAL_H_
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/pipeline/access_strategy.h"
+#include "exec/parallel_for.h"
+#include "exec/worker_pools.h"
+#include "join/attribute_view.h"
+
+namespace factorml::core::pipeline::internal {
+
+/// State shared by the three strategy drivers: the relations, the caller's
+/// buffer pool, the morsel partition and the per-worker pools (built once
+/// per training run so private pool contents persist across passes, exactly
+/// like the hand-written trainers' WorkerPools did).
+class StrategyBase : public AccessStrategy {
+ public:
+  int NumWorkers() const override { return nw_; }
+
+  StrategyBase(const join::NormalizedRelations* rel,
+               storage::BufferPool* pool, const StrategyOptions& options,
+               bool full_pass)
+      : rel_(rel),
+        pool_(pool),
+        batch_rows_(options.batch_rows),
+        temp_dir_(options.temp_dir),
+        threads_(options.threads),
+        full_pass_(full_pass) {}
+
+  void BuildWorkers(std::vector<exec::Range> ranges) {
+    ranges_ = std::move(ranges);
+    nw_ = ranges_.empty() ? 1 : static_cast<int>(ranges_.size());
+    pools_ = std::make_unique<exec::WorkerPools>(pool_, nw_);
+  }
+
+  const join::NormalizedRelations* rel_;
+  storage::BufferPool* pool_;
+  size_t batch_rows_;
+  std::string temp_dir_;
+  int threads_;
+  bool full_pass_;
+  std::vector<exec::Range> ranges_;
+  int nw_ = 1;
+  std::unique_ptr<exec::WorkerPools> pools_;
+};
+
+/// Common ground of the S and F strategies: both stream the join through
+/// JoinCursor over FK1-run morsels and reload the attribute views at every
+/// pass / epoch (the per-pass join recompute of Fig. 1(b)/(c)).
+class JoinStreamStrategyBase : public StrategyBase {
+ public:
+  Status Prepare(PipelineContext* ctx, const std::string& temp_stem) override {
+    (void)ctx, (void)temp_stem;
+    FML_CHECK_GT(rel_->fk1_index.num_rids(), 0) << "BuildIndex() not called";
+    views_.resize(rel_->num_joins());
+    if (full_pass_) {
+      BuildWorkers(join::PartitionFk1Runs(rel_->fk1_index, threads_));
+    }
+    return Status::OK();
+  }
+
+  Status BeginPass(PipelineContext* ctx) override {
+    FML_RETURN_IF_ERROR(LoadViews());
+    ctx->views = &views_;
+    return Status::OK();
+  }
+
+  using StrategyBase::StrategyBase;
+
+ protected:
+  Status LoadViews() {
+    for (size_t i = 0; i < rel_->num_joins(); ++i) {
+      FML_RETURN_IF_ERROR(views_[i].Load(rel_->attrs[i], pool_));
+    }
+    return Status::OK();
+  }
+
+  std::vector<join::AttributeTableView> views_;
+};
+
+std::unique_ptr<AccessStrategy> MakeMaterialized(
+    const join::NormalizedRelations* rel, storage::BufferPool* pool,
+    const StrategyOptions& options, bool full_pass);
+std::unique_ptr<AccessStrategy> MakeStreaming(
+    const join::NormalizedRelations* rel, storage::BufferPool* pool,
+    const StrategyOptions& options, bool full_pass);
+std::unique_ptr<AccessStrategy> MakeFactorized(
+    const join::NormalizedRelations* rel, storage::BufferPool* pool,
+    const StrategyOptions& options, bool full_pass);
+
+}  // namespace factorml::core::pipeline::internal
+
+#endif  // FACTORML_CORE_PIPELINE_ACCESS_INTERNAL_H_

@@ -1,0 +1,127 @@
+// The M strategy: join once, write T to disk, then drive the model from
+// sequential scans of T (full-pass plane, Algorithm 1 of the paper) or
+// planned row-range reads of T (mini-batch plane). Page-aligned row-range
+// morsels keep every data page owned by exactly one worker.
+
+#include <cstring>
+#include <optional>
+
+#include "common/stopwatch.h"
+#include "core/pipeline/access_internal.h"
+#include "join/batch_plan.h"
+#include "join/materialize.h"
+#include "storage/table.h"
+
+namespace factorml::core::pipeline::internal {
+
+namespace {
+
+class MaterializedStrategy final : public StrategyBase {
+ public:
+  using StrategyBase::StrategyBase;
+
+  Algorithm algorithm() const override { return Algorithm::kMaterialized; }
+
+  Status Prepare(PipelineContext* ctx, const std::string& temp_stem) override {
+    Stopwatch mat_watch;
+    FML_ASSIGN_OR_RETURN(
+        storage::Table t,
+        join::MaterializeJoin(*rel_, pool_,
+                              temp_dir_ + "/m_" + temp_stem + "_T.fml",
+                              threads_));
+    t_.emplace(std::move(t));
+    if (ctx->report != nullptr) {
+      ctx->report->materialize_seconds = mat_watch.ElapsedSeconds();
+    }
+    if (full_pass_) {
+      BuildWorkers(exec::PartitionRows(
+          t_->num_rows(), threads_,
+          static_cast<int64_t>(t_->schema().RowsPerPage())));
+    }
+    return Status::OK();
+  }
+
+  Status BeginPass(PipelineContext* ctx) override {
+    ctx->views = nullptr;  // T already carries the attribute columns
+    return Status::OK();
+  }
+
+  Status RunPass(const PipelineContext& ctx, ModelProgram* model,
+                 int pass) override {
+    const size_t y_off = ctx.rel->has_target ? 1 : 0;
+    std::vector<Status> worker_status(static_cast<size_t>(nw_));
+    exec::ParallelRanges(ranges_, [&](exec::Range range, int w) {
+      storage::RowBatch batch;
+      storage::TableScanner scan(&*t_, pools_->Get(w), batch_rows_);
+      scan.SetRowRange(range.begin, range.end);
+      while (scan.Next(&batch)) {
+        if (batch.num_rows == 0) continue;
+        DenseBlock block;
+        block.start_row = batch.start_row;
+        block.num_rows = batch.num_rows;
+        block.x = batch.feats.data() + y_off;
+        block.x_stride = batch.feats.cols();
+        if (y_off != 0) {
+          block.y = batch.feats.data();
+          block.y_stride = batch.feats.cols();
+        }
+        model->AccumulateDense(pass, w, block);
+      }
+      worker_status[static_cast<size_t>(w)] = scan.status();
+    });
+    FML_RETURN_IF_ERROR(exec::FirstError(worker_status));
+    for (int w = 0; w < nw_; ++w) model->MergeWorker(pass, w);
+    return Status::OK();
+  }
+
+  Status RunEpoch(PipelineContext* ctx, ModelProgram* model,
+                  int epoch) override {
+    const auto order = model->EpochRidOrder(*ctx, epoch);
+    const auto plan = join::PlanGroupBatches(ctx->rel->fk1_index, batch_rows_,
+                                             order.empty() ? nullptr : &order);
+    ctx->views = nullptr;
+    FML_RETURN_IF_ERROR(model->BeginEpoch(*ctx, epoch));
+
+    const size_t y_off = ctx->rel->has_target ? 1 : 0;
+    const size_t d = ctx->rel->total_dims();
+    la::Matrix x;
+    std::vector<double> y;
+    storage::RowBatch rows;
+    for (const auto& batch : plan) {
+      const size_t b = static_cast<size_t>(batch.total_rows);
+      x.Reshape(b, d);
+      y.resize(y_off != 0 ? b : 0);
+      size_t filled = 0;
+      for (const auto& range : batch.ranges) {
+        FML_RETURN_IF_ERROR(t_->ReadRows(ctx->pool, range.start,
+                                         static_cast<size_t>(range.count),
+                                         &rows));
+        for (size_t r = 0; r < rows.num_rows; ++r) {
+          // T feature column 0 is Y; the remaining d columns are features.
+          if (y_off != 0) y[filled] = rows.feats(r, 0);
+          std::memcpy(x.Row(filled).data(), rows.feats.Row(r).data() + y_off,
+                      sizeof(double) * d);
+          ++filled;
+        }
+      }
+      FML_CHECK_EQ(filled, b);
+      DenseBatch dense{&x, &y};
+      FML_RETURN_IF_ERROR(model->OnDenseBatch(*ctx, dense));
+    }
+    return Status::OK();
+  }
+
+ private:
+  std::optional<storage::Table> t_;
+};
+
+}  // namespace
+
+std::unique_ptr<AccessStrategy> MakeMaterialized(
+    const join::NormalizedRelations* rel, storage::BufferPool* pool,
+    const StrategyOptions& options, bool full_pass) {
+  return std::make_unique<MaterializedStrategy>(rel, pool, options,
+                                                full_pass);
+}
+
+}  // namespace factorml::core::pipeline::internal

@@ -1,0 +1,103 @@
+#ifndef FACTORML_CORE_PIPELINE_ACCESS_STRATEGY_H_
+#define FACTORML_CORE_PIPELINE_ACCESS_STRATEGY_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "core/pipeline/model_program.h"
+#include "join/normalized_relations.h"
+#include "storage/buffer_pool.h"
+
+namespace factorml::core::pipeline {
+
+/// Knobs shared by every strategy, lifted from the model family's options
+/// struct by the Train* wrappers. `threads` may be 0 (= DefaultThreads())
+/// when handed to RunTraining, which resolves it via
+/// exec::EffectiveThreads before any strategy sees it — the strategies
+/// and the PipelineContext always observe the resolved count (>= 1).
+struct StrategyOptions {
+  size_t batch_rows = 8192;  // rows per streamed/scanned batch
+  int threads = 0;           // exec/ workers; 0 = DefaultThreads()
+  std::string temp_dir = ".";
+};
+
+/// The data-access plane of the training pipeline: one driver per paper
+/// strategy. A strategy owns materialization and temp files (M),
+/// attribute-table views and their per-pass reloads (S/F),
+/// TableScanner/JoinCursor iteration, page-aligned / FK1-run morsel
+/// partitioning, per-worker buffer pools, exec/ dispatch, and the
+/// deterministic worker-order merge — everything about *how rows reach the
+/// model*, and nothing about the math.
+class AccessStrategy {
+ public:
+  /// `options.threads` must already be resolved (>= 1).
+  static Result<std::unique_ptr<AccessStrategy>> Create(
+      Algorithm algorithm, const join::NormalizedRelations* rel,
+      storage::BufferPool* pool, const StrategyOptions& options,
+      bool full_pass);
+
+  virtual ~AccessStrategy() = default;
+
+  virtual Algorithm algorithm() const = 0;
+
+  /// One-time setup: the M strategy joins and materializes T (recording
+  /// report->materialize_seconds); S/F verify the FK1 index and carve the
+  /// morsel ranges. Full-pass strategies also build their per-worker
+  /// buffer pools here, once per training run, so pool contents persist
+  /// across passes exactly as a hand-written trainer's would.
+  virtual Status Prepare(PipelineContext* ctx, const std::string& temp_stem) = 0;
+
+  /// Worker count of the full-pass partition (1 when threads == 1 — the
+  /// bit-exact serial path).
+  virtual int NumWorkers() const = 0;
+
+  /// Reloads per-pass inputs: S/F load the attribute views (one counted
+  /// read of each R table per pass, the paper's per-pass join recompute)
+  /// and publish them via ctx->views; M is a no-op.
+  virtual Status BeginPass(PipelineContext* ctx) = 0;
+
+  /// One parallel pass over all rows: each worker scans its morsel and
+  /// feeds blocks to the model's accumulate hook; per-worker results are
+  /// then merged in worker order on the calling thread.
+  virtual Status RunPass(const PipelineContext& ctx, ModelProgram* model,
+                         int pass) = 0;
+
+  /// One mini-batch epoch: plans/streams whole-FK1-group batches in the
+  /// model's epoch order and feeds them to the model sequentially (batch
+  /// internals parallelize inside the model via ctx.threads).
+  virtual Status RunEpoch(PipelineContext* ctx, ModelProgram* model,
+                          int epoch) = 0;
+};
+
+/// Runs one complete training: validates, measures (ReportScope), creates
+/// the strategy, and drives the model program's plane (full-pass or
+/// mini-batch) to completion. This is the single orchestration loop behind
+/// every trainer in the system.
+Status RunTraining(const join::NormalizedRelations& rel, Algorithm algorithm,
+                   const StrategyOptions& options, ModelProgram* model,
+                   storage::BufferPool* pool, TrainReport* report);
+
+/// Assembles the joined feature vectors of the given fact rows (views are
+/// loaded once, each row read through the pool) — the shared deterministic
+/// seed-row initialization used by GMM and k-means.
+Result<la::Matrix> AssembleJoinedRows(const join::NormalizedRelations& rel,
+                                      storage::BufferPool* pool,
+                                      const std::vector<int64_t>& rows);
+
+/// Lifts the strategy knobs every model family's options struct carries
+/// (batch_rows / threads / temp_dir, by convention) — the one place the
+/// Train* wrappers translate family options into StrategyOptions.
+template <typename Options>
+StrategyOptions LiftStrategyOptions(const Options& options) {
+  StrategyOptions sopt;
+  sopt.batch_rows = options.batch_rows;
+  sopt.threads = options.threads;
+  sopt.temp_dir = options.temp_dir;
+  return sopt;
+}
+
+}  // namespace factorml::core::pipeline
+
+#endif  // FACTORML_CORE_PIPELINE_ACCESS_STRATEGY_H_

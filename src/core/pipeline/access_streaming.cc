@@ -1,0 +1,113 @@
+// The S strategy: recompute the join on the fly every pass/epoch — reload
+// the attribute tables (build side), stream S (probe side) and assemble
+// each joined tuple into a full d-vector before it enters the model
+// (Fig. 1(b) of the paper). Morsels are whole FK1 runs so each worker's
+// scan of S stays a sequential range read.
+
+#include "core/pipeline/access_internal.h"
+#include "join/assemble.h"
+#include "join/join_cursor.h"
+
+namespace factorml::core::pipeline::internal {
+
+namespace {
+
+class StreamingStrategy final : public JoinStreamStrategyBase {
+ public:
+  using JoinStreamStrategyBase::JoinStreamStrategyBase;
+
+  Algorithm algorithm() const override { return Algorithm::kStreaming; }
+
+  Status RunPass(const PipelineContext& ctx, ModelProgram* model,
+                 int pass) override {
+    const size_t y_off = ctx.rel->has_target ? 1 : 0;
+    const size_t d = ctx.rel->total_dims();
+    std::vector<Status> worker_status(static_cast<size_t>(nw_));
+    exec::ParallelRanges(ranges_, [&](exec::Range range, int w) {
+      la::Matrix xbuf;  // per-worker assembly buffer
+      std::vector<double> ybuf;
+      join::JoinBatch batch;
+      join::JoinCursor cursor(ctx.rel, pools_->Get(w), batch_rows_);
+      cursor.SetPositionRange(range.begin, range.end);
+      while (cursor.Next(&batch)) {
+        const size_t b = batch.s_rows.num_rows;
+        if (b == 0) continue;
+        xbuf.Reshape(b, d);
+        if (y_off != 0) ybuf.resize(b);
+        for (size_t r = 0; r < b; ++r) {
+          if (y_off != 0) ybuf[r] = batch.s_rows.feats(r, 0);
+          join::AssembleJoinedRow(*ctx.rel, batch.s_rows, r, views_,
+                                  xbuf.Row(r).data());
+        }
+        DenseBlock block;
+        block.start_row = batch.s_rows.start_row;
+        block.num_rows = b;
+        block.x = xbuf.data();
+        block.x_stride = d;
+        if (y_off != 0) {
+          block.y = ybuf.data();
+          block.y_stride = 1;
+        }
+        model->AccumulateDense(pass, w, block);
+      }
+      worker_status[static_cast<size_t>(w)] = cursor.status();
+    });
+    FML_RETURN_IF_ERROR(exec::FirstError(worker_status));
+    for (int w = 0; w < nw_; ++w) model->MergeWorker(pass, w);
+    return Status::OK();
+  }
+
+  Status RunEpoch(PipelineContext* ctx, ModelProgram* model,
+                  int epoch) override {
+    FML_RETURN_IF_ERROR(LoadViews());
+    ctx->views = &views_;
+    join::JoinCursor cursor(ctx->rel, pool_, batch_rows_);
+    auto order = model->EpochRidOrder(*ctx, epoch);
+    if (!order.empty()) cursor.SetRidOrder(std::move(order));
+    FML_RETURN_IF_ERROR(model->BeginEpoch(*ctx, epoch));
+
+    const size_t y_off = ctx->rel->has_target ? 1 : 0;
+    const size_t d = ctx->rel->total_dims();
+    la::Matrix x;
+    std::vector<double> y;
+    join::JoinBatch batch;
+    while (cursor.Next(&batch)) {
+      const size_t b = batch.s_rows.num_rows;
+      if (b == 0) continue;
+      x.Reshape(b, d);
+      y.resize(y_off != 0 ? b : 0);
+      {
+        // On-the-fly join: assemble the full joined tuples, row-parallel
+        // (pure data movement against shared read-only views).
+        PhaseScope phase(ctx->report, "assemble");
+        exec::ParallelFor(
+            ctx->threads, static_cast<int64_t>(b), /*align=*/1,
+            [&](exec::Range rg, int) {
+              for (int64_t r = rg.begin; r < rg.end; ++r) {
+                if (y_off != 0) {
+                  y[static_cast<size_t>(r)] =
+                      batch.s_rows.feats(static_cast<size_t>(r), 0);
+                }
+                join::AssembleJoinedRow(*ctx->rel, batch.s_rows,
+                                        static_cast<size_t>(r), views_,
+                                        x.Row(static_cast<size_t>(r)).data());
+              }
+            });
+      }
+      DenseBatch dense{&x, &y};
+      FML_RETURN_IF_ERROR(model->OnDenseBatch(*ctx, dense));
+    }
+    return cursor.status();
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<AccessStrategy> MakeStreaming(
+    const join::NormalizedRelations* rel, storage::BufferPool* pool,
+    const StrategyOptions& options, bool full_pass) {
+  return std::make_unique<StreamingStrategy>(rel, pool, options,
+                                             full_pass);
+}
+
+}  // namespace factorml::core::pipeline::internal

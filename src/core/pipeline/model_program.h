@@ -1,0 +1,194 @@
+#ifndef FACTORML_CORE_PIPELINE_MODEL_PROGRAM_H_
+#define FACTORML_CORE_PIPELINE_MODEL_PROGRAM_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/logging.h"
+#include "common/status.h"
+#include "core/algorithm.h"
+#include "core/report.h"
+#include "join/attribute_view.h"
+#include "join/join_cursor.h"
+#include "join/normalized_relations.h"
+#include "la/matrix.h"
+#include "storage/buffer_pool.h"
+#include "storage/table.h"
+
+namespace factorml::core::pipeline {
+
+/// What a ModelProgram can consume and how it wants to be driven. The
+/// paper's M/S/F strategies are orthogonal to the model; the mask tells the
+/// pipeline which planes the model implements so a strategy can be matched
+/// (or rejected) up front.
+enum Capability : uint32_t {
+  /// Iterations are model-defined full passes over all joined rows
+  /// (EM-style: GMM, k-means, closed-form linear regression).
+  kFullPass = 1u << 0,
+  /// Iterations are epochs of sequential mini-batches of whole FK1-rid
+  /// groups (SGD-style: NN).
+  kMiniBatch = 1u << 1,
+  /// Implements the factorized hooks (AccumulateFactorized /
+  /// OnFactorizedBatch); without it the F strategy is rejected.
+  kFactorized = 1u << 2,
+  /// Requires rel.has_target (Y carried as S feature column 0).
+  kNeedsTarget = 1u << 3,
+};
+
+/// Everything a training run shares between the access strategy and the
+/// model program. `views` is non-null only while the S/F strategies have
+/// the attribute tables resident (between BeginPass/BeginEpoch and the end
+/// of the pass/epoch); the M strategy never exposes views — the joined
+/// rows it delivers already contain the attribute columns.
+struct PipelineContext {
+  const join::NormalizedRelations* rel = nullptr;
+  storage::BufferPool* pool = nullptr;
+  TrainReport* report = nullptr;
+  int threads = 1;  // effective exec/ worker count
+  Algorithm algorithm = Algorithm::kMaterialized;
+  const std::vector<join::AttributeTableView>* views = nullptr;
+
+  bool factorized() const { return algorithm == Algorithm::kFactorized; }
+};
+
+/// A block of fully joined rows as the M/S strategies deliver them: row r's
+/// features (target removed) start at `x + r * x_stride`, its target at
+/// `y + r * y_stride` (y is null when the relations carry no target). The
+/// strides let the M strategy point straight into the scanned page batch
+/// while the S strategy points into its assembly buffer — no copy either
+/// way.
+struct DenseBlock {
+  int64_t start_row = 0;  // global fact-row id of row 0
+  size_t num_rows = 0;
+  const double* x = nullptr;
+  size_t x_stride = 0;
+  const double* y = nullptr;
+  size_t y_stride = 0;
+
+  const double* X(size_t r) const { return x + r * x_stride; }
+  double Y(size_t r) const { return y[r * y_stride]; }
+};
+
+/// A block of *normalized* rows as the F strategy delivers them: the S
+/// slice plus foreign keys of every row (`s_rows`), with the rows grouped
+/// by their R1 rid (`groups`) so per-attribute-tuple work can be reused.
+/// Attribute features are reached through PipelineContext::views.
+struct FactorizedBlock {
+  const storage::RowBatch* s_rows = nullptr;
+  const std::vector<join::JoinGroup>* groups = nullptr;
+};
+
+/// One assembled mini-batch for the kMiniBatch plane: x is (batch x d)
+/// with the target split into y.
+struct DenseBatch {
+  const la::Matrix* x = nullptr;
+  const std::vector<double>* y = nullptr;
+};
+
+/// The model plane of the training pipeline. A ModelProgram owns the model
+/// parameters and the per-pass math; it never touches storage, joins,
+/// partitioning, or threads — the AccessStrategy (data-access plane) owns
+/// those and calls back into the hooks below. Adding a new model family is
+/// one subclass; it gets all three execution strategies (M/S/F) and the
+/// exec/ parallel runtime for free.
+///
+/// Full-pass driving sequence (kFullPass), per iteration i:
+///   for pass p in 0..NumPasses(i):
+///     strategy reloads per-pass inputs (S/F: attribute views)
+///     BeginPass(ctx, i, p, workers)          — build caches, zero accums
+///     workers each call Accumulate{Dense,Factorized}(p, w, block)  — hot
+///     MergeWorker(p, w) for w in worker order — deterministic reduction
+///     EndPass(ctx, i, p)                      — apply pass result
+///   EndIteration(ctx, i) -> stop?
+///
+/// Mini-batch driving sequence (kMiniBatch), per epoch e:
+///   strategy reloads inputs and orders rids by EpochRidOrder(e)
+///   BeginEpoch(ctx, e)
+///   On{Dense,Factorized}Batch(ctx, batch) for each planned batch
+///   EndIteration(ctx, e) -> stop?
+class ModelProgram {
+ public:
+  virtual ~ModelProgram() = default;
+
+  /// Report tag suffix: the run is labeled "<M|S|F>-<Name()>".
+  virtual const char* Name() const = 0;
+  /// File stem for the M strategy's materialized join (the only strategy
+  /// that materializes): <temp_dir>/m_<TempStem()>_T.fml.
+  virtual const char* TempStem() const = 0;
+  virtual uint32_t Capabilities() const = 0;
+  /// Option/shape checks run before any measurement starts.
+  virtual Status ValidateOptions(const join::NormalizedRelations& rel) const {
+    (void)rel;
+    return Status::OK();
+  }
+  /// Iteration budget: EM iterations or SGD epochs.
+  virtual int MaxIterations() const = 0;
+  /// Allocate parameters and per-run state. Runs after the strategy's
+  /// Prepare (so the M strategy has already materialized T).
+  virtual Status Init(const PipelineContext& ctx) = 0;
+
+  // ---------------------------------------------------- full-pass plane
+  virtual int NumPasses(int iter) const {
+    (void)iter;
+    return 1;
+  }
+  virtual const char* PassName(int pass) const {
+    (void)pass;
+    return "pass";
+  }
+  virtual Status BeginPass(const PipelineContext& ctx, int iter, int pass,
+                           int workers) {
+    (void)ctx, (void)iter, (void)pass, (void)workers;
+    return Status::OK();
+  }
+  virtual void AccumulateDense(int pass, int worker, const DenseBlock& block) {
+    (void)pass, (void)worker, (void)block;
+    FML_CHECK(false) << Name() << ": dense full-pass hook not implemented";
+  }
+  virtual void AccumulateFactorized(int pass, int worker,
+                                    const FactorizedBlock& block) {
+    (void)pass, (void)worker, (void)block;
+    FML_CHECK(false) << Name() << ": factorized full-pass hook not implemented";
+  }
+  virtual void MergeWorker(int pass, int worker) { (void)pass, (void)worker; }
+  virtual Status EndPass(const PipelineContext& ctx, int iter, int pass) {
+    (void)ctx, (void)iter, (void)pass;
+    return Status::OK();
+  }
+
+  // --------------------------------------------------- mini-batch plane
+  /// R1-rid visit order for this epoch (the paper's per-epoch key
+  /// permutation for SGD); empty = natural order.
+  virtual std::vector<int64_t> EpochRidOrder(const PipelineContext& ctx,
+                                             int epoch) {
+    (void)ctx, (void)epoch;
+    return {};
+  }
+  virtual Status BeginEpoch(const PipelineContext& ctx, int epoch) {
+    (void)ctx, (void)epoch;
+    return Status::OK();
+  }
+  virtual Status OnDenseBatch(const PipelineContext& ctx,
+                              const DenseBatch& batch) {
+    (void)ctx, (void)batch;
+    FML_CHECK(false) << Name() << ": dense mini-batch hook not implemented";
+    return Status::OK();
+  }
+  virtual Status OnFactorizedBatch(const PipelineContext& ctx,
+                                   const FactorizedBlock& batch) {
+    (void)ctx, (void)batch;
+    FML_CHECK(false) << Name()
+                     << ": factorized mini-batch hook not implemented";
+    return Status::OK();
+  }
+
+  // ------------------------------------------------------------ epilogue
+  /// Apply the iteration's result; true = converged, stop early.
+  virtual Result<bool> EndIteration(const PipelineContext& ctx, int iter) = 0;
+  /// Final objective for the TrainReport (log-likelihood, MSE, inertia...).
+  virtual double Objective() const = 0;
+};
+
+}  // namespace factorml::core::pipeline
+
+#endif  // FACTORML_CORE_PIPELINE_MODEL_PROGRAM_H_

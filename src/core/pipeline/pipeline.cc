@@ -1,0 +1,119 @@
+// The orchestration loop of the training pipeline: strategy selection,
+// measurement scopes, and the two driving planes (full-pass iterations and
+// mini-batch epochs). Every trainer in the system — GMM, NN, linear
+// regression, k-means — is a ModelProgram run through this single loop.
+
+#include "core/pipeline/access_strategy.h"
+
+#include <string>
+
+#include "core/pipeline/access_internal.h"
+#include "exec/thread_pool.h"
+#include "join/assemble.h"
+#include "join/attribute_view.h"
+
+namespace factorml::core::pipeline {
+
+Result<std::unique_ptr<AccessStrategy>> AccessStrategy::Create(
+    Algorithm algorithm, const join::NormalizedRelations* rel,
+    storage::BufferPool* pool, const StrategyOptions& options,
+    bool full_pass) {
+  switch (algorithm) {
+    case Algorithm::kMaterialized:
+      return internal::MakeMaterialized(rel, pool, options, full_pass);
+    case Algorithm::kStreaming:
+      return internal::MakeStreaming(rel, pool, options, full_pass);
+    case Algorithm::kFactorized:
+      return internal::MakeFactorized(rel, pool, options, full_pass);
+  }
+  return Status::InvalidArgument("unknown algorithm");
+}
+
+Status RunTraining(const join::NormalizedRelations& rel, Algorithm algorithm,
+                   const StrategyOptions& options, ModelProgram* model,
+                   storage::BufferPool* pool, TrainReport* report) {
+  FML_RETURN_IF_ERROR(rel.Validate());
+  const uint32_t caps = model->Capabilities();
+  if ((caps & kNeedsTarget) != 0 && !rel.has_target) {
+    return Status::InvalidArgument(std::string(model->Name()) +
+                                   " training requires a target column");
+  }
+  FML_RETURN_IF_ERROR(model->ValidateOptions(rel));
+  if (algorithm == Algorithm::kFactorized && (caps & kFactorized) == 0) {
+    return Status::InvalidArgument(
+        std::string(model->Name()) +
+        " does not implement the factorized hooks; use the materialized or "
+        "streaming strategy");
+  }
+  FML_CHECK((caps & (kFullPass | kMiniBatch)) != 0 &&
+            (caps & (kFullPass | kMiniBatch)) != (kFullPass | kMiniBatch))
+      << model->Name() << ": exactly one driving plane must be declared";
+  const bool mini_batch = (caps & kMiniBatch) != 0;
+
+  ReportScope scope(report, std::string(1, AlgorithmPrefix(algorithm)) +
+                                "-" + model->Name());
+  StrategyOptions resolved = options;
+  resolved.threads = exec::EffectiveThreads(options.threads);
+  if (report != nullptr) report->threads = resolved.threads;
+
+  PipelineContext ctx;
+  ctx.rel = &rel;
+  ctx.pool = pool;
+  ctx.report = report;
+  ctx.threads = resolved.threads;
+  ctx.algorithm = algorithm;
+
+  FML_ASSIGN_OR_RETURN(
+      std::unique_ptr<AccessStrategy> strategy,
+      AccessStrategy::Create(algorithm, &rel, pool, resolved,
+                             /*full_pass=*/!mini_batch));
+  FML_RETURN_IF_ERROR(strategy->Prepare(&ctx, model->TempStem()));
+  FML_RETURN_IF_ERROR(model->Init(ctx));
+
+  int iterations = 0;
+  if (mini_batch) {
+    for (int epoch = 0; epoch < model->MaxIterations(); ++epoch) {
+      FML_RETURN_IF_ERROR(strategy->RunEpoch(&ctx, model, epoch));
+      FML_ASSIGN_OR_RETURN(const bool stop, model->EndIteration(ctx, epoch));
+      ++iterations;
+      if (stop) break;
+    }
+  } else {
+    for (int iter = 0; iter < model->MaxIterations(); ++iter) {
+      const int num_passes = model->NumPasses(iter);
+      for (int pass = 0; pass < num_passes; ++pass) {
+        FML_RETURN_IF_ERROR(strategy->BeginPass(&ctx));
+        FML_RETURN_IF_ERROR(
+            model->BeginPass(ctx, iter, pass, strategy->NumWorkers()));
+        {
+          PhaseScope phase(report, model->PassName(pass));
+          FML_RETURN_IF_ERROR(strategy->RunPass(ctx, model, pass));
+        }
+        FML_RETURN_IF_ERROR(model->EndPass(ctx, iter, pass));
+      }
+      FML_ASSIGN_OR_RETURN(const bool stop, model->EndIteration(ctx, iter));
+      ++iterations;
+      if (stop) break;
+    }
+  }
+  scope.Finish(iterations, model->Objective());
+  return Status::OK();
+}
+
+Result<la::Matrix> AssembleJoinedRows(const join::NormalizedRelations& rel,
+                                      storage::BufferPool* pool,
+                                      const std::vector<int64_t>& rows) {
+  std::vector<join::AttributeTableView> views(rel.num_joins());
+  for (size_t i = 0; i < rel.num_joins(); ++i) {
+    FML_RETURN_IF_ERROR(views[i].Load(rel.attrs[i], pool));
+  }
+  la::Matrix out(rows.size(), rel.total_dims());
+  storage::RowBatch batch;
+  for (size_t c = 0; c < rows.size(); ++c) {
+    FML_RETURN_IF_ERROR(rel.s.ReadRows(pool, rows[c], 1, &batch));
+    join::AssembleJoinedRow(rel, batch, 0, views, out.Row(c).data());
+  }
+  return out;
+}
+
+}  // namespace factorml::core::pipeline

@@ -2,18 +2,6 @@
 
 namespace factorml::core {
 
-const char* AlgorithmName(Algorithm a) {
-  switch (a) {
-    case Algorithm::kMaterialized:
-      return "materialized";
-    case Algorithm::kStreaming:
-      return "streaming";
-    case Algorithm::kFactorized:
-      return "factorized";
-  }
-  return "?";
-}
-
 Result<gmm::GmmParams> TrainGmm(const join::NormalizedRelations& rel,
                                 const gmm::GmmOptions& options,
                                 Algorithm algorithm,
@@ -42,6 +30,22 @@ Result<nn::Mlp> TrainNn(const join::NormalizedRelations& rel,
       return nn::TrainNnFactorized(rel, options, pool, report);
   }
   return Status::InvalidArgument("unknown algorithm");
+}
+
+Result<linreg::LinregModel> TrainLinreg(const join::NormalizedRelations& rel,
+                                        const linreg::LinregOptions& options,
+                                        Algorithm algorithm,
+                                        storage::BufferPool* pool,
+                                        TrainReport* report) {
+  return linreg::TrainLinreg(rel, options, algorithm, pool, report);
+}
+
+Result<kmeans::KmeansModel> TrainKmeans(const join::NormalizedRelations& rel,
+                                        const kmeans::KmeansOptions& options,
+                                        Algorithm algorithm,
+                                        storage::BufferPool* pool,
+                                        TrainReport* report) {
+  return kmeans::TrainKmeans(rel, options, algorithm, pool, report);
 }
 
 }  // namespace factorml::core

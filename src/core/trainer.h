@@ -4,27 +4,22 @@
 #include <string>
 
 #include "common/status.h"
+#include "core/algorithm.h"
 #include "core/report.h"
 #include "gmm/trainers.h"
 #include "join/normalized_relations.h"
+#include "kmeans/kmeans.h"
+#include "linreg/linreg.h"
 #include "nn/trainers.h"
 #include "storage/buffer_pool.h"
 
 namespace factorml::core {
 
-/// The three execution strategies the paper compares for each model family
-/// (M-*, S-*, F-*).
-enum class Algorithm {
-  kMaterialized,  // join -> write T -> train over T
-  kStreaming,     // recompute the join on the fly every pass
-  kFactorized,    // push the training computation through the join
-};
-
-const char* AlgorithmName(Algorithm a);
-
 /// Trains a GMM over the normalized relations with the chosen strategy.
 /// All strategies return the same parameters (up to floating-point
 /// reordering); they differ in cost, which is captured in `report`.
+/// Every trainer below runs through the core/pipeline layer: the strategy
+/// (data-access plane) and the model (ModelProgram) are independent.
 Result<gmm::GmmParams> TrainGmm(const join::NormalizedRelations& rel,
                                 const gmm::GmmOptions& options,
                                 Algorithm algorithm,
@@ -36,6 +31,21 @@ Result<gmm::GmmParams> TrainGmm(const join::NormalizedRelations& rel,
 Result<nn::Mlp> TrainNn(const join::NormalizedRelations& rel,
                         const nn::NnOptions& options, Algorithm algorithm,
                         storage::BufferPool* pool, TrainReport* report);
+
+/// Trains a ridge linear regression (closed form via Gram/cofactor
+/// accumulation) with the chosen strategy; requires a target column.
+Result<linreg::LinregModel> TrainLinreg(const join::NormalizedRelations& rel,
+                                        const linreg::LinregOptions& options,
+                                        Algorithm algorithm,
+                                        storage::BufferPool* pool,
+                                        TrainReport* report);
+
+/// Trains k-means (Lloyd's iterations) with the chosen strategy.
+Result<kmeans::KmeansModel> TrainKmeans(const join::NormalizedRelations& rel,
+                                        const kmeans::KmeansOptions& options,
+                                        Algorithm algorithm,
+                                        storage::BufferPool* pool,
+                                        TrainReport* report);
 
 }  // namespace factorml::core
 

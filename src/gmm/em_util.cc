@@ -5,8 +5,7 @@
 
 #include "common/opcount.h"
 #include "common/rng.h"
-#include "join/assemble.h"
-#include "join/attribute_view.h"
+#include "core/pipeline/access_strategy.h"
 #include "storage/table.h"
 
 namespace factorml::gmm::internal {
@@ -18,10 +17,6 @@ Result<la::Matrix> InitSeedRows(const join::NormalizedRelations& rel,
   const int64_t n = rel.s.num_rows();
   if (static_cast<int64_t>(k) > n) {
     return Status::InvalidArgument("more components than data points");
-  }
-  std::vector<join::AttributeTableView> views(rel.num_joins());
-  for (size_t i = 0; i < rel.num_joins(); ++i) {
-    FML_RETURN_IF_ERROR(views[i].Load(rel.attrs[i], pool));
   }
 
   std::vector<int64_t> rows(k);
@@ -43,14 +38,7 @@ Result<la::Matrix> InitSeedRows(const join::NormalizedRelations& rel,
       break;
     }
   }
-
-  la::Matrix seeds(k, rel.total_dims());
-  storage::RowBatch batch;
-  for (size_t c = 0; c < k; ++c) {
-    FML_RETURN_IF_ERROR(rel.s.ReadRows(pool, rows[c], 1, &batch));
-    join::AssembleJoinedRow(rel, batch, 0, views, seeds.Row(c).data());
-  }
-  return seeds;
+  return core::pipeline::AssembleJoinedRows(rel, pool, rows);
 }
 
 double PosteriorFromLogps(const double* logp, size_t k, double* gamma_row) {

@@ -1,0 +1,573 @@
+// GMM as a core/pipeline ModelProgram: the EM recurrence of the paper
+// (Algorithm 1 / Sec. V) expressed as three full passes per iteration —
+// e_step, m_step_mean, m_step_cov — with a dense row path shared by the M
+// and S strategies and the factorized path of F-GMM (Eqs. 19-24). The
+// former m_gmm.cc / s_gmm.cc / f_gmm.cc trainers are now thin wrappers
+// that run this one program under the matching AccessStrategy; at
+// --threads=1 the pipeline replays their exact op/I/O stream.
+
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "common/opcount.h"
+#include "core/pipeline/access_strategy.h"
+#include "core/pipeline/model_program.h"
+#include "gmm/em_util.h"
+#include "gmm/trainers.h"
+#include "la/ops.h"
+
+namespace factorml::gmm {
+
+namespace {
+
+using core::pipeline::DenseBlock;
+using core::pipeline::FactorizedBlock;
+using core::pipeline::PipelineContext;
+using internal::Responsibilities;
+using join::AttributeTableView;
+using la::Matrix;
+
+/// Subtracts mu (length d) from x into diff, counting the d subtractions
+/// the paper's cost model charges per tuple (Sec. V-B).
+inline void CenterInto(const double* x, const double* mu, size_t d,
+                       double* diff) {
+  for (size_t j = 0; j < d; ++j) diff[j] = x[j] - mu[j];
+  CountSubs(d);
+}
+
+/// Per-pass factorized state for one attribute table and one component:
+/// the centered rows PD_Ri = x_Ri - mu[slice i] for every rid (Eq. 20),
+/// computed once per R tuple per pass and reused for all matching S rows.
+struct CenteredCache {
+  // pd[c] is nRi x dRi.
+  std::vector<Matrix> pd;
+  // diag[c][rid] = PD^T * I_ii * PD, the reusable diagonal quadratic block
+  // of the E-step (the LR term of Eq. 12 / i==j terms of Eq. 19).
+  std::vector<std::vector<double>> diag;
+};
+
+/// Rebuilds the centered caches against the current means. `with_diag`
+/// additionally caches the diagonal quadratic form (E-step only).
+void BuildCenteredCaches(const std::vector<AttributeTableView>& views,
+                         const GmmParams& params,
+                         const std::vector<size_t>& attr_offset,
+                         const GmmDensity* density, bool with_diag,
+                         std::vector<CenteredCache>* caches) {
+  const size_t k = params.num_components();
+  caches->resize(views.size());
+  for (size_t i = 0; i < views.size(); ++i) {
+    const Matrix& feats = views[i].feats();
+    const size_t n_ri = feats.rows();
+    const size_t d_ri = feats.cols();
+    auto& cache = (*caches)[i];
+    cache.pd.assign(k, Matrix());
+    cache.diag.assign(k, {});
+    for (size_t c = 0; c < k; ++c) {
+      Matrix& pd = cache.pd[c];
+      pd.Resize(n_ri, d_ri);
+      const double* mu_slice = params.mu.Row(c).data() + attr_offset[i];
+      for (size_t rid = 0; rid < n_ri; ++rid) {
+        CenterInto(feats.Row(rid).data(), mu_slice, d_ri, pd.Row(rid).data());
+      }
+      if (with_diag) {
+        auto& diag = cache.diag[c];
+        diag.resize(n_ri);
+        for (size_t rid = 0; rid < n_ri; ++rid) {
+          diag[rid] =
+              la::Bilinear(density->precision[c], attr_offset[i],
+                           attr_offset[i], pd.Row(rid).data(), d_ri,
+                           pd.Row(rid).data(), d_ri);
+        }
+      }
+    }
+  }
+}
+
+class GmmProgram final : public core::pipeline::ModelProgram {
+ public:
+  explicit GmmProgram(const GmmOptions& options) : opt_(options) {}
+
+  const char* Name() const override { return "GMM"; }
+  const char* TempStem() const override { return "gmm"; }
+  uint32_t Capabilities() const override {
+    return core::pipeline::kFullPass | core::pipeline::kFactorized;
+  }
+  int MaxIterations() const override { return opt_.max_iters; }
+  int NumPasses(int) const override { return 3; }
+  const char* PassName(int pass) const override {
+    switch (pass) {
+      case kEStep:
+        return "e_step";
+      case kMeanStep:
+        return "m_step_mean";
+      default:
+        return "m_step_cov";
+    }
+  }
+
+  Status Init(const PipelineContext& ctx) override {
+    rel_ = ctx.rel;
+    factorized_ = ctx.factorized();
+    k_ = opt_.num_components;
+    d_ = rel_->total_dims();
+    ds_ = rel_->ds();
+    q_ = rel_->num_joins();
+    y_off_ = rel_->has_target ? 1 : 0;
+    n_ = rel_->s.num_rows();
+    attr_offset_.resize(q_);
+    for (size_t i = 0; i < q_; ++i) attr_offset_[i] = rel_->FeatureOffset(i + 1);
+
+    FML_ASSIGN_OR_RETURN(Matrix seeds,
+                         internal::InitSeedRows(*rel_, ctx.pool, opt_));
+    params_ = GmmParams::Init(seeds, opt_.init_spread);
+    resp_.Reset(static_cast<size_t>(n_), k_);
+    sigma_sum_.resize(k_);
+    if (factorized_) gsum_.resize(q_);
+    loglik_ = -std::numeric_limits<double>::infinity();
+    return Status::OK();
+  }
+
+  Status BeginPass(const PipelineContext& ctx, int /*iter*/, int pass,
+                   int workers) override {
+    acc_.resize(static_cast<size_t>(workers));
+    switch (pass) {
+      case kEStep: {
+        FML_ASSIGN_OR_RETURN(density_, GmmDensity::From(params_));
+        if (factorized_) {
+          // Once per R tuple: centered slices and diagonal quadratic blocks.
+          BuildCenteredCaches(*ctx.views, params_, attr_offset_, &density_,
+                              /*with_diag=*/true, &caches_);
+        }
+        ll_sum_ = 0.0;
+        std::fill(resp_.n_k.begin(), resp_.n_k.end(), 0.0);
+        for (auto& acc : acc_) {
+          acc.ll = 0.0;
+          acc.n_k.assign(k_, 0.0);
+          acc.logp.resize(k_);
+          acc.diff.resize(factorized_ ? ds_ : d_);
+        }
+        break;
+      }
+      case kMeanStep: {
+        const size_t mu_len = k_ * (factorized_ ? ds_ : d_);
+        mu_sum_.assign(mu_len, 0.0);
+        for (auto& acc : acc_) acc.mu_sum.assign(mu_len, 0.0);
+        if (factorized_) {
+          for (size_t i = 0; i < q_; ++i) {
+            const size_t n_ri = (*ctx.views)[i].feats().rows();
+            gsum_[i].assign(k_, std::vector<double>(n_ri, 0.0));
+            for (auto& acc : acc_) {
+              acc.gsum.resize(q_);
+              acc.gsum[i].assign(k_, std::vector<double>(n_ri, 0.0));
+            }
+          }
+        }
+        break;
+      }
+      case kCovStep: {
+        if (factorized_) {
+          // Centered caches against the *updated* means; no diagonal quad
+          // cache is needed here.
+          BuildCenteredCaches(*ctx.views, params_, attr_offset_, nullptr,
+                              /*with_diag=*/false, &caches_);
+        }
+        for (size_t c = 0; c < k_; ++c) sigma_sum_[c].Resize(d_, d_);
+        for (auto& acc : acc_) {
+          acc.sigma.assign(k_, Matrix());
+          for (size_t c = 0; c < k_; ++c) acc.sigma[c].Resize(d_, d_);
+          acc.diff.resize(factorized_ ? ds_ : d_);
+        }
+        break;
+      }
+    }
+    return Status::OK();
+  }
+
+  void AccumulateDense(int pass, int worker, const DenseBlock& block) override {
+    Acc& acc = acc_[static_cast<size_t>(worker)];
+    switch (pass) {
+      case kEStep: {
+        // One full read of the joined rows (Lines 4-8 of Algorithm 1).
+        for (size_t r = 0; r < block.num_rows; ++r) {
+          const double* x = block.X(r);
+          for (size_t c = 0; c < k_; ++c) {
+            CenterInto(x, params_.mu.Row(c).data(), d_, acc.diff.data());
+            const double q =
+                la::QuadForm(density_.precision[c], acc.diff.data(), d_);
+            acc.logp[c] = density_.log_coeff[c] - 0.5 * q;
+          }
+          double* gamma =
+              resp_.Row(block.start_row + static_cast<int64_t>(r));
+          acc.ll += internal::PosteriorFromLogps(acc.logp.data(), k_, gamma);
+          for (size_t c = 0; c < k_; ++c) acc.n_k[c] += gamma[c];
+        }
+        break;
+      }
+      case kMeanStep: {
+        // Second read (Lines 10-15): responsibility-weighted feature sums.
+        for (size_t r = 0; r < block.num_rows; ++r) {
+          const double* x = block.X(r);
+          const double* gamma =
+              resp_.Row(block.start_row + static_cast<int64_t>(r));
+          for (size_t c = 0; c < k_; ++c) {
+            la::Axpy(gamma[c], x, acc.mu_sum.data() + c * d_, d_);
+          }
+        }
+        break;
+      }
+      case kCovStep: {
+        // Third read (Lines 16-21): centered outer products.
+        for (size_t r = 0; r < block.num_rows; ++r) {
+          const double* x = block.X(r);
+          const double* gamma =
+              resp_.Row(block.start_row + static_cast<int64_t>(r));
+          for (size_t c = 0; c < k_; ++c) {
+            CenterInto(x, params_.mu.Row(c).data(), d_, acc.diff.data());
+            la::AddOuter(gamma[c], acc.diff.data(), d_, acc.diff.data(), d_,
+                         &acc.sigma[c], 0, 0);
+          }
+        }
+        break;
+      }
+    }
+  }
+
+  void AccumulateFactorized(int pass, int worker,
+                            const FactorizedBlock& block) override {
+    Acc& acc = acc_[static_cast<size_t>(worker)];
+    const storage::RowBatch& s_rows = *block.s_rows;
+    switch (pass) {
+      case kEStep: {
+        std::vector<double>& pds = acc.diff;  // centered S slice, per worker
+        for (size_t r = 0; r < s_rows.num_rows; ++r) {
+          const double* xs = s_rows.feats.Row(r).data() + y_off_;
+          const int64_t* keys = s_rows.KeysOf(r);
+          for (size_t c = 0; c < k_; ++c) {
+            CenterInto(xs, params_.mu.Row(c).data(), ds_, pds.data());
+            // Block decomposition of (x - mu)^T I (x - mu), Eq. 19:
+            // the S-diagonal block plus, per attribute table, the two
+            // cross blocks (UR + LL, Eqs. 10-11) and the cached
+            // diagonal block (LR, Eq. 12); multi-way adds the
+            // attr-attr cross blocks.
+            double quad = la::Bilinear(density_.precision[c], 0, 0,
+                                       pds.data(), ds_, pds.data(), ds_);
+            for (size_t i = 0; i < q_; ++i) {
+              const int64_t rid = keys[rel_->FkKeyIndex(i)];
+              const double* pdr = caches_[i].pd[c].Row(rid).data();
+              const size_t dri = rel_->dr(i);
+              const double ur =
+                  la::Bilinear(density_.precision[c], 0, attr_offset_[i],
+                               pds.data(), ds_, pdr, dri);
+              if (opt_.exploit_symmetry) {
+                // LL = UR because the precision matrix is symmetric.
+                quad += 2.0 * ur;
+                CountMults(1);
+              } else {
+                quad += ur + la::Bilinear(density_.precision[c],
+                                          attr_offset_[i], 0, pdr, dri,
+                                          pds.data(), ds_);
+              }
+              quad += caches_[i].diag[c][rid];
+              CountAdds(3);
+              for (size_t j = i + 1; j < q_; ++j) {
+                const int64_t rid_j = keys[rel_->FkKeyIndex(j)];
+                const double* pdj = caches_[j].pd[c].Row(rid_j).data();
+                const size_t drj = rel_->dr(j);
+                const double cross =
+                    la::Bilinear(density_.precision[c], attr_offset_[i],
+                                 attr_offset_[j], pdr, dri, pdj, drj);
+                if (opt_.exploit_symmetry) {
+                  quad += 2.0 * cross;
+                  CountMults(1);
+                } else {
+                  quad += cross + la::Bilinear(density_.precision[c],
+                                               attr_offset_[j],
+                                               attr_offset_[i], pdj, drj,
+                                               pdr, dri);
+                }
+                CountAdds(2);
+              }
+            }
+            acc.logp[c] = density_.log_coeff[c] - 0.5 * quad;
+          }
+          double* gamma =
+              resp_.Row(s_rows.start_row + static_cast<int64_t>(r));
+          acc.ll += internal::PosteriorFromLogps(acc.logp.data(), k_, gamma);
+          for (size_t c = 0; c < k_; ++c) acc.n_k[c] += gamma[c];
+        }
+        break;
+      }
+      case kMeanStep: {
+        for (size_t r = 0; r < s_rows.num_rows; ++r) {
+          const double* xs = s_rows.feats.Row(r).data() + y_off_;
+          const int64_t* keys = s_rows.KeysOf(r);
+          const double* gamma =
+              resp_.Row(s_rows.start_row + static_cast<int64_t>(r));
+          for (size_t c = 0; c < k_; ++c) {
+            // S slice accumulates per fact tuple; the R slices only
+            // accumulate responsibility mass per rid — the
+            // factorization of Eq. 13/22 that replaces nS * dR
+            // multiplies by nS adds.
+            la::Axpy(gamma[c], xs, acc.mu_sum.data() + c * ds_, ds_);
+            for (size_t i = 0; i < q_; ++i) {
+              acc.gsum[i][c][keys[rel_->FkKeyIndex(i)]] += gamma[c];
+            }
+            CountAdds(q_);
+          }
+        }
+        break;
+      }
+      case kCovStep: {
+        std::vector<double>& pds = acc.diff;
+        for (size_t r = 0; r < s_rows.num_rows; ++r) {
+          const double* xs = s_rows.feats.Row(r).data() + y_off_;
+          const int64_t* keys = s_rows.KeysOf(r);
+          const double* gamma =
+              resp_.Row(s_rows.start_row + static_cast<int64_t>(r));
+          for (size_t c = 0; c < k_; ++c) {
+            CenterInto(xs, params_.mu.Row(c).data(), ds_, pds.data());
+            Matrix& sg = acc.sigma[c];
+            // Off-diagonal blocks must be accumulated per fact tuple;
+            // the attribute-diagonal blocks (LR of Eq. 18 / M_ii of
+            // Eq. 24) are deferred: only the responsibility mass per
+            // rid is accumulated here and one outer product per R
+            // tuple is added afterwards.
+            la::AddOuter(gamma[c], pds.data(), ds_, pds.data(), ds_, &sg, 0,
+                         0);
+            for (size_t i = 0; i < q_; ++i) {
+              const int64_t rid = keys[rel_->FkKeyIndex(i)];
+              const double* pdr = caches_[i].pd[c].Row(rid).data();
+              const size_t dri = rel_->dr(i);
+              la::AddOuter(gamma[c], pds.data(), ds_, pdr, dri, &sg, 0,
+                           attr_offset_[i]);
+              if (!opt_.exploit_symmetry) {
+                la::AddOuter(gamma[c], pdr, dri, pds.data(), ds_, &sg,
+                             attr_offset_[i], 0);
+              }
+              for (size_t j = i + 1; j < q_; ++j) {
+                const int64_t rid_j = keys[rel_->FkKeyIndex(j)];
+                const double* pdj = caches_[j].pd[c].Row(rid_j).data();
+                const size_t drj = rel_->dr(j);
+                la::AddOuter(gamma[c], pdr, dri, pdj, drj, &sg,
+                             attr_offset_[i], attr_offset_[j]);
+                if (!opt_.exploit_symmetry) {
+                  la::AddOuter(gamma[c], pdj, drj, pdr, dri, &sg,
+                               attr_offset_[j], attr_offset_[i]);
+                }
+              }
+            }
+          }
+        }
+        break;
+      }
+    }
+  }
+
+  void MergeWorker(int pass, int worker) override {
+    Acc& acc = acc_[static_cast<size_t>(worker)];
+    switch (pass) {
+      case kEStep:
+        ll_sum_ += acc.ll;
+        for (size_t c = 0; c < k_; ++c) resp_.n_k[c] += acc.n_k[c];
+        break;
+      case kMeanStep:
+        for (size_t j = 0; j < mu_sum_.size(); ++j) mu_sum_[j] += acc.mu_sum[j];
+        if (factorized_) {
+          for (size_t i = 0; i < q_; ++i) {
+            for (size_t c = 0; c < k_; ++c) {
+              auto& dst = gsum_[i][c];
+              const auto& src = acc.gsum[i][c];
+              for (size_t rid = 0; rid < dst.size(); ++rid) {
+                dst[rid] += src[rid];
+              }
+            }
+          }
+        }
+        break;
+      case kCovStep:
+        for (size_t c = 0; c < k_; ++c) sigma_sum_[c].Add(acc.sigma[c]);
+        break;
+    }
+  }
+
+  Status EndPass(const PipelineContext& ctx, int /*iter*/, int pass) override {
+    switch (pass) {
+      case kEStep:
+        break;
+      case kMeanStep: {
+        if (!factorized_) {
+          for (size_t c = 0; c < k_; ++c) {
+            const double inv_nk = 1.0 / std::max(resp_.n_k[c], 1e-300);
+            for (size_t j = 0; j < d_; ++j) {
+              params_.mu(c, j) = mu_sum_[c * d_ + j] * inv_nk;
+            }
+            CountMults(d_);
+          }
+          break;
+        }
+        // Factorized mean update (Eq. 22): the S slice from the per-tuple
+        // sums, the R slices from per-rid responsibility mass times the
+        // attribute features.
+        for (size_t c = 0; c < k_; ++c) {
+          const double inv_nk = 1.0 / std::max(resp_.n_k[c], 1e-300);
+          double* mu_row = params_.mu.Row(c).data();
+          for (size_t j = 0; j < ds_; ++j) {
+            mu_row[j] = mu_sum_[c * ds_ + j] * inv_nk;
+          }
+          CountMults(ds_);
+          for (size_t i = 0; i < q_; ++i) {
+            const Matrix& feats = (*ctx.views)[i].feats();
+            const size_t dri = feats.cols();
+            double* slice = mu_row + attr_offset_[i];
+            std::fill(slice, slice + dri, 0.0);
+            for (size_t rid = 0; rid < feats.rows(); ++rid) {
+              la::Axpy(gsum_[i][c][rid], feats.Row(rid).data(), slice, dri);
+            }
+            for (size_t j = 0; j < dri; ++j) slice[j] *= inv_nk;
+            CountMults(dri);
+          }
+        }
+        break;
+      }
+      case kCovStep: {
+        if (factorized_ && opt_.exploit_symmetry) {
+          // Mirror the cross blocks that were accumulated single-sided: the
+          // covariance accumulator is symmetric, so LL = UR^T exactly (one
+          // O(d^2) copy per component per pass instead of per fact tuple).
+          for (size_t c = 0; c < k_; ++c) {
+            Matrix& acc = sigma_sum_[c];
+            for (size_t i = 0; i < q_; ++i) {
+              const size_t dri = rel_->dr(i);
+              for (size_t a = 0; a < ds_; ++a) {
+                for (size_t b2 = 0; b2 < dri; ++b2) {
+                  acc(attr_offset_[i] + b2, a) = acc(a, attr_offset_[i] + b2);
+                }
+              }
+              for (size_t j = i + 1; j < q_; ++j) {
+                const size_t drj = rel_->dr(j);
+                for (size_t a = 0; a < dri; ++a) {
+                  for (size_t b2 = 0; b2 < drj; ++b2) {
+                    acc(attr_offset_[j] + b2, attr_offset_[i] + a) =
+                        acc(attr_offset_[i] + a, attr_offset_[j] + b2);
+                  }
+                }
+              }
+            }
+          }
+        }
+        if (factorized_) {
+          // Deferred diagonal blocks: one outer product per R tuple, scaled
+          // by the responsibility mass of its matching fact tuples (gsum
+          // reuses the responsibilities accumulated in the mean pass —
+          // same gamma).
+          for (size_t c = 0; c < k_; ++c) {
+            for (size_t i = 0; i < q_; ++i) {
+              const size_t dri = rel_->dr(i);
+              const size_t n_ri = caches_[i].pd[c].rows();
+              for (size_t rid = 0; rid < n_ri; ++rid) {
+                const double* pdr = caches_[i].pd[c].Row(rid).data();
+                la::AddOuter(gsum_[i][c][rid], pdr, dri, pdr, dri,
+                             &sigma_sum_[c], attr_offset_[i],
+                             attr_offset_[i]);
+              }
+            }
+          }
+        }
+        for (size_t c = 0; c < k_; ++c) {
+          sigma_sum_[c].Scale(1.0 / std::max(resp_.n_k[c], 1e-300));
+          for (size_t j = 0; j < d_; ++j) {
+            sigma_sum_[c](j, j) += opt_.cov_reg;
+          }
+          params_.sigma[c] = sigma_sum_[c];
+          params_.pi[c] = resp_.n_k[c] / static_cast<double>(n_);
+        }
+        break;
+      }
+    }
+    return Status::OK();
+  }
+
+  Result<bool> EndIteration(const PipelineContext&, int) override {
+    const bool stop = internal::Converged(loglik_, ll_sum_, opt_.tol);
+    loglik_ = ll_sum_;
+    return stop;
+  }
+
+  double Objective() const override { return loglik_; }
+
+  GmmParams&& TakeParams() && { return std::move(params_); }
+
+ private:
+  enum Pass { kEStep = 0, kMeanStep = 1, kCovStep = 2 };
+
+  /// Per-worker accumulators and scratch; merged in worker order.
+  struct Acc {
+    double ll = 0.0;
+    std::vector<double> n_k;
+    std::vector<double> logp;
+    std::vector<double> diff;     // centered row (d) or S slice (ds)
+    std::vector<double> mu_sum;   // k * d (dense) or k * ds (factorized)
+    std::vector<std::vector<std::vector<double>>> gsum;  // [i][c][rid]
+    std::vector<Matrix> sigma;    // k of d x d
+  };
+
+  GmmOptions opt_;
+  const join::NormalizedRelations* rel_ = nullptr;
+  bool factorized_ = false;
+  size_t k_ = 0, d_ = 0, ds_ = 0, q_ = 0, y_off_ = 0;
+  int64_t n_ = 0;
+  std::vector<size_t> attr_offset_;
+
+  GmmParams params_;
+  GmmDensity density_;
+  Responsibilities resp_;
+  std::vector<CenteredCache> caches_;
+  std::vector<Acc> acc_;
+
+  double ll_sum_ = 0.0;
+  double loglik_ = 0.0;
+  std::vector<double> mu_sum_;
+  std::vector<std::vector<std::vector<double>>> gsum_;  // [i][c][rid]
+  std::vector<Matrix> sigma_sum_;
+};
+
+Result<GmmParams> TrainGmmWith(const join::NormalizedRelations& rel,
+                               const GmmOptions& options,
+                               core::Algorithm algorithm,
+                               storage::BufferPool* pool,
+                               core::TrainReport* report) {
+  GmmProgram program(options);
+  FML_RETURN_IF_ERROR(core::pipeline::RunTraining(
+      rel, algorithm, core::pipeline::LiftStrategyOptions(options), &program,
+      pool, report));
+  return std::move(program).TakeParams();
+}
+
+}  // namespace
+
+Result<GmmParams> TrainGmmMaterialized(const join::NormalizedRelations& rel,
+                                       const GmmOptions& options,
+                                       storage::BufferPool* pool,
+                                       core::TrainReport* report) {
+  return TrainGmmWith(rel, options, core::Algorithm::kMaterialized, pool,
+                      report);
+}
+
+Result<GmmParams> TrainGmmStreaming(const join::NormalizedRelations& rel,
+                                    const GmmOptions& options,
+                                    storage::BufferPool* pool,
+                                    core::TrainReport* report) {
+  return TrainGmmWith(rel, options, core::Algorithm::kStreaming, pool,
+                      report);
+}
+
+Result<GmmParams> TrainGmmFactorized(const join::NormalizedRelations& rel,
+                                     const GmmOptions& options,
+                                     storage::BufferPool* pool,
+                                     core::TrainReport* report) {
+  return TrainGmmWith(rel, options, core::Algorithm::kFactorized, pool,
+                      report);
+}
+
+}  // namespace factorml::gmm

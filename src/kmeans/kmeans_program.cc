@@ -1,0 +1,320 @@
+// Lloyd's k-means as a core/pipeline ModelProgram: one "assign" full pass
+// per iteration computes the nearest centroid, the inertia and the
+// per-cluster statistics; EndPass recomputes the centroids. The factorized
+// path reuses the F-GMM centered-cache idea in its purest form: squared
+// Euclidean distance decomposes over the join's column blocks with no
+// cross terms, so ||x - mu_c||^2 = ||xs - mu_c,S||^2 + sum_i D_i[c][rid_i]
+// where D_i[c][rid] = ||x_Ri - mu_c,Ri||^2 is computed once per attribute
+// tuple per pass and reused for every matching fact tuple. Centroid
+// updates factorize like F-GMM's mean step: per-rid assignment mass
+// replaces per-fact-tuple feature sums for the attribute slices.
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "common/opcount.h"
+#include "core/pipeline/access_strategy.h"
+#include "core/pipeline/model_program.h"
+#include "kmeans/kmeans.h"
+#include "la/ops.h"
+
+namespace factorml::kmeans {
+
+namespace {
+
+using core::pipeline::DenseBlock;
+using core::pipeline::FactorizedBlock;
+using core::pipeline::PipelineContext;
+using la::Matrix;
+
+/// Squared distance between x and mu (length d), with the cost-model
+/// charges: d subtractions, d multiplies, d adds.
+inline double SquaredDistance(const double* x, const double* mu, size_t d) {
+  double dist = 0.0;
+  for (size_t j = 0; j < d; ++j) {
+    const double diff = x[j] - mu[j];
+    dist += diff * diff;
+  }
+  CountSubs(d);
+  CountMults(d);
+  CountAdds(d);
+  return dist;
+}
+
+class KmeansProgram final : public core::pipeline::ModelProgram {
+ public:
+  explicit KmeansProgram(const KmeansOptions& options) : opt_(options) {}
+
+  const char* Name() const override { return "KMEANS"; }
+  const char* TempStem() const override { return "kmeans"; }
+  uint32_t Capabilities() const override {
+    return core::pipeline::kFullPass | core::pipeline::kFactorized;
+  }
+  int MaxIterations() const override { return opt_.max_iters; }
+  const char* PassName(int) const override { return "assign"; }
+
+  Status ValidateOptions(const join::NormalizedRelations& rel) const override {
+    if (opt_.num_clusters == 0 ||
+        static_cast<int64_t>(opt_.num_clusters) > rel.s.num_rows()) {
+      return Status::InvalidArgument(
+          "num_clusters must be in [1, num data points]");
+    }
+    return Status::OK();
+  }
+
+  Status Init(const PipelineContext& ctx) override {
+    rel_ = ctx.rel;
+    factorized_ = ctx.factorized();
+    k_ = opt_.num_clusters;
+    d_ = rel_->total_dims();
+    ds_ = rel_->ds();
+    q_ = rel_->num_joins();
+    y_off_ = rel_->has_target ? 1 : 0;
+    n_ = rel_->s.num_rows();
+    attr_offset_.resize(q_);
+    for (size_t i = 0; i < q_; ++i) attr_offset_[i] = rel_->FeatureOffset(i + 1);
+
+    // Deterministic seeds: joined rows spread evenly through S — the same
+    // initialization rule as GmmInit::kSpreadRows, shared via the pipeline.
+    std::vector<int64_t> rows(k_);
+    for (size_t c = 0; c < k_; ++c) {
+      rows[c] = static_cast<int64_t>(c) * n_ / static_cast<int64_t>(k_);
+    }
+    FML_ASSIGN_OR_RETURN(model_.centroids,
+                         core::pipeline::AssembleJoinedRows(*rel_, ctx.pool,
+                                                            rows));
+    model_.counts.assign(k_, 0.0);
+    prev_inertia_ = std::numeric_limits<double>::infinity();
+    return Status::OK();
+  }
+
+  Status BeginPass(const PipelineContext& ctx, int, int, int workers) override {
+    if (factorized_) {
+      // Once per attribute tuple per pass: the per-cluster squared
+      // distance of its feature slice (the reusable diagonal block; cf.
+      // F-GMM's centered caches, Eq. 20, but with no cross terms).
+      dcache_.resize(q_);
+      for (size_t i = 0; i < q_; ++i) {
+        const Matrix& feats = (*ctx.views)[i].feats();
+        const size_t n_ri = feats.rows();
+        const size_t dri = feats.cols();
+        dcache_[i].Resize(k_, n_ri);
+        for (size_t c = 0; c < k_; ++c) {
+          const double* mu_slice =
+              model_.centroids.Row(c).data() + attr_offset_[i];
+          for (size_t rid = 0; rid < n_ri; ++rid) {
+            dcache_[i](c, rid) =
+                SquaredDistance(feats.Row(rid).data(), mu_slice, dri);
+          }
+        }
+      }
+    }
+    inertia_sum_ = 0.0;
+    counts_.assign(k_, 0.0);
+    const size_t slice = factorized_ ? ds_ : d_;
+    acc_.resize(static_cast<size_t>(workers));
+    for (auto& acc : acc_) {
+      acc.inertia = 0.0;
+      acc.counts.assign(k_, 0.0);
+      acc.sums.assign(k_ * slice, 0.0);
+      if (factorized_) {
+        acc.gsum.resize(q_);
+        for (size_t i = 0; i < q_; ++i) {
+          acc.gsum[i].Resize(k_, (*ctx.views)[i].feats().rows());
+        }
+      }
+    }
+    return Status::OK();
+  }
+
+  void AccumulateDense(int, int worker, const DenseBlock& block) override {
+    Acc& acc = acc_[static_cast<size_t>(worker)];
+    for (size_t r = 0; r < block.num_rows; ++r) {
+      const double* x = block.X(r);
+      size_t best = 0;
+      double best_dist = std::numeric_limits<double>::infinity();
+      for (size_t c = 0; c < k_; ++c) {
+        const double dist =
+            SquaredDistance(x, model_.centroids.Row(c).data(), d_);
+        if (dist < best_dist) {
+          best_dist = dist;
+          best = c;
+        }
+      }
+      acc.inertia += best_dist;
+      acc.counts[best] += 1.0;
+      la::Axpy(1.0, x, acc.sums.data() + best * d_, d_);
+      CountAdds(2);
+    }
+  }
+
+  void AccumulateFactorized(int, int worker,
+                            const FactorizedBlock& block) override {
+    Acc& acc = acc_[static_cast<size_t>(worker)];
+    const storage::RowBatch& s_rows = *block.s_rows;
+    for (size_t r = 0; r < s_rows.num_rows; ++r) {
+      const double* xs = s_rows.feats.Row(r).data() + y_off_;
+      const int64_t* keys = s_rows.KeysOf(r);
+      size_t best = 0;
+      double best_dist = std::numeric_limits<double>::infinity();
+      for (size_t c = 0; c < k_; ++c) {
+        // Block-separable distance: the S slice plus one cached scalar
+        // per attribute table.
+        double dist = SquaredDistance(xs, model_.centroids.Row(c).data(),
+                                      ds_);
+        for (size_t i = 0; i < q_; ++i) {
+          dist += dcache_[i](c, keys[rel_->FkKeyIndex(i)]);
+        }
+        CountAdds(q_);
+        if (dist < best_dist) {
+          best_dist = dist;
+          best = c;
+        }
+      }
+      acc.inertia += best_dist;
+      acc.counts[best] += 1.0;
+      la::Axpy(1.0, xs, acc.sums.data() + best * ds_, ds_);
+      for (size_t i = 0; i < q_; ++i) {
+        acc.gsum[i](best, keys[rel_->FkKeyIndex(i)]) += 1.0;
+      }
+      CountAdds(2 + q_);
+    }
+  }
+
+  void MergeWorker(int, int worker) override {
+    Acc& acc = acc_[static_cast<size_t>(worker)];
+    inertia_sum_ += acc.inertia;
+    for (size_t c = 0; c < k_; ++c) counts_[c] += acc.counts[c];
+    if (sums_.size() != acc.sums.size()) sums_.assign(acc.sums.size(), 0.0);
+    for (size_t j = 0; j < sums_.size(); ++j) sums_[j] += acc.sums[j];
+    if (factorized_) {
+      if (gsum_.empty()) {
+        gsum_ = std::move(acc.gsum);
+      } else {
+        for (size_t i = 0; i < q_; ++i) gsum_[i].Add(acc.gsum[i]);
+      }
+    }
+  }
+
+  Status EndPass(const PipelineContext& ctx, int, int) override {
+    // Lloyd update; empty clusters keep their previous centroid (a
+    // deterministic rule shared by all strategies).
+    if (!factorized_) {
+      for (size_t c = 0; c < k_; ++c) {
+        if (counts_[c] == 0.0) continue;
+        const double inv = 1.0 / counts_[c];
+        for (size_t j = 0; j < d_; ++j) {
+          model_.centroids(c, j) = sums_[c * d_ + j] * inv;
+        }
+        CountMults(d_);
+      }
+    } else {
+      for (size_t c = 0; c < k_; ++c) {
+        if (counts_[c] == 0.0) continue;
+        const double inv = 1.0 / counts_[c];
+        double* mu_row = model_.centroids.Row(c).data();
+        for (size_t j = 0; j < ds_; ++j) mu_row[j] = sums_[c * ds_ + j] * inv;
+        CountMults(ds_);
+        // Attribute slices from per-rid assignment mass — F-GMM's
+        // factorized mean update (Eq. 22) with hard assignments.
+        for (size_t i = 0; i < q_; ++i) {
+          const Matrix& feats = (*ctx.views)[i].feats();
+          const size_t dri = feats.cols();
+          double* slice = mu_row + attr_offset_[i];
+          std::fill(slice, slice + dri, 0.0);
+          for (size_t rid = 0; rid < feats.rows(); ++rid) {
+            const double g = gsum_[i](c, rid);
+            if (g == 0.0) continue;
+            la::Axpy(g, feats.Row(rid).data(), slice, dri);
+          }
+          for (size_t j = 0; j < dri; ++j) slice[j] *= inv;
+          CountMults(dri);
+        }
+      }
+      gsum_.clear();
+    }
+    sums_.clear();
+    model_.counts = counts_;
+    model_.inertia = inertia_sum_;
+    return Status::OK();
+  }
+
+  Result<bool> EndIteration(const PipelineContext&, int) override {
+    const bool stop = opt_.tol > 0.0 &&
+                      std::isfinite(prev_inertia_) &&
+                      std::fabs(inertia_sum_ - prev_inertia_) <
+                          opt_.tol * std::fabs(inertia_sum_);
+    prev_inertia_ = inertia_sum_;
+    return stop;
+  }
+
+  double Objective() const override { return model_.inertia; }
+
+  KmeansModel&& TakeModel() && { return std::move(model_); }
+
+ private:
+  struct Acc {
+    double inertia = 0.0;
+    std::vector<double> counts;  // k
+    std::vector<double> sums;    // k * d (dense) or k * ds (factorized)
+    std::vector<Matrix> gsum;    // [i]: k x nRi assignment mass
+  };
+
+  KmeansOptions opt_;
+  const join::NormalizedRelations* rel_ = nullptr;
+  bool factorized_ = false;
+  size_t k_ = 0, d_ = 0, ds_ = 0, q_ = 0, y_off_ = 0;
+  int64_t n_ = 0;
+  std::vector<size_t> attr_offset_;
+
+  KmeansModel model_;
+  std::vector<Matrix> dcache_;  // [i]: k x nRi squared slice distances
+  std::vector<Acc> acc_;
+  double inertia_sum_ = 0.0;
+  double prev_inertia_ = 0.0;
+  std::vector<double> counts_;
+  std::vector<double> sums_;
+  std::vector<Matrix> gsum_;
+};
+
+}  // namespace
+
+size_t KmeansModel::Assign(const double* x) const {
+  size_t best = 0;
+  double best_dist = std::numeric_limits<double>::infinity();
+  for (size_t c = 0; c < centroids.rows(); ++c) {
+    double dist = 0.0;
+    const double* mu = centroids.Row(c).data();
+    for (size_t j = 0; j < centroids.cols(); ++j) {
+      const double diff = x[j] - mu[j];
+      dist += diff * diff;
+    }
+    if (dist < best_dist) {
+      best_dist = dist;
+      best = c;
+    }
+  }
+  return best;
+}
+
+double KmeansModel::MaxAbsDiff(const KmeansModel& a, const KmeansModel& b) {
+  // Centroids only: inertia is a large sum compared with a relative
+  // tolerance by the parity tests.
+  return la::Matrix::MaxAbsDiff(a.centroids, b.centroids);
+}
+
+Result<KmeansModel> TrainKmeans(const join::NormalizedRelations& rel,
+                                const KmeansOptions& options,
+                                core::Algorithm algorithm,
+                                storage::BufferPool* pool,
+                                core::TrainReport* report) {
+  KmeansProgram program(options);
+  FML_RETURN_IF_ERROR(core::pipeline::RunTraining(
+      rel, algorithm, core::pipeline::LiftStrategyOptions(options), &program,
+      pool, report));
+  return std::move(program).TakeModel();
+}
+
+}  // namespace factorml::kmeans

@@ -60,6 +60,17 @@ class Matrix {
     data_.assign(rows * cols, 0.0);
   }
 
+  /// Resets shape WITHOUT zero-filling retained storage — for hot batch
+  /// buffers whose every element is written before being read (assembly
+  /// buffers, non-accumulating gemm outputs). Newly grown storage is
+  /// value-initialized by vector::resize; shrinking or reshaping keeps
+  /// stale values, so never use this for accumulators.
+  void Reshape(size_t rows, size_t cols) {
+    rows_ = rows;
+    cols_ = cols;
+    data_.resize(rows * cols);
+  }
+
   void Fill(double v) { data_.assign(data_.size(), v); }
   void SetZero() { Fill(0.0); }
 

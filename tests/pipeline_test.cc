@@ -1,0 +1,369 @@
+// core/pipeline tests.
+//
+// 1) Seed-regression: the six GMM/NN trainers, now thin ModelProgram
+//    bindings on the pipeline, must reproduce the pre-refactor outputs
+//    *bit-identically* at --threads=1 — objectives (exact doubles), op
+//    counts and page I/O. The golden values below were captured from the
+//    hand-written trainers before the pipeline refactor.
+// 2) Parity: the two model families added on top of the pipeline (ridge
+//    linear regression, k-means) must produce matching parameters and
+//    objectives under all three strategies at threads 1 and 4.
+
+#include <cmath>
+
+#include "core/factorml.h"
+#include "gtest/gtest.h"
+#include "test_util.h"
+
+namespace factorml {
+namespace {
+
+using data::GenerateSynthetic;
+using factorml::testing::TempDir;
+using storage::BufferPool;
+
+data::SyntheticSpec Spec(const std::string& dir, bool target) {
+  data::SyntheticSpec spec;
+  spec.dir = dir;
+  spec.s_rows = 3000;
+  spec.s_feats = 3;
+  spec.attrs = {data::AttributeSpec{40, 5}};
+  spec.clusters = 3;
+  spec.with_target = target;
+  spec.seed = 33;
+  return spec;
+}
+
+constexpr core::Algorithm kAll[] = {core::Algorithm::kMaterialized,
+                                    core::Algorithm::kStreaming,
+                                    core::Algorithm::kFactorized};
+
+// ------------------------------------------------- seed bit-exactness
+
+struct Golden {
+  double objective;
+  uint64_t mults, adds, subs, exps;
+  uint64_t pages_read, pages_written;
+};
+
+void ExpectGolden(const core::TrainReport& r, const Golden& g) {
+  // Op counts and page I/O are integers and must match exactly — they
+  // prove the refactored pipeline replays the seed trainers' work
+  // stream. The objective goes through libm (exp), which is not
+  // correctly rounded across libc versions/platforms, so it gets a
+  // last-ulps relative tolerance instead of bitwise equality.
+  EXPECT_NEAR(r.final_objective, g.objective,
+              1e-12 * std::fabs(g.objective))
+      << r.algorithm;
+  EXPECT_EQ(r.ops.mults, g.mults) << r.algorithm;
+  EXPECT_EQ(r.ops.adds, g.adds) << r.algorithm;
+  EXPECT_EQ(r.ops.subs, g.subs) << r.algorithm;
+  EXPECT_EQ(r.ops.exps, g.exps) << r.algorithm;
+  EXPECT_EQ(r.io.pages_read, g.pages_read) << r.algorithm;
+  EXPECT_EQ(r.io.pages_written, g.pages_written) << r.algorithm;
+}
+
+TEST(PipelineSeedRegressionTest, GmmTrainersReproduceSeedOutputs) {
+  // Captured from the pre-pipeline trainers at --threads=1 (gcc, x86-64).
+  const Golden golden[3] = {
+      {-0x1.3685da0d6379dp+15, 4111173, 3920373, 459000, 63072, 49, 32},
+      {-0x1.3685da0d6379dp+15, 4111173, 3920373, 459000, 63072, 19, 0},
+      {-0x1.3685da0d63798p+15, 1758573, 1700973, 192600, 63072, 19, 0},
+  };
+  TempDir dir;
+  BufferPool pool(512);
+  // Same dataset as the NN golden run (target carried; GMM skips it).
+  auto rel =
+      std::move(GenerateSynthetic(Spec(dir.str(), true), &pool)).value();
+  gmm::GmmOptions opt;
+  opt.num_components = 3;
+  opt.max_iters = 3;
+  opt.batch_rows = 256;
+  opt.temp_dir = dir.str();
+  opt.threads = 1;
+  for (int a = 0; a < 3; ++a) {
+    pool.Clear();
+    core::TrainReport report;
+    auto params = core::TrainGmm(rel, opt, kAll[a], &pool, &report);
+    ASSERT_TRUE(params.ok()) << params.status().ToString();
+    ExpectGolden(report, golden[a]);
+    EXPECT_EQ(report.iterations, 3);
+  }
+}
+
+TEST(PipelineSeedRegressionTest, NnTrainersReproduceSeedOutputs) {
+  const Golden golden[3] = {
+      {0x1.61d149e909b2ep-4, 3046830, 3051000, 157830, 144000, 49, 32},
+      {0x1.61d149e909b2ep-4, 3046830, 3051000, 157830, 144000, 19, 0},
+      {0x1.61d149e909b2ep-4, 2480430, 2342520, 157830, 144000, 19, 0},
+  };
+  TempDir dir;
+  BufferPool pool(512);
+  auto rel =
+      std::move(GenerateSynthetic(Spec(dir.str(), true), &pool)).value();
+  nn::NnOptions opt;
+  opt.hidden = {16};
+  opt.epochs = 3;
+  opt.batch_rows = 256;
+  opt.temp_dir = dir.str();
+  opt.threads = 1;
+  for (int a = 0; a < 3; ++a) {
+    pool.Clear();
+    core::TrainReport report;
+    auto mlp = core::TrainNn(rel, opt, kAll[a], &pool, &report);
+    ASSERT_TRUE(mlp.ok()) << mlp.status().ToString();
+    ExpectGolden(report, golden[a]);
+  }
+}
+
+// ------------------------------------------------------- linreg parity
+
+class LinregParityTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(LinregParityTest, StrategiesAgree) {
+  TempDir dir;
+  BufferPool pool(512);
+  auto rel =
+      std::move(GenerateSynthetic(Spec(dir.str(), true), &pool)).value();
+  linreg::LinregOptions opt;
+  opt.batch_rows = 256;
+  opt.temp_dir = dir.str();
+  opt.threads = GetParam();
+
+  linreg::LinregModel models[3];
+  core::TrainReport reports[3];
+  for (int a = 0; a < 3; ++a) {
+    pool.Clear();
+    auto m = core::TrainLinreg(rel, opt, kAll[a], &pool, &reports[a]);
+    ASSERT_TRUE(m.ok()) << m.status().ToString();
+    models[a] = std::move(m).value();
+    EXPECT_EQ(reports[a].threads, GetParam());
+    EXPECT_EQ(reports[a].iterations, 1);
+  }
+  EXPECT_EQ(reports[0].algorithm, "M-LINREG");
+  EXPECT_EQ(reports[1].algorithm, "S-LINREG");
+  EXPECT_EQ(reports[2].algorithm, "F-LINREG");
+  // All strategies accumulate the same Gram/cofactor statistics; the
+  // factorized path reorders the additions, hence the tolerance.
+  EXPECT_LT(linreg::LinregModel::MaxAbsDiff(models[0], models[1]), 1e-8);
+  EXPECT_LT(linreg::LinregModel::MaxAbsDiff(models[0], models[2]), 1e-6);
+  EXPECT_NEAR(reports[0].final_objective, reports[2].final_objective,
+              1e-6 * std::fabs(reports[0].final_objective) + 1e-12);
+  // The factorization must pay: fewer multiplies than the dense paths.
+  EXPECT_LT(reports[2].ops.mults, reports[1].ops.mults);
+}
+
+INSTANTIATE_TEST_SUITE_P(Threads, LinregParityTest, ::testing::Values(1, 4));
+
+TEST(LinregTest, RecoversPlantedSignalBetterThanMean) {
+  TempDir dir;
+  BufferPool pool(512);
+  auto rel =
+      std::move(GenerateSynthetic(Spec(dir.str(), true), &pool)).value();
+  linreg::LinregOptions opt;
+  opt.temp_dir = dir.str();
+  opt.threads = 1;
+  core::TrainReport report;
+  auto m = core::TrainLinreg(rel, opt, core::Algorithm::kFactorized, &pool,
+                             &report);
+  ASSERT_TRUE(m.ok()) << m.status().ToString();
+  EXPECT_EQ(m->dims(), rel.total_dims());
+  // The synthetic target depends on the joined features; a fitted ridge
+  // model must beat the best constant predictor, whose half-MSE is
+  // Var(y)/2 (Y is S feature column 0).
+  double sum = 0.0, sum_sq = 0.0;
+  storage::TableScanner scan(&rel.s, &pool, 4096);
+  storage::RowBatch batch;
+  while (scan.Next(&batch)) {
+    for (size_t r = 0; r < batch.num_rows; ++r) {
+      const double y = batch.feats(r, 0);
+      sum += y;
+      sum_sq += y * y;
+    }
+  }
+  ASSERT_TRUE(scan.status().ok());
+  const double n = static_cast<double>(rel.s.num_rows());
+  const double mean = sum / n;
+  const double var = sum_sq / n - mean * mean;
+  EXPECT_GT(report.final_objective, 0.0);
+  EXPECT_LT(report.final_objective, 0.9 * var / 2.0);
+}
+
+TEST(LinregTest, ParallelMatchesSerial) {
+  TempDir dir;
+  BufferPool pool(512);
+  auto rel =
+      std::move(GenerateSynthetic(Spec(dir.str(), true), &pool)).value();
+  linreg::LinregOptions opt;
+  opt.batch_rows = 256;
+  opt.temp_dir = dir.str();
+  for (const auto algo : kAll) {
+    opt.threads = 1;
+    pool.Clear();
+    auto serial = core::TrainLinreg(rel, opt, algo, &pool, nullptr);
+    ASSERT_TRUE(serial.ok());
+    opt.threads = 4;
+    pool.Clear();
+    auto parallel = core::TrainLinreg(rel, opt, algo, &pool, nullptr);
+    ASSERT_TRUE(parallel.ok());
+    EXPECT_LT(linreg::LinregModel::MaxAbsDiff(serial.value(),
+                                              parallel.value()),
+              1e-8)
+        << core::AlgorithmName(algo);
+  }
+}
+
+TEST(LinregTest, RequiresTarget) {
+  TempDir dir;
+  BufferPool pool(512);
+  auto rel =
+      std::move(GenerateSynthetic(Spec(dir.str(), false), &pool)).value();
+  linreg::LinregOptions opt;
+  opt.temp_dir = dir.str();
+  auto m = core::TrainLinreg(rel, opt, core::Algorithm::kStreaming, &pool,
+                             nullptr);
+  EXPECT_FALSE(m.ok());
+  EXPECT_EQ(m.status().code(), StatusCode::kInvalidArgument);
+}
+
+// ------------------------------------------------------- kmeans parity
+
+class KmeansParityTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(KmeansParityTest, StrategiesAgree) {
+  TempDir dir;
+  BufferPool pool(512);
+  auto rel =
+      std::move(GenerateSynthetic(Spec(dir.str(), false), &pool)).value();
+  kmeans::KmeansOptions opt;
+  opt.num_clusters = 3;
+  opt.max_iters = 5;
+  opt.batch_rows = 256;
+  opt.temp_dir = dir.str();
+  opt.threads = GetParam();
+
+  kmeans::KmeansModel models[3];
+  core::TrainReport reports[3];
+  for (int a = 0; a < 3; ++a) {
+    pool.Clear();
+    auto m = core::TrainKmeans(rel, opt, kAll[a], &pool, &reports[a]);
+    ASSERT_TRUE(m.ok()) << m.status().ToString();
+    models[a] = std::move(m).value();
+    EXPECT_EQ(reports[a].iterations, 5);
+  }
+  EXPECT_EQ(reports[0].algorithm, "M-KMEANS");
+  EXPECT_EQ(reports[2].algorithm, "F-KMEANS");
+  EXPECT_LT(kmeans::KmeansModel::MaxAbsDiff(models[0], models[1]), 1e-9);
+  EXPECT_LT(kmeans::KmeansModel::MaxAbsDiff(models[0], models[2]), 1e-7);
+  EXPECT_NEAR(reports[0].final_objective, reports[2].final_objective,
+              1e-7 * std::fabs(reports[0].final_objective));
+  // Cluster sizes of the final assignment must agree exactly.
+  for (int a = 1; a < 3; ++a) {
+    ASSERT_EQ(models[a].counts.size(), models[0].counts.size());
+    for (size_t c = 0; c < models[0].counts.size(); ++c) {
+      EXPECT_EQ(models[a].counts[c], models[0].counts[c]);
+    }
+  }
+  // The factorization must pay: fewer multiplies than the streamed path.
+  EXPECT_LT(reports[2].ops.mults, reports[1].ops.mults);
+}
+
+INSTANTIATE_TEST_SUITE_P(Threads, KmeansParityTest, ::testing::Values(1, 4));
+
+TEST(KmeansTest, InertiaDecreasesAcrossIterations) {
+  TempDir dir;
+  BufferPool pool(512);
+  auto rel =
+      std::move(GenerateSynthetic(Spec(dir.str(), false), &pool)).value();
+  kmeans::KmeansOptions opt;
+  opt.num_clusters = 3;
+  opt.temp_dir = dir.str();
+  opt.threads = 1;
+  core::TrainReport r1, r5;
+  opt.max_iters = 1;
+  auto m1 = core::TrainKmeans(rel, opt, core::Algorithm::kFactorized, &pool,
+                              &r1);
+  ASSERT_TRUE(m1.ok());
+  opt.max_iters = 5;
+  auto m5 = core::TrainKmeans(rel, opt, core::Algorithm::kFactorized, &pool,
+                              &r5);
+  ASSERT_TRUE(m5.ok());
+  EXPECT_LE(r5.final_objective, r1.final_objective);
+  EXPECT_GT(r5.final_objective, 0.0);
+}
+
+TEST(KmeansTest, ToleranceStopsEarly) {
+  TempDir dir;
+  BufferPool pool(512);
+  auto rel =
+      std::move(GenerateSynthetic(Spec(dir.str(), false), &pool)).value();
+  kmeans::KmeansOptions opt;
+  opt.num_clusters = 3;
+  opt.max_iters = 50;
+  opt.tol = 1e-6;
+  opt.temp_dir = dir.str();
+  opt.threads = 1;
+  core::TrainReport report;
+  auto m = core::TrainKmeans(rel, opt, core::Algorithm::kStreaming, &pool,
+                             &report);
+  ASSERT_TRUE(m.ok());
+  EXPECT_LT(report.iterations, 50);
+}
+
+TEST(KmeansTest, RejectsZeroClusters) {
+  TempDir dir;
+  BufferPool pool(512);
+  auto rel =
+      std::move(GenerateSynthetic(Spec(dir.str(), false), &pool)).value();
+  kmeans::KmeansOptions opt;
+  opt.num_clusters = 0;
+  opt.temp_dir = dir.str();
+  for (const auto algo : kAll) {
+    auto m = core::TrainKmeans(rel, opt, algo, &pool, nullptr);
+    EXPECT_FALSE(m.ok()) << core::AlgorithmName(algo);
+    EXPECT_EQ(m.status().code(), StatusCode::kInvalidArgument);
+  }
+}
+
+TEST(KmeansTest, MultiwayFactorizedMatches) {
+  TempDir dir;
+  BufferPool pool(512);
+  auto spec = Spec(dir.str(), false);
+  spec.attrs.push_back(data::AttributeSpec{15, 2});
+  auto rel = std::move(GenerateSynthetic(spec, &pool)).value();
+  kmeans::KmeansOptions opt;
+  opt.num_clusters = 3;
+  opt.max_iters = 4;
+  opt.batch_rows = 256;
+  opt.temp_dir = dir.str();
+  opt.threads = 1;
+  auto m = core::TrainKmeans(rel, opt, core::Algorithm::kMaterialized, &pool,
+                             nullptr);
+  auto f = core::TrainKmeans(rel, opt, core::Algorithm::kFactorized, &pool,
+                             nullptr);
+  ASSERT_TRUE(m.ok() && f.ok());
+  EXPECT_LT(kmeans::KmeansModel::MaxAbsDiff(m.value(), f.value()), 1e-7);
+}
+
+// ----------------------------------------------- multiway linreg parity
+
+TEST(LinregTest, MultiwayFactorizedMatches) {
+  TempDir dir;
+  BufferPool pool(512);
+  auto spec = Spec(dir.str(), true);
+  spec.attrs.push_back(data::AttributeSpec{15, 2});
+  auto rel = std::move(GenerateSynthetic(spec, &pool)).value();
+  linreg::LinregOptions opt;
+  opt.batch_rows = 256;
+  opt.temp_dir = dir.str();
+  opt.threads = 1;
+  auto m = core::TrainLinreg(rel, opt, core::Algorithm::kMaterialized, &pool,
+                             nullptr);
+  auto f = core::TrainLinreg(rel, opt, core::Algorithm::kFactorized, &pool,
+                             nullptr);
+  ASSERT_TRUE(m.ok() && f.ok());
+  EXPECT_LT(linreg::LinregModel::MaxAbsDiff(m.value(), f.value()), 1e-6);
+}
+
+}  // namespace
+}  // namespace factorml

@@ -13,10 +13,15 @@
 //   stats      --dir=D [--target]
 //              Prints joined-table feature statistics computed without
 //              joining (factorized aggregates).
+//   train      --dir=D --model=gmm|nn|linreg|kmeans [--algo=f|s|m|all]
+//              (model-specific flags as below)
 //   train-gmm  --dir=D [--algo=f|s|m|all] [--k=5 --iters=10] [--target]
 //   train-nn   --dir=D [--algo=f|s|m|all] [--nh=50 --epochs=10
 //              --lr=0.05 --batch=1024 --act=sigmoid|tanh|relu|identity
 //              --dropout=0 --momentum=0 --shuffle]
+//   train-linreg --dir=D [--algo=f|s|m|all] [--l2=1e-3 --no_intercept]
+//   train-kmeans --dir=D [--algo=f|s|m|all] [--k=5 --iters=10 --tol=0]
+//              [--target]
 //   export     --dir=D --out=F.csv [--table=s|r1|r2...]
 //
 // Every train run prints a TrainReport (wall time, page I/O, flops).
@@ -64,12 +69,26 @@ Result<join::NormalizedRelations> LoadRelations(const std::string& dir,
   return rel;
 }
 
-std::vector<core::Algorithm> ParseAlgos(const std::string& spec) {
-  if (spec == "m") return {core::Algorithm::kMaterialized};
-  if (spec == "s") return {core::Algorithm::kStreaming};
-  if (spec == "f") return {core::Algorithm::kFactorized};
-  return {core::Algorithm::kMaterialized, core::Algorithm::kStreaming,
-          core::Algorithm::kFactorized};
+/// Parses `--algo`; unknown values list the valid choices instead of
+/// silently falling back.
+Result<std::vector<core::Algorithm>> ParseAlgos(const std::string& spec) {
+  if (spec == "m") {
+    return std::vector<core::Algorithm>{core::Algorithm::kMaterialized};
+  }
+  if (spec == "s") {
+    return std::vector<core::Algorithm>{core::Algorithm::kStreaming};
+  }
+  if (spec == "f") {
+    return std::vector<core::Algorithm>{core::Algorithm::kFactorized};
+  }
+  if (spec == "all") {
+    return std::vector<core::Algorithm>{core::Algorithm::kMaterialized,
+                                        core::Algorithm::kStreaming,
+                                        core::Algorithm::kFactorized};
+  }
+  return Status::InvalidArgument(
+      "unknown --algo '" + spec +
+      "' (valid: m = materialized, s = streaming, f = factorized, all)");
 }
 
 int CmdGenerate(const ArgParser& args) {
@@ -190,7 +209,9 @@ int CmdTrainGmm(const ArgParser& args) {
   opt.max_iters = static_cast<int>(args.GetInt("iters", 10));
   opt.tol = args.GetDouble("tol", 0.0);
   opt.temp_dir = dir;
-  for (const auto algo : ParseAlgos(args.GetString("algo", "all"))) {
+  auto algos = ParseAlgos(args.GetString("algo", "all"));
+  if (!algos.ok()) return FailStatus(algos.status());
+  for (const auto algo : algos.value()) {
     pool.Clear();
     core::TrainReport report;
     auto params = core::TrainGmm(rel.value(), opt, algo, &pool, &report);
@@ -222,9 +243,14 @@ int CmdTrainNn(const ArgParser& args) {
   if (act == "tanh") opt.activation = nn::Activation::kTanh;
   else if (act == "relu") opt.activation = nn::Activation::kRelu;
   else if (act == "identity") opt.activation = nn::Activation::kIdentity;
-  else if (act != "sigmoid") return Fail("unknown --act: " + act);
+  else if (act != "sigmoid") {
+    return Fail("unknown --act '" + act +
+                "' (valid: sigmoid, tanh, relu, identity)");
+  }
 
-  for (const auto algo : ParseAlgos(args.GetString("algo", "all"))) {
+  auto algos = ParseAlgos(args.GetString("algo", "all"));
+  if (!algos.ok()) return FailStatus(algos.status());
+  for (const auto algo : algos.value()) {
     pool.Clear();
     core::TrainReport report;
     auto mlp = core::TrainNn(rel.value(), opt, algo, &pool, &report);
@@ -232,6 +258,69 @@ int CmdTrainNn(const ArgParser& args) {
     std::printf("%s\n", report.ToString().c_str());
   }
   return 0;
+}
+
+int CmdTrainLinreg(const ArgParser& args) {
+  const std::string dir = args.GetString("dir", "");
+  if (dir.empty()) return Fail("train-linreg requires --dir");
+  storage::BufferPool pool(
+      static_cast<size_t>(args.GetInt("pool_pages", 8192)));
+  auto rel = LoadRelations(dir, /*has_target=*/true, &pool);
+  if (!rel.ok()) return FailStatus(rel.status());
+
+  linreg::LinregOptions opt;
+  opt.l2 = args.GetDouble("l2", 1e-3);
+  opt.intercept = !args.GetBool("no_intercept", false);
+  opt.batch_rows = static_cast<size_t>(args.GetInt("batch", 8192));
+  opt.temp_dir = dir;
+  auto algos = ParseAlgos(args.GetString("algo", "all"));
+  if (!algos.ok()) return FailStatus(algos.status());
+  for (const auto algo : algos.value()) {
+    pool.Clear();
+    core::TrainReport report;
+    auto model = core::TrainLinreg(rel.value(), opt, algo, &pool, &report);
+    if (!model.ok()) return FailStatus(model.status());
+    std::printf("%s\n", report.ToString().c_str());
+  }
+  return 0;
+}
+
+int CmdTrainKmeans(const ArgParser& args) {
+  const std::string dir = args.GetString("dir", "");
+  if (dir.empty()) return Fail("train-kmeans requires --dir");
+  storage::BufferPool pool(
+      static_cast<size_t>(args.GetInt("pool_pages", 8192)));
+  auto rel = LoadRelations(dir, args.GetBool("target", false), &pool);
+  if (!rel.ok()) return FailStatus(rel.status());
+
+  kmeans::KmeansOptions opt;
+  opt.num_clusters = static_cast<size_t>(args.GetInt("k", 5));
+  opt.max_iters = static_cast<int>(args.GetInt("iters", 10));
+  opt.tol = args.GetDouble("tol", 0.0);
+  opt.batch_rows = static_cast<size_t>(args.GetInt("batch", 8192));
+  opt.temp_dir = dir;
+  auto algos = ParseAlgos(args.GetString("algo", "all"));
+  if (!algos.ok()) return FailStatus(algos.status());
+  for (const auto algo : algos.value()) {
+    pool.Clear();
+    core::TrainReport report;
+    auto model = core::TrainKmeans(rel.value(), opt, algo, &pool, &report);
+    if (!model.ok()) return FailStatus(model.status());
+    std::printf("%s\n", report.ToString().c_str());
+  }
+  return 0;
+}
+
+/// Unified entry point: `train --model=<family>` dispatches to the family
+/// trainer; unknown families list the valid choices.
+int CmdTrain(const ArgParser& args) {
+  const std::string model = args.GetString("model", "");
+  if (model == "gmm") return CmdTrainGmm(args);
+  if (model == "nn") return CmdTrainNn(args);
+  if (model == "linreg") return CmdTrainLinreg(args);
+  if (model == "kmeans") return CmdTrainKmeans(args);
+  return Fail("unknown --model '" + model +
+              "' (valid: gmm, nn, linreg, kmeans)");
 }
 
 int CmdExport(const ArgParser& args) {
@@ -251,11 +340,12 @@ int CmdExport(const ArgParser& args) {
 }
 
 int Main(int argc, char** argv) {
+  static constexpr const char kUsage[] =
+      "usage: factorml_cli "
+      "<generate|import|stats|train|train-gmm|train-nn|train-linreg|"
+      "train-kmeans|export> [--flags]\n";
   if (argc < 2) {
-    std::fprintf(stderr,
-                 "usage: factorml_cli "
-                 "<generate|import|stats|train-gmm|train-nn|export> "
-                 "[--flags]\n");
+    std::fprintf(stderr, "%s", kUsage);
     return 1;
   }
   const std::string cmd = argv[1];
@@ -268,9 +358,13 @@ int Main(int argc, char** argv) {
   if (cmd == "generate") return CmdGenerate(args);
   if (cmd == "import") return CmdImport(args);
   if (cmd == "stats") return CmdStats(args);
+  if (cmd == "train") return CmdTrain(args);
   if (cmd == "train-gmm") return CmdTrainGmm(args);
   if (cmd == "train-nn") return CmdTrainNn(args);
+  if (cmd == "train-linreg") return CmdTrainLinreg(args);
+  if (cmd == "train-kmeans") return CmdTrainKmeans(args);
   if (cmd == "export") return CmdExport(args);
+  std::fprintf(stderr, "%s", kUsage);
   return Fail("unknown command: " + cmd);
 }
 
