@@ -145,7 +145,15 @@ class JsonReport {
     row << ", \"mults\": " << r.ops.mults << ", \"adds\": " << r.ops.adds
         << ", \"subs\": " << r.ops.subs << ", \"exps\": " << r.ops.exps
         << ", \"pages_read\": " << r.io.pages_read
-        << ", \"pages_written\": " << r.io.pages_written << "}";
+        << ", \"pages_written\": " << r.io.pages_written
+        << ", \"morsel_chunks\": " << r.morsel_chunks
+        << ", \"steals\": " << r.steals;
+    if (!r.worker_busy_seconds.empty()) {
+      const auto [lo, hi] = r.BusyRange();
+      row << ", \"busy_min_seconds\": " << lo
+          << ", \"busy_max_seconds\": " << hi;
+    }
+    row << "}";
     rows_.push_back(row.str());
     Write();
   }

@@ -1,0 +1,145 @@
+// Work-stealing on Zipf-skewed FK1 runs.
+//
+// Static run morsels split the pass by total row weight, but a handful of
+// giant runs pin whole chunks of work to single workers and the rest go
+// idle. The chunk-ordered scheduler splits the same pass into many small
+// chunks; with --steal=on idle workers drain the backlog of the loaded
+// ones. Because every chunk owns its accumulator slot and the reduction
+// merges in chunk order, steal-on and steal-off produce bit-identical
+// objectives and op counts — this bench asserts that while measuring what
+// stealing buys: the per-worker busy-time spread (the load-balance
+// evidence; wall-clock speedup additionally needs multi-core hardware —
+// the dev container is single-core, see ROADMAP).
+//
+//   bench_skew_stealing [--threads=4] [--s-rows=60000] [--r-rows=300]
+//                       [--morsel-rows=1024] [--zipf10=0,10,16]
+//                       [--iters=3] [--json=PATH]
+// (--zipf10 lists Zipf exponents in tenths; 0 = the uniform baseline. A
+// single-giant-run dataset is always appended as the worst case.)
+
+#include <cmath>
+#include <cstdio>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "bench_util.h"
+#include "data/synthetic.h"
+
+namespace factorml::bench {
+namespace {
+
+struct BusySpread {
+  double min_s = 0.0, max_s = 0.0, spread = 0.0;  // spread = 1 - min/max
+};
+
+BusySpread Spread(const core::TrainReport& r) {
+  BusySpread s;
+  std::tie(s.min_s, s.max_s) = r.BusyRange();
+  s.spread = s.max_s > 0.0 ? 1.0 - s.min_s / s.max_s : 0.0;
+  return s;
+}
+
+int Main(int argc, char** argv) {
+  ArgParser args(argc, argv);
+  ApplyCommonBenchFlags(args);
+  const int threads = args.GetThreads(4);
+  const int64_t s_rows = args.GetInt("s-rows", 60000);
+  const int64_t r_rows = args.GetInt("r-rows", 300);
+  const int64_t morsel_rows = args.GetMorselRows(1024);
+  const int iters = static_cast<int>(args.GetInt("iters", 3));
+  std::vector<int64_t> zipf_tenths = args.GetIntList("zipf10", {0, 10, 16});
+  JsonReport json("skew_stealing", args);
+
+  std::printf(
+      "k-means (factorized) on %lld fact rows over %lld FK1 runs, "
+      "threads=%d, morsel-rows=%lld\n",
+      static_cast<long long>(s_rows), static_cast<long long>(r_rows), threads,
+      static_cast<long long>(morsel_rows));
+  std::printf("%-12s %-9s %10s %10s %10s %9s %8s\n", "runs", "steal",
+              "wall(s)", "busy_min", "busy_max", "spread", "steals");
+
+  // Zipf sweep plus the single-giant-run worst case.
+  std::vector<std::pair<std::string, data::SyntheticSpec>> datasets;
+  for (const int64_t z10 : zipf_tenths) {
+    data::SyntheticSpec spec;
+    spec.s_rows = s_rows;
+    spec.s_feats = 4;
+    spec.attrs = {data::AttributeSpec{r_rows, 4}};
+    if (z10 == 0) {
+      spec.run_dist = data::RunDist::kUniform;
+      datasets.emplace_back("uniform", spec);
+    } else {
+      spec.run_dist = data::RunDist::kZipf;
+      spec.zipf_s = static_cast<double>(z10) / 10.0;
+      datasets.emplace_back("zipf_" + std::to_string(z10 / 10) + "." +
+                                std::to_string(z10 % 10),
+                            spec);
+    }
+  }
+  {
+    data::SyntheticSpec spec;
+    spec.s_rows = s_rows;
+    spec.s_feats = 4;
+    spec.attrs = {data::AttributeSpec{r_rows, 4}};
+    spec.run_dist = data::RunDist::kSingleGiant;
+    datasets.emplace_back("single_giant", spec);
+  }
+
+  for (auto& [name, spec] : datasets) {
+    BenchDir dir;
+    spec.dir = dir.str();
+    storage::BufferPool pool(4096);
+    auto rel_or = data::GenerateSynthetic(spec, &pool);
+    if (!rel_or.ok()) Die(rel_or.status());
+    const auto rel = std::move(rel_or).value();
+
+    kmeans::KmeansOptions opt;
+    opt.num_clusters = 5;
+    opt.max_iters = iters;
+    opt.temp_dir = dir.str();
+    opt.threads = threads;
+    opt.morsel_rows = morsel_rows;
+
+    core::TrainReport reports[2];
+    for (const bool steal : {false, true}) {
+      opt.steal = steal;
+      pool.Clear();
+      auto m = core::TrainKmeans(rel, opt, core::Algorithm::kFactorized,
+                                 &pool, &reports[steal ? 1 : 0]);
+      if (!m.ok()) Die(m.status());
+      const core::TrainReport& r = reports[steal ? 1 : 0];
+      const BusySpread s = Spread(r);
+      std::printf("%-12s %-9s %10.3f %10.4f %10.4f %8.1f%% %8llu\n",
+                  name.c_str(), steal ? "on" : "off", r.wall_seconds, s.min_s,
+                  s.max_s, 100.0 * s.spread,
+                  static_cast<unsigned long long>(r.steals));
+      json.Add(name, steal ? "steal_on" : "steal_off", r);
+    }
+    // The determinism contract, asserted where it matters most: heavy
+    // skew, live stealing — identical bits or the bench fails.
+    if (reports[0].final_objective != reports[1].final_objective ||
+        reports[0].ops.mults != reports[1].ops.mults ||
+        reports[0].ops.adds != reports[1].ops.adds) {
+      std::fprintf(stderr,
+                   "PARITY VIOLATION on %s: steal-on result differs from "
+                   "steal-off (objective %a vs %a)\n",
+                   name.c_str(), reports[0].final_objective,
+                   reports[1].final_objective);
+      return 1;
+    }
+  }
+  std::printf(
+      "steal-on == steal-off verified bit-identical (objective + op "
+      "counts) on every dataset\n");
+  std::printf(
+      "note: on a single hardware core the OS serializes workers, so busy "
+      "spread reflects wake-up order (late workers find the queue already "
+      "drained); balance and wall-clock gains need multi-core hardware\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace factorml::bench
+
+int main(int argc, char** argv) { return factorml::bench::Main(argc, argv); }

@@ -82,4 +82,35 @@ int ArgParser::GetThreads(int default_value) const {
   return static_cast<int>(threads);
 }
 
+int64_t ArgParser::GetMorselRows(int64_t default_value) const {
+  auto it = kv_.find("morsel-rows");
+  if (it == kv_.end()) return default_value < 0 ? 0 : default_value;
+  errno = 0;
+  char* end = nullptr;
+  const long long rows = std::strtoll(it->second.c_str(), &end, 10);
+  if (errno == ERANGE || end == it->second.c_str() || *end != '\0' ||
+      rows < 0) {
+    std::fprintf(stderr,
+                 "invalid --morsel-rows=%s (must be an integer >= 0; 0 = "
+                 "static per-worker morsels, N > 0 = chunk-ordered "
+                 "scheduler with N-row chunks)\n",
+                 it->second.c_str());
+    std::exit(2);
+  }
+  return static_cast<int64_t>(rows);
+}
+
+bool ArgParser::GetSteal(bool default_value) const {
+  auto it = kv_.find("steal");
+  if (it == kv_.end()) return default_value;
+  if (it->second == "on") return true;
+  if (it->second == "off") return false;
+  std::fprintf(stderr,
+               "invalid --steal=%s (must be 'on' or 'off'; on = idle "
+               "workers take chunks from busy ones, bit-identical results "
+               "either way)\n",
+               it->second.c_str());
+  std::exit(2);
+}
+
 }  // namespace factorml

@@ -32,6 +32,18 @@ class ArgParser {
   /// point for every binary (CLI, benches, examples).
   int GetThreads(int default_value = 1) const;
 
+  /// The shared `--morsel-rows=N` flag: rows per scheduler chunk of the
+  /// full-pass plane. 0 (default) keeps the static per-worker partition;
+  /// N > 0 enables the chunk-ordered work scheduler, whose results depend
+  /// on N but not on --threads or --steal. Values < 0 or non-integers are
+  /// rejected with an error and exit(2).
+  int64_t GetMorselRows(int64_t default_value = 0) const;
+
+  /// The shared `--steal={on,off}` flag: work stealing over the chunked
+  /// decomposition (implies chunking with the default morsel size when
+  /// --morsel-rows is unset). Anything other than on/off exits(2).
+  bool GetSteal(bool default_value = false) const;
+
  private:
   std::map<std::string, std::string> kv_;
 };

@@ -5,6 +5,8 @@
 // (Fig. 1(c) / Fig. 2 of the paper). Morsels are whole FK1 runs so the
 // per-R-tuple reuse is preserved within each worker.
 
+#include <optional>
+
 #include "core/pipeline/access_internal.h"
 #include "join/join_cursor.h"
 
@@ -20,19 +22,27 @@ class FactorizedStrategy final : public JoinStreamStrategyBase {
 
   Status RunPass(const PipelineContext& ctx, ModelProgram* model,
                  int pass) override {
-    std::vector<Status> worker_status(static_cast<size_t>(nw_));
-    exec::ParallelRanges(ranges_, [&](exec::Range range, int w) {
+    // One join cursor per worker thread, reused across the FK1-run
+    // morsels it executes (runs are atomic, so whichever worker ends up
+    // with a chunk delivers the same groups and preserves the per-R-tuple
+    // reuse).
+    struct Worker {
+      std::optional<join::JoinCursor> cursor;
       join::JoinBatch batch;
-      join::JoinCursor cursor(ctx.rel, pools_->Get(w), batch_rows_);
-      cursor.SetPositionRange(range.begin, range.end);
-      while (cursor.Next(&batch)) {
-        if (batch.s_rows.num_rows == 0) continue;
-        FactorizedBlock block{&batch.s_rows, &batch.groups};
-        model->AccumulateFactorized(pass, w, block);
-      }
-      worker_status[static_cast<size_t>(w)] = cursor.status();
-    });
-    FML_RETURN_IF_ERROR(exec::FirstError(worker_status));
+    };
+    std::vector<Worker> workers(static_cast<size_t>(pool_workers()));
+    FML_RETURN_IF_ERROR(DriveMorsels(
+        ctx, [&](exec::Range range, int slot, int w, Status* status) {
+          Worker& wk = workers[static_cast<size_t>(w)];
+          if (!wk.cursor) wk.cursor.emplace(ctx.rel, pools_->Get(w), batch_rows_);
+          wk.cursor->SetPositionRange(range.begin, range.end);
+          while (wk.cursor->Next(&wk.batch)) {
+            if (wk.batch.s_rows.num_rows == 0) continue;
+            FactorizedBlock block{&wk.batch.s_rows, &wk.batch.groups};
+            model->AccumulateFactorized(pass, slot, block);
+          }
+          *status = wk.cursor->status();
+        }));
     for (int w = 0; w < nw_; ++w) model->MergeWorker(pass, w);
     return Status::OK();
   }

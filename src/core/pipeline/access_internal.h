@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "core/pipeline/access_strategy.h"
+#include "exec/morsel_queue.h"
 #include "exec/parallel_for.h"
 #include "exec/worker_pools.h"
 #include "join/attribute_view.h"
@@ -14,9 +15,17 @@
 namespace factorml::core::pipeline::internal {
 
 /// State shared by the three strategy drivers: the relations, the caller's
-/// buffer pool, the morsel partition and the per-worker pools (built once
-/// per training run so private pool contents persist across passes, exactly
-/// like the hand-written trainers' WorkerPools did).
+/// buffer pool, the full-pass morsel plan and the per-worker pools (built
+/// once per training run so private pool contents persist across passes,
+/// exactly like the hand-written trainers' WorkerPools did).
+///
+/// Two scheduling modes share one plan representation (`ranges_`):
+///  - legacy (morsel_rows == 0): one static range per worker, accumulator
+///    slot == worker, merged in worker order — the seed-exact path;
+///  - chunked (morsel_rows > 0): fixed deterministically numbered chunks,
+///    slot == chunk id, workers acquire chunks from the MorselQueue (with
+///    stealing when enabled) and the reduction merges in chunk order, so
+///    the result is invariant under thread count and steal schedule.
 class StrategyBase : public AccessStrategy {
  public:
   int NumWorkers() const override { return nw_; }
@@ -29,12 +38,62 @@ class StrategyBase : public AccessStrategy {
         batch_rows_(options.batch_rows),
         temp_dir_(options.temp_dir),
         threads_(options.threads),
+        morsel_rows_(options.morsel_rows),
+        steal_(options.steal),
         full_pass_(full_pass) {}
 
+  /// Chunk-ordered scheduler active? (RunTraining resolves steal-without-
+  /// morsel-rows to kDefaultMorselRows before strategies are created.)
+  bool chunked() const { return morsel_rows_ > 0; }
+
+  /// Scanner/cursor states and buffer pools one pass needs: the actual
+  /// worker threads in chunked mode, one per static range otherwise.
+  int pool_workers() const { return chunked() ? threads_ : nw_; }
+
+  /// Installs the full-pass morsel plan — the per-worker static partition
+  /// (legacy) or the deterministic chunk list (chunked). NumWorkers()
+  /// becomes the accumulator slot count handed to ModelProgram::BeginPass.
   void BuildWorkers(std::vector<exec::Range> ranges) {
     ranges_ = std::move(ranges);
     nw_ = ranges_.empty() ? 1 : static_cast<int>(ranges_.size());
-    pools_ = std::make_unique<exec::WorkerPools>(pool_, nw_);
+    pools_ = std::make_unique<exec::WorkerPools>(pool_, pool_workers());
+  }
+
+  /// Publishes the plan shape to the report (called from Prepare).
+  void RecordMorselPlan(PipelineContext* ctx) const {
+    if (ctx->report != nullptr) {
+      ctx->report->morsel_chunks =
+          chunked() ? static_cast<int64_t>(ranges_.size()) : 0;
+    }
+  }
+
+  /// Drives one full pass over the morsel plan: body(range, slot, worker,
+  /// status-slot) runs once per morsel; the caller then merges slots
+  /// 0..NumWorkers()-1 in order. Legacy mode runs each worker's one static
+  /// range (slot == worker); chunked mode lets workers acquire chunks from
+  /// the scheduler, stealing when enabled (slot = chunk id). Steal counts
+  /// and per-worker busy time accumulate into ctx.report; the returned
+  /// status is the first error in slot order.
+  template <typename Body>
+  Status DriveMorsels(const PipelineContext& ctx, const Body& body) {
+    std::vector<Status> slot_status(static_cast<size_t>(nw_));
+    const exec::MorselStats stats = exec::RunMorsels(
+        ranges_, pool_workers(), chunked() && steal_,
+        [&](exec::Range range, int64_t chunk, int worker) {
+          body(range, static_cast<int>(chunk), worker,
+               &slot_status[static_cast<size_t>(chunk)]);
+        });
+    if (ctx.report != nullptr) {
+      ctx.report->steals += stats.steals;
+      auto& busy = ctx.report->worker_busy_seconds;
+      if (busy.size() < stats.busy_seconds.size()) {
+        busy.resize(stats.busy_seconds.size(), 0.0);
+      }
+      for (size_t w = 0; w < stats.busy_seconds.size(); ++w) {
+        busy[w] += stats.busy_seconds[w];
+      }
+    }
+    return exec::FirstError(slot_status);
   }
 
   const join::NormalizedRelations* rel_;
@@ -42,6 +101,8 @@ class StrategyBase : public AccessStrategy {
   size_t batch_rows_;
   std::string temp_dir_;
   int threads_;
+  int64_t morsel_rows_;
+  bool steal_;
   bool full_pass_;
   std::vector<exec::Range> ranges_;
   int nw_ = 1;
@@ -54,11 +115,14 @@ class StrategyBase : public AccessStrategy {
 class JoinStreamStrategyBase : public StrategyBase {
  public:
   Status Prepare(PipelineContext* ctx, const std::string& temp_stem) override {
-    (void)ctx, (void)temp_stem;
+    (void)temp_stem;
     FML_CHECK_GT(rel_->fk1_index.num_rids(), 0) << "BuildIndex() not called";
     views_.resize(rel_->num_joins());
     if (full_pass_) {
-      BuildWorkers(join::PartitionFk1Runs(rel_->fk1_index, threads_));
+      BuildWorkers(chunked()
+                       ? join::ChunkFk1Runs(rel_->fk1_index, morsel_rows_)
+                       : join::PartitionFk1Runs(rel_->fk1_index, threads_));
+      RecordMorselPlan(ctx);
     }
     return Status::OK();
   }

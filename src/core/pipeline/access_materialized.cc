@@ -34,9 +34,12 @@ class MaterializedStrategy final : public StrategyBase {
       ctx->report->materialize_seconds = mat_watch.ElapsedSeconds();
     }
     if (full_pass_) {
-      BuildWorkers(exec::PartitionRows(
-          t_->num_rows(), threads_,
-          static_cast<int64_t>(t_->schema().RowsPerPage())));
+      const auto align = static_cast<int64_t>(t_->schema().RowsPerPage());
+      BuildWorkers(chunked()
+                       ? exec::SplitRowChunks(t_->num_rows(), morsel_rows_,
+                                              align)
+                       : exec::PartitionRows(t_->num_rows(), threads_, align));
+      RecordMorselPlan(ctx);
     }
     return Status::OK();
   }
@@ -49,27 +52,34 @@ class MaterializedStrategy final : public StrategyBase {
   Status RunPass(const PipelineContext& ctx, ModelProgram* model,
                  int pass) override {
     const size_t y_off = ctx.rel->has_target ? 1 : 0;
-    std::vector<Status> worker_status(static_cast<size_t>(nw_));
-    exec::ParallelRanges(ranges_, [&](exec::Range range, int w) {
+    // One scanner + batch buffer per worker thread, reused across the
+    // morsels it executes (the ranges are page-aligned, so whichever
+    // worker ends up with a chunk reads the same pages and rows).
+    struct Worker {
+      std::optional<storage::TableScanner> scan;
       storage::RowBatch batch;
-      storage::TableScanner scan(&*t_, pools_->Get(w), batch_rows_);
-      scan.SetRowRange(range.begin, range.end);
-      while (scan.Next(&batch)) {
-        if (batch.num_rows == 0) continue;
-        DenseBlock block;
-        block.start_row = batch.start_row;
-        block.num_rows = batch.num_rows;
-        block.x = batch.feats.data() + y_off;
-        block.x_stride = batch.feats.cols();
-        if (y_off != 0) {
-          block.y = batch.feats.data();
-          block.y_stride = batch.feats.cols();
-        }
-        model->AccumulateDense(pass, w, block);
-      }
-      worker_status[static_cast<size_t>(w)] = scan.status();
-    });
-    FML_RETURN_IF_ERROR(exec::FirstError(worker_status));
+    };
+    std::vector<Worker> workers(static_cast<size_t>(pool_workers()));
+    FML_RETURN_IF_ERROR(DriveMorsels(
+        ctx, [&](exec::Range range, int slot, int w, Status* status) {
+          Worker& wk = workers[static_cast<size_t>(w)];
+          if (!wk.scan) wk.scan.emplace(&*t_, pools_->Get(w), batch_rows_);
+          wk.scan->SetRowRange(range.begin, range.end);
+          while (wk.scan->Next(&wk.batch)) {
+            if (wk.batch.num_rows == 0) continue;
+            DenseBlock block;
+            block.start_row = wk.batch.start_row;
+            block.num_rows = wk.batch.num_rows;
+            block.x = wk.batch.feats.data() + y_off;
+            block.x_stride = wk.batch.feats.cols();
+            if (y_off != 0) {
+              block.y = wk.batch.feats.data();
+              block.y_stride = wk.batch.feats.cols();
+            }
+            model->AccumulateDense(pass, slot, block);
+          }
+          *status = wk.scan->status();
+        }));
     for (int w = 0; w < nw_; ++w) model->MergeWorker(pass, w);
     return Status::OK();
   }

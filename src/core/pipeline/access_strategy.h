@@ -20,8 +20,26 @@ namespace factorml::core::pipeline {
 struct StrategyOptions {
   size_t batch_rows = 8192;  // rows per streamed/scanned batch
   int threads = 0;           // exec/ workers; 0 = DefaultThreads()
+  /// Rows per scheduler chunk for the full-pass plane. 0 (default) keeps
+  /// the legacy static partition — one morsel per worker, merged in worker
+  /// order, the seed-exact reproduction path. > 0 switches to the
+  /// chunk-ordered scheduler: the pass is split into fixed,
+  /// deterministically numbered chunks (page-aligned rows for M, whole
+  /// FK1 runs for S/F), every chunk accumulates into its own slot, and
+  /// the reduction merges in chunk order — so for a fixed morsel_rows the
+  /// result is bit-identical for ANY thread count and ANY steal schedule.
+  int64_t morsel_rows = 0;
+  /// Work stealing over the chunked decomposition: idle workers acquire
+  /// chunks from other workers' blocks (lock-free, exec::MorselQueue).
+  /// Changes who computes each chunk, never what is merged. Implies
+  /// chunking (kDefaultMorselRows) when morsel_rows is unset.
+  bool steal = false;
   std::string temp_dir = ".";
 };
+
+/// Chunk size used when stealing is requested without an explicit
+/// --morsel-rows.
+inline constexpr int64_t kDefaultMorselRows = 4096;
 
 /// The data-access plane of the training pipeline: one driver per paper
 /// strategy. A strategy owns materialization and temp files (M),
@@ -49,8 +67,11 @@ class AccessStrategy {
   /// across passes exactly as a hand-written trainer's would.
   virtual Status Prepare(PipelineContext* ctx, const std::string& temp_stem) = 0;
 
-  /// Worker count of the full-pass partition (1 when threads == 1 — the
-  /// bit-exact serial path).
+  /// Accumulator slot count of the full-pass plan, handed to
+  /// ModelProgram::BeginPass: the worker count of the static partition in
+  /// legacy mode (1 when threads == 1 — the bit-exact serial path), the
+  /// chunk count when the chunk-ordered scheduler is active (slot = chunk
+  /// id, so the merge order is a data invariant).
   virtual int NumWorkers() const = 0;
 
   /// Reloads per-pass inputs: S/F load the attribute views (one counted
@@ -94,6 +115,8 @@ StrategyOptions LiftStrategyOptions(const Options& options) {
   StrategyOptions sopt;
   sopt.batch_rows = options.batch_rows;
   sopt.threads = options.threads;
+  sopt.morsel_rows = options.morsel_rows;
+  sopt.steal = options.steal;
   sopt.temp_dir = options.temp_dir;
   return sopt;
 }

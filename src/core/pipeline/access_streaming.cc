@@ -4,6 +4,8 @@
 // (Fig. 1(b) of the paper). Morsels are whole FK1 runs so each worker's
 // scan of S stays a sequential range read.
 
+#include <optional>
+
 #include "core/pipeline/access_internal.h"
 #include "join/assemble.h"
 #include "join/join_cursor.h"
@@ -22,37 +24,43 @@ class StreamingStrategy final : public JoinStreamStrategyBase {
                  int pass) override {
     const size_t y_off = ctx.rel->has_target ? 1 : 0;
     const size_t d = ctx.rel->total_dims();
-    std::vector<Status> worker_status(static_cast<size_t>(nw_));
-    exec::ParallelRanges(ranges_, [&](exec::Range range, int w) {
-      la::Matrix xbuf;  // per-worker assembly buffer
-      std::vector<double> ybuf;
+    // One join cursor + assembly buffer per worker thread, reused across
+    // the FK1-run morsels it executes.
+    struct Worker {
+      std::optional<join::JoinCursor> cursor;
       join::JoinBatch batch;
-      join::JoinCursor cursor(ctx.rel, pools_->Get(w), batch_rows_);
-      cursor.SetPositionRange(range.begin, range.end);
-      while (cursor.Next(&batch)) {
-        const size_t b = batch.s_rows.num_rows;
-        if (b == 0) continue;
-        xbuf.Reshape(b, d);
-        if (y_off != 0) ybuf.resize(b);
-        for (size_t r = 0; r < b; ++r) {
-          if (y_off != 0) ybuf[r] = batch.s_rows.feats(r, 0);
-          join::AssembleJoinedRow(*ctx.rel, batch.s_rows, r, views_,
-                                  xbuf.Row(r).data());
-        }
-        DenseBlock block;
-        block.start_row = batch.s_rows.start_row;
-        block.num_rows = b;
-        block.x = xbuf.data();
-        block.x_stride = d;
-        if (y_off != 0) {
-          block.y = ybuf.data();
-          block.y_stride = 1;
-        }
-        model->AccumulateDense(pass, w, block);
-      }
-      worker_status[static_cast<size_t>(w)] = cursor.status();
-    });
-    FML_RETURN_IF_ERROR(exec::FirstError(worker_status));
+      la::Matrix xbuf;
+      std::vector<double> ybuf;
+    };
+    std::vector<Worker> workers(static_cast<size_t>(pool_workers()));
+    FML_RETURN_IF_ERROR(DriveMorsels(
+        ctx, [&](exec::Range range, int slot, int w, Status* status) {
+          Worker& wk = workers[static_cast<size_t>(w)];
+          if (!wk.cursor) wk.cursor.emplace(ctx.rel, pools_->Get(w), batch_rows_);
+          wk.cursor->SetPositionRange(range.begin, range.end);
+          while (wk.cursor->Next(&wk.batch)) {
+            const size_t b = wk.batch.s_rows.num_rows;
+            if (b == 0) continue;
+            wk.xbuf.Reshape(b, d);
+            if (y_off != 0) wk.ybuf.resize(b);
+            for (size_t r = 0; r < b; ++r) {
+              if (y_off != 0) wk.ybuf[r] = wk.batch.s_rows.feats(r, 0);
+              join::AssembleJoinedRow(*ctx.rel, wk.batch.s_rows, r, views_,
+                                      wk.xbuf.Row(r).data());
+            }
+            DenseBlock block;
+            block.start_row = wk.batch.s_rows.start_row;
+            block.num_rows = b;
+            block.x = wk.xbuf.data();
+            block.x_stride = d;
+            if (y_off != 0) {
+              block.y = wk.ybuf.data();
+              block.y_stride = 1;
+            }
+            model->AccumulateDense(pass, slot, block);
+          }
+          *status = wk.cursor->status();
+        }));
     for (int w = 0; w < nw_; ++w) model->MergeWorker(pass, w);
     return Status::OK();
   }

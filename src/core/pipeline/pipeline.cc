@@ -54,6 +54,14 @@ Status RunTraining(const join::NormalizedRelations& rel, Algorithm algorithm,
                                 "-" + model->Name());
   StrategyOptions resolved = options;
   resolved.threads = exec::EffectiveThreads(options.threads);
+  // Stealing needs a chunked decomposition to schedule over; an explicit
+  // morsel size wins, otherwise the default chunk size kicks in. The
+  // resolved morsel_rows — never the thread count or the steal schedule —
+  // is what the chunk-ordered results depend on.
+  if (resolved.morsel_rows < 0) resolved.morsel_rows = 0;
+  if (resolved.steal && resolved.morsel_rows == 0) {
+    resolved.morsel_rows = kDefaultMorselRows;
+  }
   if (report != nullptr) report->threads = resolved.threads;
 
   PipelineContext ctx;

@@ -31,9 +31,31 @@ struct TrainReport {
   int iterations = 0;                // EM iterations or NN epochs run
   double final_objective = 0.0;      // log-likelihood (GMM) or MSE (NN)
   int threads = 1;                   // exec/ workers used by the run
+  /// Chunk count of the full-pass morsel plan (0 = legacy static
+  /// partition, one morsel per worker).
+  int64_t morsel_chunks = 0;
+  /// Chunks executed by a worker other than their static owner, summed
+  /// over all passes (always 0 with --steal=off).
+  uint64_t steals = 0;
   storage::IoStats io;               // delta over the run
   OpCounters ops;                    // delta over the run
   std::vector<PhaseTiming> phases;   // per-phase parallel wall timings
+  /// Wall time each worker spent executing morsels, summed over all full
+  /// passes — the load-balance evidence (spread shrinks when stealing
+  /// works; wall-clock speedup additionally needs multi-core hardware).
+  std::vector<double> worker_busy_seconds;
+
+  /// Min/max of worker_busy_seconds ({0, 0} when empty) — the one
+  /// reduction behind ToString, the bench tables and the JSON records.
+  std::pair<double, double> BusyRange() const {
+    if (worker_busy_seconds.empty()) return {0.0, 0.0};
+    double lo = worker_busy_seconds[0], hi = worker_busy_seconds[0];
+    for (const double b : worker_busy_seconds) {
+      lo = b < lo ? b : lo;
+      hi = b > hi ? b : hi;
+    }
+    return {lo, hi};
+  }
 
   /// Accumulates wall time under `name` (phases repeat across EM
   /// iterations / epochs; one entry per distinct name).
@@ -55,6 +77,13 @@ struct TrainReport {
     }
     os << " iters=" << iterations << " objective=" << final_objective;
     if (threads > 1) os << " threads=" << threads;
+    if (morsel_chunks > 0) {
+      os << " morsels=" << morsel_chunks << " steals=" << steals;
+    }
+    if (worker_busy_seconds.size() > 1) {
+      const auto [lo, hi] = BusyRange();
+      os << " busy=" << lo << ".." << hi << "s";
+    }
     os << " | " << io.ToString() << " | " << ops.ToString();
     if (!phases.empty()) {
       os << " |";

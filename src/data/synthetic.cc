@@ -1,6 +1,8 @@
 #include "data/synthetic.h"
 
+#include <algorithm>
 #include <cmath>
+#include <utility>
 #include <vector>
 
 #include "common/rng.h"
@@ -111,18 +113,73 @@ Result<NormalizedRelations> GenerateSynthetic(const SyntheticSpec& spec,
     attr_feats.push_back(std::move(feats));
   }
 
-  // --- Per-FK1-rid fact-tuple counts: floor/ceil of nS/nR1, with the
-  // remainder assigned to a random subset so the ratio is exact.
+  // --- Per-FK1-rid fact-tuple counts, summing exactly to nS under the
+  // requested run-length profile.
   const int64_t n_r1 = spec.attrs[0].rows;
-  const int64_t base = spec.s_rows / n_r1;
-  const int64_t remainder = spec.s_rows % n_r1;
-  std::vector<int64_t> counts(static_cast<size_t>(n_r1), base);
-  {
-    std::vector<int64_t> rids(static_cast<size_t>(n_r1));
-    for (int64_t i = 0; i < n_r1; ++i) rids[static_cast<size_t>(i)] = i;
-    rng.Shuffle(&rids);
-    for (int64_t i = 0; i < remainder; ++i) {
-      counts[static_cast<size_t>(rids[static_cast<size_t>(i)])]++;
+  std::vector<int64_t> counts(static_cast<size_t>(n_r1), 0);
+  switch (spec.run_dist) {
+    case RunDist::kUniform: {
+      // floor/ceil of nS/nR1, with the remainder assigned to a random
+      // subset so the ratio is exact (the seed generator, byte-for-byte).
+      const int64_t base = spec.s_rows / n_r1;
+      const int64_t remainder = spec.s_rows % n_r1;
+      counts.assign(static_cast<size_t>(n_r1), base);
+      std::vector<int64_t> rids(static_cast<size_t>(n_r1));
+      for (int64_t i = 0; i < n_r1; ++i) rids[static_cast<size_t>(i)] = i;
+      rng.Shuffle(&rids);
+      for (int64_t i = 0; i < remainder; ++i) {
+        counts[static_cast<size_t>(rids[static_cast<size_t>(i)])]++;
+      }
+      break;
+    }
+    case RunDist::kZipf: {
+      // Rank r (over shuffled rids) gets weight 1/(r+1)^s; counts are the
+      // largest-remainder apportionment of nS over those weights, so the
+      // skew is heavy but the total stays exact. Low-rank rids may end up
+      // with zero matching rows — a degenerate case worth generating.
+      std::vector<int64_t> rids(static_cast<size_t>(n_r1));
+      for (int64_t i = 0; i < n_r1; ++i) rids[static_cast<size_t>(i)] = i;
+      rng.Shuffle(&rids);
+      std::vector<double> weight(static_cast<size_t>(n_r1));
+      double total_w = 0.0;
+      for (int64_t r = 0; r < n_r1; ++r) {
+        weight[static_cast<size_t>(r)] =
+            1.0 / std::pow(static_cast<double>(r + 1), spec.zipf_s);
+        total_w += weight[static_cast<size_t>(r)];
+      }
+      int64_t assigned = 0;
+      std::vector<std::pair<double, int64_t>> frac;  // (-fraction, rank)
+      frac.reserve(static_cast<size_t>(n_r1));
+      for (int64_t r = 0; r < n_r1; ++r) {
+        const double share = static_cast<double>(spec.s_rows) *
+                             weight[static_cast<size_t>(r)] / total_w;
+        const auto floor_share = static_cast<int64_t>(share);
+        counts[static_cast<size_t>(rids[static_cast<size_t>(r)])] =
+            floor_share;
+        assigned += floor_share;
+        frac.emplace_back(-(share - static_cast<double>(floor_share)), r);
+      }
+      std::sort(frac.begin(), frac.end());  // largest remainder first,
+                                            // rank as deterministic tie-break
+      for (int64_t i = 0; i < spec.s_rows - assigned; ++i) {
+        const int64_t rank = frac[static_cast<size_t>(i % n_r1)].second;
+        counts[static_cast<size_t>(rids[static_cast<size_t>(rank)])]++;
+      }
+      break;
+    }
+    case RunDist::kSingleGiant: {
+      // Every rid gets one row (as long as rows remain); one random rid
+      // absorbs the entire surplus — the worst case for static run
+      // morsels and for "run longer than a chunk".
+      const int64_t giant =
+          static_cast<int64_t>(rng.NextBelow(static_cast<uint64_t>(n_r1)));
+      int64_t remaining = spec.s_rows;
+      for (int64_t rid = 0; rid < n_r1 && remaining > 0; ++rid) {
+        counts[static_cast<size_t>(rid)] = 1;
+        --remaining;
+      }
+      counts[static_cast<size_t>(giant)] += remaining;
+      break;
     }
   }
 

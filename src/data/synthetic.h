@@ -17,6 +17,17 @@ struct AttributeSpec {
   size_t feats = 0;    // dRi
 };
 
+/// FK1 run-length profile of the generated fact table — how the nS rows
+/// spread over the nR1 clustered runs. kUniform is the paper's controlled
+/// tuple-ratio regime; the skewed profiles exist to stress the
+/// work-stealing scheduler (static run morsels leave workers idle when a
+/// few runs carry most of the rows).
+enum class RunDist {
+  kUniform,      // floor/ceil of nS/nR1 per rid (the paper's regime)
+  kZipf,         // run length ∝ 1 / rank^zipf_s over shuffled rids
+  kSingleGiant,  // one run carries every surplus row, the rest get one
+};
+
 /// Specification of a synthetic normalized dataset, following the paper's
 /// synthetic methodology (Sec. VII-A): features sampled from a mixture of
 /// Gaussians with added random noise; S tuples reference attribute tuples
@@ -35,6 +46,10 @@ struct SyntheticSpec {
   /// Sparse variant: features are one-hot encoded categorical blocks (the
   /// paper's "Sparse" representation used for the NN real datasets).
   bool one_hot = false;
+  /// FK1 run-length profile; kUniform reproduces the seed generator
+  /// byte-for-byte (same RNG call sequence).
+  RunDist run_dist = RunDist::kUniform;
+  double zipf_s = 1.2;  // Zipf exponent when run_dist == kZipf
 };
 
 /// Generates the tables on disk, builds the FK1 index, and returns the

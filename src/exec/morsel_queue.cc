@@ -1,0 +1,92 @@
+#include "exec/morsel_queue.h"
+
+#include "common/logging.h"
+#include "common/stopwatch.h"
+#include "exec/thread_pool.h"
+
+namespace factorml::exec {
+
+MorselQueue::MorselQueue(int64_t num_chunks, int num_workers, bool steal)
+    : num_workers_(num_workers < 1 ? 1 : num_workers),
+      steal_(steal),
+      blocks_(static_cast<size_t>(num_workers_)) {
+  FML_CHECK_GE(num_chunks, 0);
+  FML_CHECK_LT(num_chunks, int64_t{1} << 32)
+      << "chunk ids must fit the packed 32-bit block span";
+  const std::vector<Range> owned = PartitionRows(num_chunks, num_workers_);
+  // Workers beyond the range count keep an empty (0, 0) block and start
+  // life as thieves.
+  for (size_t w = 0; w < owned.size(); ++w) {
+    blocks_[w].span.store(Pack(static_cast<uint32_t>(owned[w].begin),
+                               static_cast<uint32_t>(owned[w].end)),
+                          std::memory_order_relaxed);
+  }
+}
+
+int64_t MorselQueue::Next(int worker) {
+  Block& own = blocks_[static_cast<size_t>(worker)];
+  uint64_t cur = own.span.load(std::memory_order_acquire);
+  while (SpanNext(cur) < SpanEnd(cur)) {
+    if (own.span.compare_exchange_weak(
+            cur, Pack(SpanNext(cur) + 1, SpanEnd(cur)),
+            std::memory_order_acq_rel, std::memory_order_acquire)) {
+      return static_cast<int64_t>(SpanNext(cur));
+    }
+  }
+  if (!steal_) return -1;
+  // Rob one chunk from the back of the first non-empty victim. Blocks only
+  // ever shrink, so re-scanning until every block reads empty terminates.
+  for (;;) {
+    bool saw_work = false;
+    for (int i = 1; i < num_workers_; ++i) {
+      Block& victim =
+          blocks_[static_cast<size_t>((worker + i) % num_workers_)];
+      uint64_t v = victim.span.load(std::memory_order_acquire);
+      while (SpanNext(v) < SpanEnd(v)) {
+        saw_work = true;
+        if (victim.span.compare_exchange_weak(
+                v, Pack(SpanNext(v), SpanEnd(v) - 1),
+                std::memory_order_acq_rel, std::memory_order_acquire)) {
+          steals_.fetch_add(1, std::memory_order_relaxed);
+          return static_cast<int64_t>(SpanEnd(v)) - 1;
+        }
+      }
+    }
+    if (!saw_work) return -1;
+  }
+}
+
+MorselStats RunMorsels(const std::vector<Range>& chunks, int threads,
+                       bool steal,
+                       const std::function<void(Range, int64_t, int)>& body) {
+  MorselStats stats;
+  const int workers = threads < 1 ? 1 : threads;
+  stats.busy_seconds.assign(static_cast<size_t>(workers), 0.0);
+  if (chunks.empty()) return stats;
+  if (workers == 1 || InParallelRegion()) {
+    // Serial path (and the no-nesting rule): drain in ascending chunk
+    // order on the calling thread without touching the atomic queue. This
+    // is the reference schedule the chunk-ordered reduction makes every
+    // parallel run reproduce bit-for-bit.
+    Stopwatch watch;
+    for (size_t c = 0; c < chunks.size(); ++c) {
+      body(chunks[c], static_cast<int64_t>(c), 0);
+    }
+    stats.busy_seconds[0] = watch.ElapsedSeconds();
+    return stats;
+  }
+  MorselQueue queue(static_cast<int64_t>(chunks.size()), workers, steal);
+  ThreadPool::Instance().Run(workers, [&](int w) {
+    Stopwatch watch;
+    for (int64_t c = queue.Next(w); c >= 0; c = queue.Next(w)) {
+      body(chunks[static_cast<size_t>(c)], c, w);
+    }
+    // Run's completion handshake orders this write before the caller's
+    // read of the stats.
+    stats.busy_seconds[static_cast<size_t>(w)] = watch.ElapsedSeconds();
+  });
+  stats.steals = queue.steals();
+  return stats;
+}
+
+}  // namespace factorml::exec

@@ -1,5 +1,7 @@
 #include "exec/parallel_for.h"
 
+#include <algorithm>
+
 namespace factorml::exec {
 
 std::vector<Range> PartitionRows(int64_t total, int parts, int64_t align) {
@@ -58,6 +60,64 @@ std::vector<Range> PartitionWeighted(const int64_t* weights, int64_t n,
   }
   if (!ranges.empty()) ranges.back().end = n;
   return ranges;
+}
+
+namespace {
+
+/// Grows the requested morsel so the chunk count stays under
+/// kMaxMorselChunks — a pure function of (total, morsel), so the
+/// determinism contract is unaffected.
+int64_t CapMorsel(int64_t total, int64_t morsel) {
+  if (morsel < 1) morsel = 1;
+  const int64_t floor_morsel = (total + kMaxMorselChunks - 1) / kMaxMorselChunks;
+  return morsel < floor_morsel ? floor_morsel : morsel;
+}
+
+}  // namespace
+
+std::vector<Range> SplitRowChunks(int64_t total, int64_t morsel_rows,
+                                  int64_t align) {
+  std::vector<Range> chunks;
+  if (total <= 0) return chunks;
+  morsel_rows = CapMorsel(total, morsel_rows);
+  if (align < 1) align = 1;
+  // Round the chunk size up to the alignment so interior boundaries sit on
+  // page row boundaries (each page belongs to exactly one chunk).
+  const int64_t step = ((morsel_rows + align - 1) / align) * align;
+  for (int64_t begin = 0; begin < total; begin += step) {
+    chunks.push_back(Range{begin, std::min(begin + step, total)});
+  }
+  return chunks;
+}
+
+std::vector<Range> SplitWeightedChunks(const int64_t* weights, int64_t n,
+                                       int64_t morsel_weight) {
+  std::vector<Range> chunks;
+  if (n <= 0) return chunks;
+  int64_t total = 0;
+  for (int64_t i = 0; i < n; ++i) total += weights[i];
+  morsel_weight = CapMorsel(total, morsel_weight);
+  int64_t begin = 0;
+  int64_t weight = 0;
+  for (int64_t i = 0; i < n; ++i) {
+    // An over-target position must sit alone in its chunk (the documented
+    // giant-run isolation): flush whatever lighter runs are pending first.
+    if (weights[i] >= morsel_weight && weight > 0) {
+      chunks.push_back(Range{begin, i});
+      begin = i;
+      weight = 0;
+    }
+    weight += weights[i];
+    if (weight >= morsel_weight) {
+      chunks.push_back(Range{begin, i + 1});
+      begin = i + 1;
+      weight = 0;
+    }
+  }
+  // Trailing underweight positions (including all-zero-weight tails) form
+  // one final short chunk rather than being dropped.
+  if (begin < n) chunks.push_back(Range{begin, n});
+  return chunks;
 }
 
 void ParallelRanges(const std::vector<Range>& ranges,

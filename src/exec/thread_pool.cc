@@ -125,6 +125,8 @@ int ClampWorkers(int threads) {
 }
 }  // namespace
 
+bool InParallelRegion() { return tls_in_worker; }
+
 int EffectiveThreads(int requested) {
   if (requested >= 1) return ClampWorkers(requested);
   return DefaultThreads();

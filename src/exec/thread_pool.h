@@ -53,6 +53,12 @@ class ThreadPool {
 /// otherwise the process-wide default. Always >= 1.
 int EffectiveThreads(int requested);
 
+/// True while the calling thread is a pool worker inside Run (parallel
+/// regions do not nest — Run from a worker executes inline). Schedulers
+/// layered on the pool (exec::RunMorsels) use this to take their serial
+/// drain path directly instead of building a queue Run would ignore.
+bool InParallelRegion();
+
 /// Process-wide default worker count, initially 1 so library behavior is
 /// unchanged unless a caller opts in (the --threads flag of the CLI and
 /// bench binaries lands here). Values < 1 are clamped to 1.

@@ -1,6 +1,7 @@
 #ifndef FACTORML_GMM_TRAINERS_H_
 #define FACTORML_GMM_TRAINERS_H_
 
+#include <cstdint>
 #include <string>
 
 #include "common/status.h"
@@ -51,6 +52,13 @@ struct GmmOptions {
   /// 0 = use exec::DefaultThreads() (the --threads flag); 1 = the exact
   /// bit-for-bit serial path of the paper reproduction.
   int threads = 0;
+  /// Full-pass scheduler knobs (strategy plane, see StrategyOptions):
+  /// morsel_rows > 0 switches the pass to fixed deterministically numbered
+  /// chunks with a chunk-ordered reduction — results then depend on
+  /// morsel_rows but not on threads or stealing; steal lets idle workers
+  /// take chunks from busy ones (implies chunking).
+  int64_t morsel_rows = 0;
+  bool steal = false;
 };
 
 /// Algorithm M-GMM (paper Algorithm 1): joins S with R1..Rq, materializes

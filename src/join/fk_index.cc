@@ -39,13 +39,28 @@ Status FkIndex::Build(const storage::Table& s, storage::BufferPool* pool,
   return scanner.status();
 }
 
-std::vector<exec::Range> PartitionFk1Runs(const FkIndex& index, int parts) {
-  const int64_t num_rids = index.num_rids();
-  std::vector<int64_t> run_lengths(static_cast<size_t>(num_rids));
-  for (int64_t rid = 0; rid < num_rids; ++rid) {
+namespace {
+
+std::vector<int64_t> RunLengths(const FkIndex& index) {
+  std::vector<int64_t> run_lengths(static_cast<size_t>(index.num_rids()));
+  for (int64_t rid = 0; rid < index.num_rids(); ++rid) {
     run_lengths[static_cast<size_t>(rid)] = index.CountOf(rid);
   }
-  return exec::PartitionWeighted(run_lengths.data(), num_rids, parts);
+  return run_lengths;
+}
+
+}  // namespace
+
+std::vector<exec::Range> PartitionFk1Runs(const FkIndex& index, int parts) {
+  const std::vector<int64_t> run_lengths = RunLengths(index);
+  return exec::PartitionWeighted(run_lengths.data(), index.num_rids(), parts);
+}
+
+std::vector<exec::Range> ChunkFk1Runs(const FkIndex& index,
+                                      int64_t morsel_rows) {
+  const std::vector<int64_t> run_lengths = RunLengths(index);
+  return exec::SplitWeightedChunks(run_lengths.data(), index.num_rids(),
+                                   morsel_rows);
 }
 
 }  // namespace factorml::join

@@ -51,6 +51,15 @@ class FkIndex {
 /// every worker. One range (parts = 1) is the exact serial scan.
 std::vector<exec::Range> PartitionFk1Runs(const FkIndex& index, int parts);
 
+/// Chunk plan for the work-stealing scheduler: packs consecutive whole
+/// FK1 runs into chunks of at least `morsel_rows` matching S rows (a run
+/// longer than that forms its own chunk — runs are atomic). Unlike
+/// PartitionFk1Runs the result depends only on the index and the chunk
+/// size, never on the worker count, so the chunk numbering — and with it
+/// the chunk-ordered reduction — is an invariant of the data.
+std::vector<exec::Range> ChunkFk1Runs(const FkIndex& index,
+                                      int64_t morsel_rows);
+
 }  // namespace factorml::join
 
 #endif  // FACTORML_JOIN_FK_INDEX_H_

@@ -1,6 +1,7 @@
 #ifndef FACTORML_LINREG_LINREG_H_
 #define FACTORML_LINREG_LINREG_H_
 
+#include <cstdint>
 #include <cstddef>
 #include <string>
 #include <vector>
@@ -27,6 +28,13 @@ struct LinregOptions {
   /// Worker threads for the exec/ morsel runtime; 0 = DefaultThreads(),
   /// 1 = the exact serial path.
   int threads = 0;
+  /// Full-pass scheduler knobs (strategy plane, see StrategyOptions):
+  /// morsel_rows > 0 switches the pass to fixed deterministically numbered
+  /// chunks with a chunk-ordered reduction — results then depend on
+  /// morsel_rows but not on threads or stealing; steal lets idle workers
+  /// take chunks from busy ones (implies chunking).
+  int64_t morsel_rows = 0;
+  bool steal = false;
 };
 
 /// A trained linear model over the joined feature vector

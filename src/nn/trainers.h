@@ -1,6 +1,7 @@
 #ifndef FACTORML_NN_TRAINERS_H_
 #define FACTORML_NN_TRAINERS_H_
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -52,6 +53,13 @@ struct NnOptions {
   /// attribute-gradient partials. 0 = use exec::DefaultThreads() (the
   /// --threads flag); 1 = the exact bit-for-bit serial path.
   int threads = 0;
+  /// Full-pass scheduler knobs (strategy plane, see StrategyOptions):
+  /// morsel_rows > 0 switches the pass to fixed deterministically numbered
+  /// chunks with a chunk-ordered reduction — results then depend on
+  /// morsel_rows but not on threads or stealing; steal lets idle workers
+  /// take chunks from busy ones (implies chunking).
+  int64_t morsel_rows = 0;
+  bool steal = false;
 };
 
 /// Algorithm M-NN: materializes T, then standard BP over T's rows.

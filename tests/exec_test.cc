@@ -6,6 +6,7 @@
 
 #include "common/opcount.h"
 #include "data/synthetic.h"
+#include "exec/morsel_queue.h"
 #include "exec/parallel_for.h"
 #include "exec/thread_pool.h"
 #include "exec/worker_pools.h"
@@ -129,6 +130,204 @@ TEST(PartitionTest, WeightedBalancesUniformWeights) {
     EXPECT_GE(r.size(), 20);
     EXPECT_LE(r.size(), 30);
   }
+}
+
+TEST(PartitionTest, WeightedSinglePosition) {
+  // One-run table: every worker count collapses to one whole-run range.
+  const int64_t weights[] = {5000};
+  for (const int parts : {1, 2, 8}) {
+    const auto ranges = PartitionWeighted(weights, 1, parts);
+    ASSERT_EQ(ranges.size(), 1u);
+    EXPECT_EQ(ranges[0].begin, 0);
+    EXPECT_EQ(ranges[0].end, 1);
+  }
+}
+
+TEST(PartitionTest, WeightedFewerPositionsThanParts) {
+  // total < threads: at most n non-empty ranges, never an empty one.
+  std::vector<int64_t> weights = {3, 9, 1};
+  const auto ranges = PartitionWeighted(weights.data(), 3, 8);
+  ASSERT_LE(ranges.size(), 3u);
+  int64_t expect_begin = 0;
+  for (const auto& r : ranges) {
+    EXPECT_EQ(r.begin, expect_begin);
+    EXPECT_GT(r.end, r.begin);
+    expect_begin = r.end;
+  }
+  EXPECT_EQ(expect_begin, 3);
+}
+
+TEST(PartitionTest, WeightedAllZeroWeights) {
+  // Rids with no matching fact rows: coverage must survive a zero total.
+  std::vector<int64_t> weights(6, 0);
+  const auto ranges = PartitionWeighted(weights.data(), 6, 3);
+  ASSERT_FALSE(ranges.empty());
+  int64_t expect_begin = 0;
+  for (const auto& r : ranges) {
+    EXPECT_EQ(r.begin, expect_begin);
+    EXPECT_GT(r.end, r.begin);
+    expect_begin = r.end;
+  }
+  EXPECT_EQ(expect_begin, 6);
+}
+
+TEST(PartitionTest, RowsAlignmentLargerThanTotal) {
+  // align > total: a single range covering everything, not an empty set.
+  const auto ranges = PartitionRows(10, 3, /*align=*/64);
+  ASSERT_EQ(ranges.size(), 1u);
+  EXPECT_EQ(ranges[0].begin, 0);
+  EXPECT_EQ(ranges[0].end, 10);
+}
+
+// ---------------------------------------------------------- Chunk plans
+
+TEST(SplitChunksTest, RowChunksCoverAndAlign) {
+  // morsel 100 aligned to 64 -> 128-row chunks; boundaries on multiples.
+  const auto chunks = SplitRowChunks(1000, 100, /*align=*/64);
+  ASSERT_EQ(chunks.size(), 8u);
+  int64_t expect_begin = 0;
+  for (size_t c = 0; c < chunks.size(); ++c) {
+    EXPECT_EQ(chunks[c].begin, expect_begin);
+    if (c + 1 < chunks.size()) EXPECT_EQ(chunks[c].end % 64, 0);
+    expect_begin = chunks[c].end;
+  }
+  EXPECT_EQ(expect_begin, 1000);
+}
+
+TEST(SplitChunksTest, RowChunksIndependentOfWorkerCount) {
+  // The chunk plan takes no worker count at all — this pins the API shape
+  // of the determinism contract: only (total, morsel, align) matter.
+  const auto a = SplitRowChunks(4096, 512, 64);
+  ASSERT_EQ(a.size(), 8u);
+  for (size_t c = 0; c < a.size(); ++c) {
+    EXPECT_EQ(a[c].begin, static_cast<int64_t>(c) * 512);
+  }
+}
+
+TEST(SplitChunksTest, RowChunksDegenerateInputs) {
+  EXPECT_TRUE(SplitRowChunks(0, 128).empty());
+  // morsel > total and align > total both give one whole-range chunk.
+  for (const int64_t align : {1L, 4096L}) {
+    const auto chunks = SplitRowChunks(10, 4096, align);
+    ASSERT_EQ(chunks.size(), 1u);
+    EXPECT_EQ(chunks[0].begin, 0);
+    EXPECT_EQ(chunks[0].end, 10);
+  }
+  // morsel < 1 is clamped to one row per chunk.
+  EXPECT_EQ(SplitRowChunks(5, 0).size(), 5u);
+}
+
+TEST(SplitChunksTest, WeightedChunksRespectRunAtomicity) {
+  // A run longer than the morsel target forms its own chunk; neighbors
+  // pack up to the target.
+  std::vector<int64_t> weights = {10, 10, 1000, 10, 10, 10};
+  const auto chunks = SplitWeightedChunks(weights.data(), 6, 50);
+  int64_t expect_begin = 0;
+  for (const auto& c : chunks) {
+    EXPECT_EQ(c.begin, expect_begin);
+    EXPECT_GT(c.end, c.begin);
+    expect_begin = c.end;
+  }
+  EXPECT_EQ(expect_begin, 6);
+  // The giant run (position 2) sits ALONE in its chunk: the pending light
+  // runs are flushed first, the giant closes its own chunk immediately.
+  bool giant_alone = false;
+  for (const auto& c : chunks) {
+    if (c.begin <= 2 && 2 < c.end) giant_alone = (c.size() == 1);
+  }
+  EXPECT_TRUE(giant_alone);
+}
+
+TEST(SplitChunksTest, WeightedChunksSingleRunAndZeroTails) {
+  // One-run table -> one chunk.
+  const int64_t one[] = {100000};
+  ASSERT_EQ(SplitWeightedChunks(one, 1, 64).size(), 1u);
+  // Trailing zero-weight positions join a final short chunk instead of
+  // being dropped or forming empty ranges.
+  std::vector<int64_t> weights = {64, 64, 0, 0, 0};
+  const auto chunks = SplitWeightedChunks(weights.data(), 5, 64);
+  ASSERT_EQ(chunks.size(), 3u);
+  EXPECT_EQ(chunks[2].begin, 2);
+  EXPECT_EQ(chunks[2].end, 5);
+  EXPECT_TRUE(SplitWeightedChunks(nullptr, 0, 64).empty());
+}
+
+// ------------------------------------------------------------ MorselQueue
+
+TEST(MorselQueueTest, OwnerPopsAscendingWithoutStealing) {
+  MorselQueue queue(10, 2, /*steal=*/false);
+  for (int64_t c = 0; c < 5; ++c) EXPECT_EQ(queue.Next(0), c);
+  EXPECT_EQ(queue.Next(0), -1);  // steal off: never crosses blocks
+  for (int64_t c = 5; c < 10; ++c) EXPECT_EQ(queue.Next(1), c);
+  EXPECT_EQ(queue.Next(1), -1);
+  EXPECT_EQ(queue.steals(), 0u);
+}
+
+TEST(MorselQueueTest, ThiefRobsFromTheBack) {
+  MorselQueue queue(10, 2, /*steal=*/true);
+  for (int64_t c = 0; c < 5; ++c) EXPECT_EQ(queue.Next(0), c);
+  // Own block dry: worker 0 steals the victim's block back-to-front.
+  for (int64_t c = 9; c >= 5; --c) EXPECT_EQ(queue.Next(0), c);
+  EXPECT_EQ(queue.Next(0), -1);
+  EXPECT_EQ(queue.Next(1), -1);
+  EXPECT_EQ(queue.steals(), 5u);
+}
+
+TEST(MorselQueueTest, FewerChunksThanWorkers) {
+  MorselQueue queue(2, 8, /*steal=*/true);
+  // Workers 2..7 own empty blocks and must steal or bail out cleanly.
+  EXPECT_EQ(queue.Next(5), 0);
+  EXPECT_EQ(queue.Next(6), 1);
+  EXPECT_EQ(queue.Next(0), -1);
+}
+
+TEST(RunMorselsTest, EveryChunkExactlyOnceUnderContention) {
+  for (const bool steal : {false, true}) {
+    const auto chunks = SplitRowChunks(64 * 97, 97);
+    ASSERT_EQ(chunks.size(), 64u);
+    std::vector<std::atomic<int>> hits(chunks.size());
+    for (auto& h : hits) h = 0;
+    const MorselStats stats =
+        RunMorsels(chunks, /*threads=*/8, steal,
+                   [&](Range r, int64_t c, int /*worker*/) {
+                     EXPECT_EQ(r.begin, c * 97);
+                     hits[static_cast<size_t>(c)]++;
+                   });
+    for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+    EXPECT_EQ(stats.busy_seconds.size(), 8u);
+    if (!steal) EXPECT_EQ(stats.steals, 0u);
+  }
+}
+
+TEST(RunMorselsTest, SerialDrainIsAscendingAndInline) {
+  const auto caller = std::this_thread::get_id();
+  std::vector<int64_t> order;
+  RunMorsels(SplitRowChunks(100, 10), /*threads=*/1, /*steal=*/true,
+             [&](Range, int64_t c, int worker) {
+               EXPECT_EQ(worker, 0);
+               EXPECT_EQ(std::this_thread::get_id(), caller);
+               order.push_back(c);
+             });
+  ASSERT_EQ(order.size(), 10u);
+  for (int64_t c = 0; c < 10; ++c) EXPECT_EQ(order[static_cast<size_t>(c)], c);
+}
+
+TEST(RunMorselsTest, NestedRegionRunsInlineWithoutDeadlock) {
+  // Regions do not nest: a RunMorsels issued from inside a pool worker
+  // must drain serially on that worker.
+  std::atomic<int> total{0};
+  ThreadPool::Instance().Run(4, [&](int) {
+    RunMorsels(SplitRowChunks(20, 5), /*threads=*/4, /*steal=*/true,
+               [&](Range, int64_t, int) { total.fetch_add(1); });
+  });
+  EXPECT_EQ(total.load(), 4 * 4);
+}
+
+TEST(RunMorselsTest, MergesWorkerOpCountersIntoCaller) {
+  const OpCounters before = GlobalOps();
+  RunMorsels(SplitRowChunks(12, 1), /*threads=*/4, /*steal=*/true,
+             [&](Range, int64_t, int) { CountMults(3); });
+  EXPECT_EQ((GlobalOps() - before).mults, 36u);
 }
 
 // -------------------------------------------------------- ParallelReduce

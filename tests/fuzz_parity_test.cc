@@ -1,0 +1,261 @@
+// Randomized parity harness — the standing safety net for the
+// work-stealing morsel scheduler and the M/S/F strategy planes.
+//
+// Each seeded case draws a random schema and dataset (random S/R sizes
+// and dims, FK1 run lengths uniform, Zipf-skewed or single-giant-run),
+// picks one model family (GMM, NN, linreg, k-means — cycling by seed),
+// and asserts the two properties no hand-picked golden can cover:
+//
+//  1. Schedule invariance (bit-exact): with the chunk-ordered scheduler
+//     active, the final objective, every op count, and every model
+//     parameter are IDENTICAL — EXPECT_EQ on doubles — across
+//     threads x {1,2,4} and steal x {off,on}. The chunk set is a data
+//     invariant and the reduction merges in chunk order, so who executes
+//     a chunk can never leak into the result.
+//  2. Strategy agreement (tolerance): M, S and F train the same model on
+//     the same data up to floating-point reassociation of the factorized
+//     accumulation.
+//
+// The suite carries the ctest label `stress` (CI runs it, `ctest -L
+// tier1` skips it); a subset runs under TSan to certify the lock-free
+// queue.
+
+#include <cmath>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/factorml.h"
+#include "gtest/gtest.h"
+#include "test_util.h"
+
+namespace factorml {
+namespace {
+
+using data::GenerateSynthetic;
+using data::RunDist;
+using factorml::testing::TempDir;
+using storage::BufferPool;
+
+constexpr core::Algorithm kAlgos[] = {core::Algorithm::kMaterialized,
+                                      core::Algorithm::kStreaming,
+                                      core::Algorithm::kFactorized};
+
+struct SchedConfig {
+  int threads;
+  bool steal;
+};
+// Config 0 is the baseline every other schedule must reproduce bit-exactly.
+constexpr SchedConfig kConfigs[] = {{1, false}, {2, false}, {4, false},
+                                    {1, true},  {2, true},  {4, true}};
+
+std::string CfgName(const SchedConfig& c) {
+  return "threads=" + std::to_string(c.threads) +
+         (c.steal ? " steal=on" : " steal=off");
+}
+
+/// Trains one (family, algorithm) under every scheduler config and
+/// asserts bit-identical objectives, op counts and parameters against the
+/// threads=1 steal=off baseline. `train(threads, steal, report)` runs one
+/// training; `diff` is the family's MaxAbsDiff. Returns the baseline
+/// objective for the cross-strategy check.
+template <typename Train, typename Diff>
+double ExpectScheduleInvariance(Train train, Diff diff,
+                                const std::string& label) {
+  core::TrainReport base_report;
+  auto base = train(kConfigs[0].threads, kConfigs[0].steal, &base_report);
+  EXPECT_TRUE(base.ok()) << label << ": " << base.status().ToString();
+  if (!base.ok()) return 0.0;
+  EXPECT_GT(base_report.morsel_chunks, 0) << label;
+  for (size_t i = 1; i < std::size(kConfigs); ++i) {
+    const std::string tag = label + " [" + CfgName(kConfigs[i]) + "]";
+    core::TrainReport report;
+    auto model = train(kConfigs[i].threads, kConfigs[i].steal, &report);
+    EXPECT_TRUE(model.ok()) << tag << ": " << model.status().ToString();
+    if (!model.ok()) continue;
+    EXPECT_EQ(report.final_objective, base_report.final_objective) << tag;
+    EXPECT_EQ(report.iterations, base_report.iterations) << tag;
+    EXPECT_EQ(report.ops.mults, base_report.ops.mults) << tag;
+    EXPECT_EQ(report.ops.adds, base_report.ops.adds) << tag;
+    EXPECT_EQ(report.ops.subs, base_report.ops.subs) << tag;
+    EXPECT_EQ(report.ops.exps, base_report.ops.exps) << tag;
+    EXPECT_EQ(diff(base.value(), model.value()), 0.0) << tag;
+  }
+  return base_report.final_objective;
+}
+
+/// The strategies reorder factorized accumulation, so objectives agree to
+/// a relative tolerance only.
+void ExpectStrategiesAgree(const double obj[3], const std::string& label) {
+  const double scale = std::fabs(obj[0]) + 1e-12;
+  EXPECT_NEAR(obj[0], obj[1], 1e-9 * scale) << label << " M vs S";
+  EXPECT_NEAR(obj[0], obj[2], 1e-5 * scale) << label << " M vs F";
+}
+
+class FuzzParityTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(FuzzParityTest, StealScheduleInvariance) {
+  const int seed = GetParam();
+  Rng rng(0x9E3779B97F4A7C15ull ^ (static_cast<uint64_t>(seed) * 2654435761ull));
+
+  // ---- random schema / data ------------------------------------------
+  const int family = seed % 4;  // 0 gmm, 1 nn, 2 linreg, 3 kmeans
+  const bool needs_target = family == 1 || family == 2;
+
+  TempDir dir;
+  data::SyntheticSpec spec;
+  spec.dir = dir.str();
+  spec.s_rows = 200 + static_cast<int64_t>(rng.NextBelow(500));
+  spec.s_feats = 1 + static_cast<size_t>(rng.NextBelow(3));
+  spec.attrs = {data::AttributeSpec{4 + static_cast<int64_t>(rng.NextBelow(40)),
+                                    1 + static_cast<size_t>(rng.NextBelow(3))}};
+  if (rng.NextBelow(3) == 0) {  // one case in three is a multi-way join
+    spec.attrs.push_back(data::AttributeSpec{
+        3 + static_cast<int64_t>(rng.NextBelow(12)),
+        1 + static_cast<size_t>(rng.NextBelow(2))});
+  }
+  spec.clusters = 2 + static_cast<int>(rng.NextBelow(3));
+  spec.with_target = needs_target;
+  spec.seed = 1000 + static_cast<uint64_t>(seed);
+  switch (rng.NextBelow(3)) {
+    case 0:
+      spec.run_dist = RunDist::kUniform;
+      break;
+    case 1:
+      spec.run_dist = RunDist::kZipf;
+      spec.zipf_s = 0.7 + rng.NextDouble();
+      break;
+    default:
+      spec.run_dist = RunDist::kSingleGiant;  // runs far longer than a chunk
+      break;
+  }
+  const auto morsel_rows = static_cast<int64_t>(16u << rng.NextBelow(4));
+  const auto batch_rows = static_cast<size_t>(32u << rng.NextBelow(3));
+  // Model hyperparameters are drawn ONCE, before the strategy loop — every
+  // strategy must train the identical model for the agreement check to
+  // mean anything.
+  const size_t k = 2 + rng.NextBelow(2);        // GMM components / k-means k
+  const size_t hidden = 4 + rng.NextBelow(8);   // NN hidden width
+  const bool shuffle = rng.NextBelow(2) == 1;   // NN per-epoch permutation
+
+  BufferPool pool(256);
+  auto rel_or = GenerateSynthetic(spec, &pool);
+  ASSERT_TRUE(rel_or.ok()) << rel_or.status().ToString();
+  const auto rel = std::move(rel_or).value();
+
+  const std::string label = "seed=" + std::to_string(seed) + " family=" +
+                            std::to_string(family) + " morsel=" +
+                            std::to_string(morsel_rows);
+
+  // ---- one family x all strategies x all schedules -------------------
+  double objectives[3] = {0.0, 0.0, 0.0};
+  for (int a = 0; a < 3; ++a) {
+    const core::Algorithm algo = kAlgos[a];
+    const std::string alabel = label + " " + core::AlgorithmName(algo);
+    switch (family) {
+      case 0: {
+        gmm::GmmOptions opt;
+        opt.num_components = k;
+        opt.max_iters = 2;
+        opt.cov_reg = 1e-4;  // random tiny datasets need a sturdier ridge
+        opt.batch_rows = batch_rows;
+        opt.morsel_rows = morsel_rows;
+        opt.temp_dir = dir.str();
+        objectives[a] = ExpectScheduleInvariance(
+            [&](int threads, bool steal, core::TrainReport* report) {
+              auto o = opt;
+              o.threads = threads;
+              o.steal = steal;
+              pool.Clear();
+              return core::TrainGmm(rel, o, algo, &pool, report);
+            },
+            &gmm::GmmParams::MaxAbsDiff, alabel);
+        break;
+      }
+      case 1: {
+        nn::NnOptions opt;
+        opt.hidden = {hidden};
+        opt.epochs = 2;
+        opt.shuffle = shuffle;
+        opt.batch_rows = batch_rows;
+        opt.morsel_rows = morsel_rows;
+        opt.temp_dir = dir.str();
+        // The mini-batch plane has no full-pass morsels; the scheduler
+        // flags must be accepted and ignored, and the thread count must
+        // not leak into the SGD trajectory (row/column morsels decompose
+        // without reordering any accumulation) — though parallel workers
+        // may redo per-group shared work, so op counts are only asserted
+        // between steal settings at the SAME thread count (kConfigs pairs
+        // i and i+3 share a thread count).
+        nn::Mlp base;
+        core::TrainReport reports[std::size(kConfigs)];
+        for (size_t i = 0; i < std::size(kConfigs); ++i) {
+          auto o = opt;
+          o.threads = kConfigs[i].threads;
+          o.steal = kConfigs[i].steal;
+          pool.Clear();
+          auto mlp = core::TrainNn(rel, o, algo, &pool, &reports[i]);
+          ASSERT_TRUE(mlp.ok())
+              << alabel << ": " << mlp.status().ToString();
+          if (i == 0) {
+            base = std::move(mlp).value();
+            objectives[a] = reports[0].final_objective;
+            continue;
+          }
+          const std::string tag = alabel + " [" + CfgName(kConfigs[i]) + "]";
+          EXPECT_EQ(reports[i].final_objective, reports[0].final_objective)
+              << tag;
+          EXPECT_EQ(nn::Mlp::MaxAbsDiffParams(base, mlp.value()), 0.0) << tag;
+        }
+        for (size_t i = 3; i < std::size(kConfigs); ++i) {
+          const std::string tag = alabel + " [" + CfgName(kConfigs[i]) + "]";
+          EXPECT_EQ(reports[i].ops.mults, reports[i - 3].ops.mults) << tag;
+          EXPECT_EQ(reports[i].ops.adds, reports[i - 3].ops.adds) << tag;
+        }
+        break;
+      }
+      case 2: {
+        linreg::LinregOptions opt;
+        opt.batch_rows = batch_rows;
+        opt.morsel_rows = morsel_rows;
+        opt.temp_dir = dir.str();
+        objectives[a] = ExpectScheduleInvariance(
+            [&](int threads, bool steal, core::TrainReport* report) {
+              auto o = opt;
+              o.threads = threads;
+              o.steal = steal;
+              pool.Clear();
+              return core::TrainLinreg(rel, o, algo, &pool, report);
+            },
+            &linreg::LinregModel::MaxAbsDiff, alabel);
+        break;
+      }
+      default: {
+        kmeans::KmeansOptions opt;
+        opt.num_clusters = k;
+        opt.max_iters = 2;
+        opt.batch_rows = batch_rows;
+        opt.morsel_rows = morsel_rows;
+        opt.temp_dir = dir.str();
+        objectives[a] = ExpectScheduleInvariance(
+            [&](int threads, bool steal, core::TrainReport* report) {
+              auto o = opt;
+              o.threads = threads;
+              o.steal = steal;
+              pool.Clear();
+              return core::TrainKmeans(rel, o, algo, &pool, report);
+            },
+            &kmeans::KmeansModel::MaxAbsDiff, alabel);
+        break;
+      }
+    }
+  }
+  if (!::testing::Test::HasFailure()) ExpectStrategiesAgree(objectives, label);
+}
+
+// 60 seeded cases = 15 per model family; the acceptance bar is 50+.
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzParityTest, ::testing::Range(0, 60));
+
+}  // namespace
+}  // namespace factorml

@@ -10,6 +10,7 @@
 //    objectives under all three strategies at threads 1 and 4.
 
 #include <cmath>
+#include <tuple>
 
 #include "core/factorml.h"
 #include "gtest/gtest.h"
@@ -343,6 +344,165 @@ TEST(KmeansTest, MultiwayFactorizedMatches) {
                              nullptr);
   ASSERT_TRUE(m.ok() && f.ok());
   EXPECT_LT(kmeans::KmeansModel::MaxAbsDiff(m.value(), f.value()), 1e-7);
+}
+
+// -------------------------------------- chunk-ordered scheduler parity
+//
+// The chunk-ordered determinism contract: with --morsel-rows set, the
+// full-pass plan is a fixed chunk list (a data invariant), every chunk
+// owns accumulator slot = its chunk id, and the reduction merges in chunk
+// order — so the thread count and the steal schedule can change who
+// computes a chunk but never what is merged. These runs must therefore be
+// bit-identical, not merely close. (The randomized fuzz_parity_test
+// stresses the same property across random schemas; these fixed cases run
+// in tier1 and under TSan.)
+
+template <typename Report>
+void ExpectBitIdentical(const Report& a, const Report& b,
+                        const char* what) {
+  EXPECT_EQ(a.final_objective, b.final_objective) << what;
+  EXPECT_EQ(a.ops.mults, b.ops.mults) << what;
+  EXPECT_EQ(a.ops.adds, b.ops.adds) << what;
+  EXPECT_EQ(a.ops.subs, b.ops.subs) << what;
+  EXPECT_EQ(a.ops.exps, b.ops.exps) << what;
+}
+
+TEST(StealingParityTest, GmmChunkedScheduleInvariant) {
+  TempDir dir;
+  BufferPool pool(512);
+  auto rel =
+      std::move(GenerateSynthetic(Spec(dir.str(), false), &pool)).value();
+  gmm::GmmOptions opt;
+  opt.num_components = 3;
+  opt.max_iters = 2;
+  opt.batch_rows = 256;
+  opt.morsel_rows = 200;  // ~15 chunks over 3000 rows
+  opt.temp_dir = dir.str();
+  for (const auto algo : kAll) {
+    opt.threads = 1;
+    opt.steal = false;
+    pool.Clear();
+    core::TrainReport base_report;
+    auto base = core::TrainGmm(rel, opt, algo, &pool, &base_report);
+    ASSERT_TRUE(base.ok()) << base.status().ToString();
+    EXPECT_GT(base_report.morsel_chunks, 1);
+    for (const auto& [threads, steal] :
+         {std::tuple{4, false}, std::tuple{1, true}, std::tuple{4, true}}) {
+      opt.threads = threads;
+      opt.steal = steal;
+      pool.Clear();
+      core::TrainReport report;
+      auto params = core::TrainGmm(rel, opt, algo, &pool, &report);
+      ASSERT_TRUE(params.ok()) << params.status().ToString();
+      ExpectBitIdentical(report, base_report, core::AlgorithmName(algo));
+      EXPECT_EQ(gmm::GmmParams::MaxAbsDiff(base.value(), params.value()),
+                0.0)
+          << core::AlgorithmName(algo) << " threads=" << threads
+          << " steal=" << steal;
+    }
+  }
+}
+
+TEST(StealingParityTest, LinregKmeansChunkedScheduleInvariant) {
+  TempDir dir;
+  BufferPool pool(512);
+  auto rel =
+      std::move(GenerateSynthetic(Spec(dir.str(), true), &pool)).value();
+  for (const auto algo : kAll) {
+    linreg::LinregOptions lopt;
+    lopt.batch_rows = 256;
+    lopt.morsel_rows = 128;
+    lopt.temp_dir = dir.str();
+    lopt.threads = 1;
+    pool.Clear();
+    core::TrainReport lbase_report;
+    auto lbase = core::TrainLinreg(rel, lopt, algo, &pool, &lbase_report);
+    ASSERT_TRUE(lbase.ok());
+    kmeans::KmeansOptions kopt;
+    kopt.num_clusters = 3;
+    kopt.max_iters = 3;
+    kopt.batch_rows = 256;
+    kopt.morsel_rows = 128;
+    kopt.temp_dir = dir.str();
+    kopt.threads = 1;
+    pool.Clear();
+    core::TrainReport kbase_report;
+    auto kbase = core::TrainKmeans(rel, kopt, algo, &pool, &kbase_report);
+    ASSERT_TRUE(kbase.ok());
+    for (const bool steal : {false, true}) {
+      lopt.threads = 4;
+      lopt.steal = steal;
+      pool.Clear();
+      core::TrainReport lr;
+      auto lm = core::TrainLinreg(rel, lopt, algo, &pool, &lr);
+      ASSERT_TRUE(lm.ok());
+      ExpectBitIdentical(lr, lbase_report, "linreg");
+      EXPECT_EQ(linreg::LinregModel::MaxAbsDiff(lbase.value(), lm.value()),
+                0.0);
+      kopt.threads = 4;
+      kopt.steal = steal;
+      pool.Clear();
+      core::TrainReport kr;
+      auto km = core::TrainKmeans(rel, kopt, algo, &pool, &kr);
+      ASSERT_TRUE(km.ok());
+      ExpectBitIdentical(kr, kbase_report, "kmeans");
+      EXPECT_EQ(kmeans::KmeansModel::MaxAbsDiff(kbase.value(), km.value()),
+                0.0);
+    }
+  }
+}
+
+TEST(StealingParityTest, SingleGiantRunStillBalancesAndMatches) {
+  // One run carries nearly every fact row: the worst case for static run
+  // morsels ("runs longer than a chunk"). The giant run is atomic — it
+  // becomes one chunk — and results stay schedule-invariant.
+  TempDir dir;
+  BufferPool pool(512);
+  auto spec = Spec(dir.str(), false);
+  spec.run_dist = data::RunDist::kSingleGiant;
+  auto rel = std::move(GenerateSynthetic(spec, &pool)).value();
+  kmeans::KmeansOptions opt;
+  opt.num_clusters = 3;
+  opt.max_iters = 3;
+  opt.batch_rows = 256;
+  opt.morsel_rows = 64;
+  opt.temp_dir = dir.str();
+  opt.threads = 1;
+  pool.Clear();
+  core::TrainReport base_report;
+  auto base = core::TrainKmeans(rel, opt, core::Algorithm::kFactorized,
+                                &pool, &base_report);
+  ASSERT_TRUE(base.ok());
+  opt.threads = 4;
+  opt.steal = true;
+  pool.Clear();
+  core::TrainReport report;
+  auto stolen = core::TrainKmeans(rel, opt, core::Algorithm::kFactorized,
+                                  &pool, &report);
+  ASSERT_TRUE(stolen.ok());
+  ExpectBitIdentical(report, base_report, "giant-run kmeans");
+  EXPECT_EQ(kmeans::KmeansModel::MaxAbsDiff(base.value(), stolen.value()),
+            0.0);
+  EXPECT_EQ(report.morsel_chunks, base_report.morsel_chunks);
+  EXPECT_EQ(report.worker_busy_seconds.size(), 4u);
+}
+
+TEST(StealingParityTest, StealWithoutMorselRowsUsesDefaultChunking) {
+  // --steal=on alone must resolve to the default chunk size rather than
+  // silently running the legacy static partition.
+  TempDir dir;
+  BufferPool pool(512);
+  auto rel =
+      std::move(GenerateSynthetic(Spec(dir.str(), true), &pool)).value();
+  linreg::LinregOptions opt;
+  opt.temp_dir = dir.str();
+  opt.threads = 2;
+  opt.steal = true;
+  core::TrainReport report;
+  auto m = core::TrainLinreg(rel, opt, core::Algorithm::kStreaming, &pool,
+                             &report);
+  ASSERT_TRUE(m.ok());
+  EXPECT_GT(report.morsel_chunks, 0);
 }
 
 // ----------------------------------------------- multiway linreg parity

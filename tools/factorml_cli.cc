@@ -28,6 +28,13 @@
 // `--threads=N` (any subcommand, default 1) runs the trainers on the
 // exec/ morsel-driven parallel runtime; --threads=1 is bit-identical to
 // the serial reproduction.
+//
+// `--morsel-rows=N` (any train subcommand, default 0) switches full
+// passes to the chunk-ordered work scheduler: the pass becomes fixed
+// N-row chunks (whole FK1 runs for the S/F strategies) reduced in chunk
+// order, so results depend on N but not on --threads. `--steal=on`
+// additionally lets idle workers take chunks from busy ones — same bits,
+// better balance on skewed FK1 runs.
 
 #include <cstdio>
 #include <string>
@@ -209,6 +216,8 @@ int CmdTrainGmm(const ArgParser& args) {
   opt.max_iters = static_cast<int>(args.GetInt("iters", 10));
   opt.tol = args.GetDouble("tol", 0.0);
   opt.temp_dir = dir;
+  opt.morsel_rows = args.GetMorselRows(0);
+  opt.steal = args.GetSteal(false);
   auto algos = ParseAlgos(args.GetString("algo", "all"));
   if (!algos.ok()) return FailStatus(algos.status());
   for (const auto algo : algos.value()) {
@@ -239,6 +248,8 @@ int CmdTrainNn(const ArgParser& args) {
   opt.momentum = args.GetDouble("momentum", 0.0);
   opt.weight_decay = args.GetDouble("weight_decay", 0.0);
   opt.temp_dir = dir;
+  opt.morsel_rows = args.GetMorselRows(0);
+  opt.steal = args.GetSteal(false);
   const std::string act = args.GetString("act", "sigmoid");
   if (act == "tanh") opt.activation = nn::Activation::kTanh;
   else if (act == "relu") opt.activation = nn::Activation::kRelu;
@@ -273,6 +284,8 @@ int CmdTrainLinreg(const ArgParser& args) {
   opt.intercept = !args.GetBool("no_intercept", false);
   opt.batch_rows = static_cast<size_t>(args.GetInt("batch", 8192));
   opt.temp_dir = dir;
+  opt.morsel_rows = args.GetMorselRows(0);
+  opt.steal = args.GetSteal(false);
   auto algos = ParseAlgos(args.GetString("algo", "all"));
   if (!algos.ok()) return FailStatus(algos.status());
   for (const auto algo : algos.value()) {
@@ -299,6 +312,8 @@ int CmdTrainKmeans(const ArgParser& args) {
   opt.tol = args.GetDouble("tol", 0.0);
   opt.batch_rows = static_cast<size_t>(args.GetInt("batch", 8192));
   opt.temp_dir = dir;
+  opt.morsel_rows = args.GetMorselRows(0);
+  opt.steal = args.GetSteal(false);
   auto algos = ParseAlgos(args.GetString("algo", "all"));
   if (!algos.ok()) return FailStatus(algos.status());
   for (const auto algo : algos.value()) {
