@@ -2,7 +2,12 @@
 // join on the fly (S-GMM / F-GMM) transfer fewer pages than materializing
 // T (M-GMM)? Prints the analytical page counts as the join buffer
 // (BlockSize) varies, the closed-form crossover, and a measured
-// confirmation with the storage engine's physical page counters.
+// confirmation with the storage engine's physical page counters — once
+// demand-only and once with the I/O cursor plane's async prefetch
+// (--prefetch-depth=N, default 2), the regime the prefetcher targets:
+// I/O-bound passes whose stall time it should convert into hits.
+// `--json=PATH` records every measured TrainReport (both prefetch
+// settings) for the CI perf trajectory.
 
 #include <cstdio>
 
@@ -16,6 +21,7 @@ namespace {
 int Main(int argc, char** argv) {
   ArgParser args(argc, argv);
   ApplyCommonBenchFlags(args);
+  JsonReport json("io_crossover", args);
   const int iters = static_cast<int>(args.GetInt("iters", 10));
 
   // A representative shape: wide R relative to S's own columns, so T is
@@ -63,18 +69,34 @@ int Main(int argc, char** argv) {
   opt.num_components = 3;
   opt.max_iters = 3;
   opt.temp_dir = dir.str();
-  const Trio t = RunGmmAll(rel_or.value(), opt, &pool);
+  opt.prefetch_depth = args.GetPrefetchDepth(2);
+  // Chunked morsels give the prefetcher a deterministic "next scheduled
+  // chunk" to run ahead of; results are bit-identical to the demand-only
+  // run either way (the Trio self-check would flag any drift).
+  opt.morsel_rows = 2048;
   std::printf("measured physical pages (nS=40000, nR=200, dS=5, dR=15, "
               "3 iters, 512-page pool):\n");
-  std::printf("  M-GMM: read=%llu written=%llu\n",
-              static_cast<unsigned long long>(t.m.io.pages_read),
-              static_cast<unsigned long long>(t.m.io.pages_written));
-  std::printf("  S-GMM: read=%llu written=%llu\n",
-              static_cast<unsigned long long>(t.s.io.pages_read),
-              static_cast<unsigned long long>(t.s.io.pages_written));
-  std::printf("  F-GMM: read=%llu written=%llu\n",
-              static_cast<unsigned long long>(t.f.io.pages_read),
-              static_cast<unsigned long long>(t.f.io.pages_written));
+  for (const bool prefetch : {false, true}) {
+    opt.prefetch = prefetch;
+    const Trio t = RunGmmAll(rel_or.value(), opt, &pool);
+    const char* tag = prefetch ? "prefetch=on " : "prefetch=off";
+    for (const auto* r : {&t.m, &t.s, &t.f}) {
+      std::printf("  %s %-6s read=%-6llu written=%-5llu prefetched=%-5llu "
+                  "hits=%-5llu stall=%.4fs\n",
+                  tag, r->algorithm.c_str(),
+                  static_cast<unsigned long long>(r->io.pages_read),
+                  static_cast<unsigned long long>(r->io.pages_written),
+                  static_cast<unsigned long long>(r->io.prefetch_reads),
+                  static_cast<unsigned long long>(r->io.prefetch_hits),
+                  static_cast<double>(r->io.stall_micros) * 1e-6);
+    }
+    json.Add("measured", prefetch ? "prefetch=on" : "prefetch=off", t);
+    if (prefetch && t.m.io.prefetch_hits == 0 && t.s.io.prefetch_hits == 0 &&
+        t.f.io.prefetch_hits == 0) {
+      std::fprintf(stderr, "WARNING: prefetch=on produced no hits on the "
+                           "I/O-crossover shape\n");
+    }
+  }
   return 0;
 }
 

@@ -146,6 +146,10 @@ class JsonReport {
         << ", \"subs\": " << r.ops.subs << ", \"exps\": " << r.ops.exps
         << ", \"pages_read\": " << r.io.pages_read
         << ", \"pages_written\": " << r.io.pages_written
+        << ", \"prefetch_reads\": " << r.io.prefetch_reads
+        << ", \"prefetch_hits\": " << r.io.prefetch_hits
+        << ", \"stall_seconds\": "
+        << static_cast<double>(r.io.stall_micros) * 1e-6
         << ", \"morsel_chunks\": " << r.morsel_chunks
         << ", \"steals\": " << r.steals;
     if (!r.worker_busy_seconds.empty()) {

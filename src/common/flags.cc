@@ -113,4 +113,52 @@ bool ArgParser::GetSteal(bool default_value) const {
   std::exit(2);
 }
 
+bool ArgParser::GetPrefetch(bool default_value) const {
+  auto it = kv_.find("prefetch");
+  if (it == kv_.end()) return default_value;
+  if (it->second == "on") return true;
+  if (it->second == "off") return false;
+  std::fprintf(stderr,
+               "invalid --prefetch=%s (must be 'on' or 'off'; on = overlap "
+               "the next morsel's page reads with compute, bit-identical "
+               "results either way)\n",
+               it->second.c_str());
+  std::exit(2);
+}
+
+int ArgParser::GetPrefetchDepth(int default_value) const {
+  auto it = kv_.find("prefetch-depth");
+  if (it == kv_.end()) return default_value < 1 ? 1 : default_value;
+  errno = 0;
+  char* end = nullptr;
+  const long long depth = std::strtoll(it->second.c_str(), &end, 10);
+  if (errno == ERANGE || end == it->second.c_str() || *end != '\0' ||
+      depth < 1 || depth > INT_MAX) {
+    std::fprintf(stderr,
+                 "invalid --prefetch-depth=%s (must be an integer >= 1: "
+                 "batches read ahead per worker; 2 = double buffering)\n",
+                 it->second.c_str());
+    std::exit(2);
+  }
+  return static_cast<int>(depth);
+}
+
+int64_t ArgParser::GetBufferPages(int64_t default_value) const {
+  auto it = kv_.find("buffer-pages");
+  if (it == kv_.end()) it = kv_.find("pool_pages");  // legacy spelling
+  if (it == kv_.end()) return default_value < 1 ? 1 : default_value;
+  errno = 0;
+  char* end = nullptr;
+  const long long pages = std::strtoll(it->second.c_str(), &end, 10);
+  if (errno == ERANGE || end == it->second.c_str() || *end != '\0' ||
+      pages < 1) {
+    std::fprintf(stderr,
+                 "invalid --buffer-pages=%s (must be an integer >= 1: "
+                 "buffer-pool capacity in 8 KiB pages)\n",
+                 it->second.c_str());
+    std::exit(2);
+  }
+  return static_cast<int64_t>(pages);
+}
+
 }  // namespace factorml

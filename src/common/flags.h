@@ -44,6 +44,24 @@ class ArgParser {
   /// --morsel-rows is unset). Anything other than on/off exits(2).
   bool GetSteal(bool default_value = false) const;
 
+  /// The shared `--prefetch={on,off}` flag: asynchronous double-buffered
+  /// page prefetch over the unified I/O cursor plane. Residency-only —
+  /// results are bit-identical either way; off (the default) keeps the
+  /// demand-path page-I/O counts byte-identical to the seed goldens.
+  /// Anything other than on/off exits(2).
+  bool GetPrefetch(bool default_value = false) const;
+
+  /// The shared `--prefetch-depth=N` flag: batches read ahead per worker
+  /// when prefetch is on (default 2, classic double buffering). Values
+  /// < 1 or non-integers are rejected with an error and exit(2).
+  int GetPrefetchDepth(int default_value = 2) const;
+
+  /// The shared `--buffer-pages=N` flag: buffer-pool capacity in pages
+  /// (the legacy spelling `--pool_pages` is still honored). Values < 1 or
+  /// non-integers are rejected with an error and exit(2); this is the
+  /// single validation point for every binary, like --threads.
+  int64_t GetBufferPages(int64_t default_value) const;
+
  private:
   std::map<std::string, std::string> kv_;
 };

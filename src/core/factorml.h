@@ -2,9 +2,9 @@
 #define FACTORML_CORE_FACTORML_H_
 
 /// Umbrella header: everything a downstream user needs to generate or load
-/// normalized relations and train GMM / NN / linear-regression / k-means
-/// models over them with the materialized, streaming, or factorized
-/// strategy.
+/// normalized relations and train GMM / NN / linear-regression / k-means /
+/// logistic-regression models over them with the materialized, streaming,
+/// or factorized strategy.
 
 #include "core/pipeline/access_strategy.h"  // IWYU pragma: export
 #include "core/pipeline/model_program.h"    // IWYU pragma: export
@@ -21,6 +21,7 @@
 #include "join/normalized_relations.h"  // IWYU pragma: export
 #include "kmeans/kmeans.h"          // IWYU pragma: export
 #include "linreg/linreg.h"          // IWYU pragma: export
+#include "logreg/logreg.h"          // IWYU pragma: export
 #include "nn/mlp.h"                 // IWYU pragma: export
 #include "nn/trainers.h"            // IWYU pragma: export
 #include "storage/buffer_pool.h"    // IWYU pragma: export

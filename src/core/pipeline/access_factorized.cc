@@ -32,9 +32,20 @@ class FactorizedStrategy final : public JoinStreamStrategyBase {
     };
     std::vector<Worker> workers(static_cast<size_t>(pool_workers()));
     FML_RETURN_IF_ERROR(DriveMorsels(
-        ctx, [&](exec::Range range, int slot, int w, Status* status) {
+        ctx, [&](exec::Range range, int slot, int w,
+                 const exec::Range* next, Status* status) {
           Worker& wk = workers[static_cast<size_t>(w)];
-          if (!wk.cursor) wk.cursor.emplace(ctx.rel, pools_->Get(w), batch_rows_);
+          if (!wk.cursor) {
+            wk.cursor.emplace(ctx.rel, pools_->Get(w), batch_rows_);
+            if (prefetcher() != nullptr) {
+              wk.cursor->EnablePrefetch(prefetcher(), prefetch_depth_);
+            }
+          }
+          // Overlap the next scheduled chunk's S-run reads with this
+          // chunk's compute (residency-only; see DriveMorsels).
+          if (next != nullptr) {
+            wk.cursor->PrefetchPositionRange(next->begin, next->end);
+          }
           wk.cursor->SetPositionRange(range.begin, range.end);
           while (wk.cursor->Next(&wk.batch)) {
             if (wk.batch.s_rows.num_rows == 0) continue;

@@ -1,6 +1,8 @@
 #ifndef FACTORML_CORE_PIPELINE_ACCESS_INTERNAL_H_
 #define FACTORML_CORE_PIPELINE_ACCESS_INTERNAL_H_
 
+#include <algorithm>
+#include <cstdint>
 #include <memory>
 #include <string>
 #include <utility>
@@ -11,6 +13,7 @@
 #include "exec/parallel_for.h"
 #include "exec/worker_pools.h"
 #include "join/attribute_view.h"
+#include "storage/page_cursor.h"
 
 namespace factorml::core::pipeline::internal {
 
@@ -40,6 +43,9 @@ class StrategyBase : public AccessStrategy {
         threads_(options.threads),
         morsel_rows_(options.morsel_rows),
         steal_(options.steal),
+        prefetch_(options.prefetch),
+        prefetch_depth_(options.prefetch_depth < 1 ? 1
+                                                   : options.prefetch_depth),
         full_pass_(full_pass) {}
 
   /// Chunk-ordered scheduler active? (RunTraining resolves steal-without-
@@ -53,11 +59,27 @@ class StrategyBase : public AccessStrategy {
   /// Installs the full-pass morsel plan — the per-worker static partition
   /// (legacy) or the deterministic chunk list (chunked). NumWorkers()
   /// becomes the accumulator slot count handed to ModelProgram::BeginPass.
+  /// Also brings up the async I/O plane when prefetch is on: one
+  /// Prefetcher serves every worker of the run (each request lands in the
+  /// issuing worker's own pool).
   void BuildWorkers(std::vector<exec::Range> ranges) {
     ranges_ = std::move(ranges);
     nw_ = ranges_.empty() ? 1 : static_cast<int>(ranges_.size());
     pools_ = std::make_unique<exec::WorkerPools>(pool_, pool_workers());
+    if (prefetch_ && prefetcher_ == nullptr) {
+      // Wide (and capped) arithmetic: --prefetch-depth accepts anything
+      // up to INT_MAX, and an in-flight cap beyond a few per worker buys
+      // nothing.
+      const int64_t inflight = std::min<int64_t>(
+          1024, 2ll * pool_workers() * prefetch_depth_);
+      prefetcher_ =
+          std::make_unique<storage::Prefetcher>(static_cast<int>(inflight));
+    }
   }
+
+  /// The async plane, or null when --prefetch=off. Strategies attach it
+  /// to their per-worker scanners/cursors (EnablePrefetch).
+  storage::Prefetcher* prefetcher() const { return prefetcher_.get(); }
 
   /// Publishes the plan shape to the report (called from Prepare).
   void RecordMorselPlan(PipelineContext* ctx) const {
@@ -68,21 +90,44 @@ class StrategyBase : public AccessStrategy {
   }
 
   /// Drives one full pass over the morsel plan: body(range, slot, worker,
-  /// status-slot) runs once per morsel; the caller then merges slots
+  /// next, status-slot) runs once per morsel; the caller then merges slots
   /// 0..NumWorkers()-1 in order. Legacy mode runs each worker's one static
   /// range (slot == worker); chunked mode lets workers acquire chunks from
   /// the scheduler, stealing when enabled (slot = chunk id). Steal counts
   /// and per-worker busy time accumulate into ctx.report; the returned
   /// status is the first error in slot order.
+  ///
+  /// `next` is the range of the worker's next scheduled chunk — the front
+  /// of its own MorselQueue block, known deterministically from the morsel
+  /// plan — or null at the block end, in legacy mode, or with prefetch
+  /// off. Strategies hand it to the cursor plane so the next chunk's pages
+  /// load while this chunk computes. (A stolen chunk's successor may
+  /// belong to another worker's block; prefetch is then skipped rather
+  /// than landed in the wrong worker's pool — residency is best-effort.)
+  /// All prefetch requests are drained before returning, so the pass
+  /// dispatcher's I/O delta covers them and no request outlives the pass.
   template <typename Body>
   Status DriveMorsels(const PipelineContext& ctx, const Body& body) {
     std::vector<Status> slot_status(static_cast<size_t>(nw_));
+    // Static chunk ownership, same split as the MorselQueue's blocks.
+    const std::vector<exec::Range> owned =
+        (chunked() && prefetcher_ != nullptr)
+            ? exec::PartitionRows(static_cast<int64_t>(ranges_.size()),
+                                  pool_workers())
+            : std::vector<exec::Range>{};
     const exec::MorselStats stats = exec::RunMorsels(
         ranges_, pool_workers(), chunked() && steal_,
         [&](exec::Range range, int64_t chunk, int worker) {
-          body(range, static_cast<int>(chunk), worker,
+          const exec::Range* next = nullptr;
+          const auto w = static_cast<size_t>(worker);
+          if (w < owned.size() && chunk >= owned[w].begin &&
+              chunk + 1 < owned[w].end) {
+            next = &ranges_[static_cast<size_t>(chunk) + 1];
+          }
+          body(range, static_cast<int>(chunk), worker, next,
                &slot_status[static_cast<size_t>(chunk)]);
         });
+    if (prefetcher_ != nullptr) prefetcher_->Drain();
     if (ctx.report != nullptr) {
       ctx.report->steals += stats.steals;
       auto& busy = ctx.report->worker_busy_seconds;
@@ -103,10 +148,15 @@ class StrategyBase : public AccessStrategy {
   int threads_;
   int64_t morsel_rows_;
   bool steal_;
+  bool prefetch_;
+  int prefetch_depth_;
   bool full_pass_;
   std::vector<exec::Range> ranges_;
   int nw_ = 1;
   std::unique_ptr<exec::WorkerPools> pools_;
+  /// Declared after pools_ so destruction drains the crew (Prefetcher's
+  /// destructor) before the per-worker pools its requests land in go away.
+  std::unique_ptr<storage::Prefetcher> prefetcher_;
 };
 
 /// Common ground of the S and F strategies: both stream the join through

@@ -61,9 +61,20 @@ class MaterializedStrategy final : public StrategyBase {
     };
     std::vector<Worker> workers(static_cast<size_t>(pool_workers()));
     FML_RETURN_IF_ERROR(DriveMorsels(
-        ctx, [&](exec::Range range, int slot, int w, Status* status) {
+        ctx, [&](exec::Range range, int slot, int w,
+                 const exec::Range* next, Status* status) {
           Worker& wk = workers[static_cast<size_t>(w)];
-          if (!wk.scan) wk.scan.emplace(&*t_, pools_->Get(w), batch_rows_);
+          if (!wk.scan) {
+            wk.scan.emplace(&*t_, pools_->Get(w), batch_rows_);
+            if (prefetcher() != nullptr) {
+              wk.scan->EnablePrefetch(prefetcher(), prefetch_depth_);
+            }
+          }
+          // Overlap the next scheduled chunk's page reads with this
+          // chunk's compute (residency-only; see DriveMorsels).
+          if (next != nullptr) {
+            wk.scan->PrefetchRowRange(next->begin, next->end);
+          }
           wk.scan->SetRowRange(range.begin, range.end);
           while (wk.scan->Next(&wk.batch)) {
             if (wk.batch.num_rows == 0) continue;

@@ -12,6 +12,10 @@
 
 namespace factorml::core::pipeline {
 
+/// Read-ahead window (in batches) of --prefetch without an explicit
+/// --prefetch-depth: classic double buffering.
+inline constexpr int kDefaultPrefetchDepth = 2;
+
 /// Knobs shared by every strategy, lifted from the model family's options
 /// struct by the Train* wrappers. `threads` may be 0 (= DefaultThreads())
 /// when handed to RunTraining, which resolves it via
@@ -34,6 +38,19 @@ struct StrategyOptions {
   /// Changes who computes each chunk, never what is merged. Implies
   /// chunking (kDefaultMorselRows) when morsel_rows is unset.
   bool steal = false;
+  /// Asynchronous double-buffered page prefetch over the unified I/O
+  /// cursor plane (storage::PageCursor / Prefetcher): while a worker
+  /// computes on one morsel, the pages of its next scheduled morsel and
+  /// of the following `prefetch_depth` batches are landed in its buffer
+  /// pool by a background I/O crew. Residency-only by construction —
+  /// prefetch never changes values, merge order, op counts, or the demand
+  /// read sequence, so results are bit-identical at on and off; only the
+  /// page-I/O split (IoStats prefetch_reads / prefetch_hits / stall) and
+  /// wall time move. Off by default: the seed goldens pin the
+  /// demand-path I/O counts.
+  bool prefetch = false;
+  /// Batches read ahead per worker when prefetch is on (>= 1).
+  int prefetch_depth = kDefaultPrefetchDepth;
   std::string temp_dir = ".";
 };
 
@@ -117,6 +134,8 @@ StrategyOptions LiftStrategyOptions(const Options& options) {
   sopt.threads = options.threads;
   sopt.morsel_rows = options.morsel_rows;
   sopt.steal = options.steal;
+  sopt.prefetch = options.prefetch;
+  sopt.prefetch_depth = options.prefetch_depth;
   sopt.temp_dir = options.temp_dir;
   return sopt;
 }

@@ -84,7 +84,21 @@ struct TrainReport {
       const auto [lo, hi] = BusyRange();
       os << " busy=" << lo << ".." << hi << "s";
     }
-    os << " | " << io.ToString() << " | " << ops.ToString();
+    os << " | " << io.ToString();
+    if (io.prefetch_reads > 0 || io.prefetch_hits > 0) {
+      // Useful-prefetch ratio: fraction of asynchronously landed pages a
+      // demand read went on to consume.
+      const double rate =
+          io.prefetch_reads > 0
+              ? static_cast<double>(io.prefetch_hits) /
+                    static_cast<double>(io.prefetch_reads)
+              : 0.0;
+      os << " prefetch_hit_rate=" << rate;
+    }
+    if (io.stall_micros > 0) {
+      os << " stall=" << static_cast<double>(io.stall_micros) * 1e-6 << "s";
+    }
+    os << " | " << ops.ToString();
     if (!phases.empty()) {
       os << " |";
       for (const auto& p : phases) {

@@ -48,4 +48,12 @@ Result<kmeans::KmeansModel> TrainKmeans(const join::NormalizedRelations& rel,
   return kmeans::TrainKmeans(rel, options, algorithm, pool, report);
 }
 
+Result<logreg::LogregModel> TrainLogreg(const join::NormalizedRelations& rel,
+                                        const logreg::LogregOptions& options,
+                                        Algorithm algorithm,
+                                        storage::BufferPool* pool,
+                                        TrainReport* report) {
+  return logreg::TrainLogreg(rel, options, algorithm, pool, report);
+}
+
 }  // namespace factorml::core

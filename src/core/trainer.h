@@ -10,6 +10,7 @@
 #include "join/normalized_relations.h"
 #include "kmeans/kmeans.h"
 #include "linreg/linreg.h"
+#include "logreg/logreg.h"
 #include "nn/trainers.h"
 #include "storage/buffer_pool.h"
 
@@ -43,6 +44,14 @@ Result<linreg::LinregModel> TrainLinreg(const join::NormalizedRelations& rel,
 /// Trains k-means (Lloyd's iterations) with the chosen strategy.
 Result<kmeans::KmeansModel> TrainKmeans(const join::NormalizedRelations& rel,
                                         const kmeans::KmeansOptions& options,
+                                        Algorithm algorithm,
+                                        storage::BufferPool* pool,
+                                        TrainReport* report);
+
+/// Trains a logistic regression (IRLS over the factorized Gram) with the
+/// chosen strategy; requires a target column.
+Result<logreg::LogregModel> TrainLogreg(const join::NormalizedRelations& rel,
+                                        const logreg::LogregOptions& options,
                                         Algorithm algorithm,
                                         storage::BufferPool* pool,
                                         TrainReport* report);

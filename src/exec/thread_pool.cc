@@ -36,6 +36,41 @@ ThreadPool::~ThreadPool() {
   }
   cv_.notify_all();
   for (auto& t : threads_) t.join();
+  {
+    std::lock_guard<std::mutex> lock(io_mu_);
+    io_stop_ = true;
+  }
+  io_cv_.notify_all();
+  for (auto& t : io_threads_) t.join();
+}
+
+void ThreadPool::SubmitIo(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(io_mu_);
+    while (static_cast<int>(io_threads_.size()) < kIoCrewThreads) {
+      io_threads_.emplace_back([this] { IoCrewLoop(); });
+    }
+    io_queue_.push_back(std::move(task));
+  }
+  io_cv_.notify_one();
+}
+
+void ThreadPool::IoCrewLoop() {
+  // Crew threads are pool threads as far as the no-nesting rule goes: a
+  // Run issued from a crew task executes inline instead of deadlocking on
+  // the compute queue.
+  tls_in_worker = true;
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(io_mu_);
+      io_cv_.wait(lock, [this] { return io_stop_ || !io_queue_.empty(); });
+      if (io_stop_ && io_queue_.empty()) return;
+      task = std::move(io_queue_.front());
+      io_queue_.pop_front();
+    }
+    task();
+  }
 }
 
 void ThreadPool::EnsureThreads(int count) {

@@ -32,6 +32,22 @@ class ThreadPool {
   /// is bit-for-bit the serial path.
   void Run(int num_workers, const std::function<void(int)>& fn);
 
+  /// Enqueues a detached task on the pool's background I/O crew — a small
+  /// set of dedicated threads separate from the compute workers, so
+  /// asynchronous page prefetch (storage::Prefetcher) keeps making
+  /// progress while every compute worker is busy inside Run. Tasks may be
+  /// submitted from any thread, including pool workers mid-region; they
+  /// run in submission order per crew thread with no completion
+  /// handshake — callers that need one build it themselves (the
+  /// Prefetcher's in-flight count + Drain).
+  ///
+  /// Crew threads never merge their op/I/O counters anywhere; tasks that
+  /// must be accounted for fold their own deltas back explicitly.
+  void SubmitIo(std::function<void()> task);
+
+  /// Crew size of SubmitIo (fixed, spawned lazily on first submission).
+  static constexpr int kIoCrewThreads = 2;
+
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
 
@@ -41,12 +57,19 @@ class ThreadPool {
 
   void EnsureThreads(int count);
   void WorkerLoop();
+  void IoCrewLoop();
 
   std::mutex mu_;
   std::condition_variable cv_;
   std::deque<std::function<void()>> queue_;
   std::vector<std::thread> threads_;
   bool stop_ = false;
+
+  std::mutex io_mu_;
+  std::condition_variable io_cv_;
+  std::deque<std::function<void()>> io_queue_;
+  std::vector<std::thread> io_threads_;
+  bool io_stop_ = false;
 };
 
 /// Worker count a parallel region should use: `requested` when >= 1,

@@ -1,6 +1,9 @@
 #include "join/join_cursor.h"
 
+#include <algorithm>
 #include <cstring>
+
+#include "storage/page_cursor.h"
 
 namespace factorml::join {
 
@@ -10,6 +13,44 @@ JoinCursor::JoinCursor(const NormalizedRelations* rel,
   FML_CHECK_GT(target_batch_rows_, 0u);
   FML_CHECK_GT(rel_->fk1_index.num_rids(), 0)
       << "JoinCursor requires a built fk1_index";
+}
+
+void JoinCursor::EnablePrefetch(storage::Prefetcher* prefetcher,
+                                int64_t depth_batches) {
+  prefetcher_ = prefetcher;
+  prefetch_batches_ = depth_batches < 1 ? 1 : depth_batches;
+}
+
+int64_t JoinCursor::RunWindow(int64_t begin, int64_t end, int64_t cap,
+                              int64_t* row_begin) const {
+  // S is clustered by FK1 and rids are dense, so the positions' runs form
+  // one contiguous S row span; cap it at the double-buffer window.
+  const FkIndex& idx = rel_->fk1_index;
+  begin = std::max<int64_t>(begin, 0);
+  end = std::min(end, idx.num_rids());
+  int64_t first = -1;
+  int64_t rows = 0;
+  for (int64_t pos = begin; pos < end && rows < cap; ++pos) {
+    const int64_t count = idx.CountOf(pos);
+    if (count == 0) continue;
+    if (first < 0) first = idx.StartOf(pos);
+    rows += count;
+  }
+  if (first < 0) return 0;
+  *row_begin = first;
+  return std::min(rows, cap);
+}
+
+void JoinCursor::PrefetchPositionRange(int64_t begin, int64_t end) {
+  if (prefetcher_ == nullptr || !order_.empty()) return;
+  const int64_t cap =
+      prefetch_batches_ * static_cast<int64_t>(target_batch_rows_);
+  int64_t row_begin = 0;
+  const int64_t rows = RunWindow(begin, end, cap, &row_begin);
+  if (rows == 0) return;
+  storage::PageCursor cursor(&rel_->s, pool_);
+  cursor.SetPrefetcher(prefetcher_);
+  cursor.PrefetchRows(row_begin, rows);
 }
 
 void JoinCursor::SetRidOrder(std::vector<int64_t> order) {
@@ -29,10 +70,12 @@ void JoinCursor::SetPositionRange(int64_t begin, int64_t end) {
   begin_pos_ = begin;
   end_pos_ = end;
   next_pos_ = begin;
+  prefetch_water_ = 0;
 }
 
 void JoinCursor::Reset() {
   next_pos_ = begin_pos_;
+  prefetch_water_ = 0;
   status_ = Status::OK();
 }
 
@@ -68,6 +111,27 @@ bool JoinCursor::Next(JoinBatch* out) {
     }
   }
 
+  if (prefetcher_ != nullptr && order_.empty()) {
+    // Double-buffer: land the runs of the following batches (positions
+    // [next_pos_, end_pos), already advanced past this batch) while the
+    // caller computes on this one. The high-water mark keeps rows from
+    // being requested twice within a range.
+    const int64_t cap =
+        prefetch_batches_ * static_cast<int64_t>(target_batch_rows_);
+    int64_t row_begin = 0;
+    const int64_t rows = RunWindow(next_pos_, end_pos, cap, &row_begin);
+    if (rows > 0) {
+      const int64_t from = std::max(prefetch_water_, row_begin);
+      const int64_t window_end = row_begin + rows;
+      if (window_end > from) {
+        storage::PageCursor cursor(&rel_->s, pool_);
+        cursor.SetPrefetcher(prefetcher_);
+        cursor.PrefetchRows(from, window_end - from);
+        prefetch_water_ = window_end;
+      }
+    }
+  }
+
   if (total == 0) {
     // All collected rids had no matching S tuples; emit an empty batch so
     // callers see a consistent stream (they typically skip it).
@@ -78,6 +142,7 @@ bool JoinCursor::Next(JoinBatch* out) {
     return true;
   }
 
+  storage::PageCursor cursor(&rel_->s, pool_);
   if (contiguous) {
     int64_t first_start = -1;
     for (const auto& g : out->groups) {
@@ -86,7 +151,7 @@ bool JoinCursor::Next(JoinBatch* out) {
         break;
       }
     }
-    status_ = rel_->s.ReadRows(pool_, first_start, total, &out->s_rows);
+    status_ = cursor.ReadRows(first_start, total, &out->s_rows);
     return status_.ok();
   }
 
@@ -99,7 +164,7 @@ bool JoinCursor::Next(JoinBatch* out) {
   out->s_rows.feats.Resize(total, schema.num_feats);
   for (const auto& g : out->groups) {
     if (g.count == 0) continue;
-    status_ = rel_->s.ReadRows(pool_, idx.StartOf(g.rid), g.count, &scratch_);
+    status_ = cursor.ReadRows(idx.StartOf(g.rid), g.count, &scratch_);
     if (!status_.ok()) return false;
     std::memcpy(out->s_rows.keys.data() + g.offset * schema.num_keys,
                 scratch_.keys.data(),

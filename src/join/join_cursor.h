@@ -32,12 +32,31 @@ struct JoinBatch {
 /// permutation for SGD) and reads each rid's run of matching S rows through
 /// the buffer pool. This is the access pattern of S-GMM/F-GMM/S-NN/F-NN
 /// (Fig. 1(b), 1(c), Fig. 2).
+///
+/// Like TableScanner, this is a thin grouping/row-decoding shim over the
+/// unified I/O cursor plane (storage::PageCursor): every S page touch is
+/// delegated there, and with a storage::Prefetcher attached the cursor
+/// double-buffers natural-order scans — the pages of the next batch's runs
+/// are landed asynchronously while the caller computes on the current one.
 class JoinCursor {
  public:
   /// Batches target at least `target_batch_rows` S rows (whole rid groups;
   /// a single huge group may exceed the target).
   JoinCursor(const NormalizedRelations* rel, storage::BufferPool* pool,
              size_t target_batch_rows);
+
+  /// Attaches the async prefetch plane (natural order only — a permuted
+  /// rid order makes upcoming pages data-dependent and is the mini-batch
+  /// plane's sequential path anyway). Residency-only: groups, decoded rows
+  /// and demand read order are unchanged by any prefetch schedule.
+  void EnablePrefetch(storage::Prefetcher* prefetcher, int64_t depth_batches);
+
+  /// Asynchronously lands the S pages of the head of rid positions
+  /// [begin, end) — at most `depth_batches` target batches' worth of rows.
+  /// Used by the morsel drivers to overlap the next scheduled FK1-run
+  /// chunk's reads with the current chunk's compute. No-op without
+  /// EnablePrefetch or under a permuted rid order.
+  void PrefetchPositionRange(int64_t begin, int64_t end);
 
   /// Sets the R1 rid visit order for subsequent passes. Must be a
   /// permutation of 0..nR1-1; an empty vector restores natural order.
@@ -67,6 +86,15 @@ class JoinCursor {
   int64_t next_pos_ = 0;        // position within the rid order
   Status status_;
   storage::RowBatch scratch_;
+  storage::Prefetcher* prefetcher_ = nullptr;
+  int64_t prefetch_batches_ = 0;
+  int64_t prefetch_water_ = 0;  // S rows at/after this mark not yet prefetched
+
+  /// The contiguous S row window of natural-order positions [begin, end):
+  /// rows [*row_begin, *row_begin + returned), capped at `cap` rows.
+  /// Returns 0 (row_begin untouched) when the positions hold no rows.
+  int64_t RunWindow(int64_t begin, int64_t end, int64_t cap,
+                    int64_t* row_begin) const;
 };
 
 }  // namespace factorml::join

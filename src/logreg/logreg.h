@@ -1,5 +1,5 @@
-#ifndef FACTORML_LINREG_LINREG_H_
-#define FACTORML_LINREG_LINREG_H_
+#ifndef FACTORML_LOGREG_LOGREG_H_
+#define FACTORML_LOGREG_LOGREG_H_
 
 #include <cstdint>
 #include <cstddef>
@@ -12,17 +12,25 @@
 #include "join/normalized_relations.h"
 #include "storage/buffer_pool.h"
 
-namespace factorml::linreg {
+namespace factorml::logreg {
 
-/// Options for closed-form ridge linear regression — the classic
-/// factorized-learning baseline. One pass over the join accumulates the
-/// Gram matrix G = X^T X and the cofactor vector c = X^T y; the weights
-/// solve (G + l2*I) w = c. All three strategies accumulate the identical
-/// statistics (up to floating-point reordering), so their weights agree —
-/// the same exactness property the paper proves for GMM/NN.
-struct LinregOptions {
+/// Options for L2-regularized logistic regression trained by IRLS
+/// (iteratively reweighted least squares). Each iteration is one full pass
+/// that accumulates the *weighted* Gram matrix A = X^T W X and working
+/// response b = X^T W z (W = diag(p(1-p)), z the IRLS working response),
+/// then solves (A + l2*I) beta = b — exactly linear regression's
+/// Gram/cofactor pass with per-tuple weights, so the factorized path
+/// reuses linreg's deferred cofactor blocks: per fact tuple only the
+/// S slice and weighted per-rid masses are touched, and the S x Ri cross,
+/// Ri-diagonal and Ri-cofactor blocks collapse to one rank-1 update per
+/// *attribute* tuple at pass end. The per-row linear response itself is
+/// factorized too: eta = beta_S . xs + sum_i (beta_Ri . xr[rid_i]), with
+/// the per-rid dot products computed once per R tuple per pass.
+struct LogregOptions {
   double l2 = 1e-3;           // ridge penalty (never applied to the bias)
   bool intercept = true;      // augment X with a constant-1 column
+  int max_iters = 4;          // IRLS iterations
+  double tol = 0.0;           // >0: stop when max |delta beta| < tol
   size_t batch_rows = 8192;   // rows per streamed batch
   std::string temp_dir = ".";  // where the M strategy materializes T
   /// Worker threads for the exec/ morsel runtime; 0 = DefaultThreads(),
@@ -43,28 +51,30 @@ struct LinregOptions {
   int prefetch_depth = 2;
 };
 
-/// A trained linear model over the joined feature vector
+/// A trained logistic model over the joined feature vector
 /// [XS | XR1 | ... | XRq].
-struct LinregModel {
+struct LogregModel {
   std::vector<double> w;  // d coefficients in joined-column order
   double bias = 0.0;      // intercept (0 when disabled)
 
   size_t dims() const { return w.size(); }
-  double Predict(const double* x) const;
+  /// P(y = 1 | x) under the fitted model.
+  double PredictProb(const double* x) const;
 
   /// Max absolute coefficient difference (bias included); used by the
   /// M==S==F parity tests.
-  static double MaxAbsDiff(const LinregModel& a, const LinregModel& b);
+  static double MaxAbsDiff(const LogregModel& a, const LogregModel& b);
 };
 
 /// Trains with the chosen execution strategy via core/pipeline. The
-/// relations must carry a target column.
-Result<LinregModel> TrainLinreg(const join::NormalizedRelations& rel,
-                                const LinregOptions& options,
+/// relations must carry a target column (ideally in [0, 1]; IRLS treats
+/// other values as soft labels).
+Result<LogregModel> TrainLogreg(const join::NormalizedRelations& rel,
+                                const LogregOptions& options,
                                 core::Algorithm algorithm,
                                 storage::BufferPool* pool,
                                 core::TrainReport* report);
 
-}  // namespace factorml::linreg
+}  // namespace factorml::logreg
 
-#endif  // FACTORML_LINREG_LINREG_H_
+#endif  // FACTORML_LOGREG_LOGREG_H_

@@ -60,6 +60,12 @@ struct NnOptions {
   /// take chunks from busy ones (implies chunking).
   int64_t morsel_rows = 0;
   bool steal = false;
+  /// Asynchronous double-buffered page prefetch (strategy plane, see
+  /// StrategyOptions): overlap the next morsel's page reads with compute.
+  /// Residency-only — results are bit-identical either way; prefetch_depth
+  /// is the number of batches read ahead per worker.
+  bool prefetch = false;
+  int prefetch_depth = 2;
 };
 
 /// Algorithm M-NN: materializes T, then standard BP over T's rows.

@@ -1,5 +1,7 @@
 #include "storage/buffer_pool.h"
 
+#include <chrono>
+
 #include "storage/io_stats.h"
 
 namespace factorml::storage {
@@ -10,37 +12,81 @@ BufferPool::BufferPool(size_t capacity_pages)
 Result<const char*> BufferPool::GetPage(PagedFile* file, uint64_t page_no) {
   // The latch is held across the miss's disk read as well: releasing it
   // there would let two threads read the same page twice and double-insert.
-  // Parallel scan paths avoid this serialization with per-worker pools.
+  // Parallel scan paths avoid this serialization with per-worker pools;
+  // the prefetcher reads outside the latch and inserts via
+  // InsertPrefetched.
   std::lock_guard<std::mutex> lock(mu_);
   const Key key{file->id(), page_no};
   auto it = map_.find(key);
   if (it != map_.end()) {
     GlobalIo().pool_hits++;
+    if (it->second->prefetched) {
+      it->second->prefetched = false;
+      GlobalIo().prefetch_hits++;
+    }
     // Move to front of the LRU list.
     lru_.splice(lru_.begin(), lru_, it->second);
+    last_demand_ = it->second;
     return static_cast<const char*>(it->second->data.get());
   }
   GlobalIo().pool_misses++;
   std::unique_ptr<char[]> buf;
   if (map_.size() >= capacity_) {
-    // Reuse the least recently used frame.
-    Frame victim = std::move(lru_.back());
+    // Reuse the least recently used frame (the demand path's pre-existing
+    // eviction decision — prefetch never alters it).
+    auto victim_it = std::prev(lru_.end());
+    if (victim_it == last_demand_) last_demand_ = lru_.end();
+    Frame victim = std::move(*victim_it);
     map_.erase(victim.key);
     lru_.pop_back();
     buf = std::move(victim.data);
   } else {
     buf = std::make_unique<char[]>(kPageSize);
   }
+  const auto stall_begin = std::chrono::steady_clock::now();
   FML_RETURN_IF_ERROR(file->ReadPage(page_no, buf.get()));
+  GlobalIo().stall_micros += static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - stall_begin)
+          .count());
   lru_.push_front(Frame{key, std::move(buf)});
   map_[key] = lru_.begin();
+  last_demand_ = lru_.begin();
   return static_cast<const char*>(lru_.front().data.get());
+}
+
+bool BufferPool::Contains(PagedFile* file, uint64_t page_no) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return map_.count(Key{file->id(), page_no}) > 0;
+}
+
+bool BufferPool::InsertPrefetched(PagedFile* file, uint64_t page_no,
+                                  std::unique_ptr<char[]> data) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const Key key{file->id(), page_no};
+  if (map_.count(key) > 0) return false;  // a demand read won the race
+  if (map_.size() >= capacity_) {
+    // Evict from the LRU back, skipping the reader's current frame. An
+    // old sequential-scan frame is dead weight (it would be flooded out
+    // before any reuse); the page about to be demanded is not.
+    auto victim_it = std::prev(lru_.end());
+    if (victim_it == last_demand_) {
+      if (lru_.size() < 2) return false;  // nothing evictable
+      victim_it = std::prev(victim_it);
+    }
+    map_.erase(victim_it->key);
+    lru_.erase(victim_it);
+  }
+  lru_.push_front(Frame{key, std::move(data), /*prefetched=*/true});
+  map_[key] = lru_.begin();
+  return true;
 }
 
 void BufferPool::Clear() {
   std::lock_guard<std::mutex> lock(mu_);
   lru_.clear();
   map_.clear();
+  last_demand_ = lru_.end();
 }
 
 }  // namespace factorml::storage

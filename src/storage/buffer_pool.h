@@ -38,6 +38,27 @@ class BufferPool {
   /// (exec::WorkerPools), which is what the parallel trainers do.
   Result<const char*> GetPage(PagedFile* file, uint64_t page_no);
 
+  /// True when (file, page_no) is currently cached. Does not touch the LRU
+  /// order or any counter — the prefetcher's cheap pre-check before paying
+  /// a physical read.
+  bool Contains(PagedFile* file, uint64_t page_no) const;
+
+  /// Hands the pool a page the prefetcher read outside the latch.
+  /// Residency-only: the frame is inserted when the page is absent,
+  /// evicting from the LRU back if the pool is full — but NEVER the
+  /// most-recently-demanded frame, which is the one pointer a cursor-plane
+  /// reader holds while decoding (a pool under active prefetch must have a
+  /// single demand reader, which is how the strategies' per-worker pools
+  /// are used; see GetPage's contract note). Returns false (dropping
+  /// `data`) when the page was already present or no evictable frame
+  /// exists (e.g. capacity 1 holding the reader's current page). The
+  /// inserted frame is marked; the first demand GetPage that finds it
+  /// counts a prefetch_hit. No counter is charged here — the prefetcher
+  /// accounts for its own physical reads, and demand-path eviction
+  /// decisions/counts with prefetch off are untouched.
+  bool InsertPrefetched(PagedFile* file, uint64_t page_no,
+                        std::unique_ptr<char[]> data);
+
   /// Drops every cached frame (e.g. between timed runs).
   void Clear();
 
@@ -64,12 +85,18 @@ class BufferPool {
   struct Frame {
     Key key;
     std::unique_ptr<char[]> data;
+    /// Landed by the prefetcher and not yet demanded (see InsertPrefetched).
+    bool prefetched = false;
   };
 
   size_t capacity_;
-  mutable std::mutex mu_;  // latches lru_ and map_
+  mutable std::mutex mu_;  // latches lru_, map_ and last_demand_
   std::list<Frame> lru_;   // front = most recently used
   std::unordered_map<Key, std::list<Frame>::iterator, KeyHash> map_;
+  /// Frame returned by the most recent GetPage — the one pointer a
+  /// cursor-plane reader may still be decoding from, hence the one frame
+  /// InsertPrefetched must never evict. lru_.end() = none.
+  std::list<Frame>::iterator last_demand_ = lru_.end();
 };
 
 }  // namespace factorml::storage

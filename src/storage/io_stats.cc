@@ -36,6 +36,10 @@ std::string IoStats::ToString() const {
   std::ostringstream os;
   os << "pages_read=" << pages_read << " pages_written=" << pages_written
      << " pool_hits=" << pool_hits << " pool_misses=" << pool_misses;
+  if (prefetch_reads > 0 || prefetch_hits > 0) {
+    os << " prefetch_reads=" << prefetch_reads
+       << " prefetch_hits=" << prefetch_hits;
+  }
   return os.str();
 }
 

@@ -10,18 +10,36 @@ namespace factorml::storage {
 /// is expressed in pages read/written per algorithm; trainers snapshot this
 /// before/after a run and report the delta. Buffer-pool hits are tracked
 /// separately so the physical-read counts stay meaningful.
+///
+/// The demand path and the prefetch path are split: `pool_hits` /
+/// `pool_misses` count demand lookups only, `prefetch_reads` is the subset
+/// of `pages_read` issued asynchronously by the I/O cursor plane
+/// (storage::Prefetcher), and `prefetch_hits` counts demand lookups served
+/// from a frame the prefetcher landed. With prefetch off (the default) the
+/// prefetch fields stay zero and every other field is byte-identical to
+/// the pre-prefetch engine — which is what the seed goldens pin.
 struct IoStats {
   uint64_t pages_read = 0;
   uint64_t pages_written = 0;
   uint64_t pool_hits = 0;
   uint64_t pool_misses = 0;
+  uint64_t prefetch_reads = 0;   // physical reads issued by the prefetcher
+  uint64_t prefetch_hits = 0;    // demand lookups served by a prefetched frame
+  /// Wall time demand readers spent blocked on a physical page read (the
+  /// miss path of BufferPool::GetPage) — the stall the prefetcher exists
+  /// to hide. Timing, not a count: never compared bitwise.
+  uint64_t stall_micros = 0;
 
   uint64_t bytes_read() const;
   uint64_t bytes_written() const;
+  /// Physical reads triggered synchronously by a demand lookup.
+  uint64_t demand_reads() const { return pages_read - prefetch_reads; }
 
   IoStats operator-(const IoStats& o) const {
-    return {pages_read - o.pages_read, pages_written - o.pages_written,
-            pool_hits - o.pool_hits, pool_misses - o.pool_misses};
+    return {pages_read - o.pages_read,         pages_written - o.pages_written,
+            pool_hits - o.pool_hits,           pool_misses - o.pool_misses,
+            prefetch_reads - o.prefetch_reads, prefetch_hits - o.prefetch_hits,
+            stall_micros - o.stall_micros};
   }
 
   IoStats& operator+=(const IoStats& o) {
@@ -29,6 +47,9 @@ struct IoStats {
     pages_written += o.pages_written;
     pool_hits += o.pool_hits;
     pool_misses += o.pool_misses;
+    prefetch_reads += o.prefetch_reads;
+    prefetch_hits += o.prefetch_hits;
+    stall_micros += o.stall_micros;
     return *this;
   }
 

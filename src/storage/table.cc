@@ -1,6 +1,9 @@
 #include "storage/table.h"
 
+#include <algorithm>
 #include <cstring>
+
+#include "storage/page_cursor.h"
 
 namespace factorml::storage {
 
@@ -14,13 +17,6 @@ struct FileHeader {
   uint64_t num_feats;
   int64_t num_rows;
 };
-
-// Data page layout: uint64 row count, then packed rows.
-uint64_t PageRowCount(const char* page) {
-  uint64_t n;
-  std::memcpy(&n, page, sizeof(n));
-  return n;
-}
 
 }  // namespace
 
@@ -111,44 +107,7 @@ Status Table::Finish() {
 
 Status Table::ReadRows(BufferPool* pool, int64_t start_row, size_t count,
                        RowBatch* out) const {
-  if (start_row < 0 || start_row + static_cast<int64_t>(count) > num_rows_) {
-    return Status::OutOfRange("row range out of bounds in " + path());
-  }
-  const size_t rpp = schema_.RowsPerPage();
-  const size_t row_bytes = schema_.RowBytes();
-
-  out->num_rows = count;
-  out->num_keys = schema_.num_keys;
-  out->start_row = start_row;
-  out->keys.resize(count * schema_.num_keys);
-  if (out->feats.rows() != count || out->feats.cols() != schema_.num_feats) {
-    out->feats.Resize(count, schema_.num_feats);
-  }
-
-  size_t filled = 0;
-  while (filled < count) {
-    const int64_t row = start_row + static_cast<int64_t>(filled);
-    const uint64_t page_no = 1 + static_cast<uint64_t>(row) / rpp;
-    const size_t offset_in_page = static_cast<size_t>(row) % rpp;
-    FML_ASSIGN_OR_RETURN(const char* page, pool->GetPage(file_.get(), page_no));
-    const uint64_t rows_in_page = PageRowCount(page);
-    if (offset_in_page >= rows_in_page) {
-      return Status::Internal("corrupt page in " + path());
-    }
-    const size_t take =
-        std::min(count - filled, static_cast<size_t>(rows_in_page) -
-                                     offset_in_page);
-    const char* src = page + 8 + offset_in_page * row_bytes;
-    for (size_t r = 0; r < take; ++r) {
-      std::memcpy(out->keys.data() + (filled + r) * schema_.num_keys, src,
-                  8 * schema_.num_keys);
-      std::memcpy(out->feats.Row(filled + r).data(),
-                  src + 8 * schema_.num_keys, 8 * schema_.num_feats);
-      src += row_bytes;
-    }
-    filled += take;
-  }
-  return Status::OK();
+  return PageCursor(this, pool).ReadRows(start_row, count, out);
 }
 
 TableScanner::TableScanner(const Table* table, BufferPool* pool,
@@ -157,13 +116,44 @@ TableScanner::TableScanner(const Table* table, BufferPool* pool,
   FML_CHECK_GT(batch_rows_, 0u);
 }
 
+void TableScanner::EnablePrefetch(Prefetcher* prefetcher,
+                                  int64_t depth_batches) {
+  prefetcher_ = prefetcher;
+  prefetch_batches_ = depth_batches < 1 ? 1 : depth_batches;
+  prefetch_water_ = next_row_;
+}
+
+void TableScanner::PrefetchRowRange(int64_t begin, int64_t end) {
+  if (prefetcher_ == nullptr) return;
+  const int64_t cap =
+      prefetch_batches_ * static_cast<int64_t>(batch_rows_);
+  PageCursor cursor(table_, pool_);
+  cursor.SetPrefetcher(prefetcher_);
+  cursor.PrefetchRows(begin, std::min(end - begin, cap));
+}
+
 bool TableScanner::Next(RowBatch* out) {
   if (!status_.ok()) return false;
   const int64_t end = end_row_ < 0 ? table_->num_rows() : end_row_;
   if (next_row_ >= end) return false;
   const size_t count = static_cast<size_t>(
       std::min<int64_t>(batch_rows_, end - next_row_));
-  status_ = table_->ReadRows(pool_, next_row_, count, out);
+  PageCursor cursor(table_, pool_);
+  if (prefetcher_ != nullptr) {
+    // Double-buffer: land the following `prefetch_batches_` batches while
+    // the caller computes on this one. The high-water mark keeps each row
+    // from being requested twice within a range.
+    cursor.SetPrefetcher(prefetcher_);
+    const int64_t batch_end = next_row_ + static_cast<int64_t>(count);
+    const int64_t window_end = std::min(
+        end, batch_end + prefetch_batches_ * static_cast<int64_t>(batch_rows_));
+    const int64_t from = std::max(prefetch_water_, batch_end);
+    if (window_end > from) {
+      cursor.PrefetchRows(from, window_end - from);
+      prefetch_water_ = window_end;
+    }
+  }
+  status_ = cursor.ReadRows(next_row_, count, out);
   if (!status_.ok()) return false;
   next_row_ += static_cast<int64_t>(count);
   return true;
@@ -176,10 +166,12 @@ void TableScanner::SetRowRange(int64_t begin, int64_t end) {
   begin_row_ = begin;
   end_row_ = end;
   next_row_ = begin;
+  prefetch_water_ = begin;
 }
 
 void TableScanner::Reset() {
   next_row_ = begin_row_;
+  prefetch_water_ = begin_row_;
   status_ = Status::OK();
 }
 

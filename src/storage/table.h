@@ -78,6 +78,8 @@ class Table {
   Status Finish();
 
   /// Reads `count` rows starting at `start_row` into `out` via the pool.
+  /// Convenience shim over the unified I/O cursor plane
+  /// (storage::PageCursor, which owns the page walk and decode).
   Status ReadRows(BufferPool* pool, int64_t start_row, size_t count,
                   RowBatch* out) const;
 
@@ -96,11 +98,29 @@ class Table {
   size_t tail_rows_ = 0;
 };
 
-/// Sequential batched reader over a table's rows.
+class Prefetcher;  // storage/page_cursor.h — the async half of the I/O plane
+
+/// Sequential batched reader over a table's rows — a thin batching /
+/// row-decoding shim over the unified I/O cursor plane (PageCursor): every
+/// page touch is delegated there, and when a Prefetcher is attached the
+/// scanner double-buffers, asynchronously landing the pages of the next
+/// `depth_batches` batches while the caller computes on the current one.
 class TableScanner {
  public:
   /// Batches of up to `batch_rows` rows; the last batch may be short.
   TableScanner(const Table* table, BufferPool* pool, size_t batch_rows);
+
+  /// Attaches the async prefetch plane: Next() keeps the pages of the
+  /// following `depth_batches` batches in flight ahead of the demand
+  /// reads. Residency-only — decoded rows, batch boundaries and demand
+  /// read order are unchanged by any prefetch schedule.
+  void EnablePrefetch(Prefetcher* prefetcher, int64_t depth_batches);
+
+  /// Asynchronously lands the head of rows [begin, end) — at most
+  /// `depth_batches` batches' worth — in the pool. Used by the morsel
+  /// drivers to overlap the next scheduled chunk's reads with the current
+  /// chunk's compute. No-op without EnablePrefetch.
+  void PrefetchRowRange(int64_t begin, int64_t end);
 
   /// Fills `out` with the next batch. Returns false at end-of-table or on
   /// error (check status()).
@@ -125,6 +145,9 @@ class TableScanner {
   int64_t end_row_ = -1;  // -1 = num_rows()
   int64_t next_row_ = 0;
   Status status_;
+  Prefetcher* prefetcher_ = nullptr;
+  int64_t prefetch_batches_ = 0;
+  int64_t prefetch_water_ = 0;  // rows at/after this mark not yet prefetched
 };
 
 }  // namespace factorml::storage

@@ -45,14 +45,21 @@ constexpr core::Algorithm kAlgos[] = {core::Algorithm::kMaterialized,
 struct SchedConfig {
   int threads;
   bool steal;
+  bool prefetch = false;
 };
 // Config 0 is the baseline every other schedule must reproduce bit-exactly.
-constexpr SchedConfig kConfigs[] = {{1, false}, {2, false}, {4, false},
-                                    {1, true},  {2, true},  {4, true}};
+// The prefetch configs assert the I/O plane's extended contract: async
+// page prefetch changes residency only, so a prefetched run is as
+// bit-exact as any other schedule.
+constexpr SchedConfig kConfigs[] = {
+    {1, false},       {2, false},       {4, false},
+    {1, true},        {2, true},        {4, true},
+    {2, false, true}, {4, true, true}};
 
 std::string CfgName(const SchedConfig& c) {
   return "threads=" + std::to_string(c.threads) +
-         (c.steal ? " steal=on" : " steal=off");
+         (c.steal ? " steal=on" : " steal=off") +
+         (c.prefetch ? " prefetch=on" : "");
 }
 
 /// Trains one (family, algorithm) under every scheduler config and
@@ -64,14 +71,15 @@ template <typename Train, typename Diff>
 double ExpectScheduleInvariance(Train train, Diff diff,
                                 const std::string& label) {
   core::TrainReport base_report;
-  auto base = train(kConfigs[0].threads, kConfigs[0].steal, &base_report);
+  auto base = train(kConfigs[0], &base_report);
   EXPECT_TRUE(base.ok()) << label << ": " << base.status().ToString();
   if (!base.ok()) return 0.0;
   EXPECT_GT(base_report.morsel_chunks, 0) << label;
+  EXPECT_EQ(base_report.io.prefetch_reads, 0u) << label;
   for (size_t i = 1; i < std::size(kConfigs); ++i) {
     const std::string tag = label + " [" + CfgName(kConfigs[i]) + "]";
     core::TrainReport report;
-    auto model = train(kConfigs[i].threads, kConfigs[i].steal, &report);
+    auto model = train(kConfigs[i], &report);
     EXPECT_TRUE(model.ok()) << tag << ": " << model.status().ToString();
     if (!model.ok()) continue;
     EXPECT_EQ(report.final_objective, base_report.final_objective) << tag;
@@ -163,10 +171,11 @@ TEST_P(FuzzParityTest, StealScheduleInvariance) {
         opt.morsel_rows = morsel_rows;
         opt.temp_dir = dir.str();
         objectives[a] = ExpectScheduleInvariance(
-            [&](int threads, bool steal, core::TrainReport* report) {
+            [&](const SchedConfig& cfg, core::TrainReport* report) {
               auto o = opt;
-              o.threads = threads;
-              o.steal = steal;
+              o.threads = cfg.threads;
+              o.steal = cfg.steal;
+              o.prefetch = cfg.prefetch;
               pool.Clear();
               return core::TrainGmm(rel, o, algo, &pool, report);
             },
@@ -194,6 +203,7 @@ TEST_P(FuzzParityTest, StealScheduleInvariance) {
           auto o = opt;
           o.threads = kConfigs[i].threads;
           o.steal = kConfigs[i].steal;
+          o.prefetch = kConfigs[i].prefetch;
           pool.Clear();
           auto mlp = core::TrainNn(rel, o, algo, &pool, &reports[i]);
           ASSERT_TRUE(mlp.ok())
@@ -208,10 +218,19 @@ TEST_P(FuzzParityTest, StealScheduleInvariance) {
               << tag;
           EXPECT_EQ(nn::Mlp::MaxAbsDiffParams(base, mlp.value()), 0.0) << tag;
         }
-        for (size_t i = 3; i < std::size(kConfigs); ++i) {
-          const std::string tag = alabel + " [" + CfgName(kConfigs[i]) + "]";
-          EXPECT_EQ(reports[i].ops.mults, reports[i - 3].ops.mults) << tag;
-          EXPECT_EQ(reports[i].ops.adds, reports[i - 3].ops.adds) << tag;
+        // Op counts compare only at equal thread counts (parallel workers
+        // redo per-group shared work): pair every config with the first
+        // earlier config sharing its thread count.
+        for (size_t i = 1; i < std::size(kConfigs); ++i) {
+          for (size_t j = 0; j < i; ++j) {
+            if (kConfigs[j].threads != kConfigs[i].threads) continue;
+            const std::string tag =
+                alabel + " [" + CfgName(kConfigs[i]) + " vs " +
+                CfgName(kConfigs[j]) + "]";
+            EXPECT_EQ(reports[i].ops.mults, reports[j].ops.mults) << tag;
+            EXPECT_EQ(reports[i].ops.adds, reports[j].ops.adds) << tag;
+            break;
+          }
         }
         break;
       }
@@ -221,10 +240,11 @@ TEST_P(FuzzParityTest, StealScheduleInvariance) {
         opt.morsel_rows = morsel_rows;
         opt.temp_dir = dir.str();
         objectives[a] = ExpectScheduleInvariance(
-            [&](int threads, bool steal, core::TrainReport* report) {
+            [&](const SchedConfig& cfg, core::TrainReport* report) {
               auto o = opt;
-              o.threads = threads;
-              o.steal = steal;
+              o.threads = cfg.threads;
+              o.steal = cfg.steal;
+              o.prefetch = cfg.prefetch;
               pool.Clear();
               return core::TrainLinreg(rel, o, algo, &pool, report);
             },
@@ -239,10 +259,11 @@ TEST_P(FuzzParityTest, StealScheduleInvariance) {
         opt.morsel_rows = morsel_rows;
         opt.temp_dir = dir.str();
         objectives[a] = ExpectScheduleInvariance(
-            [&](int threads, bool steal, core::TrainReport* report) {
+            [&](const SchedConfig& cfg, core::TrainReport* report) {
               auto o = opt;
-              o.threads = threads;
-              o.steal = steal;
+              o.threads = cfg.threads;
+              o.steal = cfg.steal;
+              o.prefetch = cfg.prefetch;
               pool.Clear();
               return core::TrainKmeans(rel, o, algo, &pool, report);
             },

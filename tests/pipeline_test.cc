@@ -9,8 +9,10 @@
 //    linear regression, k-means) must produce matching parameters and
 //    objectives under all three strategies at threads 1 and 4.
 
+#include <algorithm>
 #include <cmath>
 #include <tuple>
+#include <vector>
 
 #include "core/factorml.h"
 #include "gtest/gtest.h"
@@ -503,6 +505,210 @@ TEST(StealingParityTest, StealWithoutMorselRowsUsesDefaultChunking) {
                              &report);
   ASSERT_TRUE(m.ok());
   EXPECT_GT(report.morsel_chunks, 0);
+}
+
+// ------------------------------------------------------- logreg parity
+
+class LogregParityTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(LogregParityTest, StrategiesAgree) {
+  TempDir dir;
+  BufferPool pool(512);
+  auto rel =
+      std::move(GenerateSynthetic(Spec(dir.str(), true), &pool)).value();
+  logreg::LogregOptions opt;
+  opt.max_iters = 3;
+  opt.batch_rows = 256;
+  opt.temp_dir = dir.str();
+  opt.threads = GetParam();
+
+  logreg::LogregModel models[3];
+  core::TrainReport reports[3];
+  for (int a = 0; a < 3; ++a) {
+    pool.Clear();
+    auto m = core::TrainLogreg(rel, opt, kAll[a], &pool, &reports[a]);
+    ASSERT_TRUE(m.ok()) << m.status().ToString();
+    models[a] = std::move(m).value();
+    EXPECT_EQ(reports[a].threads, GetParam());
+    EXPECT_EQ(reports[a].iterations, 3);
+  }
+  EXPECT_EQ(reports[0].algorithm, "M-LOGREG");
+  EXPECT_EQ(reports[1].algorithm, "S-LOGREG");
+  EXPECT_EQ(reports[2].algorithm, "F-LOGREG");
+  // All strategies run the identical IRLS recurrence; the factorized path
+  // reorders the weighted accumulation, hence the tolerance.
+  EXPECT_LT(logreg::LogregModel::MaxAbsDiff(models[0], models[1]), 1e-8);
+  EXPECT_LT(logreg::LogregModel::MaxAbsDiff(models[0], models[2]), 1e-5);
+  EXPECT_NEAR(reports[0].final_objective, reports[2].final_objective,
+              1e-6 * std::fabs(reports[0].final_objective) + 1e-12);
+  // The factorization must pay: fewer multiplies than the dense paths.
+  EXPECT_LT(reports[2].ops.mults, reports[1].ops.mults);
+}
+
+INSTANTIATE_TEST_SUITE_P(Threads, LogregParityTest, ::testing::Values(1, 4));
+
+TEST(LogregTest, SeparatesTargetByPredictedProbability) {
+  // The synthetic target is continuous; a fitted soft-label logistic
+  // model must still order the rows: the mean target of rows it scores
+  // above its median probability has to exceed the mean below.
+  TempDir dir;
+  BufferPool pool(512);
+  auto rel =
+      std::move(GenerateSynthetic(Spec(dir.str(), true), &pool)).value();
+  logreg::LogregOptions opt;
+  opt.max_iters = 4;
+  opt.temp_dir = dir.str();
+  opt.threads = 1;
+  core::TrainReport report;
+  auto m = core::TrainLogreg(rel, opt, core::Algorithm::kFactorized, &pool,
+                             &report);
+  ASSERT_TRUE(m.ok()) << m.status().ToString();
+  EXPECT_EQ(m->dims(), rel.total_dims());
+
+  auto joined = core::pipeline::AssembleJoinedRows(
+      rel, &pool, [&] {
+        std::vector<int64_t> rows(static_cast<size_t>(rel.s.num_rows()));
+        for (size_t i = 0; i < rows.size(); ++i) rows[i] = static_cast<int64_t>(i);
+        return rows;
+      }());
+  ASSERT_TRUE(joined.ok());
+  storage::RowBatch batch;
+  ASSERT_TRUE(
+      rel.s.ReadRows(&pool, 0, static_cast<size_t>(rel.s.num_rows()), &batch)
+          .ok());
+  std::vector<double> probs(batch.num_rows);
+  for (size_t r = 0; r < batch.num_rows; ++r) {
+    probs[r] = m->PredictProb(joined->Row(r).data());
+  }
+  std::vector<double> sorted = probs;
+  std::nth_element(sorted.begin(), sorted.begin() + sorted.size() / 2,
+                   sorted.end());
+  const double median = sorted[sorted.size() / 2];
+  double hi_sum = 0.0, lo_sum = 0.0;
+  int hi_n = 0, lo_n = 0;
+  for (size_t r = 0; r < batch.num_rows; ++r) {
+    const double y = batch.feats(r, 0);
+    if (probs[r] > median) {
+      hi_sum += y;
+      ++hi_n;
+    } else {
+      lo_sum += y;
+      ++lo_n;
+    }
+  }
+  ASSERT_GT(hi_n, 0);
+  ASSERT_GT(lo_n, 0);
+  EXPECT_GT(hi_sum / hi_n, lo_sum / lo_n);
+}
+
+TEST(LogregTest, RequiresTargetAndValidOptions) {
+  TempDir dir;
+  BufferPool pool(512);
+  auto rel =
+      std::move(GenerateSynthetic(Spec(dir.str(), false), &pool)).value();
+  logreg::LogregOptions opt;
+  opt.temp_dir = dir.str();
+  auto m = core::TrainLogreg(rel, opt, core::Algorithm::kStreaming, &pool,
+                             nullptr);
+  EXPECT_FALSE(m.ok());
+  EXPECT_EQ(m.status().code(), StatusCode::kInvalidArgument);
+
+  auto rel_t =
+      std::move(GenerateSynthetic(
+                    [&] {
+                      auto s = Spec(dir.str(), true);
+                      s.name = "t2";
+                      return s;
+                    }(),
+                    &pool))
+          .value();
+  opt.max_iters = 0;
+  auto bad = core::TrainLogreg(rel_t, opt, core::Algorithm::kStreaming, &pool,
+                               nullptr);
+  EXPECT_FALSE(bad.ok());
+  EXPECT_EQ(bad.status().code(), StatusCode::kInvalidArgument);
+}
+
+// --------------------------------------------- prefetch residency-only
+//
+// The I/O cursor plane's extended determinism contract: prefetch changes
+// page residency, never values, op counts, or merge order. A prefetched
+// run must therefore be bit-identical to the demand-only baseline under
+// every thread count and steal schedule, while the demand-only run keeps
+// the exact page-I/O counts the seed goldens pin.
+
+TEST(PrefetchParityTest, GmmPrefetchedRunsAreBitIdentical) {
+  TempDir dir;
+  BufferPool pool(512);
+  auto rel =
+      std::move(GenerateSynthetic(Spec(dir.str(), false), &pool)).value();
+  gmm::GmmOptions opt;
+  opt.num_components = 3;
+  opt.max_iters = 2;
+  opt.batch_rows = 256;
+  opt.morsel_rows = 200;
+  opt.temp_dir = dir.str();
+  uint64_t prefetch_reads_total = 0;
+  for (const auto algo : kAll) {
+    opt.threads = 1;
+    opt.steal = false;
+    opt.prefetch = false;
+    pool.Clear();
+    core::TrainReport base_report;
+    auto base = core::TrainGmm(rel, opt, algo, &pool, &base_report);
+    ASSERT_TRUE(base.ok()) << base.status().ToString();
+    EXPECT_EQ(base_report.io.prefetch_reads, 0u);
+    EXPECT_EQ(base_report.io.prefetch_hits, 0u);
+    opt.prefetch = true;
+    for (const auto& [threads, steal] :
+         {std::tuple{1, false}, std::tuple{2, true}, std::tuple{4, false},
+          std::tuple{4, true}}) {
+      opt.threads = threads;
+      opt.steal = steal;
+      pool.Clear();
+      core::TrainReport report;
+      auto params = core::TrainGmm(rel, opt, algo, &pool, &report);
+      ASSERT_TRUE(params.ok()) << params.status().ToString();
+      ExpectBitIdentical(report, base_report, core::AlgorithmName(algo));
+      EXPECT_EQ(gmm::GmmParams::MaxAbsDiff(base.value(), params.value()),
+                0.0)
+          << core::AlgorithmName(algo) << " threads=" << threads
+          << " steal=" << steal << " prefetch=on";
+      prefetch_reads_total += report.io.prefetch_reads;
+    }
+  }
+  // The plane must actually have engaged, or the parity above is vacuous.
+  // Any single run may lose every crew-vs-demand race on a loaded box,
+  // but across 12 prefetched runs the crew lands pages.
+  EXPECT_GT(prefetch_reads_total, 0u)
+      << "--prefetch=on never issued an async read: wiring regression?";
+}
+
+TEST(PrefetchParityTest, LegacyPartitionPrefetchMatchesToo) {
+  // Prefetch without chunking: the in-range double buffer alone (no
+  // next-chunk plan). Same bits as the demand-only static partition.
+  TempDir dir;
+  BufferPool pool(512);
+  auto rel =
+      std::move(GenerateSynthetic(Spec(dir.str(), true), &pool)).value();
+  linreg::LinregOptions opt;
+  opt.batch_rows = 256;
+  opt.temp_dir = dir.str();
+  opt.threads = 2;
+  pool.Clear();
+  core::TrainReport base_report;
+  auto base = core::TrainLinreg(rel, opt, core::Algorithm::kMaterialized,
+                                &pool, &base_report);
+  ASSERT_TRUE(base.ok());
+  opt.prefetch = true;
+  opt.prefetch_depth = 3;
+  pool.Clear();
+  core::TrainReport report;
+  auto pf = core::TrainLinreg(rel, opt, core::Algorithm::kMaterialized,
+                              &pool, &report);
+  ASSERT_TRUE(pf.ok());
+  ExpectBitIdentical(report, base_report, "legacy prefetch linreg");
+  EXPECT_EQ(linreg::LinregModel::MaxAbsDiff(base.value(), pf.value()), 0.0);
 }
 
 // ----------------------------------------------- multiway linreg parity

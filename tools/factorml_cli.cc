@@ -13,8 +13,8 @@
 //   stats      --dir=D [--target]
 //              Prints joined-table feature statistics computed without
 //              joining (factorized aggregates).
-//   train      --dir=D --model=gmm|nn|linreg|kmeans [--algo=f|s|m|all]
-//              (model-specific flags as below)
+//   train      --dir=D --model=gmm|nn|linreg|kmeans|logreg
+//              [--algo=f|s|m|all] (model-specific flags as below)
 //   train-gmm  --dir=D [--algo=f|s|m|all] [--k=5 --iters=10] [--target]
 //   train-nn   --dir=D [--algo=f|s|m|all] [--nh=50 --epochs=10
 //              --lr=0.05 --batch=1024 --act=sigmoid|tanh|relu|identity
@@ -22,12 +22,15 @@
 //   train-linreg --dir=D [--algo=f|s|m|all] [--l2=1e-3 --no_intercept]
 //   train-kmeans --dir=D [--algo=f|s|m|all] [--k=5 --iters=10 --tol=0]
 //              [--target]
+//   train-logreg --dir=D [--algo=f|s|m|all] [--l2=1e-3 --iters=4 --tol=0
+//              --no_intercept]
 //   export     --dir=D --out=F.csv [--table=s|r1|r2...]
 //
 // Every train run prints a TrainReport (wall time, page I/O, flops).
 // `--threads=N` (any subcommand, default 1) runs the trainers on the
 // exec/ morsel-driven parallel runtime; --threads=1 is bit-identical to
-// the serial reproduction.
+// the serial reproduction. `--buffer-pages=N` (train subcommands, default
+// 8192) sizes the buffer pool.
 //
 // `--morsel-rows=N` (any train subcommand, default 0) switches full
 // passes to the chunk-ordered work scheduler: the pass becomes fixed
@@ -35,6 +38,14 @@
 // order, so results depend on N but not on --threads. `--steal=on`
 // additionally lets idle workers take chunks from busy ones — same bits,
 // better balance on skewed FK1 runs.
+//
+// `--prefetch=on` (any train subcommand, default off) turns on the
+// unified I/O cursor plane's asynchronous double-buffered prefetch: while
+// a worker computes on one morsel, a background I/O crew lands the pages
+// of its next scheduled morsel (and the next `--prefetch-depth=N`
+// batches, default 2) in its buffer pool. Residency-only — same bits
+// either way; the TrainReport gains the prefetch hit rate and demand
+// stall time.
 
 #include <cstdio>
 #include <string>
@@ -207,7 +218,7 @@ int CmdTrainGmm(const ArgParser& args) {
   const std::string dir = args.GetString("dir", "");
   if (dir.empty()) return Fail("train-gmm requires --dir");
   storage::BufferPool pool(
-      static_cast<size_t>(args.GetInt("pool_pages", 8192)));
+      static_cast<size_t>(args.GetBufferPages(8192)));
   auto rel = LoadRelations(dir, args.GetBool("target", false), &pool);
   if (!rel.ok()) return FailStatus(rel.status());
 
@@ -218,6 +229,8 @@ int CmdTrainGmm(const ArgParser& args) {
   opt.temp_dir = dir;
   opt.morsel_rows = args.GetMorselRows(0);
   opt.steal = args.GetSteal(false);
+  opt.prefetch = args.GetPrefetch(false);
+  opt.prefetch_depth = args.GetPrefetchDepth(2);
   auto algos = ParseAlgos(args.GetString("algo", "all"));
   if (!algos.ok()) return FailStatus(algos.status());
   for (const auto algo : algos.value()) {
@@ -234,7 +247,7 @@ int CmdTrainNn(const ArgParser& args) {
   const std::string dir = args.GetString("dir", "");
   if (dir.empty()) return Fail("train-nn requires --dir");
   storage::BufferPool pool(
-      static_cast<size_t>(args.GetInt("pool_pages", 8192)));
+      static_cast<size_t>(args.GetBufferPages(8192)));
   auto rel = LoadRelations(dir, /*has_target=*/true, &pool);
   if (!rel.ok()) return FailStatus(rel.status());
 
@@ -250,6 +263,8 @@ int CmdTrainNn(const ArgParser& args) {
   opt.temp_dir = dir;
   opt.morsel_rows = args.GetMorselRows(0);
   opt.steal = args.GetSteal(false);
+  opt.prefetch = args.GetPrefetch(false);
+  opt.prefetch_depth = args.GetPrefetchDepth(2);
   const std::string act = args.GetString("act", "sigmoid");
   if (act == "tanh") opt.activation = nn::Activation::kTanh;
   else if (act == "relu") opt.activation = nn::Activation::kRelu;
@@ -275,7 +290,7 @@ int CmdTrainLinreg(const ArgParser& args) {
   const std::string dir = args.GetString("dir", "");
   if (dir.empty()) return Fail("train-linreg requires --dir");
   storage::BufferPool pool(
-      static_cast<size_t>(args.GetInt("pool_pages", 8192)));
+      static_cast<size_t>(args.GetBufferPages(8192)));
   auto rel = LoadRelations(dir, /*has_target=*/true, &pool);
   if (!rel.ok()) return FailStatus(rel.status());
 
@@ -286,6 +301,8 @@ int CmdTrainLinreg(const ArgParser& args) {
   opt.temp_dir = dir;
   opt.morsel_rows = args.GetMorselRows(0);
   opt.steal = args.GetSteal(false);
+  opt.prefetch = args.GetPrefetch(false);
+  opt.prefetch_depth = args.GetPrefetchDepth(2);
   auto algos = ParseAlgos(args.GetString("algo", "all"));
   if (!algos.ok()) return FailStatus(algos.status());
   for (const auto algo : algos.value()) {
@@ -302,7 +319,7 @@ int CmdTrainKmeans(const ArgParser& args) {
   const std::string dir = args.GetString("dir", "");
   if (dir.empty()) return Fail("train-kmeans requires --dir");
   storage::BufferPool pool(
-      static_cast<size_t>(args.GetInt("pool_pages", 8192)));
+      static_cast<size_t>(args.GetBufferPages(8192)));
   auto rel = LoadRelations(dir, args.GetBool("target", false), &pool);
   if (!rel.ok()) return FailStatus(rel.status());
 
@@ -314,12 +331,45 @@ int CmdTrainKmeans(const ArgParser& args) {
   opt.temp_dir = dir;
   opt.morsel_rows = args.GetMorselRows(0);
   opt.steal = args.GetSteal(false);
+  opt.prefetch = args.GetPrefetch(false);
+  opt.prefetch_depth = args.GetPrefetchDepth(2);
   auto algos = ParseAlgos(args.GetString("algo", "all"));
   if (!algos.ok()) return FailStatus(algos.status());
   for (const auto algo : algos.value()) {
     pool.Clear();
     core::TrainReport report;
     auto model = core::TrainKmeans(rel.value(), opt, algo, &pool, &report);
+    if (!model.ok()) return FailStatus(model.status());
+    std::printf("%s\n", report.ToString().c_str());
+  }
+  return 0;
+}
+
+int CmdTrainLogreg(const ArgParser& args) {
+  const std::string dir = args.GetString("dir", "");
+  if (dir.empty()) return Fail("train-logreg requires --dir");
+  storage::BufferPool pool(
+      static_cast<size_t>(args.GetBufferPages(8192)));
+  auto rel = LoadRelations(dir, /*has_target=*/true, &pool);
+  if (!rel.ok()) return FailStatus(rel.status());
+
+  logreg::LogregOptions opt;
+  opt.l2 = args.GetDouble("l2", 1e-3);
+  opt.intercept = !args.GetBool("no_intercept", false);
+  opt.max_iters = static_cast<int>(args.GetInt("iters", 4));
+  opt.tol = args.GetDouble("tol", 0.0);
+  opt.batch_rows = static_cast<size_t>(args.GetInt("batch", 8192));
+  opt.temp_dir = dir;
+  opt.morsel_rows = args.GetMorselRows(0);
+  opt.steal = args.GetSteal(false);
+  opt.prefetch = args.GetPrefetch(false);
+  opt.prefetch_depth = args.GetPrefetchDepth(2);
+  auto algos = ParseAlgos(args.GetString("algo", "all"));
+  if (!algos.ok()) return FailStatus(algos.status());
+  for (const auto algo : algos.value()) {
+    pool.Clear();
+    core::TrainReport report;
+    auto model = core::TrainLogreg(rel.value(), opt, algo, &pool, &report);
     if (!model.ok()) return FailStatus(model.status());
     std::printf("%s\n", report.ToString().c_str());
   }
@@ -334,8 +384,9 @@ int CmdTrain(const ArgParser& args) {
   if (model == "nn") return CmdTrainNn(args);
   if (model == "linreg") return CmdTrainLinreg(args);
   if (model == "kmeans") return CmdTrainKmeans(args);
+  if (model == "logreg") return CmdTrainLogreg(args);
   return Fail("unknown --model '" + model +
-              "' (valid: gmm, nn, linreg, kmeans)");
+              "' (valid: gmm, nn, linreg, kmeans, logreg)");
 }
 
 int CmdExport(const ArgParser& args) {
@@ -358,7 +409,7 @@ int Main(int argc, char** argv) {
   static constexpr const char kUsage[] =
       "usage: factorml_cli "
       "<generate|import|stats|train|train-gmm|train-nn|train-linreg|"
-      "train-kmeans|export> [--flags]\n";
+      "train-kmeans|train-logreg|export> [--flags]\n";
   if (argc < 2) {
     std::fprintf(stderr, "%s", kUsage);
     return 1;
@@ -378,6 +429,7 @@ int Main(int argc, char** argv) {
   if (cmd == "train-nn") return CmdTrainNn(args);
   if (cmd == "train-linreg") return CmdTrainLinreg(args);
   if (cmd == "train-kmeans") return CmdTrainKmeans(args);
+  if (cmd == "train-logreg") return CmdTrainLogreg(args);
   if (cmd == "export") return CmdExport(args);
   std::fprintf(stderr, "%s", kUsage);
   return Fail("unknown command: " + cmd);
