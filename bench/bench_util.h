@@ -113,6 +113,30 @@ inline Trio RunNnAll(const join::NormalizedRelations& rel,
 /// every recorded TrainReport becomes one JSON object, written as an array
 /// on destruction. Lets CI and scripts track perf trajectories as
 /// BENCH_*.json without parsing the human tables.
+///
+/// Schema — the file is a JSON array; every element is one training run:
+///   bench                string   bench binary name (constructor arg)
+///   section, value       string   sweep coordinates (e.g. dataset, knob)
+///   algorithm            string   report tag, "<M|S|F>-<MODEL>"
+///   wall_seconds         number   whole-run wall time
+///   materialize_seconds  number   M-* join+write share of wall_seconds
+///   threads              int      exec/ workers used
+///   iterations           int      EM iterations / SGD epochs run
+///   objective            number|null  final objective (null = non-finite)
+///   mults, adds, subs, exps   int   op-count deltas over the run
+///   pages_read, pages_written int   physical page I/O over the run
+///   prefetch_reads, prefetch_hits int  async I/O plane split
+///   stall_seconds        number   demand-read stall time
+///   morsel_chunks        int      chunk count (0 = legacy static morsels)
+///   steals               int      cross-worker chunk acquisitions
+///   shards               int      effective rid-range shard count (1 =
+///                                 unsharded; field always present)
+///   busy_min_seconds, busy_max_seconds  number  per-worker busy range
+///                                 (present when the run recorded it)
+///   shard_scan_seconds   [number] per-shard scan wall time, shard-id
+///                                 order (present when shards > 1)
+///   shard_stall_seconds  [number] per-shard demand-stall time (ditto)
+///   shard_pages_read     [int]    per-shard physical reads (ditto)
 class JsonReport {
  public:
   JsonReport(const char* bench_name, const ArgParser& args)
@@ -151,11 +175,27 @@ class JsonReport {
         << ", \"stall_seconds\": "
         << static_cast<double>(r.io.stall_micros) * 1e-6
         << ", \"morsel_chunks\": " << r.morsel_chunks
-        << ", \"steals\": " << r.steals;
+        << ", \"steals\": " << r.steals << ", \"shards\": " << r.shards;
     if (!r.worker_busy_seconds.empty()) {
       const auto [lo, hi] = r.BusyRange();
       row << ", \"busy_min_seconds\": " << lo
           << ", \"busy_max_seconds\": " << hi;
+    }
+    if (r.shards > 1 && !r.shard_stats.empty()) {
+      row << ", \"shard_scan_seconds\": [";
+      for (size_t k = 0; k < r.shard_stats.size(); ++k) {
+        row << (k > 0 ? ", " : "") << r.shard_stats[k].scan_seconds;
+      }
+      row << "], \"shard_stall_seconds\": [";
+      for (size_t k = 0; k < r.shard_stats.size(); ++k) {
+        row << (k > 0 ? ", " : "")
+            << static_cast<double>(r.shard_stats[k].io.stall_micros) * 1e-6;
+      }
+      row << "], \"shard_pages_read\": [";
+      for (size_t k = 0; k < r.shard_stats.size(); ++k) {
+        row << (k > 0 ? ", " : "") << r.shard_stats[k].io.pages_read;
+      }
+      row << "]";
     }
     row << "}";
     rows_.push_back(row.str());

@@ -113,6 +113,24 @@ bool ArgParser::GetSteal(bool default_value) const {
   std::exit(2);
 }
 
+int ArgParser::GetShards(int default_value) const {
+  auto it = kv_.find("shards");
+  if (it == kv_.end()) return default_value < 1 ? 1 : default_value;
+  errno = 0;
+  char* end = nullptr;
+  const long long shards = std::strtoll(it->second.c_str(), &end, 10);
+  if (errno == ERANGE || end == it->second.c_str() || *end != '\0' ||
+      shards < 1 || shards > INT_MAX) {
+    std::fprintf(stderr,
+                 "invalid --shards=%s (must be an integer >= 1; 1 = "
+                 "unsharded, N > 1 = rid-range shards with bit-identical "
+                 "results at the same --morsel-rows)\n",
+                 it->second.c_str());
+    std::exit(2);
+  }
+  return static_cast<int>(shards);
+}
+
 bool ArgParser::GetPrefetch(bool default_value) const {
   auto it = kv_.find("prefetch");
   if (it == kv_.end()) return default_value;

@@ -44,6 +44,16 @@ class ArgParser {
   /// --morsel-rows is unset). Anything other than on/off exits(2).
   bool GetSteal(bool default_value = false) const;
 
+  /// The shared `--shards=N` flag: rid-range shards of the full-pass
+  /// plane. 1 (default) runs unsharded — byte-identical to the pre-shard
+  /// engine. N > 1 splits every full pass into N contiguous chunk spans
+  /// driven through the in-process shard backend (one scan + one
+  /// serialized ShardDelta per shard, merged in shard-id order); implies
+  /// the chunk-ordered scheduler, and results are bit-identical to
+  /// --shards=1 at the same resolved --morsel-rows. Values < 1 or
+  /// non-integers are rejected with an error and exit(2).
+  int GetShards(int default_value = 1) const;
+
   /// The shared `--prefetch={on,off}` flag: asynchronous double-buffered
   /// page prefetch over the unified I/O cursor plane. Residency-only —
   /// results are bit-identical either way; off (the default) keeps the

@@ -54,7 +54,7 @@ class FactorizedStrategy final : public JoinStreamStrategyBase {
           }
           *status = wk.cursor->status();
         }));
-    for (int w = 0; w < nw_; ++w) model->MergeWorker(pass, w);
+    MergeSlots(model, pass);
     return Status::OK();
   }
 

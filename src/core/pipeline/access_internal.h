@@ -33,6 +33,19 @@ class StrategyBase : public AccessStrategy {
  public:
   int NumWorkers() const override { return nw_; }
 
+  const std::vector<exec::Range>& MorselPlan() const override {
+    return ranges_;
+  }
+
+  void SetShardScan(const exec::ShardPlan* plan,
+                    ShardScanObserver* observer) override {
+    FML_CHECK((plan == nullptr) == (observer == nullptr));
+    FML_CHECK(plan == nullptr || chunked())
+        << "sharding requires the chunk-ordered scheduler";
+    shard_plan_ = plan;
+    shard_observer_ = observer;
+  }
+
   StrategyBase(const join::NormalizedRelations* rel,
                storage::BufferPool* pool, const StrategyOptions& options,
                bool full_pass)
@@ -115,30 +128,54 @@ class StrategyBase : public AccessStrategy {
             ? exec::PartitionRows(static_cast<int64_t>(ranges_.size()),
                                   pool_workers())
             : std::vector<exec::Range>{};
-    const exec::MorselStats stats = exec::RunMorsels(
-        ranges_, pool_workers(), chunked() && steal_,
-        [&](exec::Range range, int64_t chunk, int worker) {
-          const exec::Range* next = nullptr;
-          const auto w = static_cast<size_t>(worker);
-          if (w < owned.size() && chunk >= owned[w].begin &&
-              chunk + 1 < owned[w].end) {
-            next = &ranges_[static_cast<size_t>(chunk) + 1];
-          }
-          body(range, static_cast<int>(chunk), worker, next,
-               &slot_status[static_cast<size_t>(chunk)]);
-        });
-    if (prefetcher_ != nullptr) prefetcher_->Drain();
-    if (ctx.report != nullptr) {
-      ctx.report->steals += stats.steals;
-      auto& busy = ctx.report->worker_busy_seconds;
-      if (busy.size() < stats.busy_seconds.size()) {
-        busy.resize(stats.busy_seconds.size(), 0.0);
+    const auto run_span = [&](exec::Range span) {
+      const exec::MorselStats stats = exec::RunMorselSpan(
+          ranges_, span, pool_workers(), chunked() && steal_,
+          [&](exec::Range range, int64_t chunk, int worker) {
+            const exec::Range* next = nullptr;
+            const auto w = static_cast<size_t>(worker);
+            if (w < owned.size() && chunk >= owned[w].begin &&
+                chunk + 1 < std::min(owned[w].end, span.end)) {
+              next = &ranges_[static_cast<size_t>(chunk) + 1];
+            }
+            body(range, static_cast<int>(chunk), worker, next,
+                 &slot_status[static_cast<size_t>(chunk)]);
+          });
+      if (prefetcher_ != nullptr) prefetcher_->Drain();
+      if (ctx.report != nullptr) {
+        ctx.report->steals += stats.steals;
+        auto& busy = ctx.report->worker_busy_seconds;
+        if (busy.size() < stats.busy_seconds.size()) {
+          busy.resize(stats.busy_seconds.size(), 0.0);
+        }
+        for (size_t w = 0; w < stats.busy_seconds.size(); ++w) {
+          busy[w] += stats.busy_seconds[w];
+        }
       }
-      for (size_t w = 0; w < stats.busy_seconds.size(); ++w) {
-        busy[w] += stats.busy_seconds[w];
-      }
+    };
+    if (shard_plan_ == nullptr) {
+      run_span(exec::Range{0, static_cast<int64_t>(ranges_.size())});
+      return exec::FirstError(slot_status);
+    }
+    // Shard plane armed: scan shard by shard in shard-id order. Ownership
+    // blocks stay global (RunMorselSpan), so each worker visits its chunks
+    // — and fills its buffer pool — in the same ascending order as the
+    // unsharded run; the observer snapshots I/O and extracts the shard's
+    // ShardDelta between spans, and the merge is left to the driver.
+    for (int shard = 0; shard < shard_plan_->num_shards(); ++shard) {
+      run_span(shard_plan_->ChunkSpan(shard));
+      FML_RETURN_IF_ERROR(shard_observer_->OnShardScanned(shard));
     }
     return exec::FirstError(slot_status);
+  }
+
+  /// The unsharded chunk-order reduction: merges slots 0..NumWorkers()-1
+  /// on the calling thread. A no-op while the shard plane is armed — the
+  /// ShardedDriver owns the merge there (delta round-trip first, same
+  /// global slot order).
+  void MergeSlots(ModelProgram* model, int pass) const {
+    if (shard_plan_ != nullptr) return;
+    for (int w = 0; w < nw_; ++w) model->MergeWorker(pass, w);
   }
 
   const join::NormalizedRelations* rel_;
@@ -153,6 +190,9 @@ class StrategyBase : public AccessStrategy {
   bool full_pass_;
   std::vector<exec::Range> ranges_;
   int nw_ = 1;
+  /// Armed by the ShardedDriver for the duration of a sharded RunPass.
+  const exec::ShardPlan* shard_plan_ = nullptr;
+  ShardScanObserver* shard_observer_ = nullptr;
   std::unique_ptr<exec::WorkerPools> pools_;
   /// Declared after pools_ so destruction drains the crew (Prefetcher's
   /// destructor) before the per-worker pools its requests land in go away.

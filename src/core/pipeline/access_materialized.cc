@@ -91,7 +91,7 @@ class MaterializedStrategy final : public StrategyBase {
           }
           *status = wk.scan->status();
         }));
-    for (int w = 0; w < nw_; ++w) model->MergeWorker(pass, w);
+    MergeSlots(model, pass);
     return Status::OK();
   }
 

@@ -7,6 +7,7 @@
 
 #include "common/status.h"
 #include "core/pipeline/model_program.h"
+#include "exec/shard_plan.h"
 #include "join/normalized_relations.h"
 #include "storage/buffer_pool.h"
 
@@ -51,12 +52,39 @@ struct StrategyOptions {
   bool prefetch = false;
   /// Batches read ahead per worker when prefetch is on (>= 1).
   int prefetch_depth = kDefaultPrefetchDepth;
+  /// Rid-range shards of the full-pass plane (see exec::ShardPlan and
+  /// core/pipeline/sharded_driver.h). 1 (default) runs unsharded —
+  /// byte-identical to the pre-shard engine. N > 1 splits every full pass
+  /// into N contiguous chunk spans, runs one scan per shard, round-trips
+  /// each shard's accumulator slots through serialized ShardDelta bytes
+  /// (the wire seam a distributed backend plugs into), and merges the
+  /// deltas in shard-id order. Sharding implies the chunk-ordered
+  /// scheduler (kDefaultMorselRows when morsel_rows is unset); at the same
+  /// resolved morsel size the objectives, params, op counts — and, at
+  /// deterministic schedules (steal and prefetch off), total page I/O —
+  /// are bit-identical to shards = 1 for any thread count. Rejected for
+  /// mini-batch (SGD) programs, whose sequential epochs have no
+  /// order-free merge.
+  int shards = 1;
   std::string temp_dir = ".";
 };
 
-/// Chunk size used when stealing is requested without an explicit
-/// --morsel-rows.
+/// Chunk size used when stealing or sharding is requested without an
+/// explicit --morsel-rows.
 inline constexpr int64_t kDefaultMorselRows = 4096;
+
+/// What the ShardedDriver hands a strategy while its shard plane is armed
+/// (AccessStrategy::SetShardScan): after each shard's chunk span has been
+/// scanned — accumulated into the model's slots, prefetch drained, worker
+/// counters folded into the calling thread — the strategy reports it here,
+/// still inside RunPass, before the next shard starts. The observer owns
+/// everything that happens between scans: per-shard IoStats/timing
+/// snapshots and the ShardDelta extraction.
+class ShardScanObserver {
+ public:
+  virtual ~ShardScanObserver() = default;
+  virtual Status OnShardScanned(int shard) = 0;
+};
 
 /// The data-access plane of the training pipeline: one driver per paper
 /// strategy. A strategy owns materialization and temp files (M),
@@ -98,9 +126,25 @@ class AccessStrategy {
 
   /// One parallel pass over all rows: each worker scans its morsel and
   /// feeds blocks to the model's accumulate hook; per-worker results are
-  /// then merged in worker order on the calling thread.
+  /// then merged in worker order on the calling thread. With the shard
+  /// plane armed (SetShardScan), the scan instead runs shard by shard in
+  /// shard-id order — same chunks, same owners, same per-worker cursor
+  /// reuse — the observer is notified after each shard, and the merge is
+  /// left to the ShardedDriver.
   virtual Status RunPass(const PipelineContext& ctx, ModelProgram* model,
                          int pass) = 0;
+
+  /// The fixed full-pass morsel plan (empty before Prepare and in
+  /// mini-batch mode): the chunk list the ShardedDriver splits into
+  /// shards.
+  virtual const std::vector<exec::Range>& MorselPlan() const = 0;
+
+  /// Arms (plan + observer non-null) or disarms (both null) the shard
+  /// plane for subsequent RunPass calls. Only the ShardedDriver calls
+  /// this; the plan must be a decomposition of MorselPlan()'s chunk ids
+  /// and requires the chunk-ordered scheduler (morsel_rows > 0).
+  virtual void SetShardScan(const exec::ShardPlan* plan,
+                            ShardScanObserver* observer) = 0;
 
   /// One mini-batch epoch: plans/streams whole-FK1-group batches in the
   /// model's epoch order and feeds them to the model sequentially (batch
@@ -136,6 +180,7 @@ StrategyOptions LiftStrategyOptions(const Options& options) {
   sopt.steal = options.steal;
   sopt.prefetch = options.prefetch;
   sopt.prefetch_depth = options.prefetch_depth;
+  sopt.shards = options.shards;
   sopt.temp_dir = options.temp_dir;
   return sopt;
 }

@@ -2,6 +2,7 @@
 #define FACTORML_CORE_PIPELINE_MODEL_PROGRAM_H_
 
 #include <cstdint>
+#include <functional>
 #include <vector>
 
 #include "common/logging.h"
@@ -98,6 +99,9 @@ struct DenseBatch {
 ///     BeginPass(ctx, i, p, workers)          — build caches, zero accums
 ///     workers each call Accumulate{Dense,Factorized}(p, w, block)  — hot
 ///     MergeWorker(p, w) for w in worker order — deterministic reduction
+///       (--shards > 1: the slots are first round-tripped through
+///       ShardDelta bytes via VisitSlotState, then merged in the same
+///       global chunk order — see core/pipeline/sharded_driver.h)
 ///     EndPass(ctx, i, p)                      — apply pass result
 ///   EndIteration(ctx, i) -> stop?
 ///
@@ -151,6 +155,27 @@ class ModelProgram {
     FML_CHECK(false) << Name() << ": factorized full-pass hook not implemented";
   }
   virtual void MergeWorker(int pass, int worker) { (void)pass, (void)worker; }
+
+  /// The shard plane's wire seam, extending MergeWorker to a serializable
+  /// ShardDelta: visits every double of one accumulator slot's post-scan
+  /// state as a sequence of contiguous spans. The ShardedDriver serializes
+  /// a shard's slots by copying the visited doubles out (then zeroing
+  /// them) and re-applies a received delta by copying them back in, so the
+  /// visit sequence for a given (pass, slot) must be identical between the
+  /// two visits — make it a pure function of the BeginPass-time shapes.
+  /// Visit merged *state* only, never scratch buffers; per-rid state that
+  /// stays resident with the rid's shard (e.g. GMM responsibilities) is
+  /// shard-local by construction and must not be visited. Full-pass
+  /// programs must implement this to train under --shards > 1; mini-batch
+  /// programs never reach it (RunTraining rejects sharding for them).
+  virtual void VisitSlotState(
+      int pass, int slot,
+      const std::function<void(double* data, size_t len)>& visit) {
+    (void)pass, (void)slot, (void)visit;
+    FML_CHECK(false) << Name()
+                     << ": shard-plane slot-state visitor not implemented";
+  }
+
   virtual Status EndPass(const PipelineContext& ctx, int iter, int pass) {
     (void)ctx, (void)iter, (void)pass;
     return Status::OK();

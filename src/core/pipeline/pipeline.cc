@@ -8,6 +8,7 @@
 #include <string>
 
 #include "core/pipeline/access_internal.h"
+#include "core/pipeline/sharded_driver.h"
 #include "exec/thread_pool.h"
 #include "join/assemble.h"
 #include "join/attribute_view.h"
@@ -62,6 +63,20 @@ Status RunTraining(const join::NormalizedRelations& rel, Algorithm algorithm,
   if (resolved.steal && resolved.morsel_rows == 0) {
     resolved.morsel_rows = kDefaultMorselRows;
   }
+  // Sharding needs the same chunked decomposition: shard = contiguous
+  // chunk span, slot = global chunk id. Like steal, --shards alone
+  // resolves to the default morsel size; the parity contract is against
+  // --shards=1 at the same resolved morsel_rows.
+  if (resolved.shards < 1) resolved.shards = 1;
+  if (resolved.shards > 1) {
+    if (mini_batch) {
+      return Status::InvalidArgument(
+          std::string(model->Name()) +
+          ": --shards requires the full-pass plane; mini-batch (SGD) "
+          "epochs are sequential and train unsharded");
+    }
+    if (resolved.morsel_rows == 0) resolved.morsel_rows = kDefaultMorselRows;
+  }
   if (report != nullptr) report->threads = resolved.threads;
 
   PipelineContext ctx;
@@ -76,6 +91,14 @@ Status RunTraining(const join::NormalizedRelations& rel, Algorithm algorithm,
       AccessStrategy::Create(algorithm, &rel, pool, resolved,
                              /*full_pass=*/!mini_batch));
   FML_RETURN_IF_ERROR(strategy->Prepare(&ctx, model->TempStem()));
+  // The shard plane splits the (now fixed) morsel plan into rid-range
+  // shards; every full pass below then runs one scan per shard and merges
+  // the ShardDeltas in shard-id order (see sharded_driver.h).
+  ShardedDriver sharded;
+  const bool use_shards = resolved.shards > 1 && !mini_batch;
+  if (use_shards) {
+    FML_RETURN_IF_ERROR(sharded.Init(strategy.get(), resolved.shards, report));
+  }
   FML_RETURN_IF_ERROR(model->Init(ctx));
 
   int iterations = 0;
@@ -95,7 +118,12 @@ Status RunTraining(const join::NormalizedRelations& rel, Algorithm algorithm,
             model->BeginPass(ctx, iter, pass, strategy->NumWorkers()));
         {
           PhaseScope phase(report, model->PassName(pass));
-          FML_RETURN_IF_ERROR(strategy->RunPass(ctx, model, pass));
+          if (use_shards) {
+            FML_RETURN_IF_ERROR(
+                sharded.RunPass(strategy.get(), ctx, model, pass));
+          } else {
+            FML_RETURN_IF_ERROR(strategy->RunPass(ctx, model, pass));
+          }
         }
         FML_RETURN_IF_ERROR(model->EndPass(ctx, iter, pass));
       }

@@ -1,0 +1,176 @@
+// The shard plane's in-process backend and the ShardDelta wire format.
+//
+// Wire format (native-endian; the in-process loopback and a homogeneous
+// cluster share it — a heterogeneous RPC backend would pin endianness at
+// the transport):
+//   bytes [0, 8)   magic "FMLSHRD1"
+//   bytes [8, 16)  int64  shard id
+//   bytes [16, 24) int64  chunk_begin (global chunk id, inclusive)
+//   bytes [24, 32) int64  chunk_end   (global chunk id, exclusive)
+//   bytes [32, 40) uint64 payload double count
+//   bytes [40, ..) payload: the doubles of slots chunk_begin..chunk_end-1
+//                  in chunk order, each slot in its VisitSlotState span
+//                  sequence.
+
+#include "core/pipeline/sharded_driver.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/logging.h"
+#include "storage/io_stats.h"
+
+namespace factorml::core::pipeline {
+
+namespace {
+
+constexpr char kMagic[8] = {'F', 'M', 'L', 'S', 'H', 'R', 'D', '1'};
+constexpr size_t kHeaderBytes = 40;
+
+void AppendI64(std::string* out, int64_t v) {
+  char buf[sizeof(v)];
+  std::memcpy(buf, &v, sizeof(v));
+  out->append(buf, sizeof(v));
+}
+
+int64_t ReadI64(const std::string& bytes, size_t off) {
+  int64_t v;
+  std::memcpy(&v, bytes.data() + off, sizeof(v));
+  return v;
+}
+
+}  // namespace
+
+ShardDelta ExtractShardDelta(ModelProgram* model, int pass, int shard,
+                             exec::Range chunks) {
+  ShardDelta delta;
+  delta.shard = shard;
+  delta.chunk_begin = chunks.begin;
+  delta.chunk_end = chunks.end;
+  std::string payload;
+  for (int64_t c = chunks.begin; c < chunks.end; ++c) {
+    model->VisitSlotState(
+        pass, static_cast<int>(c), [&payload](double* data, size_t len) {
+          payload.append(reinterpret_cast<const char*>(data),
+                         len * sizeof(double));
+          std::fill(data, data + len, 0.0);
+        });
+  }
+  delta.bytes.reserve(kHeaderBytes + payload.size());
+  delta.bytes.append(kMagic, sizeof(kMagic));
+  AppendI64(&delta.bytes, shard);
+  AppendI64(&delta.bytes, chunks.begin);
+  AppendI64(&delta.bytes, chunks.end);
+  AppendI64(&delta.bytes,
+            static_cast<int64_t>(payload.size() / sizeof(double)));
+  delta.bytes += payload;
+  return delta;
+}
+
+Status ApplyShardDelta(ModelProgram* model, int pass,
+                       const ShardDelta& delta) {
+  const std::string& bytes = delta.bytes;
+  if (bytes.size() < kHeaderBytes ||
+      std::memcmp(bytes.data(), kMagic, sizeof(kMagic)) != 0) {
+    return Status::InvalidArgument("ShardDelta: bad magic or truncated header");
+  }
+  if (ReadI64(bytes, 8) != delta.shard ||
+      ReadI64(bytes, 16) != delta.chunk_begin ||
+      ReadI64(bytes, 24) != delta.chunk_end) {
+    return Status::InvalidArgument("ShardDelta: header/span mismatch");
+  }
+  const auto payload_doubles = static_cast<uint64_t>(ReadI64(bytes, 32));
+  if (bytes.size() != kHeaderBytes + payload_doubles * sizeof(double)) {
+    return Status::InvalidArgument("ShardDelta: payload length mismatch");
+  }
+  size_t off = kHeaderBytes;
+  bool overrun = false;
+  for (int64_t c = delta.chunk_begin; c < delta.chunk_end; ++c) {
+    model->VisitSlotState(
+        pass, static_cast<int>(c),
+        [&bytes, &off, &overrun](double* data, size_t len) {
+          const size_t want = len * sizeof(double);
+          if (overrun || off + want > bytes.size()) {
+            overrun = true;
+            return;
+          }
+          std::memcpy(data, bytes.data() + off, want);
+          off += want;
+        });
+  }
+  if (overrun || off != bytes.size()) {
+    return Status::InvalidArgument(
+        "ShardDelta: slot-state shape drifted between serialize and apply");
+  }
+  return Status::OK();
+}
+
+Status ShardedDriver::Init(AccessStrategy* strategy, int shards,
+                           TrainReport* report) {
+  FML_CHECK_GT(shards, 1);
+  plan_ = exec::PlanShards(strategy->MorselPlan(), shards);
+  report_ = report;
+  if (report_ != nullptr) {
+    report_->shards = std::max(plan_.num_shards(), 1);
+    report_->shard_stats.assign(
+        static_cast<size_t>(plan_.num_shards()), TrainReport::ShardStat{});
+    for (int k = 0; k < plan_.num_shards(); ++k) {
+      report_->shard_stats[static_cast<size_t>(k)].chunk_begin =
+          plan_.ChunkSpan(k).begin;
+      report_->shard_stats[static_cast<size_t>(k)].chunk_end =
+          plan_.ChunkSpan(k).end;
+    }
+  }
+  return Status::OK();
+}
+
+Status ShardedDriver::RunPass(AccessStrategy* strategy,
+                              const PipelineContext& ctx, ModelProgram* model,
+                              int pass) {
+  model_ = model;
+  pass_ = pass;
+  deltas_.clear();
+  deltas_.reserve(static_cast<size_t>(plan_.num_shards()));
+  io_mark_ = storage::GlobalIo();
+  scan_watch_.Restart();
+  strategy->SetShardScan(&plan_, this);
+  const Status scan = strategy->RunPass(ctx, model, pass);
+  strategy->SetShardScan(nullptr, nullptr);
+  FML_RETURN_IF_ERROR(scan);
+  FML_CHECK_EQ(deltas_.size(), static_cast<size_t>(plan_.num_shards()));
+  // Merge in shard-id order. Shard spans ascend over the chunk ids, so
+  // this replays MergeWorker in exactly the global chunk order of the
+  // unsharded reduction — the delta round-trip in between is a pure
+  // serialization boundary (memcpy of doubles), hence bit-exact.
+  for (const ShardDelta& delta : deltas_) {
+    FML_RETURN_IF_ERROR(ApplyShardDelta(model, pass, delta));
+    for (int64_t c = delta.chunk_begin; c < delta.chunk_end; ++c) {
+      model->MergeWorker(pass, static_cast<int>(c));
+    }
+  }
+  return Status::OK();
+}
+
+Status ShardedDriver::OnShardScanned(int shard) {
+  FML_CHECK_EQ(static_cast<size_t>(shard), deltas_.size());
+  // Contiguous accounting windows: everything since the previous shard's
+  // snapshot — the scan, its prefetch drain (which folds the crew's
+  // physical reads into this thread) and the worker-counter merges — is
+  // this shard's, so the per-shard counters sum exactly to the scan
+  // phase's totals with nothing double-counted or dropped.
+  const storage::IoStats now = storage::GlobalIo();
+  if (report_ != nullptr) {
+    auto& stat = report_->shard_stats[static_cast<size_t>(shard)];
+    stat.io += now - io_mark_;
+    stat.scan_seconds += scan_watch_.ElapsedSeconds();
+  }
+  io_mark_ = now;
+  deltas_.push_back(
+      ExtractShardDelta(model_, pass_, shard, plan_.ChunkSpan(shard)));
+  // Restart after the extraction so serialization time is charged to no
+  // shard's scan window (it is merge-plane work, not scanning).
+  scan_watch_.Restart();
+  return Status::OK();
+}
+
+}  // namespace factorml::core::pipeline

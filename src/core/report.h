@@ -37,6 +37,23 @@ struct TrainReport {
   /// Chunks executed by a worker other than their static owner, summed
   /// over all passes (always 0 with --steal=off).
   uint64_t steals = 0;
+  /// Effective rid-range shard count of the full-pass plane (1 =
+  /// unsharded; bounded above by morsel_chunks when --shards exceeds the
+  /// chunk count).
+  int shards = 1;
+  /// Per-shard breakdown, --shards > 1 only: each shard's chunk span of
+  /// the morsel plan, the wall time of its scan windows (its busy share of
+  /// every pass) and the I/O charged inside them — demand and prefetch
+  /// counters both, including the crew reads the prefetcher folds in at
+  /// drain, so the shard entries sum exactly to the run's scan-phase
+  /// totals (storage_test pins this).
+  struct ShardStat {
+    int64_t chunk_begin = 0;
+    int64_t chunk_end = 0;
+    double scan_seconds = 0.0;
+    storage::IoStats io;
+  };
+  std::vector<ShardStat> shard_stats;
   storage::IoStats io;               // delta over the run
   OpCounters ops;                    // delta over the run
   std::vector<PhaseTiming> phases;   // per-phase parallel wall timings
@@ -79,6 +96,20 @@ struct TrainReport {
     if (threads > 1) os << " threads=" << threads;
     if (morsel_chunks > 0) {
       os << " morsels=" << morsel_chunks << " steals=" << steals;
+    }
+    if (shards > 1) {
+      // Per-shard busy/stall breakdown: scan wall time and demand-stall
+      // time of each shard's scan windows, in shard-id order.
+      os << " shards=" << shards << " shard_busy=[";
+      for (size_t k = 0; k < shard_stats.size(); ++k) {
+        os << (k > 0 ? "," : "") << shard_stats[k].scan_seconds;
+      }
+      os << "]s shard_stall=[";
+      for (size_t k = 0; k < shard_stats.size(); ++k) {
+        os << (k > 0 ? "," : "")
+           << static_cast<double>(shard_stats[k].io.stall_micros) * 1e-6;
+      }
+      os << "]s";
     }
     if (worker_busy_seconds.size() > 1) {
       const auto [lo, hi] = BusyRange();

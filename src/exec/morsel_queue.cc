@@ -1,24 +1,42 @@
 #include "exec/morsel_queue.h"
 
+#include <algorithm>
+
 #include "common/logging.h"
 #include "common/stopwatch.h"
 #include "exec/thread_pool.h"
 
 namespace factorml::exec {
 
+namespace {
+
+/// The canonical static pre-assignment: PartitionRows' contiguous
+/// near-even split, padded with empty blocks for workers beyond the range
+/// count (they start life as thieves).
+std::vector<Range> EvenBlocks(int64_t num_chunks, int num_workers) {
+  FML_CHECK_GE(num_chunks, 0);
+  std::vector<Range> blocks = PartitionRows(num_chunks, num_workers);
+  blocks.resize(static_cast<size_t>(num_workers < 1 ? 1 : num_workers),
+                Range{0, 0});
+  return blocks;
+}
+
+}  // namespace
+
 MorselQueue::MorselQueue(int64_t num_chunks, int num_workers, bool steal)
-    : num_workers_(num_workers < 1 ? 1 : num_workers),
+    : MorselQueue(EvenBlocks(num_chunks, num_workers), steal) {}
+
+MorselQueue::MorselQueue(const std::vector<Range>& blocks, bool steal)
+    : num_workers_(blocks.empty() ? 1 : static_cast<int>(blocks.size())),
       steal_(steal),
       blocks_(static_cast<size_t>(num_workers_)) {
-  FML_CHECK_GE(num_chunks, 0);
-  FML_CHECK_LT(num_chunks, int64_t{1} << 32)
-      << "chunk ids must fit the packed 32-bit block span";
-  const std::vector<Range> owned = PartitionRows(num_chunks, num_workers_);
-  // Workers beyond the range count keep an empty (0, 0) block and start
-  // life as thieves.
-  for (size_t w = 0; w < owned.size(); ++w) {
-    blocks_[w].span.store(Pack(static_cast<uint32_t>(owned[w].begin),
-                               static_cast<uint32_t>(owned[w].end)),
+  for (size_t w = 0; w < blocks.size(); ++w) {
+    if (blocks[w].empty()) continue;
+    FML_CHECK_GE(blocks[w].begin, 0);
+    FML_CHECK_LT(blocks[w].end, int64_t{1} << 32)
+        << "chunk ids must fit the packed 32-bit block span";
+    blocks_[w].span.store(Pack(static_cast<uint32_t>(blocks[w].begin),
+                               static_cast<uint32_t>(blocks[w].end)),
                           std::memory_order_relaxed);
   }
 }
@@ -56,26 +74,38 @@ int64_t MorselQueue::Next(int worker) {
   }
 }
 
-MorselStats RunMorsels(const std::vector<Range>& chunks, int threads,
-                       bool steal,
-                       const std::function<void(Range, int64_t, int)>& body) {
+MorselStats RunMorselSpan(const std::vector<Range>& chunks, Range span,
+                          int threads, bool steal,
+                          const std::function<void(Range, int64_t, int)>& body) {
   MorselStats stats;
   const int workers = threads < 1 ? 1 : threads;
   stats.busy_seconds.assign(static_cast<size_t>(workers), 0.0);
-  if (chunks.empty()) return stats;
+  const auto total = static_cast<int64_t>(chunks.size());
+  if (span.begin < 0) span.begin = 0;
+  if (span.end > total) span.end = total;
+  if (span.empty()) return stats;
   if (workers == 1 || InParallelRegion()) {
     // Serial path (and the no-nesting rule): drain in ascending chunk
     // order on the calling thread without touching the atomic queue. This
     // is the reference schedule the chunk-ordered reduction makes every
     // parallel run reproduce bit-for-bit.
     Stopwatch watch;
-    for (size_t c = 0; c < chunks.size(); ++c) {
-      body(chunks[c], static_cast<int64_t>(c), 0);
+    for (int64_t c = span.begin; c < span.end; ++c) {
+      body(chunks[static_cast<size_t>(c)], c, 0);
     }
     stats.busy_seconds[0] = watch.ElapsedSeconds();
     return stats;
   }
-  MorselQueue queue(static_cast<int64_t>(chunks.size()), workers, steal);
+  // Ownership blocks from the global split, clamped to the span: within a
+  // span, chunk c keeps the owner it has in the whole-plan run.
+  std::vector<Range> blocks = PartitionRows(total, workers);
+  blocks.resize(static_cast<size_t>(workers), Range{0, 0});
+  for (auto& block : blocks) {
+    block.begin = std::max(block.begin, span.begin);
+    block.end = std::min(block.end, span.end);
+    if (block.end < block.begin) block.end = block.begin;
+  }
+  MorselQueue queue(blocks, steal);
   ThreadPool::Instance().Run(workers, [&](int w) {
     Stopwatch watch;
     for (int64_t c = queue.Next(w); c >= 0; c = queue.Next(w)) {
@@ -87,6 +117,13 @@ MorselStats RunMorsels(const std::vector<Range>& chunks, int threads,
   });
   stats.steals = queue.steals();
   return stats;
+}
+
+MorselStats RunMorsels(const std::vector<Range>& chunks, int threads,
+                       bool steal,
+                       const std::function<void(Range, int64_t, int)>& body) {
+  return RunMorselSpan(chunks, Range{0, static_cast<int64_t>(chunks.size())},
+                       threads, steal, body);
 }
 
 }  // namespace factorml::exec

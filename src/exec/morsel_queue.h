@@ -32,6 +32,12 @@ class MorselQueue {
   /// `num_workers` contiguous blocks; `steal` permits cross-block pops.
   MorselQueue(int64_t num_chunks, int num_workers, bool steal);
 
+  /// Explicit pre-assignment: worker w owns the chunk ids of `blocks[w]`
+  /// (possibly empty). The shard plane uses this to hand each worker its
+  /// global ownership block clamped to one shard's chunk span, so a
+  /// chunk's owner never depends on the shard count.
+  MorselQueue(const std::vector<Range>& blocks, bool steal);
+
   /// Next chunk id for `worker`, or -1 when no work remains (for this
   /// worker when stealing is off; globally when it is on).
   int64_t Next(int worker);
@@ -80,6 +86,22 @@ struct MorselStats {
 MorselStats RunMorsels(const std::vector<Range>& chunks, int threads,
                        bool steal,
                        const std::function<void(Range, int64_t, int)>& body);
+
+/// Span-restricted variant for the shard plane: runs body exactly once for
+/// every chunk id in [span.begin, span.end), with ownership blocks taken
+/// from the GLOBAL split PartitionRows(chunks.size(), threads) and clamped
+/// to the span. This is the in-process shard backend's time-sharing rule:
+/// a chunk keeps the owner (and therefore the worker buffer pool) it has
+/// in the unsharded run, so each worker visits its chunks in the same
+/// ascending order whether the pass runs as one region or as a sequence
+/// of shard spans — which is what makes total page I/O an invariant of
+/// the shard count. Stealing stays confined to the span (shards are
+/// sequential; there is never cross-shard work to steal). Chunk ids passed
+/// to body are global. Serial/nested calls drain the span in ascending id
+/// order inline, as in RunMorsels.
+MorselStats RunMorselSpan(const std::vector<Range>& chunks, Range span,
+                          int threads, bool steal,
+                          const std::function<void(Range, int64_t, int)>& body);
 
 }  // namespace factorml::exec
 

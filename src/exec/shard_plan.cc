@@ -1,0 +1,16 @@
+#include "exec/shard_plan.h"
+
+namespace factorml::exec {
+
+ShardPlan PlanShards(const std::vector<Range>& chunks, int shards) {
+  ShardPlan plan;
+  if (chunks.empty()) return plan;
+  std::vector<int64_t> weights(chunks.size());
+  for (size_t c = 0; c < chunks.size(); ++c) weights[c] = chunks[c].size();
+  plan.spans = PartitionWeighted(weights.data(),
+                                 static_cast<int64_t>(chunks.size()),
+                                 shards < 1 ? 1 : shards);
+  return plan;
+}
+
+}  // namespace factorml::exec

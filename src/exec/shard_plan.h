@@ -1,0 +1,45 @@
+#ifndef FACTORML_EXEC_SHARD_PLAN_H_
+#define FACTORML_EXEC_SHARD_PLAN_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "exec/parallel_for.h"
+
+namespace factorml::exec {
+
+/// The shard decomposition of one full-pass morsel plan: shard k owns the
+/// contiguous chunk-id span `spans[k]` of the plan's fixed chunk list, i.e.
+/// a contiguous rid range of the dataset. Shard boundaries always fall on
+/// chunk boundaries, so they inherit the chunk planners' atomicity
+/// guarantees for free — page-aligned row ranges for the Materialized
+/// strategy (SplitRowChunks), whole FK1 runs for Streaming/Factorized
+/// (ChunkFk1Runs) — and every shard-plan property is an invariant of
+/// (data, morsel_rows, shard count), never of the worker count or the
+/// steal schedule.
+struct ShardPlan {
+  /// Per shard: [begin, end) global chunk ids. Non-empty spans only; a
+  /// request for more shards than chunks yields one span per chunk.
+  std::vector<Range> spans;
+
+  int num_shards() const { return static_cast<int>(spans.size()); }
+  Range ChunkSpan(int shard) const {
+    return spans[static_cast<size_t>(shard)];
+  }
+};
+
+/// Splits a fixed chunk list into at most `shards` contiguous spans of
+/// near-equal total size, chunk range sizes as weights. For Materialized
+/// plans a chunk's size is its row count, so shards balance by rows; for
+/// Streaming/Factorized plans it is the chunk's FK1-run position count —
+/// SplitWeightedChunks has already near-equalized the row weight per
+/// chunk, so position counts remain a faithful proxy (a single-giant-run
+/// chunk counts as one unit; its inherent skew cannot be split anyway —
+/// runs are atomic). Chunks are atomic too: a chunk is never split across
+/// shards. An empty chunk list yields an empty plan; `shards` < 1 is
+/// treated as 1.
+ShardPlan PlanShards(const std::vector<Range>& chunks, int shards);
+
+}  // namespace factorml::exec
+
+#endif  // FACTORML_EXEC_SHARD_PLAN_H_

@@ -391,6 +391,37 @@ class GmmProgram final : public core::pipeline::ModelProgram {
     }
   }
 
+  void VisitSlotState(
+      int pass, int slot,
+      const std::function<void(double*, size_t)>& visit) override {
+    // Shard-plane wire seam: the merged state of one accumulator slot,
+    // per pass. logp/diff are scratch and the responsibilities (resp_)
+    // are per-rid state resident with the rid's shard — neither crosses
+    // the wire.
+    Acc& acc = acc_[static_cast<size_t>(slot)];
+    switch (pass) {
+      case kEStep:
+        visit(&acc.ll, 1);
+        visit(acc.n_k.data(), acc.n_k.size());
+        break;
+      case kMeanStep:
+        visit(acc.mu_sum.data(), acc.mu_sum.size());
+        if (factorized_) {
+          for (size_t i = 0; i < q_; ++i) {
+            for (size_t c = 0; c < k_; ++c) {
+              visit(acc.gsum[i][c].data(), acc.gsum[i][c].size());
+            }
+          }
+        }
+        break;
+      case kCovStep:
+        for (size_t c = 0; c < k_; ++c) {
+          visit(acc.sigma[c].data(), acc.sigma[c].rows() * acc.sigma[c].cols());
+        }
+        break;
+    }
+  }
+
   Status EndPass(const PipelineContext& ctx, int /*iter*/, int pass) override {
     switch (pass) {
       case kEStep:

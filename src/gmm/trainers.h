@@ -65,6 +65,12 @@ struct GmmOptions {
   /// is the number of batches read ahead per worker.
   bool prefetch = false;
   int prefetch_depth = 2;
+  /// Rid-range shards of the full-pass plane (strategy plane, see
+  /// StrategyOptions): shards > 1 scans each contiguous chunk span
+  /// separately and merges serialized ShardDeltas in shard-id order —
+  /// bit-identical to shards = 1 at the same resolved morsel size
+  /// (implies chunking, like steal).
+  int shards = 1;
 };
 
 /// Algorithm M-GMM (paper Algorithm 1): joins S with R1..Rq, materializes

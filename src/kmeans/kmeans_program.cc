@@ -198,6 +198,22 @@ class KmeansProgram final : public core::pipeline::ModelProgram {
     }
   }
 
+  void VisitSlotState(
+      int, int slot,
+      const std::function<void(double*, size_t)>& visit) override {
+    // Shard-plane wire seam: one slot's assignment statistics (and, on
+    // the factorized path, its per-rid assignment mass).
+    Acc& acc = acc_[static_cast<size_t>(slot)];
+    visit(&acc.inertia, 1);
+    visit(acc.counts.data(), acc.counts.size());
+    visit(acc.sums.data(), acc.sums.size());
+    if (factorized_) {
+      for (size_t i = 0; i < q_; ++i) {
+        visit(acc.gsum[i].data(), acc.gsum[i].rows() * acc.gsum[i].cols());
+      }
+    }
+  }
+
   Status EndPass(const PipelineContext& ctx, int, int) override {
     // Lloyd update; empty clusters keep their previous centroid (a
     // deterministic rule shared by all strategies).

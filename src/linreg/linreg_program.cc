@@ -161,6 +161,24 @@ class LinregProgram final : public core::pipeline::ModelProgram {
     }
   }
 
+  void VisitSlotState(
+      int, int slot,
+      const std::function<void(double*, size_t)>& visit) override {
+    // Shard-plane wire seam: one slot's Gram/cofactor state (and, on the
+    // factorized path, its deferred per-rid masses).
+    Acc& acc = acc_[static_cast<size_t>(slot)];
+    visit(acc.gram.data(), acc.gram.rows() * acc.gram.cols());
+    visit(acc.cvec.data(), acc.cvec.size());
+    visit(&acc.yy, 1);
+    if (factorized_) {
+      for (size_t i = 0; i < q_; ++i) {
+        visit(acc.vsum[i].data(), acc.vsum[i].rows() * acc.vsum[i].cols());
+        visit(acc.count[i].data(), acc.count[i].size());
+        visit(acc.ysum[i].data(), acc.ysum[i].size());
+      }
+    }
+  }
+
   Status EndPass(const PipelineContext& ctx, int, int) override {
     if (factorized_) {
       // Deferred blocks: one rank-1 update per attribute tuple instead of

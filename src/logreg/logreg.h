@@ -49,6 +49,12 @@ struct LogregOptions {
   /// is the number of batches read ahead per worker.
   bool prefetch = false;
   int prefetch_depth = 2;
+  /// Rid-range shards of the full-pass plane (strategy plane, see
+  /// StrategyOptions): shards > 1 scans each contiguous chunk span
+  /// separately and merges serialized ShardDeltas in shard-id order —
+  /// bit-identical to shards = 1 at the same resolved morsel size
+  /// (implies chunking, like steal).
+  int shards = 1;
 };
 
 /// A trained logistic model over the joined feature vector

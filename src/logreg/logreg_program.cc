@@ -209,6 +209,24 @@ class LogregProgram final : public core::pipeline::ModelProgram {
     }
   }
 
+  void VisitSlotState(
+      int, int slot,
+      const std::function<void(double*, size_t)>& visit) override {
+    // Shard-plane wire seam: one slot's weighted normal equations (and,
+    // on the factorized path, its weighted per-rid masses).
+    Acc& acc = acc_[static_cast<size_t>(slot)];
+    visit(acc.gram.data(), acc.gram.rows() * acc.gram.cols());
+    visit(acc.cvec.data(), acc.cvec.size());
+    visit(&acc.nll, 1);
+    if (factorized_) {
+      for (size_t i = 0; i < q_; ++i) {
+        visit(acc.wxsum[i].data(), acc.wxsum[i].rows() * acc.wxsum[i].cols());
+        visit(acc.wsum[i].data(), acc.wsum[i].size());
+        visit(acc.wzsum[i].data(), acc.wzsum[i].size());
+      }
+    }
+  }
+
   Status EndPass(const PipelineContext& ctx, int, int) override {
     if (factorized_) {
       // Deferred blocks: one rank-1 update per attribute tuple instead of

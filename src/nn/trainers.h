@@ -66,6 +66,10 @@ struct NnOptions {
   /// is the number of batches read ahead per worker.
   bool prefetch = false;
   int prefetch_depth = 2;
+  /// Rid-range shards of the full-pass plane (strategy plane, see
+  /// StrategyOptions). The mini-batch (SGD) plane is sequential, so
+  /// shards > 1 is rejected with InvalidArgument for this family.
+  int shards = 1;
 };
 
 /// Algorithm M-NN: materializes T, then standard BP over T's rows.

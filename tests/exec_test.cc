@@ -12,6 +12,7 @@
 #include "data/synthetic.h"
 #include "exec/morsel_queue.h"
 #include "exec/parallel_for.h"
+#include "exec/shard_plan.h"
 #include "exec/thread_pool.h"
 #include "exec/worker_pools.h"
 #include "gtest/gtest.h"
@@ -517,6 +518,145 @@ TEST(IoCrewTest, SubmitIoProgressesWhileComputeRegionIsSaturated) {
     std::this_thread::yield();
   }
   EXPECT_TRUE(crew_ran.load());
+}
+
+// ------------------------------------------------------------ ShardPlan
+
+TEST(ShardPlanTest, SpansCoverChunksContiguouslyAndBalance) {
+  const auto chunks = SplitRowChunks(1000, 100);  // 10 equal chunks
+  const ShardPlan plan = PlanShards(chunks, 4);
+  ASSERT_EQ(plan.num_shards(), 4);
+  int64_t next = 0;
+  for (int k = 0; k < plan.num_shards(); ++k) {
+    const Range span = plan.ChunkSpan(k);
+    EXPECT_EQ(span.begin, next);
+    EXPECT_FALSE(span.empty());
+    next = span.end;
+  }
+  EXPECT_EQ(next, static_cast<int64_t>(chunks.size()));
+  // Near-equal row weight: 10 equal chunks over 4 shards is 3/3/2/2.
+  for (int k = 0; k < plan.num_shards(); ++k) {
+    EXPECT_LE(plan.ChunkSpan(k).size(), 3);
+    EXPECT_GE(plan.ChunkSpan(k).size(), 2);
+  }
+}
+
+TEST(ShardPlanTest, MoreShardsThanChunksDropsToOneChunkEach) {
+  // "shards > rows": a tiny dataset yields fewer chunks than requested
+  // shards; the plan caps at one chunk per shard, never an empty span.
+  const auto chunks = SplitRowChunks(90, 40);  // 3 chunks
+  const ShardPlan plan = PlanShards(chunks, 8);
+  ASSERT_EQ(plan.num_shards(), 3);
+  for (int k = 0; k < 3; ++k) EXPECT_EQ(plan.ChunkSpan(k).size(), 1);
+}
+
+TEST(ShardPlanTest, WeightedChunksStayAtomicAcrossShards) {
+  // S/F plans: chunks are whole-position (whole-FK1-run) groups built by
+  // SplitWeightedChunks; a giant run is already isolated in its own chunk
+  // and sharding must keep every chunk — giant included — in exactly one
+  // shard, with the spans covering the chunk ids contiguously.
+  const int64_t weights[] = {4, 3, 900, 2, 5};
+  const auto chunks = SplitWeightedChunks(weights, 5, 10);
+  ASSERT_EQ(chunks.size(), 3u);  // {light, giant-alone, light}
+  const ShardPlan plan = PlanShards(chunks, 3);
+  ASSERT_EQ(plan.num_shards(), 3);
+  int64_t next = 0;
+  for (int k = 0; k < plan.num_shards(); ++k) {
+    EXPECT_EQ(plan.ChunkSpan(k).begin, next);
+    EXPECT_EQ(plan.ChunkSpan(k).size(), 1);
+    next = plan.ChunkSpan(k).end;
+  }
+  EXPECT_EQ(next, 3);
+}
+
+TEST(ShardPlanTest, EmptyChunkListAndMaxChunkCap) {
+  EXPECT_EQ(PlanShards({}, 4).num_shards(), 0);
+  // shards x morsel interaction at the kMaxMorselChunks cap: a tiny
+  // morsel over many rows caps at kMaxMorselChunks chunks, and the shard
+  // plan still partitions the capped chunk-id space exactly.
+  const auto chunks = SplitRowChunks(10 * kMaxMorselChunks, 1);
+  ASSERT_EQ(static_cast<int64_t>(chunks.size()), kMaxMorselChunks);
+  const ShardPlan plan = PlanShards(chunks, 4);
+  ASSERT_EQ(plan.num_shards(), 4);
+  EXPECT_EQ(plan.ChunkSpan(0).begin, 0);
+  EXPECT_EQ(plan.ChunkSpan(3).end, kMaxMorselChunks);
+}
+
+// -------------------------------------------------------- RunMorselSpan
+
+TEST(RunMorselSpanTest, SpanChunksKeepGlobalOwners) {
+  // The shard plane's time-sharing rule: within a span, a chunk is
+  // executed by the worker that owns it in the whole-plan split (steal
+  // off), so per-worker visit order — and buffer-pool residency — is
+  // invariant under sharding.
+  const auto chunks = SplitRowChunks(12 * 8, 8);  // 12 chunks
+  const auto owned = PartitionRows(12, 3);        // global split, 3 workers
+  for (const Range span : {Range{0, 12}, Range{2, 7}, Range{5, 12}}) {
+    std::vector<std::atomic<int>> worker_of(12);
+    for (auto& w : worker_of) w = -1;
+    RunMorselSpan(chunks, span, /*threads=*/3, /*steal=*/false,
+                  [&](Range, int64_t c, int worker) {
+                    worker_of[static_cast<size_t>(c)] = worker;
+                  });
+    for (int64_t c = 0; c < 12; ++c) {
+      if (c < span.begin || c >= span.end) {
+        EXPECT_EQ(worker_of[static_cast<size_t>(c)].load(), -1);
+        continue;
+      }
+      int expect = -1;
+      for (size_t w = 0; w < owned.size(); ++w) {
+        if (c >= owned[w].begin && c < owned[w].end) {
+          expect = static_cast<int>(w);
+        }
+      }
+      EXPECT_EQ(worker_of[static_cast<size_t>(c)].load(), expect)
+          << "chunk " << c << " span [" << span.begin << "," << span.end
+          << ")";
+    }
+  }
+}
+
+TEST(RunMorselSpanTest, SequentialSpansCoverEveryChunkOnce) {
+  for (const bool steal : {false, true}) {
+    const auto chunks = SplitRowChunks(31 * 13, 13);
+    const ShardPlan plan = PlanShards(chunks, 3);
+    std::vector<std::atomic<int>> hits(chunks.size());
+    for (auto& h : hits) h = 0;
+    for (int k = 0; k < plan.num_shards(); ++k) {
+      RunMorselSpan(chunks, plan.ChunkSpan(k), /*threads=*/4, steal,
+                    [&](Range r, int64_t c, int) {
+                      EXPECT_EQ(r.begin, chunks[static_cast<size_t>(c)].begin);
+                      hits[static_cast<size_t>(c)]++;
+                    });
+    }
+    for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+  }
+}
+
+TEST(RunMorselSpanTest, SerialDrainAscendingWithinSpanOnly) {
+  std::vector<int64_t> order;
+  RunMorselSpan(SplitRowChunks(100, 10), Range{3, 8}, /*threads=*/1,
+                /*steal=*/true,
+                [&](Range, int64_t c, int worker) {
+                  EXPECT_EQ(worker, 0);
+                  order.push_back(c);
+                });
+  ASSERT_EQ(order.size(), 5u);
+  for (size_t i = 0; i < order.size(); ++i) {
+    EXPECT_EQ(order[i], static_cast<int64_t>(i) + 3);
+  }
+}
+
+TEST(RunMorselSpanTest, OutOfRangeSpanClampsAndEmptySpanNoops) {
+  const auto chunks = SplitRowChunks(40, 10);  // 4 chunks
+  std::atomic<int> hits{0};
+  RunMorselSpan(chunks, Range{2, 99}, /*threads=*/2, /*steal=*/true,
+                [&](Range, int64_t, int) { hits.fetch_add(1); });
+  EXPECT_EQ(hits.load(), 2);  // chunks 2 and 3 only
+  hits = 0;
+  RunMorselSpan(chunks, Range{3, 3}, /*threads=*/2, /*steal=*/false,
+                [&](Range, int64_t, int) { hits.fetch_add(1); });
+  EXPECT_EQ(hits.load(), 0);  // empty trailing span: clean no-op
 }
 
 }  // namespace

@@ -9,9 +9,12 @@
 //  1. Schedule invariance (bit-exact): with the chunk-ordered scheduler
 //     active, the final objective, every op count, and every model
 //     parameter are IDENTICAL — EXPECT_EQ on doubles — across
-//     threads x {1,2,4} and steal x {off,on}. The chunk set is a data
-//     invariant and the reduction merges in chunk order, so who executes
-//     a chunk can never leak into the result.
+//     threads x {1,2,4}, steal x {off,on}, prefetch x {off,on} and
+//     rid-range shards x {1,2,3,4}. The chunk set is a data invariant,
+//     the reduction merges in chunk order, and the shard plane's
+//     ShardDelta round-trip is a pure serialization boundary, so who
+//     executes a chunk — or which shard ships it — can never leak into
+//     the result.
 //  2. Strategy agreement (tolerance): M, S and F train the same model on
 //     the same data up to floating-point reassociation of the factorized
 //     accumulation.
@@ -46,20 +49,29 @@ struct SchedConfig {
   int threads;
   bool steal;
   bool prefetch = false;
+  int shards = 1;
 };
 // Config 0 is the baseline every other schedule must reproduce bit-exactly.
 // The prefetch configs assert the I/O plane's extended contract: async
 // page prefetch changes residency only, so a prefetched run is as
-// bit-exact as any other schedule.
+// bit-exact as any other schedule. The shard configs assert the shard
+// plane's contract on top: rid-range shards scanned separately, slots
+// round-tripped through serialized ShardDeltas, merged in shard-id order
+// — still the same bits, composed with every thread count, stealing and
+// prefetch (full-pass families only; the NN branch below asserts the
+// mini-batch plane rejects sharding instead).
 constexpr SchedConfig kConfigs[] = {
     {1, false},       {2, false},       {4, false},
     {1, true},        {2, true},        {4, true},
-    {2, false, true}, {4, true, true}};
+    {2, false, true}, {4, true, true},
+    {1, false, false, 2}, {2, false, false, 3}, {4, true, false, 2},
+    {2, false, true, 4},  {1, true, false, 3}};
 
 std::string CfgName(const SchedConfig& c) {
   return "threads=" + std::to_string(c.threads) +
          (c.steal ? " steal=on" : " steal=off") +
-         (c.prefetch ? " prefetch=on" : "");
+         (c.prefetch ? " prefetch=on" : "") +
+         (c.shards > 1 ? " shards=" + std::to_string(c.shards) : "");
 }
 
 /// Trains one (family, algorithm) under every scheduler config and
@@ -176,6 +188,7 @@ TEST_P(FuzzParityTest, StealScheduleInvariance) {
               o.threads = cfg.threads;
               o.steal = cfg.steal;
               o.prefetch = cfg.prefetch;
+              o.shards = cfg.shards;
               pool.Clear();
               return core::TrainGmm(rel, o, algo, &pool, report);
             },
@@ -199,11 +212,27 @@ TEST_P(FuzzParityTest, StealScheduleInvariance) {
         // i and i+3 share a thread count).
         nn::Mlp base;
         core::TrainReport reports[std::size(kConfigs)];
+        bool rejected_shards = false;
         for (size_t i = 0; i < std::size(kConfigs); ++i) {
           auto o = opt;
           o.threads = kConfigs[i].threads;
           o.steal = kConfigs[i].steal;
           o.prefetch = kConfigs[i].prefetch;
+          if (kConfigs[i].shards > 1) {
+            // The mini-batch plane rejects sharding: assert the clean
+            // error once, then skip the config (its report stays empty
+            // and the op-count pairing below skips it too).
+            if (!rejected_shards) {
+              o.shards = kConfigs[i].shards;
+              pool.Clear();
+              auto bad = core::TrainNn(rel, o, algo, &pool, nullptr);
+              EXPECT_FALSE(bad.ok()) << alabel << ": shards must be rejected";
+              EXPECT_EQ(bad.status().code(), StatusCode::kInvalidArgument)
+                  << alabel;
+              rejected_shards = true;
+            }
+            continue;
+          }
           pool.Clear();
           auto mlp = core::TrainNn(rel, o, algo, &pool, &reports[i]);
           ASSERT_TRUE(mlp.ok())
@@ -222,8 +251,12 @@ TEST_P(FuzzParityTest, StealScheduleInvariance) {
         // redo per-group shared work): pair every config with the first
         // earlier config sharing its thread count.
         for (size_t i = 1; i < std::size(kConfigs); ++i) {
+          if (kConfigs[i].shards > 1) continue;
           for (size_t j = 0; j < i; ++j) {
-            if (kConfigs[j].threads != kConfigs[i].threads) continue;
+            if (kConfigs[j].shards > 1 ||
+                kConfigs[j].threads != kConfigs[i].threads) {
+              continue;
+            }
             const std::string tag =
                 alabel + " [" + CfgName(kConfigs[i]) + " vs " +
                 CfgName(kConfigs[j]) + "]";
@@ -245,6 +278,7 @@ TEST_P(FuzzParityTest, StealScheduleInvariance) {
               o.threads = cfg.threads;
               o.steal = cfg.steal;
               o.prefetch = cfg.prefetch;
+              o.shards = cfg.shards;
               pool.Clear();
               return core::TrainLinreg(rel, o, algo, &pool, report);
             },
@@ -264,6 +298,7 @@ TEST_P(FuzzParityTest, StealScheduleInvariance) {
               o.threads = cfg.threads;
               o.steal = cfg.steal;
               o.prefetch = cfg.prefetch;
+              o.shards = cfg.shards;
               pool.Clear();
               return core::TrainKmeans(rel, o, algo, &pool, report);
             },

@@ -711,6 +711,225 @@ TEST(PrefetchParityTest, LegacyPartitionPrefetchMatchesToo) {
   EXPECT_EQ(linreg::LinregModel::MaxAbsDiff(base.value(), pf.value()), 0.0);
 }
 
+// --------------------------------------------------- shard-plane parity
+//
+// The sharded rid-range execution plane's determinism contract: shard =
+// contiguous span of the fixed chunk plan, slot = global chunk id, each
+// shard's slots round-trip through serialized ShardDelta bytes, and the
+// deltas merge in shard-id (= global chunk) order. Objectives, params and
+// op counts are therefore bit-identical to --shards=1 at the same morsel
+// size under ANY threads x steal x prefetch schedule; and because the
+// in-process backend time-shares the unsharded run's worker pools with
+// global chunk ownership (exec::RunMorselSpan), total page I/O is ALSO
+// bit-identical whenever the schedule itself is I/O-deterministic (steal
+// and prefetch off — stealing re-homes chunks into thief pools and
+// prefetch races the crew, so those counters are not schedule-stable even
+// at shards=1). The randomized fuzz_parity_test stresses the same
+// contract across random schemas; these fixed cases run in tier1 and
+// under TSan.
+
+TEST(ShardParityTest, GmmShardedBitIdenticalIncludingPageIo) {
+  TempDir dir;
+  BufferPool pool(512);
+  auto rel =
+      std::move(GenerateSynthetic(Spec(dir.str(), false), &pool)).value();
+  gmm::GmmOptions opt;
+  opt.num_components = 3;
+  opt.max_iters = 2;
+  opt.batch_rows = 256;
+  opt.morsel_rows = 200;
+  opt.temp_dir = dir.str();
+  for (const auto algo : kAll) {
+    for (const int threads : {1, 4}) {
+      opt.threads = threads;
+      opt.shards = 1;
+      pool.Clear();
+      core::TrainReport base_report;
+      auto base = core::TrainGmm(rel, opt, algo, &pool, &base_report);
+      ASSERT_TRUE(base.ok()) << base.status().ToString();
+      EXPECT_EQ(base_report.shards, 1);
+      EXPECT_TRUE(base_report.shard_stats.empty());
+      for (const int shards : {2, 4}) {
+        opt.shards = shards;
+        pool.Clear();
+        core::TrainReport report;
+        auto params = core::TrainGmm(rel, opt, algo, &pool, &report);
+        ASSERT_TRUE(params.ok()) << params.status().ToString();
+        const std::string tag = std::string(core::AlgorithmName(algo)) +
+                                " threads=" + std::to_string(threads) +
+                                " shards=" + std::to_string(shards);
+        ExpectBitIdentical(report, base_report, tag.c_str());
+        EXPECT_EQ(gmm::GmmParams::MaxAbsDiff(base.value(), params.value()),
+                  0.0)
+            << tag;
+        // Deterministic schedule (steal/prefetch off): the time-shared
+        // backend replays the unsharded per-pool page-request sequences,
+        // so the whole I/O split matches bit for bit.
+        EXPECT_EQ(report.io.pages_read, base_report.io.pages_read) << tag;
+        EXPECT_EQ(report.io.pages_written, base_report.io.pages_written)
+            << tag;
+        EXPECT_EQ(report.io.pool_hits, base_report.io.pool_hits) << tag;
+        EXPECT_EQ(report.io.pool_misses, base_report.io.pool_misses) << tag;
+        // Effective shard count and spans are recorded and cover the plan.
+        EXPECT_EQ(report.shards, shards);
+        ASSERT_EQ(report.shard_stats.size(), static_cast<size_t>(shards));
+        EXPECT_EQ(report.shard_stats.front().chunk_begin, 0);
+        EXPECT_EQ(report.shard_stats.back().chunk_end, report.morsel_chunks);
+      }
+    }
+  }
+}
+
+TEST(ShardParityTest, ShardedSchedulesStayBitIdentical) {
+  // Sharding composed with stealing and prefetch: who executes a chunk
+  // (and when its pages land) may change, what is merged never does.
+  TempDir dir;
+  BufferPool pool(512);
+  auto rel =
+      std::move(GenerateSynthetic(Spec(dir.str(), true), &pool)).value();
+  struct Sched {
+    int shards, threads;
+    bool steal, prefetch;
+  };
+  constexpr Sched kScheds[] = {{3, 4, true, false},
+                               {2, 2, false, true},
+                               {4, 1, true, false},
+                               {2, 4, true, true}};
+  for (const auto algo : kAll) {
+    linreg::LinregOptions lopt;
+    lopt.batch_rows = 256;
+    lopt.morsel_rows = 128;
+    lopt.temp_dir = dir.str();
+    lopt.threads = 1;
+    pool.Clear();
+    core::TrainReport lbase_report;
+    auto lbase = core::TrainLinreg(rel, lopt, algo, &pool, &lbase_report);
+    ASSERT_TRUE(lbase.ok());
+    logreg::LogregOptions gopt;
+    gopt.max_iters = 2;
+    gopt.batch_rows = 256;
+    gopt.morsel_rows = 128;
+    gopt.temp_dir = dir.str();
+    gopt.threads = 1;
+    pool.Clear();
+    core::TrainReport gbase_report;
+    auto gbase = core::TrainLogreg(rel, gopt, algo, &pool, &gbase_report);
+    ASSERT_TRUE(gbase.ok());
+    for (const Sched& sched : kScheds) {
+      lopt.shards = sched.shards;
+      lopt.threads = sched.threads;
+      lopt.steal = sched.steal;
+      lopt.prefetch = sched.prefetch;
+      pool.Clear();
+      core::TrainReport lr;
+      auto lm = core::TrainLinreg(rel, lopt, algo, &pool, &lr);
+      ASSERT_TRUE(lm.ok());
+      ExpectBitIdentical(lr, lbase_report, "sharded linreg");
+      EXPECT_EQ(linreg::LinregModel::MaxAbsDiff(lbase.value(), lm.value()),
+                0.0)
+          << core::AlgorithmName(algo) << " shards=" << sched.shards;
+      gopt.shards = sched.shards;
+      gopt.threads = sched.threads;
+      gopt.steal = sched.steal;
+      gopt.prefetch = sched.prefetch;
+      pool.Clear();
+      core::TrainReport gr;
+      auto gm = core::TrainLogreg(rel, gopt, algo, &pool, &gr);
+      ASSERT_TRUE(gm.ok());
+      ExpectBitIdentical(gr, gbase_report, "sharded logreg");
+      EXPECT_EQ(logreg::LogregModel::MaxAbsDiff(gbase.value(), gm.value()),
+                0.0)
+          << core::AlgorithmName(algo) << " shards=" << sched.shards;
+    }
+  }
+}
+
+TEST(ShardParityTest, ShardsExceedChunksAndGiantRunStayExact) {
+  // "shards > rows" and the single-giant-FK1-run worst case: requesting
+  // far more shards than the plan has chunks caps the effective count at
+  // one chunk per shard (no empty shard ever scans), and the giant run —
+  // atomic, one chunk — stays bit-exact through its own shard's delta.
+  TempDir dir;
+  BufferPool pool(512);
+  auto spec = Spec(dir.str(), false);
+  spec.run_dist = data::RunDist::kSingleGiant;
+  auto rel = std::move(GenerateSynthetic(spec, &pool)).value();
+  kmeans::KmeansOptions opt;
+  opt.num_clusters = 3;
+  opt.max_iters = 3;
+  opt.batch_rows = 256;
+  opt.morsel_rows = 64;
+  opt.temp_dir = dir.str();
+  opt.threads = 1;
+  pool.Clear();
+  core::TrainReport base_report;
+  auto base = core::TrainKmeans(rel, opt, core::Algorithm::kFactorized,
+                                &pool, &base_report);
+  ASSERT_TRUE(base.ok());
+  ASSERT_GT(base_report.morsel_chunks, 1);
+  opt.shards = 64;  // far beyond the chunk count
+  opt.threads = 4;
+  opt.steal = true;
+  pool.Clear();
+  core::TrainReport report;
+  auto sharded = core::TrainKmeans(rel, opt, core::Algorithm::kFactorized,
+                                   &pool, &report);
+  ASSERT_TRUE(sharded.ok());
+  ExpectBitIdentical(report, base_report, "over-sharded giant-run kmeans");
+  EXPECT_EQ(kmeans::KmeansModel::MaxAbsDiff(base.value(), sharded.value()),
+            0.0);
+  EXPECT_EQ(report.shards, static_cast<int>(report.morsel_chunks));
+  ASSERT_EQ(report.shard_stats.size(), static_cast<size_t>(report.shards));
+  for (const auto& stat : report.shard_stats) {
+    EXPECT_EQ(stat.chunk_end, stat.chunk_begin + 1);
+  }
+}
+
+TEST(ShardParityTest, ShardsAloneResolveDefaultChunking) {
+  // --shards=N without --morsel-rows must resolve to the default chunk
+  // size (like --steal), not silently run the legacy static partition.
+  TempDir dir;
+  BufferPool pool(512);
+  auto rel =
+      std::move(GenerateSynthetic(Spec(dir.str(), true), &pool)).value();
+  linreg::LinregOptions opt;
+  opt.temp_dir = dir.str();
+  opt.threads = 2;
+  opt.shards = 2;
+  core::TrainReport report;
+  auto m = core::TrainLinreg(rel, opt, core::Algorithm::kStreaming, &pool,
+                             &report);
+  ASSERT_TRUE(m.ok());
+  // Chunked mode engaged (the 3000-row dataset fits one default-size
+  // chunk, so the effective shard count caps at the chunk count).
+  EXPECT_GT(report.morsel_chunks, 0);
+  EXPECT_EQ(report.shards,
+            static_cast<int>(std::min<int64_t>(2, report.morsel_chunks)));
+}
+
+TEST(ShardParityTest, MiniBatchFamilyRejectsShards) {
+  // The SGD plane's epochs are sequential: no order-free merge exists, so
+  // sharding must be rejected up front with a clear error.
+  TempDir dir;
+  BufferPool pool(512);
+  auto rel =
+      std::move(GenerateSynthetic(Spec(dir.str(), true), &pool)).value();
+  nn::NnOptions opt;
+  opt.hidden = {8};
+  opt.epochs = 1;
+  opt.temp_dir = dir.str();
+  opt.threads = 1;
+  opt.shards = 2;
+  auto mlp = core::TrainNn(rel, opt, core::Algorithm::kStreaming, &pool,
+                           nullptr);
+  EXPECT_FALSE(mlp.ok());
+  EXPECT_EQ(mlp.status().code(), StatusCode::kInvalidArgument);
+  opt.shards = 1;
+  auto ok = core::TrainNn(rel, opt, core::Algorithm::kStreaming, &pool,
+                          nullptr);
+  EXPECT_TRUE(ok.ok()) << ok.status().ToString();
+}
+
 // ----------------------------------------------- multiway linreg parity
 
 TEST(LinregTest, MultiwayFactorizedMatches) {

@@ -3,6 +3,7 @@
 #include <string>
 #include <vector>
 
+#include "core/factorml.h"
 #include "gtest/gtest.h"
 #include "storage/buffer_pool.h"
 #include "storage/io_stats.h"
@@ -503,6 +504,67 @@ TEST(PageCursorTest, DrainFoldsCrewReadsIntoCaller) {
   EXPECT_EQ(delta.pages_read, delta.prefetch_reads);
   EXPECT_GT(delta.prefetch_reads, 0u);
   EXPECT_EQ(delta.pool_misses, 0u) << "prefetch is not a demand lookup";
+}
+
+// ------------------------------------------------ per-shard IoStats sums
+//
+// The shard plane charges every scan-window counter — demand lookups,
+// physical reads, and the prefetch crew's folded reads/hits — to exactly
+// one shard's IoStats window (contiguous GlobalIo snapshots around each
+// span scan + drain). The per-shard counters must therefore sum exactly
+// to the run totals for counters that only the scan windows can produce,
+// and never exceed the totals for the rest: a drain landing outside its
+// shard's window (lost count) or inside two (double count) breaks this.
+
+TEST(ShardIoAccountingTest, PerShardCountersSumToMergedTotals) {
+  TempDir dir;
+  BufferPool pool(64);  // small pool: real demand misses every pass
+  data::SyntheticSpec spec;
+  spec.dir = dir.str();
+  spec.s_rows = 6000;
+  spec.s_feats = 4;
+  spec.attrs = {data::AttributeSpec{50, 4}};
+  spec.with_target = false;
+  spec.seed = 7;
+  auto rel = std::move(data::GenerateSynthetic(spec, &pool).value());
+
+  gmm::GmmOptions opt;
+  opt.num_components = 2;
+  opt.max_iters = 2;
+  opt.batch_rows = 256;
+  opt.morsel_rows = 500;
+  opt.temp_dir = dir.str();
+  opt.threads = 2;
+  opt.shards = 3;
+  for (const bool prefetch : {false, true}) {
+    opt.prefetch = prefetch;
+    for (const auto algo :
+         {core::Algorithm::kMaterialized, core::Algorithm::kFactorized}) {
+      pool.Clear();
+      core::TrainReport report;
+      auto params = core::TrainGmm(rel, opt, algo, &pool, &report);
+      ASSERT_TRUE(params.ok()) << params.status().ToString();
+      ASSERT_EQ(report.shard_stats.size(), 3u);
+      IoStats sum;
+      for (const auto& stat : report.shard_stats) sum += stat.io;
+      // Prefetch happens only inside shard scan windows, and the crew's
+      // physical reads fold in at each shard's drain: exact totals.
+      EXPECT_EQ(sum.prefetch_reads, report.io.prefetch_reads);
+      EXPECT_EQ(sum.prefetch_hits, report.io.prefetch_hits);
+      // Demand I/O also covers non-scan work (materialization, view
+      // loads, seed-row init), so scans are a strict subset of the run.
+      EXPECT_LE(sum.pages_read, report.io.pages_read);
+      EXPECT_LE(sum.pool_hits, report.io.pool_hits);
+      EXPECT_LE(sum.pool_misses, report.io.pool_misses);
+      EXPECT_LE(sum.stall_micros, report.io.stall_micros);
+      if (prefetch) {
+        EXPECT_GT(sum.pages_read, 0u);
+      } else {
+        EXPECT_EQ(sum.prefetch_reads, 0u);
+        EXPECT_GT(sum.pool_misses, 0u) << "scan windows saw no demand I/O";
+      }
+    }
+  }
 }
 
 }  // namespace

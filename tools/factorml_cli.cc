@@ -46,6 +46,18 @@
 // batches, default 2) in its buffer pool. Residency-only — same bits
 // either way; the TrainReport gains the prefetch hit rate and demand
 // stall time.
+//
+// `--shards=N` (any full-pass train subcommand, default 1) runs the pass
+// through the rid-range shard plane: the chunk plan is split into N
+// contiguous spans, each span is scanned as its own shard (own IoStats
+// window and busy time in the TrainReport), its accumulator slots are
+// round-tripped through serialized ShardDelta bytes — the wire seam a
+// distributed backend plugs into — and the deltas merge in shard-id
+// order. Implies `--morsel-rows` (default chunk size when unset);
+// objectives, params and op counts are bit-identical to --shards=1 at the
+// same resolved morsel size for any --threads/--steal/--prefetch, and
+// total page I/O matches too when steal and prefetch are off. The NN
+// family (mini-batch SGD) rejects --shards > 1.
 
 #include <cstdio>
 #include <string>
@@ -231,6 +243,7 @@ int CmdTrainGmm(const ArgParser& args) {
   opt.steal = args.GetSteal(false);
   opt.prefetch = args.GetPrefetch(false);
   opt.prefetch_depth = args.GetPrefetchDepth(2);
+  opt.shards = args.GetShards(1);
   auto algos = ParseAlgos(args.GetString("algo", "all"));
   if (!algos.ok()) return FailStatus(algos.status());
   for (const auto algo : algos.value()) {
@@ -265,6 +278,7 @@ int CmdTrainNn(const ArgParser& args) {
   opt.steal = args.GetSteal(false);
   opt.prefetch = args.GetPrefetch(false);
   opt.prefetch_depth = args.GetPrefetchDepth(2);
+  opt.shards = args.GetShards(1);
   const std::string act = args.GetString("act", "sigmoid");
   if (act == "tanh") opt.activation = nn::Activation::kTanh;
   else if (act == "relu") opt.activation = nn::Activation::kRelu;
@@ -303,6 +317,7 @@ int CmdTrainLinreg(const ArgParser& args) {
   opt.steal = args.GetSteal(false);
   opt.prefetch = args.GetPrefetch(false);
   opt.prefetch_depth = args.GetPrefetchDepth(2);
+  opt.shards = args.GetShards(1);
   auto algos = ParseAlgos(args.GetString("algo", "all"));
   if (!algos.ok()) return FailStatus(algos.status());
   for (const auto algo : algos.value()) {
@@ -333,6 +348,7 @@ int CmdTrainKmeans(const ArgParser& args) {
   opt.steal = args.GetSteal(false);
   opt.prefetch = args.GetPrefetch(false);
   opt.prefetch_depth = args.GetPrefetchDepth(2);
+  opt.shards = args.GetShards(1);
   auto algos = ParseAlgos(args.GetString("algo", "all"));
   if (!algos.ok()) return FailStatus(algos.status());
   for (const auto algo : algos.value()) {
@@ -364,6 +380,7 @@ int CmdTrainLogreg(const ArgParser& args) {
   opt.steal = args.GetSteal(false);
   opt.prefetch = args.GetPrefetch(false);
   opt.prefetch_depth = args.GetPrefetchDepth(2);
+  opt.shards = args.GetShards(1);
   auto algos = ParseAlgos(args.GetString("algo", "all"));
   if (!algos.ok()) return FailStatus(algos.status());
   for (const auto algo : algos.value()) {
