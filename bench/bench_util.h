@@ -3,6 +3,7 @@
 
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <filesystem>
 #include <iomanip>
 #include <random>
@@ -13,18 +14,43 @@
 #include "common/flags.h"
 #include "core/factorml.h"
 #include "exec/thread_pool.h"
+#include "obs/manifest.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace factorml::bench {
 
 /// Applies the flags every bench binary shares: `--threads` (worker count
 /// for the exec/ parallel runtime; default 1 = the exact serial
-/// reproduction) and `--io_delay_us` (simulated device latency per page
-/// transfer). Call first thing in main().
-inline void ApplyCommonBenchFlags(const ArgParser& args) {
+/// reproduction), `--io_delay_us` (simulated device latency per page
+/// transfer) and `--trace=PATH` / `--trace-buffer-kb=N` (span tracing;
+/// the Chrome trace-event JSON — with the run manifest as otherData — is
+/// flushed at exit). Call first thing in main().
+inline void ApplyCommonBenchFlags(const ArgParser& args,
+                                  const char* bench_name = "bench") {
   exec::SetDefaultThreads(args.GetThreads(1));
   if (args.Has("io_delay_us")) {
     const auto us = static_cast<uint64_t>(args.GetInt("io_delay_us", 0));
     storage::SetSimulatedIoLatencyMicros(us, us);
+  }
+  const std::string trace_path = args.GetTracePath();
+  if (!trace_path.empty()) {
+    // atexit keeps the flush after every sweep row, whichever return or
+    // Die() path ends the binary. The statics hand the lambda its state
+    // (atexit takes a plain function pointer).
+    static std::string path, manifest;
+    path = trace_path;
+    manifest = obs::RunManifest::FromArgs(bench_name, args).ToJson();
+    obs::Tracer::Instance().Start(
+        static_cast<size_t>(args.GetTraceBufferKb()));
+    std::atexit([] {
+      obs::Tracer::Instance().Stop();
+      const Status st = obs::Tracer::Instance().WriteJson(path, manifest);
+      if (!st.ok()) {
+        std::fprintf(stderr, "trace flush failed: %s\n",
+                     st.ToString().c_str());
+      }
+    });
   }
 }
 
@@ -137,10 +163,20 @@ inline Trio RunNnAll(const join::NormalizedRelations& rel,
 ///                                 order (present when shards > 1)
 ///   shard_stall_seconds  [number] per-shard demand-stall time (ditto)
 ///   shard_pages_read     [int]    per-shard physical reads (ditto)
+///   manifest             object   RunManifest::ToJson() — the resolved
+///                                 config + git describe of this invocation
+///                                 (identical across the file's rows)
+///   metrics              object   obs registry delta over the run
+///                                 (SnapshotToJson: counters flat,
+///                                 histograms as .count/.sum_micros/
+///                                 .mean_micros — timings only, never
+///                                 compared bitwise)
 class JsonReport {
  public:
   JsonReport(const char* bench_name, const ArgParser& args)
-      : bench_(bench_name), path_(args.GetString("json", "")) {}
+      : bench_(bench_name),
+        path_(args.GetString("json", "")),
+        manifest_(obs::RunManifest::FromArgs(bench_name, args).ToJson()) {}
   ~JsonReport() { Write(); }
   JsonReport(const JsonReport&) = delete;
   JsonReport& operator=(const JsonReport&) = delete;
@@ -197,7 +233,8 @@ class JsonReport {
       }
       row << "]";
     }
-    row << "}";
+    row << ", \"manifest\": " << manifest_
+        << ", \"metrics\": " << obs::SnapshotToJson(r.metrics) << "}";
     rows_.push_back(row.str());
     Write();
   }
@@ -229,6 +266,7 @@ class JsonReport {
  private:
   std::string bench_;
   std::string path_;
+  std::string manifest_;
   std::vector<std::string> rows_;
 };
 

@@ -34,7 +34,7 @@ join::NormalizedRelations Generate(const std::string& dir, int64_t n_s,
 
 int Main(int argc, char** argv) {
   ArgParser args(argc, argv);
-  ApplyCommonBenchFlags(args);
+  ApplyCommonBenchFlags(args, "fig3_gmm_binary");
   JsonReport json("fig3_gmm_binary", args);
   const std::string part = args.GetString("part", "all");
   const int64_t n_r = args.GetInt("nr", 200);

@@ -179,4 +179,40 @@ int64_t ArgParser::GetBufferPages(int64_t default_value) const {
   return static_cast<int64_t>(pages);
 }
 
+std::string ArgParser::GetTracePath(const std::string& default_value) const {
+  auto it = kv_.find("trace");
+  if (it == kv_.end()) return default_value;
+  const std::string& path = it->second;
+  // Probe writability now (append mode: an existing file is not
+  // truncated by the probe; the flush at run end rewrites it).
+  std::FILE* f = std::fopen(path.c_str(), "a");
+  if (path.empty() || f == nullptr) {
+    std::fprintf(stderr,
+                 "invalid --trace=%s (must be a writable file path for the "
+                 "Chrome trace-event JSON output)\n",
+                 path.c_str());
+    std::exit(2);
+  }
+  std::fclose(f);
+  return path;
+}
+
+int64_t ArgParser::GetTraceBufferKb(int64_t default_value) const {
+  auto it = kv_.find("trace-buffer-kb");
+  if (it == kv_.end()) return default_value < 1 ? 1 : default_value;
+  errno = 0;
+  char* end = nullptr;
+  const long long kb = std::strtoll(it->second.c_str(), &end, 10);
+  if (errno == ERANGE || end == it->second.c_str() || *end != '\0' ||
+      kb < 1) {
+    std::fprintf(stderr,
+                 "invalid --trace-buffer-kb=%s (must be an integer >= 1: "
+                 "per-thread trace ring capacity in KiB; overflow drops "
+                 "events, counted)\n",
+                 it->second.c_str());
+    std::exit(2);
+  }
+  return static_cast<int64_t>(kb);
+}
+
 }  // namespace factorml

@@ -72,6 +72,19 @@ class ArgParser {
   /// single validation point for every binary, like --threads.
   int64_t GetBufferPages(int64_t default_value) const;
 
+  /// The shared `--trace=PATH` flag: span-trace output path for the obs/
+  /// tracer (Chrome trace-event JSON, loadable in Perfetto). Empty
+  /// (default) leaves tracing off — the guards compile to a branch on a
+  /// cold flag. An unwritable path is rejected with an error and exit(2)
+  /// up front, not after the traced run has burned its wall time.
+  std::string GetTracePath(const std::string& default_value = "") const;
+
+  /// The shared `--trace-buffer-kb=N` flag: per-thread trace ring capacity
+  /// in KiB (default 1024). Overflow beyond the ring drops events
+  /// (counted), never blocks. Values < 1 or non-integers are rejected
+  /// with an error and exit(2).
+  int64_t GetTraceBufferKb(int64_t default_value = 1024) const;
+
  private:
   std::map<std::string, std::string> kv_;
 };

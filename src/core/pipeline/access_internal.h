@@ -13,6 +13,7 @@
 #include "exec/parallel_for.h"
 #include "exec/worker_pools.h"
 #include "join/attribute_view.h"
+#include "obs/trace.h"
 #include "storage/page_cursor.h"
 
 namespace factorml::core::pipeline::internal {
@@ -129,6 +130,11 @@ class StrategyBase : public AccessStrategy {
                                   pool_workers())
             : std::vector<exec::Range>{};
     const auto run_span = [&](exec::Range span) {
+      // One "scan" span per scheduled chunk span: the whole plan when
+      // unsharded, one per shard otherwise (nested under its shard_scan).
+      obs::TraceSpan scan_span(obs::kCatPipeline, "scan");
+      scan_span.Arg("chunk_begin", span.begin);
+      scan_span.Arg2("chunk_end", span.end);
       const exec::MorselStats stats = exec::RunMorselSpan(
           ranges_, span, pool_workers(), chunked() && steal_,
           [&](exec::Range range, int64_t chunk, int worker) {
@@ -163,6 +169,8 @@ class StrategyBase : public AccessStrategy {
     // unsharded run; the observer snapshots I/O and extracts the shard's
     // ShardDelta between spans, and the merge is left to the driver.
     for (int shard = 0; shard < shard_plan_->num_shards(); ++shard) {
+      obs::TraceSpan shard_span(obs::kCatPipeline, "shard_scan");
+      shard_span.Arg("shard", shard);
       run_span(shard_plan_->ChunkSpan(shard));
       FML_RETURN_IF_ERROR(shard_observer_->OnShardScanned(shard));
     }

@@ -10,6 +10,8 @@
 #include "core/pipeline/access_internal.h"
 #include "core/pipeline/sharded_driver.h"
 #include "exec/thread_pool.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "join/assemble.h"
 #include "join/attribute_view.h"
 
@@ -101,16 +103,31 @@ Status RunTraining(const join::NormalizedRelations& rel, Algorithm algorithm,
   }
   FML_RETURN_IF_ERROR(model->Init(ctx));
 
+  // Run-level observability: iteration spans on the timeline and two
+  // always-on counters. The per-pass spans come from the PhaseScope below
+  // (every pass name is a "phase" trace span).
+  static obs::Counter* iter_count =
+      obs::Registry::Instance().GetCounter("pipeline.iterations");
+  static obs::Counter* pass_count =
+      obs::Registry::Instance().GetCounter("pipeline.passes");
+
   int iterations = 0;
   if (mini_batch) {
     for (int epoch = 0; epoch < model->MaxIterations(); ++epoch) {
-      FML_RETURN_IF_ERROR(strategy->RunEpoch(&ctx, model, epoch));
+      {
+        obs::TraceSpan iter_span(obs::kCatPipeline, "iteration");
+        iter_span.Arg("iter", epoch);
+        FML_RETURN_IF_ERROR(strategy->RunEpoch(&ctx, model, epoch));
+      }
+      iter_count->Add();
       FML_ASSIGN_OR_RETURN(const bool stop, model->EndIteration(ctx, epoch));
       ++iterations;
       if (stop) break;
     }
   } else {
     for (int iter = 0; iter < model->MaxIterations(); ++iter) {
+      obs::TraceSpan iter_span(obs::kCatPipeline, "iteration");
+      iter_span.Arg("iter", iter);
       const int num_passes = model->NumPasses(iter);
       for (int pass = 0; pass < num_passes; ++pass) {
         FML_RETURN_IF_ERROR(strategy->BeginPass(&ctx));
@@ -125,8 +142,10 @@ Status RunTraining(const join::NormalizedRelations& rel, Algorithm algorithm,
             FML_RETURN_IF_ERROR(strategy->RunPass(ctx, model, pass));
           }
         }
+        pass_count->Add();
         FML_RETURN_IF_ERROR(model->EndPass(ctx, iter, pass));
       }
+      iter_count->Add();
       FML_ASSIGN_OR_RETURN(const bool stop, model->EndIteration(ctx, iter));
       ++iterations;
       if (stop) break;

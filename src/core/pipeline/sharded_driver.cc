@@ -18,6 +18,8 @@
 #include <cstring>
 
 #include "common/logging.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "storage/io_stats.h"
 
 namespace factorml::core::pipeline {
@@ -142,7 +144,11 @@ Status ShardedDriver::RunPass(AccessStrategy* strategy,
   // this replays MergeWorker in exactly the global chunk order of the
   // unsharded reduction — the delta round-trip in between is a pure
   // serialization boundary (memcpy of doubles), hence bit-exact.
+  obs::TraceSpan merge_span(obs::kCatPipeline, "delta_merge");
+  merge_span.Arg("shards", plan_.num_shards());
   for (const ShardDelta& delta : deltas_) {
+    obs::TraceSpan apply_span(obs::kCatPipeline, "delta_apply");
+    apply_span.Arg("shard", delta.shard);
     FML_RETURN_IF_ERROR(ApplyShardDelta(model, pass, delta));
     for (int64_t c = delta.chunk_begin; c < delta.chunk_end; ++c) {
       model->MergeWorker(pass, static_cast<int>(c));
@@ -165,8 +171,17 @@ Status ShardedDriver::OnShardScanned(int shard) {
     stat.scan_seconds += scan_watch_.ElapsedSeconds();
   }
   io_mark_ = now;
-  deltas_.push_back(
-      ExtractShardDelta(model_, pass_, shard, plan_.ChunkSpan(shard)));
+  static obs::Counter* delta_count =
+      obs::Registry::Instance().GetCounter("pipeline.shard_deltas");
+  {
+    obs::TraceSpan extract_span(obs::kCatPipeline, "delta_extract");
+    extract_span.Arg("shard", shard);
+    deltas_.push_back(
+        ExtractShardDelta(model_, pass_, shard, plan_.ChunkSpan(shard)));
+    extract_span.Arg2("bytes",
+                      static_cast<int64_t>(deltas_.back().bytes.size()));
+  }
+  delta_count->Add();
   // Restart after the extraction so serialization time is charged to no
   // shard's scan window (it is merge-plane work, not scanning).
   scan_watch_.Restart();

@@ -8,6 +8,8 @@
 
 #include "common/opcount.h"
 #include "common/stopwatch.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "storage/io_stats.h"
 
 namespace factorml::core {
@@ -61,6 +63,12 @@ struct TrainReport {
   /// passes — the load-balance evidence (spread shrinks when stealing
   /// works; wall-clock speedup additionally needs multi-core hardware).
   std::vector<double> worker_busy_seconds;
+  /// Delta of the obs::Registry over the run (counters, gauges, fixed-
+  /// bucket histograms — chunk counts, demand-stall and morsel-execution
+  /// latencies, prefetch drain waits). Timings and schedule evidence
+  /// only: nothing here feeds the bitwise parity contract. Emitted into
+  /// the bench --json schema as the "metrics" object.
+  obs::MetricsSnapshot metrics;
 
   /// Min/max of worker_busy_seconds ({0, 0} when empty) — the one
   /// reduction behind ToString, the bench tables and the JSON records.
@@ -141,11 +149,13 @@ struct TrainReport {
 };
 
 /// RAII accumulation of one phase's wall time into a report (null-safe):
-/// construct at phase entry, destroy at exit; repeated phases sum.
+/// construct at phase entry, destroy at exit; repeated phases sum. Every
+/// phase is also a trace span (category "phase") when --trace is on, so
+/// the model programs' named phases land in the timeline for free.
 class PhaseScope {
  public:
   PhaseScope(TrainReport* report, const char* name)
-      : report_(report), name_(name) {}
+      : report_(report), name_(name), span_(obs::kCatPhase, name) {}
   ~PhaseScope() {
     if (report_ != nullptr) {
       report_->AddPhaseSeconds(name_, watch_.ElapsedSeconds());
@@ -158,6 +168,7 @@ class PhaseScope {
   TrainReport* report_;
   const char* name_;
   Stopwatch watch_;
+  obs::TraceSpan span_;
 };
 
 /// RAII measurement of a training run: snapshots wall clock, I/O and op
@@ -172,6 +183,7 @@ class ReportScope {
     if (report_ != nullptr) {
       *report_ = TrainReport{};
       report_->algorithm = std::move(algorithm);
+      metrics_before_ = obs::Registry::Instance().Snap();
     }
   }
 
@@ -182,6 +194,8 @@ class ReportScope {
     report_->final_objective = objective;
     report_->io = storage::GlobalIo() - io_before_;
     report_->ops = GlobalOps() - ops_before_;
+    report_->metrics =
+        obs::SnapshotDelta(obs::Registry::Instance().Snap(), metrics_before_);
   }
 
  private:
@@ -189,6 +203,7 @@ class ReportScope {
   Stopwatch watch_;
   storage::IoStats io_before_;
   OpCounters ops_before_;
+  obs::MetricsSnapshot metrics_before_;
 };
 
 }  // namespace factorml::core

@@ -5,6 +5,8 @@
 #include "common/logging.h"
 #include "common/stopwatch.h"
 #include "exec/thread_pool.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace factorml::exec {
 
@@ -84,6 +86,24 @@ MorselStats RunMorselSpan(const std::vector<Range>& chunks, Range span,
   if (span.begin < 0) span.begin = 0;
   if (span.end > total) span.end = total;
   if (span.empty()) return stats;
+  // Always-on chunk metrics; the trace span is gated on the cold flag.
+  // Neither touches OpCounters/IoStats, so the determinism contract is
+  // untouched (TraceParityTest pins this).
+  static obs::Counter* chunk_count =
+      obs::Registry::Instance().GetCounter("exec.chunks");
+  static obs::Counter* chunk_steals =
+      obs::Registry::Instance().GetCounter("exec.chunks_stolen");
+  static obs::Histogram* morsel_micros =
+      obs::Registry::Instance().GetHistogram("exec.morsel_micros");
+  const auto run_chunk = [&](int64_t c, int w, bool stolen) {
+    chunk_count->Add();
+    obs::TraceSpan chunk_span(obs::kCatMorsel, "chunk");
+    chunk_span.Arg("chunk", c);
+    chunk_span.Arg2("stolen", stolen ? 1 : 0);
+    const uint64_t t0 = obs::NowMicros();
+    body(chunks[static_cast<size_t>(c)], c, w);
+    morsel_micros->Record(obs::NowMicros() - t0);
+  };
   if (workers == 1 || InParallelRegion()) {
     // Serial path (and the no-nesting rule): drain in ascending chunk
     // order on the calling thread without touching the atomic queue. This
@@ -91,7 +111,7 @@ MorselStats RunMorselSpan(const std::vector<Range>& chunks, Range span,
     // parallel run reproduce bit-for-bit.
     Stopwatch watch;
     for (int64_t c = span.begin; c < span.end; ++c) {
-      body(chunks[static_cast<size_t>(c)], c, 0);
+      run_chunk(c, 0, /*stolen=*/false);
     }
     stats.busy_seconds[0] = watch.ElapsedSeconds();
     return stats;
@@ -100,22 +120,32 @@ MorselStats RunMorselSpan(const std::vector<Range>& chunks, Range span,
   // span, chunk c keeps the owner it has in the whole-plan run.
   std::vector<Range> blocks = PartitionRows(total, workers);
   blocks.resize(static_cast<size_t>(workers), Range{0, 0});
+  const std::vector<Range> owned = blocks;  // unclamped static ownership
   for (auto& block : blocks) {
     block.begin = std::max(block.begin, span.begin);
     block.end = std::min(block.end, span.end);
     if (block.end < block.begin) block.end = block.begin;
   }
+  const auto owner_of = [&owned](int64_t c) {
+    for (size_t w = 0; w < owned.size(); ++w) {
+      if (c >= owned[w].begin && c < owned[w].end) {
+        return static_cast<int>(w);
+      }
+    }
+    return 0;
+  };
   MorselQueue queue(blocks, steal);
   ThreadPool::Instance().Run(workers, [&](int w) {
     Stopwatch watch;
     for (int64_t c = queue.Next(w); c >= 0; c = queue.Next(w)) {
-      body(chunks[static_cast<size_t>(c)], c, w);
+      run_chunk(c, w, /*stolen=*/owner_of(c) != w);
     }
     // Run's completion handshake orders this write before the caller's
     // read of the stats.
     stats.busy_seconds[static_cast<size_t>(w)] = watch.ElapsedSeconds();
   });
   stats.steals = queue.steals();
+  chunk_steals->Add(stats.steals);
   return stats;
 }
 

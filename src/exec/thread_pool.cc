@@ -3,6 +3,8 @@
 #include <atomic>
 
 #include "common/opcount.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "storage/io_stats.h"
 
 namespace factorml::exec {
@@ -45,6 +47,10 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::SubmitIo(std::function<void()> task) {
+  static obs::Counter* submits =
+      obs::Registry::Instance().GetCounter("exec.io_submits");
+  submits->Add();
+  obs::TraceInstant(obs::kCatExec, "io_submit");
   {
     std::lock_guard<std::mutex> lock(io_mu_);
     while (static_cast<int>(io_threads_.size()) < kIoCrewThreads) {
@@ -69,7 +75,10 @@ void ThreadPool::IoCrewLoop() {
       task = std::move(io_queue_.front());
       io_queue_.pop_front();
     }
-    task();
+    {
+      obs::TraceSpan span(obs::kCatExec, "io_task");
+      task();
+    }
   }
 }
 
@@ -106,6 +115,15 @@ void ThreadPool::Run(int num_workers, const std::function<void(int)>& fn) {
 
   EnsureThreads(num_workers - 1);
 
+  static obs::Counter* regions =
+      obs::Registry::Instance().GetCounter("exec.regions");
+  static obs::Counter* tasks =
+      obs::Registry::Instance().GetCounter("exec.tasks");
+  regions->Add();
+  tasks->Add(static_cast<uint64_t>(num_workers));
+  obs::TraceSpan region(obs::kCatExec, "region");
+  region.Arg("workers", num_workers);
+
   std::vector<WorkerDelta> deltas(static_cast<size_t>(num_workers));
   std::mutex done_mu;
   std::condition_variable done_cv;
@@ -117,7 +135,11 @@ void ThreadPool::Run(int num_workers, const std::function<void(int)>& fn) {
       queue_.emplace_back([&, w] {
         const OpCounters ops_before = GlobalOps();
         const storage::IoStats io_before = storage::GlobalIo();
-        fn(w);
+        {
+          obs::TraceSpan task_span(obs::kCatExec, "task");
+          task_span.Arg("worker", w);
+          fn(w);
+        }
         deltas[static_cast<size_t>(w)].ops = GlobalOps() - ops_before;
         deltas[static_cast<size_t>(w)].io =
             storage::GlobalIo() - io_before;
@@ -135,7 +157,11 @@ void ThreadPool::Run(int num_workers, const std::function<void(int)>& fn) {
   cv_.notify_all();
 
   // The dispatching thread is worker 0; its counters accrue in place.
-  fn(0);
+  {
+    obs::TraceSpan task_span(obs::kCatExec, "task");
+    task_span.Arg("worker", 0);
+    fn(0);
+  }
 
   {
     std::unique_lock<std::mutex> done_lock(done_mu);

@@ -427,6 +427,9 @@ class GmmProgram final : public core::pipeline::ModelProgram {
       case kEStep:
         break;
       case kMeanStep: {
+        // Deferred m-step work outside the scan: reported as "finalize"
+        // next to the e_step / m_step_* pass times.
+        core::PhaseScope phase(ctx.report, "finalize");
         if (!factorized_) {
           for (size_t c = 0; c < k_; ++c) {
             const double inv_nk = 1.0 / std::max(resp_.n_k[c], 1e-300);
@@ -462,6 +465,7 @@ class GmmProgram final : public core::pipeline::ModelProgram {
         break;
       }
       case kCovStep: {
+        core::PhaseScope phase(ctx.report, "finalize");
         if (factorized_ && opt_.exploit_symmetry) {
           // Mirror the cross blocks that were accumulated single-sided: the
           // covariance accumulator is symmetric, so LL = UR^T exactly (one

@@ -216,7 +216,9 @@ class KmeansProgram final : public core::pipeline::ModelProgram {
 
   Status EndPass(const PipelineContext& ctx, int, int) override {
     // Lloyd update; empty clusters keep their previous centroid (a
-    // deterministic rule shared by all strategies).
+    // deterministic rule shared by all strategies). Reported as the
+    // "update" phase next to the "assign" pass time.
+    core::PhaseScope phase(ctx.report, "update");
     if (!factorized_) {
       for (size_t c = 0; c < k_; ++c) {
         if (counts_[c] == 0.0) continue;

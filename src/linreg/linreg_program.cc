@@ -231,7 +231,10 @@ class LinregProgram final : public core::pipeline::ModelProgram {
     return Status::OK();
   }
 
-  Result<bool> EndIteration(const PipelineContext&, int) override {
+  Result<bool> EndIteration(const PipelineContext& ctx, int) override {
+    // The closed-form Cholesky solve, reported as its own phase next to
+    // the "gram" pass time.
+    core::PhaseScope phase(ctx.report, "solve");
     Matrix a = gram_;
     for (size_t j = 0; j < d_; ++j) a(j, j) += opt_.l2;  // bias unpenalized
     la::Cholesky chol;

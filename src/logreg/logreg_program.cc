@@ -278,7 +278,10 @@ class LogregProgram final : public core::pipeline::ModelProgram {
     return Status::OK();
   }
 
-  Result<bool> EndIteration(const PipelineContext&, int iter) override {
+  Result<bool> EndIteration(const PipelineContext& ctx, int iter) override {
+    // The per-iteration weighted-normal-equations solve, reported as its
+    // own phase next to the "irls" pass time.
+    core::PhaseScope phase(ctx.report, "solve");
     Matrix a = gram_;
     for (size_t j = 0; j < d_; ++j) a(j, j) += opt_.l2;  // bias unpenalized
     la::Cholesky chol;

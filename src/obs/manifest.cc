@@ -1,0 +1,100 @@
+#include "obs/manifest.h"
+
+#include <cstdio>
+#include <sstream>
+
+namespace factorml::obs {
+
+namespace {
+
+/// Minimal JSON string escape (quotes, backslashes, control chars) for
+/// the free-form fields; everything else in the manifest is numeric.
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+const char* GitDescribe() {
+#ifdef FACTORML_GIT_DESCRIBE
+  return FACTORML_GIT_DESCRIBE;
+#else
+  return "unknown";
+#endif
+}
+
+RunManifest RunManifest::FromArgs(const std::string& binary,
+                                  const ArgParser& args) {
+  RunManifest m;
+  m.binary = binary;
+  m.git_describe = GitDescribe();
+  m.threads = args.GetThreads(1);
+  m.morsel_rows = args.GetMorselRows(0);
+  m.steal = args.GetSteal(false);
+  m.shards = args.GetShards(1);
+  m.prefetch = args.GetPrefetch(false);
+  m.prefetch_depth = args.GetPrefetchDepth(2);
+  m.buffer_pages = args.GetBufferPages(8192);
+  m.seed = static_cast<uint64_t>(args.GetInt("seed", 42));
+  m.trace_path = args.GetTracePath();
+  m.trace_buffer_kb = args.GetTraceBufferKb();
+  return m;
+}
+
+std::string RunManifest::ToJson() const {
+  std::ostringstream os;
+  os << "{\"binary\": \"" << JsonEscape(binary) << "\""
+     << ", \"git_describe\": \"" << JsonEscape(git_describe) << "\""
+     << ", \"threads\": " << threads
+     << ", \"morsel_rows\": " << morsel_rows
+     << ", \"steal\": " << (steal ? "true" : "false")
+     << ", \"shards\": " << shards
+     << ", \"prefetch\": " << (prefetch ? "true" : "false")
+     << ", \"prefetch_depth\": " << prefetch_depth
+     << ", \"buffer_pages\": " << buffer_pages << ", \"seed\": " << seed
+     << ", \"schema\": \"" << JsonEscape(schema) << "\""
+     << ", \"trace\": \"" << JsonEscape(trace_path) << "\""
+     << ", \"trace_buffer_kb\": " << trace_buffer_kb << "}";
+  return os.str();
+}
+
+Status RunManifest::WriteTo(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return Status::IoError("cannot write manifest file " + path);
+  }
+  const std::string json = ToJson();
+  std::fprintf(f, "%s\n", json.c_str());
+  if (std::fclose(f) != 0) {
+    return Status::IoError("short write to manifest file " + path);
+  }
+  return Status::OK();
+}
+
+}  // namespace factorml::obs

@@ -1,0 +1,129 @@
+#include "obs/metrics.h"
+
+#include <sstream>
+
+#include "common/logging.h"
+
+namespace factorml::obs {
+
+Registry& Registry::Instance() {
+  // Leaked on purpose: hot paths cache Counter*/Histogram* pointers in
+  // function-local statics and may fire during static destruction.
+  static Registry* registry = new Registry();
+  return *registry;
+}
+
+Counter* Registry::GetCounter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Entry& e = entries_[name];
+  if (e.counter == nullptr) {
+    FML_CHECK(e.gauge == nullptr && e.histogram == nullptr)
+        << "metric '" << name << "' already registered with another kind";
+    e.kind = 'c';
+    e.counter = std::make_unique<Counter>();
+  }
+  return e.counter.get();
+}
+
+Gauge* Registry::GetGauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Entry& e = entries_[name];
+  if (e.gauge == nullptr) {
+    FML_CHECK(e.counter == nullptr && e.histogram == nullptr)
+        << "metric '" << name << "' already registered with another kind";
+    e.kind = 'g';
+    e.gauge = std::make_unique<Gauge>();
+  }
+  return e.gauge.get();
+}
+
+Histogram* Registry::GetHistogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Entry& e = entries_[name];
+  if (e.histogram == nullptr) {
+    FML_CHECK(e.counter == nullptr && e.gauge == nullptr)
+        << "metric '" << name << "' already registered with another kind";
+    e.kind = 'h';
+    e.histogram = std::make_unique<Histogram>();
+  }
+  return e.histogram.get();
+}
+
+MetricsSnapshot Registry::Snap() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  MetricsSnapshot out;
+  out.reserve(entries_.size());
+  for (const auto& [name, e] : entries_) {  // map: already name-sorted
+    MetricSample s;
+    s.name = name;
+    s.kind = e.kind;
+    switch (e.kind) {
+      case 'c':
+        s.value = static_cast<double>(e.counter->Value());
+        break;
+      case 'g':
+        s.value = e.gauge->Value();
+        break;
+      case 'h':
+        s.count = e.histogram->Count();
+        s.sum = e.histogram->Sum();
+        s.value = static_cast<double>(s.sum);
+        s.buckets.resize(Histogram::kBuckets);
+        for (size_t b = 0; b < Histogram::kBuckets; ++b) {
+          s.buckets[b] = e.histogram->Bucket(b);
+        }
+        break;
+    }
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
+MetricsSnapshot SnapshotDelta(const MetricsSnapshot& after,
+                              const MetricsSnapshot& before) {
+  MetricsSnapshot out;
+  out.reserve(after.size());
+  size_t j = 0;
+  for (const MetricSample& a : after) {
+    while (j < before.size() && before[j].name < a.name) ++j;
+    const MetricSample* b =
+        (j < before.size() && before[j].name == a.name) ? &before[j]
+                                                        : nullptr;
+    MetricSample d = a;
+    if (b != nullptr && a.kind != 'g') {
+      d.value = a.value - b->value;
+      d.count = a.count - b->count;
+      d.sum = a.sum - b->sum;
+      for (size_t k = 0; k < d.buckets.size() && k < b->buckets.size();
+           ++k) {
+        d.buckets[k] = a.buckets[k] - b->buckets[k];
+      }
+    }
+    out.push_back(std::move(d));
+  }
+  return out;
+}
+
+std::string SnapshotToJson(const MetricsSnapshot& snapshot) {
+  std::ostringstream os;
+  os << "{";
+  bool first = true;
+  for (const MetricSample& s : snapshot) {
+    if (s.kind == 'h') {
+      const double mean =
+          s.count > 0 ? static_cast<double>(s.sum) /
+                            static_cast<double>(s.count)
+                      : 0.0;
+      os << (first ? "" : ", ") << "\"" << s.name << ".count\": " << s.count
+         << ", \"" << s.name << ".sum_micros\": " << s.sum << ", \""
+         << s.name << ".mean_micros\": " << mean;
+    } else {
+      os << (first ? "" : ", ") << "\"" << s.name << "\": " << s.value;
+    }
+    first = false;
+  }
+  os << "}";
+  return os.str();
+}
+
+}  // namespace factorml::obs

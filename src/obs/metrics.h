@@ -1,0 +1,128 @@
+#ifndef FACTORML_OBS_METRICS_H_
+#define FACTORML_OBS_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace factorml::obs {
+
+/// The always-on metrics registry: named counters, gauges and fixed-bucket
+/// histograms the runtime increments from its hot paths. Unlike the span
+/// tracer (off unless --trace is given), metrics cost one relaxed atomic
+/// add per event and are always live; ReportScope snapshots the registry
+/// before/after a training run and stores the delta in
+/// TrainReport::metrics, from where the bench --json schema emits it.
+///
+/// Instances are process-wide and never destroyed; hot paths cache the
+/// pointer returned by Registry::Get* in a function-local static so the
+/// name lookup happens once.
+
+/// Monotonic counter.
+class Counter {
+ public:
+  void Add(uint64_t n = 1) { v_.fetch_add(n, std::memory_order_relaxed); }
+  uint64_t Value() const { return v_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> v_{0};
+};
+
+/// Last-write-wins instantaneous value.
+class Gauge {
+ public:
+  void Set(double v) { v_.store(v, std::memory_order_relaxed); }
+  double Value() const { return v_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> v_{0.0};
+};
+
+/// Fixed power-of-two-bucket histogram for microsecond-scale latencies:
+/// bucket b counts samples with value < 2^b micros (b = 0..kBuckets-2);
+/// the last bucket is the overflow. Count and sum are tracked alongside
+/// so means survive the bucketing.
+class Histogram {
+ public:
+  static constexpr size_t kBuckets = 22;  // < 1us .. < ~2.1s, + overflow
+
+  void Record(uint64_t value) {
+    size_t b = 0;
+    while (b + 1 < kBuckets && value >= (uint64_t{1} << b)) ++b;
+    buckets_[b].fetch_add(1, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+    sum_.fetch_add(value, std::memory_order_relaxed);
+  }
+
+  uint64_t Count() const { return count_.load(std::memory_order_relaxed); }
+  uint64_t Sum() const { return sum_.load(std::memory_order_relaxed); }
+  uint64_t Bucket(size_t b) const {
+    return buckets_[b].load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<uint64_t> buckets_[kBuckets] = {};
+  std::atomic<uint64_t> count_{0};
+  std::atomic<uint64_t> sum_{0};
+};
+
+/// One named series captured at a point in time (or a delta of two
+/// captures). Counters/gauges use `value`; histograms additionally carry
+/// count/sum/buckets (value mirrors sum for uniform consumers).
+struct MetricSample {
+  std::string name;
+  char kind = 'c';  // 'c' counter, 'g' gauge, 'h' histogram
+  double value = 0.0;
+  uint64_t count = 0;
+  uint64_t sum = 0;
+  std::vector<uint64_t> buckets;
+};
+
+/// A full registry capture, sorted by name.
+using MetricsSnapshot = std::vector<MetricSample>;
+
+/// after - before, series matched by name. Counters and histograms
+/// subtract; gauges take the later value. Series absent from `before`
+/// (registered mid-run) keep their `after` totals.
+MetricsSnapshot SnapshotDelta(const MetricsSnapshot& after,
+                              const MetricsSnapshot& before);
+
+/// Flat JSON object: counters/gauges as "name": value, histograms as
+/// "name.count", "name.sum_micros" and "name.mean_micros" (buckets are
+/// elided from reports; the trace carries the raw latencies).
+std::string SnapshotToJson(const MetricsSnapshot& snapshot);
+
+class Registry {
+ public:
+  static Registry& Instance();
+
+  /// Named lookup, registering on first use. The returned pointer is
+  /// stable for the process lifetime. A name keeps its first kind;
+  /// re-requesting it with Get of another kind aborts.
+  Counter* GetCounter(const std::string& name);
+  Gauge* GetGauge(const std::string& name);
+  Histogram* GetHistogram(const std::string& name);
+
+  MetricsSnapshot Snap() const;
+
+ private:
+  Registry() = default;
+
+  struct Entry {
+    char kind;
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<Histogram> histogram;
+  };
+
+  mutable std::mutex mu_;
+  std::map<std::string, Entry> entries_;
+};
+
+}  // namespace factorml::obs
+
+#endif  // FACTORML_OBS_METRICS_H_

@@ -1,0 +1,138 @@
+#include "obs/trace.h"
+
+#include <chrono>
+#include <cstdio>
+
+namespace factorml::obs {
+
+namespace {
+
+/// One anchor for the whole process so every thread's timestamps share an
+/// origin. Initialized on first use (thread-safe static init).
+std::chrono::steady_clock::time_point ProcessEpoch() {
+  static const auto epoch = std::chrono::steady_clock::now();
+  return epoch;
+}
+
+/// The calling thread's ring, valid for the thread's lifetime once set.
+/// Buffers live in Tracer::buffers_ and are never destroyed (the vector
+/// only grows), so a pool thread's pointer survives Start/Stop cycles.
+thread_local TraceBuffer* tls_buffer = nullptr;
+
+}  // namespace
+
+namespace internal {
+
+std::atomic<bool> g_trace_enabled{false};
+
+void EmitToThreadBuffer(const TraceEvent& ev) {
+  TraceBuffer* buf = tls_buffer;
+  if (buf == nullptr) {
+    buf = Tracer::Instance().ThreadBuffer();
+    tls_buffer = buf;
+  }
+  buf->Emit(ev);
+}
+
+}  // namespace internal
+
+uint64_t NowMicros() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - ProcessEpoch())
+          .count());
+}
+
+Tracer& Tracer::Instance() {
+  // Leaked on purpose, like exec::ThreadPool: worker threads may emit
+  // until process exit, after static destruction would have run.
+  static Tracer* tracer = new Tracer();
+  return *tracer;
+}
+
+TraceBuffer* Tracer::ThreadBuffer() {
+  std::lock_guard<std::mutex> lock(mu_);
+  buffers_.push_back(std::make_unique<TraceBuffer>(capacity_events_));
+  return buffers_.back().get();
+}
+
+void Tracer::Start(size_t buffer_kb) {
+  ProcessEpoch();  // pin the clock origin before any event
+  if (buffer_kb < 1) buffer_kb = 1;
+  const size_t events = buffer_kb * 1024 / sizeof(TraceEvent);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    capacity_events_ = events < 1 ? 1 : events;
+    for (auto& buf : buffers_) buf->Reset(capacity_events_);
+  }
+  internal::g_trace_enabled.store(true, std::memory_order_relaxed);
+}
+
+void Tracer::Stop() {
+  internal::g_trace_enabled.store(false, std::memory_order_relaxed);
+}
+
+uint64_t Tracer::TotalEvents() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  uint64_t total = 0;
+  for (const auto& buf : buffers_) total += buf->size();
+  return total;
+}
+
+uint64_t Tracer::TotalDropped() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  uint64_t total = 0;
+  for (const auto& buf : buffers_) total += buf->dropped();
+  return total;
+}
+
+Status Tracer::WriteJson(const std::string& path,
+                         const std::string& manifest_json) const {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return Status::IoError("cannot write trace file " + path);
+  }
+  std::fprintf(f, "{\n\"displayTimeUnit\": \"ms\",\n\"otherData\": %s,\n"
+               "\"traceEvents\": [\n",
+               manifest_json.empty() ? "{}" : manifest_json.c_str());
+  std::lock_guard<std::mutex> lock(mu_);
+  bool first = true;
+  for (size_t tid = 0; tid < buffers_.size(); ++tid) {
+    const TraceBuffer& buf = *buffers_[tid];
+    const size_t n = buf.size();  // acquire: bounds the readable prefix
+    for (size_t i = 0; i < n; ++i) {
+      const TraceEvent& ev = buf.event(i);
+      std::fprintf(f, "%s{\"name\": \"%s\", \"cat\": \"%s\", "
+                   "\"ph\": \"%c\", \"ts\": %llu",
+                   first ? "" : ",\n", ev.name, ev.cat, ev.phase,
+                   static_cast<unsigned long long>(ev.ts_micros));
+      if (ev.phase == 'X') {
+        std::fprintf(f, ", \"dur\": %llu",
+                     static_cast<unsigned long long>(ev.dur_micros));
+      }
+      std::fprintf(f, ", \"pid\": 1, \"tid\": %zu", tid);
+      if (ev.arg1_name != nullptr || ev.arg2_name != nullptr) {
+        std::fprintf(f, ", \"args\": {");
+        if (ev.arg1_name != nullptr) {
+          std::fprintf(f, "\"%s\": %lld", ev.arg1_name,
+                       static_cast<long long>(ev.arg1));
+        }
+        if (ev.arg2_name != nullptr) {
+          std::fprintf(f, "%s\"%s\": %lld",
+                       ev.arg1_name != nullptr ? ", " : "", ev.arg2_name,
+                       static_cast<long long>(ev.arg2));
+        }
+        std::fprintf(f, "}");
+      }
+      std::fprintf(f, "}");
+      first = false;
+    }
+  }
+  std::fprintf(f, "\n]\n}\n");
+  if (std::fclose(f) != 0) {
+    return Status::IoError("short write to trace file " + path);
+  }
+  return Status::OK();
+}
+
+}  // namespace factorml::obs

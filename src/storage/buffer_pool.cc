@@ -2,6 +2,8 @@
 
 #include <chrono>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "storage/io_stats.h"
 
 namespace factorml::storage {
@@ -43,12 +45,27 @@ Result<const char*> BufferPool::GetPage(PagedFile* file, uint64_t page_no) {
   } else {
     buf = std::make_unique<char[]>(kPageSize);
   }
-  const auto stall_begin = std::chrono::steady_clock::now();
+  // The demand stall: the wall time this reader blocks on the physical
+  // page read. Charged to stall_micros (as before), recorded in the
+  // always-on stall histogram, and — when tracing — emitted as a
+  // demand_read span whose duration IS the stall.
+  static obs::Histogram* stall_hist =
+      obs::Registry::Instance().GetHistogram("storage.demand_stall_micros");
+  const uint64_t stall_begin = obs::NowMicros();
   FML_RETURN_IF_ERROR(file->ReadPage(page_no, buf.get()));
-  GlobalIo().stall_micros += static_cast<uint64_t>(
-      std::chrono::duration_cast<std::chrono::microseconds>(
-          std::chrono::steady_clock::now() - stall_begin)
-          .count());
+  const uint64_t stall = obs::NowMicros() - stall_begin;
+  GlobalIo().stall_micros += stall;
+  stall_hist->Record(stall);
+  if (obs::TraceEnabled()) {
+    obs::TraceEvent ev;
+    ev.name = "demand_read";
+    ev.cat = obs::kCatStorage;
+    ev.ts_micros = stall_begin;
+    ev.dur_micros = stall;
+    ev.arg1_name = "page";
+    ev.arg1 = static_cast<int64_t>(page_no);
+    obs::internal::EmitToThreadBuffer(ev);
+  }
   lru_.push_front(Frame{key, std::move(buf)});
   map_[key] = lru_.begin();
   last_demand_ = lru_.begin();

@@ -4,6 +4,8 @@
 #include <cstring>
 
 #include "exec/thread_pool.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "storage/io_stats.h"
 
 namespace factorml::storage {
@@ -30,16 +32,25 @@ Prefetcher::~Prefetcher() { Drain(); }
 void Prefetcher::PrefetchPages(BufferPool* pool, PagedFile* file,
                                uint64_t first_page, uint64_t end_page) {
   if (first_page >= end_page) return;
+  static obs::Counter* requests =
+      obs::Registry::Instance().GetCounter("storage.prefetch_requests");
+  static obs::Counter* dropped_ctr =
+      obs::Registry::Instance().GetCounter("storage.prefetch_dropped");
+  requests->Add();
   {
     std::lock_guard<std::mutex> lock(mu_);
     if (inflight_ >= max_inflight_) {
       ++dropped_;
+      dropped_ctr->Add();
       return;
     }
     ++inflight_;
   }
+  obs::TraceInstant(obs::kCatStorage, "prefetch_issue", "page",
+                    static_cast<int64_t>(first_page));
   exec::ThreadPool::Instance().SubmitIo([this, pool, file, first_page,
                                          end_page] {
+    obs::TraceSpan land_span(obs::kCatStorage, "prefetch_land");
     uint64_t fetched = 0;
     for (uint64_t page = first_page; page < end_page; ++page) {
       if (pool->Contains(file, page)) continue;
@@ -50,6 +61,7 @@ void Prefetcher::PrefetchPages(BufferPool* pool, PagedFile* file,
       ++fetched;
       pool->InsertPrefetched(file, page, std::move(buf));
     }
+    land_span.Arg("pages", static_cast<int64_t>(fetched));
     std::lock_guard<std::mutex> lock(mu_);
     fetched_total_ += fetched;
     fetched_unfolded_ += fetched;
@@ -58,6 +70,10 @@ void Prefetcher::PrefetchPages(BufferPool* pool, PagedFile* file,
 }
 
 void Prefetcher::Drain() {
+  static obs::Histogram* drain_micros =
+      obs::Registry::Instance().GetHistogram("storage.prefetch_drain_micros");
+  obs::TraceSpan drain_span(obs::kCatStorage, "prefetch_drain");
+  const uint64_t t0 = obs::NowMicros();
   uint64_t fold = 0;
   {
     std::unique_lock<std::mutex> lock(mu_);
@@ -65,6 +81,8 @@ void Prefetcher::Drain() {
     fold = fetched_unfolded_;
     fetched_unfolded_ = 0;
   }
+  drain_micros->Record(obs::NowMicros() - t0);
+  drain_span.Arg("pages", static_cast<int64_t>(fold));
   GlobalIo().pages_read += fold;
   GlobalIo().prefetch_reads += fold;
 }

@@ -1,5 +1,7 @@
 #include <cmath>
+#include <cstdio>
 #include <set>
+#include <string>
 #include <vector>
 
 #include "common/flags.h"
@@ -176,6 +178,48 @@ TEST(FlagsTest, DefaultsWhenMissing) {
   ArgParser args(1, const_cast<char**>(argv));
   EXPECT_EQ(args.GetInt("n", 5), 5);
   EXPECT_EQ(args.GetString("s", "dflt"), "dflt");
+}
+
+TEST(FlagsTest, TraceFlagsValidValuesPassThrough) {
+  const std::string good = ::testing::TempDir() + "/flags_trace_probe.json";
+  const std::string trace_arg = "--trace=" + good;
+  const char* argv[] = {"prog", trace_arg.c_str(), "--trace-buffer-kb=64"};
+  ArgParser args(3, const_cast<char**>(argv));
+  EXPECT_EQ(args.GetTracePath(), good);
+  EXPECT_EQ(args.GetTraceBufferKb(), 64);
+  std::remove(good.c_str());
+}
+
+TEST(FlagsTest, TraceFlagsDefaults) {
+  const char* argv[] = {"prog"};
+  ArgParser args(1, const_cast<char**>(argv));
+  EXPECT_EQ(args.GetTracePath(), "");
+  EXPECT_EQ(args.GetTraceBufferKb(), 1024);
+}
+
+// The trace flags fail fast (exit 2 with a usage message) on an
+// unwritable path or a bad ring size — before the traced run burns its
+// wall time, not at the flush.
+TEST(FlagsDeathTest, UnwritableTracePathExits2) {
+  const char* argv[] = {"prog",
+                        "--trace=/nonexistent_dir_xyz_42/trace.json"};
+  ArgParser args(2, const_cast<char**>(argv));
+  EXPECT_EXIT(args.GetTracePath(), ::testing::ExitedWithCode(2),
+              "invalid --trace=");
+}
+
+TEST(FlagsDeathTest, TraceBufferKbBelowOneExits2) {
+  const char* argv[] = {"prog", "--trace-buffer-kb=0"};
+  ArgParser args(2, const_cast<char**>(argv));
+  EXPECT_EXIT(args.GetTraceBufferKb(), ::testing::ExitedWithCode(2),
+              "invalid --trace-buffer-kb");
+}
+
+TEST(FlagsDeathTest, TraceBufferKbNonIntegerExits2) {
+  const char* argv[] = {"prog", "--trace-buffer-kb=abc"};
+  ArgParser args(2, const_cast<char**>(argv));
+  EXPECT_EXIT(args.GetTraceBufferKb(), ::testing::ExitedWithCode(2),
+              "invalid --trace-buffer-kb");
 }
 
 TEST(FlagsTest, IntListParsing) {
