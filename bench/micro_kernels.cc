@@ -5,13 +5,20 @@
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
 #include <memory>
+#include <string>
+#include <vector>
 
 #include "bench_util.h"
 #include "common/rng.h"
+#include "common/stopwatch.h"
 #include "core/factorml.h"
 #include "join/join_cursor.h"
 #include "la/cholesky.h"
+#include "la/kernels.h"
 #include "la/ops.h"
 
 namespace factorml {
@@ -219,7 +226,220 @@ BENCHMARK_REGISTER_F(Fig3ScalingFixture, BM_FNnThreads)
     ->Arg(8)
     ->Unit(benchmark::kMillisecond);
 
+// ---------------------------------------------------------------------
+// Kernel plane: the strip batch kernels under the scalar table vs the
+// vector table this CPU resolves to (portable or avx2). Arg pair =
+// (d, backend) with backend 0 = scalar, 1 = simd; the label names the
+// resolved table. These are the per-strip inner loops whose scalar/simd
+// ratio bounds what --kernels=simd can buy a whole training run.
+
+constexpr size_t kStripRows = 256;  // storage::kDefaultStripRows
+
+/// One decoded strip's worth of random columns plus the small operands
+/// the strip kernels take.
+struct StripData {
+  StripData(size_t d, size_t rows, uint64_t seed)
+      : data(d * rows), w(rows), v(d), center(d), out(rows), cols(d) {
+    Rng rng(seed);
+    for (double& x : data) x = rng.NextGaussian();
+    for (double& x : w) x = rng.NextUniform(0.25, 1.25);
+    for (double& x : v) x = rng.NextGaussian();
+    for (double& x : center) x = rng.NextGaussian();
+    for (size_t j = 0; j < d; ++j) cols[j] = data.data() + j * rows;
+  }
+  std::vector<double> data, w, v, center, out;
+  std::vector<const double*> cols;
+};
+
+la::KernelMode ModeOf(const benchmark::State& state) {
+  return state.range(1) == 1 ? la::KernelMode::kSimd
+                             : la::KernelMode::kScalar;
+}
+
+void LabelBackend(benchmark::State& state) {
+  state.SetLabel(state.range(1) == 1 ? la::SimdBackendName() : "scalar");
+}
+
+void BM_SyrkStrip(benchmark::State& state) {
+  const size_t d = static_cast<size_t>(state.range(0));
+  StripData s(d, kStripRows, 21);
+  std::vector<double> gram(d * d, 0.0);
+  la::SelectKernels(ModeOf(state));
+  const la::Kernels& k = la::Active();
+  for (auto _ : state) {
+    k.syrk_strip(s.cols.data(), d, kStripRows, s.w.data(), gram.data(), d);
+    benchmark::DoNotOptimize(gram.data());
+  }
+  la::SelectKernels(la::KernelMode::kScalar);
+  state.SetItemsProcessed(state.iterations() * kStripRows * d * d);
+  LabelBackend(state);
+}
+BENCHMARK(BM_SyrkStrip)->ArgsProduct({{8, 32}, {0, 1}});
+
+void BM_ColDotStrip(benchmark::State& state) {
+  const size_t d = static_cast<size_t>(state.range(0));
+  StripData s(d, kStripRows, 22);
+  la::SelectKernels(ModeOf(state));
+  const la::Kernels& k = la::Active();
+  for (auto _ : state) {
+    k.col_dot_strip(s.cols.data(), d, kStripRows, s.v.data(),
+                    s.out.data());
+    benchmark::DoNotOptimize(s.out.data());
+  }
+  la::SelectKernels(la::KernelMode::kScalar);
+  state.SetItemsProcessed(state.iterations() * kStripRows * d);
+  LabelBackend(state);
+}
+BENCHMARK(BM_ColDotStrip)->ArgsProduct({{8, 32}, {0, 1}});
+
+void BM_DistStrip(benchmark::State& state) {
+  const size_t d = static_cast<size_t>(state.range(0));
+  StripData s(d, kStripRows, 23);
+  la::SelectKernels(ModeOf(state));
+  const la::Kernels& k = la::Active();
+  for (auto _ : state) {
+    k.dist_strip(s.cols.data(), d, kStripRows, s.center.data(),
+                 s.out.data());
+    benchmark::DoNotOptimize(s.out.data());
+  }
+  la::SelectKernels(la::KernelMode::kScalar);
+  state.SetItemsProcessed(state.iterations() * kStripRows * d);
+  LabelBackend(state);
+}
+BENCHMARK(BM_DistStrip)->ArgsProduct({{8, 32}, {0, 1}});
+
+void BM_QuadFormStrip(benchmark::State& state) {
+  const size_t d = static_cast<size_t>(state.range(0));
+  StripData s(d, kStripRows, 24);
+  la::Matrix a = RandomMatrix(d, d, 25);
+  // diff is d x rows row-major, like the GMM E-step's centered strip.
+  la::SelectKernels(ModeOf(state));
+  const la::Kernels& k = la::Active();
+  for (auto _ : state) {
+    k.quadform_strip(s.data.data(), d, kStripRows, a.data(), d,
+                     s.out.data());
+    benchmark::DoNotOptimize(s.out.data());
+  }
+  la::SelectKernels(la::KernelMode::kScalar);
+  state.SetItemsProcessed(state.iterations() * kStripRows * d * d);
+  LabelBackend(state);
+}
+BENCHMARK(BM_QuadFormStrip)->ArgsProduct({{8, 32}, {0, 1}});
+
 }  // namespace
+
+// ---------------------------------------------------------------------
+// --json=PATH roofline sweep (the BENCH_kernels.json CI artifact): times
+// every kernel of both tables on one strip at d in {8, 32}, and records
+// achieved GFLOP/s and effective GB/s next to the resolved backend and
+// CPU features — enough to place each kernel against the machine's
+// compute/bandwidth ceilings and track the scalar/simd ratio over time.
+
+void WriteKernelRoofline(const std::string& path) {
+  constexpr size_t kRows = kStripRows;
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write --json=%s\n", path.c_str());
+    std::exit(1);
+  }
+  std::fprintf(f, "[\n");
+  bool first = true;
+  for (const size_t d : {size_t{8}, size_t{32}}) {
+    StripData s(d, kRows, 31);
+    std::vector<double> gram(d * d, 0.0);
+    la::Matrix a = RandomMatrix(d, d, 32);
+    std::vector<double> y(d, 0.0);
+    struct Cell {
+      const char* kernel;
+      uint64_t flops, bytes;  // per call
+      void (*run)(const la::Kernels&, StripData&, std::vector<double>&,
+                  const la::Matrix&, std::vector<double>&, size_t);
+    };
+    const Cell cells[] = {
+        {"syrk_strip", 2 * kRows * d * d + 2 * kRows * d,
+         (d * kRows + kRows + 2 * d * d) * 8,
+         [](const la::Kernels& k, StripData& s, std::vector<double>& gram,
+            const la::Matrix&, std::vector<double>&, size_t d) {
+           k.syrk_strip(s.cols.data(), d, kRows, s.w.data(), gram.data(),
+                        d);
+         }},
+        {"col_dot_strip", 2 * kRows * d, (d * kRows + d + kRows) * 8,
+         [](const la::Kernels& k, StripData& s, std::vector<double>&,
+            const la::Matrix&, std::vector<double>&, size_t d) {
+           k.col_dot_strip(s.cols.data(), d, kRows, s.v.data(),
+                           s.out.data());
+         }},
+        {"colsum_strip", 2 * kRows * d, (d * kRows + kRows + 2 * d) * 8,
+         [](const la::Kernels& k, StripData& s, std::vector<double>&,
+            const la::Matrix&, std::vector<double>& acc, size_t d) {
+           k.colsum_strip(s.cols.data(), d, kRows, s.w.data(), acc.data());
+         }},
+        {"dist_strip", 3 * kRows * d, (d * kRows + d + kRows) * 8,
+         [](const la::Kernels& k, StripData& s, std::vector<double>&,
+            const la::Matrix&, std::vector<double>&, size_t d) {
+           k.dist_strip(s.cols.data(), d, kRows, s.center.data(),
+                        s.out.data());
+         }},
+        {"quadform_strip", 2 * kRows * (d * d + d),
+         (d * kRows + d * d * 8 + kRows) * 8,
+         [](const la::Kernels& k, StripData& s, std::vector<double>&,
+            const la::Matrix& a, std::vector<double>&, size_t d) {
+           k.quadform_strip(s.data.data(), d, kRows, a.data(), d,
+                            s.out.data());
+         }},
+    };
+    for (const auto mode : {la::KernelMode::kScalar, la::KernelMode::kSimd}) {
+      la::SelectKernels(mode);
+      const la::Kernels& k = la::Active();
+      for (const Cell& cell : cells) {
+        // Reps sized so every cell runs ~2*10^8 inner-loop flops.
+        const int reps = static_cast<int>(
+            std::max<uint64_t>(100, 200'000'000 / cell.flops));
+        cell.run(k, s, gram, a, y, d);  // warm-up (and page-in)
+        Stopwatch sw;
+        for (int i = 0; i < reps; ++i) cell.run(k, s, gram, a, y, d);
+        const double secs = sw.ElapsedSeconds();
+        const double gflops =
+            static_cast<double>(cell.flops) * reps / secs * 1e-9;
+        const double gbps =
+            static_cast<double>(cell.bytes) * reps / secs * 1e-9;
+        std::fprintf(
+            f,
+            "%s  {\"bench\": \"micro_kernels\", \"section\": \"roofline\","
+            " \"kernel\": \"%s\", \"backend\": \"%s\", \"d\": %zu,"
+            " \"rows\": %zu, \"reps\": %d, \"seconds\": %.6f,"
+            " \"gflops\": %.3f, \"gbytes_per_sec\": %.3f,"
+            " \"cpu_features\": \"%s\", \"git_describe\": \"%s\"}",
+            first ? "" : ",\n", cell.kernel, k.name, d, kRows, reps, secs,
+            gflops, gbps, la::CpuFeatures().c_str(), obs::GitDescribe());
+        first = false;
+      }
+    }
+    la::SelectKernels(la::KernelMode::kScalar);
+  }
+  std::fprintf(f, "\n]\n");
+  std::fclose(f);
+  std::printf("wrote kernel roofline to %s\n", path.c_str());
+}
+
 }  // namespace factorml
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  // Peel --json=PATH off before google-benchmark parses the rest (it
+  // rejects flags it does not own).
+  std::string json_path;
+  int keep = 1;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--json=", 7) == 0) {
+      json_path = argv[i] + 7;
+    } else {
+      argv[keep++] = argv[i];
+    }
+  }
+  argc = keep;
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  if (!json_path.empty()) factorml::WriteKernelRoofline(json_path);
+  return 0;
+}

@@ -161,6 +161,19 @@ int ArgParser::GetPrefetchDepth(int default_value) const {
   return static_cast<int>(depth);
 }
 
+std::string ArgParser::GetKernels(const std::string& default_value) const {
+  auto it = kv_.find("kernels");
+  if (it == kv_.end()) return default_value;
+  if (it->second == "scalar" || it->second == "simd") return it->second;
+  std::fprintf(stderr,
+               "invalid --kernels=%s (must be 'scalar' or 'simd'; scalar = "
+               "bit-identical seed kernels, simd = runtime-dispatched "
+               "vector kernels + batched strip decode, same op counts and "
+               "page I/O to floating-point reassociation tolerance)\n",
+               it->second.c_str());
+  std::exit(2);
+}
+
 int64_t ArgParser::GetBufferPages(int64_t default_value) const {
   auto it = kv_.find("buffer-pages");
   if (it == kv_.end()) it = kv_.find("pool_pages");  // legacy spelling

@@ -29,6 +29,7 @@ class FactorizedStrategy final : public JoinStreamStrategyBase {
     struct Worker {
       std::optional<join::JoinCursor> cursor;
       join::JoinBatch batch;
+      storage::ColumnStrips s_strips;
     };
     std::vector<Worker> workers(static_cast<size_t>(pool_workers()));
     FML_RETURN_IF_ERROR(DriveMorsels(
@@ -50,6 +51,18 @@ class FactorizedStrategy final : public JoinStreamStrategyBase {
           while (wk.cursor->Next(&wk.batch)) {
             if (wk.batch.s_rows.num_rows == 0) continue;
             FactorizedBlock block{&wk.batch.s_rows, &wk.batch.groups};
+            if (simd_) {
+              // Batched path: the S-slice columns as strips (a straight
+              // transpose of s_rows.feats — no target special-casing, the
+              // model knows the S-slice layout). Group-structured
+              // attribute work stays row-at-a-time.
+              const storage::RowBatch& s = wk.batch.s_rows;
+              PackRowsToStrips(s.feats.data(), s.feats.cols(),
+                               /*y=*/nullptr, 0, s.num_rows, s.feats.cols(),
+                               s.start_row, kDefaultStripRows,
+                               &wk.s_strips);
+              block.s_strips = &wk.s_strips;
+            }
             model->AccumulateFactorized(pass, slot, block);
           }
           *status = wk.cursor->status();

@@ -60,6 +60,7 @@ class StrategyBase : public AccessStrategy {
         prefetch_(options.prefetch),
         prefetch_depth_(options.prefetch_depth < 1 ? 1
                                                    : options.prefetch_depth),
+        simd_(options.kernels == la::KernelMode::kSimd),
         full_pass_(full_pass) {}
 
   /// Chunk-ordered scheduler active? (RunTraining resolves steal-without-
@@ -195,6 +196,10 @@ class StrategyBase : public AccessStrategy {
   bool steal_;
   bool prefetch_;
   int prefetch_depth_;
+  /// --kernels=simd: feed the model column-major strips (batched decode /
+  /// assembly transpose) instead of row pointers. The la/ backend switch
+  /// itself is global (la::SelectKernels, done once by RunTraining).
+  bool simd_;
   bool full_pass_;
   std::vector<exec::Range> ranges_;
   int nw_ = 1;
@@ -243,6 +248,36 @@ class JoinStreamStrategyBase : public StrategyBase {
 
   std::vector<join::AttributeTableView> views_;
 };
+
+/// Transposes `num_rows` assembled rows into the column-strip layout the
+/// batch kernels consume — the S/F drivers' counterpart of the M
+/// strategy's fused PageCursor::ReadStrips decode. When `y` is non-null it
+/// becomes strip column 0 (matching T's layout, where the target is
+/// feature column 0) and the x columns shift up by one.
+inline void PackRowsToStrips(const double* x, size_t x_stride,
+                             const double* y, size_t y_stride,
+                             size_t num_rows, size_t d, int64_t start_row,
+                             size_t strip_rows, storage::ColumnStrips* out) {
+  const size_t y_off = y != nullptr ? 1 : 0;
+  out->strip_rows = strip_rows;
+  out->num_strips = (num_rows + strip_rows - 1) / strip_rows;
+  out->num_rows = num_rows;
+  out->num_cols = d + y_off;
+  out->num_keys = 0;
+  out->start_row = start_row;
+  out->keys.clear();
+  out->data.resize(out->num_strips * out->num_cols * strip_rows);
+  for (size_t r = 0; r < num_rows; ++r) {
+    double* strip0 = out->data.data() +
+                     (r / strip_rows) * out->num_cols * strip_rows +
+                     r % strip_rows;
+    if (y_off != 0) strip0[0] = y[r * y_stride];
+    const double* row = x + r * x_stride;
+    for (size_t j = 0; j < d; ++j) {
+      strip0[(y_off + j) * strip_rows] = row[j];
+    }
+  }
+}
 
 std::unique_ptr<AccessStrategy> MakeMaterialized(
     const join::NormalizedRelations* rel, storage::BufferPool* pool,

@@ -58,6 +58,7 @@ class MaterializedStrategy final : public StrategyBase {
     struct Worker {
       std::optional<storage::TableScanner> scan;
       storage::RowBatch batch;
+      storage::ColumnStrips strips;
     };
     std::vector<Worker> workers(static_cast<size_t>(pool_workers()));
     FML_RETURN_IF_ERROR(DriveMorsels(
@@ -76,6 +77,23 @@ class MaterializedStrategy final : public StrategyBase {
             wk.scan->PrefetchRowRange(next->begin, next->end);
           }
           wk.scan->SetRowRange(range.begin, range.end);
+          if (simd_) {
+            // Batched decode: the same batches and the same demand page
+            // walk, fused straight into column strips (T's feature column
+            // 0 is Y, so the strip target column is 0 when present).
+            while (wk.scan->NextStrips(kDefaultStripRows, &wk.strips)) {
+              if (wk.strips.num_rows == 0) continue;
+              DenseBlock block;
+              block.start_row = wk.strips.start_row;
+              block.num_rows = wk.strips.num_rows;
+              block.strips = &wk.strips;
+              block.strip_col0 = y_off;
+              block.strip_y_col = y_off != 0 ? 0 : -1;
+              model->AccumulateDense(pass, slot, block);
+            }
+            *status = wk.scan->status();
+            return;
+          }
           while (wk.scan->Next(&wk.batch)) {
             if (wk.batch.num_rows == 0) continue;
             DenseBlock block;

@@ -9,6 +9,7 @@
 #include "core/pipeline/model_program.h"
 #include "exec/shard_plan.h"
 #include "join/normalized_relations.h"
+#include "la/kernels.h"
 #include "storage/buffer_pool.h"
 
 namespace factorml::core::pipeline {
@@ -16,6 +17,12 @@ namespace factorml::core::pipeline {
 /// Read-ahead window (in batches) of --prefetch without an explicit
 /// --prefetch-depth: classic double buffering.
 inline constexpr int kDefaultPrefetchDepth = 2;
+
+/// Strip height of the batched (--kernels=simd) decode path: tall enough
+/// to amortize the column transpose and keep the batch kernels in their
+/// streaming regime, short enough that a strip of a few columns stays in
+/// L1/L2 (256 rows x 8 B = 2 KiB per column).
+inline constexpr size_t kDefaultStripRows = 256;
 
 /// Knobs shared by every strategy, lifted from the model family's options
 /// struct by the Train* wrappers. `threads` may be 0 (= DefaultThreads())
@@ -66,6 +73,16 @@ struct StrategyOptions {
   /// mini-batch (SGD) programs, whose sequential epochs have no
   /// order-free merge.
   int shards = 1;
+  /// Compute-kernel backend (la/kernels.h). kScalar (default) keeps the
+  /// seed's exact loops and row-at-a-time decode — bit-identical to the
+  /// goldens. kSimd selects the best runtime-dispatched vector backend
+  /// (AVX2/FMA when the CPU has it, portable vector extensions otherwise)
+  /// and switches the full-pass dense drivers to the batched column-strip
+  /// decode (kDefaultStripRows). The op counts and the page I/O stream are
+  /// identical to scalar by construction — only the floating-point
+  /// summation order moves, so objectives and params agree to
+  /// reassociation tolerance.
+  la::KernelMode kernels = la::KernelMode::kScalar;
   std::string temp_dir = ".";
 };
 
@@ -181,6 +198,7 @@ StrategyOptions LiftStrategyOptions(const Options& options) {
   sopt.prefetch = options.prefetch;
   sopt.prefetch_depth = options.prefetch_depth;
   sopt.shards = options.shards;
+  sopt.kernels = options.kernels;
   sopt.temp_dir = options.temp_dir;
   return sopt;
 }

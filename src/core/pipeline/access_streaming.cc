@@ -31,6 +31,7 @@ class StreamingStrategy final : public JoinStreamStrategyBase {
       join::JoinBatch batch;
       la::Matrix xbuf;
       std::vector<double> ybuf;
+      storage::ColumnStrips strips;
     };
     std::vector<Worker> workers(static_cast<size_t>(pool_workers()));
     FML_RETURN_IF_ERROR(DriveMorsels(
@@ -67,6 +68,17 @@ class StreamingStrategy final : public JoinStreamStrategyBase {
             if (y_off != 0) {
               block.y = wk.ybuf.data();
               block.y_stride = 1;
+            }
+            if (simd_) {
+              // Batched path: transpose the assembled rows into column
+              // strips (target at strip column 0, like T's layout).
+              PackRowsToStrips(wk.xbuf.data(), d,
+                               y_off != 0 ? wk.ybuf.data() : nullptr, 1, b,
+                               d, block.start_row, kDefaultStripRows,
+                               &wk.strips);
+              block.strips = &wk.strips;
+              block.strip_col0 = y_off;
+              block.strip_y_col = y_off != 0 ? 0 : -1;
             }
             model->AccumulateDense(pass, slot, block);
           }

@@ -66,8 +66,26 @@ struct DenseBlock {
   const double* y = nullptr;
   size_t y_stride = 0;
 
+  /// Batched-decode form (--kernels=simd): the same rows as column-major
+  /// strips (storage::ColumnStrips). Null on the row-at-a-time path. When
+  /// set, feature column j of the model lives at strip column
+  /// `strip_col0 + j` and the target (if any) at column `strip_y_col`;
+  /// the row pointers above may be null (the M strategy's fused decode
+  /// never assembles rows), so strip-aware models must take this path.
+  const storage::ColumnStrips* strips = nullptr;
+  size_t strip_col0 = 0;
+  int strip_y_col = -1;
+
   const double* X(size_t r) const { return x + r * x_stride; }
   double Y(size_t r) const { return y[r * y_stride]; }
+  /// Strip-path accessors: feature column j / the target column of one
+  /// strip, as contiguous runs of strips->RowsInStrip(s) doubles.
+  const double* StripX(size_t s, size_t j) const {
+    return strips->Col(s, strip_col0 + j);
+  }
+  const double* StripY(size_t s) const {
+    return strips->Col(s, static_cast<size_t>(strip_y_col));
+  }
 };
 
 /// A block of *normalized* rows as the F strategy delivers them: the S
@@ -77,6 +95,12 @@ struct DenseBlock {
 struct FactorizedBlock {
   const storage::RowBatch* s_rows = nullptr;
   const std::vector<join::JoinGroup>* groups = nullptr;
+  /// Batched form of s_rows' features (--kernels=simd): the S-slice
+  /// columns as column-major strips, transposed from s_rows by the F
+  /// driver. Null on the row-at-a-time path. Models that can consume
+  /// S-slice work in bulk (k-means' distance blocks) use it; the
+  /// group-structured attribute work stays row/group-at-a-time.
+  const storage::ColumnStrips* s_strips = nullptr;
 };
 
 /// One assembled mini-batch for the kMiniBatch plane: x is (batch x d)

@@ -80,6 +80,11 @@ Status RunTraining(const join::NormalizedRelations& rel, Algorithm algorithm,
     if (resolved.morsel_rows == 0) resolved.morsel_rows = kDefaultMorselRows;
   }
   if (report != nullptr) report->threads = resolved.threads;
+  // Bind the compute-kernel backend before any worker runs: one process-
+  // wide vtable swap (la/kernels.h), plus the strip-decode switch the
+  // strategies read from their options. Scalar keeps the seed's exact
+  // loops; simd picks the best backend this CPU supports.
+  la::SelectKernels(resolved.kernels);
 
   PipelineContext ctx;
   ctx.rel = &rel;

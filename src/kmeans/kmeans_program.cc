@@ -18,7 +18,9 @@
 #include "core/pipeline/access_strategy.h"
 #include "core/pipeline/model_program.h"
 #include "kmeans/kmeans.h"
+#include "la/kernels.h"
 #include "la/ops.h"
+#include "obs/metrics.h"
 
 namespace factorml::kmeans {
 
@@ -131,6 +133,10 @@ class KmeansProgram final : public core::pipeline::ModelProgram {
 
   void AccumulateDense(int, int worker, const DenseBlock& block) override {
     Acc& acc = acc_[static_cast<size_t>(worker)];
+    if (block.strips != nullptr) {
+      AccumulateDenseStrips(worker, block);
+      return;
+    }
     for (size_t r = 0; r < block.num_rows; ++r) {
       const double* x = block.X(r);
       size_t best = 0;
@@ -150,9 +156,116 @@ class KmeansProgram final : public core::pipeline::ModelProgram {
     }
   }
 
+  /// Batched (--kernels=simd) twin of the dense row loop: one distance
+  /// block per centroid via dist_strip, then a per-row argmin over the
+  /// block with the same strict-< first-wins tie rule as the row path.
+  /// The per-column scatter into sums visits each accumulator entry in
+  /// the same row order as the scalar loop. Charges are the exact per-row
+  /// op counts.
+  void AccumulateDenseStrips(int worker, const DenseBlock& block) {
+    Acc& acc = acc_[static_cast<size_t>(worker)];
+    static obs::Histogram* batch_micros =
+        obs::Registry::Instance().GetHistogram("la.batch_kernel_micros");
+    const storage::ColumnStrips& st = *block.strips;
+    const la::Kernels& kern = la::Active();
+    std::vector<const double*> cols(d_);
+    Matrix dist(k_, st.strip_rows);
+    for (size_t s = 0; s < st.num_strips; ++s) {
+      const size_t rows = st.RowsInStrip(s);
+      if (rows == 0) continue;
+      const uint64_t t0 = obs::NowMicros();
+      for (size_t j = 0; j < d_; ++j) cols[j] = block.StripX(s, j);
+      for (size_t c = 0; c < k_; ++c) {
+        kern.dist_strip(cols.data(), d_, rows, model_.centroids.Row(c).data(),
+                        dist.Row(c).data());
+      }
+      CountSubs(rows * k_ * d_);
+      CountMults(rows * k_ * d_);
+      CountAdds(rows * k_ * d_);
+      for (size_t r = 0; r < rows; ++r) {
+        size_t best = 0;
+        double best_dist = std::numeric_limits<double>::infinity();
+        for (size_t c = 0; c < k_; ++c) {
+          const double dc = dist(c, r);
+          if (dc < best_dist) {
+            best_dist = dc;
+            best = c;
+          }
+        }
+        acc.inertia += best_dist;
+        acc.counts[best] += 1.0;
+        double* sum = acc.sums.data() + best * d_;
+        for (size_t j = 0; j < d_; ++j) sum[j] += cols[j][r];
+      }
+      CountMults(rows * d_);  // the per-row Axpy(1.0, x) stream
+      CountAdds(rows * (d_ + 2));
+      batch_micros->Record(obs::NowMicros() - t0);
+    }
+  }
+
+  /// Factorized twin: the S-slice distances come from dist_strip over the
+  /// strip-packed S columns; the cached per-attribute-tuple distances,
+  /// the argmin and the group mass updates stay row-at-a-time (they are
+  /// gather-structured, not strip-shaped).
+  void AccumulateFactorizedStrips(int worker, const FactorizedBlock& block) {
+    Acc& acc = acc_[static_cast<size_t>(worker)];
+    static obs::Histogram* batch_micros =
+        obs::Registry::Instance().GetHistogram("la.batch_kernel_micros");
+    const storage::RowBatch& s_rows = *block.s_rows;
+    const storage::ColumnStrips& st = *block.s_strips;
+    const la::Kernels& kern = la::Active();
+    std::vector<const double*> cols(ds_);
+    Matrix dist(k_, st.strip_rows);
+    for (size_t s = 0; s < st.num_strips; ++s) {
+      const size_t rows = st.RowsInStrip(s);
+      if (rows == 0) continue;
+      const uint64_t t0 = obs::NowMicros();
+      const size_t row0 = st.StripStart(s);
+      for (size_t j = 0; j < ds_; ++j) cols[j] = st.Col(s, y_off_ + j);
+      for (size_t c = 0; c < k_; ++c) {
+        kern.dist_strip(cols.data(), ds_, rows, model_.centroids.Row(c).data(),
+                        dist.Row(c).data());
+      }
+      CountSubs(rows * k_ * ds_);
+      CountMults(rows * k_ * ds_);
+      CountAdds(rows * k_ * ds_);
+      for (size_t r = 0; r < rows; ++r) {
+        const int64_t* keys = s_rows.KeysOf(row0 + r);
+        size_t best = 0;
+        double best_dist = std::numeric_limits<double>::infinity();
+        for (size_t c = 0; c < k_; ++c) {
+          double dc = dist(c, r);
+          for (size_t i = 0; i < q_; ++i) {
+            dc += dcache_[i](c, keys[rel_->FkKeyIndex(i)]);
+          }
+          if (dc < best_dist) {
+            best_dist = dc;
+            best = c;
+          }
+        }
+        acc.inertia += best_dist;
+        acc.counts[best] += 1.0;
+        double* sum = acc.sums.data() + best * ds_;
+        for (size_t j = 0; j < ds_; ++j) sum[j] += cols[j][r];
+        for (size_t i = 0; i < q_; ++i) {
+          acc.gsum[i](best, keys[rel_->FkKeyIndex(i)]) += 1.0;
+        }
+      }
+      CountAdds(rows * k_ * q_);  // the cached per-join distance adds
+      CountMults(rows * ds_);     // the per-row Axpy(1.0, xs) stream
+      CountAdds(rows * ds_);
+      CountAdds(rows * (2 + q_));
+      batch_micros->Record(obs::NowMicros() - t0);
+    }
+  }
+
   void AccumulateFactorized(int, int worker,
                             const FactorizedBlock& block) override {
     Acc& acc = acc_[static_cast<size_t>(worker)];
+    if (block.s_strips != nullptr) {
+      AccumulateFactorizedStrips(worker, block);
+      return;
+    }
     const storage::RowBatch& s_rows = *block.s_rows;
     for (size_t r = 0; r < s_rows.num_rows; ++r) {
       const double* xs = s_rows.feats.Row(r).data() + y_off_;

@@ -1,0 +1,107 @@
+#ifndef FACTORML_LA_KERNELS_H_
+#define FACTORML_LA_KERNELS_H_
+
+#include <cstddef>
+#include <string>
+
+namespace factorml::la {
+
+/// Runtime-dispatched compute kernel plane behind `--kernels={scalar,simd}`.
+///
+/// Every function pointer in `Kernels` is a *raw* kernel: it performs the
+/// arithmetic only and never touches the OpCounters — accounting stays in
+/// the `la/ops.h` wrappers (per-call totals) and in the model programs'
+/// strip paths (per-batch totals), so the measured op counts are identical
+/// for every backend by construction.
+///
+/// Backends:
+///  - `scalar`  — the seed's exact loop bodies, moved verbatim from
+///    `ops.cc`. The build uses strict IEEE semantics (no -ffast-math), so
+///    routing through this table is bit-identical to the pre-kernel-plane
+///    code: the tier-1 goldens pin it.
+///  - `portable` — GNU vector extensions (32-byte double lanes) compiled
+///    at the baseline ISA. On x86-64 that is SSE2; on aarch64 the same
+///    source lowers to NEON. Fixed multi-accumulator reduction order, so
+///    results are deterministic per build but differ from scalar by
+///    reassociation — the tolerance contract.
+///  - `avx2` — the identical vector source re-compiled per-function with
+///    `target("avx2,fma")`, selected at runtime via __builtin_cpu_supports.
+///
+/// SelectKernels() is called once per training run (RunTraining) before
+/// any parallel region; workers only ever read the table.
+struct Kernels {
+  const char* name;  // "scalar", "portable", "avx2"
+  bool simd;
+
+  // ------------------------------------------------- routed primitives
+  // Semantics match the `la/ops.h` wrappers of the same shape.
+  double (*dot)(const double* a, const double* b, size_t n);
+  void (*axpy)(double alpha, const double* x, double* y, size_t n);
+  // y = A x; `a` is m x n row-major.
+  void (*gemv)(const double* a, size_t m, size_t n, const double* x,
+               double* y);
+  // total = u^T A v over an nu x nv block at `a` with row stride lda.
+  double (*bilinear)(const double* a, size_t lda, const double* u, size_t nu,
+                     const double* v, size_t nv);
+  // a[i*lda + j] += (alpha * u[i]) * v[j].
+  void (*add_outer)(double alpha, const double* u, size_t nu, const double* v,
+                    size_t nv, double* a, size_t lda);
+
+  // ---------------------------------------------- strip batch kernels
+  // `cols` is an array of d pointers, each to a contiguous column of
+  // `rows` doubles (one decoded strip, see storage::ColumnStrips).
+
+  // gram[i*ldg + j] += sum_r w[r] * cols[i][r] * cols[j][r] over the full
+  // (symmetric) d x d square; w == nullptr means unit weights. Batches the
+  // per-row rank-1 AddOuter of the linreg/logreg Gram update and the GMM
+  // covariance moment.
+  void (*syrk_strip)(const double* const* cols, size_t d, size_t rows,
+                     const double* w, double* gram, size_t ldg);
+  // out[r] = sum_j v[j] * cols[j][r] — the transposed-gemv shape of the
+  // logreg eta pass (one dot per row, batched across the strip).
+  void (*col_dot_strip)(const double* const* cols, size_t d, size_t rows,
+                        const double* v, double* out);
+  // acc[j] += sum_r w[r] * cols[j][r]; w == nullptr means unit weights.
+  // Batches the per-row Axpy of the cofactor / weighted-mean updates.
+  void (*colsum_strip)(const double* const* cols, size_t d, size_t rows,
+                       const double* w, double* acc);
+  // out[r] = sum_j (cols[j][r] - center[j])^2 — one k-means distance
+  // column per call.
+  void (*dist_strip)(const double* const* cols, size_t d, size_t rows,
+                     const double* center, double* out);
+  // out[r] = diff_r^T A diff_r where diff is d x rows row-major
+  // (diff[i*rows + r]) — the batched GMM responsibility quadratic form.
+  void (*quadform_strip)(const double* diff, size_t d, size_t rows,
+                         const double* a, size_t lda, double* out);
+};
+
+/// Kernel backend selection mode, resolved from --kernels.
+enum class KernelMode {
+  kScalar = 0,  // bit-identical seed loops (default)
+  kSimd = 1,    // best vector backend this CPU supports
+};
+
+/// Installs the backend for `mode` as the process-wide active table and
+/// publishes the choice to the obs registry (`kernels.dispatch` gauge:
+/// 0 = scalar, 1 = portable vector, 2 = avx2). kSimd resolves to "avx2"
+/// when the CPU reports AVX2+FMA, else the portable vector backend.
+void SelectKernels(KernelMode mode);
+
+/// The active kernel table (scalar until SelectKernels says otherwise).
+/// Safe to call concurrently from workers; selection happens before
+/// parallel regions.
+const Kernels& Active();
+
+/// Name of the backend SelectKernels(kSimd) would pick on this machine.
+const char* SimdBackendName();
+
+/// Detected CPU feature summary for manifests, e.g. "x86-64 avx2 fma",
+/// "x86-64 baseline", "aarch64 neon".
+std::string CpuFeatures();
+
+/// "scalar" / "simd" — the flag spelling of a mode.
+const char* KernelModeName(KernelMode mode);
+
+}  // namespace factorml::la
+
+#endif  // FACTORML_LA_KERNELS_H_

@@ -1,19 +1,27 @@
 #include "la/ops.h"
 
 #include "common/opcount.h"
+#include "la/kernels.h"
 
 namespace factorml::la {
 
+// The vector-width-sensitive primitives (Dot/Axpy/Gemv/Bilinear/AddOuter)
+// dispatch through the kernel plane's active backend (la/kernels.h) so
+// every consumer — dense, factorized, NN — rides --kernels=simd without
+// model-code changes. Op accounting stays here, in the wrappers, making
+// the measured counts backend-independent by construction. The remaining
+// Gemm* kernels keep their direct loops: their skip-on-zero branches are
+// part of the pinned work stream.
+
 double Dot(const double* a, const double* b, size_t n) {
-  double s = 0.0;
-  for (size_t i = 0; i < n; ++i) s += a[i] * b[i];
+  const double s = Active().dot(a, b, n);
   CountMults(n);
   CountAdds(n);
   return s;
 }
 
 void Axpy(double alpha, const double* x, double* y, size_t n) {
-  for (size_t i = 0; i < n; ++i) y[i] += alpha * x[i];
+  Active().axpy(alpha, x, y, n);
   CountMults(n);
   CountAdds(n);
 }
@@ -21,12 +29,7 @@ void Axpy(double alpha, const double* x, double* y, size_t n) {
 void Gemv(const Matrix& a, const double* x, double* y) {
   const size_t m = a.rows();
   const size_t n = a.cols();
-  for (size_t i = 0; i < m; ++i) {
-    const double* row = a.data() + i * n;
-    double s = 0.0;
-    for (size_t j = 0; j < n; ++j) s += row[j] * x[j];
-    y[i] = s;
-  }
+  Active().gemv(a.data(), m, n, x, y);
   CountMults(m * n);
   CountAdds(m * n);
 }
@@ -35,13 +38,8 @@ double Bilinear(const Matrix& a, size_t r0, size_t c0, const double* u,
                 size_t nu, const double* v, size_t nv) {
   FML_DCHECK(r0 + nu <= a.rows() && c0 + nv <= a.cols());
   const size_t lda = a.cols();
-  double total = 0.0;
-  for (size_t i = 0; i < nu; ++i) {
-    const double* row = a.data() + (r0 + i) * lda + c0;
-    double s = 0.0;
-    for (size_t j = 0; j < nv; ++j) s += row[j] * v[j];
-    total += u[i] * s;
-  }
+  const double total =
+      Active().bilinear(a.data() + r0 * lda + c0, lda, u, nu, v, nv);
   CountMults(nu * nv + nu);
   CountAdds(nu * nv + nu);
   return total;
@@ -214,11 +212,7 @@ void AddOuter(double alpha, const double* u, size_t nu, const double* v,
               size_t nv, Matrix* a, size_t r0, size_t c0) {
   FML_DCHECK(r0 + nu <= a->rows() && c0 + nv <= a->cols());
   const size_t lda = a->cols();
-  for (size_t i = 0; i < nu; ++i) {
-    const double ui = alpha * u[i];
-    double* row = a->data() + (r0 + i) * lda + c0;
-    for (size_t j = 0; j < nv; ++j) row[j] += ui * v[j];
-  }
+  Active().add_outer(alpha, u, nu, v, nv, a->data() + r0 * lda + c0, lda);
   CountMults(nu * nv + nu);
   CountAdds(nu * nv);
 }

@@ -16,8 +16,10 @@
 #include "core/pipeline/access_strategy.h"
 #include "core/pipeline/model_program.h"
 #include "la/cholesky.h"
+#include "la/kernels.h"
 #include "la/ops.h"
 #include "linreg/linreg.h"
+#include "obs/metrics.h"
 
 namespace factorml::linreg {
 
@@ -81,6 +83,10 @@ class LinregProgram final : public core::pipeline::ModelProgram {
 
   void AccumulateDense(int, int worker, const DenseBlock& block) override {
     Acc& acc = acc_[static_cast<size_t>(worker)];
+    if (block.strips != nullptr) {
+      AccumulateDenseStrips(worker, block);
+      return;
+    }
     for (size_t r = 0; r < block.num_rows; ++r) {
       const double* x = block.X(r);
       const double y = block.Y(r);
@@ -97,6 +103,51 @@ class LinregProgram final : public core::pipeline::ModelProgram {
       acc.yy += y * y;
       CountMults(1);
       CountAdds(1);
+    }
+  }
+
+  /// Batched (--kernels=simd) twin of the dense row loop: whole column
+  /// strips through the la/ batch kernels. Each kernel call is charged the
+  /// exact op-count stream of the per-row loop it replaces, so the
+  /// measured counts are invariant across backends; only the summation
+  /// order inside each accumulator entry moves (tolerance contract).
+  void AccumulateDenseStrips(int worker, const DenseBlock& block) {
+    Acc& acc = acc_[static_cast<size_t>(worker)];
+    static obs::Histogram* batch_micros =
+        obs::Registry::Instance().GetHistogram("la.batch_kernel_micros");
+    const storage::ColumnStrips& st = *block.strips;
+    const la::Kernels& kern = la::Active();
+    std::vector<const double*> cols(d_);
+    std::vector<double> colsum(opt_.intercept ? d_ : 0);
+    for (size_t s = 0; s < st.num_strips; ++s) {
+      const size_t rows = st.RowsInStrip(s);
+      if (rows == 0) continue;
+      const uint64_t t0 = obs::NowMicros();
+      for (size_t j = 0; j < d_; ++j) cols[j] = block.StripX(s, j);
+      const double* y = block.StripY(s);
+      // G += X^T X — the per-row AddOuter(1, x, x) stream, batched.
+      kern.syrk_strip(cols.data(), d_, rows, nullptr, acc.gram.data(),
+                      acc.gram.cols());
+      CountMults(rows * (d_ * d_ + d_));
+      CountAdds(rows * d_ * d_);
+      // c += X^T y — the per-row Axpy(y, x) stream.
+      kern.colsum_strip(cols.data(), d_, rows, y, acc.cvec.data());
+      CountMults(rows * d_);
+      CountAdds(rows * d_);
+      if (opt_.intercept) {
+        std::fill(colsum.begin(), colsum.end(), 0.0);
+        kern.colsum_strip(cols.data(), d_, rows, nullptr, colsum.data());
+        for (size_t j = 0; j < d_; ++j) acc.gram(j, d_) += colsum[j];
+        acc.gram(d_, d_) += static_cast<double>(rows);
+        double ysum = 0.0;
+        kern.colsum_strip(&y, 1, rows, nullptr, &ysum);
+        acc.cvec[d_] += ysum;
+        CountAdds(rows * (d_ + 2));
+      }
+      acc.yy += kern.dot(y, y, rows);
+      CountMults(rows);
+      CountAdds(rows);
+      batch_micros->Record(obs::NowMicros() - t0);
     }
   }
 

@@ -10,6 +10,7 @@
 #include "core/algorithm.h"
 #include "core/report.h"
 #include "join/normalized_relations.h"
+#include "la/kernels.h"
 #include "storage/buffer_pool.h"
 
 namespace factorml::logreg {
@@ -55,6 +56,14 @@ struct LogregOptions {
   /// bit-identical to shards = 1 at the same resolved morsel size
   /// (implies chunking, like steal).
   int shards = 1;
+  /// Compute-kernel backend (--kernels): kScalar (default) keeps the
+  /// seed's bit-identical loops and row-at-a-time decode; kSimd routes
+  /// the la/ primitives through the runtime-dispatched vector backend
+  /// (AVX2/FMA when available) and the full-pass dense drivers through
+  /// the batched column-strip decode. Op counts and page I/O are
+  /// identical either way; objectives and params agree to floating-point
+  /// reassociation tolerance.
+  la::KernelMode kernels = la::KernelMode::kScalar;
 };
 
 /// A trained logistic model over the joined feature vector

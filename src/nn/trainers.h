@@ -8,6 +8,7 @@
 #include "common/status.h"
 #include "core/report.h"
 #include "join/normalized_relations.h"
+#include "la/kernels.h"
 #include "nn/mlp.h"
 #include "storage/buffer_pool.h"
 
@@ -70,6 +71,14 @@ struct NnOptions {
   /// StrategyOptions). The mini-batch (SGD) plane is sequential, so
   /// shards > 1 is rejected with InvalidArgument for this family.
   int shards = 1;
+  /// Compute-kernel backend (--kernels): kScalar (default) keeps the
+  /// seed's bit-identical loops; kSimd routes the la/ primitives (Gemv,
+  /// Dot, AddOuter behind the BP math) through the runtime-dispatched
+  /// vector backend. The mini-batch plane has no strip decode — batches
+  /// are already dense matrices — so only the summation order inside the
+  /// primitives moves; op counts are identical, losses agree to
+  /// floating-point reassociation tolerance.
+  la::KernelMode kernels = la::KernelMode::kScalar;
 };
 
 /// Algorithm M-NN: materializes T, then standard BP over T's rows.

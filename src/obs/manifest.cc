@@ -3,6 +3,8 @@
 #include <cstdio>
 #include <sstream>
 
+#include "la/kernels.h"
+
 namespace factorml::obs {
 
 namespace {
@@ -60,6 +62,9 @@ RunManifest RunManifest::FromArgs(const std::string& binary,
   m.shards = args.GetShards(1);
   m.prefetch = args.GetPrefetch(false);
   m.prefetch_depth = args.GetPrefetchDepth(2);
+  m.kernels = args.GetKernels();
+  m.kernel_backend = m.kernels == "simd" ? la::SimdBackendName() : "scalar";
+  m.cpu_features = la::CpuFeatures();
   m.buffer_pages = args.GetBufferPages(8192);
   m.seed = static_cast<uint64_t>(args.GetInt("seed", 42));
   m.trace_path = args.GetTracePath();
@@ -77,6 +82,9 @@ std::string RunManifest::ToJson() const {
      << ", \"shards\": " << shards
      << ", \"prefetch\": " << (prefetch ? "true" : "false")
      << ", \"prefetch_depth\": " << prefetch_depth
+     << ", \"kernels\": \"" << JsonEscape(kernels) << "\""
+     << ", \"kernel_backend\": \"" << JsonEscape(kernel_backend) << "\""
+     << ", \"cpu_features\": \"" << JsonEscape(cpu_features) << "\""
      << ", \"buffer_pages\": " << buffer_pages << ", \"seed\": " << seed
      << ", \"schema\": \"" << JsonEscape(schema) << "\""
      << ", \"trace\": \"" << JsonEscape(trace_path) << "\""

@@ -23,6 +23,9 @@ struct RunManifest {
   int shards = 1;
   bool prefetch = false;
   int prefetch_depth = 2;
+  std::string kernels = "scalar";    // --kernels flag value
+  std::string kernel_backend;        // table simd resolves to ("avx2", ...)
+  std::string cpu_features;          // detected ISA, e.g. "x86-64 avx2 fma"
   int64_t buffer_pages = 0;
   uint64_t seed = 0;
   std::string schema;  // free-form dataset/relation shape description

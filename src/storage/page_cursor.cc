@@ -145,6 +145,71 @@ Status PageCursor::ReadRows(int64_t start_row, size_t count,
   return Status::OK();
 }
 
+Status PageCursor::ReadStrips(int64_t start_row, size_t count,
+                              size_t strip_rows, ColumnStrips* out) const {
+  if (start_row < 0 ||
+      start_row + static_cast<int64_t>(count) > table_->num_rows()) {
+    return Status::OutOfRange("row range out of bounds in " +
+                              table_->path());
+  }
+  FML_CHECK_GT(strip_rows, 0u);
+  static obs::Histogram* decode_micros =
+      obs::Registry::Instance().GetHistogram("storage.decode_strip_micros");
+  obs::TraceSpan span(obs::kCatStorage, "decode_strip");
+  const uint64_t t0 = obs::NowMicros();
+
+  const Schema& schema = table_->schema();
+  const size_t rpp = schema.RowsPerPage();
+  const size_t row_bytes = schema.RowBytes();
+  const size_t d = schema.num_feats;
+
+  out->strip_rows = strip_rows;
+  out->num_strips = (count + strip_rows - 1) / strip_rows;
+  out->num_rows = count;
+  out->num_cols = d;
+  out->num_keys = schema.num_keys;
+  out->start_row = start_row;
+  out->keys.resize(count * schema.num_keys);
+  out->data.resize(out->num_strips * d * strip_rows);
+
+  // The page walk below is ReadRows' exactly — same GetPage sequence, so
+  // the pool sees an identical demand stream; only the decode destination
+  // differs (column scatter instead of row memcpy).
+  size_t filled = 0;
+  while (filled < count) {
+    const int64_t row = start_row + static_cast<int64_t>(filled);
+    const uint64_t page_no = 1 + static_cast<uint64_t>(row) / rpp;
+    const size_t offset_in_page = static_cast<size_t>(row) % rpp;
+    FML_ASSIGN_OR_RETURN(const char* page,
+                         pool_->GetPage(table_->file(), page_no));
+    const uint64_t rows_in_page = PageRowCount(page);
+    if (offset_in_page >= rows_in_page) {
+      return Status::Internal("corrupt page in " + table_->path());
+    }
+    const size_t take =
+        std::min(count - filled,
+                 static_cast<size_t>(rows_in_page) - offset_in_page);
+    const char* src = page + 8 + offset_in_page * row_bytes;
+    for (size_t r = 0; r < take; ++r) {
+      const size_t idx = filled + r;  // batch-local row index
+      std::memcpy(out->keys.data() + idx * schema.num_keys, src,
+                  8 * schema.num_keys);
+      const char* feat_src = src + 8 * schema.num_keys;
+      double* strip0 =
+          out->data.data() + (idx / strip_rows) * d * strip_rows +
+          idx % strip_rows;
+      for (size_t c = 0; c < d; ++c) {
+        std::memcpy(strip0 + c * strip_rows, feat_src + 8 * c, 8);
+      }
+      src += row_bytes;
+    }
+    filled += take;
+  }
+  decode_micros->Record(obs::NowMicros() - t0);
+  span.Arg("rows", static_cast<int64_t>(count));
+  return Status::OK();
+}
+
 void PageCursor::PrefetchRows(int64_t start_row, int64_t count) const {
   if (prefetcher_ == nullptr) return;
   const int64_t num_rows = table_->num_rows();

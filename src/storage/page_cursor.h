@@ -95,6 +95,16 @@ class PageCursor {
   /// pool — the demand path every Table/Join read funnels through.
   Status ReadRows(int64_t start_row, size_t count, RowBatch* out) const;
 
+  /// Batched decode: reads `count` rows starting at `start_row` into
+  /// column-major strips of height `strip_rows`. The page walk is
+  /// byte-for-byte ReadRows' (same GetPage sequence, same demand I/O
+  /// accounting); only the in-memory decode target differs — features are
+  /// transposed into the cache-blocked strip layout the la/ batch kernels
+  /// consume, keys stay row-major. Each call is one "decode_strip" trace
+  /// span and one storage.decode_strip_micros histogram sample.
+  Status ReadStrips(int64_t start_row, size_t count, size_t strip_rows,
+                    ColumnStrips* out) const;
+
   /// Asynchronously lands the data pages covering rows
   /// [start_row, start_row + count) in the pool. Residency-only; no-op
   /// without a prefetcher or for an empty/clamped-away range.

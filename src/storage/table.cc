@@ -110,6 +110,11 @@ Status Table::ReadRows(BufferPool* pool, int64_t start_row, size_t count,
   return PageCursor(this, pool).ReadRows(start_row, count, out);
 }
 
+Status Table::ReadStrips(BufferPool* pool, int64_t start_row, size_t count,
+                         size_t strip_rows, ColumnStrips* out) const {
+  return PageCursor(this, pool).ReadStrips(start_row, count, strip_rows, out);
+}
+
 TableScanner::TableScanner(const Table* table, BufferPool* pool,
                            size_t batch_rows)
     : table_(table), pool_(pool), batch_rows_(batch_rows) {
@@ -132,28 +137,44 @@ void TableScanner::PrefetchRowRange(int64_t begin, int64_t end) {
   cursor.PrefetchRows(begin, std::min(end - begin, cap));
 }
 
-bool TableScanner::Next(RowBatch* out) {
+bool TableScanner::PrepareBatch(PageCursor* cursor, size_t* count) {
   if (!status_.ok()) return false;
   const int64_t end = end_row_ < 0 ? table_->num_rows() : end_row_;
   if (next_row_ >= end) return false;
-  const size_t count = static_cast<size_t>(
+  *count = static_cast<size_t>(
       std::min<int64_t>(batch_rows_, end - next_row_));
-  PageCursor cursor(table_, pool_);
   if (prefetcher_ != nullptr) {
     // Double-buffer: land the following `prefetch_batches_` batches while
     // the caller computes on this one. The high-water mark keeps each row
     // from being requested twice within a range.
-    cursor.SetPrefetcher(prefetcher_);
-    const int64_t batch_end = next_row_ + static_cast<int64_t>(count);
+    cursor->SetPrefetcher(prefetcher_);
+    const int64_t batch_end = next_row_ + static_cast<int64_t>(*count);
     const int64_t window_end = std::min(
         end, batch_end + prefetch_batches_ * static_cast<int64_t>(batch_rows_));
     const int64_t from = std::max(prefetch_water_, batch_end);
     if (window_end > from) {
-      cursor.PrefetchRows(from, window_end - from);
+      cursor->PrefetchRows(from, window_end - from);
       prefetch_water_ = window_end;
     }
   }
+  return true;
+}
+
+bool TableScanner::Next(RowBatch* out) {
+  size_t count = 0;
+  PageCursor cursor(table_, pool_);
+  if (!PrepareBatch(&cursor, &count)) return false;
   status_ = cursor.ReadRows(next_row_, count, out);
+  if (!status_.ok()) return false;
+  next_row_ += static_cast<int64_t>(count);
+  return true;
+}
+
+bool TableScanner::NextStrips(size_t strip_rows, ColumnStrips* out) {
+  size_t count = 0;
+  PageCursor cursor(table_, pool_);
+  if (!PrepareBatch(&cursor, &count)) return false;
+  status_ = cursor.ReadStrips(next_row_, count, strip_rows, out);
   if (!status_.ok()) return false;
   next_row_ += static_cast<int64_t>(count);
   return true;

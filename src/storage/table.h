@@ -1,6 +1,7 @@
 #ifndef FACTORML_STORAGE_TABLE_H_
 #define FACTORML_STORAGE_TABLE_H_
 
+#include <algorithm>
 #include <cstdint>
 #include <memory>
 #include <string>
@@ -45,6 +46,44 @@ struct RowBatch {
   }
 };
 
+/// A batch of decoded rows laid out as cache-blocked column-major strips —
+/// the batched-decode target of the kernel plane. The row range is cut
+/// into strips of `strip_rows` rows (the last strip may be short); within
+/// strip s, feature column c occupies the contiguous run
+/// `data[(s * num_cols + c) * strip_rows .. + strip_rows)` (the stride is
+/// always the full strip height, so a short last strip just leaves its
+/// tail lanes unused). One strip of one column is the unit the batch
+/// kernels (la/kernels.h `*_strip`) consume: tall enough to amortize the
+/// decode transpose, short enough that a handful of columns stay in L1/L2.
+/// Keys stay row-major like RowBatch — the join paths that need them are
+/// row-at-a-time anyway.
+struct ColumnStrips {
+  size_t strip_rows = 0;  // H — strip height (and the column stride)
+  size_t num_strips = 0;
+  size_t num_rows = 0;    // total decoded rows across all strips
+  size_t num_cols = 0;    // feature columns
+  size_t num_keys = 0;
+  int64_t start_row = 0;  // global row id of strip 0, row 0
+  std::vector<int64_t> keys;  // num_rows * num_keys, row-major
+  std::vector<double> data;   // num_strips * num_cols * strip_rows
+
+  const double* Col(size_t strip, size_t col) const {
+    return data.data() + (strip * num_cols + col) * strip_rows;
+  }
+  double* MutableCol(size_t strip, size_t col) {
+    return data.data() + (strip * num_cols + col) * strip_rows;
+  }
+  /// Rows actually present in `strip` (strip_rows except a short tail).
+  size_t RowsInStrip(size_t strip) const {
+    return std::min(strip_rows, num_rows - strip * strip_rows);
+  }
+  /// Batch-local index of `strip`'s first row (add start_row for global).
+  size_t StripStart(size_t strip) const { return strip * strip_rows; }
+  const int64_t* KeysOf(size_t row) const {
+    return keys.data() + row * num_keys;
+  }
+};
+
 /// A heap-file relation: header page 0 (magic, schema, row count) followed
 /// by data pages of packed fixed-width rows. Tables are write-once: build
 /// with Append + Finish, then scan through a BufferPool.
@@ -83,6 +122,13 @@ class Table {
   Status ReadRows(BufferPool* pool, int64_t start_row, size_t count,
                   RowBatch* out) const;
 
+  /// Reads `count` rows starting at `start_row` into column-major strips
+  /// of height `strip_rows` via the pool. Same page walk as ReadRows —
+  /// identical I/O accounting — different decode target. Convenience shim
+  /// over storage::PageCursor::ReadStrips.
+  Status ReadStrips(BufferPool* pool, int64_t start_row, size_t count,
+                    size_t strip_rows, ColumnStrips* out) const;
+
  private:
   Table(std::unique_ptr<PagedFile> file, Schema schema, int64_t num_rows,
         bool writable);
@@ -99,6 +145,7 @@ class Table {
 };
 
 class Prefetcher;  // storage/page_cursor.h — the async half of the I/O plane
+class PageCursor;  // storage/page_cursor.h — the demand half
 
 /// Sequential batched reader over a table's rows — a thin batching /
 /// row-decoding shim over the unified I/O cursor plane (PageCursor): every
@@ -126,6 +173,13 @@ class TableScanner {
   /// error (check status()).
   bool Next(RowBatch* out);
 
+  /// Strip-decoding twin of Next(): same batch boundaries, same demand
+  /// page walk, same prefetch schedule — but the batch lands as
+  /// column-major strips of height `strip_rows` instead of row-major
+  /// rows. The batched (--kernels=simd) dense drivers call this; Next()
+  /// remains the row-at-a-time path.
+  bool NextStrips(size_t strip_rows, ColumnStrips* out);
+
   /// Restricts the scan to rows [begin, end) — the morsel of one parallel
   /// worker. Batch boundaries fall at begin + i * batch_rows, so a
   /// full-range scanner chunks exactly like an unrestricted one. Also
@@ -138,6 +192,10 @@ class TableScanner {
   const Status& status() const { return status_; }
 
  private:
+  /// Shared head of Next()/NextStrips(): status check, batch sizing, and
+  /// the double-buffer prefetch window. Returns false at end-of-range.
+  bool PrepareBatch(PageCursor* cursor, size_t* count);
+
   const Table* table_;
   BufferPool* pool_;
   size_t batch_rows_;

@@ -215,6 +215,27 @@ TEST(FlagsDeathTest, TraceBufferKbBelowOneExits2) {
               "invalid --trace-buffer-kb");
 }
 
+TEST(FlagsTest, KernelsValidValuesAndDefault) {
+  const char* argv[] = {"prog", "--kernels=simd"};
+  ArgParser args(2, const_cast<char**>(argv));
+  EXPECT_EQ(args.GetKernels(), "simd");
+  const char* argv2[] = {"prog", "--kernels=scalar"};
+  ArgParser args2(2, const_cast<char**>(argv2));
+  EXPECT_EQ(args2.GetKernels(), "scalar");
+  const char* argv3[] = {"prog"};
+  ArgParser args3(1, const_cast<char**>(argv3));
+  EXPECT_EQ(args3.GetKernels(), "scalar");
+}
+
+// Unknown kernel backends fail fast (exit 2, listing the choices) before
+// a long training run silently falls back to the wrong plane.
+TEST(FlagsDeathTest, UnknownKernelsValueExits2) {
+  const char* argv[] = {"prog", "--kernels=avx512"};
+  ArgParser args(2, const_cast<char**>(argv));
+  EXPECT_EXIT(args.GetKernels(), ::testing::ExitedWithCode(2),
+              "invalid --kernels=avx512");
+}
+
 TEST(FlagsDeathTest, TraceBufferKbNonIntegerExits2) {
   const char* argv[] = {"prog", "--trace-buffer-kb=abc"};
   ArgParser args(2, const_cast<char**>(argv));

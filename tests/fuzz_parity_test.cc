@@ -31,6 +31,7 @@
 #include "common/rng.h"
 #include "core/factorml.h"
 #include "gtest/gtest.h"
+#include "la/kernels.h"
 #include "test_util.h"
 
 namespace factorml {
@@ -50,6 +51,7 @@ struct SchedConfig {
   bool steal;
   bool prefetch = false;
   int shards = 1;
+  bool simd = false;  // --kernels=simd (batched strip kernels)
 };
 // Config 0 is the baseline every other schedule must reproduce bit-exactly.
 // The prefetch configs assert the I/O plane's extended contract: async
@@ -71,8 +73,20 @@ std::string CfgName(const SchedConfig& c) {
   return "threads=" + std::to_string(c.threads) +
          (c.steal ? " steal=on" : " steal=off") +
          (c.prefetch ? " prefetch=on" : "") +
-         (c.shards > 1 ? " shards=" + std::to_string(c.shards) : "");
+         (c.shards > 1 ? " shards=" + std::to_string(c.shards) : "") +
+         (c.simd ? " kernels=simd" : "");
 }
+
+// The simd plane's extended contract: op counts (charged per batch with
+// the scalar formulas) and — at steal/prefetch-free schedules — demand
+// page I/O stay EXPECT_EQ-identical to the scalar baseline; objectives
+// and parameters agree to a per-family tolerance (the batched kernels
+// reassociate strip summation).
+constexpr SchedConfig kSimdConfigs[] = {
+    {1, false, false, 1, true},
+    {4, false, false, 1, true},
+    {2, false, false, 3, true},
+    {4, true, true, 1, true}};
 
 /// Trains one (family, algorithm) under every scheduler config and
 /// asserts bit-identical objectives, op counts and parameters against the
@@ -81,7 +95,8 @@ std::string CfgName(const SchedConfig& c) {
 /// objective for the cross-strategy check.
 template <typename Train, typename Diff>
 double ExpectScheduleInvariance(Train train, Diff diff,
-                                const std::string& label) {
+                                const std::string& label,
+                                double simd_obj_tol, double simd_param_tol) {
   core::TrainReport base_report;
   auto base = train(kConfigs[0], &base_report);
   EXPECT_TRUE(base.ok()) << label << ": " << base.status().ToString();
@@ -101,6 +116,32 @@ double ExpectScheduleInvariance(Train train, Diff diff,
     EXPECT_EQ(report.ops.subs, base_report.ops.subs) << tag;
     EXPECT_EQ(report.ops.exps, base_report.ops.exps) << tag;
     EXPECT_EQ(diff(base.value(), model.value()), 0.0) << tag;
+  }
+  for (const SchedConfig& cfg : kSimdConfigs) {
+    const std::string tag = label + " [" + CfgName(cfg) + "]";
+    core::TrainReport report;
+    auto model = train(cfg, &report);
+    EXPECT_TRUE(model.ok()) << tag << ": " << model.status().ToString();
+    if (!model.ok()) continue;
+    EXPECT_EQ(report.iterations, base_report.iterations) << tag;
+    EXPECT_EQ(report.ops.mults, base_report.ops.mults) << tag;
+    EXPECT_EQ(report.ops.adds, base_report.ops.adds) << tag;
+    EXPECT_EQ(report.ops.subs, base_report.ops.subs) << tag;
+    EXPECT_EQ(report.ops.exps, base_report.ops.exps) << tag;
+    // Page I/O is only comparable at the baseline's own schedule (extra
+    // workers re-read chunk-boundary pages through their own cursors);
+    // there the simd plane must not move a single page.
+    if (!cfg.steal && !cfg.prefetch && cfg.threads == kConfigs[0].threads &&
+        cfg.shards == kConfigs[0].shards) {
+      EXPECT_EQ(report.io.pages_read, base_report.io.pages_read) << tag;
+      EXPECT_EQ(report.io.pages_written, base_report.io.pages_written)
+          << tag;
+    }
+    EXPECT_NEAR(report.final_objective, base_report.final_objective,
+                simd_obj_tol * std::fabs(base_report.final_objective) +
+                    1e-12)
+        << tag;
+    EXPECT_LT(diff(base.value(), model.value()), simd_param_tol) << tag;
   }
   return base_report.final_objective;
 }
@@ -189,10 +230,12 @@ TEST_P(FuzzParityTest, StealScheduleInvariance) {
               o.steal = cfg.steal;
               o.prefetch = cfg.prefetch;
               o.shards = cfg.shards;
+              o.kernels = cfg.simd ? la::KernelMode::kSimd
+                                   : la::KernelMode::kScalar;
               pool.Clear();
               return core::TrainGmm(rel, o, algo, &pool, report);
             },
-            &gmm::GmmParams::MaxAbsDiff, alabel);
+            &gmm::GmmParams::MaxAbsDiff, alabel, 1e-9, 1e-6);
         break;
       }
       case 1: {
@@ -265,6 +308,29 @@ TEST_P(FuzzParityTest, StealScheduleInvariance) {
             break;
           }
         }
+        // --kernels=simd routes the mini-batch plane's dense primitives
+        // through the vector backend: identical op counts at the same
+        // thread count, the same SGD trajectory to tolerance.
+        {
+          auto o = opt;
+          o.threads = kConfigs[0].threads;
+          o.kernels = la::KernelMode::kSimd;
+          pool.Clear();
+          core::TrainReport report;
+          auto mlp = core::TrainNn(rel, o, algo, &pool, &report);
+          ASSERT_TRUE(mlp.ok()) << alabel << ": " << mlp.status().ToString();
+          const std::string tag = alabel + " [kernels=simd]";
+          EXPECT_EQ(report.ops.mults, reports[0].ops.mults) << tag;
+          EXPECT_EQ(report.ops.adds, reports[0].ops.adds) << tag;
+          EXPECT_EQ(report.io.pages_read, reports[0].io.pages_read) << tag;
+          EXPECT_EQ(report.io.pages_written, reports[0].io.pages_written)
+              << tag;
+          EXPECT_NEAR(report.final_objective, reports[0].final_objective,
+                      1e-6 * std::fabs(reports[0].final_objective) + 1e-12)
+              << tag;
+          EXPECT_LT(nn::Mlp::MaxAbsDiffParams(base, mlp.value()), 1e-4)
+              << tag;
+        }
         break;
       }
       case 2: {
@@ -279,10 +345,12 @@ TEST_P(FuzzParityTest, StealScheduleInvariance) {
               o.steal = cfg.steal;
               o.prefetch = cfg.prefetch;
               o.shards = cfg.shards;
+              o.kernels = cfg.simd ? la::KernelMode::kSimd
+                                   : la::KernelMode::kScalar;
               pool.Clear();
               return core::TrainLinreg(rel, o, algo, &pool, report);
             },
-            &linreg::LinregModel::MaxAbsDiff, alabel);
+            &linreg::LinregModel::MaxAbsDiff, alabel, 1e-8, 1e-5);
         break;
       }
       default: {
@@ -299,10 +367,12 @@ TEST_P(FuzzParityTest, StealScheduleInvariance) {
               o.steal = cfg.steal;
               o.prefetch = cfg.prefetch;
               o.shards = cfg.shards;
+              o.kernels = cfg.simd ? la::KernelMode::kSimd
+                                   : la::KernelMode::kScalar;
               pool.Clear();
               return core::TrainKmeans(rel, o, algo, &pool, report);
             },
-            &kmeans::KmeansModel::MaxAbsDiff, alabel);
+            &kmeans::KmeansModel::MaxAbsDiff, alabel, 1e-9, 1e-6);
         break;
       }
     }

@@ -2,9 +2,11 @@
 #include <tuple>
 #include <vector>
 
+#include "common/opcount.h"
 #include "common/rng.h"
 #include "gtest/gtest.h"
 #include "la/cholesky.h"
+#include "la/kernels.h"
 #include "la/matrix.h"
 #include "la/ops.h"
 #include "test_util.h"
@@ -449,6 +451,149 @@ TEST(OpsTest, ScaledOuterAccumulationIsLinear) {
   }
   AddOuter(gsum, v.data(), d, v.data(), d, &grouped, 0, 0);
   EXPECT_LT(Matrix::MaxAbsDiff(per_row, grouped), 1e-10);
+}
+
+
+// --------------------------------------------------------- kernel plane
+
+/// RAII: selects a kernel backend for the test body, restores scalar.
+struct ScopedKernels {
+  explicit ScopedKernels(KernelMode mode) { SelectKernels(mode); }
+  ~ScopedKernels() { SelectKernels(KernelMode::kScalar); }
+};
+
+/// Random strip: d columns of `rows` doubles plus the pointer array the
+/// strip kernels take.
+struct TestStrip {
+  TestStrip(size_t d, size_t rows, Rng* rng) : data(d * rows), cols(d) {
+    for (auto& v : data) v = rng->NextGaussian();
+    for (size_t j = 0; j < d; ++j) cols[j] = data.data() + j * rows;
+  }
+  std::vector<double> data;
+  std::vector<const double*> cols;
+};
+
+TEST(KernelsTest, SelectSwapsActiveTableAndRestores) {
+  EXPECT_FALSE(Active().simd);
+  EXPECT_STREQ(Active().name, "scalar");
+  {
+    ScopedKernels simd(KernelMode::kSimd);
+    EXPECT_TRUE(Active().simd);
+    EXPECT_STREQ(Active().name, SimdBackendName());
+  }
+  EXPECT_FALSE(Active().simd);
+  EXPECT_FALSE(CpuFeatures().empty());
+}
+
+TEST(KernelsTest, SimdPrimitivesMatchScalarToTolerance) {
+  Rng rng(7);
+  const size_t n = 97;  // unaligned on purpose: exercises vector tails
+  std::vector<double> a(n), b(n), y_s(n, 0.5), y_v(y_s);
+  for (size_t i = 0; i < n; ++i) {
+    a[i] = rng.NextGaussian();
+    b[i] = rng.NextGaussian();
+  }
+  const Kernels& scalar = Active();
+  SelectKernels(KernelMode::kSimd);
+  const Kernels& simd = Active();
+  SelectKernels(KernelMode::kScalar);
+
+  EXPECT_NEAR(scalar.dot(a.data(), b.data(), n),
+              simd.dot(a.data(), b.data(), n), 1e-12);
+  scalar.axpy(0.75, a.data(), y_s.data(), n);
+  simd.axpy(0.75, a.data(), y_v.data(), n);
+  for (size_t i = 0; i < n; ++i) ASSERT_NEAR(y_s[i], y_v[i], 1e-12);
+
+  const size_t m = 13;
+  Matrix mat = RandomMatrix(m, n, &rng);
+  std::vector<double> g_s(m, 0.0), g_v(m, 0.0);
+  scalar.gemv(mat.data(), m, n, a.data(), g_s.data());
+  simd.gemv(mat.data(), m, n, a.data(), g_v.data());
+  for (size_t i = 0; i < m; ++i) ASSERT_NEAR(g_s[i], g_v[i], 1e-10);
+
+  Matrix sq = RandomMatrix(n, n, &rng);
+  EXPECT_NEAR(scalar.bilinear(sq.data(), n, a.data(), n, b.data(), n),
+              simd.bilinear(sq.data(), n, a.data(), n, b.data(), n), 1e-9);
+
+  Matrix o_s(m, n), o_v(m, n);
+  scalar.add_outer(1.25, a.data(), m, b.data(), n, o_s.data(), n);
+  simd.add_outer(1.25, a.data(), m, b.data(), n, o_v.data(), n);
+  EXPECT_LT(Matrix::MaxAbsDiff(o_s, o_v), 1e-12);
+}
+
+TEST(KernelsTest, StripKernelsMatchScalarToTolerance) {
+  Rng rng(11);
+  const size_t d = 7, rows = 203;  // short tail after the 4-wide lanes
+  TestStrip strip(d, rows, &rng);
+  std::vector<double> w(rows);
+  for (auto& v : w) v = rng.NextUniform(0.25, 1.25);
+  const Kernels& scalar = Active();
+  SelectKernels(KernelMode::kSimd);
+  const Kernels& simd = Active();
+  SelectKernels(KernelMode::kScalar);
+
+  const double* weight_opts[] = {nullptr, w.data()};
+  for (const double* weights : weight_opts) {
+    Matrix g_s(d, d), g_v(d, d);
+    scalar.syrk_strip(strip.cols.data(), d, rows, weights, g_s.data(), d);
+    simd.syrk_strip(strip.cols.data(), d, rows, weights, g_v.data(), d);
+    EXPECT_LT(Matrix::MaxAbsDiff(g_s, g_v), 1e-9);
+    // The vector backend mirrors the upper triangle: exact symmetry.
+    for (size_t i = 0; i < d; ++i) {
+      for (size_t j = 0; j < d; ++j) ASSERT_EQ(g_v(i, j), g_v(j, i));
+    }
+  }
+
+  std::vector<double> v(d), out_s(rows), out_v(rows);
+  for (auto& x : v) x = rng.NextGaussian();
+  scalar.col_dot_strip(strip.cols.data(), d, rows, v.data(), out_s.data());
+  simd.col_dot_strip(strip.cols.data(), d, rows, v.data(), out_v.data());
+  for (size_t r = 0; r < rows; ++r) ASSERT_NEAR(out_s[r], out_v[r], 1e-10);
+
+  std::vector<double> acc_s(d, 0.0), acc_v(d, 0.0);
+  scalar.colsum_strip(strip.cols.data(), d, rows, w.data(), acc_s.data());
+  simd.colsum_strip(strip.cols.data(), d, rows, w.data(), acc_v.data());
+  for (size_t j = 0; j < d; ++j) ASSERT_NEAR(acc_s[j], acc_v[j], 1e-9);
+
+  scalar.dist_strip(strip.cols.data(), d, rows, v.data(), out_s.data());
+  simd.dist_strip(strip.cols.data(), d, rows, v.data(), out_v.data());
+  for (size_t r = 0; r < rows; ++r) ASSERT_NEAR(out_s[r], out_v[r], 1e-10);
+
+  // quadform takes the centered strip as one d x rows block.
+  Matrix a = RandomMatrix(d, d, &rng);
+  scalar.quadform_strip(strip.data.data(), d, rows, a.data(), d,
+                        out_s.data());
+  simd.quadform_strip(strip.data.data(), d, rows, a.data(), d,
+                      out_v.data());
+  for (size_t r = 0; r < rows; ++r) ASSERT_NEAR(out_s[r], out_v[r], 1e-9);
+}
+
+TEST(KernelsTest, RoutedOpsChargeSameCountsOnBothBackends) {
+  // The accounting contract: la/ops.h wrappers charge in the wrapper, so
+  // the counted stream is identical whichever table executes underneath.
+  Rng rng(3);
+  const size_t n = 33;
+  std::vector<double> a(n), b(n), y(n, 0.0);
+  for (size_t i = 0; i < n; ++i) {
+    a[i] = rng.NextGaussian();
+    b[i] = rng.NextGaussian();
+  }
+  Matrix sq = RandomMatrix(n, n, &rng);
+  OpCounters deltas[2];
+  for (int pass = 0; pass < 2; ++pass) {
+    ScopedKernels mode(pass == 0 ? KernelMode::kScalar : KernelMode::kSimd);
+    const OpCounters before = GlobalOps();
+    (void)Dot(a.data(), b.data(), n);
+    Axpy(2.0, a.data(), y.data(), n);
+    (void)QuadForm(sq, a.data(), n);
+    Matrix g(n, n);
+    AddOuter(1.0, a.data(), n, b.data(), n, &g, 0, 0);
+    deltas[pass] = GlobalOps() - before;
+  }
+  EXPECT_EQ(deltas[0].mults, deltas[1].mults);
+  EXPECT_EQ(deltas[0].adds, deltas[1].adds);
+  EXPECT_EQ(deltas[0].subs, deltas[1].subs);
+  EXPECT_EQ(deltas[0].exps, deltas[1].exps);
 }
 
 }  // namespace

@@ -17,6 +17,7 @@
 #include "core/factorml.h"
 #include "exec/thread_pool.h"
 #include "gtest/gtest.h"
+#include "la/kernels.h"
 #include "obs/manifest.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -442,6 +443,89 @@ TEST(TraceParityTest, TraceOnIsBitIdenticalToTraceOff) {
       }
     }
   }
+}
+
+// The simd kernel plane must uphold the same contract: under
+// --kernels=simd, trace-on vs trace-off is still bit-identical (simd
+// relaxes scalar-vs-simd numerics, never run-to-run determinism), the
+// strip decodes show up as "decode_strip" storage spans in the flushed
+// trace, and the dispatch gauge plus both latency histograms record the
+// batched plane's activity.
+TEST(TraceParityTest, SimdKernelsBitIdenticalUnderTraceWithStripSpans) {
+  TempDir dir;
+  BufferPool pool(512);
+  auto rel = std::move(GenerateSynthetic(Spec(dir.str()), &pool)).value();
+  gmm::GmmOptions opt = GmmOpt(dir.str());
+  opt.kernels = la::KernelMode::kSimd;
+
+  const obs::Histogram* decode =
+      obs::Registry::Instance().GetHistogram("storage.decode_strip_micros");
+  const obs::Histogram* batch =
+      obs::Registry::Instance().GetHistogram("la.batch_kernel_micros");
+  const uint64_t decode_before = decode->Count();
+  const uint64_t batch_before = batch->Count();
+
+  for (const auto algo :
+       {core::Algorithm::kMaterialized, core::Algorithm::kStreaming,
+        core::Algorithm::kFactorized}) {
+    for (const int threads : {1, 4}) {
+      opt.threads = threads;
+      const std::string tag = std::string(core::AlgorithmName(algo)) +
+                              " threads=" + std::to_string(threads);
+
+      pool.Clear();
+      core::TrainReport off_report;
+      auto off = core::TrainGmm(rel, opt, algo, &pool, &off_report);
+      ASSERT_TRUE(off.ok()) << off.status().ToString();
+
+      obs::Tracer::Instance().Start(1024);
+      pool.Clear();
+      core::TrainReport on_report;
+      auto on = core::TrainGmm(rel, opt, algo, &pool, &on_report);
+      obs::Tracer::Instance().Stop();
+      ASSERT_TRUE(on.ok()) << on.status().ToString();
+
+      EXPECT_EQ(on_report.final_objective, off_report.final_objective)
+          << tag;
+      EXPECT_EQ(on_report.ops.mults, off_report.ops.mults) << tag;
+      EXPECT_EQ(on_report.ops.adds, off_report.ops.adds) << tag;
+      EXPECT_EQ(on_report.ops.subs, off_report.ops.subs) << tag;
+      EXPECT_EQ(on_report.ops.exps, off_report.ops.exps) << tag;
+      EXPECT_EQ(on_report.io.pages_read, off_report.io.pages_read) << tag;
+      EXPECT_EQ(on_report.io.pages_written, off_report.io.pages_written)
+          << tag;
+      EXPECT_EQ(gmm::GmmParams::MaxAbsDiff(off.value(), on.value()), 0.0)
+          << tag;
+    }
+  }
+
+  // The simd runs decoded strips and dispatched batch kernels; both
+  // latency histograms saw them.
+  EXPECT_GT(decode->Count(), decode_before);
+  EXPECT_GT(batch->Count(), batch_before);
+  // 0 = scalar, 1 = portable vector, 2 = avx2; a simd run went last.
+  EXPECT_GE(obs::Registry::Instance().GetGauge("kernels.dispatch")->Value(),
+            1.0);
+
+  // Only the materialized driver reaches PageCursor::ReadStrips — the
+  // fused page-walk decode that emits "decode_strip" spans (streaming and
+  // factorized transpose already-assembled rows in memory, no page walk).
+  // One traced M run's flush must carry them.
+  obs::Tracer::Instance().Start(1024);
+  pool.Clear();
+  opt.threads = 2;
+  auto traced = core::TrainGmm(rel, opt, core::Algorithm::kMaterialized,
+                               &pool, nullptr);
+  obs::Tracer::Instance().Stop();
+  ASSERT_TRUE(traced.ok()) << traced.status().ToString();
+  const std::string path = dir.str() + "/simd_trace.json";
+  FML_ASSERT_OK(obs::Tracer::Instance().WriteJson(path, "{}"));
+  const std::vector<ParsedEvent> events = ParseTrace(path, nullptr);
+  int decode_spans = 0;
+  for (const auto& ev : events) {
+    if (ev.name == "decode_strip") ++decode_spans;
+  }
+  EXPECT_GT(decode_spans, 0);
 }
 
 }  // namespace

@@ -930,6 +930,169 @@ TEST(ShardParityTest, MiniBatchFamilyRejectsShards) {
   EXPECT_TRUE(ok.ok()) << ok.status().ToString();
 }
 
+// ------------------------------------------------------ kernels parity
+
+// --kernels=simd may only change floating-point summation order inside a
+// strip. Everything else the determinism contract pins — op counts
+// (charged per batch with the scalar per-row formulas) and the page-I/O
+// stream of all three access drivers — must match the scalar plane
+// exactly under every schedule; objectives and parameters agree to
+// tolerance.
+
+template <typename Report>
+void ExpectSameWorkStream(const Report& simd, const Report& scalar,
+                          const std::string& what) {
+  EXPECT_EQ(simd.ops.mults, scalar.ops.mults) << what;
+  EXPECT_EQ(simd.ops.adds, scalar.ops.adds) << what;
+  EXPECT_EQ(simd.ops.subs, scalar.ops.subs) << what;
+  EXPECT_EQ(simd.ops.exps, scalar.ops.exps) << what;
+  EXPECT_EQ(simd.io.pages_read, scalar.io.pages_read) << what;
+  EXPECT_EQ(simd.io.pages_written, scalar.io.pages_written) << what;
+  EXPECT_EQ(simd.io.pool_hits, scalar.io.pool_hits) << what;
+  EXPECT_EQ(simd.io.pool_misses, scalar.io.pool_misses) << what;
+}
+
+class KernelsParityTest
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(KernelsParityTest, LinregSimdMatchesScalarWorkStream) {
+  const auto [threads, shards] = GetParam();
+  TempDir dir;
+  BufferPool pool(512);
+  auto rel =
+      std::move(GenerateSynthetic(Spec(dir.str(), true), &pool)).value();
+  linreg::LinregOptions opt;
+  opt.batch_rows = 256;
+  opt.morsel_rows = 200;
+  opt.temp_dir = dir.str();
+  opt.threads = threads;
+  opt.shards = shards;
+  for (const auto algo : kAll) {
+    opt.kernels = la::KernelMode::kScalar;
+    pool.Clear();
+    core::TrainReport scalar_report;
+    auto scalar = core::TrainLinreg(rel, opt, algo, &pool, &scalar_report);
+    ASSERT_TRUE(scalar.ok()) << scalar.status().ToString();
+    opt.kernels = la::KernelMode::kSimd;
+    pool.Clear();
+    core::TrainReport simd_report;
+    auto simd = core::TrainLinreg(rel, opt, algo, &pool, &simd_report);
+    ASSERT_TRUE(simd.ok()) << simd.status().ToString();
+    const std::string tag = std::string(core::AlgorithmName(algo)) +
+                            " threads=" + std::to_string(threads) +
+                            " shards=" + std::to_string(shards);
+    ExpectSameWorkStream(simd_report, scalar_report, tag);
+    EXPECT_NEAR(simd_report.final_objective, scalar_report.final_objective,
+                1e-9 * std::fabs(scalar_report.final_objective) + 1e-12)
+        << tag;
+    EXPECT_LT(linreg::LinregModel::MaxAbsDiff(scalar.value(), simd.value()),
+              1e-8)
+        << tag;
+  }
+}
+
+TEST_P(KernelsParityTest, GmmSimdMatchesScalarWorkStream) {
+  const auto [threads, shards] = GetParam();
+  TempDir dir;
+  BufferPool pool(512);
+  auto rel =
+      std::move(GenerateSynthetic(Spec(dir.str(), false), &pool)).value();
+  gmm::GmmOptions opt;
+  opt.num_components = 3;
+  opt.max_iters = 2;
+  opt.batch_rows = 256;
+  opt.morsel_rows = 200;
+  opt.temp_dir = dir.str();
+  opt.threads = threads;
+  opt.shards = shards;
+  for (const auto algo : kAll) {
+    opt.kernels = la::KernelMode::kScalar;
+    pool.Clear();
+    core::TrainReport scalar_report;
+    auto scalar = core::TrainGmm(rel, opt, algo, &pool, &scalar_report);
+    ASSERT_TRUE(scalar.ok()) << scalar.status().ToString();
+    opt.kernels = la::KernelMode::kSimd;
+    pool.Clear();
+    core::TrainReport simd_report;
+    auto simd = core::TrainGmm(rel, opt, algo, &pool, &simd_report);
+    ASSERT_TRUE(simd.ok()) << simd.status().ToString();
+    const std::string tag = std::string(core::AlgorithmName(algo)) +
+                            " threads=" + std::to_string(threads) +
+                            " shards=" + std::to_string(shards);
+    ExpectSameWorkStream(simd_report, scalar_report, tag);
+    // The E-step exp() stream is evaluated row-at-a-time on both planes,
+    // so even the exp count — the costliest op — matches exactly (checked
+    // above); the log-likelihood itself only moves by summation order.
+    EXPECT_NEAR(simd_report.final_objective, scalar_report.final_objective,
+                1e-9 * std::fabs(scalar_report.final_objective) + 1e-12)
+        << tag;
+    EXPECT_LT(gmm::GmmParams::MaxAbsDiff(scalar.value(), simd.value()),
+              1e-7)
+        << tag;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Schedules, KernelsParityTest,
+                         ::testing::Combine(::testing::Values(1, 4),
+                                            ::testing::Values(1, 2)));
+
+TEST(KernelsModelParityTest, KmeansAndLogregSimdMatchScalar) {
+  TempDir dir;
+  BufferPool pool(512);
+  auto rel =
+      std::move(GenerateSynthetic(Spec(dir.str(), true), &pool)).value();
+  for (const auto algo : kAll) {
+    kmeans::KmeansOptions kopt;
+    kopt.num_clusters = 3;
+    kopt.max_iters = 2;
+    kopt.batch_rows = 256;
+    kopt.temp_dir = dir.str();
+    kopt.threads = 4;
+    kopt.kernels = la::KernelMode::kScalar;
+    pool.Clear();
+    core::TrainReport kscalar_report;
+    auto kscalar = core::TrainKmeans(rel, kopt, algo, &pool, &kscalar_report);
+    ASSERT_TRUE(kscalar.ok()) << kscalar.status().ToString();
+    kopt.kernels = la::KernelMode::kSimd;
+    pool.Clear();
+    core::TrainReport ksimd_report;
+    auto ksimd = core::TrainKmeans(rel, kopt, algo, &pool, &ksimd_report);
+    ASSERT_TRUE(ksimd.ok()) << ksimd.status().ToString();
+    ExpectSameWorkStream(ksimd_report, kscalar_report, "kmeans");
+    EXPECT_NEAR(ksimd_report.final_objective, kscalar_report.final_objective,
+                1e-9 * std::fabs(kscalar_report.final_objective) + 1e-12)
+        << core::AlgorithmName(algo);
+    EXPECT_LT(kmeans::KmeansModel::MaxAbsDiff(kscalar.value(),
+                                              ksimd.value()),
+              1e-8)
+        << core::AlgorithmName(algo);
+
+    logreg::LogregOptions gopt;
+    gopt.max_iters = 2;
+    gopt.batch_rows = 256;
+    gopt.temp_dir = dir.str();
+    gopt.threads = 4;
+    gopt.kernels = la::KernelMode::kScalar;
+    pool.Clear();
+    core::TrainReport gscalar_report;
+    auto gscalar = core::TrainLogreg(rel, gopt, algo, &pool, &gscalar_report);
+    ASSERT_TRUE(gscalar.ok()) << gscalar.status().ToString();
+    gopt.kernels = la::KernelMode::kSimd;
+    pool.Clear();
+    core::TrainReport gsimd_report;
+    auto gsimd = core::TrainLogreg(rel, gopt, algo, &pool, &gsimd_report);
+    ASSERT_TRUE(gsimd.ok()) << gsimd.status().ToString();
+    ExpectSameWorkStream(gsimd_report, gscalar_report, "logreg");
+    EXPECT_NEAR(gsimd_report.final_objective, gscalar_report.final_objective,
+                1e-9 * std::fabs(gscalar_report.final_objective) + 1e-12)
+        << core::AlgorithmName(algo);
+    EXPECT_LT(logreg::LogregModel::MaxAbsDiff(gscalar.value(),
+                                              gsimd.value()),
+              1e-8)
+        << core::AlgorithmName(algo);
+  }
+}
+
 // ----------------------------------------------- multiway linreg parity
 
 TEST(LinregTest, MultiwayFactorizedMatches) {

@@ -59,6 +59,17 @@
 // total page I/O matches too when steal and prefetch are off. The NN
 // family (mini-batch SGD) rejects --shards > 1.
 //
+// `--kernels=scalar|simd` (any train subcommand, default scalar) selects
+// the compute kernel backend. `scalar` replays the seed's exact loops —
+// bit-identical objectives, params, op counts and page I/O. `simd` swaps
+// in the runtime-dispatched vector kernel plane (AVX2+FMA where the CPU
+// has it, portable 32-byte vector lanes otherwise) and switches the
+// full-pass strategies to batched column-strip decode: pages are decoded
+// into cache-blocked column-major strips and the models consume whole
+// strips per kernel call. Op counts and page I/O stay exactly equal to
+// scalar at the same schedule; floating-point results agree to
+// reassociation tolerance. Unknown values exit 2 listing the choices.
+//
 // `--trace=PATH` (any subcommand) records per-worker runtime spans —
 // parallel regions, morsel executions (owner vs stolen), demand reads,
 // prefetch requests, shard scans and delta merges, model phases — and
@@ -77,6 +88,7 @@
 #include "core/factorml.h"
 #include "data/csv.h"
 #include "exec/thread_pool.h"
+#include "la/kernels.h"
 #include "obs/manifest.h"
 #include "obs/trace.h"
 
@@ -256,6 +268,8 @@ int CmdTrainGmm(const ArgParser& args) {
   opt.prefetch = args.GetPrefetch(false);
   opt.prefetch_depth = args.GetPrefetchDepth(2);
   opt.shards = args.GetShards(1);
+  opt.kernels = args.GetKernels() == "simd" ? la::KernelMode::kSimd
+                                             : la::KernelMode::kScalar;
   auto algos = ParseAlgos(args.GetString("algo", "all"));
   if (!algos.ok()) return FailStatus(algos.status());
   for (const auto algo : algos.value()) {
@@ -291,6 +305,8 @@ int CmdTrainNn(const ArgParser& args) {
   opt.prefetch = args.GetPrefetch(false);
   opt.prefetch_depth = args.GetPrefetchDepth(2);
   opt.shards = args.GetShards(1);
+  opt.kernels = args.GetKernels() == "simd" ? la::KernelMode::kSimd
+                                             : la::KernelMode::kScalar;
   const std::string act = args.GetString("act", "sigmoid");
   if (act == "tanh") opt.activation = nn::Activation::kTanh;
   else if (act == "relu") opt.activation = nn::Activation::kRelu;
@@ -330,6 +346,8 @@ int CmdTrainLinreg(const ArgParser& args) {
   opt.prefetch = args.GetPrefetch(false);
   opt.prefetch_depth = args.GetPrefetchDepth(2);
   opt.shards = args.GetShards(1);
+  opt.kernels = args.GetKernels() == "simd" ? la::KernelMode::kSimd
+                                             : la::KernelMode::kScalar;
   auto algos = ParseAlgos(args.GetString("algo", "all"));
   if (!algos.ok()) return FailStatus(algos.status());
   for (const auto algo : algos.value()) {
@@ -361,6 +379,8 @@ int CmdTrainKmeans(const ArgParser& args) {
   opt.prefetch = args.GetPrefetch(false);
   opt.prefetch_depth = args.GetPrefetchDepth(2);
   opt.shards = args.GetShards(1);
+  opt.kernels = args.GetKernels() == "simd" ? la::KernelMode::kSimd
+                                             : la::KernelMode::kScalar;
   auto algos = ParseAlgos(args.GetString("algo", "all"));
   if (!algos.ok()) return FailStatus(algos.status());
   for (const auto algo : algos.value()) {
@@ -393,6 +413,8 @@ int CmdTrainLogreg(const ArgParser& args) {
   opt.prefetch = args.GetPrefetch(false);
   opt.prefetch_depth = args.GetPrefetchDepth(2);
   opt.shards = args.GetShards(1);
+  opt.kernels = args.GetKernels() == "simd" ? la::KernelMode::kSimd
+                                             : la::KernelMode::kScalar;
   auto algos = ParseAlgos(args.GetString("algo", "all"));
   if (!algos.ok()) return FailStatus(algos.status());
   for (const auto algo : algos.value()) {
