@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "common/flags.h"
+#include "common/json.h"
 #include "core/factorml.h"
 #include "exec/thread_pool.h"
 #include "obs/manifest.h"
@@ -192,16 +193,12 @@ class JsonReport {
     std::ostringstream row;
     row << "  {\"bench\": \"" << bench_ << "\", \"section\": \"" << section
         << "\", \"value\": \"" << value << "\", \"algorithm\": \""
-        << r.algorithm << "\", \"wall_seconds\": " << r.wall_seconds
-        << ", \"materialize_seconds\": " << r.materialize_seconds
+        << r.algorithm << "\", \"wall_seconds\": " << JsonDouble(r.wall_seconds)
+        << ", \"materialize_seconds\": " << JsonDouble(r.materialize_seconds)
         << ", \"threads\": " << r.threads
-        << ", \"iterations\": " << r.iterations << ", \"objective\": ";
-    // JSON has no inf/nan literals; a diverged run records null.
-    if (std::isfinite(r.final_objective)) {
-      row << std::setprecision(17) << r.final_objective;
-    } else {
-      row << "null";
-    }
+        << ", \"iterations\": " << r.iterations << ", \"objective\": "
+        // JSON has no inf/nan literals; a diverged run records null.
+        << JsonDouble(r.final_objective);
     row << ", \"mults\": " << r.ops.mults << ", \"adds\": " << r.ops.adds
         << ", \"subs\": " << r.ops.subs << ", \"exps\": " << r.ops.exps
         << ", \"pages_read\": " << r.io.pages_read
@@ -209,23 +206,25 @@ class JsonReport {
         << ", \"prefetch_reads\": " << r.io.prefetch_reads
         << ", \"prefetch_hits\": " << r.io.prefetch_hits
         << ", \"stall_seconds\": "
-        << static_cast<double>(r.io.stall_micros) * 1e-6
+        << JsonDouble(static_cast<double>(r.io.stall_micros) * 1e-6)
         << ", \"morsel_chunks\": " << r.morsel_chunks
         << ", \"steals\": " << r.steals << ", \"shards\": " << r.shards;
     if (!r.worker_busy_seconds.empty()) {
       const auto [lo, hi] = r.BusyRange();
-      row << ", \"busy_min_seconds\": " << lo
-          << ", \"busy_max_seconds\": " << hi;
+      row << ", \"busy_min_seconds\": " << JsonDouble(lo)
+          << ", \"busy_max_seconds\": " << JsonDouble(hi);
     }
     if (r.shards > 1 && !r.shard_stats.empty()) {
       row << ", \"shard_scan_seconds\": [";
       for (size_t k = 0; k < r.shard_stats.size(); ++k) {
-        row << (k > 0 ? ", " : "") << r.shard_stats[k].scan_seconds;
+        row << (k > 0 ? ", " : "")
+            << JsonDouble(r.shard_stats[k].scan_seconds);
       }
       row << "], \"shard_stall_seconds\": [";
       for (size_t k = 0; k < r.shard_stats.size(); ++k) {
         row << (k > 0 ? ", " : "")
-            << static_cast<double>(r.shard_stats[k].io.stall_micros) * 1e-6;
+            << JsonDouble(static_cast<double>(r.shard_stats[k].io.stall_micros) *
+                          1e-6);
       }
       row << "], \"shard_pages_read\": [";
       for (size_t k = 0; k < r.shard_stats.size(); ++k) {

@@ -29,7 +29,15 @@ bool ArgParser::Has(const std::string& key) const {
 int64_t ArgParser::GetInt(const std::string& key, int64_t default_value) const {
   auto it = kv_.find(key);
   if (it == kv_.end()) return default_value;
-  return std::strtoll(it->second.c_str(), nullptr, 10);
+  errno = 0;
+  char* end = nullptr;
+  const long long value = std::strtoll(it->second.c_str(), &end, 10);
+  if (errno == ERANGE || end == it->second.c_str() || *end != '\0') {
+    std::fprintf(stderr, "invalid --%s=%s (must be an integer)\n", key.c_str(),
+                 it->second.c_str());
+    std::exit(2);
+  }
+  return static_cast<int64_t>(value);
 }
 
 double ArgParser::GetDouble(const std::string& key,
@@ -60,7 +68,18 @@ std::vector<int64_t> ArgParser::GetIntList(
   std::stringstream ss(it->second);
   std::string item;
   while (std::getline(ss, item, ',')) {
-    if (!item.empty()) out.push_back(std::strtoll(item.c_str(), nullptr, 10));
+    if (item.empty()) continue;
+    errno = 0;
+    char* end = nullptr;
+    const long long value = std::strtoll(item.c_str(), &end, 10);
+    if (errno == ERANGE || end == item.c_str() || *end != '\0') {
+      std::fprintf(stderr,
+                   "invalid --%s=%s (must be a comma-separated list of "
+                   "integers; '%s' is not an integer)\n",
+                   key.c_str(), it->second.c_str(), item.c_str());
+      std::exit(2);
+    }
+    out.push_back(static_cast<int64_t>(value));
   }
   return out;
 }
@@ -208,6 +227,49 @@ std::string ArgParser::GetTracePath(const std::string& default_value) const {
   }
   std::fclose(f);
   return path;
+}
+
+std::string ArgParser::GetShardBackend(const std::string& default_value) const {
+  auto it = kv_.find("shard-backend");
+  if (it == kv_.end()) return default_value;
+  if (it->second == "inproc" || it->second == "process") return it->second;
+  std::fprintf(stderr,
+               "invalid --shard-backend=%s (must be 'inproc' or 'process'; "
+               "inproc = the in-process shard driver, byte-identical to the "
+               "seed; process = one factormld worker per shard over "
+               "length-prefixed socket frames, bit-identical results)\n",
+               it->second.c_str());
+  std::exit(2);
+}
+
+int64_t ArgParser::GetShardTimeoutMs(int64_t default_value) const {
+  auto it = kv_.find("shard-timeout-ms");
+  if (it == kv_.end()) return default_value < 1 ? 1 : default_value;
+  errno = 0;
+  char* end = nullptr;
+  const long long ms = std::strtoll(it->second.c_str(), &end, 10);
+  if (errno == ERANGE || end == it->second.c_str() || *end != '\0' || ms < 1) {
+    std::fprintf(stderr,
+                 "invalid --shard-timeout-ms=%s (must be an integer >= 1: "
+                 "per-worker deadline before a shard worker is declared dead "
+                 "and its spans are requeued)\n",
+                 it->second.c_str());
+    std::exit(2);
+  }
+  return static_cast<int64_t>(ms);
+}
+
+std::string ArgParser::GetShardTransport(
+    const std::string& default_value) const {
+  auto it = kv_.find("shard-transport");
+  if (it == kv_.end()) return default_value;
+  if (it->second == "unix" || it->second == "tcp") return it->second;
+  std::fprintf(stderr,
+               "invalid --shard-transport=%s (must be 'unix' or 'tcp'; unix = "
+               "a Unix-domain socket in the temp dir, tcp = 127.0.0.1 with a "
+               "kernel-assigned port; same wire format either way)\n",
+               it->second.c_str());
+  std::exit(2);
 }
 
 int64_t ArgParser::GetTraceBufferKb(int64_t default_value) const {

@@ -88,6 +88,28 @@ class ArgParser {
   /// up front, not after the traced run has burned its wall time.
   std::string GetTracePath(const std::string& default_value = "") const;
 
+  /// The shared `--shard-backend={inproc,process}` flag: execution backend
+  /// for `--shards=N`. inproc (the default) drives shard scans in the
+  /// calling process — byte-identical to the pre-backend engine. process
+  /// forks one `factormld` worker per shard and exchanges serialized
+  /// ShardDeltas over length-prefixed socket frames; results are
+  /// bit-identical to inproc at the same shard/morsel geometry. Anything
+  /// else exits(2) listing the choices.
+  std::string GetShardBackend(const std::string& default_value = "inproc") const;
+
+  /// The shared `--shard-timeout-ms=N` flag: per-worker liveness deadline
+  /// of the process shard backend (default 30000). A worker that produces
+  /// no frame within the deadline is declared dead; its unfinished spans
+  /// are requeued on a healthy worker with bit-identical results. Values
+  /// < 1 or non-integers are rejected with an error and exit(2).
+  int64_t GetShardTimeoutMs(int64_t default_value = 30000) const;
+
+  /// The shared `--shard-transport={unix,tcp}` flag: socket family of the
+  /// process shard backend. unix (the default) uses a Unix-domain socket
+  /// under the run's temp dir; tcp uses 127.0.0.1 with a kernel-assigned
+  /// port. Identical wire format and results. Anything else exits(2).
+  std::string GetShardTransport(const std::string& default_value = "unix") const;
+
   /// The shared `--trace-buffer-kb=N` flag: per-thread trace ring capacity
   /// in KiB (default 1024). Overflow beyond the ring drops events
   /// (counted), never blocks. Values < 1 or non-integers are rejected

@@ -1,0 +1,58 @@
+#ifndef FACTORML_COMMON_JSON_H_
+#define FACTORML_COMMON_JSON_H_
+
+#include <cmath>
+#include <cstdio>
+#include <string>
+
+namespace factorml {
+
+/// Renders a double as a JSON value. JSON has no inf/nan literals — a
+/// non-finite value silently printed as `inf` or `-nan` makes the whole
+/// artifact unparseable — so every emitter in the tree (bench --json rows,
+/// the obs metrics snapshot, run manifests) routes its doubles through
+/// here: non-finite renders as `null`, finite at full round-trip
+/// precision.
+inline std::string JsonDouble(double v) {
+  if (!std::isfinite(v)) return "null";
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+/// Minimal JSON string escape (quotes, backslashes, control chars) shared
+/// by every emitter of free-form fields (manifest paths, bench section
+/// names, error strings).
+inline std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace factorml
+
+#endif  // FACTORML_COMMON_JSON_H_

@@ -84,6 +84,34 @@ struct StrategyOptions {
   /// reassociation tolerance.
   la::KernelMode kernels = la::KernelMode::kScalar;
   std::string temp_dir = ".";
+  /// Execution backend for shards > 1. "inproc" (default) drives shard
+  /// scans in this process via ShardedDriver — byte-identical to the
+  /// pre-backend engine. "process" forks one factormld worker per shard
+  /// and exchanges ShardDelta bytes over length-prefixed socket frames
+  /// (core/pipeline/shard_rpc.h); bit-identical results by the same
+  /// chunk-ordered merge.
+  std::string shard_backend = "inproc";
+  /// Per-worker liveness deadline of the process backend, in
+  /// milliseconds: a worker producing no frame within it is declared dead
+  /// and its unfinished spans are requeued on a healthy worker.
+  int64_t shard_timeout_ms = 30000;
+  /// Socket family of the process backend: "unix" (default, a socket
+  /// under temp_dir) or "tcp" (127.0.0.1, kernel-assigned port).
+  std::string shard_transport = "unix";
+  /// Explicit path to the factormld worker binary. Empty (default)
+  /// resolves via $FACTORMLD, then a sibling of the running executable,
+  /// then $PATH.
+  std::string shard_worker_path;
+  /// Set only inside a factormld worker process: the link back to the
+  /// coordinator. RunTraining then follows the coordinator's PASS/APPLY
+  /// frames instead of owning the shard schedule. Never set by users.
+  class ShardWorkerLink* shard_channel = nullptr;
+  /// Family tag + encoded family options for the process backend's JOB
+  /// frame (e.g. "gmm" + EncodeShardJob(options)), filled by the Train*
+  /// wrappers when shard_backend == "process". Workers decode the blob to
+  /// rebuild the exact same ModelProgram.
+  std::string shard_job_family;
+  std::string shard_job_blob;
 };
 
 /// Chunk size used when stealing or sharding is requested without an
@@ -200,6 +228,10 @@ StrategyOptions LiftStrategyOptions(const Options& options) {
   sopt.shards = options.shards;
   sopt.kernels = options.kernels;
   sopt.temp_dir = options.temp_dir;
+  sopt.shard_backend = options.shard_backend;
+  sopt.shard_timeout_ms = options.shard_timeout_ms;
+  sopt.shard_transport = options.shard_transport;
+  sopt.shard_worker_path = options.shard_worker_path;
   return sopt;
 }
 

@@ -205,6 +205,21 @@ class ModelProgram {
     return Status::OK();
   }
 
+  /// Whether a lost shard span of `pass` can be recovered by a bare
+  /// rescan on a surviving worker: true when re-running RunPass over the
+  /// lost chunks — with no BeginPass replay — reproduces the lost slot
+  /// state bit-exactly. That holds by default (accumulate hooks read only
+  /// parameters fixed at BeginPass), but a program whose EARLIER EndPass
+  /// in the same iteration already mutated parameters that this pass's
+  /// sibling passes read (GMM: EndPass(mean) rewrites mu before the cov
+  /// pass) must return false for the affected passes; the process shard
+  /// backend then falls back to a deterministic full-run restart instead
+  /// of a mid-iteration rescan.
+  virtual bool ShardRecoverableAtPass(int pass) const {
+    (void)pass;
+    return true;
+  }
+
   // --------------------------------------------------- mini-batch plane
   /// R1-rid visit order for this epoch (the paper's per-epoch key
   /// permutation for SGD); empty = natural order.

@@ -8,6 +8,7 @@
 #include <string>
 
 #include "core/pipeline/access_internal.h"
+#include "core/pipeline/shard_rpc.h"
 #include "core/pipeline/sharded_driver.h"
 #include "exec/thread_pool.h"
 #include "obs/metrics.h"
@@ -32,53 +33,24 @@ Result<std::unique_ptr<AccessStrategy>> AccessStrategy::Create(
   return Status::InvalidArgument("unknown algorithm");
 }
 
-Status RunTraining(const join::NormalizedRelations& rel, Algorithm algorithm,
-                   const StrategyOptions& options, ModelProgram* model,
-                   storage::BufferPool* pool, TrainReport* report) {
-  FML_RETURN_IF_ERROR(rel.Validate());
-  const uint32_t caps = model->Capabilities();
-  if ((caps & kNeedsTarget) != 0 && !rel.has_target) {
-    return Status::InvalidArgument(std::string(model->Name()) +
-                                   " training requires a target column");
-  }
-  FML_RETURN_IF_ERROR(model->ValidateOptions(rel));
-  if (algorithm == Algorithm::kFactorized && (caps & kFactorized) == 0) {
-    return Status::InvalidArgument(
-        std::string(model->Name()) +
-        " does not implement the factorized hooks; use the materialized or "
-        "streaming strategy");
-  }
-  FML_CHECK((caps & (kFullPass | kMiniBatch)) != 0 &&
-            (caps & (kFullPass | kMiniBatch)) != (kFullPass | kMiniBatch))
-      << model->Name() << ": exactly one driving plane must be declared";
-  const bool mini_batch = (caps & kMiniBatch) != 0;
+namespace {
 
+/// One full deterministic training run: strategy creation, shard-plane
+/// arming, the iteration loop, the report scope. `shard_driver` selects
+/// the shard backend: nullptr = the in-process ShardedDriver when shards
+/// are on; a ProcessShardCoordinator drives remote workers; a
+/// ShardWorkerDriver makes this process one of those workers. The process
+/// backend's restart protocol reruns this whole function — everything in
+/// it is a pure function of (on-disk data, resolved options), so a rerun
+/// reproduces the run bit-exactly.
+Status RunTrainingAttempt(const join::NormalizedRelations& rel,
+                          Algorithm algorithm,
+                          const StrategyOptions& resolved, bool mini_batch,
+                          ModelProgram* model, storage::BufferPool* pool,
+                          TrainReport* report,
+                          ShardPassDriver* shard_driver) {
   ReportScope scope(report, std::string(1, AlgorithmPrefix(algorithm)) +
                                 "-" + model->Name());
-  StrategyOptions resolved = options;
-  resolved.threads = exec::EffectiveThreads(options.threads);
-  // Stealing needs a chunked decomposition to schedule over; an explicit
-  // morsel size wins, otherwise the default chunk size kicks in. The
-  // resolved morsel_rows — never the thread count or the steal schedule —
-  // is what the chunk-ordered results depend on.
-  if (resolved.morsel_rows < 0) resolved.morsel_rows = 0;
-  if (resolved.steal && resolved.morsel_rows == 0) {
-    resolved.morsel_rows = kDefaultMorselRows;
-  }
-  // Sharding needs the same chunked decomposition: shard = contiguous
-  // chunk span, slot = global chunk id. Like steal, --shards alone
-  // resolves to the default morsel size; the parity contract is against
-  // --shards=1 at the same resolved morsel_rows.
-  if (resolved.shards < 1) resolved.shards = 1;
-  if (resolved.shards > 1) {
-    if (mini_batch) {
-      return Status::InvalidArgument(
-          std::string(model->Name()) +
-          ": --shards requires the full-pass plane; mini-batch (SGD) "
-          "epochs are sequential and train unsharded");
-    }
-    if (resolved.morsel_rows == 0) resolved.morsel_rows = kDefaultMorselRows;
-  }
   if (report != nullptr) report->threads = resolved.threads;
   // Bind the compute-kernel backend before any worker runs: one process-
   // wide vtable swap (la/kernels.h), plus the strip-decode switch the
@@ -103,8 +75,12 @@ Status RunTraining(const join::NormalizedRelations& rel, Algorithm algorithm,
   // the ShardDeltas in shard-id order (see sharded_driver.h).
   ShardedDriver sharded;
   const bool use_shards = resolved.shards > 1 && !mini_batch;
-  if (use_shards) {
-    FML_RETURN_IF_ERROR(sharded.Init(strategy.get(), resolved.shards, report));
+  ShardPassDriver* driver = shard_driver;
+  if (driver == nullptr && use_shards) driver = &sharded;
+  if (driver != nullptr) {
+    FML_RETURN_IF_ERROR(driver->Init(strategy.get(),
+                                     static_cast<int>(resolved.shards),
+                                     report));
   }
   FML_RETURN_IF_ERROR(model->Init(ctx));
 
@@ -140,9 +116,9 @@ Status RunTraining(const join::NormalizedRelations& rel, Algorithm algorithm,
             model->BeginPass(ctx, iter, pass, strategy->NumWorkers()));
         {
           PhaseScope phase(report, model->PassName(pass));
-          if (use_shards) {
+          if (driver != nullptr) {
             FML_RETURN_IF_ERROR(
-                sharded.RunPass(strategy.get(), ctx, model, pass));
+                driver->RunPass(strategy.get(), ctx, model, pass));
           } else {
             FML_RETURN_IF_ERROR(strategy->RunPass(ctx, model, pass));
           }
@@ -157,7 +133,103 @@ Status RunTraining(const join::NormalizedRelations& rel, Algorithm algorithm,
     }
   }
   scope.Finish(iterations, model->Objective());
+  // Backend epilogue after the report is final: the process coordinator
+  // verifies bitwise objective agreement with every worker and shuts the
+  // crew down; the worker driver reports DONE and waits for BYE.
+  if (driver != nullptr) {
+    FML_RETURN_IF_ERROR(driver->Finish(model, report));
+  }
   return Status::OK();
+}
+
+}  // namespace
+
+Status RunTraining(const join::NormalizedRelations& rel, Algorithm algorithm,
+                   const StrategyOptions& options, ModelProgram* model,
+                   storage::BufferPool* pool, TrainReport* report) {
+  FML_RETURN_IF_ERROR(rel.Validate());
+  const uint32_t caps = model->Capabilities();
+  if ((caps & kNeedsTarget) != 0 && !rel.has_target) {
+    return Status::InvalidArgument(std::string(model->Name()) +
+                                   " training requires a target column");
+  }
+  FML_RETURN_IF_ERROR(model->ValidateOptions(rel));
+  if (algorithm == Algorithm::kFactorized && (caps & kFactorized) == 0) {
+    return Status::InvalidArgument(
+        std::string(model->Name()) +
+        " does not implement the factorized hooks; use the materialized or "
+        "streaming strategy");
+  }
+  FML_CHECK((caps & (kFullPass | kMiniBatch)) != 0 &&
+            (caps & (kFullPass | kMiniBatch)) != (kFullPass | kMiniBatch))
+      << model->Name() << ": exactly one driving plane must be declared";
+  const bool mini_batch = (caps & kMiniBatch) != 0;
+
+  StrategyOptions resolved = options;
+  resolved.threads = exec::EffectiveThreads(options.threads);
+  // Stealing needs a chunked decomposition to schedule over; an explicit
+  // morsel size wins, otherwise the default chunk size kicks in. The
+  // resolved morsel_rows — never the thread count or the steal schedule —
+  // is what the chunk-ordered results depend on.
+  if (resolved.morsel_rows < 0) resolved.morsel_rows = 0;
+  if (resolved.steal && resolved.morsel_rows == 0) {
+    resolved.morsel_rows = kDefaultMorselRows;
+  }
+  // Sharding needs the same chunked decomposition: shard = contiguous
+  // chunk span, slot = global chunk id. Like steal, --shards alone
+  // resolves to the default morsel size; the parity contract is against
+  // --shards=1 at the same resolved morsel_rows.
+  if (resolved.shards < 1) resolved.shards = 1;
+  if (resolved.shards > 1) {
+    if (mini_batch) {
+      return Status::InvalidArgument(
+          std::string(model->Name()) +
+          ": --shards requires the full-pass plane; mini-batch (SGD) "
+          "epochs are sequential and train unsharded");
+    }
+    if (resolved.morsel_rows == 0) resolved.morsel_rows = kDefaultMorselRows;
+  }
+  if (resolved.shard_backend != "inproc" &&
+      resolved.shard_backend != "process") {
+    return Status::InvalidArgument("unknown --shard-backend=" +
+                                   resolved.shard_backend +
+                                   " (expected inproc or process)");
+  }
+
+  // Worker mode: this process IS a shard worker; the coordinator on the
+  // other end of shard_channel drives its passes. Single attempt — the
+  // restart sentinel propagates to factormld, which reruns with a fresh
+  // program.
+  if (resolved.shard_channel != nullptr) {
+    ShardWorkerDriver worker(resolved.shard_channel);
+    return RunTrainingAttempt(rel, algorithm, resolved, mini_batch, model,
+                              pool, report, &worker);
+  }
+
+  if (resolved.shard_backend == "process" && resolved.shards > 1) {
+    if (resolved.shard_job_family.empty() ||
+        resolved.shard_job_blob.empty()) {
+      return Status::InvalidArgument(
+          std::string(model->Name()) +
+          ": this trainer entry point does not support "
+          "--shard-backend=process (no shard job spec)");
+    }
+    // One coordinator (and worker crew) for all attempts; a restart
+    // sentinel reruns the attempt on the surviving workers.
+    ProcessShardCoordinator coordinator(resolved, algorithm, &rel, pool);
+    constexpr int kMaxAttempts = 3;
+    for (int attempt = 0; attempt < kMaxAttempts; ++attempt) {
+      const Status st = RunTrainingAttempt(rel, algorithm, resolved,
+                                           mini_batch, model, pool, report,
+                                           &coordinator);
+      if (!IsShardRestart(st)) return st;
+    }
+    return Status::Internal(
+        "process shard backend: restart budget exhausted");
+  }
+
+  return RunTrainingAttempt(rel, algorithm, resolved, mini_batch, model,
+                            pool, report, /*shard_driver=*/nullptr);
 }
 
 Result<la::Matrix> AssembleJoinedRows(const join::NormalizedRelations& rel,

@@ -42,6 +42,41 @@ ShardDelta ExtractShardDelta(ModelProgram* model, int pass, int shard,
 Status ApplyShardDelta(ModelProgram* model, int pass,
                        const ShardDelta& delta);
 
+/// What RunTraining drives when shards > 1, independent of where the
+/// shard scans execute. The in-process backend (ShardedDriver, below)
+/// scans every shard on this process's workers; the process backend
+/// (ProcessShardCoordinator, core/pipeline/shard_rpc.h) farms spans out
+/// to factormld worker processes over sockets and applies the returned
+/// ShardDelta bytes through the exact same chunk-ordered merge. Both
+/// satisfy the same contract: after RunPass the model's merged state is
+/// bit-identical to the unsharded run at the same resolved morsel size.
+class ShardPassDriver {
+ public:
+  virtual ~ShardPassDriver() = default;
+
+  /// Builds the shard plan over the strategy's (already Prepared) morsel
+  /// plan; the effective shard count lands in report->shards with one
+  /// ShardStat per shard. Called once, before model->Init.
+  virtual Status Init(AccessStrategy* strategy, int shards,
+                      TrainReport* report) = 0;
+
+  /// One sharded full pass: scan (locally or remotely), then apply +
+  /// merge all shard deltas in global chunk order.
+  virtual Status RunPass(AccessStrategy* strategy, const PipelineContext& ctx,
+                         ModelProgram* model, int pass) = 0;
+
+  /// Called once after the iteration loop, with the final objective
+  /// available. Backends with external workers verify convergence
+  /// agreement and shut the workers down here.
+  virtual Status Finish(ModelProgram* model, TrainReport* report) {
+    (void)model;
+    (void)report;
+    return Status::OK();
+  }
+
+  virtual const exec::ShardPlan& plan() const = 0;
+};
+
 /// The shard plane's in-process backend: drives one RunTraining-style full
 /// pass per shard over a strategy's morsel plan and merges the resulting
 /// ShardDeltas in shard-id order.
@@ -67,25 +102,26 @@ Status ApplyShardDelta(ModelProgram* model, int pass,
 /// A distributed backend replaces only the scan step — each remote shard
 /// runs the same span over its own pools and ships its ShardDelta back —
 /// and inherits the merge semantics verified here.
-class ShardedDriver : public ShardScanObserver {
+class ShardedDriver : public ShardPassDriver, public ShardScanObserver {
  public:
   /// Builds the shard plan over the strategy's (already Prepared) morsel
   /// plan; the effective shard count (= requested, bounded by the chunk
   /// count) lands in report->shards with one ShardStat per shard.
-  Status Init(AccessStrategy* strategy, int shards, TrainReport* report);
+  Status Init(AccessStrategy* strategy, int shards,
+              TrainReport* report) override;
 
   /// One sharded full pass: arms the strategy's shard plane, scans shard
   /// by shard (OnShardScanned accounts each window and extracts its
   /// delta), then applies the deltas and merges the chunk slots in
   /// shard-id order.
   Status RunPass(AccessStrategy* strategy, const PipelineContext& ctx,
-                 ModelProgram* model, int pass);
+                 ModelProgram* model, int pass) override;
 
   /// ShardScanObserver: called by the strategy after each shard's span has
   /// been scanned and drained.
   Status OnShardScanned(int shard) override;
 
-  const exec::ShardPlan& plan() const { return plan_; }
+  const exec::ShardPlan& plan() const override { return plan_; }
 
  private:
   exec::ShardPlan plan_;

@@ -2,6 +2,7 @@
 #define FACTORML_GMM_TRAINERS_H_
 
 #include <cstdint>
+#include <memory>
 #include <string>
 
 #include "common/status.h"
@@ -10,6 +11,10 @@
 #include "join/normalized_relations.h"
 #include "la/kernels.h"
 #include "storage/buffer_pool.h"
+
+namespace factorml::core::pipeline {
+class ModelProgram;
+}
 
 namespace factorml::gmm {
 
@@ -80,6 +85,17 @@ struct GmmOptions {
   /// identical either way; objectives and params agree to floating-point
   /// reassociation tolerance.
   la::KernelMode kernels = la::KernelMode::kScalar;
+  /// Shard execution backend (--shard-backend, see StrategyOptions):
+  /// "inproc" (default) keeps the byte-identical in-process driver;
+  /// "process" farms shard scans out to factormld worker processes over
+  /// length-prefixed socket frames — bit-identical results either way.
+  std::string shard_backend = "inproc";
+  /// Process-backend liveness deadline per worker, in milliseconds.
+  int64_t shard_timeout_ms = 30000;
+  /// Process-backend socket family: "unix" (default) or "tcp" loopback.
+  std::string shard_transport = "unix";
+  /// Explicit factormld binary path; empty = resolve automatically.
+  std::string shard_worker_path;
 };
 
 /// Algorithm M-GMM (paper Algorithm 1): joins S with R1..Rq, materializes
@@ -107,6 +123,16 @@ Result<GmmParams> TrainGmmFactorized(const join::NormalizedRelations& rel,
                                      const GmmOptions& options,
                                      storage::BufferPool* pool,
                                      core::TrainReport* report);
+
+/// Process-shard-backend seam (core/pipeline/shard_rpc.h): the
+/// coordinator serializes the math-relevant GmmOptions into the JOB
+/// frame's family blob; a factormld worker decodes the blob and rebuilds
+/// the identical ModelProgram, so both sides run the same EM recurrence
+/// from the same deterministic initialization.
+std::string EncodeShardJob(const GmmOptions& options);
+Result<GmmOptions> DecodeShardJob(const std::string& blob);
+std::unique_ptr<core::pipeline::ModelProgram> MakeShardProgram(
+    const GmmOptions& options);
 
 }  // namespace factorml::gmm
 

@@ -20,6 +20,7 @@
 #include "kmeans/kmeans.h"
 #include "la/kernels.h"
 #include "la/ops.h"
+#include "net/wire.h"
 #include "obs/metrics.h"
 
 namespace factorml::kmeans {
@@ -442,10 +443,45 @@ Result<KmeansModel> TrainKmeans(const join::NormalizedRelations& rel,
                                 storage::BufferPool* pool,
                                 core::TrainReport* report) {
   KmeansProgram program(options);
-  FML_RETURN_IF_ERROR(core::pipeline::RunTraining(
-      rel, algorithm, core::pipeline::LiftStrategyOptions(options), &program,
-      pool, report));
+  core::pipeline::StrategyOptions sopt =
+      core::pipeline::LiftStrategyOptions(options);
+  if (sopt.shard_backend == "process") {
+    sopt.shard_job_family = "kmeans";
+    sopt.shard_job_blob = EncodeShardJob(options);
+  }
+  FML_RETURN_IF_ERROR(
+      core::pipeline::RunTraining(rel, algorithm, sopt, &program, pool,
+                                  report));
   return std::move(program).TakeModel();
+}
+
+std::string EncodeShardJob(const KmeansOptions& options) {
+  net::ByteWriter w;
+  w.U64(options.num_clusters);
+  w.I64(options.max_iters);
+  w.F64(options.tol);
+  return w.Take();
+}
+
+Result<KmeansOptions> DecodeShardJob(const std::string& blob) {
+  KmeansOptions options;
+  net::ByteReader r(blob);
+  uint64_t k = 0;
+  int64_t max_iters = 0;
+  FML_RETURN_IF_ERROR(r.U64(&k));
+  FML_RETURN_IF_ERROR(r.I64(&max_iters));
+  FML_RETURN_IF_ERROR(r.F64(&options.tol));
+  if (!r.AtEnd()) {
+    return Status::InvalidArgument("kmeans shard job: trailing bytes");
+  }
+  options.num_clusters = k;
+  options.max_iters = static_cast<int>(max_iters);
+  return options;
+}
+
+std::unique_ptr<core::pipeline::ModelProgram> MakeShardProgram(
+    const KmeansOptions& options) {
+  return std::make_unique<KmeansProgram>(options);
 }
 
 }  // namespace factorml::kmeans

@@ -19,6 +19,7 @@
 #include "la/kernels.h"
 #include "la/ops.h"
 #include "linreg/linreg.h"
+#include "net/wire.h"
 #include "obs/metrics.h"
 
 namespace factorml::linreg {
@@ -360,10 +361,41 @@ Result<LinregModel> TrainLinreg(const join::NormalizedRelations& rel,
                                 storage::BufferPool* pool,
                                 core::TrainReport* report) {
   LinregProgram program(options);
-  FML_RETURN_IF_ERROR(core::pipeline::RunTraining(
-      rel, algorithm, core::pipeline::LiftStrategyOptions(options), &program,
-      pool, report));
+  core::pipeline::StrategyOptions sopt =
+      core::pipeline::LiftStrategyOptions(options);
+  if (sopt.shard_backend == "process") {
+    sopt.shard_job_family = "linreg";
+    sopt.shard_job_blob = EncodeShardJob(options);
+  }
+  FML_RETURN_IF_ERROR(
+      core::pipeline::RunTraining(rel, algorithm, sopt, &program, pool,
+                                  report));
   return std::move(program).TakeModel();
+}
+
+std::string EncodeShardJob(const LinregOptions& options) {
+  net::ByteWriter w;
+  w.F64(options.l2);
+  w.U8(options.intercept ? 1 : 0);
+  return w.Take();
+}
+
+Result<LinregOptions> DecodeShardJob(const std::string& blob) {
+  LinregOptions options;
+  net::ByteReader r(blob);
+  uint8_t intercept = 0;
+  FML_RETURN_IF_ERROR(r.F64(&options.l2));
+  FML_RETURN_IF_ERROR(r.U8(&intercept));
+  if (!r.AtEnd()) {
+    return Status::InvalidArgument("linreg shard job: trailing bytes");
+  }
+  options.intercept = intercept != 0;
+  return options;
+}
+
+std::unique_ptr<core::pipeline::ModelProgram> MakeShardProgram(
+    const LinregOptions& options) {
+  return std::make_unique<LinregProgram>(options);
 }
 
 }  // namespace factorml::linreg

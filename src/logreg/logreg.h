@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <cstddef>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -12,6 +13,10 @@
 #include "join/normalized_relations.h"
 #include "la/kernels.h"
 #include "storage/buffer_pool.h"
+
+namespace factorml::core::pipeline {
+class ModelProgram;
+}
 
 namespace factorml::logreg {
 
@@ -64,6 +69,17 @@ struct LogregOptions {
   /// identical either way; objectives and params agree to floating-point
   /// reassociation tolerance.
   la::KernelMode kernels = la::KernelMode::kScalar;
+  /// Shard execution backend (--shard-backend, see StrategyOptions):
+  /// "inproc" (default) keeps the byte-identical in-process driver;
+  /// "process" farms shard scans out to factormld worker processes over
+  /// length-prefixed socket frames — bit-identical results either way.
+  std::string shard_backend = "inproc";
+  /// Process-backend liveness deadline per worker, in milliseconds.
+  int64_t shard_timeout_ms = 30000;
+  /// Process-backend socket family: "unix" (default) or "tcp" loopback.
+  std::string shard_transport = "unix";
+  /// Explicit factormld binary path; empty = resolve automatically.
+  std::string shard_worker_path;
 };
 
 /// A trained logistic model over the joined feature vector
@@ -89,6 +105,14 @@ Result<LogregModel> TrainLogreg(const join::NormalizedRelations& rel,
                                 core::Algorithm algorithm,
                                 storage::BufferPool* pool,
                                 core::TrainReport* report);
+
+/// Process-shard-backend seam (core/pipeline/shard_rpc.h): serialize /
+/// decode the math-relevant LogregOptions for the JOB frame's family blob
+/// and rebuild the identical ModelProgram on a factormld worker.
+std::string EncodeShardJob(const LogregOptions& options);
+Result<LogregOptions> DecodeShardJob(const std::string& blob);
+std::unique_ptr<core::pipeline::ModelProgram> MakeShardProgram(
+    const LogregOptions& options);
 
 }  // namespace factorml::logreg
 

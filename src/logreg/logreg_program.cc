@@ -25,6 +25,7 @@
 #include "la/kernels.h"
 #include "la/ops.h"
 #include "logreg/logreg.h"
+#include "net/wire.h"
 #include "obs/metrics.h"
 
 namespace factorml::logreg {
@@ -446,10 +447,47 @@ Result<LogregModel> TrainLogreg(const join::NormalizedRelations& rel,
                                 storage::BufferPool* pool,
                                 core::TrainReport* report) {
   LogregProgram program(options);
-  FML_RETURN_IF_ERROR(core::pipeline::RunTraining(
-      rel, algorithm, core::pipeline::LiftStrategyOptions(options), &program,
-      pool, report));
+  core::pipeline::StrategyOptions sopt =
+      core::pipeline::LiftStrategyOptions(options);
+  if (sopt.shard_backend == "process") {
+    sopt.shard_job_family = "logreg";
+    sopt.shard_job_blob = EncodeShardJob(options);
+  }
+  FML_RETURN_IF_ERROR(
+      core::pipeline::RunTraining(rel, algorithm, sopt, &program, pool,
+                                  report));
   return std::move(program).TakeModel();
+}
+
+std::string EncodeShardJob(const LogregOptions& options) {
+  net::ByteWriter w;
+  w.F64(options.l2);
+  w.U8(options.intercept ? 1 : 0);
+  w.I64(options.max_iters);
+  w.F64(options.tol);
+  return w.Take();
+}
+
+Result<LogregOptions> DecodeShardJob(const std::string& blob) {
+  LogregOptions options;
+  net::ByteReader r(blob);
+  uint8_t intercept = 0;
+  int64_t max_iters = 0;
+  FML_RETURN_IF_ERROR(r.F64(&options.l2));
+  FML_RETURN_IF_ERROR(r.U8(&intercept));
+  FML_RETURN_IF_ERROR(r.I64(&max_iters));
+  FML_RETURN_IF_ERROR(r.F64(&options.tol));
+  if (!r.AtEnd()) {
+    return Status::InvalidArgument("logreg shard job: trailing bytes");
+  }
+  options.intercept = intercept != 0;
+  options.max_iters = static_cast<int>(max_iters);
+  return options;
+}
+
+std::unique_ptr<core::pipeline::ModelProgram> MakeShardProgram(
+    const LogregOptions& options) {
+  return std::make_unique<LogregProgram>(options);
 }
 
 }  // namespace factorml::logreg

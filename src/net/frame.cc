@@ -1,0 +1,66 @@
+#include "net/frame.h"
+
+#include <cstring>
+
+namespace factorml::net {
+
+namespace {
+constexpr char kFrameMagic[4] = {'F', 'M', 'L', 'F'};
+}  // namespace
+
+std::string EncodeFrame(uint32_t type, const std::string& payload) {
+  FML_CHECK_LE(payload.size(), kMaxFramePayload);
+  std::string out;
+  out.reserve(kFrameHeaderBytes + payload.size());
+  out.append(kFrameMagic, sizeof(kFrameMagic));
+  char buf[sizeof(uint64_t)];
+  std::memcpy(buf, &type, sizeof(type));
+  out.append(buf, sizeof(type));
+  const uint64_t len = payload.size();
+  std::memcpy(buf, &len, sizeof(len));
+  out.append(buf, sizeof(len));
+  out.append(payload);
+  return out;
+}
+
+void FrameDecoder::Feed(const char* data, size_t len) {
+  if (failed_) return;
+  // Compact lazily: drop consumed bytes once they dominate the buffer so
+  // long-lived connections don't grow without bound.
+  if (consumed_ > 0 && consumed_ >= buf_.size() / 2) {
+    buf_.erase(0, consumed_);
+    consumed_ = 0;
+  }
+  buf_.append(data, len);
+}
+
+Status FrameDecoder::Next(Frame* frame, bool* got) {
+  *got = false;
+  if (failed_) return error_;
+  if (buf_.size() - consumed_ < kFrameHeaderBytes) return Status::OK();
+  const char* hdr = buf_.data() + consumed_;
+  if (std::memcmp(hdr, kFrameMagic, sizeof(kFrameMagic)) != 0) {
+    failed_ = true;
+    error_ = Status::InvalidArgument("frame: bad magic (corrupted stream)");
+    return error_;
+  }
+  uint32_t type;
+  uint64_t len;
+  std::memcpy(&type, hdr + 4, sizeof(type));
+  std::memcpy(&len, hdr + 8, sizeof(len));
+  if (len > kMaxFramePayload) {
+    failed_ = true;
+    error_ = Status::InvalidArgument(
+        "frame: payload length " + std::to_string(len) +
+        " exceeds bound (corrupted or hostile header)");
+    return error_;
+  }
+  if (buf_.size() - consumed_ < kFrameHeaderBytes + len) return Status::OK();
+  frame->type = type;
+  frame->payload.assign(hdr + kFrameHeaderBytes, static_cast<size_t>(len));
+  consumed_ += kFrameHeaderBytes + static_cast<size_t>(len);
+  *got = true;
+  return Status::OK();
+}
+
+}  // namespace factorml::net

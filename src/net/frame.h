@@ -1,0 +1,60 @@
+#ifndef FACTORML_NET_FRAME_H_
+#define FACTORML_NET_FRAME_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+
+namespace factorml::net {
+
+/// Length-prefixed frame header, the only framing the shard RPC plane
+/// needs (no external RPC dependency):
+///   bytes [0, 4)   magic "FMLF"
+///   bytes [4, 8)   uint32 frame type (opaque to this layer)
+///   bytes [8, 16)  uint64 payload length
+///   bytes [16, ..) payload
+struct Frame {
+  uint32_t type = 0;
+  std::string payload;
+};
+
+inline constexpr size_t kFrameHeaderBytes = 16;
+
+/// Upper bound on a single frame payload (1 GiB). A corrupted or
+/// malicious length field is rejected against this bound *before* any
+/// allocation happens — the length is attacker-controlled data and must
+/// never size a buffer unchecked.
+inline constexpr uint64_t kMaxFramePayload = 1ull << 30;
+
+/// Serializes one frame (header + payload).
+std::string EncodeFrame(uint32_t type, const std::string& payload);
+
+/// Incremental frame parser: feed it whatever the socket produced — any
+/// split, including mid-header — and poll complete frames out. Invalid
+/// input (bad magic, oversized length) puts the decoder into a sticky
+/// error state; the connection is then unrecoverable by construction
+/// (stream framing has no resync point) and must be closed.
+class FrameDecoder {
+ public:
+  /// Appends received bytes to the internal buffer. No-op in error state.
+  void Feed(const char* data, size_t len);
+
+  /// Extracts the next complete frame. Returns OK with *got=true and the
+  /// frame, OK with *got=false when more bytes are needed, or the sticky
+  /// error after garbage input.
+  Status Next(Frame* frame, bool* got);
+
+  /// Bytes buffered but not yet consumed as frames.
+  size_t buffered() const { return buf_.size() - consumed_; }
+
+ private:
+  std::string buf_;
+  size_t consumed_ = 0;
+  Status error_;
+  bool failed_ = false;
+};
+
+}  // namespace factorml::net
+
+#endif  // FACTORML_NET_FRAME_H_

@@ -1,0 +1,324 @@
+// POSIX socket plumbing of the shard RPC plane. Everything here is
+// EINTR/partial-I/O correct from day one: reads and writes loop on short
+// counts and EINTR, sends are MSG_NOSIGNAL so a dead peer is an error
+// value instead of a SIGPIPE, and nothing ever blocks without a caller-
+// chosen deadline (the coordinator's failure detector is poll()-based).
+
+#include "net/socket.h"
+
+#include <arpa/inet.h>
+#include <errno.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <string.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <chrono>
+
+#include "obs/metrics.h"
+
+namespace factorml::net {
+
+namespace {
+
+obs::Counter* BytesSent() {
+  static obs::Counter* c = obs::Registry::Instance().GetCounter("net.bytes_sent");
+  return c;
+}
+obs::Counter* BytesRecv() {
+  static obs::Counter* c = obs::Registry::Instance().GetCounter("net.bytes_recv");
+  return c;
+}
+obs::Counter* FramesSent() {
+  static obs::Counter* c =
+      obs::Registry::Instance().GetCounter("net.frames_sent");
+  return c;
+}
+obs::Counter* FramesRecv() {
+  static obs::Counter* c =
+      obs::Registry::Instance().GetCounter("net.frames_recv");
+  return c;
+}
+
+int64_t NowMillis() {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+Status Errno(const std::string& what) {
+  return Status::IoError(what + ": " + std::string(strerror(errno)));
+}
+
+void SetCloexec(int fd) { fcntl(fd, F_SETFD, FD_CLOEXEC); }
+
+}  // namespace
+
+Status SendAll(int fd, const char* data, size_t len) {
+  size_t off = 0;
+  while (off < len) {
+    const ssize_t n = send(fd, data + off, len - off, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        // Blocking sockets only reach here via SO_SNDTIMEO (unused), but
+        // loop through poll anyway rather than spinning.
+        struct pollfd p = {fd, POLLOUT, 0};
+        if (poll(&p, 1, -1) < 0 && errno != EINTR) return Errno("poll");
+        continue;
+      }
+      return Errno("send");
+    }
+    off += static_cast<size_t>(n);
+  }
+  BytesSent()->Add(static_cast<int64_t>(len));
+  return Status::OK();
+}
+
+void FrameConn::Close() {
+  if (fd_ >= 0) {
+    close(fd_);
+    fd_ = -1;
+  }
+}
+
+Status FrameConn::SendFrame(uint32_t type, const std::string& payload) {
+  if (fd_ < 0) return Status::IoError("send on closed connection");
+  const std::string wire = EncodeFrame(type, payload);
+  FML_RETURN_IF_ERROR(SendAll(fd_, wire.data(), wire.size()));
+  FramesSent()->Add();
+  return Status::OK();
+}
+
+Status FrameConn::ReadAvailable() {
+  if (fd_ < 0) return Status::IoError("read on closed connection");
+  char buf[64 * 1024];
+  while (true) {
+    const ssize_t n = recv(fd_, buf, sizeof(buf), MSG_DONTWAIT);
+    if (n > 0) {
+      decoder_.Feed(buf, static_cast<size_t>(n));
+      BytesRecv()->Add(n);
+      if (static_cast<size_t>(n) < sizeof(buf)) return Status::OK();
+      continue;
+    }
+    if (n == 0) {
+      eof_ = true;
+      return Status::OK();
+    }
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return Status::OK();
+    return Errno("recv");
+  }
+}
+
+Status FrameConn::RecvFrame(Frame* frame, int timeout_ms) {
+  const int64_t deadline =
+      timeout_ms < 0 ? -1 : NowMillis() + timeout_ms;
+  while (true) {
+    bool got = false;
+    FML_RETURN_IF_ERROR(decoder_.Next(frame, &got));
+    if (got) {
+      FramesRecv()->Add();
+      return Status::OK();
+    }
+    if (eof_) {
+      return Status::IoError("connection closed by peer mid-frame");
+    }
+    int wait = -1;
+    if (deadline >= 0) {
+      const int64_t left = deadline - NowMillis();
+      if (left <= 0) {
+        return Status::FailedPrecondition("frame receive timeout");
+      }
+      wait = static_cast<int>(left);
+    }
+    struct pollfd p = {fd_, POLLIN, 0};
+    const int r = poll(&p, 1, wait);
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      return Errno("poll");
+    }
+    if (r == 0) continue;  // deadline re-checked above
+    FML_RETURN_IF_ERROR(ReadAvailable());
+  }
+}
+
+Status Listener::ListenUnix(const std::string& path) {
+  struct sockaddr_un addr;
+  if (path.size() >= sizeof(addr.sun_path)) {
+    return Status::InvalidArgument("unix socket path too long: " + path);
+  }
+  fd_ = socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd_ < 0) return Errno("socket(AF_UNIX)");
+  SetCloexec(fd_);
+  unlink(path.c_str());
+  memset(&addr, 0, sizeof(addr));
+  addr.sun_family = AF_UNIX;
+  strncpy(addr.sun_path, path.c_str(), sizeof(addr.sun_path) - 1);
+  if (bind(fd_, reinterpret_cast<struct sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    return Errno("bind(" + path + ")");
+  }
+  if (listen(fd_, 64) < 0) return Errno("listen");
+  unix_path_ = path;
+  address_ = "unix:" + path;
+  return Status::OK();
+}
+
+Status Listener::ListenTcpLoopback() {
+  fd_ = socket(AF_INET, SOCK_STREAM, 0);
+  if (fd_ < 0) return Errno("socket(AF_INET)");
+  SetCloexec(fd_);
+  struct sockaddr_in addr;
+  memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = 0;  // kernel-assigned
+  if (bind(fd_, reinterpret_cast<struct sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    return Errno("bind(127.0.0.1)");
+  }
+  if (listen(fd_, 64) < 0) return Errno("listen");
+  socklen_t len = sizeof(addr);
+  if (getsockname(fd_, reinterpret_cast<struct sockaddr*>(&addr), &len) < 0) {
+    return Errno("getsockname");
+  }
+  address_ = "tcp:127.0.0.1:" + std::to_string(ntohs(addr.sin_port));
+  return Status::OK();
+}
+
+Status Listener::Accept(FrameConn* conn, int timeout_ms) {
+  const int64_t deadline = timeout_ms < 0 ? -1 : NowMillis() + timeout_ms;
+  while (true) {
+    int wait = -1;
+    if (deadline >= 0) {
+      const int64_t left = deadline - NowMillis();
+      if (left <= 0) return Status::FailedPrecondition("accept timeout");
+      wait = static_cast<int>(left);
+    }
+    struct pollfd p = {fd_, POLLIN, 0};
+    const int r = poll(&p, 1, wait);
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      return Errno("poll(accept)");
+    }
+    if (r == 0) continue;
+    const int cfd = accept(fd_, nullptr, nullptr);
+    if (cfd < 0) {
+      if (errno == EINTR || errno == ECONNABORTED) continue;
+      return Errno("accept");
+    }
+    SetCloexec(cfd);
+    *conn = FrameConn(cfd);
+    return Status::OK();
+  }
+}
+
+void Listener::Close() {
+  if (fd_ >= 0) {
+    close(fd_);
+    fd_ = -1;
+  }
+  if (!unix_path_.empty()) {
+    unlink(unix_path_.c_str());
+    unix_path_.clear();
+  }
+}
+
+Status ConnectAddress(const std::string& address, FrameConn* conn) {
+  if (address.rfind("unix:", 0) == 0) {
+    const std::string path = address.substr(5);
+    struct sockaddr_un addr;
+    if (path.size() >= sizeof(addr.sun_path)) {
+      return Status::InvalidArgument("unix socket path too long: " + path);
+    }
+    const int fd = socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0) return Errno("socket(AF_UNIX)");
+    SetCloexec(fd);
+    memset(&addr, 0, sizeof(addr));
+    addr.sun_family = AF_UNIX;
+    strncpy(addr.sun_path, path.c_str(), sizeof(addr.sun_path) - 1);
+    while (connect(fd, reinterpret_cast<struct sockaddr*>(&addr),
+                   sizeof(addr)) < 0) {
+      if (errno == EINTR) continue;
+      close(fd);
+      return Errno("connect(" + path + ")");
+    }
+    *conn = FrameConn(fd);
+    return Status::OK();
+  }
+  if (address.rfind("tcp:", 0) == 0) {
+    const std::string hostport = address.substr(4);
+    const size_t colon = hostport.rfind(':');
+    if (colon == std::string::npos) {
+      return Status::InvalidArgument("bad tcp address: " + address);
+    }
+    const std::string host = hostport.substr(0, colon);
+    const int port = std::atoi(hostport.substr(colon + 1).c_str());
+    const int fd = socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0) return Errno("socket(AF_INET)");
+    SetCloexec(fd);
+    struct sockaddr_in addr;
+    memset(&addr, 0, sizeof(addr));
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(static_cast<uint16_t>(port));
+    if (inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+      close(fd);
+      return Status::InvalidArgument("bad tcp host: " + host);
+    }
+    while (connect(fd, reinterpret_cast<struct sockaddr*>(&addr),
+                   sizeof(addr)) < 0) {
+      if (errno == EINTR) continue;
+      close(fd);
+      return Errno("connect(" + address + ")");
+    }
+    const int one = 1;
+    setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    *conn = FrameConn(fd);
+    return Status::OK();
+  }
+  return Status::InvalidArgument(
+      "bad worker address (want unix:<path> or tcp:<host>:<port>): " +
+      address);
+}
+
+Status PollReadable(const std::vector<FrameConn*>& conns, int timeout_ms,
+                    std::vector<size_t>* ready) {
+  ready->clear();
+  std::vector<struct pollfd> fds;
+  std::vector<size_t> idx;
+  fds.reserve(conns.size());
+  for (size_t i = 0; i < conns.size(); ++i) {
+    if (conns[i] == nullptr || !conns[i]->open()) continue;
+    fds.push_back({conns[i]->fd(), POLLIN, 0});
+    idx.push_back(i);
+  }
+  if (fds.empty()) return Status::OK();
+  const int64_t deadline = timeout_ms < 0 ? -1 : NowMillis() + timeout_ms;
+  while (true) {
+    int wait = -1;
+    if (deadline >= 0) {
+      const int64_t left = deadline - NowMillis();
+      wait = left <= 0 ? 0 : static_cast<int>(left);
+    }
+    const int r = poll(fds.data(), fds.size(), wait);
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      return Errno("poll");
+    }
+    for (size_t i = 0; i < fds.size(); ++i) {
+      if (fds[i].revents & (POLLIN | POLLHUP | POLLERR)) {
+        ready->push_back(idx[i]);
+      }
+    }
+    if (!ready->empty() || r == 0 || (deadline >= 0 && wait == 0)) {
+      return Status::OK();
+    }
+  }
+}
+
+}  // namespace factorml::net

@@ -79,6 +79,14 @@ struct NnOptions {
   /// primitives moves; op counts are identical, losses agree to
   /// floating-point reassociation tolerance.
   la::KernelMode kernels = la::KernelMode::kScalar;
+  /// Shard execution backend knobs (--shard-backend et al., see
+  /// StrategyOptions). Present for option-lifting uniformity only: the
+  /// mini-batch plane rejects shards > 1, so neither backend ever
+  /// activates for this family.
+  std::string shard_backend = "inproc";
+  int64_t shard_timeout_ms = 30000;
+  std::string shard_transport = "unix";
+  std::string shard_worker_path;
 };
 
 /// Algorithm M-NN: materializes T, then standard BP over T's rows.

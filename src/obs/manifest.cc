@@ -3,45 +3,10 @@
 #include <cstdio>
 #include <sstream>
 
+#include "common/json.h"
 #include "la/kernels.h"
 
 namespace factorml::obs {
-
-namespace {
-
-/// Minimal JSON string escape (quotes, backslashes, control chars) for
-/// the free-form fields; everything else in the manifest is numeric.
-std::string JsonEscape(const std::string& s) {
-  std::string out;
-  out.reserve(s.size());
-  for (const char c : s) {
-    switch (c) {
-      case '"':
-        out += "\\\"";
-        break;
-      case '\\':
-        out += "\\\\";
-        break;
-      case '\n':
-        out += "\\n";
-        break;
-      case '\t':
-        out += "\\t";
-        break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
-          out += buf;
-        } else {
-          out += c;
-        }
-    }
-  }
-  return out;
-}
-
-}  // namespace
 
 const char* GitDescribe() {
 #ifdef FACTORML_GIT_DESCRIBE
@@ -64,6 +29,7 @@ RunManifest RunManifest::FromArgs(const std::string& binary,
   m.prefetch_depth = args.GetPrefetchDepth(2);
   m.kernels = args.GetKernels();
   m.kernel_backend = m.kernels == "simd" ? la::SimdBackendName() : "scalar";
+  m.shard_backend = args.GetShardBackend("inproc");
   m.cpu_features = la::CpuFeatures();
   m.buffer_pages = args.GetBufferPages(8192);
   m.seed = static_cast<uint64_t>(args.GetInt("seed", 42));
@@ -80,6 +46,7 @@ std::string RunManifest::ToJson() const {
      << ", \"morsel_rows\": " << morsel_rows
      << ", \"steal\": " << (steal ? "true" : "false")
      << ", \"shards\": " << shards
+     << ", \"shard_backend\": \"" << JsonEscape(shard_backend) << "\""
      << ", \"prefetch\": " << (prefetch ? "true" : "false")
      << ", \"prefetch_depth\": " << prefetch_depth
      << ", \"kernels\": \"" << JsonEscape(kernels) << "\""

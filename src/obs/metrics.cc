@@ -2,6 +2,7 @@
 
 #include <sstream>
 
+#include "common/json.h"
 #include "common/logging.h"
 
 namespace factorml::obs {
@@ -116,9 +117,15 @@ std::string SnapshotToJson(const MetricsSnapshot& snapshot) {
                       : 0.0;
       os << (first ? "" : ", ") << "\"" << s.name << ".count\": " << s.count
          << ", \"" << s.name << ".sum_micros\": " << s.sum << ", \""
-         << s.name << ".mean_micros\": " << mean;
+         << s.name << ".mean_micros\": " << JsonDouble(mean);
+    } else if (s.kind == 'g') {
+      // Gauges are free-form doubles; JsonDouble keeps a NaN/inf reading
+      // from poisoning the whole snapshot (JSON has no such literals).
+      os << (first ? "" : ", ") << "\"" << s.name
+         << "\": " << JsonDouble(s.value);
     } else {
-      os << (first ? "" : ", ") << "\"" << s.name << "\": " << s.value;
+      os << (first ? "" : ", ") << "\"" << s.name << "\": "
+         << static_cast<uint64_t>(s.value);
     }
     first = false;
   }

@@ -254,6 +254,71 @@ TEST(FlagsTest, IntListParsing) {
   EXPECT_EQ(dflt.size(), 2u);
 }
 
+// GetInt historically ran strtoll with no end-pointer/errno check, so
+// `--iters=abc` silently trained for 0 iterations. It now fails fast
+// like every validated getter, naming the flag and the bad value.
+TEST(FlagsDeathTest, GetIntNonIntegerExits2) {
+  const char* argv[] = {"prog", "--iters=abc"};
+  ArgParser args(2, const_cast<char**>(argv));
+  EXPECT_EXIT(args.GetInt("iters", 10), ::testing::ExitedWithCode(2),
+              "invalid --iters=abc");
+}
+
+TEST(FlagsDeathTest, GetIntTrailingGarbageExits2) {
+  const char* argv[] = {"prog", "--k=5x"};
+  ArgParser args(2, const_cast<char**>(argv));
+  EXPECT_EXIT(args.GetInt("k", 3), ::testing::ExitedWithCode(2),
+              "invalid --k=5x");
+}
+
+TEST(FlagsDeathTest, GetIntOutOfRangeExits2) {
+  const char* argv[] = {"prog", "--n=99999999999999999999999999"};
+  ArgParser args(2, const_cast<char**>(argv));
+  EXPECT_EXIT(args.GetInt("n", 0), ::testing::ExitedWithCode(2),
+              "invalid --n=");
+}
+
+TEST(FlagsDeathTest, GetIntListBadItemExits2) {
+  const char* argv[] = {"prog", "--rr=50,abc,500"};
+  ArgParser args(2, const_cast<char**>(argv));
+  EXPECT_EXIT(args.GetIntList("rr", {}), ::testing::ExitedWithCode(2),
+              "'abc' is not an integer");
+}
+
+TEST(FlagsTest, GetIntNegativeStillParses) {
+  const char* argv[] = {"prog", "--delta=-7"};
+  ArgParser args(2, const_cast<char**>(argv));
+  EXPECT_EQ(args.GetInt("delta", 0), -7);
+}
+
+TEST(FlagsTest, ShardBackendFlagsValidAndDefaults) {
+  const char* argv[] = {"prog", "--shard-backend=process",
+                        "--shard-timeout-ms=500", "--shard-transport=tcp"};
+  ArgParser args(4, const_cast<char**>(argv));
+  EXPECT_EQ(args.GetShardBackend(), "process");
+  EXPECT_EQ(args.GetShardTimeoutMs(), 500);
+  EXPECT_EQ(args.GetShardTransport(), "tcp");
+  const char* argv2[] = {"prog"};
+  ArgParser args2(1, const_cast<char**>(argv2));
+  EXPECT_EQ(args2.GetShardBackend(), "inproc");
+  EXPECT_EQ(args2.GetShardTimeoutMs(), 30000);
+  EXPECT_EQ(args2.GetShardTransport(), "unix");
+}
+
+TEST(FlagsDeathTest, UnknownShardBackendExits2) {
+  const char* argv[] = {"prog", "--shard-backend=grpc"};
+  ArgParser args(2, const_cast<char**>(argv));
+  EXPECT_EXIT(args.GetShardBackend(), ::testing::ExitedWithCode(2),
+              "invalid --shard-backend=grpc");
+}
+
+TEST(FlagsDeathTest, ShardTimeoutBelowOneExits2) {
+  const char* argv[] = {"prog", "--shard-timeout-ms=0"};
+  ArgParser args(2, const_cast<char**>(argv));
+  EXPECT_EXIT(args.GetShardTimeoutMs(), ::testing::ExitedWithCode(2),
+              "invalid --shard-timeout-ms");
+}
+
 // -------------------------------------------------------------- OpCount
 
 TEST(OpCountTest, CountersAccumulateAndDiff) {

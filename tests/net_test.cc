@@ -1,0 +1,360 @@
+// net/ tests: the frame codec and socket layer the process shard backend
+// stands on. The codec promises are adversarial — any byte split
+// (including mid-header) reassembles, bad magic and oversized lengths are
+// rejected with a *sticky* error before any allocation, and a truncated
+// stream never yields a frame. The socket tests pin the partial-I/O
+// contract: a payload far larger than SO_SNDBUF crosses a socketpair
+// intact because SendAll/RecvFrame loop on short writes and reads.
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "net/frame.h"
+#include "net/socket.h"
+#include "net/wire.h"
+#include "test_util.h"
+
+namespace factorml::net {
+namespace {
+
+using factorml::testing::TempDir;
+
+TEST(FrameCodecTest, RoundTripSingleFrame) {
+  const std::string wire = EncodeFrame(7, "hello shard");
+  ASSERT_EQ(wire.size(), kFrameHeaderBytes + 11);
+  EXPECT_EQ(wire.substr(0, 4), "FMLF");
+
+  FrameDecoder dec;
+  dec.Feed(wire.data(), wire.size());
+  Frame f;
+  bool got = false;
+  ASSERT_TRUE(dec.Next(&f, &got).ok());
+  ASSERT_TRUE(got);
+  EXPECT_EQ(f.type, 7u);
+  EXPECT_EQ(f.payload, "hello shard");
+  ASSERT_TRUE(dec.Next(&f, &got).ok());
+  EXPECT_FALSE(got);
+  EXPECT_EQ(dec.buffered(), 0u);
+}
+
+TEST(FrameCodecTest, RoundTripEmptyPayload) {
+  const std::string wire = EncodeFrame(3, "");
+  FrameDecoder dec;
+  dec.Feed(wire.data(), wire.size());
+  Frame f;
+  bool got = false;
+  ASSERT_TRUE(dec.Next(&f, &got).ok());
+  ASSERT_TRUE(got);
+  EXPECT_EQ(f.type, 3u);
+  EXPECT_TRUE(f.payload.empty());
+}
+
+TEST(FrameCodecTest, ByteAtATimeReassembles) {
+  // Every possible split point, including mid-magic and mid-length: feed
+  // one byte at a time and check the frame only appears at the last byte.
+  const std::string wire = EncodeFrame(42, "abcdefgh");
+  FrameDecoder dec;
+  Frame f;
+  bool got = false;
+  for (size_t i = 0; i + 1 < wire.size(); ++i) {
+    dec.Feed(wire.data() + i, 1);
+    ASSERT_TRUE(dec.Next(&f, &got).ok()) << "at byte " << i;
+    ASSERT_FALSE(got) << "frame appeared early at byte " << i;
+  }
+  dec.Feed(wire.data() + wire.size() - 1, 1);
+  ASSERT_TRUE(dec.Next(&f, &got).ok());
+  ASSERT_TRUE(got);
+  EXPECT_EQ(f.type, 42u);
+  EXPECT_EQ(f.payload, "abcdefgh");
+}
+
+TEST(FrameCodecTest, BackToBackFramesInOneFeed) {
+  const std::string wire =
+      EncodeFrame(1, "first") + EncodeFrame(2, "second") + EncodeFrame(3, "");
+  FrameDecoder dec;
+  dec.Feed(wire.data(), wire.size());
+  Frame f;
+  bool got = false;
+  ASSERT_TRUE(dec.Next(&f, &got).ok());
+  ASSERT_TRUE(got);
+  EXPECT_EQ(f.type, 1u);
+  EXPECT_EQ(f.payload, "first");
+  ASSERT_TRUE(dec.Next(&f, &got).ok());
+  ASSERT_TRUE(got);
+  EXPECT_EQ(f.type, 2u);
+  EXPECT_EQ(f.payload, "second");
+  ASSERT_TRUE(dec.Next(&f, &got).ok());
+  ASSERT_TRUE(got);
+  EXPECT_EQ(f.type, 3u);
+  EXPECT_TRUE(f.payload.empty());
+  ASSERT_TRUE(dec.Next(&f, &got).ok());
+  EXPECT_FALSE(got);
+}
+
+TEST(FrameCodecTest, TruncatedStreamNeverYields) {
+  const std::string wire = EncodeFrame(9, "truncated payload");
+  FrameDecoder dec;
+  dec.Feed(wire.data(), wire.size() - 1);  // all but the last byte
+  Frame f;
+  bool got = true;
+  ASSERT_TRUE(dec.Next(&f, &got).ok());
+  EXPECT_FALSE(got);
+  EXPECT_GT(dec.buffered(), 0u);
+}
+
+TEST(FrameCodecTest, BadMagicIsStickyError) {
+  std::string wire = EncodeFrame(5, "payload");
+  wire[1] ^= 0x40;  // flip a bit in the magic
+  FrameDecoder dec;
+  dec.Feed(wire.data(), wire.size());
+  Frame f;
+  bool got = false;
+  const Status st = dec.Next(&f, &got);
+  ASSERT_FALSE(st.ok());
+  EXPECT_FALSE(got);
+
+  // Sticky: valid bytes fed afterwards do not resynchronize the stream
+  // (framing has no resync point) and the same error keeps coming back.
+  const std::string fresh = EncodeFrame(6, "clean");
+  dec.Feed(fresh.data(), fresh.size());
+  const Status again = dec.Next(&f, &got);
+  ASSERT_FALSE(again.ok());
+  EXPECT_FALSE(got);
+  EXPECT_EQ(st.ToString(), again.ToString());
+}
+
+TEST(FrameCodecTest, OversizedLengthRejectedBeforeAllocation) {
+  // Hand-build a header whose length field claims far more than
+  // kMaxFramePayload. The decoder must reject it from the 16 header bytes
+  // alone — if it tried to allocate first, this test would OOM.
+  std::string header = "FMLF";
+  const uint32_t type = 1;
+  const uint64_t huge = kMaxFramePayload + 1;
+  header.append(reinterpret_cast<const char*>(&type), sizeof(type));
+  header.append(reinterpret_cast<const char*>(&huge), sizeof(huge));
+  ASSERT_EQ(header.size(), kFrameHeaderBytes);
+
+  FrameDecoder dec;
+  dec.Feed(header.data(), header.size());
+  Frame f;
+  bool got = false;
+  const Status st = dec.Next(&f, &got);
+  ASSERT_FALSE(st.ok());
+  EXPECT_FALSE(got);
+}
+
+TEST(FrameCodecTest, MaxPayloadBoundaryAccepted) {
+  // Exactly kMaxFramePayload must still be considered well-formed: feed
+  // just the header and check the decoder asks for more bytes instead of
+  // erroring (actually materializing 1 GiB is not worth the test time).
+  std::string header = "FMLF";
+  const uint32_t type = 2;
+  const uint64_t len = kMaxFramePayload;
+  header.append(reinterpret_cast<const char*>(&type), sizeof(type));
+  header.append(reinterpret_cast<const char*>(&len), sizeof(len));
+  FrameDecoder dec;
+  dec.Feed(header.data(), header.size());
+  Frame f;
+  bool got = true;
+  ASSERT_TRUE(dec.Next(&f, &got).ok());
+  EXPECT_FALSE(got);
+}
+
+TEST(WireTest, WriterReaderRoundTrip) {
+  ByteWriter w;
+  w.U8(0xAB);
+  w.U32(0xDEADBEEF);
+  w.U64(0x0102030405060708ull);
+  w.I64(-42);
+  w.F64(3.14159265358979);
+  w.Str(std::string("a string with \0 inside", 22));  // embedded NUL survives
+  const std::string blob = w.Take();
+
+  ByteReader r(blob);
+  uint8_t u8 = 0;
+  uint32_t u32 = 0;
+  uint64_t u64 = 0;
+  int64_t i64 = 0;
+  double f64 = 0;
+  std::string s;
+  ASSERT_TRUE(r.U8(&u8).ok());
+  ASSERT_TRUE(r.U32(&u32).ok());
+  ASSERT_TRUE(r.U64(&u64).ok());
+  ASSERT_TRUE(r.I64(&i64).ok());
+  ASSERT_TRUE(r.F64(&f64).ok());
+  ASSERT_TRUE(r.Str(&s).ok());
+  EXPECT_EQ(u8, 0xAB);
+  EXPECT_EQ(u32, 0xDEADBEEFu);
+  EXPECT_EQ(u64, 0x0102030405060708ull);
+  EXPECT_EQ(i64, -42);
+  EXPECT_EQ(f64, 3.14159265358979);
+  EXPECT_EQ(s.size(), 22u);
+  EXPECT_TRUE(r.AtEnd());
+}
+
+TEST(WireTest, TruncatedScalarIsBoundedError) {
+  ByteWriter w;
+  w.U32(7);
+  const std::string blob = w.Take();
+  ByteReader r(blob);
+  uint64_t v = 0;
+  const Status st = r.U64(&v);  // asks for 8 bytes, only 4 present
+  ASSERT_FALSE(st.ok());
+  EXPECT_NE(st.ToString().find("truncated"), std::string::npos);
+}
+
+TEST(WireTest, StringLengthBeyondPayloadRejected) {
+  // A string whose length prefix claims more bytes than remain: the
+  // reader must fail, not read past the buffer. The length is near
+  // UINT64_MAX so an unchecked `off + len` would also wrap.
+  ByteWriter w;
+  w.U64(~0ull - 8);
+  w.U32(0);
+  const std::string blob = w.Take();
+  ByteReader r(blob);
+  std::string s;
+  const Status st = r.Str(&s);
+  ASSERT_FALSE(st.ok());
+  EXPECT_TRUE(s.empty());
+}
+
+TEST(SocketTest, LargePayloadCrossesSmallSendBuffer) {
+  // Partial-I/O contract: shrink both socket buffers to a few KB, push a
+  // multi-megabyte frame through, and read it back on a thread. SendAll
+  // must loop on short writes; RecvFrame must reassemble across hundreds
+  // of reads. The payload is patterned so corruption shows a position.
+  int fds[2];
+  ASSERT_EQ(socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+  const int small = 4096;
+  setsockopt(fds[0], SOL_SOCKET, SO_SNDBUF, &small, sizeof(small));
+  setsockopt(fds[1], SOL_SOCKET, SO_RCVBUF, &small, sizeof(small));
+
+  std::string payload(4 << 20, '\0');
+  for (size_t i = 0; i < payload.size(); ++i) {
+    payload[i] = static_cast<char>((i * 131) & 0xFF);
+  }
+
+  FrameConn sender(fds[0]);
+  FrameConn receiver(fds[1]);
+  Frame f;
+  Status recv_status;
+  std::thread reader(
+      [&] { recv_status = receiver.RecvFrame(&f, /*timeout_ms=*/30000); });
+  ASSERT_TRUE(sender.SendFrame(11, payload).ok());
+  reader.join();
+  ASSERT_TRUE(recv_status.ok()) << recv_status.ToString();
+  EXPECT_EQ(f.type, 11u);
+  ASSERT_EQ(f.payload.size(), payload.size());
+  EXPECT_EQ(f.payload, payload);
+}
+
+TEST(SocketTest, PeerCloseSurfacesAsEof) {
+  int fds[2];
+  ASSERT_EQ(socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+  FrameConn a(fds[0]);
+  FrameConn b(fds[1]);
+  a.Close();
+  Frame f;
+  const Status st = b.RecvFrame(&f, /*timeout_ms=*/5000);
+  ASSERT_FALSE(st.ok());
+  EXPECT_TRUE(b.eof());
+}
+
+TEST(SocketTest, RecvFrameTimesOut) {
+  int fds[2];
+  ASSERT_EQ(socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+  FrameConn a(fds[0]);
+  FrameConn b(fds[1]);
+  Frame f;
+  const Status st = b.RecvFrame(&f, /*timeout_ms=*/50);
+  ASSERT_FALSE(st.ok());
+  EXPECT_NE(st.ToString().find("timeout"), std::string::npos)
+      << st.ToString();
+  EXPECT_FALSE(b.eof());  // the peer is alive, only slow
+}
+
+TEST(SocketTest, UnixListenerAcceptAndExchange) {
+  TempDir dir;
+  Listener listener;
+  ASSERT_TRUE(listener.ListenUnix(dir.str() + "/sock").ok());
+  ASSERT_EQ(listener.address().rfind("unix:", 0), 0u);
+
+  FrameConn client;
+  Status connect_status;
+  std::thread dialer(
+      [&] { connect_status = ConnectAddress(listener.address(), &client); });
+  FrameConn served;
+  ASSERT_TRUE(listener.Accept(&served, /*timeout_ms=*/5000).ok());
+  dialer.join();
+  ASSERT_TRUE(connect_status.ok()) << connect_status.ToString();
+
+  ASSERT_TRUE(client.SendFrame(21, "ping").ok());
+  Frame f;
+  ASSERT_TRUE(served.RecvFrame(&f, 5000).ok());
+  EXPECT_EQ(f.type, 21u);
+  EXPECT_EQ(f.payload, "ping");
+  ASSERT_TRUE(served.SendFrame(22, "pong").ok());
+  ASSERT_TRUE(client.RecvFrame(&f, 5000).ok());
+  EXPECT_EQ(f.type, 22u);
+  EXPECT_EQ(f.payload, "pong");
+}
+
+TEST(SocketTest, TcpLoopbackListenerAcceptAndExchange) {
+  Listener listener;
+  ASSERT_TRUE(listener.ListenTcpLoopback().ok());
+  ASSERT_EQ(listener.address().rfind("tcp:127.0.0.1:", 0), 0u);
+
+  FrameConn client;
+  Status connect_status;
+  std::thread dialer(
+      [&] { connect_status = ConnectAddress(listener.address(), &client); });
+  FrameConn served;
+  ASSERT_TRUE(listener.Accept(&served, /*timeout_ms=*/5000).ok());
+  dialer.join();
+  ASSERT_TRUE(connect_status.ok()) << connect_status.ToString();
+
+  ASSERT_TRUE(served.SendFrame(31, "over tcp").ok());
+  Frame f;
+  ASSERT_TRUE(client.RecvFrame(&f, 5000).ok());
+  EXPECT_EQ(f.type, 31u);
+  EXPECT_EQ(f.payload, "over tcp");
+}
+
+TEST(SocketTest, PollReadableReportsTheRightConnection) {
+  int ab[2];
+  int cd[2];
+  ASSERT_EQ(socketpair(AF_UNIX, SOCK_STREAM, 0, ab), 0);
+  ASSERT_EQ(socketpair(AF_UNIX, SOCK_STREAM, 0, cd), 0);
+  FrameConn a(ab[0]), b(ab[1]);
+  FrameConn c(cd[0]), d(cd[1]);
+
+  std::vector<FrameConn*> watched = {&b, &d};
+  std::vector<size_t> ready;
+
+  // Nothing pending: times out with an empty ready set.
+  ASSERT_TRUE(PollReadable(watched, /*timeout_ms=*/50, &ready).ok());
+  EXPECT_TRUE(ready.empty());
+
+  // Only connection d has data.
+  ASSERT_TRUE(c.SendFrame(1, "wake d").ok());
+  ASSERT_TRUE(PollReadable(watched, /*timeout_ms=*/5000, &ready).ok());
+  ASSERT_EQ(ready.size(), 1u);
+  EXPECT_EQ(ready[0], 1u);
+
+  // ReadAvailable + NextFrame drains it without blocking.
+  ASSERT_TRUE(d.ReadAvailable().ok());
+  Frame f;
+  bool got = false;
+  ASSERT_TRUE(d.NextFrame(&f, &got).ok());
+  ASSERT_TRUE(got);
+  EXPECT_EQ(f.payload, "wake d");
+}
+
+}  // namespace
+}  // namespace factorml::net

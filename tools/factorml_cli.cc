@@ -59,6 +59,21 @@
 // total page I/O matches too when steal and prefetch are off. The NN
 // family (mini-batch SGD) rejects --shards > 1.
 //
+// `--shard-backend=inproc|process` (any full-pass train subcommand,
+// default inproc) selects where the shard scans execute. `inproc` drives
+// them in this process — byte-identical to the pre-backend engine.
+// `process` spawns one factormld worker process per shard and exchanges
+// the ShardDelta bytes over length-prefixed socket frames (Unix-domain
+// under the data dir, or TCP loopback with `--shard-transport=tcp`);
+// results stay bit-identical by the same chunk-ordered merge, and the
+// TrainReport's shard_stats become per-node I/O windows. A worker that
+// dies or stalls past `--shard-timeout-ms=N` (default 30000) has its
+// spans requeued on a healthy worker — bit-identically — or, when the
+// model vetoes mid-iteration recovery, the run restarts deterministically
+// on the survivors. `--factormld=PATH` overrides the worker binary
+// (default: $FACTORMLD, then a sibling of the running executable, then
+// $PATH).
+//
 // `--kernels=scalar|simd` (any train subcommand, default scalar) selects
 // the compute kernel backend. `scalar` replays the seed's exact loops —
 // bit-identical objectives, params, op counts and page I/O. `simd` swaps
@@ -270,6 +285,10 @@ int CmdTrainGmm(const ArgParser& args) {
   opt.shards = args.GetShards(1);
   opt.kernels = args.GetKernels() == "simd" ? la::KernelMode::kSimd
                                              : la::KernelMode::kScalar;
+  opt.shard_backend = args.GetShardBackend("inproc");
+  opt.shard_timeout_ms = args.GetShardTimeoutMs(30000);
+  opt.shard_transport = args.GetShardTransport("unix");
+  opt.shard_worker_path = args.GetString("factormld", "");
   auto algos = ParseAlgos(args.GetString("algo", "all"));
   if (!algos.ok()) return FailStatus(algos.status());
   for (const auto algo : algos.value()) {
@@ -307,6 +326,10 @@ int CmdTrainNn(const ArgParser& args) {
   opt.shards = args.GetShards(1);
   opt.kernels = args.GetKernels() == "simd" ? la::KernelMode::kSimd
                                              : la::KernelMode::kScalar;
+  opt.shard_backend = args.GetShardBackend("inproc");
+  opt.shard_timeout_ms = args.GetShardTimeoutMs(30000);
+  opt.shard_transport = args.GetShardTransport("unix");
+  opt.shard_worker_path = args.GetString("factormld", "");
   const std::string act = args.GetString("act", "sigmoid");
   if (act == "tanh") opt.activation = nn::Activation::kTanh;
   else if (act == "relu") opt.activation = nn::Activation::kRelu;
@@ -348,6 +371,10 @@ int CmdTrainLinreg(const ArgParser& args) {
   opt.shards = args.GetShards(1);
   opt.kernels = args.GetKernels() == "simd" ? la::KernelMode::kSimd
                                              : la::KernelMode::kScalar;
+  opt.shard_backend = args.GetShardBackend("inproc");
+  opt.shard_timeout_ms = args.GetShardTimeoutMs(30000);
+  opt.shard_transport = args.GetShardTransport("unix");
+  opt.shard_worker_path = args.GetString("factormld", "");
   auto algos = ParseAlgos(args.GetString("algo", "all"));
   if (!algos.ok()) return FailStatus(algos.status());
   for (const auto algo : algos.value()) {
@@ -381,6 +408,10 @@ int CmdTrainKmeans(const ArgParser& args) {
   opt.shards = args.GetShards(1);
   opt.kernels = args.GetKernels() == "simd" ? la::KernelMode::kSimd
                                              : la::KernelMode::kScalar;
+  opt.shard_backend = args.GetShardBackend("inproc");
+  opt.shard_timeout_ms = args.GetShardTimeoutMs(30000);
+  opt.shard_transport = args.GetShardTransport("unix");
+  opt.shard_worker_path = args.GetString("factormld", "");
   auto algos = ParseAlgos(args.GetString("algo", "all"));
   if (!algos.ok()) return FailStatus(algos.status());
   for (const auto algo : algos.value()) {
@@ -415,6 +446,10 @@ int CmdTrainLogreg(const ArgParser& args) {
   opt.shards = args.GetShards(1);
   opt.kernels = args.GetKernels() == "simd" ? la::KernelMode::kSimd
                                              : la::KernelMode::kScalar;
+  opt.shard_backend = args.GetShardBackend("inproc");
+  opt.shard_timeout_ms = args.GetShardTimeoutMs(30000);
+  opt.shard_transport = args.GetShardTransport("unix");
+  opt.shard_worker_path = args.GetString("factormld", "");
   auto algos = ParseAlgos(args.GetString("algo", "all"));
   if (!algos.ok()) return FailStatus(algos.status());
   for (const auto algo : algos.value()) {
