@@ -164,6 +164,9 @@ inline Trio RunNnAll(const join::NormalizedRelations& rel,
 ///                                 order (present when shards > 1)
 ///   shard_stall_seconds  [number] per-shard demand-stall time (ditto)
 ///   shard_pages_read     [int]    per-shard physical reads (ditto)
+///   phases               object   per-phase parallel wall seconds keyed
+///                                 by phase name (present when the run
+///                                 recorded phase timings)
 ///   manifest             object   RunManifest::ToJson() — the resolved
 ///                                 config + git describe of this invocation
 ///                                 (identical across the file's rows)
@@ -231,6 +234,16 @@ class JsonReport {
         row << (k > 0 ? ", " : "") << r.shard_stats[k].io.pages_read;
       }
       row << "]";
+    }
+    if (!r.phases.empty()) {
+      // Per-phase parallel wall timings (first_layer_fwd, w1_grad, e_step,
+      // ...) — what the kernel-plane sweeps compare across backends.
+      row << ", \"phases\": {";
+      for (size_t k = 0; k < r.phases.size(); ++k) {
+        row << (k > 0 ? ", " : "") << "\"" << r.phases[k].name
+            << "\": " << JsonDouble(r.phases[k].seconds);
+      }
+      row << "}";
     }
     row << ", \"manifest\": " << manifest_
         << ", \"metrics\": " << obs::SnapshotToJson(r.metrics) << "}";

@@ -89,6 +89,50 @@ int Main(int argc, char** argv) {
                   RunNnAll(rel, opt, &pool));
     }
   }
+
+  if (part == "kernels") {
+    // Scalar-vs-simd kernel-plane sweep (the BENCH_nn_kernels.json CI
+    // artifact): same M/S/F runs under both --kernels backends, with the
+    // per-phase wall timings in the JSON rows. The strip-path speedup
+    // lives in the first_layer_fwd and w1_grad phases — the batch matrix
+    // products --kernels=simd routes through gemm_strip.
+    std::printf("\n-- kernel plane: --kernels=scalar vs simd "
+                "(rr=100, dR=15, nh=50) --\n");
+    auto rel = Generate(dir.str(), 100 * n_r, n_r, d_s, 15, &pool);
+    opt.hidden = {50};
+    Trio trios[2];
+    for (int simd = 0; simd < 2; ++simd) {
+      opt.kernels = simd == 1 ? la::KernelMode::kSimd
+                              : la::KernelMode::kScalar;
+      PrintTrioHeader(simd == 1 ? "simd" : "scalar");
+      trios[simd] = RunNnAll(rel, opt, &pool);
+      EmitTrioRow(&json, "fig5_kernels", simd == 1 ? "simd" : "scalar",
+                  trios[simd]);
+    }
+    // Forward/backward strip-path speedup per strategy: the sum of the
+    // two gemm-shaped phases under scalar over the same sum under simd.
+    const auto phase_sum = [](const core::TrainReport& r) {
+      double s = 0.0;
+      for (const auto& p : r.phases) {
+        if (p.name == "first_layer_fwd" || p.name == "w1_grad") {
+          s += p.seconds;
+        }
+      }
+      return s;
+    };
+    const core::TrainReport* scalar_reports[] = {&trios[0].m, &trios[0].s,
+                                                 &trios[0].f};
+    const core::TrainReport* simd_reports[] = {&trios[1].m, &trios[1].s,
+                                               &trios[1].f};
+    std::printf("\nfwd+bwd strip speedup (%s):", la::SimdBackendName());
+    for (int i = 0; i < 3; ++i) {
+      const double sc = phase_sum(*scalar_reports[i]);
+      const double si = phase_sum(*simd_reports[i]);
+      std::printf(" %s=%.2fx", scalar_reports[i]->algorithm.c_str(),
+                  si > 0 ? sc / si : 0.0);
+    }
+    std::printf("\n");
+  }
   return 0;
 }
 

@@ -234,21 +234,36 @@ BENCHMARK_REGISTER_F(Fig3ScalingFixture, BM_FNnThreads)
 // ratio bounds what --kernels=simd can buy a whole training run.
 
 constexpr size_t kStripRows = 256;  // storage::kDefaultStripRows
+constexpr size_t kNh = 16;          // NN hidden width for the gemm shapes
+constexpr size_t kGatherRows = 64;  // attribute-table height for gathers
 
 /// One decoded strip's worth of random columns plus the small operands
-/// the strip kernels take.
+/// the strip kernels take, including the gemm/gather operands of the NN
+/// epoch plane (W1 slice, transposed activation block, partial-cache
+/// rows and a rid column).
 struct StripData {
   StripData(size_t d, size_t rows, uint64_t seed)
-      : data(d * rows), w(rows), v(d), center(d), out(rows), cols(d) {
+      : data(d * rows), w(rows), v(d), center(d), out(rows), cols(d),
+        w1(kNh * d), ct(kNh * rows), grad(kNh * d),
+        base(kGatherRows * kNh), gout(rows * kNh), idx(rows) {
     Rng rng(seed);
     for (double& x : data) x = rng.NextGaussian();
     for (double& x : w) x = rng.NextUniform(0.25, 1.25);
     for (double& x : v) x = rng.NextGaussian();
     for (double& x : center) x = rng.NextGaussian();
+    for (double& x : w1) x = rng.NextGaussian();
+    for (double& x : base) x = rng.NextGaussian();
     for (size_t j = 0; j < d; ++j) cols[j] = data.data() + j * rows;
+    // FK1-run-shaped rid column: short contiguous runs, like the group
+    // batches join::ChunkFk1Runs delivers.
+    for (size_t r = 0; r < rows; ++r) {
+      idx[r] = static_cast<int64_t>((r / 4) % kGatherRows);
+    }
   }
   std::vector<double> data, w, v, center, out;
   std::vector<const double*> cols;
+  std::vector<double> w1, ct, grad, base, gout;
+  std::vector<int64_t> idx;
 };
 
 la::KernelMode ModeOf(const benchmark::State& state) {
@@ -326,6 +341,74 @@ void BM_QuadFormStrip(benchmark::State& state) {
 }
 BENCHMARK(BM_QuadFormStrip)->ArgsProduct({{8, 32}, {0, 1}});
 
+void BM_GemmStrip(benchmark::State& state) {
+  // The NN first-layer forward shape: C(nh x rows) = W1(nh x d) * strip.
+  const size_t d = static_cast<size_t>(state.range(0));
+  StripData s(d, kStripRows, 26);
+  la::SelectKernels(ModeOf(state));
+  const la::Kernels& k = la::Active();
+  for (auto _ : state) {
+    k.gemm_strip(s.w1.data(), d, s.data.data(), kStripRows, kNh, kStripRows,
+                 d, s.ct.data(), kStripRows, /*trans_b=*/false,
+                 /*accumulate=*/false);
+    benchmark::DoNotOptimize(s.ct.data());
+  }
+  la::SelectKernels(la::KernelMode::kScalar);
+  state.SetItemsProcessed(state.iterations() * kStripRows * kNh * d);
+  LabelBackend(state);
+}
+BENCHMARK(BM_GemmStrip)->ArgsProduct({{8, 32}, {0, 1}});
+
+void BM_GemmStripT(benchmark::State& state) {
+  // The NN backward shape: G(nh x d) += delta^T(nh x rows) * strip^T.
+  const size_t d = static_cast<size_t>(state.range(0));
+  StripData s(d, kStripRows, 27);
+  la::SelectKernels(ModeOf(state));
+  const la::Kernels& k = la::Active();
+  for (auto _ : state) {
+    k.gemm_strip(s.ct.data(), kStripRows, s.data.data(), kStripRows, kNh, d,
+                 kStripRows, s.grad.data(), d, /*trans_b=*/true,
+                 /*accumulate=*/true);
+    benchmark::DoNotOptimize(s.grad.data());
+  }
+  la::SelectKernels(la::KernelMode::kScalar);
+  state.SetItemsProcessed(state.iterations() * kStripRows * kNh * d);
+  LabelBackend(state);
+}
+BENCHMARK(BM_GemmStripT)->ArgsProduct({{8, 32}, {0, 1}});
+
+void BM_GatherAddRowsStrip(benchmark::State& state) {
+  // The factorized NN partial-cache gather over an FK1 rid column.
+  StripData s(8, kStripRows, 28);
+  la::SelectKernels(ModeOf(state));
+  const la::Kernels& k = la::Active();
+  for (auto _ : state) {
+    k.gather_add_rows_strip(s.base.data(), kNh, s.idx.data(), kStripRows,
+                            kNh, s.gout.data(), kNh);
+    benchmark::DoNotOptimize(s.gout.data());
+  }
+  la::SelectKernels(la::KernelMode::kScalar);
+  state.SetItemsProcessed(state.iterations() * kStripRows * kNh);
+  LabelBackend(state);
+}
+BENCHMARK(BM_GatherAddRowsStrip)->ArgsProduct({{8}, {0, 1}});
+
+void BM_ScatterAddStrip(benchmark::State& state) {
+  // The GMM/k-means per-rid mass scatter over an FK1 rid column.
+  StripData s(8, kStripRows, 29);
+  std::vector<double> acc(kGatherRows, 0.0);
+  la::SelectKernels(ModeOf(state));
+  const la::Kernels& k = la::Active();
+  for (auto _ : state) {
+    k.scatter_add_strip(s.idx.data(), s.w.data(), kStripRows, acc.data());
+    benchmark::DoNotOptimize(acc.data());
+  }
+  la::SelectKernels(la::KernelMode::kScalar);
+  state.SetItemsProcessed(state.iterations() * kStripRows);
+  LabelBackend(state);
+}
+BENCHMARK(BM_ScatterAddStrip)->ArgsProduct({{8}, {0, 1}});
+
 }  // namespace
 
 // ---------------------------------------------------------------------
@@ -386,6 +469,36 @@ void WriteKernelRoofline(const std::string& path) {
             const la::Matrix& a, std::vector<double>&, size_t d) {
            k.quadform_strip(s.data.data(), d, kRows, a.data(), d,
                             s.out.data());
+         }},
+        {"gemm_strip", 2 * kRows * kNh * d,
+         (d * kRows + kNh * d + kNh * kRows) * 8,
+         [](const la::Kernels& k, StripData& s, std::vector<double>&,
+            const la::Matrix&, std::vector<double>&, size_t d) {
+           k.gemm_strip(s.w1.data(), d, s.data.data(), kRows, kNh, kRows, d,
+                        s.ct.data(), kRows, /*trans_b=*/false,
+                        /*accumulate=*/false);
+         }},
+        {"gemm_strip_t", 2 * kRows * kNh * d,
+         (d * kRows + kNh * kRows + 2 * kNh * d) * 8,
+         [](const la::Kernels& k, StripData& s, std::vector<double>&,
+            const la::Matrix&, std::vector<double>&, size_t d) {
+           k.gemm_strip(s.ct.data(), kRows, s.data.data(), kRows, kNh, d,
+                        kRows, s.grad.data(), d, /*trans_b=*/true,
+                        /*accumulate=*/true);
+         }},
+        {"gather_add_rows_strip", kRows * kNh,
+         (2 * kRows * kNh * 8 + kRows * kNh * 8 + kRows * 8),
+         [](const la::Kernels& k, StripData& s, std::vector<double>&,
+            const la::Matrix&, std::vector<double>&, size_t) {
+           k.gather_add_rows_strip(s.base.data(), kNh, s.idx.data(), kRows,
+                                   kNh, s.gout.data(), kNh);
+         }},
+        {"scatter_add_strip", kRows,
+         (kRows * 8 + kRows * 8 + 2 * kRows * 8),
+         [](const la::Kernels& k, StripData& s, std::vector<double>&,
+            const la::Matrix&, std::vector<double>&, size_t) {
+           k.scatter_add_strip(s.idx.data(), s.w.data(), kRows,
+                               s.gout.data());
          }},
     };
     for (const auto mode : {la::KernelMode::kScalar, la::KernelMode::kSimd}) {

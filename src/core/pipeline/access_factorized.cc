@@ -81,9 +81,19 @@ class FactorizedStrategy final : public JoinStreamStrategyBase {
     FML_RETURN_IF_ERROR(model->BeginEpoch(*ctx, epoch));
 
     join::JoinBatch batch;
+    storage::ColumnStrips s_strips;
     while (cursor.Next(&batch)) {
       if (batch.s_rows.num_rows == 0) continue;
       FactorizedBlock block{&batch.s_rows, &batch.groups};
+      if (simd_) {
+        // Strip-fed epoch plane: the S slice as strips, same transpose as
+        // RunPass (short mini-batches pack into one partial strip).
+        const storage::RowBatch& s = batch.s_rows;
+        PackRowsToStrips(s.feats.data(), s.feats.cols(), /*y=*/nullptr, 0,
+                         s.num_rows, s.feats.cols(), s.start_row,
+                         kDefaultStripRows, &s_strips);
+        block.s_strips = &s_strips;
+      }
       FML_RETURN_IF_ERROR(model->OnFactorizedBatch(*ctx, block));
     }
     return cursor.status();

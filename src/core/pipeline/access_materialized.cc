@@ -126,6 +126,7 @@ class MaterializedStrategy final : public StrategyBase {
     la::Matrix x;
     std::vector<double> y;
     storage::RowBatch rows;
+    storage::ColumnStrips strips;
     for (const auto& batch : plan) {
       const size_t b = static_cast<size_t>(batch.total_rows);
       x.Reshape(b, d);
@@ -145,6 +146,14 @@ class MaterializedStrategy final : public StrategyBase {
       }
       FML_CHECK_EQ(filled, b);
       DenseBatch dense{&x, &y};
+      if (simd_) {
+        // Strip-fed epoch plane: transpose the assembled batch (same page
+        // walk and IoStats as the row path — the strips are packed from
+        // the rows just read, including batches shorter than one strip).
+        PackRowsToStrips(x.data(), d, nullptr, 0, b, d, 0, kDefaultStripRows,
+                         &strips);
+        dense.strips = &strips;
+      }
       FML_RETURN_IF_ERROR(model->OnDenseBatch(*ctx, dense));
     }
     return Status::OK();

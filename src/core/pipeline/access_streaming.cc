@@ -101,6 +101,7 @@ class StreamingStrategy final : public JoinStreamStrategyBase {
     const size_t d = ctx->rel->total_dims();
     la::Matrix x;
     std::vector<double> y;
+    storage::ColumnStrips strips;
     join::JoinBatch batch;
     while (cursor.Next(&batch)) {
       const size_t b = batch.s_rows.num_rows;
@@ -126,6 +127,14 @@ class StreamingStrategy final : public JoinStreamStrategyBase {
             });
       }
       DenseBatch dense{&x, &y};
+      if (simd_) {
+        // Strip-fed epoch plane: pack the assembled batch into strips
+        // (short batches included — the pack handles any row count), so
+        // the model's epoch math runs as batch matrix products.
+        PackRowsToStrips(x.data(), d, nullptr, 0, b, d, 0, kDefaultStripRows,
+                         &strips);
+        dense.strips = &strips;
+      }
       FML_RETURN_IF_ERROR(model->OnDenseBatch(*ctx, dense));
     }
     return cursor.status();

@@ -108,6 +108,12 @@ struct FactorizedBlock {
 struct DenseBatch {
   const la::Matrix* x = nullptr;
   const std::vector<double>* y = nullptr;
+  /// Batched form of x (--kernels=simd): the same sampled rows transposed
+  /// into column-major strips (feature column j is strip column j; the
+  /// target stays in y). Null on the row-at-a-time path. The driver packs
+  /// the strips from the already-assembled batch, so IoStats are identical
+  /// to the row path by construction.
+  const storage::ColumnStrips* strips = nullptr;
 };
 
 /// The model plane of the training pipeline. A ModelProgram owns the model

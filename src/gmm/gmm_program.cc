@@ -339,6 +339,10 @@ class GmmProgram final : public core::pipeline::ModelProgram {
 
   void AccumulateFactorized(int pass, int worker,
                             const FactorizedBlock& block) override {
+    if (block.s_strips != nullptr) {
+      AccumulateFactorizedStrips(pass, worker, block);
+      return;
+    }
     Acc& acc = acc_[static_cast<size_t>(worker)];
     const storage::RowBatch& s_rows = *block.s_rows;
     switch (pass) {
@@ -465,6 +469,308 @@ class GmmProgram final : public core::pipeline::ModelProgram {
         }
         break;
       }
+    }
+  }
+
+  /// Batched (--kernels=simd) twins of the three factorized passes. The
+  /// S-slice work runs on the driver-packed strips (`quadform_strip`,
+  /// `colsum_strip`, `syrk_strip`); the FK1 group structure turns the
+  /// table-0 attribute terms into per-run strip work (one precision-slice
+  /// product per R1 tuple, then `col_dot_strip` / a single outer product
+  /// over the run's rows); per-rid responsibility mass lands through
+  /// `scatter_add_strip` in row-ascending order, bit-identical to the
+  /// scalar scatter. Further tables (multi-way joins) and the cross blocks
+  /// stay row-at-a-time over the centered strip. Every kernel call is
+  /// charged the exact op counts of the per-row loop it replaces, and the
+  /// posterior exp stream is untouched — the PR 7 determinism contract.
+  void AccumulateFactorizedStrips(int pass, int worker,
+                                  const FactorizedBlock& block) {
+    Acc& acc = acc_[static_cast<size_t>(worker)];
+    static obs::Histogram* batch_micros =
+        obs::Registry::Instance().GetHistogram("la.batch_kernel_micros");
+    const storage::ColumnStrips& st = *block.s_strips;
+    const storage::RowBatch& s_rows = *block.s_rows;
+    const std::vector<join::JoinGroup>& groups = *block.groups;
+    const la::Kernels& kern = la::Active();
+    const size_t dr0 = q_ > 0 ? rel_->dr(0) : 0;
+
+    std::vector<const double*> cols(ds_);  // S feature strip columns
+    std::vector<double> diffm;             // centered S slice, ds x rows
+    std::vector<const double*> dptr(ds_);  // row pointers into diffm
+    std::vector<double> gbuf;              // contiguous per-component gammas
+    std::vector<double> vbuf;              // per-run precision-slice product
+    std::vector<double> ubuf;              // per-run col_dot output
+    std::vector<double> lbuf;              // per-run LL col_dot (no symmetry)
+    std::vector<double> wsum;              // per-run weighted column sum
+    Matrix qbuf;                           // k x rows quadratic forms
+    if (pass != kMeanStep) diffm.resize(ds_ * st.strip_rows);
+    if (pass == kEStep) {
+      qbuf.Resize(k_, st.strip_rows);
+      vbuf.resize(ds_);
+      ubuf.resize(st.strip_rows);
+      if (!opt_.exploit_symmetry) lbuf.resize(st.strip_rows);
+    }
+    if (pass != kEStep) gbuf.resize(st.strip_rows);
+    if (pass == kCovStep) wsum.resize(ds_);
+    // Per-table rid columns for the gather/scatter kernels (uncharged
+    // index movement, like the scalar path's KeysOf reads).
+    std::vector<std::vector<int64_t>> ridbuf;
+    if (pass == kMeanStep) {
+      ridbuf.resize(q_);
+      for (size_t i = 0; i < q_; ++i) ridbuf[i].resize(s_rows.num_rows);
+      for (size_t r = 0; r < s_rows.num_rows; ++r) {
+        const int64_t* keys = s_rows.KeysOf(r);
+        for (size_t i = 0; i < q_; ++i) {
+          ridbuf[i][r] = keys[rel_->FkKeyIndex(i)];
+        }
+      }
+    }
+
+    for (size_t s = 0; s < st.num_strips; ++s) {
+      const size_t rows = st.RowsInStrip(s);
+      if (rows == 0) continue;
+      const uint64_t t0 = obs::NowMicros();
+      const size_t row0 = st.StripStart(s);
+      const int64_t base = s_rows.start_row + static_cast<int64_t>(row0);
+      for (size_t j = 0; j < ds_; ++j) cols[j] = st.Col(s, y_off_ + j);
+      switch (pass) {
+        case kEStep: {
+          for (size_t c = 0; c < k_; ++c) {
+            const Matrix& prec = density_.precision[c];
+            const double* mu = params_.mu.Row(c).data();
+            for (size_t i = 0; i < ds_; ++i) {
+              const double* xi = cols[i];
+              double* di = diffm.data() + i * rows;
+              for (size_t r = 0; r < rows; ++r) di[r] = xi[r] - mu[i];
+            }
+            CountSubs(rows * ds_);  // the per-row CenterInto stream
+            kern.quadform_strip(diffm.data(), ds_, rows, prec.data(),
+                                prec.cols(), qbuf.Row(c).data());
+            CountMults(rows * (ds_ * ds_ + ds_));  // the S-diag Bilinear
+            CountAdds(rows * (ds_ * ds_ + ds_));
+            // Table-0 terms per FK1 run: UR (and LL) collapse to one
+            // precision-slice product per R1 tuple followed by a strip
+            // col-dot over the run's centered rows; the cached diagonal
+            // block adds per row. Charged with the per-row Bilinear
+            // formulas the run replaces.
+            double* qrow = qbuf.Row(c).data();
+            for (const auto& g : groups) {
+              const size_t lo = std::max(g.offset, row0);
+              const size_t hi = std::min(g.offset + g.count, row0 + rows);
+              if (lo >= hi) continue;
+              const size_t rn = hi - lo;
+              const size_t ll = lo - row0;  // strip-local run start
+              const double* pdr = caches_[0].pd[c].Row(g.rid).data();
+              for (size_t i = 0; i < ds_; ++i) {
+                vbuf[i] = kern.dot(prec.Row(i).data() + attr_offset_[0],
+                                   pdr, dr0);
+              }
+              for (size_t i = 0; i < ds_; ++i) {
+                dptr[i] = diffm.data() + i * rows + ll;
+              }
+              kern.col_dot_strip(dptr.data(), ds_, rn, vbuf.data(),
+                                 ubuf.data());
+              CountMults(rn * (ds_ * dr0 + ds_));  // the UR Bilinear stream
+              CountAdds(rn * (ds_ * dr0 + ds_));
+              const double diag = caches_[0].diag[c][g.rid];
+              if (opt_.exploit_symmetry) {
+                for (size_t r = 0; r < rn; ++r) {
+                  qrow[ll + r] += 2.0 * ubuf[r] + diag;
+                }
+                CountMults(rn);
+              } else {
+                // LL = pdr^T P[off0:, 0:ds] pds: fold pdr through the
+                // precision rows once per run, then one more col-dot.
+                std::fill(vbuf.begin(), vbuf.end(), 0.0);
+                for (size_t j2 = 0; j2 < dr0; ++j2) {
+                  kern.axpy(pdr[j2],
+                            prec.Row(attr_offset_[0] + j2).data(),
+                            vbuf.data(), ds_);
+                }
+                kern.col_dot_strip(dptr.data(), ds_, rn, vbuf.data(),
+                                   lbuf.data());
+                for (size_t r = 0; r < rn; ++r) {
+                  qrow[ll + r] += ubuf[r] + lbuf[r] + diag;
+                }
+                CountMults(rn * (dr0 * ds_ + dr0));  // the LL Bilinear
+                CountAdds(rn * (dr0 * ds_ + dr0));
+              }
+              CountAdds(3 * rn);
+            }
+          }
+          // Multi-way tables and cross blocks row-at-a-time over the
+          // centered strip (the centered S slice is gathered back from
+          // diffm — pure data movement), exactly the scalar code.
+          if (q_ > 1) {
+            for (size_t c = 0; c < k_; ++c) {
+              const Matrix& prec = density_.precision[c];
+              const double* mu = params_.mu.Row(c).data();
+              for (size_t r = 0; r < rows; ++r) {
+                double* pds = acc.diff.data();
+                for (size_t i = 0; i < ds_; ++i) {
+                  pds[i] = cols[i][r] - mu[i];
+                }
+                const int64_t* keys = s_rows.KeysOf(row0 + r);
+                double extra = 0.0;
+                for (size_t i = 0; i < q_; ++i) {
+                  const int64_t rid = keys[rel_->FkKeyIndex(i)];
+                  const double* pdr = caches_[i].pd[c].Row(rid).data();
+                  const size_t dri = rel_->dr(i);
+                  if (i >= 1) {
+                    const double ur =
+                        la::Bilinear(prec, 0, attr_offset_[i], pds, ds_,
+                                     pdr, dri);
+                    if (opt_.exploit_symmetry) {
+                      extra += 2.0 * ur;
+                      CountMults(1);
+                    } else {
+                      extra += ur + la::Bilinear(prec, attr_offset_[i], 0,
+                                                 pdr, dri, pds, ds_);
+                    }
+                    extra += caches_[i].diag[c][rid];
+                    CountAdds(3);
+                  }
+                  for (size_t j = i + 1; j < q_; ++j) {
+                    const int64_t rid_j = keys[rel_->FkKeyIndex(j)];
+                    const double* pdj = caches_[j].pd[c].Row(rid_j).data();
+                    const size_t drj = rel_->dr(j);
+                    const double cross =
+                        la::Bilinear(prec, attr_offset_[i], attr_offset_[j],
+                                     pdr, dri, pdj, drj);
+                    if (opt_.exploit_symmetry) {
+                      extra += 2.0 * cross;
+                      CountMults(1);
+                    } else {
+                      extra += cross + la::Bilinear(prec, attr_offset_[j],
+                                                    attr_offset_[i], pdj,
+                                                    drj, pdr, dri);
+                    }
+                    CountAdds(2);
+                  }
+                }
+                qbuf(c, r) += extra;
+              }
+            }
+          }
+          // Posterior row-at-a-time: identical exp stream to scalar.
+          for (size_t r = 0; r < rows; ++r) {
+            for (size_t c = 0; c < k_; ++c) {
+              acc.logp[c] = density_.log_coeff[c] - 0.5 * qbuf(c, r);
+            }
+            double* gamma = resp_.Row(base + static_cast<int64_t>(r));
+            acc.ll +=
+                internal::PosteriorFromLogps(acc.logp.data(), k_, gamma);
+            for (size_t c = 0; c < k_; ++c) acc.n_k[c] += gamma[c];
+          }
+          break;
+        }
+        case kMeanStep: {
+          for (size_t c = 0; c < k_; ++c) {
+            for (size_t r = 0; r < rows; ++r) {
+              gbuf[r] = resp_.Row(base + static_cast<int64_t>(r))[c];
+            }
+            kern.colsum_strip(cols.data(), ds_, rows, gbuf.data(),
+                              acc.mu_sum.data() + c * ds_);
+            CountMults(rows * ds_);  // the per-row Axpy(gamma, xs) stream
+            CountAdds(rows * ds_);
+            // Per-rid responsibility mass: scatter in row order — every
+            // slot accumulates the same gamma sequence as the scalar
+            // loop, so the merge (and the shard wire) stay bit-identical.
+            for (size_t i = 0; i < q_; ++i) {
+              kern.scatter_add_strip(ridbuf[i].data() + row0, gbuf.data(),
+                                     rows, acc.gsum[i][c].data());
+            }
+            CountAdds(rows * q_);
+          }
+          break;
+        }
+        case kCovStep: {
+          for (size_t c = 0; c < k_; ++c) {
+            const double* mu = params_.mu.Row(c).data();
+            for (size_t i = 0; i < ds_; ++i) {
+              const double* xi = cols[i];
+              double* di = diffm.data() + i * rows;
+              for (size_t r = 0; r < rows; ++r) di[r] = xi[r] - mu[i];
+              dptr[i] = di;
+            }
+            CountSubs(rows * ds_);
+            for (size_t r = 0; r < rows; ++r) {
+              gbuf[r] = resp_.Row(base + static_cast<int64_t>(r))[c];
+            }
+            Matrix& sg = acc.sigma[c];
+            kern.syrk_strip(dptr.data(), ds_, rows, gbuf.data(), sg.data(),
+                            sg.cols());
+            CountMults(rows * (ds_ * ds_ + ds_));  // the S-diag AddOuter
+            CountAdds(rows * ds_ * ds_);
+            // Table-0 cross blocks per FK1 run: the responsibility-
+            // weighted centered-row sum collapses the run to ONE outer
+            // product per R1 tuple (and its mirror without symmetry).
+            for (const auto& g : groups) {
+              const size_t lo = std::max(g.offset, row0);
+              const size_t hi = std::min(g.offset + g.count, row0 + rows);
+              if (lo >= hi) continue;
+              const size_t rn = hi - lo;
+              const size_t ll = lo - row0;
+              const double* pdr = caches_[0].pd[c].Row(g.rid).data();
+              for (size_t i = 0; i < ds_; ++i) {
+                dptr[i] = diffm.data() + i * rows + ll;
+              }
+              std::fill(wsum.begin(), wsum.end(), 0.0);
+              kern.colsum_strip(dptr.data(), ds_, rn, gbuf.data() + ll,
+                                wsum.data());
+              kern.add_outer(1.0, wsum.data(), ds_, pdr, dr0,
+                             sg.data() + attr_offset_[0], sg.cols());
+              CountMults(rn * (ds_ * dr0 + ds_));  // the S x R0 AddOuter
+              CountAdds(rn * ds_ * dr0);
+              if (!opt_.exploit_symmetry) {
+                kern.add_outer(1.0, pdr, dr0, wsum.data(), ds_,
+                               sg.data() + attr_offset_[0] * sg.cols(),
+                               sg.cols());
+                CountMults(rn * (dr0 * ds_ + dr0));
+                CountAdds(rn * dr0 * ds_);
+              }
+            }
+            // Multi-way tables and cross pairs row-at-a-time (gathered
+            // centered S slice), exactly the scalar code.
+            if (q_ > 1) {
+              for (size_t r = 0; r < rows; ++r) {
+                double* pds = acc.diff.data();
+                for (size_t i = 0; i < ds_; ++i) {
+                  pds[i] = diffm[i * rows + r];
+                }
+                const double gamma_c = gbuf[r];
+                const int64_t* keys = s_rows.KeysOf(row0 + r);
+                for (size_t i = 0; i < q_; ++i) {
+                  const int64_t rid = keys[rel_->FkKeyIndex(i)];
+                  const double* pdr = caches_[i].pd[c].Row(rid).data();
+                  const size_t dri = rel_->dr(i);
+                  if (i >= 1) {
+                    la::AddOuter(gamma_c, pds, ds_, pdr, dri, &sg, 0,
+                                 attr_offset_[i]);
+                    if (!opt_.exploit_symmetry) {
+                      la::AddOuter(gamma_c, pdr, dri, pds, ds_, &sg,
+                                   attr_offset_[i], 0);
+                    }
+                  }
+                  for (size_t j = i + 1; j < q_; ++j) {
+                    const int64_t rid_j = keys[rel_->FkKeyIndex(j)];
+                    const double* pdj = caches_[j].pd[c].Row(rid_j).data();
+                    const size_t drj = rel_->dr(j);
+                    la::AddOuter(gamma_c, pdr, dri, pdj, drj, &sg,
+                                 attr_offset_[i], attr_offset_[j]);
+                    if (!opt_.exploit_symmetry) {
+                      la::AddOuter(gamma_c, pdj, drj, pdr, dri, &sg,
+                                   attr_offset_[j], attr_offset_[i]);
+                    }
+                  }
+                }
+              }
+            }
+          }
+          break;
+        }
+      }
+      batch_micros->Record(obs::NowMicros() - t0);
     }
   }
 

@@ -205,9 +205,13 @@ class KmeansProgram final : public core::pipeline::ModelProgram {
   }
 
   /// Factorized twin: the S-slice distances come from dist_strip over the
-  /// strip-packed S columns; the cached per-attribute-tuple distances,
-  /// the argmin and the group mass updates stay row-at-a-time (they are
-  /// gather-structured, not strip-shaped).
+  /// strip-packed S columns; the cached per-attribute-tuple distances land
+  /// on the distance block through gather_add_strip over the FK rid
+  /// columns (i-ascending per element, so the totals — and hence the
+  /// argmin — are bit-identical to the scalar loop), and the per-rid
+  /// assignment mass scatters through scatter_add_strip on flattened
+  /// (best, rid) indices in row order. Only the argmin/inertia/sums stay
+  /// row-at-a-time. Charges are the exact per-row op counts.
   void AccumulateFactorizedStrips(int worker, const FactorizedBlock& block) {
     Acc& acc = acc_[static_cast<size_t>(worker)];
     static obs::Histogram* batch_micros =
@@ -217,6 +221,17 @@ class KmeansProgram final : public core::pipeline::ModelProgram {
     const la::Kernels& kern = la::Active();
     std::vector<const double*> cols(ds_);
     Matrix dist(k_, st.strip_rows);
+    // FK rid columns, one per attribute table (uncharged index movement,
+    // the strip twin of the per-row KeysOf reads).
+    std::vector<std::vector<int64_t>> ridx(q_);
+    for (size_t i = 0; i < q_; ++i) {
+      ridx[i].resize(s_rows.num_rows);
+      for (size_t r = 0; r < s_rows.num_rows; ++r) {
+        ridx[i][r] = s_rows.KeysOf(r)[rel_->FkKeyIndex(i)];
+      }
+    }
+    std::vector<size_t> best(st.strip_rows);
+    std::vector<int64_t> idx(st.strip_rows);
     for (size_t s = 0; s < st.num_strips; ++s) {
       const size_t rows = st.RowsInStrip(s);
       if (rows == 0) continue;
@@ -226,34 +241,44 @@ class KmeansProgram final : public core::pipeline::ModelProgram {
       for (size_t c = 0; c < k_; ++c) {
         kern.dist_strip(cols.data(), ds_, rows, model_.centroids.Row(c).data(),
                         dist.Row(c).data());
+        for (size_t i = 0; i < q_; ++i) {
+          kern.gather_add_strip(dcache_[i].Row(c).data(),
+                                ridx[i].data() + row0, rows,
+                                dist.Row(c).data());
+        }
       }
       CountSubs(rows * k_ * ds_);
       CountMults(rows * k_ * ds_);
       CountAdds(rows * k_ * ds_);
+      CountAdds(rows * k_ * q_);  // the cached per-join distance adds
       for (size_t r = 0; r < rows; ++r) {
-        const int64_t* keys = s_rows.KeysOf(row0 + r);
-        size_t best = 0;
+        size_t b = 0;
         double best_dist = std::numeric_limits<double>::infinity();
         for (size_t c = 0; c < k_; ++c) {
-          double dc = dist(c, r);
-          for (size_t i = 0; i < q_; ++i) {
-            dc += dcache_[i](c, keys[rel_->FkKeyIndex(i)]);
-          }
+          const double dc = dist(c, r);
           if (dc < best_dist) {
             best_dist = dc;
-            best = c;
+            b = c;
           }
         }
+        best[r] = b;
         acc.inertia += best_dist;
-        acc.counts[best] += 1.0;
-        double* sum = acc.sums.data() + best * ds_;
+        acc.counts[b] += 1.0;
+        double* sum = acc.sums.data() + b * ds_;
         for (size_t j = 0; j < ds_; ++j) sum[j] += cols[j][r];
-        for (size_t i = 0; i < q_; ++i) {
-          acc.gsum[i](best, keys[rel_->FkKeyIndex(i)]) += 1.0;
-        }
       }
-      CountAdds(rows * k_ * q_);  // the cached per-join distance adds
-      CountMults(rows * ds_);     // the per-row Axpy(1.0, xs) stream
+      // Assignment mass per rid: unit-weight scatter on flattened
+      // (best, rid) slots, row-ascending like the scalar loop.
+      for (size_t i = 0; i < q_; ++i) {
+        const auto n_ri = static_cast<int64_t>(dcache_[i].cols());
+        for (size_t r = 0; r < rows; ++r) {
+          idx[r] = static_cast<int64_t>(best[r]) * n_ri +
+                   ridx[i][row0 + r];
+        }
+        kern.scatter_add_strip(idx.data(), /*w=*/nullptr, rows,
+                               acc.gsum[i].data());
+      }
+      CountMults(rows * ds_);  // the per-row Axpy(1.0, xs) stream
       CountAdds(rows * ds_);
       CountAdds(rows * (2 + q_));
       batch_micros->Record(obs::NowMicros() - t0);

@@ -1,6 +1,9 @@
 #include "la/kernels.h"
 
 #include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <string_view>
 
 #include "obs/metrics.h"
 
@@ -113,12 +116,62 @@ void ScalarQuadFormStrip(const double* diff, size_t d, size_t rows,
   }
 }
 
+void ScalarGemmStrip(const double* a, size_t lda, const double* b, size_t ldb,
+                     size_t m, size_t n, size_t k, double* c, size_t ldc,
+                     bool trans_b, bool accumulate) {
+  for (size_t i = 0; i < m; ++i) {
+    const double* ai = a + i * lda;
+    double* ci = c + i * ldc;
+    if (!accumulate) {
+      for (size_t j = 0; j < n; ++j) ci[j] = 0.0;
+    }
+    if (trans_b) {
+      for (size_t j = 0; j < n; ++j) {
+        const double* bj = b + j * ldb;
+        double s = 0.0;
+        for (size_t p = 0; p < k; ++p) s += ai[p] * bj[p];
+        ci[j] += s;
+      }
+    } else {
+      for (size_t p = 0; p < k; ++p) {
+        const double aip = ai[p];
+        const double* bp = b + p * ldb;
+        for (size_t j = 0; j < n; ++j) ci[j] += aip * bp[j];
+      }
+    }
+  }
+}
+
+void ScalarGatherAddRowsStrip(const double* base, size_t ldb,
+                              const int64_t* idx, size_t rows, size_t n,
+                              double* out, size_t ldo) {
+  for (size_t r = 0; r < rows; ++r) {
+    const double* src = base + static_cast<size_t>(idx[r]) * ldb;
+    double* dst = out + r * ldo;
+    for (size_t j = 0; j < n; ++j) dst[j] += src[j];
+  }
+}
+
+void ScalarGatherAddStrip(const double* src, const int64_t* idx, size_t rows,
+                          double* out) {
+  for (size_t r = 0; r < rows; ++r) out[r] += src[idx[r]];
+}
+
+void ScalarScatterAddStrip(const int64_t* idx, const double* w, size_t rows,
+                           double* acc) {
+  for (size_t r = 0; r < rows; ++r) {
+    acc[idx[r]] += w != nullptr ? w[r] : 1.0;
+  }
+}
+
 constexpr Kernels kScalarKernels = {
     "scalar",          false,
     ScalarDot,         ScalarAxpy,       ScalarGemv,
     ScalarBilinear,    ScalarAddOuter,
     ScalarSyrkStrip,   ScalarColDotStrip, ScalarColSumStrip,
     ScalarDistStrip,   ScalarQuadFormStrip,
+    ScalarGemmStrip,   ScalarGatherAddRowsStrip,
+    ScalarGatherAddStrip, ScalarScatterAddStrip,
 };
 
 // ------------------------------------------------------- vector backends
@@ -147,6 +200,8 @@ constexpr Kernels kPortableKernels = {
     PortableBilinear,    PortableAddOuter,
     PortableSyrkStrip,   PortableColDotStrip, PortableColSumStrip,
     PortableDistStrip,   PortableQuadFormStrip,
+    PortableGemmStrip,   PortableGatherAddRowsStrip,
+    PortableGatherAddStrip, PortableScatterAddStrip,
 };
 
 #if defined(__x86_64__) || defined(_M_X64)
@@ -165,6 +220,8 @@ constexpr Kernels kAvx2Kernels = {
     Avx2Bilinear,    Avx2AddOuter,
     Avx2SyrkStrip,   Avx2ColDotStrip, Avx2ColSumStrip,
     Avx2DistStrip,   Avx2QuadFormStrip,
+    Avx2GemmStrip,   Avx2GatherAddRowsStrip,
+    Avx2GatherAddStrip, Avx2ScatterAddStrip,
 };
 
 bool CpuHasAvx2Fma() {
@@ -172,12 +229,31 @@ bool CpuHasAvx2Fma() {
 }
 #endif  // x86-64
 
-const Kernels& SimdKernels() {
+const Kernels& NativeSimdKernels() {
 #if defined(FML_HAVE_AVX2_CLONE)
   static const bool avx2 = CpuHasAvx2Fma();
   if (avx2) return kAvx2Kernels;
 #endif
   return kPortableKernels;
+}
+
+/// What kSimd resolves to: the CPU-feature pick, unless the
+/// FACTORML_KERNELS_BACKEND override names a specific table. Re-read on
+/// every selection so tests can flip the variable between runs. kScalar
+/// selection never consults this — the scalar goldens must hold with the
+/// override set (the forced-portable CI job runs the whole tier1 suite).
+const Kernels& SimdKernels() {
+  const char* env = std::getenv("FACTORML_KERNELS_BACKEND");
+  if (env == nullptr || *env == '\0') return NativeSimdKernels();
+  const std::string_view v(env);
+  if (v == "scalar") return kScalarKernels;
+  if (v == "portable") return kPortableKernels;
+  if (v == "native") return NativeSimdKernels();
+  std::fprintf(stderr,
+               "invalid FACTORML_KERNELS_BACKEND=%s "
+               "(expected scalar, portable or native)\n",
+               env);
+  std::exit(2);
 }
 
 std::atomic<const Kernels*> g_active{&kScalarKernels};

@@ -2,6 +2,7 @@
 #define FACTORML_LA_KERNELS_H_
 
 #include <cstddef>
+#include <cstdint>
 #include <string>
 
 namespace factorml::la {
@@ -73,6 +74,42 @@ struct Kernels {
   // (diff[i*rows + r]) — the batched GMM responsibility quadratic form.
   void (*quadform_strip)(const double* diff, size_t d, size_t rows,
                          const double* a, size_t lda, double* out);
+
+  // ------------------------------------------- dgemm-shaped strip kernel
+  // trans_b == false:  C(m x n, ldc) (+)= A(m x k, lda) * B(k x n, ldb)
+  //   — axpy-form over n; B's rows are contiguous length-n runs (strip
+  //   columns / transposed batch rows), so the vector backends stream
+  //   whole lanes of C. The NN first-layer forward shape: A = W1 slice,
+  //   B = one feature strip, C = the transposed activation block.
+  // trans_b == true:   C(m x n, ldc) (+)= A(m x k, lda) * B(n x k, ldb)^T
+  //   — dot-form over k; both operands contiguous along k (two strip
+  //   blocks of the same height). The NN backward shape: A = transposed
+  //   delta strip, B = the feature strip, C = a W1-gradient block.
+  // accumulate == false overwrites C's m x n block instead of adding.
+  void (*gemm_strip)(const double* a, size_t lda, const double* b, size_t ldb,
+                     size_t m, size_t n, size_t k, double* c, size_t ldc,
+                     bool trans_b, bool accumulate);
+
+  // ----------------------------------------- FK1 gather/scatter kernels
+  // Rid-indexed strip kernels for the group-structured attribute loops:
+  // `idx` holds one row id per strip row (contiguous rid runs when they
+  // come from join::ChunkFk1Runs group batches, arbitrary otherwise).
+  // Scatters visit rows in ascending order in every backend, so duplicate
+  // indices accumulate bit-identically to the scalar row loop.
+
+  // out[r] += base[idx[r] * ldb + j] for j in [0, n) — adds one gathered
+  // base row per strip row (NN's per-attribute partial-cache gather).
+  void (*gather_add_rows_strip)(const double* base, size_t ldb,
+                                const int64_t* idx, size_t rows, size_t n,
+                                double* out, size_t ldo);
+  // out[r] += src[idx[r]] — element gather-add (k-means' cached
+  // per-attribute distance lookups).
+  void (*gather_add_strip)(const double* src, const int64_t* idx,
+                           size_t rows, double* out);
+  // acc[idx[r]] += w[r] (w == nullptr means unit weights) — element
+  // scatter-add (GMM's per-rid responsibility mass, k-means' group mass).
+  void (*scatter_add_strip)(const int64_t* idx, const double* w, size_t rows,
+                            double* acc);
 };
 
 /// Kernel backend selection mode, resolved from --kernels.
@@ -85,6 +122,12 @@ enum class KernelMode {
 /// publishes the choice to the obs registry (`kernels.dispatch` gauge:
 /// 0 = scalar, 1 = portable vector, 2 = avx2). kSimd resolves to "avx2"
 /// when the CPU reports AVX2+FMA, else the portable vector backend.
+///
+/// The FACTORML_KERNELS_BACKEND environment variable overrides what kSimd
+/// resolves to — "scalar", "portable", or "native" (the CPU-feature pick
+/// above) — so tests/CI can force the portable GNU-vector lowering on AVX2
+/// hosts. kScalar ignores the override: the bit-identity goldens must hold
+/// whatever the environment says. An unrecognized value exits with code 2.
 void SelectKernels(KernelMode mode);
 
 /// The active kernel table (scalar until SelectKernels says otherwise).
@@ -92,7 +135,9 @@ void SelectKernels(KernelMode mode);
 /// parallel regions.
 const Kernels& Active();
 
-/// Name of the backend SelectKernels(kSimd) would pick on this machine.
+/// Name of the backend SelectKernels(kSimd) would pick on this machine,
+/// honoring the FACTORML_KERNELS_BACKEND override (so run manifests report
+/// the backend a forced run actually used).
 const char* SimdBackendName();
 
 /// Detected CPU feature summary for manifests, e.g. "x86-64 avx2 fma",

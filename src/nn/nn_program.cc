@@ -13,10 +13,12 @@
 #include <vector>
 
 #include "common/opcount.h"
+#include "core/pipeline/access_internal.h"
 #include "core/pipeline/access_strategy.h"
 #include "core/pipeline/model_program.h"
 #include "exec/parallel_for.h"
 #include "join/batch_plan.h"
+#include "la/kernels.h"
 #include "la/ops.h"
 #include "nn/backprop.h"
 #include "nn/trainers.h"
@@ -110,6 +112,7 @@ class NnProgram final : public core::pipeline::ModelProgram {
 
   Status OnDenseBatch(const PipelineContext& ctx,
                       const DenseBatch& batch) override {
+    if (batch.strips != nullptr) return OnDenseBatchStrips(ctx, batch);
     const la::Matrix& x = *batch.x;
     const size_t b = x.rows();
     const int threads = ctx.threads;
@@ -152,27 +155,126 @@ class NnProgram final : public core::pipeline::ModelProgram {
     return Status::OK();
   }
 
+  /// Strip-fed epoch step (--kernels=simd): forward and backward run as
+  /// batch matrix products (`gemm_strip`) over the driver-packed column
+  /// strips instead of per-row gemv/outer loops. Op counts are charged
+  /// with the exact scalar formulas per strip, and every strip/morsel
+  /// boundary is schedule-determined, so iterations, op counters, and
+  /// page I/O stay EXPECT_EQ-identical to the scalar path — only the
+  /// within-strip summation order (hence numerics, to tolerance) differs.
+  Status OnDenseBatchStrips(const PipelineContext& ctx,
+                            const DenseBatch& batch) {
+    const storage::ColumnStrips& st = *batch.strips;
+    const size_t b = st.num_rows;
+    const int threads = ctx.threads;
+    const la::Kernels& kern = la::Active();
+
+    // First-layer forward, one strip at a time: a1t (nh x rows) = W1 * B
+    // where B is the strip's feature block (d x rows, ldb = strip height).
+    // The transpose back to the row-major activation block carries the
+    // bias add (the AddRowVectorRows charge); strips are disjoint row
+    // blocks, so any strip partition is deterministic.
+    a1_.Reshape(b, nh_);
+    {
+      core::PhaseScope phase(ctx.report, "first_layer_fwd");
+      exec::ParallelFor(
+          threads, static_cast<int64_t>(st.num_strips), /*align=*/1,
+          [&](exec::Range rg, int) {
+            std::vector<double> a1t(nh_ * st.strip_rows);
+            for (int64_t s = rg.begin; s < rg.end; ++s) {
+              const auto sp = static_cast<size_t>(s);
+              const size_t rows = st.RowsInStrip(sp);
+              kern.gemm_strip(mlp_.w[0].data(), d_, st.Col(sp, 0),
+                              st.strip_rows, nh_, rows, d_, a1t.data(),
+                              st.strip_rows, /*trans_b=*/false,
+                              /*accumulate=*/false);
+              double* a1_base = a1_.Row(st.StripStart(sp)).data();
+              for (size_t u = 0; u < nh_; ++u) {
+                const double bu = mlp_.b[0][u];
+                const double* tu = a1t.data() + u * st.strip_rows;
+                for (size_t r = 0; r < rows; ++r) {
+                  a1_base[r * nh_ + u] = tu[r] + bu;
+                }
+              }
+              CountMults(rows * nh_ * d_);
+              CountAdds(rows * nh_ * d_ + rows * nh_);
+            }
+          });
+    }
+    {
+      core::PhaseScope phase(ctx.report, "upper_layers");
+      epoch_sse_ += engine_->Step(a1_, batch.y->data(), &delta1_);
+    }
+
+    // W1 gradient over column morsels, strips ascending inside each
+    // morsel: grad0[:, cb:ce] += sum_s d1_strip_s * x_strip_s^T — the
+    // dot-form gemm over two strip blocks of the same height. The strip
+    // order is fixed, so the gradient is bit-identical for any thread
+    // count (and within-morsel numerics match the serial strip sweep).
+    core::pipeline::internal::PackRowsToStrips(
+        delta1_.data(), nh_, /*y=*/nullptr, 0, b, nh_, st.start_row,
+        st.strip_rows, &d1s_);
+    grad0_.SetZero();
+    {
+      core::PhaseScope phase(ctx.report, "w1_grad");
+      exec::ParallelFor(
+          threads, static_cast<int64_t>(d_), /*align=*/1,
+          [&](exec::Range rg, int) {
+            const auto cb = static_cast<size_t>(rg.begin);
+            const size_t len = static_cast<size_t>(rg.end) - cb;
+            for (size_t s = 0; s < st.num_strips; ++s) {
+              const size_t rows = st.RowsInStrip(s);
+              kern.gemm_strip(d1s_.Col(s, 0), d1s_.strip_rows, st.Col(s, cb),
+                              st.strip_rows, nh_, len, rows,
+                              grad0_.data() + cb, d_, /*trans_b=*/true,
+                              /*accumulate=*/true);
+            }
+            CountMults(b * nh_ * len);
+            CountAdds(b * nh_ * len);
+          });
+    }
+    engine_->UpdateW0(grad0_);
+    return Status::OK();
+  }
+
   Status OnFactorizedBatch(const PipelineContext& ctx,
                            const FactorizedBlock& block) override {
     const storage::RowBatch& s_rows = *block.s_rows;
     const std::vector<join::JoinGroup>& groups = *block.groups;
     const std::vector<join::AttributeTableView>& views = *ctx.views;
+    const storage::ColumnStrips* st = block.s_strips;
     const size_t b = s_rows.num_rows;
     const int threads = ctx.threads;
 
-    xs_.Reshape(b, ds_);
     y_.resize(b);
-    exec::ParallelFor(
-        threads, static_cast<int64_t>(b), /*align=*/1,
-        [&](exec::Range rg, int) {
-          for (int64_t r = rg.begin; r < rg.end; ++r) {
-            y_[static_cast<size_t>(r)] =
-                s_rows.feats(static_cast<size_t>(r), 0);
-            std::memcpy(xs_.Row(static_cast<size_t>(r)).data(),
-                        s_rows.feats.Row(static_cast<size_t>(r)).data() + 1,
-                        sizeof(double) * ds_);
-          }
-        });
+    if (st == nullptr) {
+      xs_.Reshape(b, ds_);
+      exec::ParallelFor(
+          threads, static_cast<int64_t>(b), /*align=*/1,
+          [&](exec::Range rg, int) {
+            for (int64_t r = rg.begin; r < rg.end; ++r) {
+              y_[static_cast<size_t>(r)] =
+                  s_rows.feats(static_cast<size_t>(r), 0);
+              std::memcpy(xs_.Row(static_cast<size_t>(r)).data(),
+                          s_rows.feats.Row(static_cast<size_t>(r)).data() + 1,
+                          sizeof(double) * ds_);
+            }
+          });
+    } else {
+      // Strip path: the S slice arrives pre-transposed (target at strip
+      // column 0, features at 1..ds), so xs_ is never assembled. Gather
+      // the targets and the per-table rid index buffers the strip
+      // kernels consume (pure data movement, uncharged like assembly).
+      ridbuf_.resize(q_);
+      for (size_t i = 0; i < q_; ++i) ridbuf_[i].resize(b);
+      for (size_t r = 0; r < b; ++r) {
+        y_[r] = s_rows.feats(r, 0);
+        const int64_t* keys = s_rows.KeysOf(r);
+        for (size_t i = 0; i < q_; ++i) {
+          ridbuf_[i][r] = keys[rel_->FkKeyIndex(i)];
+        }
+      }
+    }
 
     // ---- Refresh the partial caches for this weight version: collect
     // the stale rids the batch touches (table 0 straight from the rid
@@ -236,7 +338,40 @@ class NnProgram final : public core::pipeline::ModelProgram {
     // A1 = XS * W_S^T  +  sum_i cache_i(rid_i), row-parallel over the
     // batch (each a1 row reads only its own xs row and cached partials).
     a1_.Reshape(b, nh_);
-    {
+    if (st != nullptr) {
+      // Strip path: the XS product is one gemm_strip per strip (W_S is
+      // the leading ds-column slice of W1), transposed back row-major;
+      // the per-table cached partials land via gather_add_rows_strip
+      // over the rid buffers (no bias here — table 0's cache carries it).
+      core::PhaseScope phase(ctx.report, "first_layer_fwd");
+      const la::Kernels& kern = la::Active();
+      exec::ParallelFor(
+          threads, static_cast<int64_t>(st->num_strips), /*align=*/1,
+          [&](exec::Range rg, int) {
+            std::vector<double> a1t(nh_ * st->strip_rows);
+            for (int64_t s = rg.begin; s < rg.end; ++s) {
+              const auto sp = static_cast<size_t>(s);
+              const size_t rows = st->RowsInStrip(sp);
+              const size_t row0 = st->StripStart(sp);
+              kern.gemm_strip(mlp_.w[0].data(), d_, st->Col(sp, 1),
+                              st->strip_rows, nh_, rows, ds_, a1t.data(),
+                              st->strip_rows, /*trans_b=*/false,
+                              /*accumulate=*/false);
+              double* a1_base = a1_.Row(row0).data();
+              for (size_t u = 0; u < nh_; ++u) {
+                const double* tu = a1t.data() + u * st->strip_rows;
+                for (size_t r = 0; r < rows; ++r) a1_base[r * nh_ + u] = tu[r];
+              }
+              for (size_t i = 0; i < q_; ++i) {
+                kern.gather_add_rows_strip(caches_[i].c.data(), nh_,
+                                           ridbuf_[i].data() + row0, rows,
+                                           nh_, a1_base, nh_);
+              }
+              CountMults(rows * nh_ * ds_);
+              CountAdds(rows * nh_ * ds_ + rows * nh_ * q_);
+            }
+          });
+    } else {
       core::PhaseScope phase(ctx.report, "first_layer_fwd");
       exec::ParallelFor(
           threads, static_cast<int64_t>(b), /*align=*/1,
@@ -284,16 +419,35 @@ class NnProgram final : public core::pipeline::ModelProgram {
         }
       }
     }
+    if (st != nullptr) {
+      // Delta strips aligned to the S strips (same height), so the PG_S
+      // block below runs as dot-form gemm over paired strip blocks.
+      core::pipeline::internal::PackRowsToStrips(
+          delta1_.data(), nh_, /*y=*/nullptr, 0, b, nh_, st->start_row,
+          st->strip_rows, &d1s_);
+    }
     grad0_.SetZero();
     {
       core::PhaseScope phase(ctx.report, "w1_grad");
+      const la::Kernels& kern = la::Active();
       exec::ParallelFor(
           threads, static_cast<int64_t>(d_), /*align=*/1,
           [&](exec::Range rg, int) {
             const auto cb = static_cast<size_t>(rg.begin);
             const auto ce = static_cast<size_t>(rg.end);
             // PG_S: columns of the S slice [0, ds) within this morsel.
-            if (cb < ds_) {
+            if (cb < ds_ && st != nullptr) {
+              const size_t slen = std::min(ds_, ce) - cb;
+              for (size_t s = 0; s < st->num_strips; ++s) {
+                const size_t rows = st->RowsInStrip(s);
+                kern.gemm_strip(d1s_.Col(s, 0), d1s_.strip_rows,
+                                st->Col(s, 1 + cb), st->strip_rows, nh_,
+                                slen, rows, grad0_.data() + cb, d_,
+                                /*trans_b=*/true, /*accumulate=*/true);
+              }
+              CountMults(b * nh_ * slen);
+              CountAdds(b * nh_ * slen);
+            } else if (cb < ds_) {
               la::GemmTNSliceCols(delta1_, xs_, &grad0_, 0, cb,
                                   std::min(ds_, ce));
             }
@@ -376,6 +530,8 @@ class NnProgram final : public core::pipeline::ModelProgram {
   la::Matrix grad0_;
   std::vector<double> y_;
   std::vector<double> dsums_;  // grouped-backward scratch, n_groups x nh
+  storage::ColumnStrips d1s_;  // delta1_ packed as strips (strip backward)
+  std::vector<std::vector<int64_t>> ridbuf_;  // per-table rids, strip path
   std::vector<PartialCache> caches_;
   std::vector<std::vector<int64_t>> stale_;  // rids to refill per batch
   uint64_t version_ = 1;

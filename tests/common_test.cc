@@ -1,10 +1,12 @@
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <set>
 #include <string>
 #include <vector>
 
 #include "common/flags.h"
+#include "la/kernels.h"
 #include "common/opcount.h"
 #include "common/rng.h"
 #include "common/status.h"
@@ -234,6 +236,45 @@ TEST(FlagsDeathTest, UnknownKernelsValueExits2) {
   ArgParser args(2, const_cast<char**>(argv));
   EXPECT_EXIT(args.GetKernels(), ::testing::ExitedWithCode(2),
               "invalid --kernels=avx512");
+}
+
+/// Saves the ambient FACTORML_KERNELS_BACKEND (CI's forced-portable job
+/// exports it job-wide) and restores it on scope exit.
+struct SavedBackendEnv {
+  SavedBackendEnv() {
+    const char* prev = std::getenv("FACTORML_KERNELS_BACKEND");
+    had_prev_ = prev != nullptr;
+    if (had_prev_) prev_ = prev;
+  }
+  ~SavedBackendEnv() {
+    if (had_prev_) {
+      setenv("FACTORML_KERNELS_BACKEND", prev_.c_str(), /*overwrite=*/1);
+    } else {
+      unsetenv("FACTORML_KERNELS_BACKEND");
+    }
+  }
+  std::string prev_;
+  bool had_prev_ = false;
+};
+
+TEST(KernelsBackendDeathTest, UnknownBackendEnvExits2) {
+  SavedBackendEnv saved;
+  setenv("FACTORML_KERNELS_BACKEND", "avx512", /*overwrite=*/1);
+  EXPECT_EXIT(la::SelectKernels(la::KernelMode::kSimd),
+              ::testing::ExitedWithCode(2),
+              "invalid FACTORML_KERNELS_BACKEND=avx512");
+}
+
+TEST(KernelsBackendTest, ValidOverridesSelectWithoutExit) {
+  SavedBackendEnv saved;
+  for (const char* v : {"scalar", "portable", "native"}) {
+    setenv("FACTORML_KERNELS_BACKEND", v, /*overwrite=*/1);
+    la::SelectKernels(la::KernelMode::kSimd);  // must not exit
+  }
+  // Empty string behaves like unset: native pick.
+  setenv("FACTORML_KERNELS_BACKEND", "", /*overwrite=*/1);
+  la::SelectKernels(la::KernelMode::kSimd);
+  la::SelectKernels(la::KernelMode::kScalar);
 }
 
 TEST(FlagsDeathTest, TraceBufferKbNonIntegerExits2) {

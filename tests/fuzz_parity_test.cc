@@ -308,28 +308,55 @@ TEST_P(FuzzParityTest, StealScheduleInvariance) {
             break;
           }
         }
-        // --kernels=simd routes the mini-batch plane's dense primitives
-        // through the vector backend: identical op counts at the same
-        // thread count, the same SGD trajectory to tolerance.
+        // --kernels=simd feeds the epoch plane strip-packed batches and
+        // runs forward/backward as gemm_strip products: identical op
+        // counts and page I/O at the same thread count, the same SGD
+        // trajectory to tolerance — and since the strip partitions
+        // (rows for the forward, columns for the W1 gradient) decompose
+        // without reordering any accumulation, the simd plane itself is
+        // thread-invariant bit-for-bit.
         {
-          auto o = opt;
-          o.threads = kConfigs[0].threads;
-          o.kernels = la::KernelMode::kSimd;
-          pool.Clear();
-          core::TrainReport report;
-          auto mlp = core::TrainNn(rel, o, algo, &pool, &report);
-          ASSERT_TRUE(mlp.ok()) << alabel << ": " << mlp.status().ToString();
-          const std::string tag = alabel + " [kernels=simd]";
-          EXPECT_EQ(report.ops.mults, reports[0].ops.mults) << tag;
-          EXPECT_EQ(report.ops.adds, reports[0].ops.adds) << tag;
-          EXPECT_EQ(report.io.pages_read, reports[0].io.pages_read) << tag;
-          EXPECT_EQ(report.io.pages_written, reports[0].io.pages_written)
-              << tag;
-          EXPECT_NEAR(report.final_objective, reports[0].final_objective,
-                      1e-6 * std::fabs(reports[0].final_objective) + 1e-12)
-              << tag;
-          EXPECT_LT(nn::Mlp::MaxAbsDiffParams(base, mlp.value()), 1e-4)
-              << tag;
+          nn::Mlp simd_base;
+          core::TrainReport simd_reports[2];
+          const int simd_threads[2] = {kConfigs[0].threads, 4};
+          for (int t = 0; t < 2; ++t) {
+            auto o = opt;
+            o.threads = simd_threads[t];
+            o.kernels = la::KernelMode::kSimd;
+            pool.Clear();
+            auto mlp = core::TrainNn(rel, o, algo, &pool, &simd_reports[t]);
+            ASSERT_TRUE(mlp.ok())
+                << alabel << ": " << mlp.status().ToString();
+            const std::string tag = alabel + " [kernels=simd threads=" +
+                                    std::to_string(o.threads) + "]";
+            if (t == 0) {
+              EXPECT_EQ(simd_reports[0].ops.mults, reports[0].ops.mults)
+                  << tag;
+              EXPECT_EQ(simd_reports[0].ops.adds, reports[0].ops.adds)
+                  << tag;
+              EXPECT_EQ(simd_reports[0].io.pages_read,
+                        reports[0].io.pages_read)
+                  << tag;
+              EXPECT_EQ(simd_reports[0].io.pages_written,
+                        reports[0].io.pages_written)
+                  << tag;
+              EXPECT_NEAR(simd_reports[0].final_objective,
+                          reports[0].final_objective,
+                          1e-6 * std::fabs(reports[0].final_objective) +
+                              1e-12)
+                  << tag;
+              EXPECT_LT(nn::Mlp::MaxAbsDiffParams(base, mlp.value()), 1e-4)
+                  << tag;
+              simd_base = std::move(mlp).value();
+            } else {
+              EXPECT_EQ(simd_reports[1].final_objective,
+                        simd_reports[0].final_objective)
+                  << tag;
+              EXPECT_EQ(nn::Mlp::MaxAbsDiffParams(simd_base, mlp.value()),
+                        0.0)
+                  << tag;
+            }
+          }
         }
         break;
       }

@@ -1,4 +1,7 @@
 #include <cmath>
+#include <cstdint>
+#include <cstdlib>
+#include <string>
 #include <tuple>
 #include <vector>
 
@@ -566,6 +569,168 @@ TEST(KernelsTest, StripKernelsMatchScalarToTolerance) {
   simd.quadform_strip(strip.data.data(), d, rows, a.data(), d,
                       out_v.data());
   for (size_t r = 0; r < rows; ++r) ASSERT_NEAR(out_s[r], out_v[r], 1e-9);
+}
+
+/// RAII: pins FACTORML_KERNELS_BACKEND for the test body (nullptr =
+/// unset), then restores whatever the ambient environment had — CI's
+/// forced-portable job exports the variable job-wide, so tests must not
+/// leak their own value over it.
+struct ScopedBackendEnv {
+  explicit ScopedBackendEnv(const char* v) {
+    const char* prev = std::getenv("FACTORML_KERNELS_BACKEND");
+    had_prev_ = prev != nullptr;
+    if (had_prev_) prev_ = prev;
+    if (v != nullptr) {
+      setenv("FACTORML_KERNELS_BACKEND", v, /*overwrite=*/1);
+    } else {
+      unsetenv("FACTORML_KERNELS_BACKEND");
+    }
+  }
+  ~ScopedBackendEnv() {
+    if (had_prev_) {
+      setenv("FACTORML_KERNELS_BACKEND", prev_.c_str(), /*overwrite=*/1);
+    } else {
+      unsetenv("FACTORML_KERNELS_BACKEND");
+    }
+  }
+  std::string prev_;
+  bool had_prev_ = false;
+};
+
+TEST(KernelsTest, GemmStripMatchesNaiveOnEveryBackend) {
+  Rng rng(17);
+  const size_t m = 9, n = 203, k = 7;  // n has a short vector tail
+  Matrix a = RandomMatrix(m, k, &rng);
+  std::vector<double> b(k * n);  // k rows of n contiguous doubles
+  for (auto& v : b) v = rng.NextGaussian();
+  // Naive references for both operand shapes.
+  Matrix ref_nn(m, n), ref_nt(m, k);
+  for (size_t i = 0; i < m; ++i) {
+    for (size_t j = 0; j < n; ++j) {
+      double s = 0.0;
+      for (size_t p = 0; p < k; ++p) s += a(i, p) * b[p * n + j];
+      ref_nn(i, j) = s;
+    }
+  }
+  // trans_b: C(m x k) = A(m x n') * B(k x n')^T with n' = n, reusing b as
+  // a k x n block read row-wise.
+  Matrix a2 = RandomMatrix(m, n, &rng);
+  for (size_t i = 0; i < m; ++i) {
+    for (size_t j = 0; j < k; ++j) {
+      double s = 0.0;
+      for (size_t p = 0; p < n; ++p) s += a2(i, p) * b[j * n + p];
+      ref_nt(i, j) = s;
+    }
+  }
+  for (const char* backend : {"scalar", "portable", "native"}) {
+    SCOPED_TRACE(backend);
+    ScopedBackendEnv env(backend);
+    ScopedKernels simd(KernelMode::kSimd);
+    const Kernels& kern = Active();
+    Matrix c(m, n);
+    c.Fill(0.25);  // accumulate == false must overwrite this
+    kern.gemm_strip(a.data(), k, b.data(), n, m, n, k, c.data(), n,
+                    /*trans_b=*/false, /*accumulate=*/false);
+    EXPECT_LT(Matrix::MaxAbsDiff(c, ref_nn), 1e-9);
+    kern.gemm_strip(a.data(), k, b.data(), n, m, n, k, c.data(), n,
+                    /*trans_b=*/false, /*accumulate=*/true);
+    for (size_t i = 0; i < m; ++i) {
+      for (size_t j = 0; j < n; ++j) {
+        ASSERT_NEAR(c(i, j), 2.0 * ref_nn(i, j), 1e-8);
+      }
+    }
+    Matrix ct(m, k);
+    ct.Fill(0.0);
+    kern.gemm_strip(a2.data(), n, b.data(), n, m, k, n, ct.data(), k,
+                    /*trans_b=*/true, /*accumulate=*/true);
+    EXPECT_LT(Matrix::MaxAbsDiff(ct, ref_nt), 1e-8);
+  }
+}
+
+TEST(KernelsTest, GatherScatterStripKernelsBitEqualOnEveryBackend) {
+  // The rid-indexed kernels stay scalar row loops in every backend (no
+  // lane reassociation), so their outputs are bit-equal — including
+  // duplicate scatter indices, which must accumulate in row order.
+  Rng rng(23);
+  const size_t rows = 203, n = 5, base_rows = 17;
+  std::vector<int64_t> idx(rows);
+  for (auto& v : idx) {
+    v = static_cast<int64_t>(rng.NextUniform(0.0, 1.0) * base_rows);
+    if (v >= static_cast<int64_t>(base_rows)) v = base_rows - 1;
+  }
+  Matrix base = RandomMatrix(base_rows, n, &rng);
+  std::vector<double> src(base_rows), w(rows);
+  for (auto& v : src) v = rng.NextGaussian();
+  for (auto& v : w) v = rng.NextUniform(0.25, 1.25);
+
+  Matrix ref_rows(rows, n);
+  std::vector<double> ref_el(rows, 0.5), ref_acc(base_rows, 0.0);
+  std::vector<double> ref_acc_unit(base_rows, 0.0);
+  for (size_t r = 0; r < rows; ++r) {
+    const auto br = static_cast<size_t>(idx[r]);
+    for (size_t j = 0; j < n; ++j) ref_rows(r, j) = base(br, j);
+    ref_el[r] += src[br];
+    ref_acc[br] += w[r];
+    ref_acc_unit[br] += 1.0;
+  }
+  for (const char* backend : {"scalar", "portable", "native"}) {
+    SCOPED_TRACE(backend);
+    ScopedBackendEnv env(backend);
+    ScopedKernels simd(KernelMode::kSimd);
+    const Kernels& kern = Active();
+    Matrix out(rows, n);
+    out.Fill(0.0);
+    kern.gather_add_rows_strip(base.data(), n, idx.data(), rows, n,
+                               out.data(), n);
+    for (size_t r = 0; r < rows; ++r) {
+      for (size_t j = 0; j < n; ++j) ASSERT_EQ(out(r, j), ref_rows(r, j));
+    }
+    std::vector<double> el(rows, 0.5);
+    kern.gather_add_strip(src.data(), idx.data(), rows, el.data());
+    for (size_t r = 0; r < rows; ++r) ASSERT_EQ(el[r], ref_el[r]);
+    std::vector<double> acc(base_rows, 0.0);
+    kern.scatter_add_strip(idx.data(), w.data(), rows, acc.data());
+    for (size_t i = 0; i < base_rows; ++i) ASSERT_EQ(acc[i], ref_acc[i]);
+    std::fill(acc.begin(), acc.end(), 0.0);
+    kern.scatter_add_strip(idx.data(), /*w=*/nullptr, rows, acc.data());
+    for (size_t i = 0; i < base_rows; ++i) {
+      ASSERT_EQ(acc[i], ref_acc_unit[i]);
+    }
+  }
+}
+
+TEST(KernelsTest, BackendEnvOverrideForcesTable) {
+  {
+    ScopedBackendEnv env("portable");
+    ScopedKernels simd(KernelMode::kSimd);
+    EXPECT_STREQ(Active().name, "portable");
+    EXPECT_STREQ(SimdBackendName(), "portable");
+  }
+  {
+    ScopedBackendEnv env("scalar");
+    ScopedKernels simd(KernelMode::kSimd);
+    EXPECT_STREQ(Active().name, "scalar");
+  }
+  {
+    // "native" picks the best table the CPU supports — same choice as
+    // no override at all (resolved with the variable genuinely absent,
+    // whatever the ambient environment forces).
+    std::string unforced;
+    {
+      ScopedBackendEnv clear(nullptr);
+      unforced = SimdBackendName();
+    }
+    ScopedBackendEnv env("native");
+    ScopedKernels simd(KernelMode::kSimd);
+    EXPECT_STREQ(Active().name, unforced.c_str());
+  }
+  // kScalar mode never consults the override: golden runs survive a
+  // forced-portable environment untouched.
+  {
+    ScopedBackendEnv env("portable");
+    ScopedKernels scalar(KernelMode::kScalar);
+    EXPECT_STREQ(Active().name, "scalar");
+  }
 }
 
 TEST(KernelsTest, RoutedOpsChargeSameCountsOnBothBackends) {

@@ -1093,6 +1093,54 @@ TEST(KernelsModelParityTest, KmeansAndLogregSimdMatchScalar) {
   }
 }
 
+TEST(KernelsModelParityTest, NnSimdMatchesScalarWorkStream) {
+  // The strip-fed NN epoch plane: mini-batch drivers pack each sampled
+  // batch into column strips and the model runs forward/backward as
+  // gemm_strip products. The work stream (op counts charged with the
+  // scalar per-row formulas, page I/O of the same batch assembly) must
+  // match the scalar plane exactly; the SGD trajectory agrees to
+  // tolerance. batch_rows=100 forces every batch into one short partial
+  // strip (< kDefaultStripRows), pinning the short-strip path.
+  TempDir dir;
+  BufferPool pool(512);
+  auto rel =
+      std::move(GenerateSynthetic(Spec(dir.str(), true), &pool)).value();
+  for (const auto algo : kAll) {
+    for (const size_t batch_rows : {size_t{256}, size_t{100}}) {
+      for (const int threads : {1, 4}) {
+        nn::NnOptions opt;
+        opt.hidden = {8};
+        opt.epochs = 2;
+        opt.batch_rows = batch_rows;
+        opt.temp_dir = dir.str();
+        opt.threads = threads;
+        opt.kernels = la::KernelMode::kScalar;
+        pool.Clear();
+        core::TrainReport scalar_report;
+        auto scalar = core::TrainNn(rel, opt, algo, &pool, &scalar_report);
+        ASSERT_TRUE(scalar.ok()) << scalar.status().ToString();
+        opt.kernels = la::KernelMode::kSimd;
+        pool.Clear();
+        core::TrainReport simd_report;
+        auto simd = core::TrainNn(rel, opt, algo, &pool, &simd_report);
+        ASSERT_TRUE(simd.ok()) << simd.status().ToString();
+        const std::string tag = std::string(core::AlgorithmName(algo)) +
+                                " batch=" + std::to_string(batch_rows) +
+                                " threads=" + std::to_string(threads);
+        ExpectSameWorkStream(simd_report, scalar_report, tag);
+        EXPECT_EQ(simd_report.iterations, scalar_report.iterations) << tag;
+        EXPECT_NEAR(
+            simd_report.final_objective, scalar_report.final_objective,
+            1e-7 * std::fabs(scalar_report.final_objective) + 1e-12)
+            << tag;
+        EXPECT_LT(nn::Mlp::MaxAbsDiffParams(scalar.value(), simd.value()),
+                  1e-6)
+            << tag;
+      }
+    }
+  }
+}
+
 // ----------------------------------------------- multiway linreg parity
 
 TEST(LinregTest, MultiwayFactorizedMatches) {

@@ -621,6 +621,45 @@ TEST(ColumnStripsTest, StripTallerThanReadYieldsOnePartialStrip) {
   }
 }
 
+TEST(ColumnStripsTest, ShortStripReadCostsExactlyTheRowRead) {
+  // A read shorter than one strip — the mini-batch epoch shape (a sampled
+  // batch or a tail morsel smaller than kDefaultStripRows) — must walk
+  // exactly the pages the row decode walks: the strip plane never pays
+  // extra I/O for a partial strip, and never silently skips the batched
+  // decode either (the strip comes back populated).
+  TempDir dir;
+  Table t = MakeWideTable(dir.str() + "/t.fml", 600);
+  const size_t rpp = t.schema().RowsPerPage();
+  // Both a within-page read and one crossing a page boundary.
+  const int64_t starts[] = {5, static_cast<int64_t>(rpp) - 3};
+  for (const int64_t start : starts) {
+    BufferPool row_pool(64);
+    const IoStats row_before = GlobalIo();
+    RowBatch rows;
+    FML_ASSERT_OK(t.ReadRows(&row_pool, start, 40, &rows));
+    const IoStats row_delta = GlobalIo() - row_before;
+
+    BufferPool strip_pool(64);
+    const IoStats strip_before = GlobalIo();
+    ColumnStrips strips;
+    FML_ASSERT_OK(t.ReadStrips(&strip_pool, start, 40, /*strip_rows=*/256,
+                               &strips));
+    const IoStats strip_delta = GlobalIo() - strip_before;
+    EXPECT_EQ(strip_delta.pages_read, row_delta.pages_read) << start;
+    EXPECT_EQ(strip_delta.pool_misses, row_delta.pool_misses) << start;
+    EXPECT_EQ(strip_delta.pool_hits, row_delta.pool_hits) << start;
+    ASSERT_EQ(strips.num_strips, 1u) << start;
+    ASSERT_EQ(strips.RowsInStrip(0), 40u) << start;
+    for (size_t r = 0; r < 40; ++r) {
+      for (size_t c = 0; c < 4; ++c) {
+        ASSERT_EQ(strips.Col(0, c)[r],
+                  rows.feats(static_cast<size_t>(r), c))
+            << start;
+      }
+    }
+  }
+}
+
 TEST(ColumnStripsTest, StripReadOutOfBoundsFails) {
   TempDir dir;
   Table t = MakeWideTable(dir.str() + "/t.fml", 100);
