@@ -272,6 +272,66 @@ std::string ArgParser::GetShardTransport(
   std::exit(2);
 }
 
+std::string ArgParser::GetDeltaEncoding(
+    const std::string& default_value) const {
+  auto it = kv_.find("delta-encoding");
+  if (it == kv_.end()) return default_value;
+  if (it->second == "dense" || it->second == "sparse") return it->second;
+  std::fprintf(stderr,
+               "invalid --delta-encoding=%s (must be 'dense' or 'sparse'; "
+               "dense = v1 frames shipping every slot double, sparse = v2 "
+               "zero-run-length frames, decoded bit-identically so results "
+               "match dense exactly)\n",
+               it->second.c_str());
+  std::exit(2);
+}
+
+std::string ArgParser::GetCheckpointDir(
+    const std::string& default_value) const {
+  auto it = kv_.find("checkpoint-dir");
+  if (it == kv_.end()) return default_value;
+  const std::string& dir = it->second;
+  // Probe writability now (like --trace): create-then-remove a probe file
+  // so an unwritable directory fails before the run burns wall time.
+  const std::string probe = dir + "/.ckpt-probe";
+  std::FILE* f = dir.empty() ? nullptr : std::fopen(probe.c_str(), "a");
+  if (f == nullptr) {
+    std::fprintf(stderr,
+                 "invalid --checkpoint-dir=%s (must be an existing writable "
+                 "directory for the CRC-verified training checkpoints)\n",
+                 dir.c_str());
+    std::exit(2);
+  }
+  std::fclose(f);
+  std::remove(probe.c_str());
+  return dir;
+}
+
+int64_t ArgParser::GetCheckpointEvery(int64_t default_value) const {
+  auto it = kv_.find("checkpoint-every");
+  if (it == kv_.end()) return default_value < 0 ? 0 : default_value;
+  if (kv_.find("checkpoint-dir") == kv_.end()) {
+    std::fprintf(stderr,
+                 "invalid --checkpoint-every=%s (requires --checkpoint-dir; "
+                 "the interval has nowhere to write without a checkpoint "
+                 "directory)\n",
+                 it->second.c_str());
+    std::exit(2);
+  }
+  errno = 0;
+  char* end = nullptr;
+  const long long every = std::strtoll(it->second.c_str(), &end, 10);
+  if (errno == ERANGE || end == it->second.c_str() || *end != '\0' ||
+      every < 1) {
+    std::fprintf(stderr,
+                 "invalid --checkpoint-every=%s (must be an integer >= 1: "
+                 "completed iterations between checkpoint writes)\n",
+                 it->second.c_str());
+    std::exit(2);
+  }
+  return static_cast<int64_t>(every);
+}
+
 int64_t ArgParser::GetTraceBufferKb(int64_t default_value) const {
   auto it = kv_.find("trace-buffer-kb");
   if (it == kv_.end()) return default_value < 1 ? 1 : default_value;

@@ -116,6 +116,25 @@ class ArgParser {
   /// with an error and exit(2).
   int64_t GetTraceBufferKb(int64_t default_value = 1024) const;
 
+  /// The shared `--delta-encoding={dense,sparse}` flag: ShardDelta wire
+  /// format of the sharded planes. dense (the default) ships every slot
+  /// double (v1 frames, byte-identical to the seed); sparse ships v2
+  /// zero-run-length frames that elide zero runs — decoded bit-identically,
+  /// so results match dense exactly. Anything else exits(2).
+  std::string GetDeltaEncoding(const std::string& default_value = "dense") const;
+
+  /// The shared `--checkpoint-dir=PATH` flag: directory for CRC-verified
+  /// training checkpoints (and their JSON sidecars). Empty (default)
+  /// leaves checkpointing off. A non-writable directory is rejected with
+  /// an error and exit(2) up front, like --trace.
+  std::string GetCheckpointDir(const std::string& default_value = "") const;
+
+  /// The shared `--checkpoint-every=N` flag: completed iterations between
+  /// checkpoint writes (default 1 when --checkpoint-dir is set). Requires
+  /// --checkpoint-dir; values < 1, non-integers, or use without the dir
+  /// flag are rejected with an error and exit(2).
+  int64_t GetCheckpointEvery(int64_t default_value = 0) const;
+
  private:
   std::map<std::string, std::string> kv_;
 };

@@ -1,6 +1,7 @@
 #include "common/rng.h"
 
 #include <cmath>
+#include <cstring>
 
 namespace factorml {
 
@@ -69,6 +70,22 @@ double Rng::NextGaussian() {
 
 double Rng::NextGaussian(double mean, double stddev) {
   return mean + stddev * NextGaussian();
+}
+
+void Rng::SaveState(double out[kStateDoubles]) const {
+  for (int i = 0; i < 4; ++i) {
+    std::memcpy(&out[i], &s_[i], sizeof(double));
+  }
+  out[4] = has_cached_gaussian_ ? 1.0 : 0.0;
+  out[5] = cached_gaussian_;
+}
+
+void Rng::RestoreState(const double in[kStateDoubles]) {
+  for (int i = 0; i < 4; ++i) {
+    std::memcpy(&s_[i], &in[i], sizeof(uint64_t));
+  }
+  has_cached_gaussian_ = in[4] != 0.0;
+  cached_gaussian_ = in[5];
 }
 
 }  // namespace factorml

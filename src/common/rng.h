@@ -43,6 +43,14 @@ class Rng {
     }
   }
 
+  /// Checkpoint seam: the complete generator state (4 xoshiro words, the
+  /// Box-Muller cache flag and the cached value), round-tripped through
+  /// doubles so it can ride the VisitIterationState stream. Save and
+  /// Restore are exact bit-pattern inverses.
+  static constexpr size_t kStateDoubles = 6;
+  void SaveState(double out[kStateDoubles]) const;
+  void RestoreState(const double in[kStateDoubles]);
+
  private:
   uint64_t s_[4];
   bool has_cached_gaussian_ = false;

@@ -226,6 +226,10 @@ class JoinStreamStrategyBase : public StrategyBase {
                        ? join::ChunkFk1Runs(rel_->fk1_index, morsel_rows_)
                        : join::PartitionFk1Runs(rel_->fk1_index, threads_));
       RecordMorselPlan(ctx);
+      // S/F morsels are whole FK1 runs: every slot's range is a contiguous
+      // span of table-0 rid positions in both scheduling modes, so the
+      // plan doubles as the rid-span contract (PipelineContext docs).
+      ctx->slot_rid_spans = &ranges_;
     }
     return Status::OK();
   }

@@ -112,6 +112,23 @@ struct StrategyOptions {
   /// rebuild the exact same ModelProgram.
   std::string shard_job_family;
   std::string shard_job_blob;
+  /// ShardDelta payload encoding. "dense" (default) ships every slot
+  /// double verbatim (wire format v1, byte-identical to the pre-knob
+  /// engine). "sparse" run-length-encodes zero stretches (v2): with
+  /// rid-scoped slots most non-owned state never hits the wire, and what
+  /// remains is literal doubles — the decoded stream is bit-identical to
+  /// dense, so results never move.
+  std::string delta_encoding = "dense";
+  /// Checkpoint/restore (full-pass plane only). Empty (default) disables.
+  /// Non-empty: after every `checkpoint_every` completed iterations the
+  /// coordinator atomically writes <dir>/<M|S|F>-<model>.ckpt (CRC32 per
+  /// block, staged .tmp + rename) plus a JSON sidecar; a fresh run over
+  /// the same configuration restores it and resumes at the next
+  /// iteration, bit-identical to the uninterrupted run.
+  std::string checkpoint_dir;
+  /// Iterations between checkpoint writes; 0 = every iteration when
+  /// checkpoint_dir is set.
+  int64_t checkpoint_every = 0;
 };
 
 /// Chunk size used when stealing or sharding is requested without an
@@ -232,6 +249,9 @@ StrategyOptions LiftStrategyOptions(const Options& options) {
   sopt.shard_timeout_ms = options.shard_timeout_ms;
   sopt.shard_transport = options.shard_transport;
   sopt.shard_worker_path = options.shard_worker_path;
+  sopt.delta_encoding = options.delta_encoding;
+  sopt.checkpoint_dir = options.checkpoint_dir;
+  sopt.checkpoint_every = options.checkpoint_every;
   return sopt;
 }
 

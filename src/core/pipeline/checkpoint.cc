@@ -1,0 +1,234 @@
+// CRC-verified checkpoint/restore of the training pipeline's iteration
+// state. Write path: serialize header + state into length-prefixed
+// CRC32 blocks, stage to <path>.tmp, fsync, rename — the POSIX recipe
+// that makes the checkpoint either the complete new file or the complete
+// old one, never a tear. Read path: verify magic, lengths and both CRCs
+// before handing a single byte to the caller.
+
+#include "core/pipeline/checkpoint.h"
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstring>
+
+#include "net/wire.h"
+
+namespace factorml::core::pipeline {
+
+namespace {
+
+constexpr char kMagic[8] = {'F', 'M', 'L', 'C', 'K', 'P', 'T', '1'};
+
+void AppendU64(std::string* out, uint64_t v) {
+  char buf[sizeof(v)];
+  std::memcpy(buf, &v, sizeof(v));
+  out->append(buf, sizeof(v));
+}
+
+void AppendU32(std::string* out, uint32_t v) {
+  char buf[sizeof(v)];
+  std::memcpy(buf, &v, sizeof(v));
+  out->append(buf, sizeof(v));
+}
+
+/// One length-prefixed, CRC-suffixed block.
+void AppendBlock(std::string* out, const std::string& bytes) {
+  AppendU64(out, bytes.size());
+  out->append(bytes);
+  AppendU32(out, Crc32(bytes.data(), bytes.size()));
+}
+
+/// Parses the block at *off, advancing it. Errors name the block and the
+/// CRCs so a corrupted checkpoint is diagnosable from the warning alone.
+Status ReadBlock(const std::string& file, size_t* off, const char* what,
+                 std::string* bytes) {
+  if (*off + sizeof(uint64_t) > file.size()) {
+    return Status::InvalidArgument(std::string("checkpoint: truncated ") +
+                                   what + " block length");
+  }
+  uint64_t len = 0;
+  std::memcpy(&len, file.data() + *off, sizeof(len));
+  *off += sizeof(len);
+  if (*off + len + sizeof(uint32_t) > file.size()) {
+    return Status::InvalidArgument(
+        std::string("checkpoint: truncated ") + what + " block (declares " +
+        std::to_string(len) + " bytes, file has " +
+        std::to_string(file.size() - *off) + " left)");
+  }
+  bytes->assign(file.data() + *off, len);
+  *off += len;
+  uint32_t stored = 0;
+  std::memcpy(&stored, file.data() + *off, sizeof(stored));
+  *off += sizeof(stored);
+  const uint32_t computed = Crc32(bytes->data(), bytes->size());
+  if (stored != computed) {
+    char msg[128];
+    std::snprintf(msg, sizeof(msg),
+                  "checkpoint: %s block CRC mismatch (stored 0x%08x, "
+                  "computed 0x%08x)",
+                  what, stored, computed);
+    return Status::InvalidArgument(msg);
+  }
+  return Status::OK();
+}
+
+/// Stage-and-rename write with fsync: the atomic-replace idiom.
+Status AtomicWrite(const std::string& path, const std::string& bytes) {
+  const std::string tmp = path + ".tmp";
+  std::FILE* f = std::fopen(tmp.c_str(), "wb");
+  if (f == nullptr) {
+    return Status::IoError("checkpoint: cannot open " + tmp);
+  }
+  const size_t n = std::fwrite(bytes.data(), 1, bytes.size(), f);
+  if (n != bytes.size() || std::fflush(f) != 0 || fsync(fileno(f)) != 0) {
+    std::fclose(f);
+    std::remove(tmp.c_str());
+    return Status::IoError("checkpoint: short write to " + tmp);
+  }
+  std::fclose(f);
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return Status::IoError("checkpoint: rename " + tmp + " -> " + path +
+                           " failed");
+  }
+  return Status::OK();
+}
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  for (const char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  return out;
+}
+
+}  // namespace
+
+uint32_t Crc32(const void* data, size_t len, uint32_t seed) {
+  static const auto table = [] {
+    std::vector<uint32_t> t(256);
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t c = i;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1u) != 0 ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+      }
+      t[i] = c;
+    }
+    return t;
+  }();
+  const auto* p = static_cast<const unsigned char*>(data);
+  uint32_t crc = seed ^ 0xFFFFFFFFu;
+  for (size_t i = 0; i < len; ++i) {
+    crc = table[(crc ^ p[i]) & 0xFFu] ^ (crc >> 8);
+  }
+  return crc ^ 0xFFFFFFFFu;
+}
+
+std::string CheckpointPath(const std::string& dir, const std::string& label) {
+  return dir + "/" + label + ".ckpt";
+}
+
+Status WriteCheckpoint(const std::string& dir, const CheckpointState& st) {
+  net::ByteWriter hw;
+  hw.Str(st.label);
+  hw.U64(st.fingerprint);
+  hw.I64(st.completed_iterations);
+  hw.U8(st.converged ? 1 : 0);
+  hw.U64(st.ops.mults);
+  hw.U64(st.ops.adds);
+  hw.U64(st.ops.subs);
+  hw.U64(st.ops.exps);
+  hw.U64(st.state.size());
+  const std::string header = hw.Take();
+  std::string body(reinterpret_cast<const char*>(st.state.data()),
+                   st.state.size() * sizeof(double));
+
+  std::string file;
+  file.append(kMagic, sizeof(kMagic));
+  AppendBlock(&file, header);
+  AppendBlock(&file, body);
+  const std::string path = CheckpointPath(dir, st.label);
+  FML_RETURN_IF_ERROR(AtomicWrite(path, file));
+
+  char crc_hex[16];
+  std::snprintf(crc_hex, sizeof(crc_hex), "0x%08x",
+                Crc32(body.data(), body.size()));
+  std::string json = "{\n";
+  json += "  \"label\": \"" + JsonEscape(st.label) + "\",\n";
+  json += "  \"fingerprint\": " + std::to_string(st.fingerprint) + ",\n";
+  json += "  \"completed_iterations\": " +
+          std::to_string(st.completed_iterations) + ",\n";
+  json += std::string("  \"converged\": ") +
+          (st.converged ? "true" : "false") + ",\n";
+  json += "  \"state_doubles\": " + std::to_string(st.state.size()) + ",\n";
+  json += "  \"state_crc32\": \"" + std::string(crc_hex) + "\",\n";
+  json += "  \"ops\": {\"mults\": " + std::to_string(st.ops.mults) +
+          ", \"adds\": " + std::to_string(st.ops.adds) +
+          ", \"subs\": " + std::to_string(st.ops.subs) +
+          ", \"exps\": " + std::to_string(st.ops.exps) + "},\n";
+  json += "  \"file\": \"" + JsonEscape(st.label) + ".ckpt\"\n";
+  json += "}\n";
+  return AtomicWrite(path + ".json", json);
+}
+
+Result<CheckpointState> ReadCheckpoint(const std::string& dir,
+                                       const std::string& label) {
+  const std::string path = CheckpointPath(dir, label);
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    return Status::NotFound("no checkpoint at " + path);
+  }
+  std::string file;
+  char buf[1 << 16];
+  size_t n = 0;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) file.append(buf, n);
+  std::fclose(f);
+
+  if (file.size() < sizeof(kMagic) ||
+      std::memcmp(file.data(), kMagic, sizeof(kMagic)) != 0) {
+    return Status::InvalidArgument("checkpoint: bad magic in " + path);
+  }
+  size_t off = sizeof(kMagic);
+  std::string header, body;
+  FML_RETURN_IF_ERROR(ReadBlock(file, &off, "header", &header));
+  FML_RETURN_IF_ERROR(ReadBlock(file, &off, "state", &body));
+  if (off != file.size()) {
+    return Status::InvalidArgument(
+        "checkpoint: " + std::to_string(file.size() - off) +
+        " trailing bytes after the state block in " + path);
+  }
+
+  CheckpointState st;
+  net::ByteReader r(header);
+  uint8_t converged = 0;
+  uint64_t count = 0;
+  FML_RETURN_IF_ERROR(r.Str(&st.label));
+  FML_RETURN_IF_ERROR(r.U64(&st.fingerprint));
+  FML_RETURN_IF_ERROR(r.I64(&st.completed_iterations));
+  FML_RETURN_IF_ERROR(r.U8(&converged));
+  FML_RETURN_IF_ERROR(r.U64(&st.ops.mults));
+  FML_RETURN_IF_ERROR(r.U64(&st.ops.adds));
+  FML_RETURN_IF_ERROR(r.U64(&st.ops.subs));
+  FML_RETURN_IF_ERROR(r.U64(&st.ops.exps));
+  FML_RETURN_IF_ERROR(r.U64(&count));
+  if (!r.AtEnd()) {
+    return Status::InvalidArgument("checkpoint: trailing header bytes");
+  }
+  st.converged = converged != 0;
+  if (st.label != label) {
+    return Status::InvalidArgument("checkpoint: label mismatch (file says '" +
+                                   st.label + "', expected '" + label + "')");
+  }
+  if (body.size() != count * sizeof(double)) {
+    return Status::InvalidArgument(
+        "checkpoint: state block carries " + std::to_string(body.size()) +
+        " bytes, header declares " + std::to_string(count) + " doubles");
+  }
+  st.state.resize(count);
+  std::memcpy(st.state.data(), body.data(), body.size());
+  return st;
+}
+
+}  // namespace factorml::core::pipeline

@@ -1,0 +1,55 @@
+#ifndef FACTORML_CORE_PIPELINE_CHECKPOINT_H_
+#define FACTORML_CORE_PIPELINE_CHECKPOINT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/opcount.h"
+#include "common/status.h"
+
+namespace factorml::core::pipeline {
+
+/// CRC32 (IEEE 802.3 reflected polynomial 0xEDB88320), table-driven.
+/// Exposed so tests and the bench harness can verify / corrupt blocks.
+uint32_t Crc32(const void* data, size_t len, uint32_t seed = 0);
+
+/// Everything a training run needs to resume at an iteration boundary
+/// bit-identically: the model's iteration state (the flattened
+/// ModelProgram::VisitIterationState stream), how many iterations
+/// completed, whether convergence already fired, and the op-count delta
+/// accumulated since the post-Init mark (recharged on resume so op-count
+/// parity with the uninterrupted run holds).
+struct CheckpointState {
+  std::string label;         // "<M|S|F>-<model>", the run-shape identity
+  uint64_t fingerprint = 0;  // config/data hash; mismatch = fresh start
+  int64_t completed_iterations = 0;
+  bool converged = false;
+  OpCounters ops;
+  std::vector<double> state;
+};
+
+/// <dir>/<label>.ckpt. On-disk layout (native-endian, like ShardDelta):
+///   magic "FMLCKPT1"
+/// then two length-prefixed CRC-verified blocks, each
+///   uint64 byte_count | bytes | uint32 crc32(bytes)
+/// block 1: the header (label, fingerprint, completed iterations,
+///          converged flag, op counters, state double count), block 2:
+///          the raw state doubles. A <label>.ckpt.json sidecar mirrors
+///          the header for humans and CI.
+std::string CheckpointPath(const std::string& dir, const std::string& label);
+
+/// Atomically (staged .tmp + fsync + rename) writes the checkpoint and
+/// its JSON sidecar — a crash mid-write never leaves a torn file, the old
+/// checkpoint stays valid until the rename.
+Status WriteCheckpoint(const std::string& dir, const CheckpointState& st);
+
+/// NotFound when no checkpoint file exists; InvalidArgument (naming the
+/// failing block and CRCs) when one exists but is corrupt or truncated —
+/// callers log a warning and train from scratch in that case.
+Result<CheckpointState> ReadCheckpoint(const std::string& dir,
+                                       const std::string& label);
+
+}  // namespace factorml::core::pipeline
+
+#endif  // FACTORML_CORE_PIPELINE_CHECKPOINT_H_

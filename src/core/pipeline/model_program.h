@@ -9,6 +9,7 @@
 #include "common/status.h"
 #include "core/algorithm.h"
 #include "core/report.h"
+#include "exec/parallel_for.h"
 #include "join/attribute_view.h"
 #include "join/join_cursor.h"
 #include "join/normalized_relations.h"
@@ -48,9 +49,37 @@ struct PipelineContext {
   int threads = 1;  // effective exec/ worker count
   Algorithm algorithm = Algorithm::kMaterialized;
   const std::vector<join::AttributeTableView>* views = nullptr;
+  /// The rid-span contract of the full-pass accumulator plane: when
+  /// non-null, entry `slot` is the contiguous half-open range of TABLE-0
+  /// rid positions every row delivered to that slot's Accumulate calls
+  /// falls in — the S/F strategies publish their morsel plan here (chunked
+  /// mode: slot = chunk; legacy mode: slot = worker's static range).
+  /// Models with per-rid slot state size it to the span instead of the
+  /// whole attribute table (O(sum of spans) = O(n_R) total instead of
+  /// O(slots x n_R)), and keep span-relative indexing a pure function of
+  /// the BeginPass-time plan so VisitSlotState round-trips stay exact.
+  /// Null for the M strategy (its morsels are fact rows, and it is never
+  /// factorized) and on the mini-batch plane. Tables i >= 1 of a
+  /// multi-way join are NOT covered — their rids are unordered within a
+  /// chunk, so per-rid state for them stays full-domain.
+  const std::vector<exec::Range>* slot_rid_spans = nullptr;
 
   bool factorized() const { return algorithm == Algorithm::kFactorized; }
 };
+
+/// The table-0 rid span accumulator slot `slot` observes, under the
+/// contract above: the published span, the full domain [0, full_domain)
+/// when no plan is published, or an empty span for a slot past the plan
+/// (possible only for plans with zero chunks).
+inline exec::Range SlotRidSpan(const PipelineContext& ctx, int slot,
+                               int64_t full_domain) {
+  if (ctx.slot_rid_spans == nullptr || ctx.slot_rid_spans->empty()) {
+    return exec::Range{0, full_domain};
+  }
+  const auto s = static_cast<size_t>(slot);
+  if (s >= ctx.slot_rid_spans->size()) return exec::Range{0, 0};
+  return (*ctx.slot_rid_spans)[s];
+}
 
 /// A block of fully joined rows as the M/S strategies deliver them: row r's
 /// features (target removed) start at `x + r * x_stride`, its target at
@@ -209,6 +238,23 @@ class ModelProgram {
   virtual Status EndPass(const PipelineContext& ctx, int iter, int pass) {
     (void)ctx, (void)iter, (void)pass;
     return Status::OK();
+  }
+
+  /// The checkpoint seam (core/pipeline/checkpoint.h): visits every double
+  /// of the model's cross-iteration state — parameters, convergence
+  /// scalars, and any generator cursors encoded as bit patterns — at an
+  /// iteration boundary (after EndIteration, before the next BeginPass /
+  /// BeginEpoch). Like VisitSlotState this one visitor serves both
+  /// directions (save copies the doubles out, restore copies them back
+  /// in), so the visit sequence must be a pure function of the Init-time
+  /// shapes. Per-pass accumulators are rebuilt by the next BeginPass and
+  /// must not be visited. Required for --checkpoint-dir; every in-tree
+  /// family implements it.
+  virtual void VisitIterationState(
+      const std::function<void(double* data, size_t len)>& visit) {
+    (void)visit;
+    FML_CHECK(false) << Name()
+                     << ": iteration-state visitor not implemented";
   }
 
   /// Whether a lost shard span of `pass` can be recovered by a bare

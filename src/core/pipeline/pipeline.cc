@@ -5,9 +5,14 @@
 
 #include "core/pipeline/access_strategy.h"
 
+#include <sys/resource.h>
+
+#include <algorithm>
+#include <cstring>
 #include <string>
 
 #include "core/pipeline/access_internal.h"
+#include "core/pipeline/checkpoint.h"
 #include "core/pipeline/shard_rpc.h"
 #include "core/pipeline/sharded_driver.h"
 #include "exec/thread_pool.h"
@@ -34,6 +39,29 @@ Result<std::unique_ptr<AccessStrategy>> AccessStrategy::Create(
 }
 
 namespace {
+
+/// FNV-1a over the run-shape facts a checkpoint must agree on before its
+/// state can be trusted: the label (strategy prefix + model name) plus
+/// the dataset's row count and joined dimensionality. A mismatch means
+/// the checkpoint belongs to a different run shape — warn, train fresh.
+uint64_t CheckpointFingerprint(const std::string& label,
+                               const join::NormalizedRelations& rel) {
+  uint64_t h = 1469598103934665603ull;
+  const auto mix = [&h](uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= (v >> (8 * i)) & 0xFFu;
+      h *= 1099511628211ull;
+    }
+  };
+  for (const char c : label) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ull;
+  }
+  mix(static_cast<uint64_t>(rel.s.num_rows()));
+  mix(static_cast<uint64_t>(rel.total_dims()));
+  mix(static_cast<uint64_t>(rel.num_joins()));
+  return h;
+}
 
 /// One full deterministic training run: strategy creation, shard-plane
 /// arming, the iteration loop, the report scope. `shard_driver` selects
@@ -78,11 +106,71 @@ Status RunTrainingAttempt(const join::NormalizedRelations& rel,
   ShardPassDriver* driver = shard_driver;
   if (driver == nullptr && use_shards) driver = &sharded;
   if (driver != nullptr) {
-    FML_RETURN_IF_ERROR(driver->Init(strategy.get(),
-                                     static_cast<int>(resolved.shards),
-                                     report));
+    FML_RETURN_IF_ERROR(driver->Init(strategy.get(), resolved, report));
   }
   FML_RETURN_IF_ERROR(model->Init(ctx));
+
+  // Checkpoint/restore (iteration-boundary granularity). Every node of a
+  // process-backend run restores — the lockstep replicas must all start
+  // at the same iteration — but only the coordinating process (or the
+  // sole process of an unsharded run) ever writes. The op-count delta
+  // stored in the checkpoint is recharged on resume so the resumed run's
+  // op totals equal the uninterrupted run's.
+  const bool ckpt_enabled = !resolved.checkpoint_dir.empty();
+  const bool ckpt_writer = ckpt_enabled && resolved.shard_channel == nullptr;
+  const int64_t ckpt_every =
+      resolved.checkpoint_every > 0 ? resolved.checkpoint_every : 1;
+  const std::string ckpt_label =
+      std::string(1, AlgorithmPrefix(algorithm)) + "-" + model->Name();
+  const uint64_t ckpt_fp =
+      ckpt_enabled ? CheckpointFingerprint(ckpt_label, rel) : 0;
+  const OpCounters ops_mark = GlobalOps();
+  int start_iter = 0;
+  bool restored_converged = false;
+  if (ckpt_enabled) {
+    Result<CheckpointState> loaded =
+        ReadCheckpoint(resolved.checkpoint_dir, ckpt_label);
+    if (loaded.ok()) {
+      const CheckpointState& st = loaded.value();
+      size_t want = 0;
+      model->VisitIterationState(
+          [&want](double*, size_t len) { want += len; });
+      if (st.fingerprint != ckpt_fp || want != st.state.size()) {
+        FML_LOG(Warning) << "checkpoint " << ckpt_label
+                         << " does not match this run (fingerprint/state "
+                            "shape drift); training from scratch";
+      } else {
+        size_t off = 0;
+        model->VisitIterationState([&st, &off](double* data, size_t len) {
+          std::memcpy(data, st.state.data() + off, len * sizeof(double));
+          off += len;
+        });
+        if (resolved.shard_channel == nullptr) GlobalOps() += st.ops;
+        start_iter = static_cast<int>(st.completed_iterations);
+        restored_converged = st.converged;
+        FML_LOG(Info) << "resumed " << ckpt_label << " from checkpoint at "
+                      << start_iter << " completed iteration(s)";
+      }
+    } else if (loaded.status().code() != StatusCode::kNotFound) {
+      FML_LOG(Warning) << "ignoring corrupted checkpoint ("
+                       << loaded.status().message()
+                       << "); training from scratch";
+    }
+  }
+  const auto maybe_checkpoint = [&](int completed, bool converged) -> Status {
+    if (!ckpt_writer) return Status::OK();
+    if (!converged && completed % ckpt_every != 0) return Status::OK();
+    CheckpointState st;
+    st.label = ckpt_label;
+    st.fingerprint = ckpt_fp;
+    st.completed_iterations = completed;
+    st.converged = converged;
+    st.ops = GlobalOps() - ops_mark;
+    model->VisitIterationState([&st](double* data, size_t len) {
+      st.state.insert(st.state.end(), data, data + len);
+    });
+    return WriteCheckpoint(resolved.checkpoint_dir, st);
+  };
 
   // Run-level observability: iteration spans on the timeline and two
   // always-on counters. The per-pass spans come from the PhaseScope below
@@ -92,9 +180,10 @@ Status RunTrainingAttempt(const join::NormalizedRelations& rel,
   static obs::Counter* pass_count =
       obs::Registry::Instance().GetCounter("pipeline.passes");
 
-  int iterations = 0;
+  int iterations = start_iter;
   if (mini_batch) {
-    for (int epoch = 0; epoch < model->MaxIterations(); ++epoch) {
+    for (int epoch = start_iter;
+         !restored_converged && epoch < model->MaxIterations(); ++epoch) {
       {
         obs::TraceSpan iter_span(obs::kCatPipeline, "iteration");
         iter_span.Arg("iter", epoch);
@@ -103,10 +192,20 @@ Status RunTrainingAttempt(const join::NormalizedRelations& rel,
       iter_count->Add();
       FML_ASSIGN_OR_RETURN(const bool stop, model->EndIteration(ctx, epoch));
       ++iterations;
+      FML_RETURN_IF_ERROR(maybe_checkpoint(iterations, stop));
       if (stop) break;
     }
   } else {
-    for (int iter = 0; iter < model->MaxIterations(); ++iter) {
+    // Peak accumulator-slot footprint, probed on the first executed
+    // iteration right after BeginPass sizes the slots (rid-scoped slots
+    // make this O(sum of spans x state width) instead of O(chunk count x
+    // full table)). Gauges take the run's later value in the report
+    // delta, so the Set lands in TrainReport::metrics.
+    static obs::Gauge* slot_gauge =
+        obs::Registry::Instance().GetGauge("pipeline.slot_bytes");
+    double max_slot_bytes = 0.0;
+    for (int iter = start_iter;
+         !restored_converged && iter < model->MaxIterations(); ++iter) {
       obs::TraceSpan iter_span(obs::kCatPipeline, "iteration");
       iter_span.Arg("iter", iter);
       const int num_passes = model->NumPasses(iter);
@@ -114,6 +213,17 @@ Status RunTrainingAttempt(const join::NormalizedRelations& rel,
         FML_RETURN_IF_ERROR(strategy->BeginPass(&ctx));
         FML_RETURN_IF_ERROR(
             model->BeginPass(ctx, iter, pass, strategy->NumWorkers()));
+        if (iter == start_iter) {
+          size_t bytes = 0;
+          for (int s = 0; s < strategy->NumWorkers(); ++s) {
+            model->VisitSlotState(pass, s, [&bytes](double*, size_t len) {
+              bytes += len * sizeof(double);
+            });
+          }
+          max_slot_bytes =
+              std::max(max_slot_bytes, static_cast<double>(bytes));
+          slot_gauge->Set(max_slot_bytes);
+        }
         {
           PhaseScope phase(report, model->PassName(pass));
           if (driver != nullptr) {
@@ -129,8 +239,17 @@ Status RunTrainingAttempt(const join::NormalizedRelations& rel,
       iter_count->Add();
       FML_ASSIGN_OR_RETURN(const bool stop, model->EndIteration(ctx, iter));
       ++iterations;
+      FML_RETURN_IF_ERROR(maybe_checkpoint(iterations, stop));
       if (stop) break;
     }
+  }
+  // Peak RSS of this process (KB, getrusage), snapshotted before the
+  // report delta is taken so it reaches TrainReport::metrics.
+  static obs::Gauge* rss_gauge =
+      obs::Registry::Instance().GetGauge("process.peak_rss_kb");
+  struct rusage ru;
+  if (getrusage(RUSAGE_SELF, &ru) == 0) {
+    rss_gauge->Set(static_cast<double>(ru.ru_maxrss));
   }
   scope.Finish(iterations, model->Objective());
   // Backend epilogue after the report is final: the process coordinator
@@ -194,6 +313,21 @@ Status RunTraining(const join::NormalizedRelations& rel, Algorithm algorithm,
     return Status::InvalidArgument("unknown --shard-backend=" +
                                    resolved.shard_backend +
                                    " (expected inproc or process)");
+  }
+  if (resolved.delta_encoding != "dense" &&
+      resolved.delta_encoding != "sparse") {
+    return Status::InvalidArgument("unknown --delta-encoding=" +
+                                   resolved.delta_encoding +
+                                   " (expected dense or sparse)");
+  }
+  if (resolved.checkpoint_every < 0) {
+    return Status::InvalidArgument(
+        "--checkpoint-every=" + std::to_string(resolved.checkpoint_every) +
+        " must be >= 1");
+  }
+  if (resolved.checkpoint_every > 0 && resolved.checkpoint_dir.empty()) {
+    return Status::InvalidArgument(
+        "--checkpoint-every requires --checkpoint-dir");
   }
 
   // Worker mode: this process IS a shard worker; the coordinator on the

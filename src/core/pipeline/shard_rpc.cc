@@ -79,6 +79,20 @@ Status ReadOps(net::ByteReader* r, OpCounters* ops) {
   return r->U64(&ops->exps);
 }
 
+/// Coordinator-side twin of ShardWorkerDriver::MaybeInjectFault:
+/// FACTORMLD_FAULT_KILL="coord:<pass_seq>" SIGKILLs the coordinating
+/// parent right before it sends the PASS frames of that sequence number —
+/// the checkpoint kill-resume tests' way of dying mid-iteration. The
+/// "coord" prefix fails the workers' numeric sscanf, so they ignore it.
+void MaybeInjectCoordinatorFault(uint64_t pass_seq) {
+  const char* spec = std::getenv("FACTORMLD_FAULT_KILL");
+  if (spec == nullptr || std::strncmp(spec, "coord:", 6) != 0) return;
+  char* end = nullptr;
+  const long long seq = std::strtoll(spec + 6, &end, 10);
+  if (end == spec + 6 || seq != static_cast<long long>(pass_seq)) return;
+  raise(SIGKILL);
+}
+
 /// Resolves the factormld worker binary: explicit option, $FACTORMLD, a
 /// sibling of the running executable (every binary lands in the build
 /// root), then $PATH via posix_spawnp.
@@ -140,6 +154,9 @@ std::string EncodeShardJobSpec(const ShardJobSpec& spec) {
   w.I64(spec.worker_id);
   w.Str(spec.family);
   w.Str(spec.family_blob);
+  w.Str(spec.delta_encoding);
+  w.Str(spec.checkpoint_dir);
+  w.I64(spec.checkpoint_every);
   return w.Take();
 }
 
@@ -182,6 +199,9 @@ Result<ShardJobSpec> DecodeShardJobSpec(const std::string& bytes) {
   FML_RETURN_IF_ERROR(r.I64(&spec.worker_id));
   FML_RETURN_IF_ERROR(r.Str(&spec.family));
   FML_RETURN_IF_ERROR(r.Str(&spec.family_blob));
+  FML_RETURN_IF_ERROR(r.Str(&spec.delta_encoding));
+  FML_RETURN_IF_ERROR(r.Str(&spec.checkpoint_dir));
+  FML_RETURN_IF_ERROR(r.I64(&spec.checkpoint_every));
   if (!r.AtEnd()) {
     return Status::InvalidArgument("shard job: trailing bytes");
   }
@@ -190,13 +210,15 @@ Result<ShardJobSpec> DecodeShardJobSpec(const std::string& bytes) {
 
 // ------------------------------------------------------ worker driver
 
-Status ShardWorkerDriver::Init(AccessStrategy* strategy, int shards,
+Status ShardWorkerDriver::Init(AccessStrategy* strategy,
+                               const StrategyOptions& options,
                                TrainReport* report) {
   // The identical deterministic split the parent computes — PlanShards is
   // a pure function of (morsel plan, shard count), and the morsel plan is
   // a pure function of (data, morsel_rows). Every PASS frame's spans are
   // verified against it.
-  plan_ = exec::PlanShards(strategy->MorselPlan(), shards);
+  sparse_deltas_ = options.delta_encoding == "sparse";
+  plan_ = exec::PlanShards(strategy->MorselPlan(), options.shards);
   report_ = report;
   if (report_ != nullptr) {
     report_->shards = std::max(plan_.num_shards(), 1);
@@ -289,8 +311,8 @@ Status ShardWorkerDriver::OnShardScanned(int local_shard) {
   {
     obs::TraceSpan extract_span(obs::kCatPipeline, "delta_extract");
     extract_span.Arg("shard", static_cast<int64_t>(global));
-    res.delta =
-        ExtractShardDelta(model_, pass_, static_cast<int>(global), chunks);
+    res.delta = ExtractShardDelta(model_, pass_, static_cast<int>(global),
+                                  chunks, sparse_deltas_);
   }
   if (report_ != nullptr) {
     auto& stat = report_->shard_stats[static_cast<size_t>(global)];
@@ -506,6 +528,9 @@ Status ProcessShardCoordinator::SendJob(Worker* w) {
   spec.worker_id = w->id;
   spec.family = options_.shard_job_family;
   spec.family_blob = options_.shard_job_blob;
+  spec.delta_encoding = options_.delta_encoding;
+  spec.checkpoint_dir = options_.checkpoint_dir;
+  spec.checkpoint_every = options_.checkpoint_every;
   return w->conn.SendFrame(kFrameJob, EncodeShardJobSpec(spec));
 }
 
@@ -582,10 +607,11 @@ Status ProcessShardCoordinator::SpawnWorkers(int shards) {
   return Status::OK();
 }
 
-Status ProcessShardCoordinator::Init(AccessStrategy* strategy, int shards,
+Status ProcessShardCoordinator::Init(AccessStrategy* strategy,
+                                     const StrategyOptions& options,
                                      TrainReport* report) {
-  FML_CHECK_GT(shards, 1);
-  plan_ = exec::PlanShards(strategy->MorselPlan(), shards);
+  FML_CHECK_GT(options.shards, 1);
+  plan_ = exec::PlanShards(strategy->MorselPlan(), options.shards);
   report_ = report;
   if (report_ != nullptr) {
     report_->shards = std::max(plan_.num_shards(), 1);
@@ -727,6 +753,7 @@ Status ProcessShardCoordinator::RunPass(AccessStrategy* strategy,
   }
 
   const uint64_t seq = next_seq_++;
+  MaybeInjectCoordinatorFault(seq);
   obs::TraceSpan pass_span(obs::kCatRpc, "rpc_pass");
   pass_span.Arg("seq", static_cast<int64_t>(seq));
   pass_span.Arg2("pass", pass);
@@ -893,7 +920,10 @@ Status ProcessShardCoordinator::RunPass(AccessStrategy* strategy,
         }
         static obs::Counter* delta_count =
             RpcCounter("pipeline.shard_deltas");
+        static obs::Counter* delta_bytes =
+            RpcCounter("pipeline.delta_bytes");
         delta_count->Add();
+        delta_bytes->Add(deltas[static_cast<size_t>(shard)].bytes.size());
       }
       // EOF is recorded (not errored) by ReadAvailable; act on it here
       // or the closed socket stays poll-readable and the loop would spin

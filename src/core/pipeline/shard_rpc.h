@@ -86,6 +86,11 @@ struct ShardJobSpec {
   int64_t worker_id = 0;
   std::string family;          // "gmm" / "linreg" / "kmeans" / "logreg"
   std::string family_blob;     // family EncodeShardJob output
+  // Appended fields (still protocol v1: encoder and decoder ship
+  // together — coordinator and workers are the same binary build).
+  std::string delta_encoding = "dense";  // ShardDelta wire: dense | sparse
+  std::string checkpoint_dir;            // worker restores (never writes)
+  int64_t checkpoint_every = 0;
 };
 
 std::string EncodeShardJobSpec(const ShardJobSpec& spec);
@@ -130,7 +135,7 @@ class ShardWorkerDriver : public ShardPassDriver,
  public:
   explicit ShardWorkerDriver(ShardWorkerLink* link) : link_(link) {}
 
-  Status Init(AccessStrategy* strategy, int shards,
+  Status Init(AccessStrategy* strategy, const StrategyOptions& options,
               TrainReport* report) override;
   Status RunPass(AccessStrategy* strategy, const PipelineContext& ctx,
                  ModelProgram* model, int pass) override;
@@ -160,6 +165,7 @@ class ShardWorkerDriver : public ShardPassDriver,
   void MaybeInjectFault(uint64_t pass_seq);
 
   ShardWorkerLink* link_;
+  bool sparse_deltas_ = false;
   exec::ShardPlan plan_;        // full global plan (all shards)
   exec::ShardPlan scan_plan_;   // the sub-plan currently armed
   std::vector<int64_t> scan_shards_;  // global shard id per local index
@@ -197,7 +203,7 @@ class ProcessShardCoordinator : public ShardPassDriver {
                           storage::BufferPool* pool);
   ~ProcessShardCoordinator() override;
 
-  Status Init(AccessStrategy* strategy, int shards,
+  Status Init(AccessStrategy* strategy, const StrategyOptions& options,
               TrainReport* report) override;
   Status RunPass(AccessStrategy* strategy, const PipelineContext& ctx,
                  ModelProgram* model, int pass) override;

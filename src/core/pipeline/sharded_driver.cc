@@ -1,8 +1,8 @@
 // The shard plane's in-process backend and the ShardDelta wire format.
 //
-// Wire format (native-endian; the in-process loopback and a homogeneous
-// cluster share it — a heterogeneous RPC backend would pin endianness at
-// the transport):
+// Wire format v1 — dense (native-endian; the in-process loopback and a
+// homogeneous cluster share it — a heterogeneous RPC backend would pin
+// endianness at the transport):
 //   bytes [0, 8)   magic "FMLSHRD1"
 //   bytes [8, 16)  int64  shard id
 //   bytes [16, 24) int64  chunk_begin (global chunk id, inclusive)
@@ -11,6 +11,21 @@
 //   bytes [40, ..) payload: the doubles of slots chunk_begin..chunk_end-1
 //                  in chunk order, each slot in its VisitSlotState span
 //                  sequence.
+//
+// Wire format v2 — sparse (--delta-encoding=sparse): the same header
+// fields behind magic "FMLSHRD2", followed by a run-length encoding of
+// the v1 payload stream:
+//   bytes [0, 8)   magic "FMLSHRD2"
+//   bytes [8, 16)  int64  shard id
+//   bytes [16, 24) int64  chunk_begin
+//   bytes [24, 32) int64  chunk_end
+//   bytes [32, 40) uint64 decoded payload double count (== v1's count)
+//   bytes [40, 48) uint64 encoded byte count (everything after byte 48)
+//   bytes [48, ..) runs of { uint64 zero_count, uint64 literal_count,
+//                  literal_count literal doubles } until the decoded
+//                  count is reached. Decoding replays the exact v1 double
+//                  stream (zeros are bit-pattern +0.0), so results are
+//                  bit-identical to dense; only the wire size moves.
 
 #include "core/pipeline/sharded_driver.h"
 
@@ -27,7 +42,9 @@ namespace factorml::core::pipeline {
 namespace {
 
 constexpr char kMagic[8] = {'F', 'M', 'L', 'S', 'H', 'R', 'D', '1'};
-constexpr size_t kHeaderBytes = 40;
+constexpr char kMagicSparse[8] = {'F', 'M', 'L', 'S', 'H', 'R', 'D', '2'};
+constexpr size_t kHeaderBytes = 40;        // v1: magic + 4 x i64
+constexpr size_t kSparseHeaderBytes = 48;  // v2: magic + 5 x i64
 
 void AppendI64(std::string* out, int64_t v) {
   char buf[sizeof(v)];
@@ -41,10 +58,48 @@ int64_t ReadI64(const std::string& bytes, size_t off) {
   return v;
 }
 
+bool IsZeroDouble(double v) {
+  // Bit-pattern zero only: -0.0 and denormals are literals, so the
+  // decoded stream replays the encoder's doubles bit-for-bit.
+  uint64_t bits;
+  std::memcpy(&bits, &v, sizeof(bits));
+  return bits == 0;
+}
+
+/// Run-length-encodes a v1 double payload: runs of bit-pattern +0.0
+/// collapse to a counter, everything else is shipped literally.
+std::string RunLengthEncode(const std::string& payload) {
+  const auto* vals = reinterpret_cast<const double*>(payload.data());
+  const size_t n = payload.size() / sizeof(double);
+  std::string out;
+  size_t i = 0;
+  while (i < n) {
+    size_t zeros = 0;
+    while (i + zeros < n && IsZeroDouble(vals[i + zeros])) ++zeros;
+    size_t lits = 0;
+    while (i + zeros + lits < n && !IsZeroDouble(vals[i + zeros + lits])) {
+      ++lits;
+    }
+    AppendI64(&out, static_cast<int64_t>(zeros));
+    AppendI64(&out, static_cast<int64_t>(lits));
+    out.append(payload.data() + (i + zeros) * sizeof(double),
+               lits * sizeof(double));
+    i += zeros + lits;
+  }
+  return out;
+}
+
+std::string DeltaError(const ShardDelta& delta, const std::string& what) {
+  return "ShardDelta (shard " + std::to_string(delta.shard) + ", chunks [" +
+         std::to_string(delta.chunk_begin) + ", " +
+         std::to_string(delta.chunk_end) + "), " +
+         std::to_string(delta.bytes.size()) + " wire bytes): " + what;
+}
+
 }  // namespace
 
 ShardDelta ExtractShardDelta(ModelProgram* model, int pass, int shard,
-                             exec::Range chunks) {
+                             exec::Range chunks, bool sparse) {
   ShardDelta delta;
   delta.shard = shard;
   delta.chunk_begin = chunks.begin;
@@ -57,6 +112,19 @@ ShardDelta ExtractShardDelta(ModelProgram* model, int pass, int shard,
                          len * sizeof(double));
           std::fill(data, data + len, 0.0);
         });
+  }
+  if (sparse) {
+    const std::string encoded = RunLengthEncode(payload);
+    delta.bytes.reserve(kSparseHeaderBytes + encoded.size());
+    delta.bytes.append(kMagicSparse, sizeof(kMagicSparse));
+    AppendI64(&delta.bytes, shard);
+    AppendI64(&delta.bytes, chunks.begin);
+    AppendI64(&delta.bytes, chunks.end);
+    AppendI64(&delta.bytes,
+              static_cast<int64_t>(payload.size() / sizeof(double)));
+    AppendI64(&delta.bytes, static_cast<int64_t>(encoded.size()));
+    delta.bytes += encoded;
+    return delta;
   }
   delta.bytes.reserve(kHeaderBytes + payload.size());
   delta.bytes.append(kMagic, sizeof(kMagic));
@@ -72,45 +140,128 @@ ShardDelta ExtractShardDelta(ModelProgram* model, int pass, int shard,
 Status ApplyShardDelta(ModelProgram* model, int pass,
                        const ShardDelta& delta) {
   const std::string& bytes = delta.bytes;
-  if (bytes.size() < kHeaderBytes ||
-      std::memcmp(bytes.data(), kMagic, sizeof(kMagic)) != 0) {
-    return Status::InvalidArgument("ShardDelta: bad magic or truncated header");
+  if (bytes.size() < sizeof(kMagic)) {
+    return Status::InvalidArgument(DeltaError(
+        delta, "truncated before the magic (need 8 bytes)"));
   }
-  if (ReadI64(bytes, 8) != delta.shard ||
-      ReadI64(bytes, 16) != delta.chunk_begin ||
-      ReadI64(bytes, 24) != delta.chunk_end) {
-    return Status::InvalidArgument("ShardDelta: header/span mismatch");
+  const bool sparse =
+      std::memcmp(bytes.data(), kMagicSparse, sizeof(kMagicSparse)) == 0;
+  if (!sparse && std::memcmp(bytes.data(), kMagic, sizeof(kMagic)) != 0) {
+    return Status::InvalidArgument(DeltaError(delta, "bad magic"));
+  }
+  const size_t header = sparse ? kSparseHeaderBytes : kHeaderBytes;
+  if (bytes.size() < header) {
+    return Status::InvalidArgument(DeltaError(
+        delta, "truncated header (need " + std::to_string(header) +
+                   " bytes)"));
+  }
+  const int64_t wire_shard = ReadI64(bytes, 8);
+  const int64_t wire_begin = ReadI64(bytes, 16);
+  const int64_t wire_end = ReadI64(bytes, 24);
+  if (wire_shard != delta.shard || wire_begin != delta.chunk_begin ||
+      wire_end != delta.chunk_end) {
+    return Status::InvalidArgument(DeltaError(
+        delta, "header/span mismatch: wire header says shard " +
+                   std::to_string(wire_shard) + " chunks [" +
+                   std::to_string(wire_begin) + ", " +
+                   std::to_string(wire_end) + ")"));
   }
   const auto payload_doubles = static_cast<uint64_t>(ReadI64(bytes, 32));
-  if (bytes.size() != kHeaderBytes + payload_doubles * sizeof(double)) {
-    return Status::InvalidArgument("ShardDelta: payload length mismatch");
+  // The dense double stream the slot copy-back consumes: the wire bytes
+  // themselves for v1, the RLE-decoded buffer for v2.
+  std::string decoded;
+  const char* payload = nullptr;
+  size_t payload_size = 0;
+  if (sparse) {
+    const auto encoded_bytes = static_cast<uint64_t>(ReadI64(bytes, 40));
+    if (bytes.size() != header + encoded_bytes) {
+      return Status::InvalidArgument(DeltaError(
+          delta, "encoded length mismatch: header declares " +
+                     std::to_string(encoded_bytes) +
+                     " encoded bytes, frame carries " +
+                     std::to_string(bytes.size() - header)));
+    }
+    decoded.reserve(payload_doubles * sizeof(double));
+    size_t off = header;
+    uint64_t produced = 0;
+    while (off < bytes.size()) {
+      if (off + 2 * sizeof(int64_t) > bytes.size()) {
+        return Status::InvalidArgument(DeltaError(
+            delta, "truncated run header at encoded offset " +
+                       std::to_string(off - header)));
+      }
+      const int64_t zeros = ReadI64(bytes, off);
+      const int64_t lits = ReadI64(bytes, off + sizeof(int64_t));
+      off += 2 * sizeof(int64_t);
+      if (zeros < 0 || lits < 0 ||
+          produced + static_cast<uint64_t>(zeros + lits) > payload_doubles) {
+        return Status::InvalidArgument(DeltaError(
+            delta, "run overruns the declared " +
+                       std::to_string(payload_doubles) + " payload doubles"));
+      }
+      const size_t lit_bytes = static_cast<size_t>(lits) * sizeof(double);
+      if (off + lit_bytes > bytes.size()) {
+        return Status::InvalidArgument(DeltaError(
+            delta, "truncated literal run: need " +
+                       std::to_string(lit_bytes) + " bytes, have " +
+                       std::to_string(bytes.size() - off)));
+      }
+      decoded.append(static_cast<size_t>(zeros) * sizeof(double), '\0');
+      decoded.append(bytes.data() + off, lit_bytes);
+      off += lit_bytes;
+      produced += static_cast<uint64_t>(zeros + lits);
+    }
+    if (produced != payload_doubles) {
+      return Status::InvalidArgument(DeltaError(
+          delta, "decoded " + std::to_string(produced) +
+                     " doubles, header declared " +
+                     std::to_string(payload_doubles)));
+    }
+    payload = decoded.data();
+    payload_size = decoded.size();
+  } else {
+    if (bytes.size() != header + payload_doubles * sizeof(double)) {
+      return Status::InvalidArgument(DeltaError(
+          delta, "payload length mismatch: header declares " +
+                     std::to_string(payload_doubles) +
+                     " doubles, frame carries " +
+                     std::to_string(bytes.size() - header) +
+                     " payload bytes"));
+    }
+    payload = bytes.data() + header;
+    payload_size = bytes.size() - header;
   }
-  size_t off = kHeaderBytes;
+  size_t off = 0;
   bool overrun = false;
   for (int64_t c = delta.chunk_begin; c < delta.chunk_end; ++c) {
     model->VisitSlotState(
         pass, static_cast<int>(c),
-        [&bytes, &off, &overrun](double* data, size_t len) {
+        [payload, payload_size, &off, &overrun](double* data, size_t len) {
           const size_t want = len * sizeof(double);
-          if (overrun || off + want > bytes.size()) {
+          if (overrun || off + want > payload_size) {
             overrun = true;
             return;
           }
-          std::memcpy(data, bytes.data() + off, want);
+          std::memcpy(data, payload + off, want);
           off += want;
         });
   }
-  if (overrun || off != bytes.size()) {
-    return Status::InvalidArgument(
-        "ShardDelta: slot-state shape drifted between serialize and apply");
+  if (overrun || off != payload_size) {
+    return Status::InvalidArgument(DeltaError(
+        delta,
+        "slot-state shape drifted between serialize and apply (consumed " +
+            std::to_string(off) + " of " + std::to_string(payload_size) +
+            " payload bytes)"));
   }
   return Status::OK();
 }
 
-Status ShardedDriver::Init(AccessStrategy* strategy, int shards,
+Status ShardedDriver::Init(AccessStrategy* strategy,
+                           const StrategyOptions& options,
                            TrainReport* report) {
-  FML_CHECK_GT(shards, 1);
-  plan_ = exec::PlanShards(strategy->MorselPlan(), shards);
+  FML_CHECK_GT(options.shards, 1);
+  sparse_deltas_ = options.delta_encoding == "sparse";
+  plan_ = exec::PlanShards(strategy->MorselPlan(), options.shards);
   report_ = report;
   if (report_ != nullptr) {
     report_->shards = std::max(plan_.num_shards(), 1);
@@ -173,15 +324,19 @@ Status ShardedDriver::OnShardScanned(int shard) {
   io_mark_ = now;
   static obs::Counter* delta_count =
       obs::Registry::Instance().GetCounter("pipeline.shard_deltas");
+  static obs::Counter* delta_bytes =
+      obs::Registry::Instance().GetCounter("pipeline.delta_bytes");
   {
     obs::TraceSpan extract_span(obs::kCatPipeline, "delta_extract");
     extract_span.Arg("shard", shard);
-    deltas_.push_back(
-        ExtractShardDelta(model_, pass_, shard, plan_.ChunkSpan(shard)));
+    deltas_.push_back(ExtractShardDelta(model_, pass_, shard,
+                                        plan_.ChunkSpan(shard),
+                                        sparse_deltas_));
     extract_span.Arg2("bytes",
                       static_cast<int64_t>(deltas_.back().bytes.size()));
   }
   delta_count->Add();
+  delta_bytes->Add(deltas_.back().bytes.size());
   // Restart after the extraction so serialization time is charged to no
   // shard's scan window (it is merge-plane work, not scanning).
   scan_watch_.Restart();

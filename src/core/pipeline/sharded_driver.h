@@ -34,11 +34,16 @@ struct ShardDelta {
 /// applied the model holds no trace of the shard's scan, which is what
 /// proves the bytes carry the complete merged state (the in-process
 /// backend's loopback is a real serialization boundary, not a no-op).
+/// `sparse` selects wire format v2 ("FMLSHRD2"): zero stretches of the
+/// slot stream become run-length counters, non-zero stretches stay
+/// literal doubles — decode is bit-exact, only the wire size moves.
 ShardDelta ExtractShardDelta(ModelProgram* model, int pass, int shard,
-                             exec::Range chunks);
+                             exec::Range chunks, bool sparse = false);
 
-/// Writes a delta's payload back into the model's slots. Fails on header
-/// or length mismatch — a wire-format or accumulator-shape drift.
+/// Writes a delta's payload back into the model's slots, auto-detecting
+/// the wire version by magic. Fails on header or length mismatch — a
+/// wire-format or accumulator-shape drift — naming the shard, the
+/// expected vs. received chunk span, and the byte counts involved.
 Status ApplyShardDelta(ModelProgram* model, int pass,
                        const ShardDelta& delta);
 
@@ -56,8 +61,11 @@ class ShardPassDriver {
 
   /// Builds the shard plan over the strategy's (already Prepared) morsel
   /// plan; the effective shard count lands in report->shards with one
-  /// ShardStat per shard. Called once, before model->Init.
-  virtual Status Init(AccessStrategy* strategy, int shards,
+  /// ShardStat per shard. Called once, before model->Init. The resolved
+  /// StrategyOptions carry the shard count plus the backend knobs the
+  /// driver needs (delta_encoding, timeouts, transport).
+  virtual Status Init(AccessStrategy* strategy,
+                      const StrategyOptions& options,
                       TrainReport* report) = 0;
 
   /// One sharded full pass: scan (locally or remotely), then apply +
@@ -107,7 +115,7 @@ class ShardedDriver : public ShardPassDriver, public ShardScanObserver {
   /// Builds the shard plan over the strategy's (already Prepared) morsel
   /// plan; the effective shard count (= requested, bounded by the chunk
   /// count) lands in report->shards with one ShardStat per shard.
-  Status Init(AccessStrategy* strategy, int shards,
+  Status Init(AccessStrategy* strategy, const StrategyOptions& options,
               TrainReport* report) override;
 
   /// One sharded full pass: arms the strategy's shard plane, scans shard
@@ -128,6 +136,7 @@ class ShardedDriver : public ShardPassDriver, public ShardScanObserver {
   TrainReport* report_ = nullptr;
   ModelProgram* model_ = nullptr;
   int pass_ = 0;
+  bool sparse_deltas_ = false;
   std::vector<ShardDelta> deltas_;
   storage::IoStats io_mark_;
   Stopwatch scan_watch_;

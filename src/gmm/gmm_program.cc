@@ -134,6 +134,19 @@ class GmmProgram final : public core::pipeline::ModelProgram {
   Status BeginPass(const PipelineContext& ctx, int /*iter*/, int pass,
                    int workers) override {
     acc_.resize(static_cast<size_t>(workers));
+    if (factorized_) {
+      // The rid-span contract: slot w only ever sees table-0 rids inside
+      // its morsel range, so its per-rid state (gsum[0]) is sized to the
+      // span, not the table — O(n_R0) across all slots instead of
+      // O(slots x n_R0). Further tables' rids are unordered within a
+      // chunk and stay full-domain.
+      const int64_t n_r0 = static_cast<int64_t>((*ctx.views)[0].feats().rows());
+      slot_spans_.resize(static_cast<size_t>(workers));
+      for (int w = 0; w < workers; ++w) {
+        slot_spans_[static_cast<size_t>(w)] =
+            core::pipeline::SlotRidSpan(ctx, w, n_r0);
+      }
+    }
     switch (pass) {
       case kEStep: {
         FML_ASSIGN_OR_RETURN(density_, GmmDensity::From(params_));
@@ -160,9 +173,12 @@ class GmmProgram final : public core::pipeline::ModelProgram {
           for (size_t i = 0; i < q_; ++i) {
             const size_t n_ri = (*ctx.views)[i].feats().rows();
             gsum_[i].assign(k_, std::vector<double>(n_ri, 0.0));
-            for (auto& acc : acc_) {
+            for (size_t w = 0; w < acc_.size(); ++w) {
+              Acc& acc = acc_[w];
               acc.gsum.resize(q_);
-              acc.gsum[i].assign(k_, std::vector<double>(n_ri, 0.0));
+              const size_t len =
+                  i == 0 ? static_cast<size_t>(slot_spans_[w].size()) : n_ri;
+              acc.gsum[i].assign(k_, std::vector<double>(len, 0.0));
             }
           }
         }
@@ -407,6 +423,7 @@ class GmmProgram final : public core::pipeline::ModelProgram {
         break;
       }
       case kMeanStep: {
+        const int64_t base0 = slot_spans_[static_cast<size_t>(worker)].begin;
         for (size_t r = 0; r < s_rows.num_rows; ++r) {
           const double* xs = s_rows.feats.Row(r).data() + y_off_;
           const int64_t* keys = s_rows.KeysOf(r);
@@ -416,10 +433,12 @@ class GmmProgram final : public core::pipeline::ModelProgram {
             // S slice accumulates per fact tuple; the R slices only
             // accumulate responsibility mass per rid — the
             // factorization of Eq. 13/22 that replaces nS * dR
-            // multiplies by nS adds.
+            // multiplies by nS adds. Table 0 indexes span-relative.
             la::Axpy(gamma[c], xs, acc.mu_sum.data() + c * ds_, ds_);
             for (size_t i = 0; i < q_; ++i) {
-              acc.gsum[i][c][keys[rel_->FkKeyIndex(i)]] += gamma[c];
+              const int64_t rid = keys[rel_->FkKeyIndex(i)];
+              acc.gsum[i][c][static_cast<size_t>(
+                  i == 0 ? rid - base0 : rid)] += gamma[c];
             }
             CountAdds(q_);
           }
@@ -516,12 +535,16 @@ class GmmProgram final : public core::pipeline::ModelProgram {
     // index movement, like the scalar path's KeysOf reads).
     std::vector<std::vector<int64_t>> ridbuf;
     if (pass == kMeanStep) {
+      // Table-0 rids are rebased to the slot's span so the scatter targets
+      // the span-sized gsum[0] slot (the rid-span contract).
+      const int64_t base0 = slot_spans_[static_cast<size_t>(worker)].begin;
       ridbuf.resize(q_);
       for (size_t i = 0; i < q_; ++i) ridbuf[i].resize(s_rows.num_rows);
       for (size_t r = 0; r < s_rows.num_rows; ++r) {
         const int64_t* keys = s_rows.KeysOf(r);
         for (size_t i = 0; i < q_; ++i) {
-          ridbuf[i][r] = keys[rel_->FkKeyIndex(i)];
+          const int64_t rid = keys[rel_->FkKeyIndex(i)];
+          ridbuf[i][r] = i == 0 ? rid - base0 : rid;
         }
       }
     }
@@ -784,13 +807,15 @@ class GmmProgram final : public core::pipeline::ModelProgram {
       case kMeanStep:
         for (size_t j = 0; j < mu_sum_.size(); ++j) mu_sum_[j] += acc.mu_sum[j];
         if (factorized_) {
+          // Table 0's span-sized slot lands at its span offset of the
+          // full-domain merged state; further tables merge full-domain.
+          const auto off0 = static_cast<size_t>(
+              slot_spans_[static_cast<size_t>(worker)].begin);
           for (size_t i = 0; i < q_; ++i) {
             for (size_t c = 0; c < k_; ++c) {
-              auto& dst = gsum_[i][c];
+              double* dst = gsum_[i][c].data() + (i == 0 ? off0 : 0);
               const auto& src = acc.gsum[i][c];
-              for (size_t rid = 0; rid < dst.size(); ++rid) {
-                dst[rid] += src[rid];
-              }
+              for (size_t j = 0; j < src.size(); ++j) dst[j] += src[j];
             }
           }
         }
@@ -948,6 +973,19 @@ class GmmProgram final : public core::pipeline::ModelProgram {
     return stop;
   }
 
+  void VisitIterationState(
+      const std::function<void(double*, size_t)>& visit) override {
+    // Cross-iteration state: the parameters and the convergence scalar.
+    // resp_ and every accumulator are rebuilt by the next e_step.
+    visit(params_.mu.data(), params_.mu.rows() * params_.mu.cols());
+    for (size_t c = 0; c < k_; ++c) {
+      visit(params_.sigma[c].data(),
+            params_.sigma[c].rows() * params_.sigma[c].cols());
+    }
+    visit(params_.pi.data(), params_.pi.size());
+    visit(&loglik_, 1);
+  }
+
   double Objective() const override { return loglik_; }
 
   GmmParams&& TakeParams() && { return std::move(params_); }
@@ -978,6 +1016,9 @@ class GmmProgram final : public core::pipeline::ModelProgram {
   Responsibilities resp_;
   std::vector<CenteredCache> caches_;
   std::vector<Acc> acc_;
+  /// Table-0 rid span per accumulator slot (the rid-span contract),
+  /// refreshed every BeginPass from the strategy's published plan.
+  std::vector<exec::Range> slot_spans_;
 
   double ll_sum_ = 0.0;
   double loglik_ = 0.0;

@@ -73,6 +73,16 @@ struct KmeansOptions {
   std::string shard_transport = "unix";
   /// Explicit factormld binary path; empty = resolve automatically.
   std::string shard_worker_path;
+  /// ShardDelta wire encoding (--delta-encoding): "dense" (v1 frames) or
+  /// "sparse" (v2 zero-run-length frames, decoded bit-identically).
+  std::string delta_encoding = "dense";
+  /// Non-empty (--checkpoint-dir): CRC-verified checkpoint/restore of the
+  /// iteration state; a resumed run is bit-identical to an uninterrupted
+  /// one. Empty = checkpointing off.
+  std::string checkpoint_dir;
+  /// Iterations between checkpoint writes (--checkpoint-every); 0 = every
+  /// iteration when checkpoint_dir is set.
+  int64_t checkpoint_every = 0;
 };
 
 /// A trained clustering: centroids after the final update, the cluster

@@ -118,14 +118,33 @@ class KmeansProgram final : public core::pipeline::ModelProgram {
     counts_.assign(k_, 0.0);
     const size_t slice = factorized_ ? ds_ : d_;
     acc_.resize(static_cast<size_t>(workers));
-    for (auto& acc : acc_) {
+    if (factorized_) {
+      // Rid-span contract: slot w's table-0 assignment mass covers only
+      // its morsel's rid span; the merged full-domain gsum_ is allocated
+      // here (EndPass clears it) and slots land at their span offset.
+      const int64_t n_r0 = static_cast<int64_t>((*ctx.views)[0].feats().rows());
+      slot_spans_.resize(static_cast<size_t>(workers));
+      for (int w = 0; w < workers; ++w) {
+        slot_spans_[static_cast<size_t>(w)] =
+            core::pipeline::SlotRidSpan(ctx, w, n_r0);
+      }
+      gsum_.resize(q_);
+      for (size_t i = 0; i < q_; ++i) {
+        gsum_[i].Resize(k_, (*ctx.views)[i].feats().rows());
+      }
+    }
+    for (size_t w = 0; w < acc_.size(); ++w) {
+      Acc& acc = acc_[w];
       acc.inertia = 0.0;
       acc.counts.assign(k_, 0.0);
       acc.sums.assign(k_ * slice, 0.0);
       if (factorized_) {
         acc.gsum.resize(q_);
         for (size_t i = 0; i < q_; ++i) {
-          acc.gsum[i].Resize(k_, (*ctx.views)[i].feats().rows());
+          const size_t n_ri =
+              i == 0 ? static_cast<size_t>(slot_spans_[w].size())
+                     : (*ctx.views)[i].feats().rows();
+          acc.gsum[i].Resize(k_, n_ri);
         }
       }
     }
@@ -268,12 +287,17 @@ class KmeansProgram final : public core::pipeline::ModelProgram {
         for (size_t j = 0; j < ds_; ++j) sum[j] += cols[j][r];
       }
       // Assignment mass per rid: unit-weight scatter on flattened
-      // (best, rid) slots, row-ascending like the scalar loop.
+      // (best, rid) slots, row-ascending like the scalar loop. Table 0
+      // flattens by its span-sized slot (rebased rids).
+      const exec::Range span0 = slot_spans_[static_cast<size_t>(worker)];
       for (size_t i = 0; i < q_; ++i) {
-        const auto n_ri = static_cast<int64_t>(dcache_[i].cols());
+        const int64_t n_ri = i == 0
+                                 ? span0.size()
+                                 : static_cast<int64_t>(dcache_[i].cols());
+        const int64_t base = i == 0 ? span0.begin : 0;
         for (size_t r = 0; r < rows; ++r) {
           idx[r] = static_cast<int64_t>(best[r]) * n_ri +
-                   ridx[i][row0 + r];
+                   (ridx[i][row0 + r] - base);
         }
         kern.scatter_add_strip(idx.data(), /*w=*/nullptr, rows,
                                acc.gsum[i].data());
@@ -315,8 +339,11 @@ class KmeansProgram final : public core::pipeline::ModelProgram {
       acc.inertia += best_dist;
       acc.counts[best] += 1.0;
       la::Axpy(1.0, xs, acc.sums.data() + best * ds_, ds_);
+      const int64_t base0 = slot_spans_[static_cast<size_t>(worker)].begin;
       for (size_t i = 0; i < q_; ++i) {
-        acc.gsum[i](best, keys[rel_->FkKeyIndex(i)]) += 1.0;
+        const int64_t rid = keys[rel_->FkKeyIndex(i)];
+        acc.gsum[i](best, static_cast<size_t>(i == 0 ? rid - base0 : rid)) +=
+            1.0;
       }
       CountAdds(2 + q_);
     }
@@ -329,10 +356,21 @@ class KmeansProgram final : public core::pipeline::ModelProgram {
     if (sums_.size() != acc.sums.size()) sums_.assign(acc.sums.size(), 0.0);
     for (size_t j = 0; j < sums_.size(); ++j) sums_[j] += acc.sums[j];
     if (factorized_) {
-      if (gsum_.empty()) {
-        gsum_ = std::move(acc.gsum);
-      } else {
-        for (size_t i = 0; i < q_; ++i) gsum_[i].Add(acc.gsum[i]);
+      // Table 0's span-sized slot adds into its span's columns of the
+      // full-domain merged matrix; further tables add full-domain.
+      const auto off0 = static_cast<size_t>(
+          slot_spans_[static_cast<size_t>(worker)].begin);
+      for (size_t i = 0; i < q_; ++i) {
+        if (i == 0) {
+          const size_t len = acc.gsum[0].cols();
+          for (size_t c = 0; c < k_; ++c) {
+            double* dst = gsum_[0].Row(c).data() + off0;
+            const double* src = acc.gsum[0].Row(c).data();
+            for (size_t j = 0; j < len; ++j) dst[j] += src[j];
+          }
+        } else {
+          gsum_[i].Add(acc.gsum[i]);
+        }
       }
     }
   }
@@ -409,6 +447,19 @@ class KmeansProgram final : public core::pipeline::ModelProgram {
 
   double Objective() const override { return model_.inertia; }
 
+  void VisitIterationState(
+      const std::function<void(double*, size_t)>& visit) override {
+    // Cross-iteration state: centroids, the per-cluster counts and the
+    // inertia scalars; dcache_ and the accumulators are rebuilt by the
+    // next BeginPass.
+    visit(model_.centroids.data(),
+          model_.centroids.rows() * model_.centroids.cols());
+    visit(model_.counts.data(), model_.counts.size());
+    visit(&model_.inertia, 1);
+    visit(&inertia_sum_, 1);
+    visit(&prev_inertia_, 1);
+  }
+
   KmeansModel&& TakeModel() && { return std::move(model_); }
 
  private:
@@ -429,6 +480,9 @@ class KmeansProgram final : public core::pipeline::ModelProgram {
   KmeansModel model_;
   std::vector<Matrix> dcache_;  // [i]: k x nRi squared slice distances
   std::vector<Acc> acc_;
+  /// Table-0 rid span per accumulator slot (the rid-span contract),
+  /// refreshed every BeginPass from the strategy's published plan.
+  std::vector<exec::Range> slot_spans_;
   double inertia_sum_ = 0.0;
   double prev_inertia_ = 0.0;
   std::vector<double> counts_;

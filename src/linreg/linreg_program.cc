@@ -57,13 +57,40 @@ class LinregProgram final : public core::pipeline::ModelProgram {
     gram_.Resize(da_, da_);
     cvec_.assign(da_, 0.0);
     yy_ = 0.0;
+    // Pre-sized so VisitIterationState is a pure function of Init-time
+    // shapes (the checkpoint seam's contract).
+    model_.w.assign(d_, 0.0);
+    model_.bias = 0.0;
+    sse_ = 0.0;
     return Status::OK();
   }
 
   Status BeginPass(const PipelineContext& ctx, int, int, int workers) override {
     views_ = ctx.views;
     acc_.resize(static_cast<size_t>(workers));
-    for (auto& acc : acc_) {
+    if (factorized_) {
+      // Rid-span contract: size each slot's table-0 per-rid masses to the
+      // contiguous rid span that slot actually scans, not the full table.
+      const auto n_r0 = static_cast<int64_t>((*ctx.views)[0].feats().rows());
+      slot_spans_.resize(static_cast<size_t>(workers));
+      for (int w = 0; w < workers; ++w) {
+        slot_spans_[static_cast<size_t>(w)] =
+            core::pipeline::SlotRidSpan(ctx, w, n_r0);
+      }
+      // Merged per-rid masses stay full-domain; EndPass clears them, so
+      // reallocate zeroed every pass (slot states offset-add into them).
+      vsum_.resize(q_);
+      count_.resize(q_);
+      ysum_.resize(q_);
+      for (size_t i = 0; i < q_; ++i) {
+        const size_t n_ri = (*ctx.views)[i].feats().rows();
+        vsum_[i].Resize(n_ri, ds_);
+        count_[i].assign(n_ri, 0.0);
+        ysum_[i].assign(n_ri, 0.0);
+      }
+    }
+    for (size_t w = 0; w < acc_.size(); ++w) {
+      Acc& acc = acc_[w];
       acc.gram.Resize(da_, da_);
       acc.cvec.assign(da_, 0.0);
       acc.yy = 0.0;
@@ -72,7 +99,9 @@ class LinregProgram final : public core::pipeline::ModelProgram {
         acc.count.resize(q_);
         acc.ysum.resize(q_);
         for (size_t i = 0; i < q_; ++i) {
-          const size_t n_ri = (*ctx.views)[i].feats().rows();
+          const size_t n_ri =
+              i == 0 ? static_cast<size_t>(slot_spans_[w].size())
+                     : (*ctx.views)[i].feats().rows();
           acc.vsum[i].Resize(n_ri, ds_);
           acc.count[i].assign(n_ri, 0.0);
           acc.ysum[i].assign(n_ri, 0.0);
@@ -164,11 +193,15 @@ class LinregProgram final : public core::pipeline::ModelProgram {
       // Per fact tuple: only the S-diagonal block and per-rid masses.
       la::AddOuter(1.0, xs, ds_, xs, ds_, &acc.gram, 0, 0);
       la::Axpy(y, xs, acc.cvec.data(), ds_);
+      const int64_t base0 = slot_spans_[static_cast<size_t>(worker)].begin;
       for (size_t i = 0; i < q_; ++i) {
         const auto rid = static_cast<size_t>(keys[rel_->FkKeyIndex(i)]);
-        la::Axpy(1.0, xs, acc.vsum[i].Row(rid).data(), ds_);
-        acc.count[i][rid] += 1.0;
-        acc.ysum[i][rid] += y;
+        // Table-0 per-rid masses are span-relative; i>=1 keep full rids.
+        const size_t arid =
+            i == 0 ? rid - static_cast<size_t>(base0) : rid;
+        la::Axpy(1.0, xs, acc.vsum[i].Row(arid).data(), ds_);
+        acc.count[i][arid] += 1.0;
+        acc.ysum[i][arid] += y;
         CountAdds(2);
         // Attr-attr cross blocks (multi-way joins only) have no
         // single-table factorization; accumulate them per fact tuple like
@@ -197,17 +230,20 @@ class LinregProgram final : public core::pipeline::ModelProgram {
     for (size_t j = 0; j < da_; ++j) cvec_[j] += acc.cvec[j];
     yy_ += acc.yy;
     if (factorized_) {
-      if (vsum_.empty()) {
-        vsum_ = std::move(acc.vsum);
-        count_ = std::move(acc.count);
-        ysum_ = std::move(acc.ysum);
-      } else {
-        for (size_t i = 0; i < q_; ++i) {
-          vsum_[i].Add(acc.vsum[i]);
-          for (size_t rid = 0; rid < count_[i].size(); ++rid) {
-            count_[i][rid] += acc.count[i][rid];
-            ysum_[i][rid] += acc.ysum[i][rid];
-          }
+      // Table 0 is span-scoped per slot: offset-add into the full-domain
+      // merged masses at the slot's span base. Tables i>=1 are full-domain.
+      const auto off0 =
+          static_cast<size_t>(slot_spans_[static_cast<size_t>(worker)].begin);
+      for (size_t i = 0; i < q_; ++i) {
+        const size_t off = i == 0 ? off0 : 0;
+        for (size_t r = 0; r < static_cast<size_t>(acc.vsum[i].rows()); ++r) {
+          const double* src = acc.vsum[i].Row(r).data();
+          double* dst = vsum_[i].Row(r + off).data();
+          for (size_t j = 0; j < ds_; ++j) dst[j] += src[j];
+        }
+        for (size_t r = 0; r < acc.count[i].size(); ++r) {
+          count_[i][r + off] += acc.count[i][r];
+          ysum_[i][r + off] += acc.ysum[i][r];
         }
       }
     }
@@ -308,6 +344,13 @@ class LinregProgram final : public core::pipeline::ModelProgram {
     return sse_ / (2.0 * static_cast<double>(n_));  // half-MSE, as NN
   }
 
+  void VisitIterationState(
+      const std::function<void(double*, size_t)>& visit) override {
+    visit(model_.w.data(), model_.w.size());
+    visit(&model_.bias, 1);
+    visit(&sse_, 1);
+  }
+
   LinregModel&& TakeModel() && { return std::move(model_); }
 
  private:
@@ -335,6 +378,7 @@ class LinregProgram final : public core::pipeline::ModelProgram {
   std::vector<std::vector<double>> count_;
   std::vector<std::vector<double>> ysum_;
   std::vector<Acc> acc_;
+  std::vector<exec::Range> slot_spans_;  // table-0 rid span per slot
 
   LinregModel model_;
   double sse_ = 0.0;

@@ -99,8 +99,30 @@ class LogregProgram final : public core::pipeline::ModelProgram {
         }
       }
     }
+    if (factorized_) {
+      // Rid-span contract: size each slot's table-0 per-rid masses to the
+      // contiguous rid span that slot actually scans, not the full table.
+      const auto n_r0 = static_cast<int64_t>((*ctx.views)[0].feats().rows());
+      slot_spans_.resize(static_cast<size_t>(workers));
+      for (int w = 0; w < workers; ++w) {
+        slot_spans_[static_cast<size_t>(w)] =
+            core::pipeline::SlotRidSpan(ctx, w, n_r0);
+      }
+      // Merged per-rid masses stay full-domain; EndPass clears them, so
+      // reallocate zeroed every pass (slot states offset-add into them).
+      wxsum_.resize(q_);
+      wsum_.resize(q_);
+      wzsum_.resize(q_);
+      for (size_t i = 0; i < q_; ++i) {
+        const size_t n_ri = (*ctx.views)[i].feats().rows();
+        wxsum_[i].Resize(n_ri, ds_);
+        wsum_[i].assign(n_ri, 0.0);
+        wzsum_[i].assign(n_ri, 0.0);
+      }
+    }
     acc_.resize(static_cast<size_t>(workers));
-    for (auto& acc : acc_) {
+    for (size_t w = 0; w < acc_.size(); ++w) {
+      Acc& acc = acc_[w];
       acc.gram.Resize(da_, da_);
       acc.cvec.assign(da_, 0.0);
       acc.nll = 0.0;
@@ -109,7 +131,9 @@ class LogregProgram final : public core::pipeline::ModelProgram {
         acc.wxsum.resize(q_);
         acc.wzsum.resize(q_);
         for (size_t i = 0; i < q_; ++i) {
-          const size_t n_ri = (*ctx.views)[i].feats().rows();
+          const size_t n_ri =
+              i == 0 ? static_cast<size_t>(slot_spans_[w].size())
+                     : (*ctx.views)[i].feats().rows();
           acc.wxsum[i].Resize(n_ri, ds_);
           acc.wsum[i].assign(n_ri, 0.0);
           acc.wzsum[i].assign(n_ri, 0.0);
@@ -230,11 +254,15 @@ class LogregProgram final : public core::pipeline::ModelProgram {
       // masses — the linreg deferral with weight s and target z.
       la::AddOuter(s, xs, ds_, xs, ds_, &acc.gram, 0, 0);
       la::Axpy(sz, xs, acc.cvec.data(), ds_);
+      const auto base0 = static_cast<size_t>(
+          slot_spans_[static_cast<size_t>(worker)].begin);
       for (size_t i = 0; i < q_; ++i) {
         const auto rid = static_cast<size_t>(keys[rel_->FkKeyIndex(i)]);
-        la::Axpy(s, xs, acc.wxsum[i].Row(rid).data(), ds_);
-        acc.wsum[i][rid] += s;
-        acc.wzsum[i][rid] += sz;
+        // Table-0 per-rid masses are span-relative; i>=1 keep full rids.
+        const size_t arid = i == 0 ? rid - base0 : rid;
+        la::Axpy(s, xs, acc.wxsum[i].Row(arid).data(), ds_);
+        acc.wsum[i][arid] += s;
+        acc.wzsum[i][arid] += sz;
         CountAdds(2);
         // Attr-attr cross blocks (multi-way joins only) have no
         // single-table factorization; accumulate them per fact tuple,
@@ -260,17 +288,20 @@ class LogregProgram final : public core::pipeline::ModelProgram {
     for (size_t j = 0; j < da_; ++j) cvec_[j] += acc.cvec[j];
     nll_ += acc.nll;
     if (factorized_) {
-      if (wxsum_.empty()) {
-        wxsum_ = std::move(acc.wxsum);
-        wsum_ = std::move(acc.wsum);
-        wzsum_ = std::move(acc.wzsum);
-      } else {
-        for (size_t i = 0; i < q_; ++i) {
-          wxsum_[i].Add(acc.wxsum[i]);
-          for (size_t rid = 0; rid < wsum_[i].size(); ++rid) {
-            wsum_[i][rid] += acc.wsum[i][rid];
-            wzsum_[i][rid] += acc.wzsum[i][rid];
-          }
+      // Table 0 is span-scoped per slot: offset-add into the full-domain
+      // merged masses at the slot's span base. Tables i>=1 are full-domain.
+      const auto off0 =
+          static_cast<size_t>(slot_spans_[static_cast<size_t>(worker)].begin);
+      for (size_t i = 0; i < q_; ++i) {
+        const size_t off = i == 0 ? off0 : 0;
+        for (size_t r = 0; r < static_cast<size_t>(acc.wxsum[i].rows()); ++r) {
+          const double* src = acc.wxsum[i].Row(r).data();
+          double* dst = wxsum_[i].Row(r + off).data();
+          for (size_t j = 0; j < ds_; ++j) dst[j] += src[j];
+        }
+        for (size_t r = 0; r < acc.wsum[i].size(); ++r) {
+          wsum_[i][r + off] += acc.wsum[i][r];
+          wzsum_[i][r + off] += acc.wzsum[i][r];
         }
       }
     }
@@ -372,6 +403,12 @@ class LogregProgram final : public core::pipeline::ModelProgram {
   /// M-step).
   double Objective() const override { return objective_; }
 
+  void VisitIterationState(
+      const std::function<void(double*, size_t)>& visit) override {
+    visit(beta_.data(), beta_.size());
+    visit(&objective_, 1);
+  }
+
   LogregModel&& TakeModel() && {
     model_.w.assign(beta_.begin(), beta_.begin() + static_cast<long>(d_));
     model_.bias = opt_.intercept ? beta_[da_ - 1] : 0.0;
@@ -422,6 +459,7 @@ class LogregProgram final : public core::pipeline::ModelProgram {
   std::vector<std::vector<double>> wsum_;
   std::vector<std::vector<double>> wzsum_;
   std::vector<Acc> acc_;
+  std::vector<exec::Range> slot_spans_;  // table-0 rid span per slot
 
   LogregModel model_;
 };

@@ -22,6 +22,22 @@ void BackpropEngine::ConfigureSgd(double momentum, double weight_decay) {
   FML_CHECK_GE(weight_decay, 0.0);
   momentum_ = momentum;
   weight_decay_ = weight_decay;
+  // Pre-size the velocity buffers to their steady-state shapes so the
+  // checkpoint visitor's double stream is a pure function of Init-time
+  // configuration (the lazy sizing in the update hooks then never fires).
+  const size_t layers = mlp_->num_weight_layers();
+  if (momentum_ > 0.0 || weight_decay_ > 0.0) {
+    vel_w_.resize(layers);
+    for (size_t l = 0; l < layers; ++l) {
+      vel_w_[l].Resize(mlp_->w[l].rows(), mlp_->w[l].cols());
+    }
+  }
+  if (momentum_ > 0.0) {
+    vel_b_.resize(layers);
+    for (size_t l = 0; l < layers; ++l) {
+      vel_b_[l].assign(mlp_->b[l].size(), 0.0);
+    }
+  }
 }
 
 void BackpropEngine::ApplyUpdate(la::Matrix* w, const la::Matrix& grad,

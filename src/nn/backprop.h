@@ -50,6 +50,12 @@ class BackpropEngine {
 
   double learning_rate() const { return lr_; }
 
+  /// Checkpoint seams: the optimizer state that must survive a restart
+  /// for a resumed run to be bit-identical to an uninterrupted one.
+  std::vector<la::Matrix>& vel_w() { return vel_w_; }
+  std::vector<std::vector<double>>& vel_b() { return vel_b_; }
+  Rng* dropout_rng() { return dropout_rng_.get(); }
+
  private:
   void UpdateLayer(size_t l, const la::Matrix& delta,
                    const la::Matrix& input);

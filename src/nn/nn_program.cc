@@ -512,6 +512,31 @@ class NnProgram final : public core::pipeline::ModelProgram {
     return epoch_sse_ / (2.0 * static_cast<double>(n_));
   }
 
+  void VisitIterationState(
+      const std::function<void(double*, size_t)>& visit) override {
+    // Cross-epoch state: every layer's weights and biases, the momentum
+    // velocities, the dropout generator cursor, and the epoch objective.
+    // version_ rides along as a bit pattern so restored partial-feature
+    // caches are invalidated exactly as an uninterrupted run would have
+    // them (stamps never match a bumped version). The caches and scratch
+    // matrices rebuild lazily per batch and must not be visited.
+    for (auto& w : mlp_.w) visit(w.data(), w.rows() * w.cols());
+    for (auto& b : mlp_.b) visit(b.data(), b.size());
+    for (auto& v : engine_->vel_w()) visit(v.data(), v.rows() * v.cols());
+    for (auto& v : engine_->vel_b()) visit(v.data(), v.size());
+    if (Rng* rng = engine_->dropout_rng()) {
+      double st[Rng::kStateDoubles];
+      rng->SaveState(st);
+      visit(st, Rng::kStateDoubles);
+      rng->RestoreState(st);
+    }
+    double version_bits = 0.0;
+    std::memcpy(&version_bits, &version_, sizeof(version_bits));
+    visit(&version_bits, 1);
+    std::memcpy(&version_, &version_bits, sizeof(version_));
+    visit(&epoch_sse_, 1);
+  }
+
   Mlp&& TakeMlp() && { return std::move(mlp_); }
 
  private:

@@ -105,6 +105,23 @@ TEST(RngTest, DifferentSeedsDiffer) {
   EXPECT_LT(same, 5);
 }
 
+TEST(RngTest, SaveRestoreStateResumesBitIdentically) {
+  // The checkpoint seam: capture mid-stream (with the Box-Muller cache
+  // half-full) and replay into a generator seeded differently — the
+  // restored stream must continue bit-for-bit where the original left
+  // off, gaussians included.
+  Rng a(123);
+  for (int i = 0; i < 7; ++i) a.NextGaussian();  // odd count: cache is hot
+  double st[Rng::kStateDoubles];
+  a.SaveState(st);
+  Rng b(999);
+  b.RestoreState(st);
+  for (int i = 0; i < 64; ++i) {
+    EXPECT_EQ(a.NextGaussian(), b.NextGaussian()) << "draw " << i;
+    EXPECT_EQ(a.NextU64(), b.NextU64()) << "draw " << i;
+  }
+}
+
 TEST(RngTest, NextDoubleInUnitInterval) {
   Rng rng(7);
   for (int i = 0; i < 10000; ++i) {
@@ -358,6 +375,54 @@ TEST(FlagsDeathTest, ShardTimeoutBelowOneExits2) {
   ArgParser args(2, const_cast<char**>(argv));
   EXPECT_EXIT(args.GetShardTimeoutMs(), ::testing::ExitedWithCode(2),
               "invalid --shard-timeout-ms");
+}
+
+TEST(FlagsTest, CheckpointAndDeltaFlagsValidAndDefaults) {
+  const std::string dir = ::testing::TempDir();
+  const std::string dir_arg = "--checkpoint-dir=" + dir;
+  const char* argv[] = {"prog", dir_arg.c_str(), "--checkpoint-every=3",
+                        "--delta-encoding=sparse"};
+  ArgParser args(4, const_cast<char**>(argv));
+  EXPECT_EQ(args.GetCheckpointDir(), dir);
+  EXPECT_EQ(args.GetCheckpointEvery(), 3);
+  EXPECT_EQ(args.GetDeltaEncoding(), "sparse");
+  const char* argv2[] = {"prog"};
+  ArgParser args2(1, const_cast<char**>(argv2));
+  EXPECT_EQ(args2.GetCheckpointDir(), "");
+  EXPECT_EQ(args2.GetCheckpointEvery(), 0);
+  EXPECT_EQ(args2.GetDeltaEncoding(), "dense");
+}
+
+// The checkpoint/delta flags fail fast (exit 2 naming flag and value)
+// before a long run discovers at its first write that the directory is
+// unusable or the interval nonsense.
+TEST(FlagsDeathTest, UnknownDeltaEncodingExits2) {
+  const char* argv[] = {"prog", "--delta-encoding=gzip"};
+  ArgParser args(2, const_cast<char**>(argv));
+  EXPECT_EXIT(args.GetDeltaEncoding(), ::testing::ExitedWithCode(2),
+              "invalid --delta-encoding=gzip");
+}
+
+TEST(FlagsDeathTest, UnwritableCheckpointDirExits2) {
+  const char* argv[] = {"prog", "--checkpoint-dir=/nonexistent_dir_xyz_42"};
+  ArgParser args(2, const_cast<char**>(argv));
+  EXPECT_EXIT(args.GetCheckpointDir(), ::testing::ExitedWithCode(2),
+              "invalid --checkpoint-dir=/nonexistent_dir_xyz_42");
+}
+
+TEST(FlagsDeathTest, CheckpointEveryWithoutDirExits2) {
+  const char* argv[] = {"prog", "--checkpoint-every=2"};
+  ArgParser args(2, const_cast<char**>(argv));
+  EXPECT_EXIT(args.GetCheckpointEvery(), ::testing::ExitedWithCode(2),
+              "invalid --checkpoint-every=2 \\(requires --checkpoint-dir");
+}
+
+TEST(FlagsDeathTest, CheckpointEveryBelowOneExits2) {
+  const std::string dir_arg = "--checkpoint-dir=" + ::testing::TempDir();
+  const char* argv[] = {"prog", dir_arg.c_str(), "--checkpoint-every=0"};
+  ArgParser args(3, const_cast<char**>(argv));
+  EXPECT_EXIT(args.GetCheckpointEvery(), ::testing::ExitedWithCode(2),
+              "invalid --checkpoint-every=0");
 }
 
 // -------------------------------------------------------------- OpCount

@@ -11,10 +11,13 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
+#include <cstring>
 #include <tuple>
 #include <vector>
 
 #include "core/factorml.h"
+#include "core/pipeline/checkpoint.h"
 #include "gtest/gtest.h"
 #include "test_util.h"
 
@@ -1159,6 +1162,316 @@ TEST(LinregTest, MultiwayFactorizedMatches) {
                              nullptr);
   ASSERT_TRUE(m.ok() && f.ok());
   EXPECT_LT(linreg::LinregModel::MaxAbsDiff(m.value(), f.value()), 1e-6);
+}
+
+// ------------------------------------------------- checkpoint / restore
+
+double MetricValue(const core::TrainReport& r, const std::string& name) {
+  for (const auto& s : r.metrics) {
+    if (s.name == name) return s.value;
+  }
+  return 0.0;
+}
+
+TEST(CheckpointTest, FileRoundTripsAndCorruptionIsNamed) {
+  TempDir dir;
+  core::pipeline::CheckpointState st;
+  st.label = "F-GMM";
+  st.fingerprint = 0xFEEDFACEu;
+  st.completed_iterations = 7;
+  st.converged = true;
+  st.ops = OpCounters{11, 22, 33, 44};
+  st.state = {1.5, -0.0, 0.0, 1e-300, 42.0};
+  ASSERT_TRUE(core::pipeline::WriteCheckpoint(dir.str(), st).ok());
+
+  auto back = core::pipeline::ReadCheckpoint(dir.str(), "F-GMM");
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  EXPECT_EQ(back.value().label, st.label);
+  EXPECT_EQ(back.value().fingerprint, st.fingerprint);
+  EXPECT_EQ(back.value().completed_iterations, 7);
+  EXPECT_TRUE(back.value().converged);
+  EXPECT_EQ(back.value().ops.mults, 11u);
+  EXPECT_EQ(back.value().ops.exps, 44u);
+  ASSERT_EQ(back.value().state.size(), st.state.size());
+  for (size_t i = 0; i < st.state.size(); ++i) {
+    EXPECT_EQ(std::memcmp(&back.value().state[i], &st.state[i],
+                          sizeof(double)),
+              0)
+        << "double " << i;
+  }
+
+  // A missing label is NotFound (train fresh), a flipped state byte is
+  // InvalidArgument naming the block and both CRCs (warn, train fresh).
+  EXPECT_EQ(core::pipeline::ReadCheckpoint(dir.str(), "F-KMEANS")
+                .status()
+                .code(),
+            StatusCode::kNotFound);
+  const std::string path = core::pipeline::CheckpointPath(dir.str(), "F-GMM");
+  {
+    std::FILE* f = std::fopen(path.c_str(), "r+b");
+    ASSERT_NE(f, nullptr);
+    std::fseek(f, -6, SEEK_END);  // inside the state block's doubles
+    std::fputc(0x5A, f);
+    std::fclose(f);
+  }
+  const Status corrupt =
+      core::pipeline::ReadCheckpoint(dir.str(), "F-GMM").status();
+  EXPECT_EQ(corrupt.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(corrupt.ToString().find("CRC mismatch"), std::string::npos)
+      << corrupt.ToString();
+}
+
+/// Resume contract, per family: train the full budget uninterrupted,
+/// then train half the budget into a checkpoint dir and rerun the full
+/// budget from it — objective, op counts and iteration totals must all
+/// match the uninterrupted run exactly (bitwise for the objective).
+template <typename Options, typename TrainFn, typename DiffFn>
+void ExpectResumeParity(const join::NormalizedRelations& rel, Options& opt,
+                        int full_budget, core::Algorithm algo,
+                        BufferPool* pool, TrainFn train, DiffFn max_abs_diff,
+                        int* set_budget, const char* family) {
+  TempDir ckpt;
+  opt.checkpoint_dir.clear();
+  *set_budget = full_budget;
+  pool->Clear();
+  core::TrainReport base_report;
+  auto base = train(rel, opt, algo, pool, &base_report);
+  ASSERT_TRUE(base.ok()) << family << ": " << base.status().ToString();
+
+  *set_budget = full_budget / 2;
+  opt.checkpoint_dir = ckpt.str();
+  pool->Clear();
+  core::TrainReport half_report;
+  auto half = train(rel, opt, algo, pool, &half_report);
+  ASSERT_TRUE(half.ok()) << family << ": " << half.status().ToString();
+  ASSERT_EQ(half_report.iterations, full_budget / 2) << family;
+
+  *set_budget = full_budget;
+  pool->Clear();
+  core::TrainReport resumed_report;
+  auto resumed = train(rel, opt, algo, pool, &resumed_report);
+  ASSERT_TRUE(resumed.ok()) << family << ": " << resumed.status().ToString();
+
+  EXPECT_EQ(resumed_report.final_objective, base_report.final_objective)
+      << family;
+  EXPECT_EQ(max_abs_diff(base.value(), resumed.value()), 0.0) << family;
+  EXPECT_EQ(resumed_report.iterations, base_report.iterations) << family;
+  EXPECT_EQ(resumed_report.ops.mults, base_report.ops.mults) << family;
+  EXPECT_EQ(resumed_report.ops.adds, base_report.ops.adds) << family;
+  EXPECT_EQ(resumed_report.ops.subs, base_report.ops.subs) << family;
+  EXPECT_EQ(resumed_report.ops.exps, base_report.ops.exps) << family;
+}
+
+TEST(CheckpointTest, GmmResumeIsBitIdenticalAcrossStrategies) {
+  TempDir dir;
+  BufferPool pool(512);
+  auto rel =
+      std::move(GenerateSynthetic(Spec(dir.str(), false), &pool)).value();
+  gmm::GmmOptions opt;
+  opt.num_components = 3;
+  opt.batch_rows = 256;
+  opt.temp_dir = dir.str();
+  opt.threads = 1;
+  for (const auto algo : kAll) {
+    ExpectResumeParity(rel, opt, 4, algo, &pool, core::TrainGmm,
+                       gmm::GmmParams::MaxAbsDiff, &opt.max_iters, "gmm");
+  }
+}
+
+TEST(CheckpointTest, KmeansShardedResumeIsBitIdentical) {
+  TempDir dir;
+  BufferPool pool(512);
+  auto rel =
+      std::move(GenerateSynthetic(Spec(dir.str(), false), &pool)).value();
+  kmeans::KmeansOptions opt;
+  opt.num_clusters = 3;
+  opt.batch_rows = 256;
+  opt.temp_dir = dir.str();
+  opt.threads = 2;
+  opt.shards = 2;
+  opt.morsel_rows = 500;
+  ExpectResumeParity(rel, opt, 4, core::Algorithm::kFactorized, &pool,
+                     core::TrainKmeans, kmeans::KmeansModel::MaxAbsDiff,
+                     &opt.max_iters, "kmeans");
+}
+
+TEST(CheckpointTest, NnEpochResumeIsBitIdentical) {
+  // The mini-batch plane's seam carries the most state: every layer's
+  // weights and biases, the momentum velocities and the dropout
+  // generator cursor. Shuffle + dropout + momentum are all on so a
+  // missed cursor anywhere breaks the bitwise comparison.
+  TempDir dir;
+  BufferPool pool(512);
+  auto rel =
+      std::move(GenerateSynthetic(Spec(dir.str(), true), &pool)).value();
+  nn::NnOptions opt;
+  opt.hidden = {8};
+  opt.batch_rows = 256;
+  opt.learning_rate = 0.05;
+  opt.shuffle = true;
+  opt.hidden_dropout = 0.25;
+  opt.momentum = 0.9;
+  opt.temp_dir = dir.str();
+  opt.threads = 1;
+  ExpectResumeParity(rel, opt, 4, core::Algorithm::kFactorized, &pool,
+                     core::TrainNn, nn::Mlp::MaxAbsDiffParams, &opt.epochs,
+                     "nn");
+}
+
+TEST(CheckpointTest, CorruptCheckpointIsSkippedWithFreshStart) {
+  TempDir dir;
+  TempDir ckpt;
+  BufferPool pool(512);
+  auto rel =
+      std::move(GenerateSynthetic(Spec(dir.str(), false), &pool)).value();
+  gmm::GmmOptions opt;
+  opt.num_components = 3;
+  opt.max_iters = 2;
+  opt.batch_rows = 256;
+  opt.temp_dir = dir.str();
+  opt.threads = 1;
+  pool.Clear();
+  core::TrainReport base_report;
+  auto base =
+      core::TrainGmm(rel, opt, core::Algorithm::kFactorized, &pool,
+                     &base_report);
+  ASSERT_TRUE(base.ok());
+
+  // Garbage where the checkpoint should be: training must detect it via
+  // the CRC, warn, and produce exactly the fresh-start result.
+  const std::string path =
+      core::pipeline::CheckpointPath(ckpt.str(), "F-GMM");
+  {
+    std::FILE* f = std::fopen(path.c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    std::fputs("FMLCKPT1 but then noise that no CRC will bless", f);
+    std::fclose(f);
+  }
+  opt.checkpoint_dir = ckpt.str();
+  pool.Clear();
+  core::TrainReport report;
+  auto r =
+      core::TrainGmm(rel, opt, core::Algorithm::kFactorized, &pool, &report);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(report.final_objective, base_report.final_objective);
+  EXPECT_EQ(gmm::GmmParams::MaxAbsDiff(base.value(), r.value()), 0.0);
+  EXPECT_EQ(report.iterations, 2);
+}
+
+TEST(CheckpointTest, OptionValidationRejectsBadCombos) {
+  TempDir dir;
+  BufferPool pool(512);
+  auto rel =
+      std::move(GenerateSynthetic(Spec(dir.str(), false), &pool)).value();
+  gmm::GmmOptions opt;
+  opt.num_components = 3;
+  opt.max_iters = 1;
+  opt.batch_rows = 256;
+  opt.temp_dir = dir.str();
+
+  opt.delta_encoding = "gzip";
+  core::TrainReport report;
+  auto r = core::TrainGmm(rel, opt, core::Algorithm::kFactorized, &pool,
+                          &report);
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().ToString().find("delta-encoding"), std::string::npos)
+      << r.status().ToString();
+
+  opt.delta_encoding = "dense";
+  opt.checkpoint_every = 2;  // without a checkpoint dir
+  r = core::TrainGmm(rel, opt, core::Algorithm::kFactorized, &pool, &report);
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().ToString().find("--checkpoint-dir"), std::string::npos)
+      << r.status().ToString();
+}
+
+// --------------------------------------- slot memory + sparse deltas
+
+TEST(ShardParityTest, SparseDeltasBitIdenticalToDenseAndNoLarger) {
+  TempDir dir;
+  BufferPool pool(512);
+  auto rel =
+      std::move(GenerateSynthetic(Spec(dir.str(), false), &pool)).value();
+  gmm::GmmOptions opt;
+  opt.num_components = 3;
+  opt.max_iters = 2;
+  opt.batch_rows = 256;
+  opt.temp_dir = dir.str();
+  opt.threads = 2;
+  opt.shards = 3;
+  opt.morsel_rows = 400;
+
+  opt.delta_encoding = "dense";
+  pool.Clear();
+  core::TrainReport dense_report;
+  auto dense = core::TrainGmm(rel, opt, core::Algorithm::kFactorized, &pool,
+                              &dense_report);
+  ASSERT_TRUE(dense.ok()) << dense.status().ToString();
+
+  opt.delta_encoding = "sparse";
+  pool.Clear();
+  core::TrainReport sparse_report;
+  auto sparse = core::TrainGmm(rel, opt, core::Algorithm::kFactorized, &pool,
+                               &sparse_report);
+  ASSERT_TRUE(sparse.ok()) << sparse.status().ToString();
+
+  EXPECT_EQ(sparse_report.final_objective, dense_report.final_objective);
+  EXPECT_EQ(gmm::GmmParams::MaxAbsDiff(dense.value(), sparse.value()), 0.0);
+  EXPECT_EQ(sparse_report.ops.mults, dense_report.ops.mults);
+  EXPECT_EQ(sparse_report.ops.adds, dense_report.ops.adds);
+  const double dense_wire = MetricValue(dense_report, "pipeline.delta_bytes");
+  const double sparse_wire =
+      MetricValue(sparse_report, "pipeline.delta_bytes");
+  EXPECT_GT(dense_wire, 0.0);
+  EXPECT_GT(sparse_wire, 0.0);
+  EXPECT_LE(sparse_wire, dense_wire);
+}
+
+TEST(SlotMemoryTest, RidScopedSlotsStayFarBelowFullDomainSizing) {
+  // The bug this PR fixes: per-chunk slots used to allocate the full
+  // table-0 domain each, O(chunk_count x k x n_R) total. Rid-scoped
+  // slots partition the domain instead, so the measured bytes must sit
+  // well under chunk_count x (one full-domain slot) once the chunk count
+  // is large — and the chunked result stays bit-identical to itself
+  // across thread counts (the existing parity suites pin that).
+  //
+  // A wide attribute table makes the k x n_R term the dominant slot
+  // cost; with the shared 40-rid spec the fixed per-slot state drowns
+  // out the rid-scoped savings and the ratio below is meaningless.
+  TempDir dir;
+  BufferPool pool(512);
+  data::SyntheticSpec spec = Spec(dir.str(), false);
+  spec.attrs = {data::AttributeSpec{600, 5}};
+  auto rel = std::move(GenerateSynthetic(spec, &pool)).value();
+  gmm::GmmOptions opt;
+  opt.num_components = 3;
+  opt.max_iters = 1;
+  opt.batch_rows = 256;
+  opt.temp_dir = dir.str();
+  opt.threads = 1;
+
+  pool.Clear();
+  core::TrainReport serial_report;
+  auto serial = core::TrainGmm(rel, opt, core::Algorithm::kFactorized, &pool,
+                               &serial_report);
+  ASSERT_TRUE(serial.ok());
+  const double one_slot = MetricValue(serial_report, "pipeline.slot_bytes");
+  ASSERT_GT(one_slot, 0.0);
+
+  opt.morsel_rows = 100;  // 3000 rows -> 30 chunks
+  pool.Clear();
+  core::TrainReport chunked_report;
+  auto chunked = core::TrainGmm(rel, opt, core::Algorithm::kFactorized,
+                                &pool, &chunked_report);
+  ASSERT_TRUE(chunked.ok());
+  const double chunked_bytes =
+      MetricValue(chunked_report, "pipeline.slot_bytes");
+  ASSERT_GT(chunked_bytes, 0.0);
+  const double full_domain_cost = 30.0 * one_slot;
+  EXPECT_LT(chunked_bytes, 0.25 * full_domain_cost)
+      << "slot memory grew like the pre-fix full-domain sizing "
+      << "(chunked " << chunked_bytes << " vs legacy " << full_domain_cost
+      << ")";
 }
 
 }  // namespace

@@ -14,13 +14,20 @@
 //    model is still bit-identical to the healthy baseline.
 // 3) Wire-level units: ShardJobSpec round-trip and the restart sentinel.
 
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <csignal>
 #include <cstdlib>
+#include <cstring>
 
 #include <string>
 #include <vector>
 
 #include "core/factorml.h"
+#include "core/pipeline/checkpoint.h"
 #include "core/pipeline/shard_rpc.h"
+#include "core/pipeline/sharded_driver.h"
 #include "gtest/gtest.h"
 #include "obs/metrics.h"
 #include "test_util.h"
@@ -351,6 +358,10 @@ TEST(ShardJobSpecTest, RoundTripsEveryField) {
   spec.family = "gmm";
   spec.family_blob = std::string("\x01\x00\x7f", 3);
 
+  spec.delta_encoding = "sparse";
+  spec.checkpoint_dir = "/tmp/ckpts";
+  spec.checkpoint_every = 3;
+
   const std::string blob = core::pipeline::EncodeShardJobSpec(spec);
   auto decoded = core::pipeline::DecodeShardJobSpec(blob);
   ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
@@ -373,6 +384,9 @@ TEST(ShardJobSpecTest, RoundTripsEveryField) {
   EXPECT_EQ(d.worker_id, spec.worker_id);
   EXPECT_EQ(d.family, spec.family);
   EXPECT_EQ(d.family_blob, spec.family_blob);
+  EXPECT_EQ(d.delta_encoding, spec.delta_encoding);
+  EXPECT_EQ(d.checkpoint_dir, spec.checkpoint_dir);
+  EXPECT_EQ(d.checkpoint_every, spec.checkpoint_every);
 }
 
 TEST(ShardJobSpecTest, TrailingBytesRejected) {
@@ -381,6 +395,175 @@ TEST(ShardJobSpecTest, TrailingBytesRejected) {
   std::string blob = core::pipeline::EncodeShardJobSpec(spec);
   blob.push_back('\0');
   EXPECT_FALSE(core::pipeline::DecodeShardJobSpec(blob).ok());
+}
+
+// A minimal slot-holding program: one state vector per slot, visited
+// whole. Enough to exercise every ShardDelta wire path without a
+// training run behind it.
+class SlotStateProgram : public core::pipeline::ModelProgram {
+ public:
+  explicit SlotStateProgram(std::vector<std::vector<double>> slots)
+      : slots_(std::move(slots)) {}
+  const char* Name() const override { return "slot-fake"; }
+  const char* TempStem() const override { return "slot_fake"; }
+  uint32_t Capabilities() const override { return 0; }
+  int MaxIterations() const override { return 1; }
+  Status Init(const core::pipeline::PipelineContext&) override {
+    return Status::OK();
+  }
+  Result<bool> EndIteration(const core::pipeline::PipelineContext&,
+                            int) override {
+    return true;
+  }
+  double Objective() const override { return 0.0; }
+  void VisitSlotState(
+      int, int slot,
+      const std::function<void(double*, size_t)>& visit) override {
+    auto& s = slots_[static_cast<size_t>(slot)];
+    if (!s.empty()) visit(s.data(), s.size());
+  }
+
+  std::vector<std::vector<double>> slots_;
+};
+
+std::vector<std::vector<double>> WireSlots() {
+  // Zero runs, a literal stretch with -0.0 and a denormal (bit-pattern
+  // non-zero: they must ship literally), an all-zero slot, a zero tail.
+  return {{0.0, 0.0, 0.0, 1.5, -0.0, 5e-324, 2.25},
+          {0.0, 0.0, 0.0, 0.0},
+          {7.0, 0.0}};
+}
+
+TEST(ShardDeltaWireTest, SparseRoundTripsBitExactAndNoLarger) {
+  auto original = WireSlots();
+  for (const bool sparse : {false, true}) {
+    SlotStateProgram src(original);
+    const auto delta = core::pipeline::ExtractShardDelta(
+        &src, 0, 1, exec::Range{0, 3}, sparse);
+    // Extract zeroes the source slots: the bytes carry the whole state.
+    for (const auto& s : src.slots_) {
+      for (const double v : s) EXPECT_EQ(v, 0.0);
+    }
+    SlotStateProgram dst(
+        {std::vector<double>(7, -1.0), std::vector<double>(4, -1.0),
+         std::vector<double>(2, -1.0)});
+    const Status st = core::pipeline::ApplyShardDelta(&dst, 0, delta);
+    ASSERT_TRUE(st.ok()) << (sparse ? "sparse: " : "dense: ")
+                         << st.ToString();
+    for (size_t s = 0; s < original.size(); ++s) {
+      for (size_t i = 0; i < original[s].size(); ++i) {
+        EXPECT_EQ(std::memcmp(&dst.slots_[s][i], &original[s][i],
+                              sizeof(double)),
+                  0)
+            << "slot " << s << " double " << i << " sparse=" << sparse;
+      }
+    }
+  }
+  SlotStateProgram a(original), b(original);
+  const auto dense = core::pipeline::ExtractShardDelta(
+      &a, 0, 1, exec::Range{0, 3}, /*sparse=*/false);
+  const auto rle = core::pipeline::ExtractShardDelta(
+      &b, 0, 1, exec::Range{0, 3}, /*sparse=*/true);
+  EXPECT_LT(rle.wire_size(), dense.wire_size());
+}
+
+TEST(ShardDeltaWireTest, TruncatedFramesRejectedNamingTheShard) {
+  for (const bool sparse : {false, true}) {
+    SlotStateProgram src(WireSlots());
+    auto delta = core::pipeline::ExtractShardDelta(&src, 0, 3,
+                                                   exec::Range{0, 3}, sparse);
+    delta.bytes.resize(delta.bytes.size() - 5);
+    SlotStateProgram dst(WireSlots());
+    const Status st = core::pipeline::ApplyShardDelta(&dst, 0, delta);
+    ASSERT_FALSE(st.ok()) << "sparse=" << sparse;
+    EXPECT_NE(st.ToString().find("shard 3"), std::string::npos)
+        << st.ToString();
+    EXPECT_NE(st.ToString().find("chunks [0, 3)"), std::string::npos)
+        << st.ToString();
+  }
+}
+
+TEST(ShardDeltaWireTest, TrailingBytesRejected) {
+  // A frame that decodes fine but carries extra bytes is a framing bug
+  // upstream; silently ignoring the tail would mask it.
+  for (const bool sparse : {false, true}) {
+    SlotStateProgram src(WireSlots());
+    auto delta = core::pipeline::ExtractShardDelta(&src, 0, 0,
+                                                   exec::Range{0, 3}, sparse);
+    delta.bytes.append(8, '\0');
+    SlotStateProgram dst(WireSlots());
+    const Status st = core::pipeline::ApplyShardDelta(&dst, 0, delta);
+    ASSERT_FALSE(st.ok()) << "sparse=" << sparse;
+    EXPECT_NE(st.ToString().find("length mismatch"), std::string::npos)
+        << st.ToString();
+  }
+}
+
+TEST(ShardDeltaWireTest, SpanMismatchRejectedWithBothSpans) {
+  SlotStateProgram src(WireSlots());
+  auto delta =
+      core::pipeline::ExtractShardDelta(&src, 0, 2, exec::Range{1, 3});
+  delta.chunk_begin = 0;  // merge-side bookkeeping disagrees with the wire
+  SlotStateProgram dst(WireSlots());
+  const Status st = core::pipeline::ApplyShardDelta(&dst, 0, delta);
+  ASSERT_FALSE(st.ok());
+  EXPECT_NE(st.ToString().find("chunks [0, 3)"), std::string::npos)
+      << st.ToString();  // what the merge expected
+  EXPECT_NE(st.ToString().find("chunks [1, 3)"), std::string::npos)
+      << st.ToString();  // what the wire carried
+}
+
+TEST(ShardDeltaWireTest, ShapeDriftRejectedWithByteCounts) {
+  SlotStateProgram src(WireSlots());
+  const auto delta =
+      core::pipeline::ExtractShardDelta(&src, 0, 0, exec::Range{0, 3});
+  auto grown = WireSlots();
+  grown[1].push_back(0.0);  // receiver's slot 1 is one double wider
+  SlotStateProgram dst(std::move(grown));
+  const Status st = core::pipeline::ApplyShardDelta(&dst, 0, delta);
+  ASSERT_FALSE(st.ok());
+  EXPECT_NE(st.ToString().find("shape drifted"), std::string::npos)
+      << st.ToString();
+}
+
+// ----------------------------------------- checkpoint + coordinator kill
+
+TEST(ShardRpcFaultTest, KilledCoordinatorResumesBitIdentically) {
+  // The full crash story: a process-backend run with checkpointing is
+  // SIGKILLed at the top of iteration 1 (pass seq 3 = iteration 1's
+  // E-step; iteration 0's checkpoint is already on disk). A rerun with
+  // the same flags restores coordinator AND workers from that checkpoint
+  // and must finish bit-identical to the never-killed baseline — same
+  // objective bits, same params, same op counters.
+  FaultFixture fx;
+  TempDir ckpt;
+  fx.opt.checkpoint_dir = ckpt.str();
+
+  const pid_t child = fork();
+  ASSERT_GE(child, 0);
+  if (child == 0) {
+    // The doomed attempt. The env spec only matches the coordinator-side
+    // hook ("coord:<seq>"); worker processes ignore it.
+    setenv("FACTORMLD_FAULT_KILL", "coord:3", 1);
+    core::TrainReport report;
+    auto r = core::TrainGmm(fx.rel, fx.opt, core::Algorithm::kFactorized,
+                            &fx.pool, &report);
+    // Reaching here means the kill hook never fired.
+    _exit(r.ok() ? 7 : 8);
+  }
+  int wstatus = 0;
+  ASSERT_EQ(waitpid(child, &wstatus, 0), child);
+  ASSERT_TRUE(WIFSIGNALED(wstatus))
+      << "coordinator was not killed (exit status " << wstatus << ")";
+  EXPECT_EQ(WTERMSIG(wstatus), SIGKILL);
+
+  // The checkpoint the killed run left behind covers iteration 0 only.
+  auto left = core::pipeline::ReadCheckpoint(ckpt.str(), "F-GMM");
+  ASSERT_TRUE(left.ok()) << left.status().ToString();
+  EXPECT_EQ(left.value().completed_iterations, 1);
+
+  // Rerun with the same flags, no fault env: restores and finishes.
+  fx.RunAndExpectIdentical("resume-after-coordinator-kill");
 }
 
 TEST(ShardRestartTest, SentinelRoundTrips) {

@@ -289,6 +289,9 @@ int CmdTrainGmm(const ArgParser& args) {
   opt.shard_timeout_ms = args.GetShardTimeoutMs(30000);
   opt.shard_transport = args.GetShardTransport("unix");
   opt.shard_worker_path = args.GetString("factormld", "");
+  opt.delta_encoding = args.GetDeltaEncoding("dense");
+  opt.checkpoint_dir = args.GetCheckpointDir("");
+  opt.checkpoint_every = args.GetCheckpointEvery(0);
   auto algos = ParseAlgos(args.GetString("algo", "all"));
   if (!algos.ok()) return FailStatus(algos.status());
   for (const auto algo : algos.value()) {
@@ -330,6 +333,9 @@ int CmdTrainNn(const ArgParser& args) {
   opt.shard_timeout_ms = args.GetShardTimeoutMs(30000);
   opt.shard_transport = args.GetShardTransport("unix");
   opt.shard_worker_path = args.GetString("factormld", "");
+  opt.delta_encoding = args.GetDeltaEncoding("dense");
+  opt.checkpoint_dir = args.GetCheckpointDir("");
+  opt.checkpoint_every = args.GetCheckpointEvery(0);
   const std::string act = args.GetString("act", "sigmoid");
   if (act == "tanh") opt.activation = nn::Activation::kTanh;
   else if (act == "relu") opt.activation = nn::Activation::kRelu;
@@ -375,6 +381,9 @@ int CmdTrainLinreg(const ArgParser& args) {
   opt.shard_timeout_ms = args.GetShardTimeoutMs(30000);
   opt.shard_transport = args.GetShardTransport("unix");
   opt.shard_worker_path = args.GetString("factormld", "");
+  opt.delta_encoding = args.GetDeltaEncoding("dense");
+  opt.checkpoint_dir = args.GetCheckpointDir("");
+  opt.checkpoint_every = args.GetCheckpointEvery(0);
   auto algos = ParseAlgos(args.GetString("algo", "all"));
   if (!algos.ok()) return FailStatus(algos.status());
   for (const auto algo : algos.value()) {
@@ -412,6 +421,9 @@ int CmdTrainKmeans(const ArgParser& args) {
   opt.shard_timeout_ms = args.GetShardTimeoutMs(30000);
   opt.shard_transport = args.GetShardTransport("unix");
   opt.shard_worker_path = args.GetString("factormld", "");
+  opt.delta_encoding = args.GetDeltaEncoding("dense");
+  opt.checkpoint_dir = args.GetCheckpointDir("");
+  opt.checkpoint_every = args.GetCheckpointEvery(0);
   auto algos = ParseAlgos(args.GetString("algo", "all"));
   if (!algos.ok()) return FailStatus(algos.status());
   for (const auto algo : algos.value()) {
@@ -450,6 +462,9 @@ int CmdTrainLogreg(const ArgParser& args) {
   opt.shard_timeout_ms = args.GetShardTimeoutMs(30000);
   opt.shard_transport = args.GetShardTransport("unix");
   opt.shard_worker_path = args.GetString("factormld", "");
+  opt.delta_encoding = args.GetDeltaEncoding("dense");
+  opt.checkpoint_dir = args.GetCheckpointDir("");
+  opt.checkpoint_every = args.GetCheckpointEvery(0);
   auto algos = ParseAlgos(args.GetString("algo", "all"));
   if (!algos.ok()) return FailStatus(algos.status());
   for (const auto algo : algos.value()) {

@@ -137,6 +137,12 @@ Status RunWorker(net::FrameConn& conn, int64_t worker_id) {
   sopt.kernels = static_cast<la::KernelMode>(spec.kernels);
   sopt.temp_dir = spec.temp_dir;
   sopt.shard_timeout_ms = spec.shard_timeout_ms;
+  sopt.delta_encoding = spec.delta_encoding;
+  // Workers restore from an existing checkpoint (so a resumed coordinator
+  // and its workers agree on the starting iteration) but never write one
+  // — the coordinator owns the write path.
+  sopt.checkpoint_dir = spec.checkpoint_dir;
+  sopt.checkpoint_every = spec.checkpoint_every;
 
   pipeline::ShardWorkerLink link(&conn, worker_id);
   sopt.shard_channel = &link;
